@@ -1,0 +1,31 @@
+"""Bench E10 — Drinking philosophers on the dining substrate (extension).
+
+Claims checked: guarantees carry over (wait-free, eventually clean
+bottle-scoped exclusion) at every demand density; throughput and mean
+concurrency grow monotonically as demands thin; demand = 1.0 behaves like
+dining (peak concurrency bounded by the exclusion structure).
+"""
+
+from conftest import run_once
+
+from repro.experiments.common import format_table
+from repro.experiments.e10_drinking import COLUMNS, run_drinking
+
+
+def test_e10_drinking_table(benchmark):
+    rows = run_once(benchmark, run_drinking, demands=(1.0, 0.6, 0.3), n=8, horizon=300.0)
+    print()
+    print(format_table(rows, COLUMNS, title="E10 — Drinking philosophers (extension)"))
+
+    assert all(row["starving"] == 0 for row in rows)
+    assert all(row["late_violations"] == 0 for row in rows)
+
+    by_demand = {row["demand"]: row for row in rows}
+    assert by_demand[0.3]["drinks"] > by_demand[0.6]["drinks"] > by_demand[1.0]["drinks"]
+    assert (
+        by_demand[0.3]["mean_concurrency"]
+        > by_demand[0.6]["mean_concurrency"]
+        > by_demand[1.0]["mean_concurrency"]
+    )
+    # Full demand = dining: neighbors exclude, clique concurrency ≈ 1.
+    assert by_demand[1.0]["peak_concurrency"] <= 2  # pre-convergence mistakes allow 2

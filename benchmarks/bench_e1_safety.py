@@ -1,0 +1,28 @@
+"""Bench E1 — Safety (Theorem 1): regenerate the eventual-weak-exclusion table.
+
+Claim checked: zero exclusion violations after the convergence cutoff in
+every configuration; violation counts grow with the convergence time.
+"""
+
+from conftest import run_once
+
+from repro.experiments.common import format_table
+from repro.experiments.e1_safety import COLUMNS, run_safety
+
+
+def test_e1_safety_table(benchmark):
+    rows = run_once(
+        benchmark,
+        run_safety,
+        topology_names=("ring", "clique", "grid", "random"),
+        n=12,
+        convergence_times=(0.0, 25.0, 75.0),
+        horizon=400.0,
+    )
+    print()
+    print(format_table(rows, COLUMNS, title="E1 — Safety under eventual weak exclusion"))
+
+    assert all(row["violations_after_cutoff"] == 0 for row in rows)
+    for topology in {row["topology"] for row in rows}:
+        per_tc = {row["T_c"]: row["violations"] for row in rows if row["topology"] == topology}
+        assert per_tc[0.0] <= per_tc[75.0]

@@ -1,0 +1,31 @@
+"""Bench E2 — Wait-free progress (Theorem 2): regenerate the crash sweep.
+
+Claim checked: Algorithm 1 starves nobody at any crash count f ∈
+{0, …, n−1}; the oracle-free Choy-Singh baseline and both suspicion
+ablations starve once f ≥ 1.
+"""
+
+from conftest import run_once
+
+from repro.experiments.common import format_table
+from repro.experiments.e2_progress import ALGORITHMS, COLUMNS, run_progress
+
+
+def test_e2_progress_table(benchmark):
+    rows = run_once(
+        benchmark,
+        run_progress,
+        n=8,
+        crash_counts=(0, 1, 4, 7),
+        algorithms=ALGORITHMS,
+        horizon=500.0,
+        patience=200.0,
+    )
+    print()
+    print(format_table(rows, COLUMNS, title="E2 — Wait-free progress under crash faults"))
+
+    for row in rows:
+        if row["algorithm"] == "algorithm-1":
+            assert row["starving_correct"] == 0, row
+        elif row["crashes"] >= 1:
+            assert row["starving_correct"] > 0, row

@@ -1,0 +1,47 @@
+"""Bench E3 — Eventual 2-bounded waiting (Theorem 3): regenerate the
+fairness table.
+
+Claims checked: Algorithm 1's post-convergence overtaking is ≤ 2 at every
+horizon; the forks-only baseline's overtaking exceeds 2 and grows with
+run length (unbounded in the limit).
+"""
+
+from conftest import run_once
+
+from repro.experiments.common import format_table
+from repro.experiments.e3_fairness import (
+    COLUMNS,
+    run_fairness,
+    run_ring_fairness,
+    run_throttle_ablation,
+)
+
+
+def _full_suite():
+    rows = run_fairness(horizons=(250.0, 500.0, 1000.0))
+    rows.append(run_ring_fairness(n=10, horizon=500.0))
+    rows.extend(run_throttle_ablation())
+    return rows
+
+
+def test_e3_fairness_table(benchmark):
+    rows = run_once(benchmark, _full_suite)
+    print()
+    print(format_table(rows, COLUMNS, title="E3 — Eventual 2-bounded waiting"))
+
+    alg1 = [r for r in rows if r["algorithm"] == "algorithm-1"]
+    forks = sorted(
+        (r for r in rows if r["algorithm"] == "fork-priority"),
+        key=lambda r: r["horizon"],
+    )
+    assert all(r["max_overtaking"] <= 2 for r in alg1)
+    assert forks[-1]["max_overtaking"] > 2
+    assert forks[-1]["max_overtaking"] > forks[0]["max_overtaking"]
+
+    # The decisive ablation: under the long-meal adversary, the paper's
+    # ack throttle is exactly what pins overtaking at 2.
+    adversary = {
+        r["algorithm"]: r for r in rows if r["scenario"] == "long-meal adversary"
+    }
+    assert adversary["algorithm-1"]["max_overtaking"] == 2
+    assert adversary["no-ack-throttle"]["max_overtaking"] > 10

@@ -1,0 +1,47 @@
+"""Bench E4 — Bounded-capacity channels (Section 7): regenerate the
+per-edge occupancy table.
+
+Claim checked: at most 4 dining-layer messages in transit per edge at any
+time, on every topology (the online checker raises mid-run otherwise).
+"""
+
+from conftest import run_once
+
+from repro.experiments.common import format_table
+from repro.experiments.e4_channels import (
+    COLUMNS,
+    EFFICIENCY_COLUMNS,
+    run_channels,
+    run_message_efficiency,
+)
+
+
+def test_e4_channels_table(benchmark):
+    rows = run_once(
+        benchmark,
+        run_channels,
+        topology_names=("ring", "clique", "star", "grid", "random"),
+        n=12,
+        horizon=400.0,
+    )
+    print()
+    print(format_table(rows, COLUMNS, title="E4 — Bounded-capacity channels"))
+
+    assert all(row["bound_respected"] == "yes" for row in rows)
+    assert all(1 <= row["max_in_transit"] <= 4 for row in rows)
+
+
+def test_e4b_message_efficiency(benchmark):
+    rows = run_once(benchmark, run_message_efficiency, n=12, horizon=300.0)
+    print()
+    print(
+        format_table(
+            rows, EFFICIENCY_COLUMNS, title="E4b — Messages per meal vs. degree"
+        )
+    )
+    by_topology = {row["topology"]: row for row in rows}
+    # Messages per meal tracks δ: the clique (δ = n−1) costs several times
+    # the ring (δ = 2), and stays within the 4-messages-per-neighbor cap.
+    assert by_topology["clique"]["msgs_per_meal"] > 3 * by_topology["ring"]["msgs_per_meal"]
+    for row in rows:
+        assert row["msgs_per_meal"] <= 4 * (row["delta"] + 1)

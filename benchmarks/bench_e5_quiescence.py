@@ -1,0 +1,29 @@
+"""Bench E5 — Quiescence (Section 7): regenerate the post-crash traffic table.
+
+Claims checked: dining traffic to each crashed process is bounded
+(proportional to its degree, a handful of messages per neighbor) and then
+stops — extending the run 4× adds zero messages.
+"""
+
+from conftest import run_once
+
+from repro.experiments.common import format_table
+from repro.experiments.e5_quiescence import COLUMNS, run_quiescence
+
+
+def test_e5_quiescence_table(benchmark):
+    rows = run_once(
+        benchmark,
+        run_quiescence,
+        topology_names=("ring", "clique", "grid"),
+        n=10,
+        crash_count=3,
+        horizon=300.0,
+    )
+    print()
+    print(format_table(rows, COLUMNS, title="E5 — Quiescence toward crashed processes"))
+
+    assert all(row["msgs_in_extension"] == 0 for row in rows)
+    # Per neighbor: at most a ping, a fork request, a deferred fork, and a
+    # deferred ack can chase the dead process.
+    assert all(row["post_crash_msgs"] <= 4 * row["degree"] for row in rows)

@@ -1,0 +1,33 @@
+"""Bench E6 — Bounded space (Section 7): regenerate the space-accounting table.
+
+Claims checked: per-process bits scale with the degree δ (constant across
+n on bounded-degree topologies, linear only on the clique), exactly six
+booleans per neighbor, and O(log n)-bit messages.
+"""
+
+from conftest import run_once
+
+from repro.experiments.common import format_table
+from repro.experiments.e6_space import COLUMNS, run_space
+
+
+def test_e6_space_table(benchmark):
+    rows = run_once(
+        benchmark,
+        run_space,
+        topology_names=("ring", "grid", "tree", "random", "star", "clique"),
+        sizes=(8, 16, 32),
+    )
+    print()
+    print(format_table(rows, COLUMNS, title="E6 — Bounded space and message size"))
+
+    ring_rows = [r for r in rows if r["topology"] == "ring"]
+    assert len({r["bits_per_process"] for r in ring_rows}) == 1  # δ fixed ⇒ flat
+
+    clique_rows = sorted((r for r in rows if r["topology"] == "clique"), key=lambda r: r["n"])
+    assert clique_rows[0]["bits_per_process"] < clique_rows[-1]["bits_per_process"]
+
+    assert all(r["bools_per_neighbor"] == 6 for r in rows)
+    # Message bits grow by ~log2: doubling n adds O(1) bits.
+    by_n = {r["n"]: r["max_message_bits"] for r in ring_rows}
+    assert by_n[32] - by_n[8] == 2

@@ -1,0 +1,44 @@
+"""Bench E7 — Wait-free daemons for self-stabilization (Sections 1/8).
+
+Claims checked: every hosted protocol converges under the wait-free
+daemon despite transient faults and crashes; the crash-oblivious baseline
+fails to converge once a targeted corruption lands on a starved process.
+"""
+
+from conftest import run_once
+
+from repro.experiments.common import format_table
+from repro.experiments.e7_daemon import (
+    COLUMNS,
+    SCALING_COLUMNS,
+    run_daemon_suite,
+    run_token_ring_scaling,
+)
+
+
+def test_e7b_token_ring_scaling(benchmark):
+    rows = run_once(benchmark, run_token_ring_scaling, sizes=(5, 9, 13))
+    print()
+    print(
+        format_table(
+            rows, SCALING_COLUMNS, title="E7b — Token-ring stabilization cost vs. n"
+        )
+    )
+    assert all(row["steps_to_converge"] is not None for row in rows)
+    # Superlinear total cost: steps/n grows with n (Dijkstra's O(n²)).
+    per_n = [row["steps_per_n"] for row in rows]
+    assert per_n == sorted(per_n)
+    assert per_n[-1] > per_n[0]
+
+
+def test_e7_daemon_table(benchmark):
+    rows = run_once(benchmark, run_daemon_suite)
+    print()
+    print(format_table(rows, COLUMNS, title="E7 — Wait-free daemons for self-stabilization"))
+
+    by_scenario = {(row["scenario"], row["daemon"]): row for row in rows}
+    assert by_scenario[("token-ring", "wait-free")]["converged"] == "yes"
+    assert by_scenario[("coloring", "wait-free")]["converged"] == "yes"
+    assert by_scenario[("coloring", "crash-oblivious")]["converged"] == "NO"
+    assert by_scenario[("matching", "wait-free")]["converged"] == "yes"
+    assert by_scenario[("matching+widow", "wait-free")]["converged"] == "yes"

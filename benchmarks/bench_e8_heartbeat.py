@@ -1,0 +1,50 @@
+"""Bench E8 — Heartbeat ◇P₁ end-to-end + scalability (Sections 1/2/8).
+
+Claims checked: with a real heartbeat detector under GST partial
+synchrony, wait-freedom / eventual exclusion / 2-bounded waiting all hold
+end-to-end; the hostile pre-GST period causes genuine (finitely many)
+detector mistakes; throughput scales with ring size.
+"""
+
+from conftest import run_once
+
+from repro.experiments.common import format_table
+from repro.experiments.e8_heartbeat import (
+    COLUMNS,
+    QOS_COLUMNS,
+    run_gst_sweep,
+    run_qos_sweep,
+    run_scale_sweep,
+)
+
+
+def test_e8b_detector_qos(benchmark):
+    rows = run_once(benchmark, run_qos_sweep, timeouts=(1.5, 3.0, 6.0))
+    print()
+    print(format_table(rows, QOS_COLUMNS, title="E8b — Heartbeat QoS vs. initial timeout"))
+    # The Chen-Toueg trade-off: mistakes decrease monotonically as the
+    # initial timeout grows; every crash is detected at every setting.
+    mistakes = [row["mistakes"] for row in rows]
+    assert mistakes == sorted(mistakes, reverse=True)
+    assert mistakes[0] > mistakes[-1]
+    assert all(row["worst_detection"] is not None for row in rows)
+
+
+def _full_suite():
+    return run_gst_sweep(n=8, gsts=(20.0, 60.0, 120.0), horizon=600.0) + run_scale_sweep(
+        sizes=(6, 12, 24), gst=40.0, horizon=400.0
+    )
+
+
+def test_e8_heartbeat_table(benchmark):
+    rows = run_once(benchmark, _full_suite)
+    print()
+    print(format_table(rows, COLUMNS, title="E8 — Heartbeat ◇P₁ end-to-end + scalability"))
+
+    assert all(row["starving"] == 0 for row in rows)
+    assert all(row["violations_late"] == 0 for row in rows)
+    assert all(row["max_overtaking_late"] <= 2 for row in rows)
+    assert all(row["false_suspicions"] > 0 for row in rows)
+
+    scale = sorted((r for r in rows if r["sweep"] == "scale"), key=lambda r: r["n"])
+    assert scale[-1]["throughput"] > scale[0]["throughput"]

@@ -1,0 +1,37 @@
+"""Bench E9 — Necessity probes (Section 8 / [21]).
+
+Claims checked: the control run keeps every guarantee; breaking
+completeness breaks exactly wait-freedom; breaking eventual accuracy
+breaks exactly eventual weak exclusion, with violations that recur (the
+count roughly doubles when the horizon doubles — no clean suffix).
+"""
+
+from conftest import run_once
+
+from repro.experiments.common import format_table
+from repro.experiments.e9_necessity import COLUMNS, run_necessity
+
+
+def test_e9_necessity_table(benchmark):
+    rows = run_once(benchmark, run_necessity, horizons=(300.0, 600.0))
+    print()
+    print(format_table(rows, COLUMNS, title="E9 — Necessity probes"))
+
+    by_key = {(r["oracle"], r["horizon"]): r for r in rows}
+    for horizon in (300.0, 600.0):
+        control = by_key[("control", horizon)]
+        assert control["wait_free"] == "yes" and control["eventual_wx"] == "yes"
+
+        incomplete = by_key[("incomplete", horizon)]
+        assert incomplete["wait_free"] == "NO"
+        assert incomplete["eventual_wx"] == "yes"
+
+        inaccurate = by_key[("inaccurate", horizon)]
+        assert inaccurate["wait_free"] == "yes"
+        assert inaccurate["eventual_wx"] == "NO"
+
+    # Recurrence: violations keep accruing as the horizon grows.
+    assert (
+        by_key[("inaccurate", 600.0)]["violations"]
+        > by_key[("inaccurate", 300.0)]["violations"]
+    )

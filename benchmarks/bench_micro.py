@@ -1,0 +1,74 @@
+"""Micro-benchmarks: raw substrate performance.
+
+Not tied to a paper claim — these track the cost structure of the
+simulator itself so regressions in the hot path (event queue, network
+delivery, guard re-evaluation) are visible.  Unlike the macro benches,
+these use pytest-benchmark's normal multi-round measurement.
+"""
+
+from repro.core import AlwaysHungry, DiningTable, scripted_detector
+from repro.graphs import ring
+from repro.sim.events import EventPriority, EventQueue
+from repro.sim.kernel import Simulator
+
+
+def test_event_queue_throughput(benchmark):
+    def push_pop_1000():
+        queue = EventQueue()
+        for i in range(1000):
+            queue.push(float(i % 97), EventPriority.TIMER, lambda: None)
+        while queue:
+            queue.pop()
+
+    benchmark(push_pop_1000)
+
+
+def test_kernel_event_dispatch(benchmark):
+    def run_10k_events():
+        sim = Simulator()
+        remaining = [10_000]
+
+        def tick():
+            remaining[0] -= 1
+            if remaining[0] > 0:
+                sim.schedule_after(0.001, tick)
+
+        sim.schedule_at(0.0, tick)
+        sim.run_until_quiescent()
+
+    benchmark.pedantic(run_10k_events, rounds=3, iterations=1)
+
+
+def test_dining_ring_simulation_rate(benchmark):
+    """Virtual-seconds-per-wall-second of a contended 12-ring."""
+
+    def run_ring():
+        table = DiningTable(
+            ring(12),
+            seed=1,
+            detector=scripted_detector(),
+            workload=AlwaysHungry(eat_time=0.5, think_time=0.01),
+            check_invariants=False,  # measure the algorithm, not the checkers
+        )
+        table.run(until=200.0)
+        return table
+
+    table = benchmark.pedantic(run_ring, rounds=3, iterations=1)
+    assert sum(table.eat_counts().values()) > 100
+
+
+def test_dining_with_invariant_checkers_overhead(benchmark):
+    """Same workload with the online checkers armed (documents their cost)."""
+
+    def run_ring_checked():
+        table = DiningTable(
+            ring(12),
+            seed=1,
+            detector=scripted_detector(),
+            workload=AlwaysHungry(eat_time=0.5, think_time=0.01),
+            check_invariants=True,
+        )
+        table.run(until=200.0)
+        return table
+
+    benchmark.pedantic(run_ring_checked, rounds=3, iterations=1)

@@ -1,0 +1,14 @@
+"""Benchmark-suite configuration.
+
+Every benchmark runs its experiment exactly once per measurement
+(``rounds=1, iterations=1``): these are whole-simulation macro-benchmarks
+whose interesting outputs are the claim checks and the wall-clock cost of
+reproducing each published result, not microsecond-level statistics.
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, func, **kwargs):
+    """Run ``func(**kwargs)`` once under the benchmark timer; return result."""
+    return benchmark.pedantic(func, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Drinking philosophers: the dining substrate lifted to partial demands.
+
+Eight processes in full conflict (a clique — think: eight services
+sharing 28 pairwise locks).  Under dining, every session grabs all locks,
+so at most one process runs at a time.  Under drinking, each session
+declares just the locks it needs; sessions with disjoint demands run
+concurrently, and the paper's machinery still guarantees wait-freedom
+under crashes and an eventually clean (bottle-scoped) exclusion suffix.
+
+Run:  python examples/drinking_philosophers.py
+"""
+
+from repro import CrashPlan, scripted_detector
+from repro.drinking import (
+    RandomThirst,
+    concurrency_profile,
+    drinking_table,
+    drinking_violations_after,
+)
+from repro.graphs import clique
+
+
+def run(demand: float):
+    graph = clique(8)
+    table = drinking_table(
+        graph,
+        seed=10,
+        workload=RandomThirst(demand=demand, drink_time=1.0),
+        detector=scripted_detector(convergence_time=20.0, random_mistakes=True),
+        crash_plan=CrashPlan.scripted({3: 40.0}),
+    )
+    table.run(until=300.0)
+    return graph, table
+
+
+def main() -> None:
+    print(f"{'demand':>7}  {'drinks':>7}  {'mean conc.':>10}  {'peak':>5}  "
+          f"{'late viol.':>10}  {'starving':>8}")
+    print("-" * 58)
+    for demand in (1.0, 0.6, 0.3):
+        graph, table = run(demand)
+        profile = concurrency_profile(table.trace, graph, horizon=300.0)
+        late = drinking_violations_after(table.trace, graph, 43.0, horizon=300.0)
+        starving = table.starving_correct(patience=120.0)
+        print(
+            f"{demand:7.1f}  {sum(table.eat_counts().values()):7d}  "
+            f"{profile['mean']:10.2f}  {profile['peak']:5.0f}  "
+            f"{len(late):10d}  {len(starving):8d}"
+        )
+        assert not late and not starving
+
+    print(
+        "\ndemand 1.0 is dining (exclusion caps the clique at ~1 concurrent"
+        "\ndrinker); thinning demands multiplies throughput while every"
+        "\npaper guarantee — wait-freedom included, despite the crash —"
+        "\ncarries over to the bottle-scoped setting. ✓"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Exhaustive verification: every schedule of a small dining instance.
+
+Simulation samples one schedule per seed; the paper's proofs quantify
+over all of them.  For small crash-free configurations this demo closes
+the gap with bounded model checking of the *real* diner objects: it
+explores every FIFO-respecting interleaving of message deliveries and
+timer firings, checking in each reachable state that no two neighbors
+eat simultaneously (with no crashes and no detector mistakes, weak
+exclusion is perpetual), that forks and tokens stay unique, and that no
+hungry diner is ever stuck with nothing left to happen.
+
+Then it seeds a one-line bug — granting fork requests even while eating —
+and shows the explorer producing a concrete counterexample schedule.
+
+Run:  python examples/exhaustive_verification.py
+"""
+
+import types
+
+from repro.core.messages import Fork
+from repro.graphs import path, ring, star
+from repro.verify import explore_dining
+
+
+def verify_scopes() -> None:
+    print("Exhaustive exploration (all FIFO-respecting schedules):\n")
+    print(f"{'scope':<22} {'states':>8} {'replayed':>10} {'depth':>6}  verdict")
+    print("-" * 60)
+    scopes = [
+        ("path-2, 2 sessions", lambda: explore_dining(path(2), max_sessions=2)),
+        ("path-3", lambda: explore_dining(path(3), max_sessions=1)),
+        ("ring-3", lambda: explore_dining(ring(3), max_sessions=1)),
+        ("star-4", lambda: explore_dining(star(4), max_sessions=1)),
+    ]
+    for name, run in scopes:
+        report = run()
+        verdict = "CLEAN" if report.clean else "VIOLATIONS!"
+        print(
+            f"{name:<22} {report.states_visited:>8} {report.events_fired:>10} "
+            f"{report.max_depth:>6}  {verdict}"
+        )
+        assert report.clean
+
+
+def hunt_seeded_bug() -> None:
+    def eager_grant(diner):
+        def evil(self, src, requester_color):
+            link = self.links[src]
+            link.token = True
+            if link.fork:  # grants even while eating: the seeded bug
+                self.send(src, Fork(self.pid))
+                link.fork = False
+
+        diner._on_fork_request = types.MethodType(evil, diner)
+
+    report = explore_dining(path(2), max_sessions=2, diner_mutator=eager_grant)
+    violation = report.violations[0]
+    print("\nSeeded bug (fork granted while eating) — counterexample found:")
+    print(f"  property violated: {violation.kind} ({violation.detail})")
+    print("  schedule reaching it:")
+    for step in violation.path:
+        print(f"    {step}")
+    assert violation.kind == "exclusion"
+
+
+def main() -> None:
+    verify_scopes()
+    hunt_seeded_bug()
+    print(
+        "\nEvery reachable state of the unmodified algorithm is safe; the"
+        "\nmutated algorithm is caught with a concrete schedule. ✓"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Fairness demo: the squeeze scenario (Theorem 3 vs. a doorway-free baseline).
+
+Diner 1 has the lowest static priority and sits between two always-hungry
+high-priority rivals.  Under forks-only static-priority dining, the
+rivals take the forks back faster than diner 1 can collect both, and its
+overtake count grows with the run.  Under Algorithm 1, the asynchronous
+doorway with the one-ack-per-session throttle pins overtaking at 2.
+
+Run:  python examples/fairness_squeeze.py
+"""
+
+from repro import AlwaysHungry, DiningTable, scripted_detector
+from repro.baselines import fork_priority_table
+from repro.graphs import path
+from repro.sim.latency import UniformLatency
+
+SQUEEZE_COLORING = {0: 1, 1: 0, 2: 2}  # diner 1 always loses fork conflicts
+WORKLOAD = dict(eat_time=1.0, think_time=0.01)
+
+
+def run_fork_priority(horizon: float):
+    table = fork_priority_table(
+        path(3),
+        seed=5,
+        coloring=SQUEEZE_COLORING,
+        workload=AlwaysHungry(**WORKLOAD),
+        latency=UniformLatency(0.2, 0.6),
+    )
+    table.run(until=horizon)
+    return table
+
+
+def run_algorithm_1(horizon: float):
+    table = DiningTable(
+        path(3),
+        seed=5,
+        coloring=SQUEEZE_COLORING,
+        workload=AlwaysHungry(**WORKLOAD),
+        latency=UniformLatency(0.2, 0.6),
+        detector=scripted_detector(convergence_time=40.0, random_mistakes=True),
+    )
+    table.run(until=horizon)
+    return table
+
+
+def main() -> None:
+    print(f"{'horizon':>8}  {'algorithm':<14}  {'victim meals':>12}  {'max overtaking':>15}")
+    print("-" * 58)
+    for horizon in (250.0, 500.0, 1000.0):
+        for name, runner, cutoff in (
+            ("fork-priority", run_fork_priority, 0.0),
+            ("algorithm-1", run_algorithm_1, 60.0),
+        ):
+            table = runner(horizon)
+            meals = table.eat_counts()
+            overtaking = table.max_overtaking(after=cutoff)
+            print(f"{horizon:8.0f}  {name:<14}  {meals.get(1, 0):12d}  {overtaking:15d}")
+
+    final_baseline = run_fork_priority(1000.0)
+    final_alg1 = run_algorithm_1(1000.0)
+    assert final_baseline.max_overtaking() > 2
+    assert final_alg1.max_overtaking(after=60.0) <= 2
+    print(
+        "\nForks-only overtaking grows with run length; Algorithm 1 stays"
+        "\nat the paper's k = 2 bound after detector convergence. ✓"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""End-to-end stack: heartbeat ◇P₁ over GST partial synchrony.
+
+No oracle anywhere — the failure detector is implemented with heartbeats
+and adaptive timeouts over a network whose delays are wild (up to 8 time
+units) before a global stabilization time and bounded (≤ 1) afterwards.
+The early chaos causes real false suspicions (watch the counter); the
+adaptive timeouts absorb them; and Algorithm 1 on top still delivers
+wait-freedom, an eventually clean exclusion suffix, and 2-bounded
+waiting — with two diners crashing along the way.
+
+Run:  python examples/heartbeat_partial_synchrony.py
+"""
+
+from repro import AlwaysHungry, CrashPlan, DiningTable, PartialSynchronyLatency, heartbeat_detector
+from repro.graphs import ring
+
+
+def main() -> None:
+    gst = 60.0
+    graph = ring(8)
+    table = DiningTable(
+        graph,
+        seed=11,
+        latency=PartialSynchronyLatency(
+            gst=gst, min_delay=0.1, pre_gst_max=8.0, post_gst_max=1.0
+        ),
+        detector=heartbeat_detector(interval=1.0, initial_timeout=2.0, timeout_increment=1.0),
+        crash_plan=CrashPlan.scripted({2: 30.0, 6: 80.0}),
+        workload=AlwaysHungry(eat_time=1.0, think_time=0.05),
+    )
+
+    for checkpoint in (gst, 200.0, 700.0):
+        table.run(until=checkpoint)
+        print(
+            f"t={table.sim.now:6.0f}: "
+            f"{sum(table.eat_counts().values()):5d} meals, "
+            f"{len(table.violations()):2d} violations so far, "
+            f"{table.detector.total_false_retractions():3d} false suspicions retracted"
+        )
+
+    print("\nDetector timeline: hostile pre-GST, quiet afterwards.")
+    starving = table.starving_correct(patience=250.0)
+    late_violations = table.violations_after(350.0)
+    overtaking = table.max_overtaking(after=350.0)
+
+    print(f"Starving correct diners:        {starving or 'none'}")
+    print(f"Violations after t=350:         {len(late_violations)}")
+    print(f"Max overtaking after t=350:     {overtaking}")
+    print(f"Dining messages to crashed 2:   "
+          f"{len(table.quiescence.sends_to(2, layer='dining'))} (then silence)")
+    print(f"Peak dining messages per edge:  {table.occupancy.max_occupancy} (bound: 4)")
+
+    assert not starving and not late_violations and overtaking <= 2
+    print("\nThe full stack delivers the paper's guarantees with a real ◇P₁. ✓")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""The paper's motivating application: a wait-free daemon scheduling a
+self-stabilizing protocol through crashes and transient faults.
+
+A 4×4 grid hosts a self-stabilizing graph-coloring protocol.  The run is
+hostile on purpose:
+
+* the protocol starts fully corrupted (every register = 0, every edge in
+  collision);
+* two processes crash mid-run;
+* a transient-fault burst re-corrupts three registers later;
+* the failure detector makes mistakes until t=30, so early scheduling
+  can co-schedule neighbors — each such sharing violation is charged as
+  one more transient fault, exactly as the paper models it.
+
+Because the daemon is wait-free, every correct process keeps executing
+steps, and the protocol converges anyway.  For contrast, the same
+scenario is replayed under the crash-oblivious Choy-Singh daemon, where
+the neighbors of crashed processes starve and convergence fails.
+
+Run:  python examples/self_stabilizing_daemon.py
+"""
+
+from repro import CrashPlan, DistributedDaemon, null_detector, scripted_detector
+from repro.baselines import ChoySinghDiner
+from repro.graphs import grid
+from repro.stabilization import GreedyRecoloring, TransientFaultPlan
+
+
+def run_scenario(kind: str) -> DistributedDaemon:
+    graph = grid(4, 4)
+    protocol = GreedyRecoloring(graph)  # all-zero: maximal corruption
+    crash_plan = CrashPlan.scripted({5: 20.0, 10: 35.0})
+
+    if kind == "wait-free":
+        daemon = DistributedDaemon(
+            graph,
+            protocol,
+            seed=11,
+            detector=scripted_detector(convergence_time=30.0, random_mistakes=True),
+            crash_plan=crash_plan,
+        )
+    else:
+        daemon = DistributedDaemon(
+            graph,
+            protocol,
+            seed=11,
+            detector=null_detector(),
+            diner_factory=ChoySinghDiner,
+            crash_plan=crash_plan,
+        )
+
+    # After the crashes: corrupt a live neighbor of a crashed process so
+    # it collides with one of its own live neighbors.  Only that process
+    # can repair the collision — if it starves, corruption is permanent.
+    def targeted_fault() -> None:
+        live = set(daemon.live_pids())
+        for dead in crash_plan.faulty:
+            for victim in graph.neighbors(dead):
+                if victim in live:
+                    peers = [p for p in graph.neighbors(victim) if p in live]
+                    if peers:
+                        daemon.corrupt_register(victim, protocol.read(peers[0]))
+                        return
+
+    daemon.table.sim.schedule_at(120.0, targeted_fault)
+    faults = TransientFaultPlan.random(daemon, burst_times=(160.0,), victims_per_burst=3)
+    faults.apply(daemon)
+
+    daemon.run(until=500.0)
+    return daemon
+
+
+def report(kind: str, daemon: DistributedDaemon) -> None:
+    protocol = daemon.protocol
+    live = daemon.live_pids()
+    conflicts = protocol.conflict_edges(live)
+    print(f"\n=== {kind} daemon ===")
+    print(f"  protocol steps executed:   {daemon.steps_executed}")
+    print(f"  sharing violations (→ transient faults): {daemon.sharing_violations}")
+    print(f"  converged: {daemon.converged()}", end="")
+    if daemon.converged():
+        print(f"  (legitimate since t≈{daemon.convergence_time():.1f})")
+    else:
+        print(f"  — {len(conflicts)} unrepaired collisions: {conflicts}")
+
+
+def main() -> None:
+    wait_free = run_scenario("wait-free")
+    report("wait-free (Algorithm 1 + ◇P₁)", wait_free)
+
+    baseline = run_scenario("crash-oblivious")
+    report("crash-oblivious (Choy-Singh)", baseline)
+
+    assert wait_free.converged()
+    assert not baseline.converged()
+    print(
+        "\nThe wait-free daemon restored a proper coloring despite crashes,"
+        "\ncorruption, and pre-convergence scheduling mistakes; the"
+        "\ncrash-oblivious daemon left corruption parked at starved processes. ✓"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for legacy editable installs (offline environments).
+
+All metadata lives in pyproject.toml; this file exists so that
+``pip install -e .`` works without the ``wheel`` package (PEP 660 editable
+wheels require bdist_wheel, unavailable offline).
+"""
+
+from setuptools import setup
+
+setup()

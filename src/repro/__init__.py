@@ -1,0 +1,83 @@
+"""repro — Eventually k-bounded wait-free distributed daemons.
+
+A full reproduction of Song & Pike, *"Eventually k-bounded Wait-Free
+Distributed Daemons"* (DSN 2007): a dining-philosophers algorithm over the
+eventually perfect failure detector ◇P₁ that is wait-free under arbitrarily
+many crash faults, safe under eventual weak exclusion, eventually
+2-bounded-waiting, bounded in space and channel capacity, and quiescent
+toward crashed processes — plus the distributed-daemon application that
+schedules self-stabilizing protocols despite crashes.
+
+Quickstart::
+
+    from repro import DiningTable, scripted_detector, CrashPlan
+    from repro.graphs import ring
+
+    table = DiningTable(
+        ring(8),
+        seed=7,
+        detector=scripted_detector(convergence_time=40.0, random_mistakes=True),
+        crash_plan=CrashPlan.scripted({3: 25.0}),
+    )
+    table.run(until=400.0)
+    assert table.starving_correct(patience=150.0) == []     # wait-free
+    assert not table.violations_after(60.0)                 # eventual WX
+    assert table.max_overtaking(after=120.0) <= 2           # eventual 2-BW
+
+Packages: :mod:`repro.core` (Algorithm 1, daemon), :mod:`repro.detectors`
+(◇P₁ oracles and a heartbeat implementation), :mod:`repro.sim`
+(deterministic discrete-event substrate), :mod:`repro.graphs`,
+:mod:`repro.baselines`, :mod:`repro.stabilization`, :mod:`repro.trace`,
+:mod:`repro.experiments`.
+"""
+
+from repro.core import (
+    AlwaysHungry,
+    DinerActor,
+    DinerState,
+    DiningTable,
+    DistributedDaemon,
+    PoissonWorkload,
+    ScriptedWorkload,
+    Workload,
+    heartbeat_detector,
+    null_detector,
+    perfect_detector,
+    scripted_detector,
+)
+from repro.errors import (
+    ChannelCapacityError,
+    ConfigurationError,
+    ForkDuplicationError,
+    InvariantViolation,
+    ReproError,
+)
+from repro.graphs import ConflictGraph
+from repro.sim import CrashPlan, PartialSynchronyLatency, Simulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AlwaysHungry",
+    "ChannelCapacityError",
+    "ConfigurationError",
+    "ConflictGraph",
+    "CrashPlan",
+    "DinerActor",
+    "DinerState",
+    "DiningTable",
+    "DistributedDaemon",
+    "ForkDuplicationError",
+    "InvariantViolation",
+    "PartialSynchronyLatency",
+    "PoissonWorkload",
+    "ReproError",
+    "ScriptedWorkload",
+    "Simulator",
+    "Workload",
+    "__version__",
+    "heartbeat_detector",
+    "null_detector",
+    "perfect_detector",
+    "scripted_detector",
+]

@@ -1,0 +1,28 @@
+"""Baseline and comparison algorithms.
+
+* :mod:`choy_singh` — the original asynchronous doorway algorithm
+  (crash-oblivious; starves once anything crashes) and the no-ack-throttle
+  ablation of Algorithm 1;
+* :mod:`fork_priority` — forks-only static priority (no doorway;
+  unbounded overtaking);
+* :mod:`perfect_dining` — Algorithm 1 over the perfect detector P
+  (perpetual weak exclusion; the stronger-oracle comparison point).
+"""
+
+from repro.baselines.ablations import NoDoorwaySuspicionDiner, NoForkSuspicionDiner
+from repro.baselines.choy_singh import ChoySinghDiner, choy_singh_table
+from repro.baselines.edge_reversal import EdgeReversalDiner, edge_reversal_table
+from repro.baselines.fork_priority import ForkPriorityDiner, fork_priority_table
+from repro.baselines.perfect_dining import perfect_dining_table
+
+__all__ = [
+    "ChoySinghDiner",
+    "EdgeReversalDiner",
+    "ForkPriorityDiner",
+    "NoDoorwaySuspicionDiner",
+    "NoForkSuspicionDiner",
+    "choy_singh_table",
+    "edge_reversal_table",
+    "fork_priority_table",
+    "perfect_dining_table",
+]

@@ -1,0 +1,50 @@
+"""Ablations of Algorithm 1: disable one mechanism at a time.
+
+The paper weaves ◇P₁ suspicion into *both* phases — doorway entry
+(Action 5) and fork collection (Action 9).  These variants disable each
+substitution independently, to show both are necessary for wait-freedom
+(design decision 2 of DESIGN.md):
+
+* :class:`NoDoorwaySuspicionDiner` — Action 5 requires actual acks from
+  every neighbor; a crashed neighbor that owes an ack blocks the doorway
+  forever, starving the waiter in phase 1.
+* :class:`NoForkSuspicionDiner` — Action 9 requires actually holding
+  every fork; a neighbor that crashed holding a shared fork starves the
+  waiter in phase 2.
+
+(The third ablation — removing the per-session ack throttle, which costs
+the 2-bounded-waiting guarantee — is
+:class:`repro.baselines.choy_singh.ChoySinghDiner` run with a ◇P₁
+detector.)
+"""
+
+from __future__ import annotations
+
+from repro.core.diner import DinerActor
+
+
+class NoDoorwaySuspicionDiner(DinerActor):
+    """Action 5 without the suspicion substitute: acks only."""
+
+    def _try_enter_doorway(self) -> bool:
+        for _, link in self._links_in_order():
+            if not link.ack:
+                return False
+        self.inside = True
+        self.trace.doorway_change(self.now, self.pid, True)
+        for _, link in self._links_in_order():
+            link.ack = False
+            link.replied = False
+        return True
+
+
+class NoForkSuspicionDiner(DinerActor):
+    """Action 9 without the suspicion substitute: forks only."""
+
+    def _try_eat(self) -> bool:
+        for _, link in self._links_in_order():
+            if not link.fork:
+                return False
+        # Delegate the shared entry bookkeeping to the real Action 9; with
+        # every fork in hand its guard passes regardless of suspicion.
+        return super()._try_eat()

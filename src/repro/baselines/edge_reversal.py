@@ -1,0 +1,173 @@
+"""Baseline: scheduling by edge reversal (Barbosa & Gafni 1989).
+
+The classic crash-oblivious distributed scheduler, and the paper's
+"purely asynchronous daemon" contrast on a different axis than
+Choy-Singh: SER is *perfectly* safe and spends no request traffic at all,
+but a single crash freezes part of the precedence graph forever.
+
+The conflict graph carries an acyclic orientation; a process is a *sink*
+when every incident edge points at it.  Sinks may enter the critical
+section; on exit they reverse all their edges (become sources).  In the
+message-passing realization the orientation IS fork possession: "edge
+points at me" = "I hold that fork", so
+
+* initially forks sit at the higher-color endpoint (same placement as
+  Algorithm 1) — orientation by color is acyclic, and the initial sinks
+  are the local color maxima;
+* a hungry sink eats; at exit it sends *every* fork away (reversal);
+* nobody ever requests anything: forks only flow at reversals.
+
+Guarantees (crash-free): perpetual weak exclusion (the unique fork is
+held by at most one endpoint, with no suspicion override) and, under an
+always-hungry workload, every process becomes a sink infinitely often —
+which is why SER is a standard daemon for self-stabilizing protocols.
+
+Failure mode: a crashed process never reverses, so every neighbor
+waiting on its fork starves, and the starvation propagates outward as
+the dead region pins more of the orientation.  No failure detector is
+consulted (the constructor accepts one only to fit the common diner
+signature).
+
+Scope note: SER schedules processes that perpetually want steps.  With
+sparse hunger a *thinking* sink simply sits on its forks until it gets
+hungry — still safe, but neighbors wait on the thinker, so fairness
+claims here assume the daemon workload (always hungry).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.diner import EatCallback
+from repro.core.messages import Fork
+from repro.core.state import DinerState
+from repro.core.table import DiningTable, null_detector
+from repro.core.workload import Workload
+from repro.detectors.base import FailureDetector
+from repro.errors import ConfigurationError
+from repro.graphs.coloring import Coloring
+from repro.graphs.conflict import ConflictGraph, ProcessId
+from repro.sim.actor import Actor
+from repro.trace.recorder import TraceRecorder
+
+
+class EdgeReversalDiner(Actor):
+    """One node of the scheduling-by-edge-reversal graph."""
+
+    def __init__(
+        self,
+        pid: ProcessId,
+        graph: ConflictGraph,
+        coloring: Coloring,
+        detector: FailureDetector,  # unused: SER is crash-oblivious
+        workload: Workload,
+        trace: TraceRecorder,
+        *,
+        on_eat: Optional[EatCallback] = None,
+    ) -> None:
+        super().__init__(pid)
+        if pid not in graph:
+            raise ConfigurationError(f"process {pid} is not in the conflict graph")
+        self.graph = graph
+        self.color = int(coloring[pid])
+        self.workload = workload
+        self.trace = trace
+        self.on_eat = on_eat
+        self.state = DinerState.THINKING
+        # Edge orientation as fork possession: toward the higher color.
+        self.forks: Dict[ProcessId, bool] = {
+            nbr: self.color > int(coloring[nbr]) for nbr in graph.neighbors(pid)
+        }
+        self.meals_eaten = 0
+
+    # -- introspection (invariant checkers, experiments) ----------------
+    @property
+    def phase(self) -> str:
+        return self.state.phase
+
+    @property
+    def is_hungry(self) -> bool:
+        return self.state is DinerState.HUNGRY
+
+    @property
+    def is_eating(self) -> bool:
+        return self.state is DinerState.EATING
+
+    @property
+    def is_sink(self) -> bool:
+        return all(self.forks.values())
+
+    def holds_fork(self, neighbor: ProcessId) -> bool:
+        return self.forks[neighbor]
+
+    def holds_token(self, neighbor: ProcessId) -> bool:
+        return False  # SER has no request tokens
+
+    # -- lifecycle -------------------------------------------------------
+    def on_start(self) -> None:
+        self._schedule_next_hunger()
+
+    def on_crash(self) -> None:
+        self.trace.crash(self.now, self.pid)
+
+    def _schedule_next_hunger(self) -> None:
+        duration = self.workload.think_duration(self.pid, self.sim.streams)
+        if duration is None:
+            return
+        self.set_timer(duration, self._become_hungry, label=f"hunger@{self.pid}")
+
+    def _become_hungry(self) -> None:
+        if self.state is not DinerState.THINKING:
+            return
+        self._set_state(DinerState.HUNGRY)
+
+    # -- the SER rule ------------------------------------------------------
+    def reevaluate(self) -> None:
+        if self.crashed:
+            return
+        if self.is_hungry and self.is_sink:
+            self._set_state(DinerState.EATING)
+            self.meals_eaten += 1
+            duration = self.workload.eat_duration(self.pid, self.sim.streams)
+            self.set_timer(duration, self._exit, label=f"exit@{self.pid}")
+            if self.on_eat is not None:
+                self.on_eat(self)
+
+    def _exit(self) -> None:
+        if not self.is_eating:
+            return
+        self._set_state(DinerState.THINKING)
+        for neighbor in self.graph.neighbors(self.pid):
+            # Reverse every edge: relinquish all forks.
+            if self.forks[neighbor]:
+                self.send(neighbor, Fork(self.pid))
+                self.forks[neighbor] = False
+        self._schedule_next_hunger()
+
+    def on_message(self, src: ProcessId, message) -> None:
+        if not isinstance(message, Fork) or src not in self.forks:
+            raise ConfigurationError(
+                f"edge-reversal node {self.pid} got unexpected {message!r} from {src}"
+            )
+        self.forks[src] = True
+
+    # -- internals -------------------------------------------------------
+    def _set_state(self, new_state: DinerState) -> None:
+        old = self.state
+        if old is new_state:
+            return
+        self.state = new_state
+        self.trace.phase_change(self.now, self.pid, old.phase, new_state.phase)
+
+
+def edge_reversal_table(graph: ConflictGraph, **table_kwargs) -> DiningTable:
+    """A DiningTable scheduling by edge reversal (no detector, no requests)."""
+    for forbidden in ("diner_factory", "detector"):
+        if forbidden in table_kwargs:
+            raise TypeError(f"edge_reversal_table fixes {forbidden!r}; do not pass it")
+    return DiningTable(
+        graph,
+        diner_factory=EdgeReversalDiner,
+        detector=null_detector(),
+        **table_kwargs,
+    )

@@ -1,0 +1,278 @@
+"""Command-line interface.
+
+Three subcommands::
+
+    repro dine --topology ring --n 8 --crashes 2 --horizon 300 --timeline
+    repro daemon --protocol coloring --topology grid --n 12 --crashes 2
+    repro experiments --only e1 e3 e9
+
+(or ``python -m repro …``).  ``dine`` runs one dining scenario and prints
+the guarantee scorecard (plus an ASCII timeline on request); ``daemon``
+hosts a self-stabilizing protocol; ``experiments`` reproduces the paper's
+claim tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.core import (
+    AlwaysHungry,
+    DiningTable,
+    DistributedDaemon,
+    heartbeat_detector,
+    null_detector,
+    perfect_detector,
+    query_detector,
+    scripted_detector,
+)
+from repro.graphs import topologies
+from repro.sim.crash import CrashPlan
+from repro.sim.latency import PartialSynchronyLatency
+from repro.sim.rng import RandomStreams
+from repro.stabilization import (
+    BfsSpanningTree,
+    DijkstraTokenRing,
+    GreedyRecoloring,
+    MaximalIndependentSet,
+    MaximalMatching,
+)
+from repro.trace.timeline import render_timeline
+
+TOPOLOGIES = ("ring", "path", "star", "clique", "grid", "tree", "random")
+DETECTORS = ("scripted", "perfect", "null", "heartbeat", "query")
+PROTOCOLS = ("coloring", "token-ring", "matching", "mis", "bfs-tree")
+
+
+def _build_detector(name: str, convergence: float):
+    if name == "scripted":
+        return scripted_detector(convergence_time=convergence, random_mistakes=convergence > 0)
+    if name == "perfect":
+        return perfect_detector()
+    if name == "null":
+        return null_detector()
+    if name == "heartbeat":
+        return heartbeat_detector()
+    if name == "query":
+        return query_detector()
+    raise ValueError(name)
+
+
+def _crash_plan(graph, crashes: int, horizon: float, seed: int) -> CrashPlan:
+    if crashes <= 0:
+        return CrashPlan.none()
+    return CrashPlan.random(
+        graph.nodes, crashes, (horizon * 0.05, horizon * 0.3), RandomStreams(seed + 1)
+    )
+
+
+# ----------------------------------------------------------------------
+# dine
+# ----------------------------------------------------------------------
+def cmd_dine(args: argparse.Namespace) -> int:
+    graph = topologies.by_name(args.topology, args.n, seed=args.seed)
+    crash_plan = _crash_plan(graph, args.crashes, args.horizon, args.seed)
+    latency = None
+    real_detector = args.detector in ("heartbeat", "query")
+    if real_detector:
+        # For message-passing detectors, --convergence is the GST; the
+        # pre-GST jitter is hostile but bounded so the adaptive timeouts
+        # settle within the run (same regime as experiment E8).
+        latency = PartialSynchronyLatency(
+            gst=args.convergence or 50.0, min_delay=0.1, pre_gst_max=8.0, post_gst_max=1.0
+        )
+    table = DiningTable(
+        graph,
+        seed=args.seed,
+        detector=_build_detector(args.detector, args.convergence),
+        crash_plan=crash_plan,
+        latency=latency,
+        workload=AlwaysHungry(eat_time=args.eat_time, think_time=0.01),
+    )
+    table.run(until=args.horizon)
+
+    meals = table.eat_counts()
+    print(f"dining on {args.topology}-{args.n}, seed {args.seed}, "
+          f"detector {args.detector}, {args.crashes} crashes, horizon {args.horizon:g}")
+    print(f"  total meals:           {sum(meals.values())}")
+    print(f"  crashed:               {list(crash_plan.faulty) or 'none'}")
+    starving = table.starving_correct(patience=args.horizon * 0.4)
+    print(f"  starving correct:      {starving or 'none'}")
+    violations = table.violations()
+    settle = max(args.convergence, crash_plan.last_crash_time + 1.0) + args.eat_time
+    if real_detector:
+        # A real detector announces no convergence instant: allow half the
+        # post-GST window for the adaptive timeouts to absorb mistakes.
+        settle = args.convergence + (args.horizon - args.convergence) * 0.5
+    late = table.violations_after(settle)
+    print(f"  exclusion violations:  {len(violations)} total, {len(late)} after t={settle:g}")
+    print(f"  max overtaking (late): {table.max_overtaking(after=settle)}")
+    print(f"  peak msgs per edge:    {table.occupancy.max_occupancy} (bound 4)")
+
+    if args.timeline:
+        print()
+        print(render_timeline(table.trace, end=min(args.horizon, args.timeline_span), width=args.width))
+    return 0 if not starving and not late else 1
+
+
+# ----------------------------------------------------------------------
+# daemon
+# ----------------------------------------------------------------------
+def _build_protocol(name: str, graph):
+    if name == "coloring":
+        return GreedyRecoloring(graph)
+    if name == "matching":
+        return MaximalMatching(graph)
+    if name == "mis":
+        return MaximalIndependentSet(graph, initial={pid: True for pid in graph.nodes})
+    if name == "bfs-tree":
+        return BfsSpanningTree(graph, root=min(graph.nodes),
+                               initial={pid: (1, None) for pid in graph.nodes})
+    raise ValueError(name)
+
+
+def cmd_daemon(args: argparse.Namespace) -> int:
+    if args.protocol == "token-ring":
+        protocol = DijkstraTokenRing(args.n, initial=[(3 * i) % (args.n + 1) for i in range(args.n)])
+        graph = protocol.graph
+        if args.crashes:
+            print("note: the token ring is a crash-free client; ignoring --crashes", file=sys.stderr)
+            args.crashes = 0
+    else:
+        graph = topologies.by_name(args.topology, args.n, seed=args.seed)
+        protocol = _build_protocol(args.protocol, graph)
+
+    crash_plan = _crash_plan(graph, args.crashes, args.horizon, args.seed)
+    daemon = DistributedDaemon(
+        graph,
+        protocol,
+        seed=args.seed,
+        detector=_build_detector(args.detector, args.convergence),
+        crash_plan=crash_plan,
+    )
+    daemon.run(until=args.horizon)
+
+    print(f"daemon hosting {args.protocol} on {args.topology}-{len(graph)}, "
+          f"{args.crashes} crashes, horizon {args.horizon:g}")
+    print(f"  protocol steps:      {daemon.steps_executed}")
+    print(f"  sharing violations:  {daemon.sharing_violations}")
+    converged = daemon.converged()
+    when = daemon.convergence_time()
+    print(f"  converged:           {converged}" + (f" (since t≈{when:.1f})" if converged else ""))
+    return 0 if converged else 1
+
+
+# ----------------------------------------------------------------------
+# experiments
+# ----------------------------------------------------------------------
+def cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.experiments import ALL_EXPERIMENTS
+
+    wanted = {name.lower() for name in (args.only or [])}
+    for module in ALL_EXPERIMENTS:
+        short = module.__name__.rsplit(".", 1)[-1].split("_")[0]  # "e1", …
+        if wanted and short not in wanted:
+            continue
+        module.main()
+    return 0
+
+
+# ----------------------------------------------------------------------
+# verify
+# ----------------------------------------------------------------------
+def cmd_verify(args: argparse.Namespace) -> int:
+    from repro.verify import explore_dining
+
+    graph = topologies.by_name(args.topology, args.n, seed=args.seed if hasattr(args, "seed") else 0)
+    report = explore_dining(
+        graph,
+        max_sessions=args.sessions,
+        crashable=tuple(args.crashable),
+        max_states=args.max_states,
+    )
+    crash_note = f", crashable={args.crashable}" if args.crashable else ""
+    print(f"exhaustive exploration of {args.topology}-{args.n} "
+          f"({args.sessions} session(s) per diner{crash_note}):")
+    print(f"  reachable states:   {report.states_visited}")
+    print(f"  events replayed:    {report.events_fired}")
+    print(f"  terminal states:    {report.terminal_states}")
+    print(f"  max depth:          {report.max_depth}")
+    if report.truncated:
+        print("  TRUNCATED: state budget exhausted — no verdict")
+        return 2
+    if report.violations:
+        violation = report.violations[0]
+        print(f"  VIOLATION: {violation.kind} — {violation.detail}")
+        for step in violation.path:
+            print(f"    {step}")
+        return 1
+    print("  verdict:            CLEAN (exclusion, uniqueness, no deadlock "
+          "in every reachable state)")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# parser
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Eventually k-bounded wait-free distributed daemons (Song & Pike, DSN 2007).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    dine = sub.add_parser("dine", help="run one dining scenario and check the guarantees")
+    dine.add_argument("--topology", choices=TOPOLOGIES, default="ring")
+    dine.add_argument("--n", type=int, default=8)
+    dine.add_argument("--seed", type=int, default=1)
+    dine.add_argument("--crashes", type=int, default=1)
+    dine.add_argument("--detector", choices=DETECTORS, default="scripted")
+    dine.add_argument("--convergence", type=float, default=30.0,
+                      help="detector convergence time (scripted) / GST (heartbeat)")
+    dine.add_argument("--horizon", type=float, default=300.0)
+    dine.add_argument("--eat-time", type=float, default=1.0)
+    dine.add_argument("--timeline", action="store_true", help="print an ASCII timeline")
+    dine.add_argument("--timeline-span", type=float, default=120.0)
+    dine.add_argument("--width", type=int, default=100)
+    dine.set_defaults(func=cmd_dine)
+
+    daemon = sub.add_parser("daemon", help="schedule a self-stabilizing protocol")
+    daemon.add_argument("--protocol", choices=PROTOCOLS, default="coloring")
+    daemon.add_argument("--topology", choices=TOPOLOGIES, default="grid")
+    daemon.add_argument("--n", type=int, default=12)
+    daemon.add_argument("--seed", type=int, default=1)
+    daemon.add_argument("--crashes", type=int, default=1)
+    daemon.add_argument("--detector", choices=DETECTORS, default="scripted")
+    daemon.add_argument("--convergence", type=float, default=20.0)
+    daemon.add_argument("--horizon", type=float, default=400.0)
+    daemon.set_defaults(func=cmd_daemon)
+
+    experiments = sub.add_parser("experiments", help="reproduce the paper's claim tables")
+    experiments.add_argument("--only", nargs="*", metavar="EN",
+                             help="subset, e.g. --only e1 e3 e9")
+    experiments.set_defaults(func=cmd_experiments)
+
+    verify = sub.add_parser(
+        "verify", help="exhaustively explore every schedule of a small scope"
+    )
+    verify.add_argument("--topology", choices=("path", "ring", "star", "clique"), default="path")
+    verify.add_argument("--n", type=int, default=2)
+    verify.add_argument("--sessions", type=int, default=1)
+    verify.add_argument("--crashable", type=int, nargs="*", default=[],
+                        help="pids that may crash at any point of any schedule")
+    verify.add_argument("--max-states", type=int, default=500_000)
+    verify.set_defaults(func=cmd_verify)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,59 @@
+"""The paper's contribution: Algorithm 1 and the distributed daemon.
+
+* :class:`DinerActor` — the wait-free, eventually 2-bounded dining
+  algorithm (Section 3, Actions 1-10);
+* :class:`DiningTable` — declarative wiring of a complete dining run;
+* :class:`DistributedDaemon` — dining as a crash-tolerant scheduler for
+  hosted self-stabilizing protocols;
+* workloads, message types, and diner-local state.
+"""
+
+from repro.core.daemon import DistributedDaemon
+from repro.core.diagnostics import DinerDiagnosis, NeighborStatus, diagnose_diner, explain_starvation
+from repro.core.diner import DinerActor
+from repro.core.messages import (
+    Ack,
+    DINING_MESSAGE_TYPES,
+    Fork,
+    ForkRequest,
+    Ping,
+    message_size_bits,
+)
+from repro.core.state import DinerState, NeighborLinks, local_state_bits
+from repro.core.table import (
+    DiningTable,
+    heartbeat_detector,
+    null_detector,
+    perfect_detector,
+    query_detector,
+    scripted_detector,
+)
+from repro.core.workload import AlwaysHungry, PoissonWorkload, ScriptedWorkload, Workload
+
+__all__ = [
+    "Ack",
+    "AlwaysHungry",
+    "DINING_MESSAGE_TYPES",
+    "DinerActor",
+    "DinerDiagnosis",
+    "DinerState",
+    "DiningTable",
+    "DistributedDaemon",
+    "Fork",
+    "ForkRequest",
+    "NeighborLinks",
+    "NeighborStatus",
+    "Ping",
+    "PoissonWorkload",
+    "ScriptedWorkload",
+    "Workload",
+    "diagnose_diner",
+    "explain_starvation",
+    "heartbeat_detector",
+    "local_state_bits",
+    "message_size_bits",
+    "null_detector",
+    "perfect_detector",
+    "query_detector",
+    "scripted_detector",
+]

@@ -1,0 +1,136 @@
+"""Run diagnostics: explain *why* a diner is (or is not) blocked.
+
+When a run misbehaves — a baseline starves as predicted, or a
+configuration mistake wedges a diner — the first question is always the
+same: *what exactly is this process waiting for?*  :func:`diagnose_diner`
+answers it from live state, phrased in the algorithm's own terms:
+
+* phase 1 (outside the doorway): which neighbors owe an ack, whether a
+  ping to them is pending, whether they are suspected or crashed;
+* phase 2 (inside): which forks are missing, where each missing fork's
+  token currently is, and whether suspicion substitutes.
+
+:func:`explain_starvation` renders the report as text — the thing to
+print when a progress assertion fails.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.diner import DinerActor
+from repro.core.table import DiningTable
+from repro.errors import ConfigurationError
+from repro.graphs.conflict import ProcessId
+
+
+@dataclass(frozen=True)
+class NeighborStatus:
+    """One neighbor's contribution to a diner's wait."""
+
+    neighbor: ProcessId
+    crashed: bool
+    suspected: bool
+    blocks_doorway: bool  # no ack and no suspicion
+    blocks_forks: bool  # fork missing and no suspicion (only meaningful inside)
+    ping_pending: bool
+    we_hold_fork: bool
+    we_hold_token: bool
+
+    @property
+    def blocking(self) -> bool:
+        return self.blocks_doorway or self.blocks_forks
+
+
+@dataclass(frozen=True)
+class DinerDiagnosis:
+    """Full wait analysis of one diner at one instant."""
+
+    pid: ProcessId
+    time: float
+    phase: str
+    inside: bool
+    crashed: bool
+    statuses: Tuple[NeighborStatus, ...]
+
+    @property
+    def blocked_on(self) -> Tuple[ProcessId, ...]:
+        return tuple(s.neighbor for s in self.statuses if s.blocking)
+
+    @property
+    def waiting_phase(self) -> Optional[int]:
+        """1 = blocked at the doorway, 2 = blocked on forks, None = not blocked."""
+        if self.crashed or self.phase != "hungry" or not self.blocked_on:
+            return None
+        return 2 if self.inside else 1
+
+
+def diagnose_diner(table: DiningTable, pid: ProcessId) -> DinerDiagnosis:
+    """Inspect one diner's live state and classify its wait."""
+    diner = table.diners.get(pid)
+    if diner is None:
+        raise ConfigurationError(f"no diner with pid {pid}")
+    if not isinstance(diner, DinerActor):
+        raise ConfigurationError(
+            f"diner {pid} ({type(diner).__name__}) does not expose Algorithm 1 state"
+        )
+
+    statuses: List[NeighborStatus] = []
+    for neighbor, link in diner._links_in_order():
+        suspected = diner.module.suspects(neighbor)
+        crashed = table.diners[neighbor].crashed
+        blocks_doorway = (
+            diner.is_hungry and not diner.inside and not link.ack and not suspected
+        )
+        blocks_forks = (
+            diner.is_hungry and diner.inside and not link.fork and not suspected
+        )
+        statuses.append(
+            NeighborStatus(
+                neighbor=neighbor,
+                crashed=crashed,
+                suspected=suspected,
+                blocks_doorway=blocks_doorway,
+                blocks_forks=blocks_forks,
+                ping_pending=link.pinged,
+                we_hold_fork=link.fork,
+                we_hold_token=link.token,
+            )
+        )
+    return DinerDiagnosis(
+        pid=pid,
+        time=table.sim.now,
+        phase=diner.phase,
+        inside=diner.inside,
+        crashed=diner.crashed,
+        statuses=tuple(statuses),
+    )
+
+
+def explain_starvation(table: DiningTable, pid: ProcessId) -> str:
+    """Human-readable account of what ``pid`` is waiting for right now."""
+    report = diagnose_diner(table, pid)
+    lines = [
+        f"diner {pid} at t={report.time:g}: {report.phase}, "
+        f"{'inside' if report.inside else 'outside'} the doorway"
+        + (", CRASHED" if report.crashed else "")
+    ]
+    if report.waiting_phase is None:
+        lines.append("  not blocked (thinking, eating, crashed, or fully enabled)")
+        return "\n".join(lines)
+
+    lines.append(f"  blocked in phase {report.waiting_phase}:")
+    for status in report.statuses:
+        if not status.blocking:
+            continue
+        what = "doorway ack" if status.blocks_doorway else "shared fork"
+        fate = "CRASHED (undetected!)" if status.crashed else "live, not suspected"
+        extra = []
+        if status.blocks_doorway and status.ping_pending:
+            extra.append("ping pending")
+        if status.blocks_forks:
+            extra.append("token held" if status.we_hold_token else "token away (request sent or deferred)")
+        detail = f" [{', '.join(extra)}]" if extra else ""
+        lines.append(f"    waiting for {what} from {status.neighbor} — {fate}{detail}")
+    return "\n".join(lines)

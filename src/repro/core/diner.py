@@ -1,0 +1,329 @@
+"""Algorithm 1: wait-free, eventually 2-bounded dining under ◇WX.
+
+This is the paper's contribution, implemented action-for-action from the
+pseudocode in Section 3.  Each :class:`DinerActor` is one philosopher; its
+guarded commands are re-evaluated whenever local state can have changed
+(message receipt, timer, detector output flip), which gives the weak
+fairness the proofs assume.
+
+Mapping from the pseudocode:
+
+========  ==========================================================
+Action 1  :meth:`_become_hungry` (driven by the workload)
+Action 2  :meth:`_request_missing_acks`  — ping for each missing ack
+Action 3  :meth:`_on_ping`  — grant, throttle (``replied``), or defer
+Action 4  :meth:`_on_ack`   — record ack if still hungry and outside
+Action 5  :meth:`_try_enter_doorway` — acks/suspicion for all neighbors
+Action 6  :meth:`_request_missing_forks` — spend tokens on requests
+Action 7  :meth:`_on_fork_request` — grant by doorway/priority, else defer
+Action 8  :meth:`_on_fork`  — receive a fork
+Action 9  :meth:`_try_eat`  — forks/suspicion for all neighbors
+Action 10 :meth:`_exit`     — exit, release deferred forks and acks
+========  ==========================================================
+
+Two notes on fidelity:
+
+* Action 5's guard is written in the paper as
+  ``hungry ∧ ∀j (ack ∨ suspect)``; we additionally require ``¬inside``,
+  which is implicit in the paper's phase structure (acks are only
+  collected outside and are reset on entry, but a diner whose neighbors
+  are *all* suspected would otherwise re-trigger the entry bookkeeping).
+* Lemma 1.1 (a fork request only ever arrives at the current fork holder)
+  is asserted at runtime in :meth:`_on_fork_request`; a violation raises
+  :class:`~repro.errors.ForkDuplicationError` immediately rather than
+  silently duplicating a fork.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.core.messages import Ack, Fork, ForkRequest, Ping
+from repro.core.state import DinerState, NeighborLinks
+from repro.core.workload import Workload
+from repro.detectors.base import DetectorModule, FailureDetector
+from repro.errors import ConfigurationError, ForkDuplicationError
+from repro.graphs.coloring import Coloring
+from repro.graphs.conflict import ConflictGraph, ProcessId
+from repro.sim.actor import Actor
+from repro.trace.recorder import TraceRecorder
+
+EatCallback = Callable[["DinerActor"], None]
+
+
+class DinerActor(Actor):
+    """One philosopher of Algorithm 1.
+
+    Parameters
+    ----------
+    pid, graph, coloring:
+        The diner's identity, its conflict graph, and the static priority
+        coloring (higher color wins fork conflicts).
+    detector:
+        The ◇P₁ family; this diner uses (and subscribes to) its own
+        module.  A :class:`~repro.detectors.base.NullDetector` yields the
+        purely asynchronous behaviour.
+    workload:
+        Supplies think and eat durations (Action 1 and the finite-eating
+        assumption).
+    trace:
+        Run-wide event log.
+    on_eat:
+        Optional callback invoked at the start of every eating session —
+        the hook the distributed daemon uses to run one step of a hosted
+        protocol inside the critical section.
+    """
+
+    def __init__(
+        self,
+        pid: ProcessId,
+        graph: ConflictGraph,
+        coloring: Coloring,
+        detector: FailureDetector,
+        workload: Workload,
+        trace: TraceRecorder,
+        *,
+        on_eat: Optional[EatCallback] = None,
+    ) -> None:
+        super().__init__(pid)
+        if pid not in graph:
+            raise ConfigurationError(f"process {pid} is not in the conflict graph")
+        self.graph = graph
+        self.color = int(coloring[pid])
+        self.detector = detector
+        self.module: DetectorModule = detector.module_for(pid)
+        self.workload = workload
+        self.trace = trace
+        self.on_eat = on_eat
+
+        self.state = DinerState.THINKING
+        self.inside = False
+        self.links: Dict[ProcessId, NeighborLinks] = {}
+        for neighbor in graph.neighbors(pid):
+            neighbor_color = int(coloring[neighbor])
+            self.links[neighbor] = NeighborLinks.initial(self.color, neighbor_color)
+
+        self._detector_agent = detector.agent_for(pid)
+        self._exit_timer = None
+        self.hungry_sessions_started = 0
+        self.meals_eaten = 0
+
+    # ------------------------------------------------------------------
+    # Introspection (used by invariant checkers and experiments)
+    # ------------------------------------------------------------------
+    @property
+    def phase(self) -> str:
+        return self.state.phase
+
+    @property
+    def is_thinking(self) -> bool:
+        return self.state is DinerState.THINKING
+
+    @property
+    def is_hungry(self) -> bool:
+        return self.state is DinerState.HUNGRY
+
+    @property
+    def is_eating(self) -> bool:
+        return self.state is DinerState.EATING
+
+    def holds_fork(self, neighbor: ProcessId) -> bool:
+        return self.links[neighbor].fork
+
+    def holds_token(self, neighbor: ProcessId) -> bool:
+        return self.links[neighbor].token
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def on_start(self) -> None:
+        self.module.subscribe(self._on_suspicion_change)
+        if self._detector_agent is not None:
+            self._detector_agent.start(self)
+        self._schedule_next_hunger()
+
+    def on_crash(self) -> None:
+        self.trace.crash(self.now, self.pid)
+
+    def _on_suspicion_change(self, neighbor: ProcessId, suspected: bool) -> None:
+        self.trace.suspicion_change(self.now, self.pid, neighbor, suspected)
+        # Suspicion feeds the guards of Actions 5 and 9.
+        self.request_reevaluation()
+
+    def _schedule_next_hunger(self) -> None:
+        duration = self.workload.think_duration(self.pid, self.sim.streams)
+        if duration is None:
+            return  # thinks forever (permitted by the dining spec)
+        self.set_timer(duration, self._become_hungry, label=f"hunger@{self.pid}")
+
+    # ------------------------------------------------------------------
+    # Action 1: become hungry
+    # ------------------------------------------------------------------
+    def _become_hungry(self) -> None:
+        if not self.is_thinking:
+            return
+        self._set_state(DinerState.HUNGRY)
+        self.hungry_sessions_started += 1
+
+    # ------------------------------------------------------------------
+    # Guarded commands (Actions 2, 5, 6, 9) — run to fixpoint
+    # ------------------------------------------------------------------
+    def reevaluate(self) -> None:
+        """Fire every enabled guarded command until none is enabled.
+
+        The loop is bounded: Action 2 sets ``pinged`` flags monotonically
+        within a session, Action 5 fires at most once per session, Action 6
+        consumes tokens, and Action 9 leaves the hungry state.
+        """
+        if self.crashed:
+            return
+        progress = True
+        while progress:
+            progress = False
+            if self.is_hungry and not self.inside:
+                progress |= self._request_missing_acks()  # Action 2
+                progress |= self._try_enter_doorway()  # Action 5
+            if self.is_hungry and self.inside:
+                progress |= self._request_missing_forks()  # Action 6
+                progress |= self._try_eat()  # Action 9
+
+    def _request_missing_acks(self) -> bool:
+        """Action 2: ping every neighbor whose ack is missing and unpinged."""
+        fired = False
+        for neighbor, link in self._links_in_order():
+            if not link.pinged and not link.ack:
+                self.send(neighbor, Ping(self.pid))
+                link.pinged = True
+                fired = True
+        return fired
+
+    def _try_enter_doorway(self) -> bool:
+        """Action 5: enter once every neighbor acked or is suspected."""
+        for neighbor, link in self._links_in_order():
+            if not link.ack and not self.module.suspects(neighbor):
+                return False
+        self.inside = True
+        self.trace.doorway_change(self.now, self.pid, True)
+        for _, link in self._links_in_order():
+            link.ack = False
+            link.replied = False
+        return True
+
+    def _request_missing_forks(self) -> bool:
+        """Action 6: spend each held token on a request for a missing fork."""
+        fired = False
+        for neighbor, link in self._links_in_order():
+            if link.token and not link.fork:
+                self.send(neighbor, ForkRequest(self.pid, self.color))
+                link.token = False
+                fired = True
+        return fired
+
+    def _try_eat(self) -> bool:
+        """Action 9: eat once every neighbor's fork is held or it is suspected."""
+        for neighbor, link in self._links_in_order():
+            if not link.fork and not self.module.suspects(neighbor):
+                return False
+        self._set_state(DinerState.EATING)
+        self.meals_eaten += 1
+        duration = self.workload.eat_duration(self.pid, self.sim.streams)
+        self._exit_timer = self.set_timer(duration, self._exit, label=f"exit@{self.pid}")
+        if self.on_eat is not None:
+            self.on_eat(self)
+        return True
+
+    # ------------------------------------------------------------------
+    # Message handlers (Actions 3, 4, 7, 8)
+    # ------------------------------------------------------------------
+    def on_message(self, src: ProcessId, message) -> None:
+        if self._detector_agent is not None and self._detector_agent.wants(message):
+            self._detector_agent.on_message(src, message)
+            return
+        if src not in self.links:
+            raise ConfigurationError(
+                f"diner {self.pid} got {type(message).__name__} from non-neighbor {src}"
+            )
+        if isinstance(message, Ping):
+            self._on_ping(src)
+        elif isinstance(message, Ack):
+            self._on_ack(src)
+        elif isinstance(message, ForkRequest):
+            self._on_fork_request(src, message.color)
+        elif isinstance(message, Fork):
+            self._on_fork(src)
+        else:
+            raise ConfigurationError(
+                f"diner {self.pid} cannot handle message {message!r}"
+            )
+
+    def _on_ping(self, src: ProcessId) -> None:
+        """Action 3: grant one ack per hungry session; defer otherwise."""
+        link = self.links[src]
+        if self.inside or link.replied:
+            link.deferred = True
+        else:
+            self.send(src, Ack(self.pid))
+            link.replied = self.is_hungry
+
+    def _on_ack(self, src: ProcessId) -> None:
+        """Action 4: an ack only counts while hungry and outside."""
+        link = self.links[src]
+        link.ack = self.is_hungry and not self.inside
+        link.pinged = False
+
+    def _on_fork_request(self, src: ProcessId, requester_color: int) -> None:
+        """Action 7: receive the token; grant the fork or defer by priority."""
+        link = self.links[src]
+        if not link.fork:
+            # Lemma 1.1 says this is unreachable over FIFO channels; if it
+            # fires, the implementation (not the paper) has a bug.
+            raise ForkDuplicationError(
+                f"t={self.now}: fork request from {src} reached {self.pid}, "
+                "which does not hold the fork (Lemma 1.1 violated)"
+            )
+        link.token = True
+        if not self.inside or (self.is_hungry and self.color < requester_color):
+            self.send(src, Fork(self.pid))
+            link.fork = False
+
+    def _on_fork(self, src: ProcessId) -> None:
+        """Action 8: receive a fork."""
+        self.links[src].fork = True
+
+    # ------------------------------------------------------------------
+    # Action 10: exit
+    # ------------------------------------------------------------------
+    def _exit(self) -> None:
+        """Exit eating: release the doorway, deferred forks, deferred acks."""
+        if not self.is_eating:
+            return
+        self.inside = False
+        self.trace.doorway_change(self.now, self.pid, False)
+        self._set_state(DinerState.THINKING)
+        for neighbor, link in self._links_in_order():
+            if link.token and link.fork:  # a deferred fork request
+                self.send(neighbor, Fork(self.pid))
+                link.fork = False
+            if link.deferred:
+                self.send(neighbor, Ack(self.pid))
+                link.deferred = False
+        self._schedule_next_hunger()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _links_in_order(self):
+        """Neighbor links in ascending pid order (determinism)."""
+        for neighbor in self.graph.neighbors(self.pid):
+            yield neighbor, self.links[neighbor]
+
+    def _set_state(self, new_state: DinerState) -> None:
+        old = self.state
+        if old is new_state:
+            return
+        self.state = new_state
+        self.trace.phase_change(self.now, self.pid, old.phase, new_state.phase)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        flags = "in" if self.inside else "out"
+        return f"DinerActor(pid={self.pid}, color={self.color}, {self.phase}, {flags})"

@@ -1,0 +1,80 @@
+"""Dining-layer message types (Section 3).
+
+Algorithm 1 exchanges exactly four message types:
+
+* :class:`Ping` — request a doorway acknowledgment (Action 2);
+* :class:`Ack` — grant doorway entry (Actions 3, 10);
+* :class:`ForkRequest` — carries the requester's color; sending it is how
+  the token moves to the fork holder (Actions 6, 7);
+* :class:`Fork` — the shared fork itself (Actions 7, 10).
+
+All four are tagged ``layer="dining"`` so the channel-capacity experiment
+(Section 7: at most 4 dining messages per edge) can filter out detector
+heartbeats.  :func:`message_size_bits` implements the paper's message-size
+accounting: ids and colors cost ⌈log₂ n⌉ and ⌈log₂ C⌉ bits respectively,
+so every message is O(log n) bits.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Ping:
+    """Request one doorway ack from a neighbor."""
+
+    sender: int
+    layer = "dining"
+
+
+@dataclass(frozen=True)
+class Ack:
+    """Permission for the recipient to count this sender toward doorway entry."""
+
+    sender: int
+    layer = "dining"
+
+
+@dataclass(frozen=True)
+class ForkRequest:
+    """Request the shared fork; carries the requester's static color.
+
+    Receiving this message *is* receiving the token for the edge: the
+    sender relinquished the token when it sent the request (Action 6) and
+    the receiver records ``token := true`` (Action 7).
+    """
+
+    sender: int
+    color: int
+    layer = "dining"
+
+
+@dataclass(frozen=True)
+class Fork:
+    """The unique shared fork of one conflict edge."""
+
+    sender: int
+    layer = "dining"
+
+
+DINING_MESSAGE_TYPES = (Ping, Ack, ForkRequest, Fork)
+
+
+def _id_bits(n: int) -> int:
+    """Bits to encode one of ``n`` distinct values (at least 1)."""
+    return max(1, math.ceil(math.log2(max(n, 2))))
+
+
+def message_size_bits(message, *, n_processes: int, n_colors: int) -> int:
+    """Encoded size of ``message`` per the Section 7 accounting.
+
+    Two bits of type tag, plus a process id, plus (for fork requests) a
+    color.  The point of the accounting is the growth rate — O(log n) —
+    not the constant.
+    """
+    bits = 2 + _id_bits(n_processes)
+    if isinstance(message, ForkRequest):
+        bits += _id_bits(n_colors)
+    return bits

@@ -1,0 +1,347 @@
+"""DiningTable: one-stop wiring of a complete dining run.
+
+Experiments, tests, and examples all need the same assembly: a simulator,
+a FIFO network with monitors, a coloring, a failure detector, one diner
+per process, a crash plan, and a trace.  :class:`DiningTable` builds all
+of it from declarative parameters and exposes the analysis conveniences,
+so a whole experiment reads:
+
+.. code-block:: python
+
+    table = DiningTable(
+        topologies.ring(8),
+        seed=7,
+        detector=scripted_detector(convergence_time=50.0),
+        crash_plan=CrashPlan.scripted({3: 20.0}),
+    )
+    table.run(until=400.0)
+    assert table.starving_correct(patience=100.0) == []
+
+Detector choice is a *factory* (:func:`scripted_detector`,
+:func:`perfect_detector`, :func:`null_detector`,
+:func:`heartbeat_detector`) because oracle-style detectors need the
+simulator and crash plan that only exist once the table assembles them.
+
+The same harness runs the baselines: pass ``diner_factory`` to substitute
+:class:`~repro.baselines.choy_singh.ChoySinghDiner` or any other actor
+with the diner construction signature.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Optional
+
+from repro.core.diner import DinerActor, EatCallback
+from repro.core.workload import AlwaysHungry, Workload
+from repro.detectors.base import FailureDetector, NullDetector
+from repro.detectors.heartbeat import HeartbeatDetector
+from repro.detectors.perfect import PerfectDetector
+from repro.detectors.scripted import MistakeInterval, ScriptedDetector
+from repro.errors import ConfigurationError
+from repro.graphs.coloring import Coloring, greedy_coloring, validate_coloring
+from repro.graphs.conflict import ConflictGraph, ProcessId
+from repro.sim.crash import CrashPlan
+from repro.sim.kernel import Simulator
+from repro.sim.latency import FixedLatency, LatencyModel
+from repro.sim.monitors import ChannelOccupancyMonitor, MessageStats, QuiescenceMonitor
+from repro.sim.network import Network
+from repro.sim.time import Duration, Instant
+from repro.trace import analysis
+from repro.trace.invariants import (
+    ChannelBoundChecker,
+    DinerLocalInvariantChecker,
+    FifoChecker,
+    ForkUniquenessChecker,
+    PendingPingChecker,
+)
+from repro.trace.recorder import TraceRecorder
+
+DetectorFactory = Callable[[Simulator, ConflictGraph, CrashPlan], FailureDetector]
+DinerFactory = Callable[..., DinerActor]
+
+
+# ----------------------------------------------------------------------
+# Detector factories
+# ----------------------------------------------------------------------
+def scripted_detector(
+    *,
+    convergence_time: Instant = 0.0,
+    detection_delay: Duration = 1.0,
+    mistakes: tuple = (),
+    random_mistakes: bool = False,
+    mistakes_per_edge: float = 1.0,
+    mean_mistake_duration: Duration = 2.0,
+) -> DetectorFactory:
+    """◇P₁ oracle with exact convergence time and optional mistake script."""
+
+    def build(sim: Simulator, graph: ConflictGraph, crash_plan: CrashPlan) -> FailureDetector:
+        if random_mistakes:
+            if mistakes:
+                raise ConfigurationError("pass either explicit mistakes or random_mistakes")
+            return ScriptedDetector.with_random_mistakes(
+                sim,
+                graph,
+                crash_plan,
+                convergence_time=convergence_time,
+                detection_delay=detection_delay,
+                mistakes_per_edge=mistakes_per_edge,
+                mean_mistake_duration=mean_mistake_duration,
+            )
+        return ScriptedDetector(
+            sim,
+            graph,
+            crash_plan,
+            convergence_time=convergence_time,
+            detection_delay=detection_delay,
+            mistakes=tuple(mistakes),
+        )
+
+    return build
+
+
+def perfect_detector(*, detection_delay: Duration = 1.0) -> DetectorFactory:
+    """The perfect detector P (no false positives, ever)."""
+
+    def build(sim: Simulator, graph: ConflictGraph, crash_plan: CrashPlan) -> FailureDetector:
+        return PerfectDetector(sim, graph, crash_plan, detection_delay=detection_delay)
+
+    return build
+
+
+def null_detector() -> DetectorFactory:
+    """No detector at all: the purely asynchronous system."""
+
+    def build(sim: Simulator, graph: ConflictGraph, crash_plan: CrashPlan) -> FailureDetector:
+        return NullDetector(graph)
+
+    return build
+
+
+def heartbeat_detector(
+    *,
+    interval: Duration = 1.0,
+    initial_timeout: Duration = 3.0,
+    timeout_increment: Duration = 1.0,
+) -> DetectorFactory:
+    """A real heartbeat ◇P₁ (pair with a partial-synchrony latency model)."""
+
+    def build(sim: Simulator, graph: ConflictGraph, crash_plan: CrashPlan) -> FailureDetector:
+        return HeartbeatDetector(
+            graph,
+            interval=interval,
+            initial_timeout=initial_timeout,
+            timeout_increment=timeout_increment,
+        )
+
+    return build
+
+
+def query_detector(
+    *,
+    interval: Duration = 1.0,
+    initial_timeout: Duration = 4.0,
+    timeout_increment: Duration = 1.0,
+) -> DetectorFactory:
+    """A real round-trip (query-response) \u25c7P\u2081 (pull-style probing)."""
+    from repro.detectors.query import QueryDetector
+
+    def build(sim: Simulator, graph: ConflictGraph, crash_plan: CrashPlan) -> FailureDetector:
+        return QueryDetector(
+            graph,
+            interval=interval,
+            initial_timeout=initial_timeout,
+            timeout_increment=timeout_increment,
+        )
+
+    return build
+
+
+def incomplete_detector(*, blind_pairs, detection_delay: Duration = 1.0) -> DetectorFactory:
+    """Oracle violating completeness on ``blind_pairs`` (necessity probe E9)."""
+    from repro.detectors.adversarial import IncompleteDetector
+
+    def build(sim: Simulator, graph: ConflictGraph, crash_plan: CrashPlan) -> FailureDetector:
+        return IncompleteDetector(
+            sim, graph, crash_plan, blind_pairs=blind_pairs, detection_delay=detection_delay
+        )
+
+    return build
+
+
+def inaccurate_detector(
+    *,
+    recurring_pairs,
+    period: Duration = 10.0,
+    episode: Duration = 4.0,
+    detection_delay: Duration = 1.0,
+) -> DetectorFactory:
+    """Oracle violating eventual accuracy on ``recurring_pairs`` (E9)."""
+    from repro.detectors.adversarial import InaccurateDetector
+
+    def build(sim: Simulator, graph: ConflictGraph, crash_plan: CrashPlan) -> FailureDetector:
+        return InaccurateDetector(
+            sim,
+            graph,
+            crash_plan,
+            recurring_pairs=recurring_pairs,
+            period=period,
+            episode=episode,
+            detection_delay=detection_delay,
+        )
+
+    return build
+
+
+# ----------------------------------------------------------------------
+# The table
+# ----------------------------------------------------------------------
+class DiningTable:
+    """A fully wired dining simulation."""
+
+    def __init__(
+        self,
+        graph: ConflictGraph,
+        *,
+        seed: int = 0,
+        latency: Optional[LatencyModel] = None,
+        workload: Optional[Workload] = None,
+        coloring: Optional[Coloring] = None,
+        crash_plan: Optional[CrashPlan] = None,
+        detector: Optional[DetectorFactory] = None,
+        diner_factory: Optional[DinerFactory] = None,
+        on_eat: Optional[EatCallback] = None,
+        check_invariants: bool = True,
+        channel_bound: int = 4,
+        max_events: int = 50_000_000,
+    ) -> None:
+        self.graph = graph
+        self.crash_plan = crash_plan if crash_plan is not None else CrashPlan.none()
+        for pid in self.crash_plan.faulty:
+            if pid not in graph:
+                raise ConfigurationError(f"crash plan mentions unknown process {pid}")
+
+        self.sim = Simulator(seed=seed, max_events=max_events)
+        self.trace = TraceRecorder()
+        self.network = Network(self.sim, latency=latency or FixedLatency(1.0))
+
+        self.coloring = coloring if coloring is not None else greedy_coloring(graph)
+        validate_coloring(graph, self.coloring)
+
+        factory = detector if detector is not None else scripted_detector()
+        self.detector = factory(self.sim, self.graph, self.crash_plan)
+
+        self.workload = workload if workload is not None else AlwaysHungry()
+
+        # Monitors (always on: cheap, and every experiment reads them).
+        self.occupancy = ChannelOccupancyMonitor(layer="dining")
+        self.message_stats = MessageStats()
+        self.quiescence = QuiescenceMonitor(self.crash_plan.as_dict().get)
+        self.network.add_monitor(self.occupancy)
+        self.network.add_monitor(self.message_stats)
+        self.network.add_monitor(self.quiescence)
+
+        make_diner = diner_factory if diner_factory is not None else DinerActor
+        self.diners: Dict[ProcessId, DinerActor] = {}
+        for pid in graph.nodes:
+            diner = make_diner(
+                pid,
+                graph,
+                self.coloring,
+                self.detector,
+                self.workload,
+                self.trace,
+                on_eat=on_eat,
+            )
+            self.diners[pid] = diner
+            self.network.register(diner)
+
+        if check_invariants:
+            fork_checker = ForkUniquenessChecker(self.diners, sorted(graph.edges))
+            self.sim.add_step_listener(fork_checker.check)
+            self.network.add_monitor(ChannelBoundChecker(bound=channel_bound, layer="dining"))
+            self.network.add_monitor(FifoChecker())
+            if all(isinstance(d, DinerActor) for d in self.diners.values()):
+                # Proof-level local invariants (ack/replied scoping, the
+                # phase nesting, Lemma 2.2) only make sense for diners
+                # built on Algorithm 1's variable set.
+                local_checker = DinerLocalInvariantChecker(self.diners)
+                self.sim.add_step_listener(local_checker.check)
+                self.network.add_monitor(PendingPingChecker())
+
+        self.crash_plan.apply(self.network)
+        # Oracle-style detectors (scripted, perfect, adversarial) drive
+        # their modules from pre-scheduled events; message-passing ones
+        # (heartbeat) have no install step.
+        install = getattr(self.detector, "install", None)
+        if callable(install):
+            install()
+
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, until: Instant) -> "DiningTable":
+        """Run (or continue) the simulation up to virtual time ``until``."""
+        if not self._started:
+            self.network.start()
+            self._started = True
+        self.sim.run(until=until)
+        return self
+
+    # ------------------------------------------------------------------
+    # Analysis conveniences
+    # ------------------------------------------------------------------
+    @property
+    def correct_pids(self) -> tuple:
+        return self.crash_plan.correct(self.graph.nodes)
+
+    def violations(self) -> List[analysis.ExclusionViolation]:
+        """All exclusion violations recorded so far."""
+        return analysis.exclusion_violations(self.trace, self.graph, horizon=self.sim.now)
+
+    def violations_after(self, cutoff: Instant) -> List[analysis.ExclusionViolation]:
+        """Violations overlapping ``[cutoff, now)`` — Theorem 1 says none
+        once ``cutoff`` reaches detector convergence."""
+        return analysis.violations_after(self.trace, self.graph, cutoff, horizon=self.sim.now)
+
+    def starving_correct(self, *, patience: float) -> List[ProcessId]:
+        """Correct diners hungry for longer than ``patience`` at the horizon."""
+        return analysis.starving_processes(
+            self.trace, self.correct_pids, horizon=self.sim.now, patience=patience
+        )
+
+    def max_overtaking(self, *, after: Instant = 0.0) -> int:
+        """Worst per-session overtake count among sessions starting after ``after``."""
+        return analysis.max_overtaking(self.trace, self.graph, after=after, horizon=self.sim.now)
+
+    def eat_counts(self) -> Dict[ProcessId, int]:
+        return analysis.eat_counts(self.trace)
+
+    def response_times(self, pids: Optional[List[ProcessId]] = None) -> List[float]:
+        chosen = pids if pids is not None else list(self.correct_pids)
+        return analysis.all_response_times(self.trace, chosen, horizon=self.sim.now)
+
+    def throughput(self) -> float:
+        if self.sim.now <= 0 or math.isinf(self.sim.now):
+            return 0.0
+        return analysis.throughput(self.trace, horizon=self.sim.now)
+
+    def fingerprint(self) -> tuple:
+        """A compact, deterministic digest of the run so far.
+
+        Two runs with the same configuration and seed produce identical
+        fingerprints; any divergence (event counts, traffic, meals,
+        violations) changes it.  Used by the reproducibility regression
+        tests and handy for golden-run pinning in downstream projects.
+        """
+        return (
+            self.sim.processed_events,
+            self.network.sent_count,
+            self.network.delivered_count,
+            self.network.dropped_count,
+            tuple(sorted(self.eat_counts().items())),
+            len(self.violations()),
+            len(self.trace),
+        )

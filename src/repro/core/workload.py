@@ -1,0 +1,152 @@
+"""Hunger and eating workloads.
+
+The dining specification leaves two behaviours to the environment: *when*
+a thinking process becomes hungry (it may think forever, or become hungry
+at any time — Action 1 is external) and *how long* an eating session lasts
+(finite for correct processes, but not necessarily bounded).  A
+:class:`Workload` supplies both as per-process distributions.
+
+The diner asks :meth:`think_duration` each time it returns to thinking
+(``None`` means "think forever" and ends that diner's participation) and
+:meth:`eat_duration` each time it enters eating.  All randomness flows
+through the simulator's named streams, keyed by process id, so workloads
+replay with the run.
+
+Provided workloads:
+
+* :class:`AlwaysHungry` — maximal contention; the standard load for the
+  safety/fairness experiments and for daemon scheduling (a daemon must
+  schedule every correct process infinitely often).
+* :class:`PoissonWorkload` — exponential think times, for partial
+  contention and throughput curves.
+* :class:`ScriptedWorkload` — exact per-process think/eat sequences, for
+  targeted regression scenarios.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.sim.rng import RandomStreams
+from repro.sim.time import Duration, validate_duration
+
+ProcessId = int
+
+
+class Workload:
+    """Base class; subclasses override the two duration hooks."""
+
+    def think_duration(self, pid: ProcessId, streams: RandomStreams) -> Optional[Duration]:
+        """Time until the next hunger, or ``None`` to think forever."""
+        raise NotImplementedError
+
+    def eat_duration(self, pid: ProcessId, streams: RandomStreams) -> Duration:
+        """Length of the upcoming eating session (must be finite)."""
+        raise NotImplementedError
+
+    def _stream(self, pid: ProcessId, streams: RandomStreams):
+        return streams.stream(f"workload/{pid}")
+
+
+class AlwaysHungry(Workload):
+    """Re-hungers almost immediately after each meal.
+
+    ``think_time`` stays positive (default tiny) so thinking is an actual
+    state the trace can observe; ``max_sessions`` optionally retires a
+    diner after that many hungry sessions (it then thinks forever), which
+    lets tests run to natural quiescence.
+    """
+
+    def __init__(
+        self,
+        *,
+        eat_time: Duration = 1.0,
+        think_time: Duration = 0.01,
+        max_sessions: Optional[int] = None,
+    ) -> None:
+        self.eat_time = validate_duration(eat_time, name="eat_time", allow_zero=False)
+        self.think_time = validate_duration(think_time, name="think_time", allow_zero=False)
+        if max_sessions is not None and max_sessions < 0:
+            raise ConfigurationError(f"max_sessions must be >= 0, got {max_sessions}")
+        self.max_sessions = max_sessions
+        self._sessions: Dict[ProcessId, int] = {}
+
+    def think_duration(self, pid: ProcessId, streams: RandomStreams) -> Optional[Duration]:
+        count = self._sessions.get(pid, 0)
+        if self.max_sessions is not None and count >= self.max_sessions:
+            return None
+        self._sessions[pid] = count + 1
+        return self.think_time
+
+    def eat_duration(self, pid: ProcessId, streams: RandomStreams) -> Duration:
+        return self.eat_time
+
+
+class PoissonWorkload(Workload):
+    """Exponential think times and uniform eat times."""
+
+    def __init__(
+        self,
+        *,
+        hunger_rate: float = 0.5,
+        eat_time_range: Sequence[Duration] = (0.5, 2.0),
+    ) -> None:
+        if hunger_rate <= 0:
+            raise ConfigurationError(f"hunger_rate must be positive, got {hunger_rate!r}")
+        self.hunger_rate = float(hunger_rate)
+        low, high = eat_time_range
+        self.eat_low = validate_duration(low, name="eat time low", allow_zero=False)
+        self.eat_high = validate_duration(high, name="eat time high", allow_zero=False)
+        if self.eat_high < self.eat_low:
+            raise ConfigurationError("eat time range inverted")
+
+    def think_duration(self, pid: ProcessId, streams: RandomStreams) -> Optional[Duration]:
+        return self._stream(pid, streams).expovariate(self.hunger_rate)
+
+    def eat_duration(self, pid: ProcessId, streams: RandomStreams) -> Duration:
+        return self._stream(pid, streams).uniform(self.eat_low, self.eat_high)
+
+
+class ScriptedWorkload(Workload):
+    """Exact think/eat duration sequences per process.
+
+    Each process consumes its ``think`` list one session at a time and
+    thinks forever once the list is exhausted.  Eat durations recycle the
+    last value when their list runs out (a process must never eat forever).
+    Processes absent from the script think forever.
+    """
+
+    def __init__(
+        self,
+        think: Dict[ProcessId, Sequence[Duration]],
+        eat: Optional[Dict[ProcessId, Sequence[Duration]]] = None,
+        *,
+        default_eat: Duration = 1.0,
+    ) -> None:
+        self._think: Dict[ProcessId, List[Duration]] = {
+            pid: [validate_duration(d, name=f"think[{pid}]") for d in durations]
+            for pid, durations in think.items()
+        }
+        self._eat: Dict[ProcessId, List[Duration]] = {
+            pid: [validate_duration(d, name=f"eat[{pid}]", allow_zero=False) for d in durations]
+            for pid, durations in (eat or {}).items()
+        }
+        for pid, durations in self._eat.items():
+            if not durations:
+                raise ConfigurationError(f"empty eat script for process {pid}")
+        self.default_eat = validate_duration(default_eat, name="default_eat", allow_zero=False)
+
+    def think_duration(self, pid: ProcessId, streams: RandomStreams) -> Optional[Duration]:
+        pending = self._think.get(pid)
+        if not pending:
+            return None
+        return pending.pop(0)
+
+    def eat_duration(self, pid: ProcessId, streams: RandomStreams) -> Duration:
+        pending = self._eat.get(pid)
+        if not pending:
+            return self.default_eat
+        if len(pending) == 1:
+            return pending[0]
+        return pending.pop(0)

@@ -1,0 +1,31 @@
+"""Failure-detector substrate: ◇P₁ oracles and implementations."""
+
+from repro.detectors.adversarial import InaccurateDetector, IncompleteDetector
+from repro.detectors.base import DetectorModule, FailureDetector, NullDetector
+from repro.detectors.heartbeat import Heartbeat, HeartbeatAgent, HeartbeatDetector
+from repro.detectors.perfect import PerfectDetector
+from repro.detectors.query import Echo, Probe, QueryAgent, QueryDetector
+from repro.detectors.qos import QosReport, SuspicionEpisode, detector_qos, suspicion_episodes
+from repro.detectors.scripted import MistakeInterval, ScriptedDetector
+
+__all__ = [
+    "DetectorModule",
+    "FailureDetector",
+    "Heartbeat",
+    "HeartbeatAgent",
+    "HeartbeatDetector",
+    "InaccurateDetector",
+    "IncompleteDetector",
+    "MistakeInterval",
+    "NullDetector",
+    "PerfectDetector",
+    "Probe",
+    "Echo",
+    "QosReport",
+    "QueryAgent",
+    "QueryDetector",
+    "ScriptedDetector",
+    "SuspicionEpisode",
+    "detector_qos",
+    "suspicion_episodes",
+]

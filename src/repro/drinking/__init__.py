@@ -1,0 +1,33 @@
+"""Drinking philosophers: the paper's dining layer lifted to per-session
+resource subsets (library extension; see :mod:`repro.drinking.diner`)."""
+
+from repro.drinking.analysis import (
+    adjacent_simultaneous_drinks,
+    concurrency_profile,
+    demand_at,
+    drinking_violations,
+    drinking_violations_after,
+)
+from repro.drinking.diner import DrinkingDiner, ThirstDeclared
+from repro.drinking.table import drinking_table
+from repro.drinking.workload import (
+    AlwaysAllBottles,
+    RandomThirst,
+    ScriptedThirst,
+    ThirstWorkload,
+)
+
+__all__ = [
+    "AlwaysAllBottles",
+    "DrinkingDiner",
+    "RandomThirst",
+    "ScriptedThirst",
+    "ThirstDeclared",
+    "ThirstWorkload",
+    "adjacent_simultaneous_drinks",
+    "concurrency_profile",
+    "demand_at",
+    "drinking_table",
+    "drinking_violations",
+    "drinking_violations_after",
+]

@@ -1,0 +1,46 @@
+"""Experiment harnesses: one module per published claim (see DESIGN.md).
+
+Each ``eN_*`` module exposes ``run_*`` functions returning row dicts and a
+``main()`` that prints a paper-style table.  ``python -m
+repro.experiments.run_all`` reproduces the full suite.
+"""
+
+from repro.experiments import (
+    e1_safety,
+    e2_progress,
+    e3_fairness,
+    e4_channels,
+    e5_quiescence,
+    e6_space,
+    e7_daemon,
+    e8_heartbeat,
+    e9_necessity,
+    e10_drinking,
+)
+
+ALL_EXPERIMENTS = (
+    e1_safety,
+    e2_progress,
+    e3_fairness,
+    e4_channels,
+    e5_quiescence,
+    e6_space,
+    e7_daemon,
+    e8_heartbeat,
+    e9_necessity,
+    e10_drinking,
+)
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "e1_safety",
+    "e2_progress",
+    "e3_fairness",
+    "e4_channels",
+    "e5_quiescence",
+    "e6_space",
+    "e7_daemon",
+    "e8_heartbeat",
+    "e9_necessity",
+    "e10_drinking",
+]

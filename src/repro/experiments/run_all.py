@@ -1,0 +1,17 @@
+"""Run every experiment and print the full results suite.
+
+Usage: ``python -m repro.experiments.run_all``
+"""
+
+from __future__ import annotations
+
+from repro.experiments import ALL_EXPERIMENTS
+
+
+def main() -> None:
+    for module in ALL_EXPERIMENTS:
+        module.main()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""Conflict-graph substrate: graphs, topologies, and priority colorings."""
+
+from repro.graphs.coloring import (
+    Coloring,
+    color_count,
+    dsatur_coloring,
+    greedy_coloring,
+    validate_coloring,
+)
+from repro.graphs.conflict import ConflictGraph, Edge, ProcessId
+from repro.graphs.topologies import (
+    binary_tree,
+    by_name,
+    clique,
+    grid,
+    hypercube,
+    path,
+    random_graph,
+    ring,
+    star,
+    torus,
+)
+
+__all__ = [
+    "Coloring",
+    "ConflictGraph",
+    "Edge",
+    "ProcessId",
+    "binary_tree",
+    "by_name",
+    "clique",
+    "color_count",
+    "dsatur_coloring",
+    "greedy_coloring",
+    "grid",
+    "hypercube",
+    "path",
+    "random_graph",
+    "ring",
+    "star",
+    "torus",
+    "validate_coloring",
+]

@@ -1,0 +1,100 @@
+"""Conflict graphs.
+
+A dining instance is an undirected graph ``C = (Π, E)`` whose vertices are
+processes and whose edges mark pairs that must not be scheduled (eat)
+simultaneously.  :class:`ConflictGraph` is a small immutable adjacency
+structure with the validation and queries the rest of the library needs;
+standard topologies live in :mod:`repro.graphs.topologies`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Tuple
+
+from repro.errors import ConfigurationError
+
+ProcessId = int
+Edge = Tuple[ProcessId, ProcessId]
+
+
+def _normalize_edge(a: ProcessId, b: ProcessId) -> Edge:
+    if a == b:
+        raise ConfigurationError(f"self-loop on process {a}: a process cannot conflict with itself")
+    return (a, b) if a < b else (b, a)
+
+
+class ConflictGraph:
+    """Immutable undirected conflict graph.
+
+    Parameters
+    ----------
+    nodes:
+        Process ids.  Isolated processes (no conflicts) are permitted —
+        they may always eat.
+    edges:
+        Pairs of distinct process ids; order within a pair and duplicate
+        pairs are normalized away.
+    """
+
+    def __init__(self, nodes: Iterable[ProcessId], edges: Iterable[Tuple[ProcessId, ProcessId]]) -> None:
+        self._nodes: Tuple[ProcessId, ...] = tuple(sorted(set(int(n) for n in nodes)))
+        node_set = set(self._nodes)
+        if not node_set:
+            raise ConfigurationError("a conflict graph needs at least one process")
+
+        normalized = set()
+        for a, b in edges:
+            edge = _normalize_edge(int(a), int(b))
+            if edge[0] not in node_set or edge[1] not in node_set:
+                raise ConfigurationError(f"edge {edge} mentions an unknown process")
+            normalized.add(edge)
+        self._edges: FrozenSet[Edge] = frozenset(normalized)
+
+        adjacency: Dict[ProcessId, List[ProcessId]] = {n: [] for n in self._nodes}
+        for a, b in self._edges:
+            adjacency[a].append(b)
+            adjacency[b].append(a)
+        self._neighbors: Dict[ProcessId, Tuple[ProcessId, ...]] = {
+            n: tuple(sorted(adj)) for n, adj in adjacency.items()
+        }
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> Tuple[ProcessId, ...]:
+        return self._nodes
+
+    @property
+    def edges(self) -> FrozenSet[Edge]:
+        return self._edges
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, pid: ProcessId) -> bool:
+        return pid in self._neighbors
+
+    def __iter__(self) -> Iterator[ProcessId]:
+        return iter(self._nodes)
+
+    def neighbors(self, pid: ProcessId) -> Tuple[ProcessId, ...]:
+        """Neighbors of ``pid`` in ascending id order."""
+        try:
+            return self._neighbors[pid]
+        except KeyError:
+            raise ConfigurationError(f"unknown process id {pid}") from None
+
+    def are_neighbors(self, a: ProcessId, b: ProcessId) -> bool:
+        return a != b and _normalize_edge(a, b) in self._edges
+
+    def degree(self, pid: ProcessId) -> int:
+        return len(self.neighbors(pid))
+
+    @property
+    def max_degree(self) -> int:
+        """δ — the maximum degree, which bounds colors and local state."""
+        return max((len(adj) for adj in self._neighbors.values()), default=0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"ConflictGraph(n={len(self._nodes)}, m={len(self._edges)}, delta={self.max_degree})"

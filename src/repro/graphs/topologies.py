@@ -1,0 +1,173 @@
+"""Standard conflict-graph topologies.
+
+Dijkstra's original dining problem is a ring; Lynch generalized it to
+arbitrary conflict graphs.  The experiments sweep the shapes below, which
+cover the interesting regimes: sparse vs. dense, symmetric vs. hub-like,
+bounded vs. linear degree.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.graphs.conflict import ConflictGraph
+
+
+def _require(count: int, minimum: int, what: str) -> int:
+    count = int(count)
+    if count < minimum:
+        raise ConfigurationError(f"{what} needs at least {minimum} processes, got {count}")
+    return count
+
+
+def ring(n: int) -> ConflictGraph:
+    """Cycle of ``n`` diners (Dijkstra's round table)."""
+    n = _require(n, 3, "ring")
+    return ConflictGraph(range(n), [(i, (i + 1) % n) for i in range(n)])
+
+
+def path(n: int) -> ConflictGraph:
+    """Line of ``n`` diners; the two ends have degree one."""
+    n = _require(n, 2, "path")
+    return ConflictGraph(range(n), [(i, i + 1) for i in range(n - 1)])
+
+
+def star(n: int) -> ConflictGraph:
+    """One hub (process 0) in conflict with ``n - 1`` leaves."""
+    n = _require(n, 2, "star")
+    return ConflictGraph(range(n), [(0, i) for i in range(1, n)])
+
+
+def clique(n: int) -> ConflictGraph:
+    """Complete graph: global mutual exclusion, the worst case δ = n - 1."""
+    n = _require(n, 2, "clique")
+    return ConflictGraph(range(n), [(i, j) for i in range(n) for j in range(i + 1, n)])
+
+
+def grid(rows: int, cols: int) -> ConflictGraph:
+    """rows × cols mesh with 4-neighborhood conflicts."""
+    rows, cols = int(rows), int(cols)
+    if rows < 1 or cols < 1:
+        raise ConfigurationError("grid needs positive dimensions")
+    if rows * cols < 2:
+        raise ConfigurationError("grid needs at least 2 processes")
+
+    def pid(r: int, c: int) -> int:
+        return r * cols + c
+
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                edges.append((pid(r, c), pid(r, c + 1)))
+            if r + 1 < rows:
+                edges.append((pid(r, c), pid(r + 1, c)))
+    return ConflictGraph(range(rows * cols), edges)
+
+
+def binary_tree(n: int) -> ConflictGraph:
+    """Complete binary tree on ``n`` nodes (heap numbering)."""
+    n = _require(n, 2, "binary tree")
+    edges = [(child, (child - 1) // 2) for child in range(1, n)]
+    return ConflictGraph(range(n), edges)
+
+
+def hypercube(dimension: int) -> ConflictGraph:
+    """d-dimensional hypercube: 2^d processes, neighbors differ in one bit.
+
+    The standard symmetric bounded-degree interconnect: δ = d = log₂ n,
+    so dining state stays logarithmic while diameter stays low.
+    """
+    dimension = int(dimension)
+    if dimension < 1:
+        raise ConfigurationError("hypercube needs dimension >= 1")
+    if dimension > 10:
+        raise ConfigurationError("hypercube dimension > 10 is unreasonably large here")
+    n = 1 << dimension
+    edges = [
+        (node, node ^ (1 << bit))
+        for node in range(n)
+        for bit in range(dimension)
+        if node < node ^ (1 << bit)
+    ]
+    return ConflictGraph(range(n), edges)
+
+
+def torus(rows: int, cols: int) -> ConflictGraph:
+    """rows × cols grid with wraparound (4-regular for rows, cols ≥ 3)."""
+    rows, cols = int(rows), int(cols)
+    if rows < 3 or cols < 3:
+        raise ConfigurationError("torus needs rows, cols >= 3 (else edges collapse)")
+
+    def pid(r: int, c: int) -> int:
+        return r * cols + c
+
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            edges.append((pid(r, c), pid(r, (c + 1) % cols)))
+            edges.append((pid(r, c), pid((r + 1) % rows, c)))
+    return ConflictGraph(range(rows * cols), edges)
+
+
+def random_graph(n: int, edge_probability: float, seed: int = 0) -> ConflictGraph:
+    """Erdős–Rényi G(n, p) conflict graph from a local seed.
+
+    Uses its own :class:`random.Random` so topology generation never
+    couples with simulation randomness.
+    """
+    n = _require(n, 2, "random graph")
+    if not 0.0 <= edge_probability <= 1.0:
+        raise ConfigurationError(f"edge probability must be in [0, 1], got {edge_probability!r}")
+    rng = random.Random(seed)
+    edges = [
+        (i, j)
+        for i in range(n)
+        for j in range(i + 1, n)
+        if rng.random() < edge_probability
+    ]
+    return ConflictGraph(range(n), edges)
+
+
+def by_name(name: str, n: int, *, seed: int = 0, edge_probability: float = 0.3) -> ConflictGraph:
+    """Topology factory keyed by name, for parameter sweeps.
+
+    Grid dimensions are the squarest factorization of ``n``.
+    """
+    name = name.lower()
+    if name == "ring":
+        return ring(n)
+    if name == "path":
+        return path(n)
+    if name == "star":
+        return star(n)
+    if name == "clique":
+        return clique(n)
+    if name == "tree":
+        return binary_tree(n)
+    if name == "random":
+        return random_graph(n, edge_probability, seed=seed)
+    if name == "hypercube":
+        dimension = n.bit_length() - 1
+        if 1 << dimension != n:
+            raise ConfigurationError(f"hypercube needs a power-of-two size, got {n}")
+        return hypercube(dimension)
+    if name == "torus":
+        best: Optional[int] = None
+        for rows in range(3, int(n ** 0.5) + 1):
+            if n % rows == 0 and n // rows >= 3:
+                best = rows
+        if best is None:
+            raise ConfigurationError(f"cannot factor {n} into a torus with sides >= 3")
+        return torus(best, n // best)
+    if name == "grid":
+        best: Optional[int] = None
+        for rows in range(1, int(n ** 0.5) + 1):
+            if n % rows == 0:
+                best = rows
+        if best is None or best == 1:
+            raise ConfigurationError(f"cannot factor {n} into a non-trivial grid")
+        return grid(best, n // best)
+    raise ConfigurationError(f"unknown topology {name!r}")

@@ -1,0 +1,128 @@
+"""Event records and the deterministic pending-event queue.
+
+The queue is a binary heap ordered by ``(time, priority, sequence)``.  The
+sequence number is assigned at insertion, so two events scheduled for the
+same instant at the same priority always fire in scheduling order.  This
+total order is what makes whole simulations replayable from a seed: the
+kernel never consults wall-clock time or iteration order of hash-based
+containers when choosing the next event.
+
+Priorities let infrastructure events (message deliveries) and derived
+events (guard re-evaluation) interleave predictably; see
+:class:`EventPriority`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import Callable, Optional
+
+from repro.errors import SchedulingError
+from repro.sim.time import Instant
+
+
+class EventPriority(IntEnum):
+    """Tie-break order for events scheduled at the same instant.
+
+    Lower values fire first.  ``CONTROL`` covers crash injection and other
+    environment actions: a crash scheduled at time *t* must take effect
+    before a message delivery at *t*, matching the paper's fault model in
+    which a crashed process sends and receives nothing from its crash time
+    onward.
+    """
+
+    CONTROL = 0
+    DELIVERY = 1
+    TIMER = 2
+    REEVALUATE = 3
+
+
+@dataclass(order=False)
+class Event:
+    """A scheduled callback.
+
+    Events support cancellation: :meth:`cancel` marks the event dead and
+    the queue silently discards it when popped.  This is cheaper than heap
+    removal and is how actors retire timers.
+    """
+
+    time: Instant
+    priority: EventPriority
+    sequence: int
+    action: Optional[Callable[[], None]]
+    label: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False)
+    _queue: Optional["EventQueue"] = field(default=None, compare=False, repr=False)
+
+    def cancel(self) -> None:
+        """Prevent this event from firing; idempotent."""
+        if self.cancelled:
+            return
+        self.cancelled = True
+        self.action = None
+        if self._queue is not None:
+            self._queue._note_cancelled()
+            self._queue = None
+
+    def sort_key(self) -> tuple:
+        return (self.time, int(self.priority), self.sequence)
+
+
+class EventQueue:
+    """Deterministic min-heap of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list = []
+        self._counter = itertools.count()
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def push(
+        self,
+        time: Instant,
+        priority: EventPriority,
+        action: Callable[[], None],
+        *,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``action`` at ``time`` and return the (cancellable) event."""
+        event = Event(time, priority, next(self._counter), action, label)
+        event._queue = self
+        heapq.heappush(self._heap, (event.sort_key(), event))
+        self._live += 1
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the next live event.
+
+        Raises :class:`SchedulingError` when the queue holds no live events;
+        callers should test truthiness first.
+        """
+        while self._heap:
+            _, event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue  # already accounted for at cancellation time
+            self._live -= 1
+            event._queue = None
+            return event
+        raise SchedulingError("pop from an empty event queue")
+
+    def peek_time(self) -> Optional[Instant]:
+        """Return the firing time of the next live event, or None if empty."""
+        while self._heap and self._heap[0][1].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0][1].time
+
+    def _note_cancelled(self) -> None:
+        """Called by :meth:`Event.cancel` to keep the live count honest."""
+        self._live -= 1

@@ -1,0 +1,161 @@
+"""The discrete-event simulation kernel.
+
+:class:`Simulator` owns the virtual clock and the pending-event queue and
+exposes the scheduling API everything else is built on.  It deliberately
+knows nothing about processes, channels, or dining — those are layered on
+top (see :mod:`repro.sim.actor` and :mod:`repro.sim.network`) — which keeps
+the kernel small enough to reason about and reuse for the baselines and the
+failure-detector implementations alike.
+
+Determinism contract
+--------------------
+Given the same master seed and the same sequence of scheduling calls, a run
+is bit-for-bit reproducible.  The kernel enforces its half of the contract
+by firing same-instant events in ``(priority, scheduling order)`` and by
+never consulting wall-clock time.  Components uphold the other half by
+drawing randomness only from :class:`repro.sim.rng.RandomStreams`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.errors import SchedulingError
+from repro.sim.events import Event, EventPriority, EventQueue
+from repro.sim.rng import RandomStreams
+from repro.sim.time import END_OF_TIME, START_OF_TIME, Duration, Instant, validate_duration, validate_instant
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    Parameters
+    ----------
+    seed:
+        Master seed for all named random streams (see
+        :class:`repro.sim.rng.RandomStreams`).
+    max_events:
+        Hard cap on processed events; exceeding it raises
+        :class:`SchedulingError`.  This turns accidental event storms
+        (for example, a zero-delay retry loop) into a crisp failure
+        instead of a hang.
+    """
+
+    def __init__(self, seed: int = 0, max_events: int = 50_000_000) -> None:
+        self._now: Instant = START_OF_TIME
+        self._queue = EventQueue()
+        self._processed = 0
+        self._max_events = int(max_events)
+        self._finished = False
+        self.streams = RandomStreams(seed)
+        self._step_listeners: List[Callable[[Instant], None]] = []
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> Instant:
+        """Current virtual time."""
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        """Number of events fired so far (diagnostics and budget checks)."""
+        return self._processed
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule_at(
+        self,
+        time: Instant,
+        action: Callable[[], None],
+        *,
+        priority: EventPriority = EventPriority.TIMER,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``action`` at absolute virtual ``time``.
+
+        Scheduling in the past is an error; scheduling exactly at ``now``
+        is allowed and fires after the current event completes.
+        """
+        time = validate_instant(time)
+        if self._finished:
+            raise SchedulingError("cannot schedule on a finished simulator")
+        if time < self._now:
+            raise SchedulingError(
+                f"cannot schedule event {label!r} at {time} before current time {self._now}"
+            )
+        if time == END_OF_TIME:
+            raise SchedulingError(f"cannot schedule event {label!r} at END_OF_TIME")
+        return self._queue.push(time, priority, action, label=label)
+
+    def schedule_after(
+        self,
+        delay: Duration,
+        action: Callable[[], None],
+        *,
+        priority: EventPriority = EventPriority.TIMER,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``action`` after a relative ``delay`` from now."""
+        delay = validate_duration(delay, name="delay")
+        return self.schedule_at(self._now + delay, action, priority=priority, label=label)
+
+    def add_step_listener(self, listener: Callable[[Instant], None]) -> None:
+        """Register a callback invoked after every processed event.
+
+        Used by online invariant checkers that want to observe every state
+        the simulation passes through without instrumenting each actor.
+        """
+        self._step_listeners.append(listener)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Fire the next pending event.  Returns False if none remain."""
+        if not self._queue:
+            return False
+        event = self._queue.pop()
+        self._processed += 1
+        if self._processed > self._max_events:
+            raise SchedulingError(
+                f"event budget exhausted ({self._max_events} events); "
+                "likely a zero-delay scheduling loop"
+            )
+        self._now = event.time
+        action = event.action
+        if action is not None:
+            action()
+        for listener in self._step_listeners:
+            listener(self._now)
+        return True
+
+    def run(self, *, until: Instant = END_OF_TIME) -> Instant:
+        """Process events until the queue drains or the clock passes ``until``.
+
+        The clock is advanced to ``until`` when it is finite and the queue
+        drained earlier, so successive bounded runs compose:
+        ``run(until=10); run(until=20)`` behaves like ``run(until=20)``.
+        Returns the clock value at exit.
+        """
+        until = validate_instant(until, name="until")
+        while True:
+            next_time = self._queue.peek_time()
+            if next_time is None or next_time > until:
+                break
+            self.step()
+        if until != END_OF_TIME and until > self._now:
+            self._now = until
+        return self._now
+
+    def run_until_quiescent(self) -> Instant:
+        """Process events until no event remains; returns the final time."""
+        while self.step():
+            pass
+        return self._now
+
+    def finish(self) -> None:
+        """Mark the simulator finished; later scheduling attempts raise."""
+        self._finished = True

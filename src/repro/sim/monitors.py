@@ -1,0 +1,145 @@
+"""Network probes used by the Section 7 experiments.
+
+These monitors attach to a :class:`~repro.sim.network.Network` and observe
+every send, delivery, and drop without touching algorithm code:
+
+* :class:`ChannelOccupancyMonitor` — tracks, per undirected edge, how many
+  messages are simultaneously in transit, and the all-time maximum.  The
+  paper claims a bound of **4 dining-layer messages per edge** (one fork,
+  one token, one ping/ack per direction).
+* :class:`MessageStats` — message counts by type and by layer.
+* :class:`QuiescenceMonitor` — records every send addressed to a process
+  after that process's crash instant, to verify correct processes
+  eventually stop messaging crashed neighbors.
+
+Messages advertise their protocol layer through a ``layer`` attribute
+(``"dining"`` for Algorithm 1 traffic, ``"detector"`` for heartbeats);
+monitors can filter on it so detector chatter doesn't obscure the dining
+bound.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.sim.actor import ProcessId
+from repro.sim.network import NetworkMonitor
+from repro.sim.time import Instant
+
+
+def message_layer(message) -> str:
+    """Return the protocol layer a message belongs to (default ``"app"``)."""
+    return getattr(message, "layer", "app")
+
+
+def _edge(a: ProcessId, b: ProcessId) -> Tuple[ProcessId, ProcessId]:
+    return (a, b) if a <= b else (b, a)
+
+
+class ChannelOccupancyMonitor(NetworkMonitor):
+    """Per-undirected-edge in-transit occupancy tracker.
+
+    Parameters
+    ----------
+    layer:
+        When given, only messages of that layer are counted; others are
+        invisible to this monitor.
+    """
+
+    def __init__(self, layer: Optional[str] = None) -> None:
+        self._layer = layer
+        self.current: Dict[Tuple[ProcessId, ProcessId], int] = defaultdict(int)
+        self.peak: Dict[Tuple[ProcessId, ProcessId], int] = defaultdict(int)
+        self.peak_time: Dict[Tuple[ProcessId, ProcessId], Instant] = {}
+
+    def _counts(self, message) -> bool:
+        return self._layer is None or message_layer(message) == self._layer
+
+    def on_send(self, src: ProcessId, dst: ProcessId, message, time: Instant) -> None:
+        if not self._counts(message):
+            return
+        edge = _edge(src, dst)
+        self.current[edge] += 1
+        if self.current[edge] > self.peak[edge]:
+            self.peak[edge] = self.current[edge]
+            self.peak_time[edge] = time
+
+    def _departed(self, src: ProcessId, dst: ProcessId, message) -> None:
+        if not self._counts(message):
+            return
+        self.current[_edge(src, dst)] -= 1
+
+    def on_deliver(self, src: ProcessId, dst: ProcessId, message, time: Instant) -> None:
+        self._departed(src, dst, message)
+
+    def on_drop(self, src: ProcessId, dst: ProcessId, message, time: Instant) -> None:
+        self._departed(src, dst, message)
+
+    @property
+    def max_occupancy(self) -> int:
+        """Largest number of in-transit messages ever seen on any edge."""
+        return max(self.peak.values(), default=0)
+
+    def edges_exceeding(self, bound: int) -> List[Tuple[ProcessId, ProcessId]]:
+        """Edges whose peak occupancy exceeded ``bound``."""
+        return sorted(edge for edge, peak in self.peak.items() if peak > bound)
+
+
+class MessageStats(NetworkMonitor):
+    """Counts of sent messages by type name and by layer."""
+
+    def __init__(self) -> None:
+        self.by_type: Dict[str, int] = defaultdict(int)
+        self.by_layer: Dict[str, int] = defaultdict(int)
+        self.total = 0
+
+    def on_send(self, src: ProcessId, dst: ProcessId, message, time: Instant) -> None:
+        self.total += 1
+        self.by_type[type(message).__name__] += 1
+        self.by_layer[message_layer(message)] += 1
+
+
+@dataclass(frozen=True)
+class PostCrashSend:
+    """One message sent to an already-crashed destination."""
+
+    src: ProcessId
+    dst: ProcessId
+    time: Instant
+    message_type: str
+    layer: str
+
+
+class QuiescenceMonitor(NetworkMonitor):
+    """Records traffic addressed to crashed processes.
+
+    ``crash_time_of`` maps a pid to its crash instant or ``None`` when the
+    process is correct (typically ``CrashPlan.as_dict().get``).
+    """
+
+    def __init__(self, crash_time_of: Callable[[ProcessId], Optional[Instant]]) -> None:
+        self._crash_time_of = crash_time_of
+        self.post_crash_sends: List[PostCrashSend] = []
+
+    def on_send(self, src: ProcessId, dst: ProcessId, message, time: Instant) -> None:
+        crash_time = self._crash_time_of(dst)
+        if crash_time is None or time < crash_time:
+            return
+        self.post_crash_sends.append(
+            PostCrashSend(src, dst, time, type(message).__name__, message_layer(message))
+        )
+
+    def sends_to(self, dst: ProcessId, *, layer: Optional[str] = None) -> List[PostCrashSend]:
+        """Post-crash sends addressed to ``dst`` (optionally one layer)."""
+        return [
+            record
+            for record in self.post_crash_sends
+            if record.dst == dst and (layer is None or record.layer == layer)
+        ]
+
+    def last_send_time(self, dst: ProcessId, *, layer: Optional[str] = None) -> Optional[Instant]:
+        """Time of the final post-crash send to ``dst``, or None."""
+        times = [record.time for record in self.sends_to(dst, layer=layer)]
+        return max(times) if times else None

@@ -1,0 +1,157 @@
+"""Reliable FIFO message-passing network.
+
+The paper assumes reliable FIFO channels: every message sent to a correct
+process is eventually delivered, in send order, without loss, duplication,
+or corruption.  :class:`Network` implements exactly that on top of the
+kernel:
+
+* **Reliability** — every send schedules exactly one delivery event.
+* **FIFO** — the delivery time of each message is clamped to be no earlier
+  than the previously scheduled delivery on the same directed channel;
+  combined with the kernel's stable tie-breaking this preserves send order
+  even when a later message samples a shorter delay.
+* **Crash semantics** — messages addressed to a process that has crashed
+  by delivery time are dropped (counted, for quiescence analysis), and the
+  network refuses sends *from* crashed processes.
+
+Monitors (:mod:`repro.sim.monitors`) observe every send/deliver/drop, which
+is how the Section 7 channel-capacity and quiescence experiments measure
+in-transit occupancy without touching the algorithms.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import ConfigurationError, CrashedProcessError, SimulationError
+from repro.sim.actor import Actor, ProcessId
+from repro.sim.events import EventPriority
+from repro.sim.kernel import Simulator
+from repro.sim.latency import FixedLatency, LatencyModel
+from repro.sim.time import Instant
+
+
+class NetworkMonitor:
+    """Observer interface for network traffic; all hooks optional."""
+
+    def on_send(self, src: ProcessId, dst: ProcessId, message, time: Instant) -> None:
+        """A message entered the channel ``src -> dst``."""
+
+    def on_deliver(self, src: ProcessId, dst: ProcessId, message, time: Instant) -> None:
+        """A message left the channel and was handed to the destination."""
+
+    def on_drop(self, src: ProcessId, dst: ProcessId, message, time: Instant) -> None:
+        """A message was discarded because the destination had crashed."""
+
+
+class Network:
+    """Message fabric connecting :class:`~repro.sim.actor.Actor` objects."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        latency: Optional[LatencyModel] = None,
+    ) -> None:
+        self._sim = sim
+        self._latency: LatencyModel = latency if latency is not None else FixedLatency(1.0)
+        self._actors: Dict[ProcessId, Actor] = {}
+        self._monitors: List[NetworkMonitor] = []
+        # Last *scheduled* delivery instant per directed channel; clamping
+        # against it is what makes channels FIFO.
+        self._channel_front: Dict[tuple, Instant] = {}
+        self.sent_count = 0
+        self.delivered_count = 0
+        self.dropped_count = 0
+
+    # ------------------------------------------------------------------
+    # Topology / wiring
+    # ------------------------------------------------------------------
+    def register(self, actor: Actor) -> None:
+        """Add an actor to the network and bind it to the kernel."""
+        if actor.pid in self._actors:
+            raise ConfigurationError(f"duplicate process id {actor.pid}")
+        self._actors[actor.pid] = actor
+        actor.bind(self._sim, self)
+
+    def actor(self, pid: ProcessId) -> Actor:
+        try:
+            return self._actors[pid]
+        except KeyError:
+            raise ConfigurationError(f"unknown process id {pid}") from None
+
+    @property
+    def pids(self) -> List[ProcessId]:
+        return sorted(self._actors)
+
+    def add_monitor(self, monitor: NetworkMonitor) -> None:
+        self._monitors.append(monitor)
+
+    def start(self) -> None:
+        """Invoke every actor's ``on_start`` hook (in pid order)."""
+        for pid in self.pids:
+            actor = self._actors[pid]
+            if not actor.crashed:
+                actor.on_start()
+                actor.reevaluate()
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def send(self, src: ProcessId, dst: ProcessId, message) -> None:
+        """Transmit ``message`` on the directed FIFO channel ``src -> dst``."""
+        if src not in self._actors:
+            raise ConfigurationError(f"unknown sender {src}")
+        if dst not in self._actors:
+            raise ConfigurationError(f"unknown destination {dst}")
+        sender = self._actors[src]
+        if sender.crashed:
+            raise CrashedProcessError(f"crashed process {src} attempted to send")
+
+        now = self._sim.now
+        delay = self._latency.sample(src, dst, now, self._sim.streams)
+        if delay <= 0:
+            raise SimulationError(f"latency model produced non-positive delay {delay!r}")
+        arrival = now + delay
+        front = self._channel_front.get((src, dst))
+        if front is not None and arrival < front:
+            arrival = front
+        self._channel_front[(src, dst)] = arrival
+
+        self.sent_count += 1
+        for monitor in self._monitors:
+            monitor.on_send(src, dst, message, now)
+
+        def deliver() -> None:
+            receiver = self._actors[dst]
+            if receiver.crashed:
+                self.dropped_count += 1
+                for monitor in self._monitors:
+                    monitor.on_drop(src, dst, message, self._sim.now)
+                return
+            self.delivered_count += 1
+            for monitor in self._monitors:
+                monitor.on_deliver(src, dst, message, self._sim.now)
+            receiver.deliver(src, message)
+
+        self._sim.schedule_at(
+            arrival,
+            deliver,
+            priority=EventPriority.DELIVERY,
+            label=f"deliver {type(message).__name__} {src}->{dst}",
+        )
+
+    # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+    def crash(self, pid: ProcessId) -> None:
+        """Crash process ``pid`` immediately."""
+        self.actor(pid).crash()
+
+    def crash_at(self, pid: ProcessId, time: Instant) -> None:
+        """Schedule a crash of ``pid`` at absolute ``time`` (CONTROL priority)."""
+        self._sim.schedule_at(
+            time,
+            lambda: self.actor(pid).crash(),
+            priority=EventPriority.CONTROL,
+            label=f"crash {pid}",
+        )

@@ -1,0 +1,40 @@
+"""Hosted self-stabilizing protocols — the distributed daemon's clients."""
+
+from repro.stabilization.bfs_tree import BfsSpanningTree, RECOMPUTE
+from repro.stabilization.coloring_protocol import GreedyRecoloring, RECOLOR
+from repro.stabilization.faults import FaultBurst, TransientFaultPlan
+from repro.stabilization.independent_set import ENTER, MaximalIndependentSet, RETREAT
+from repro.stabilization.matching import (
+    BACK_OFF,
+    MARRY,
+    MaximalMatching,
+    PROPOSE,
+    WIDOW,
+)
+from repro.stabilization.protocol import GuardedProtocol
+from repro.stabilization.token_ring import (
+    COPY_PREDECESSOR,
+    DijkstraTokenRing,
+    MOVE_TOKEN,
+)
+
+__all__ = [
+    "BACK_OFF",
+    "BfsSpanningTree",
+    "COPY_PREDECESSOR",
+    "DijkstraTokenRing",
+    "ENTER",
+    "FaultBurst",
+    "GreedyRecoloring",
+    "GuardedProtocol",
+    "MARRY",
+    "MOVE_TOKEN",
+    "MaximalIndependentSet",
+    "MaximalMatching",
+    "PROPOSE",
+    "RECOLOR",
+    "RECOMPUTE",
+    "RETREAT",
+    "TransientFaultPlan",
+    "WIDOW",
+]

@@ -1,0 +1,150 @@
+"""Self-stabilizing BFS spanning tree (Dolev, Israeli & Moran style).
+
+A rooted shortest-path tree that repairs itself from arbitrary register
+corruption — the classic "silent" stabilizing structure, and a daemon
+client whose legitimate state is *globally* meaningful (distances), not
+just locally quiescent.
+
+Registers per process: ``(dist, parent)``.
+
+* the **root** sets ``dist = 0, parent = None``;
+* every other process sets ``dist = 1 + min(neighbor dists)`` (capped at
+  ``n``, the "unreachable" sentinel) and ``parent`` to the smallest-id
+  neighbor achieving the minimum (``None`` when unreachable).
+
+A process is enabled whenever its registers differ from that recomputation.
+
+**Crash-aware extension** (``suspector``): distances advertised by a
+crashed process freeze and can poison the tree (a dead node advertising
+``dist = 1`` forever attracts parents into a black hole).  With a
+suspector backed by the run's ◇P₁ modules, suspected neighbors are
+excluded from the minimum: after the detector converges, the protocol
+stabilizes to a BFS tree of the *live* subgraph, and unreachable live
+processes settle at the sentinel.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, FrozenSet, Iterable, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.graphs.conflict import ConflictGraph, ProcessId
+from repro.stabilization.protocol import GuardedProtocol
+
+RECOMPUTE = "recompute"
+
+Suspector = Callable[[ProcessId], FrozenSet[ProcessId]]
+
+
+def _no_suspicions(pid: ProcessId) -> FrozenSet[ProcessId]:
+    return frozenset()
+
+
+class BfsSpanningTree(GuardedProtocol):
+    """Rooted self-stabilizing BFS tree with an unreachable sentinel."""
+
+    def __init__(
+        self,
+        graph: ConflictGraph,
+        *,
+        root: ProcessId,
+        initial: Optional[dict] = None,
+        suspector: Optional[Suspector] = None,
+    ) -> None:
+        super().__init__(graph)
+        if root not in graph:
+            raise ConfigurationError(f"root {root} is not in the graph")
+        self.root = root
+        self.sentinel = len(graph)  # dist >= n means "unreachable"
+        self._suspector = suspector if suspector is not None else _no_suspicions
+        for pid in graph.nodes:
+            if initial and pid in initial:
+                dist, parent = initial[pid]
+                dist = max(0, min(int(dist), self.sentinel))
+                if parent is not None and parent not in graph.neighbors(pid):
+                    parent = None
+                self.write(pid, (dist, parent))
+            else:
+                self.write(pid, (self.sentinel, None))
+
+    # ------------------------------------------------------------------
+    def dist(self, pid: ProcessId) -> int:
+        return self.read(pid)[0]
+
+    def parent(self, pid: ProcessId) -> Optional[ProcessId]:
+        return self.read(pid)[1]
+
+    def _target(self, pid: ProcessId) -> Tuple[int, Optional[ProcessId]]:
+        """What (dist, parent) should be, given current neighbor registers."""
+        if pid == self.root:
+            return (0, None)
+        suspected = self._suspector(pid)
+        candidates = [
+            (self.dist(nbr), nbr)
+            for nbr in self.graph.neighbors(pid)
+            if nbr not in suspected
+        ]
+        if not candidates:
+            return (self.sentinel, None)
+        best_dist, best_nbr = min(candidates)
+        dist = min(best_dist + 1, self.sentinel)
+        parent = best_nbr if dist < self.sentinel else None
+        return (dist, parent)
+
+    def enabled_actions(self, pid: ProcessId) -> List[str]:
+        return [RECOMPUTE] if self.read(pid) != self._target(pid) else []
+
+    def execute(self, pid: ProcessId) -> Optional[str]:
+        target = self._target(pid)
+        if self.read(pid) == target:
+            return None
+        self.write(pid, target)
+        return RECOMPUTE
+
+    # ------------------------------------------------------------------
+    def tree_edges(self) -> List[Tuple[ProcessId, ProcessId]]:
+        """(child, parent) pairs currently claimed."""
+        return [
+            (pid, self.parent(pid))
+            for pid in self.graph.nodes
+            if self.parent(pid) is not None
+        ]
+
+    def is_correct_bfs(self, live: Iterable[ProcessId]) -> bool:
+        """Do live registers equal true BFS distances on the live subgraph?
+
+        Distances are computed ignoring crashed processes entirely (the
+        crash-aware protocol converges to exactly this once ◇P₁ has
+        converged).
+        """
+        live_set = set(live)
+        if self.root not in live_set:
+            return False
+        true_dist = {self.root: 0}
+        frontier = [self.root]
+        while frontier:
+            next_frontier = []
+            for node in frontier:
+                for nbr in self.graph.neighbors(node):
+                    if nbr in live_set and nbr not in true_dist:
+                        true_dist[nbr] = true_dist[node] + 1
+                        next_frontier.append(nbr)
+            frontier = next_frontier
+        for pid in live_set:
+            expected = true_dist.get(pid, self.sentinel)
+            if self.dist(pid) != min(expected, self.sentinel):
+                return False
+        return True
+
+    def legitimate(self, live: Iterable[ProcessId]) -> bool:
+        """No live process enabled (silent protocol ⇒ registers correct)."""
+        return not any(self.enabled_actions(pid) for pid in live)
+
+    def corrupt(self, pid: ProcessId, rng: random.Random) -> str:
+        old = self.read(pid)
+        neighbors = list(self.graph.neighbors(pid))
+        new_parent = rng.choice([None] + neighbors) if neighbors else None
+        new = (rng.randrange(self.sentinel + 1), new_parent)
+        self.write(pid, new)
+        return f"tree[{pid}]: {old} -> {new}"

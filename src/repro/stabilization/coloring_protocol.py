@@ -1,0 +1,96 @@
+"""Self-stabilizing proper coloring under local mutual exclusion.
+
+A simple greedy recoloring protocol that is the workhorse crash-tolerant
+client for the E7 daemon experiment:
+
+* a process is **enabled** when its color collides with any neighbor's
+  (including a crashed neighbor's frozen color — registers of crashed
+  processes remain readable shared memory);
+* its **action** recolors to the smallest color absent from all
+  neighbors' registers.
+
+Under local mutual exclusion the protocol converges from any state: when
+a process recolors, no conflicting neighbor moves simultaneously, so the
+new color clears every collision at that process and introduces none —
+the number of collision edges strictly decreases with each effective
+step.  Pre-convergence ◇WX mistakes can let two neighbors recolor
+together and collide again; that is exactly the "sharing violation as
+transient fault" the paper budgets for, and it happens only finitely
+often.
+
+Crash tolerance: a crashed process freezes its color; live neighbors
+simply avoid it.  Legitimacy is judged over edges with at least one live
+endpoint, which live processes can always fix alone.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Optional
+
+from repro.errors import ConfigurationError
+from repro.graphs.conflict import ConflictGraph, ProcessId
+from repro.stabilization.protocol import GuardedProtocol
+
+RECOLOR = "recolor"
+
+
+class GreedyRecoloring(GuardedProtocol):
+    """Stabilizing proper coloring with colors in ``{0, …, δ}``."""
+
+    def __init__(
+        self,
+        graph: ConflictGraph,
+        *,
+        initial: Optional[Dict[ProcessId, int]] = None,
+        palette_size: Optional[int] = None,
+    ) -> None:
+        super().__init__(graph)
+        self.palette_size = palette_size if palette_size is not None else graph.max_degree + 1
+        if self.palette_size < graph.max_degree + 1:
+            raise ConfigurationError(
+                f"palette of {self.palette_size} colors cannot properly color "
+                f"a graph with max degree {graph.max_degree}"
+            )
+        for pid in graph.nodes:
+            value = 0 if initial is None else int(initial.get(pid, 0))
+            self.write(pid, value % self.palette_size)
+
+    # ------------------------------------------------------------------
+    # Protocol interface
+    # ------------------------------------------------------------------
+    def _collides(self, pid: ProcessId) -> bool:
+        own = self.read(pid)
+        return any(self.read(nbr) == own for nbr in self.graph.neighbors(pid))
+
+    def enabled_actions(self, pid: ProcessId) -> List[str]:
+        return [RECOLOR] if self._collides(pid) else []
+
+    def execute(self, pid: ProcessId) -> Optional[str]:
+        if not self._collides(pid):
+            return None
+        taken = {self.read(nbr) for nbr in self.graph.neighbors(pid)}
+        color = 0
+        while color in taken:
+            color += 1
+        self.write(pid, color)
+        return RECOLOR
+
+    def conflict_edges(self, live: Iterable[ProcessId]) -> List[tuple]:
+        """Collision edges with at least one live endpoint."""
+        live_set = set(live)
+        return [
+            (a, b)
+            for a, b in sorted(self.graph.edges)
+            if (a in live_set or b in live_set) and self.read(a) == self.read(b)
+        ]
+
+    def legitimate(self, live: Iterable[ProcessId]) -> bool:
+        """No collision on any edge a live process could still fix."""
+        return not self.conflict_edges(live)
+
+    def corrupt(self, pid: ProcessId, rng: random.Random) -> str:
+        old = self.read(pid)
+        new = rng.randrange(self.palette_size)
+        self.write(pid, new)
+        return f"color[{pid}]: {old} -> {new}"

@@ -1,0 +1,93 @@
+"""Self-stabilizing maximal independent set under local mutual exclusion.
+
+A third daemon client, with the classic two rules over a boolean
+``in``/``out`` register (ties broken by process id so neighboring INs
+cannot oscillate):
+
+* **enter** — ``out`` and no neighbor is ``in``: become ``in``;
+* **retreat** — ``in`` and some *smaller-id* neighbor is ``in``: become
+  ``out`` (the smaller id stays; under local mutual exclusion the pair
+  never flips simultaneously, and pre-convergence ◇WX mistakes that do
+  flip both are one more transient fault to absorb).
+
+Quiescence is exactly "independent and maximal": no retreat enabled
+means no two adjacent INs (the larger-id one would retreat); no enter
+enabled means every OUT has an IN neighbor.
+
+Crash behaviour: registers of crashed processes stay readable (frozen).
+A frozen IN keeps excluding its live neighbors — consistent, since
+independence is judged against all registers; a frozen OUT is inert.
+Legitimacy is judged as live quiescence, like the matching protocol.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List, Optional, Set
+
+from repro.graphs.conflict import ConflictGraph, ProcessId
+from repro.stabilization.protocol import GuardedProtocol
+
+ENTER = "enter"
+RETREAT = "retreat"
+
+
+class MaximalIndependentSet(GuardedProtocol):
+    """Stabilizing MIS with id-ordered conflict resolution."""
+
+    def __init__(self, graph: ConflictGraph, *, initial: Optional[dict] = None) -> None:
+        super().__init__(graph)
+        for pid in graph.nodes:
+            value = bool(initial.get(pid, False)) if initial else False
+            self.write(pid, value)
+
+    # ------------------------------------------------------------------
+    def _is_in(self, pid: ProcessId) -> bool:
+        return bool(self.read(pid))
+
+    def _in_neighbors(self, pid: ProcessId) -> List[ProcessId]:
+        return [nbr for nbr in self.graph.neighbors(pid) if self._is_in(nbr)]
+
+    def enabled_actions(self, pid: ProcessId) -> List[str]:
+        in_neighbors = self._in_neighbors(pid)
+        if not self._is_in(pid):
+            return [ENTER] if not in_neighbors else []
+        if any(nbr < pid for nbr in in_neighbors):
+            return [RETREAT]
+        return []
+
+    def execute(self, pid: ProcessId) -> Optional[str]:
+        actions = self.enabled_actions(pid)
+        if not actions:
+            return None
+        self.write(pid, actions[0] == ENTER)
+        return actions[0]
+
+    # ------------------------------------------------------------------
+    def members(self) -> Set[ProcessId]:
+        """The current IN set."""
+        return {pid for pid in self.graph.nodes if self._is_in(pid)}
+
+    def is_independent(self) -> bool:
+        """No conflict edge joins two IN processes."""
+        return not any(self._is_in(a) and self._is_in(b) for a, b in self.graph.edges)
+
+    def is_maximal(self) -> bool:
+        """Every OUT process has an IN neighbor."""
+        return all(
+            self._is_in(pid) or self._in_neighbors(pid) for pid in self.graph.nodes
+        )
+
+    def legitimate(self, live: Iterable[ProcessId]) -> bool:
+        """No live process has an enabled rule.
+
+        Live quiescence implies the set is independent and maximal with
+        respect to everything a live process can still change.
+        """
+        return not any(self.enabled_actions(pid) for pid in live)
+
+    def corrupt(self, pid: ProcessId, rng: random.Random) -> str:
+        old = self._is_in(pid)
+        new = rng.random() < 0.5
+        self.write(pid, new)
+        return f"membership[{pid}]: {old} -> {new}"

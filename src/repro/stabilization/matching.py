@@ -1,0 +1,147 @@
+"""Self-stabilizing maximal matching (Hsu & Huang 1992), crash-aware.
+
+Each process holds a pointer register ``p ∈ neighbors ∪ {None}``.  The
+classic three rules (executed under local mutual exclusion):
+
+* **marry** — ``p = None`` and some neighbor points at me: point back
+  (smallest such neighbor, for determinism);
+* **propose** — ``p = None``, nobody points at me, and some neighbor is
+  unengaged (``p = None``): point at the smallest such neighbor;
+* **back-off** — ``p = j`` but ``j`` points at some third party: reset to
+  ``None``.
+
+Quiescence implies the mutual pairs form a maximal matching.
+
+**Crash-aware extension** (library extension, flagged by ``suspector``):
+the classic rules deadlock under crashes — a proposal to a process that
+crashed while unengaged waits forever for an acceptance.  Supplying a
+``suspector`` callback (pid → set of suspected neighbors, e.g. backed by
+the run's ◇P₁ modules) adds a fourth rule:
+
+* **widow** — ``p = j`` and ``j`` is suspected: reset to ``None``.
+
+With ◇P₁'s completeness, proposals to crashed neighbors are eventually
+withdrawn and the live subgraph still reaches a maximal matching; its
+eventual accuracy ensures only finitely many live engagements are
+spuriously dissolved.  This demonstrates the paper's oracle benefiting
+the hosted protocol layer, not just the daemon.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.graphs.conflict import ConflictGraph, ProcessId
+from repro.stabilization.protocol import GuardedProtocol
+
+MARRY = "marry"
+PROPOSE = "propose"
+BACK_OFF = "back-off"
+WIDOW = "widow"
+
+Suspector = Callable[[ProcessId], FrozenSet[ProcessId]]
+
+
+def _no_suspicions(pid: ProcessId) -> FrozenSet[ProcessId]:
+    return frozenset()
+
+
+class MaximalMatching(GuardedProtocol):
+    """Hsu-Huang maximal matching with an optional crash-aware rule."""
+
+    def __init__(
+        self,
+        graph: ConflictGraph,
+        *,
+        initial: Optional[dict] = None,
+        suspector: Optional[Suspector] = None,
+    ) -> None:
+        super().__init__(graph)
+        self._suspector: Suspector = suspector if suspector is not None else _no_suspicions
+        for pid in graph.nodes:
+            value = None if initial is None else initial.get(pid)
+            if value is not None and value not in graph.neighbors(pid):
+                value = None  # arbitrary corruption may point anywhere; clamp to the model
+            self.write(pid, value)
+
+    # ------------------------------------------------------------------
+    # Rule evaluation
+    # ------------------------------------------------------------------
+    def _pointer(self, pid: ProcessId) -> Optional[ProcessId]:
+        return self.read(pid)
+
+    def _trusted_neighbors(self, pid: ProcessId) -> List[ProcessId]:
+        """Neighbors not currently suspected by ``pid``'s detector module.
+
+        Proposing to (or marrying) a suspected neighbor would immediately
+        re-enable the widow rule, so the crash-aware variant courts only
+        trusted neighbors.  With no suspector this is all neighbors.
+        """
+        suspected = self._suspector(pid)
+        return [nbr for nbr in self.graph.neighbors(pid) if nbr not in suspected]
+
+    def _suitors(self, pid: ProcessId) -> List[ProcessId]:
+        return [nbr for nbr in self._trusted_neighbors(pid) if self._pointer(nbr) == pid]
+
+    def _unengaged_neighbors(self, pid: ProcessId) -> List[ProcessId]:
+        return [nbr for nbr in self._trusted_neighbors(pid) if self._pointer(nbr) is None]
+
+    def enabled_actions(self, pid: ProcessId) -> List[str]:
+        pointer = self._pointer(pid)
+        actions: List[str] = []
+        if pointer is None:
+            if self._suitors(pid):
+                actions.append(MARRY)
+            elif self._unengaged_neighbors(pid):
+                actions.append(PROPOSE)
+        else:
+            if pointer in self._suspector(pid):
+                actions.append(WIDOW)
+            partner_pointer = self._pointer(pointer)
+            if partner_pointer is not None and partner_pointer != pid:
+                actions.append(BACK_OFF)
+        return actions
+
+    def execute(self, pid: ProcessId) -> Optional[str]:
+        actions = self.enabled_actions(pid)
+        if not actions:
+            return None
+        action = actions[0]
+        if action == MARRY:
+            self.write(pid, min(self._suitors(pid)))
+        elif action == PROPOSE:
+            self.write(pid, min(self._unengaged_neighbors(pid)))
+        else:  # BACK_OFF or WIDOW
+            self.write(pid, None)
+        return action
+
+    # ------------------------------------------------------------------
+    # Legitimacy
+    # ------------------------------------------------------------------
+    def matched_pairs(self) -> Set[Tuple[ProcessId, ProcessId]]:
+        """Mutually pointing pairs (the matching)."""
+        pairs: Set[Tuple[ProcessId, ProcessId]] = set()
+        for pid in self.graph.nodes:
+            partner = self._pointer(pid)
+            if partner is not None and self._pointer(partner) == pid:
+                pairs.add((min(pid, partner), max(pid, partner)))
+        return pairs
+
+    def legitimate(self, live: Iterable[ProcessId]) -> bool:
+        """No live process has an enabled rule.
+
+        By the rule structure, live quiescence means every live pointer is
+        half of a mutual pair (or aimed at a not-yet-suspected crashed
+        partner, which ◇P₁ completeness makes transient) and no two
+        unengaged live neighbors remain — i.e. the matching is maximal on
+        the live subgraph.
+        """
+        return not any(self.enabled_actions(pid) for pid in live)
+
+    def corrupt(self, pid: ProcessId, rng: random.Random) -> str:
+        old = self._pointer(pid)
+        choices: List[Optional[ProcessId]] = [None] + list(self.graph.neighbors(pid))
+        new = rng.choice(choices)
+        self.write(pid, new)
+        return f"pointer[{pid}]: {old} -> {new}"

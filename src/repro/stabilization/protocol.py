@@ -1,0 +1,91 @@
+"""Guarded-command protocol abstraction for daemon-hosted protocols.
+
+The paper models each process of a self-stabilizing protocol as a set of
+guarded commands over locally shared memory: a process's action may read
+its neighbors' registers and write its own.  The daemon guarantees that a
+scheduled process runs one enabled action with no conflicting neighbor
+running simultaneously (up to the finitely many pre-convergence ◇WX
+mistakes).
+
+:class:`GuardedProtocol` is the base class concrete protocols extend.  It
+owns the per-process registers (this models locally shared memory — the
+*scheduling*, not the data plane, is what the daemon provides) and the
+bookkeeping hooks the daemon and the experiments need:
+
+* :meth:`execute` — fire one enabled action at a process;
+* :meth:`legitimate` — the closed safety predicate over live processes;
+* :meth:`corrupt` — transient fault injection (arbitrary register value);
+* :meth:`conflict_edges` — which registers disagree (diagnostics).
+
+Concrete protocols: :mod:`repro.stabilization.token_ring`,
+:mod:`repro.stabilization.coloring_protocol`,
+:mod:`repro.stabilization.matching`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Optional
+
+from repro.errors import ConfigurationError
+from repro.graphs.conflict import ConflictGraph, ProcessId
+
+
+class GuardedProtocol:
+    """Base class for daemon-hosted guarded-command protocols."""
+
+    def __init__(self, graph: ConflictGraph) -> None:
+        self.graph = graph
+        self._registers: Dict[ProcessId, object] = {}
+
+    # ------------------------------------------------------------------
+    # Register (locally shared memory) access
+    # ------------------------------------------------------------------
+    def read(self, pid: ProcessId):
+        """Read a process's register (any process may read any neighbor's)."""
+        try:
+            return self._registers[pid]
+        except KeyError:
+            raise ConfigurationError(f"no register for process {pid}") from None
+
+    def write(self, pid: ProcessId, value) -> None:
+        """Write a process's own register."""
+        if pid not in self.graph:
+            raise ConfigurationError(f"unknown process {pid}")
+        self._registers[pid] = value
+
+    def snapshot(self) -> Dict[ProcessId, object]:
+        """Copy of the global register state (tests and diagnostics)."""
+        return dict(self._registers)
+
+    # ------------------------------------------------------------------
+    # Protocol interface (subclasses implement)
+    # ------------------------------------------------------------------
+    def enabled_actions(self, pid: ProcessId) -> List[str]:
+        """Names of this process's currently enabled guarded commands."""
+        raise NotImplementedError
+
+    def execute(self, pid: ProcessId) -> Optional[str]:
+        """Fire one enabled action at ``pid``; return its name or None.
+
+        Must be atomic with respect to the register map (the daemon
+        provides the exclusion; this method just applies the command).
+        """
+        raise NotImplementedError
+
+    def legitimate(self, live: Iterable[ProcessId]) -> bool:
+        """The protocol's closed safety predicate, judged over ``live``."""
+        raise NotImplementedError
+
+    def corrupt(self, pid: ProcessId, rng: random.Random) -> str:
+        """Set ``pid``'s register to an arbitrary value; return a detail string."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+    def has_enabled(self, pid: ProcessId) -> bool:
+        return bool(self.enabled_actions(pid))
+
+    def enabled_anywhere(self, live: Iterable[ProcessId]) -> bool:
+        return any(self.has_enabled(pid) for pid in live)

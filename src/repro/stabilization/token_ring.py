@@ -1,0 +1,114 @@
+"""Dijkstra's K-state self-stabilizing token ring (1974).
+
+The canonical self-stabilizing protocol, and the canonical daemon client:
+from *any* register configuration it converges to exactly one circulating
+token — but only if every process keeps taking steps, which is precisely
+what the wait-free daemon guarantees.
+
+Processes sit on a ring ``0, 1, …, n-1``.  Each holds a counter in
+``{0, …, K-1}`` with ``K > n``:
+
+* the **root** (position 0) is enabled ("has the token") when its counter
+  equals its predecessor's (position n-1); its action increments modulo K;
+* every **other** process is enabled when its counter differs from its
+  predecessor's; its action copies the predecessor.
+
+Legitimacy: exactly one process enabled.  Transient faults (arbitrary
+counter corruption) create extra tokens; Dijkstra's theorem says they die
+out within O(n²) daemon-fair steps.
+
+Crash caveat: a crashed process freezes its counter and breaks token
+circulation, so this protocol is the daemon's client in *crash-free*
+transient-fault runs (E7a); the crash-tolerant clients are the coloring
+and matching protocols.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List, Optional
+
+from repro.errors import ConfigurationError
+from repro.graphs.conflict import ConflictGraph, ProcessId
+from repro.graphs.topologies import ring
+from repro.stabilization.protocol import GuardedProtocol
+
+MOVE_TOKEN = "advance-token"
+COPY_PREDECESSOR = "copy-predecessor"
+
+
+class DijkstraTokenRing(GuardedProtocol):
+    """K-state token ring on ``n`` processes (ids ``0..n-1``).
+
+    Parameters
+    ----------
+    n:
+        Ring size (the conflict graph is built internally: dining
+        neighbors are ring neighbors, which is exactly the conflict
+        relation — a process's action reads its predecessor's register).
+    k:
+        Counter alphabet size; must exceed ``n`` for self-stabilization.
+    initial:
+        Optional initial counters (defaults to all zero — a legitimate
+        state with the token at the root).
+    """
+
+    def __init__(self, n: int, *, k: Optional[int] = None, initial: Optional[List[int]] = None) -> None:
+        if n < 3:
+            raise ConfigurationError("token ring needs at least 3 processes")
+        super().__init__(ring(n))
+        self.n = n
+        self.k = k if k is not None else n + 1
+        if self.k <= n:
+            raise ConfigurationError(f"need K > n for stabilization; got K={self.k}, n={n}")
+        values = initial if initial is not None else [0] * n
+        if len(values) != n:
+            raise ConfigurationError(f"initial state has {len(values)} values for {n} processes")
+        for pid, value in enumerate(values):
+            self.write(pid, int(value) % self.k)
+
+    # ------------------------------------------------------------------
+    # Protocol interface
+    # ------------------------------------------------------------------
+    def _predecessor(self, pid: ProcessId) -> ProcessId:
+        return (pid - 1) % self.n
+
+    def holds_token(self, pid: ProcessId) -> bool:
+        """Token = enabled guard, per Dijkstra's reading."""
+        own = self.read(pid)
+        pred = self.read(self._predecessor(pid))
+        if pid == 0:
+            return own == pred
+        return own != pred
+
+    def enabled_actions(self, pid: ProcessId) -> List[str]:
+        if not self.holds_token(pid):
+            return []
+        return [MOVE_TOKEN if pid == 0 else COPY_PREDECESSOR]
+
+    def execute(self, pid: ProcessId) -> Optional[str]:
+        if not self.holds_token(pid):
+            return None
+        if pid == 0:
+            self.write(pid, (self.read(pid) + 1) % self.k)
+            return MOVE_TOKEN
+        self.write(pid, self.read(self._predecessor(pid)))
+        return COPY_PREDECESSOR
+
+    def token_holders(self) -> List[ProcessId]:
+        return [pid for pid in range(self.n) if self.holds_token(pid)]
+
+    def legitimate(self, live: Iterable[ProcessId]) -> bool:
+        """Exactly one token in the whole ring.
+
+        The ring is only a sensible client when every process is live, so
+        legitimacy here is global; ``live`` is accepted for interface
+        uniformity.
+        """
+        return len(self.token_holders()) == 1
+
+    def corrupt(self, pid: ProcessId, rng: random.Random) -> str:
+        old = self.read(pid)
+        new = rng.randrange(self.k)
+        self.write(pid, new)
+        return f"counter[{pid}]: {old} -> {new}"

@@ -1,0 +1,226 @@
+"""Online invariant checkers.
+
+These run *during* a simulation (as kernel step listeners or network
+monitors) and raise the moment an invariant breaks, with the virtual time
+and the witnesses in the message.  They give the test suite teeth: a
+regression that duplicates a fork or overflows a channel fails at the
+first bad state instead of producing a subtly wrong trace.
+
+* :class:`ForkUniquenessChecker` — Lemma 1.2: between each pair of
+  neighbors the fork is unique; both endpoints believing they hold it is
+  the canonical violation.  (Both *not* holding it is legal: the fork is
+  in transit.)  Same for the token.
+* :class:`ChannelBoundChecker` — Section 7: at most ``bound`` (= 4)
+  dining-layer messages in transit per edge.
+* :class:`FifoChecker` — the channel assumption itself: per directed
+  channel, deliveries happen in send order.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.errors import (
+    ChannelCapacityError,
+    FifoViolationError,
+    ForkDuplicationError,
+    InvariantViolation,
+)
+from repro.sim.monitors import ChannelOccupancyMonitor, message_layer
+from repro.sim.network import NetworkMonitor
+from repro.sim.time import Instant
+
+ProcessId = int
+
+
+class ForkUniquenessChecker:
+    """Verifies fork (and token) uniqueness across every edge.
+
+    ``diners`` maps pid to any object exposing ``holds_fork(neighbor)`` and
+    ``holds_token(neighbor)`` plus a ``crashed`` flag — the dining actors
+    do.  Attach via ``sim.add_step_listener(checker.check)``; every
+    processed event re-checks all edges.  Crashed endpoints are skipped:
+    their frozen local state is unobservable to the system.
+    """
+
+    def __init__(self, diners: Dict[ProcessId, object], edges: Sequence[Tuple[ProcessId, ProcessId]]) -> None:
+        self._diners = diners
+        self._edges = tuple(edges)
+        self.checks_performed = 0
+
+    def check(self, now: Instant) -> None:
+        self.checks_performed += 1
+        for a, b in self._edges:
+            diner_a = self._diners[a]
+            diner_b = self._diners[b]
+            if diner_a.crashed or diner_b.crashed:
+                continue
+            if diner_a.holds_fork(b) and diner_b.holds_fork(a):
+                raise ForkDuplicationError(
+                    f"t={now}: both {a} and {b} hold the fork for edge ({a},{b})"
+                )
+            if diner_a.holds_token(b) and diner_b.holds_token(a):
+                raise ForkDuplicationError(
+                    f"t={now}: both {a} and {b} hold the token for edge ({a},{b})"
+                )
+
+
+class ChannelBoundChecker(ChannelOccupancyMonitor):
+    """Raises when any edge carries more than ``bound`` messages of a layer.
+
+    Register as a network monitor.  The paper's bound for the dining layer
+    is 4 (one fork, one token, and one ping-or-ack per direction).
+    """
+
+    def __init__(self, bound: int = 4, layer: Optional[str] = "dining") -> None:
+        super().__init__(layer=layer)
+        self.bound = int(bound)
+
+    def on_send(self, src: ProcessId, dst: ProcessId, message, time: Instant) -> None:
+        super().on_send(src, dst, message, time)
+        if self._layer is not None and message_layer(message) != self._layer:
+            return
+        edge = (src, dst) if src <= dst else (dst, src)
+        if self.current[edge] > self.bound:
+            raise ChannelCapacityError(
+                f"t={time}: {self.current[edge]} {self._layer or 'total'} messages in "
+                f"transit on edge {edge}, bound is {self.bound} "
+                f"(latest: {type(message).__name__} {src}->{dst})"
+            )
+
+
+class FifoChecker(NetworkMonitor):
+    """Verifies per-directed-channel FIFO delivery.
+
+    Tags each sent message with a per-channel sequence number and checks
+    deliveries (and drops) consume sequence numbers in order.  Identity-
+    based: messages must be distinct objects per send, which holds for all
+    library message types except deliberately shared immutables — those
+    are tracked by send order per (channel, object) occurrence count.
+    """
+
+    def __init__(self) -> None:
+        self._pending: Dict[Tuple[ProcessId, ProcessId], list] = {}
+        self._seq: Dict[Tuple[ProcessId, ProcessId], "itertools.count"] = {}
+
+    def on_send(self, src: ProcessId, dst: ProcessId, message, time: Instant) -> None:
+        channel = (src, dst)
+        counter = self._seq.setdefault(channel, itertools.count())
+        self._pending.setdefault(channel, []).append((next(counter), id(message)))
+
+    def _consume(self, src: ProcessId, dst: ProcessId, message, time: Instant) -> None:
+        channel = (src, dst)
+        pending = self._pending.get(channel, [])
+        if not pending:
+            raise FifoViolationError(
+                f"t={time}: delivery on {channel} with no pending send"
+            )
+        seq, front_id = pending[0]
+        if front_id != id(message):
+            # The delivered message is not the oldest in-flight one: find
+            # which send it was, for a useful error, then fail.
+            position = next(
+                (idx for idx, (_, mid) in enumerate(pending) if mid == id(message)),
+                None,
+            )
+            raise FifoViolationError(
+                f"t={time}: channel {channel} delivered send "
+                f"#{'?' if position is None else pending[position][0]} "
+                f"({type(message).__name__}) ahead of send #{seq}"
+            )
+        pending.pop(0)
+
+    def on_deliver(self, src: ProcessId, dst: ProcessId, message, time: Instant) -> None:
+        self._consume(src, dst, message, time)
+
+    def on_drop(self, src: ProcessId, dst: ProcessId, message, time: Instant) -> None:
+        self._consume(src, dst, message, time)
+
+
+class DinerLocalInvariantChecker:
+    """Verifies the proof-level local invariants of Algorithm 1.
+
+    These are the facts the paper's lemmas lean on, checked after every
+    event on every live diner:
+
+    * **eating ⇒ inside** — the phases are nested (Action 9 fires only
+      inside; Action 10 leaves both together);
+    * **ack ⇒ hungry ∧ outside** — Action 4's guard and Action 5's reset
+      keep stale acks from surviving into the doorway;
+    * **replied ⇒ hungry ∧ outside** — the one-ack-per-session throttle's
+      bookkeeping, reset on entry (Action 5);
+    * **Lemma 2.2** — at most one pending ping per ordered pair: the
+      ``pinged`` flag is set exactly while a ping/deferred-ping/returning
+      ack is outstanding, so a diner never has ``pinged`` false while its
+      own ping is still in flight.
+
+    The message-level half of Lemma 2.2 (never two pings in flight on one
+    directed channel) is checked by :class:`PendingPingChecker` below,
+    which sees the actual traffic.
+
+    Attach with ``sim.add_step_listener(checker.check)``.
+    """
+
+    def __init__(self, diners: Dict[ProcessId, object]) -> None:
+        self._diners = diners
+        self.checks_performed = 0
+
+    def check(self, now: Instant) -> None:
+        self.checks_performed += 1
+        for pid, diner in self._diners.items():
+            if diner.crashed:
+                continue
+            if diner.is_eating and not diner.inside:
+                raise InvariantViolation(
+                    f"t={now}: diner {pid} is eating outside the doorway"
+                )
+            hungry_outside = diner.is_hungry and not diner.inside
+            for neighbor, link in diner._links_in_order():
+                if link.ack and not hungry_outside:
+                    raise InvariantViolation(
+                        f"t={now}: diner {pid} holds a doorway ack for {neighbor} "
+                        f"while {diner.phase}/{'inside' if diner.inside else 'outside'}"
+                    )
+                if link.replied and not hungry_outside:
+                    raise InvariantViolation(
+                        f"t={now}: diner {pid} has replied[{neighbor}] set "
+                        f"while {diner.phase}/{'inside' if diner.inside else 'outside'}"
+                    )
+
+
+class PendingPingChecker(NetworkMonitor):
+    """Lemma 2.2 on the wire: per ordered pair, one outstanding ping-ack.
+
+    A ping from *i* to *j* is *outstanding* from its send until *i*
+    receives the matching ack (deferral at *j* keeps it outstanding).
+    The lemma bounds outstanding pings per (initiator, responder) pair at
+    one; a second concurrent ping is an algorithm bug.
+    """
+
+    def __init__(self) -> None:
+        self._outstanding: Dict[Tuple[ProcessId, ProcessId], int] = {}
+
+    def on_send(self, src: ProcessId, dst: ProcessId, message, time: Instant) -> None:
+        name = type(message).__name__
+        if name == "Ping":
+            pair = (src, dst)
+            count = self._outstanding.get(pair, 0) + 1
+            if count > 1:
+                raise InvariantViolation(
+                    f"t={time}: second concurrent ping {src}->{dst} (Lemma 2.2)"
+                )
+            self._outstanding[pair] = count
+
+    def on_deliver(self, src: ProcessId, dst: ProcessId, message, time: Instant) -> None:
+        if type(message).__name__ == "Ack":
+            # Ack from src back to dst's initiator: retire (dst, src).
+            pair = (dst, src)
+            if self._outstanding.get(pair, 0) > 0:
+                self._outstanding[pair] -= 1
+
+    def on_drop(self, src: ProcessId, dst: ProcessId, message, time: Instant) -> None:
+        # A dropped ack (dead initiator) retires nothing observable; a
+        # dropped ping stays "outstanding" forever on the initiator's
+        # side, exactly as the quiescence argument describes.
+        pass

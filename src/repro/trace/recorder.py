@@ -1,0 +1,92 @@
+"""Trace recorder: the append-only event log of a run.
+
+One :class:`TraceRecorder` is shared by all actors of a simulation.  It
+keeps records in arrival order (which, by kernel determinism, is a total
+order consistent with virtual time) and offers typed accessors so analysis
+code never isinstance-scans the raw list.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Type, TypeVar
+
+from repro.sim.time import Instant
+from repro.trace.events import (
+    Crash,
+    DoorwayChange,
+    PhaseChange,
+    ProtocolStep,
+    SuspicionChange,
+    TransientFault,
+)
+
+R = TypeVar("R")
+
+
+class TraceRecorder:
+    """Append-only, type-indexed event log."""
+
+    def __init__(self) -> None:
+        self._records: List[object] = []
+        self._by_type: dict = {}
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record(self, record: object) -> None:
+        """Append one record (any of the types in :mod:`repro.trace.events`)."""
+        self._records.append(record)
+        self._by_type.setdefault(type(record), []).append(record)
+
+    # Convenience emitters used by the actors --------------------------
+    def phase_change(self, time: Instant, pid: int, old_phase: str, new_phase: str) -> None:
+        self.record(PhaseChange(time, pid, old_phase, new_phase))
+
+    def doorway_change(self, time: Instant, pid: int, inside: bool) -> None:
+        self.record(DoorwayChange(time, pid, inside))
+
+    def suspicion_change(self, time: Instant, observer: int, suspect: int, suspected: bool) -> None:
+        self.record(SuspicionChange(time, observer, suspect, suspected))
+
+    def crash(self, time: Instant, pid: int) -> None:
+        self.record(Crash(time, pid))
+
+    def protocol_step(self, time: Instant, pid: int, action: str, detail: Optional[str] = None) -> None:
+        self.record(ProtocolStep(time, pid, action, detail))
+
+    def transient_fault(self, time: Instant, pid: int, detail: str) -> None:
+        self.record(TransientFault(time, pid, detail))
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[object]:
+        return iter(self._records)
+
+    def of_type(self, record_type: Type[R]) -> List[R]:
+        """All records of exactly ``record_type``, in arrival order."""
+        return list(self._by_type.get(record_type, ()))
+
+    def phase_changes(self, pid: Optional[int] = None) -> List[PhaseChange]:
+        records = self.of_type(PhaseChange)
+        if pid is None:
+            return records
+        return [r for r in records if r.pid == pid]
+
+    def doorway_changes(self, pid: Optional[int] = None) -> List[DoorwayChange]:
+        records = self.of_type(DoorwayChange)
+        if pid is None:
+            return records
+        return [r for r in records if r.pid == pid]
+
+    def crashes(self) -> List[Crash]:
+        return self.of_type(Crash)
+
+    def protocol_steps(self, pid: Optional[int] = None) -> List[ProtocolStep]:
+        records = self.of_type(ProtocolStep)
+        if pid is None:
+            return records
+        return [r for r in records if r.pid == pid]

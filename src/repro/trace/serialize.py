@@ -1,0 +1,96 @@
+"""Trace serialization: JSON-lines export and import.
+
+Lets a recorded run be archived, diffed across versions, or analyzed in
+external tooling.  Each record becomes one JSON object with a ``kind``
+discriminator; round-tripping through :func:`dump_jsonl` /
+:func:`load_jsonl` reproduces an equivalent
+:class:`~repro.trace.recorder.TraceRecorder` (same records, same order).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import IO, Iterable, Type
+
+from repro.errors import ConfigurationError
+from repro.trace.events import (
+    Crash,
+    DoorwayChange,
+    PhaseChange,
+    ProtocolStep,
+    SuspicionChange,
+    TransientFault,
+)
+from repro.trace.recorder import TraceRecorder
+
+_RECORD_TYPES: dict = {
+    "phase": PhaseChange,
+    "doorway": DoorwayChange,
+    "suspicion": SuspicionChange,
+    "crash": Crash,
+    "protocol_step": ProtocolStep,
+    "transient_fault": TransientFault,
+}
+_KIND_OF: dict = {cls: kind for kind, cls in _RECORD_TYPES.items()}
+
+
+def record_to_dict(record: object) -> dict:
+    """One trace record as a plain dict with its ``kind`` tag."""
+    cls: Type = type(record)
+    kind = _KIND_OF.get(cls)
+    if kind is None:
+        raise ConfigurationError(f"cannot serialize trace record of type {cls.__name__}")
+    data = dataclasses.asdict(record)
+    data["kind"] = kind
+    return data
+
+
+def record_from_dict(data: dict) -> object:
+    """Inverse of :func:`record_to_dict`."""
+    data = dict(data)
+    kind = data.pop("kind", None)
+    cls = _RECORD_TYPES.get(kind)
+    if cls is None:
+        raise ConfigurationError(f"unknown trace record kind {kind!r}")
+    try:
+        return cls(**data)
+    except TypeError as exc:
+        raise ConfigurationError(f"malformed {kind} record: {exc}") from None
+
+
+def dump_jsonl(trace: TraceRecorder, stream: IO[str]) -> int:
+    """Write every record as one JSON line; returns the record count."""
+    count = 0
+    for record in trace:
+        stream.write(json.dumps(record_to_dict(record), sort_keys=True))
+        stream.write("\n")
+        count += 1
+    return count
+
+
+def load_jsonl(lines: Iterable[str]) -> TraceRecorder:
+    """Rebuild a TraceRecorder from JSON lines (blank lines skipped)."""
+    trace = TraceRecorder()
+    for line_number, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            data = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"line {line_number}: invalid JSON ({exc})") from None
+        trace.record(record_from_dict(data))
+    return trace
+
+
+def dump_path(trace: TraceRecorder, path: str) -> int:
+    """Write the trace to ``path``; returns the record count."""
+    with open(path, "w", encoding="utf-8") as stream:
+        return dump_jsonl(trace, stream)
+
+
+def load_path(path: str) -> TraceRecorder:
+    """Read a trace previously written by :func:`dump_path`."""
+    with open(path, "r", encoding="utf-8") as stream:
+        return load_jsonl(stream)

@@ -1,0 +1,5 @@
+"""Small-scope verification: exhaustive exploration of the real diners."""
+
+from repro.verify.explore import ExplorationReport, Violation, explore_dining
+
+__all__ = ["ExplorationReport", "Violation", "explore_dining"]

@@ -1,0 +1,408 @@
+"""Exhaustive small-scope exploration of the real diner implementation.
+
+The discrete-event simulator samples *one* schedule per seed; the proofs
+quantify over *all* admissible asynchronous schedules.  This module
+closes that gap for small configurations: it drives the actual
+:class:`~repro.core.diner.DinerActor` objects (no model twin that could
+drift from the code) through **every** reachable interleaving of message
+deliveries and timer firings, subject only to the paper's channel
+assumption (per-channel FIFO delivery), and checks in every reachable
+state that
+
+* **fork/token uniqueness** holds (Lemma 1.2),
+* **no two neighbors eat simultaneously** — with a crash-free run and the
+  null detector, Algorithm 1's weak exclusion is *perpetual*, so this is
+  a safety property of every state, not just a suffix,
+* **no deadlock**: a state with no enabled event leaves no diner hungry.
+
+State space is made finite by bounding hungry sessions per diner
+(``max_sessions``); exploration is DFS with canonical-state
+deduplication.  Branching is **replay-based**: each node stores only its
+choice path and is rebuilt from the root by re-firing it — world
+construction and firing are deterministic, and replay sidesteps the
+classic ``copy.deepcopy`` trap where copied timer closures still point at
+the original actors.  Mutation tests in the suite confirm the explorer
+detects seeded bugs (an eager fork grant, a dropped doorway reset), so
+"0 violations" is a meaningful verdict, not a silent pass.
+
+This is bounded model checking of the implementation itself — small
+scopes only (two to four diners), which is exactly where interleaving
+bugs live.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.diner import DinerActor
+from repro.core.workload import AlwaysHungry
+from repro.detectors.base import NullDetector
+from repro.errors import ConfigurationError
+from repro.graphs.coloring import Coloring, greedy_coloring
+from repro.graphs.conflict import ConflictGraph, ProcessId
+from repro.sim.rng import RandomStreams
+from repro.trace.recorder import TraceRecorder
+
+
+# ----------------------------------------------------------------------
+# Minimal pluggable world: a choice-driven kernel and FIFO micro-network
+# ----------------------------------------------------------------------
+class _Handle:
+    """Cancellable stand-in for a kernel event handle."""
+
+    __slots__ = ("cancelled",)
+
+    def __init__(self) -> None:
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+@dataclass
+class _Timer:
+    label: str
+    action: Callable[[], None]
+    handle: _Handle = field(default_factory=_Handle)
+
+
+class _ChoiceKernel:
+    """Duck-typed Simulator: scheduling queues choices instead of times.
+
+    Virtual time is meaningless under pure asynchrony; ``now`` is frozen
+    at 0 and every scheduled callback becomes an explorable choice.
+    """
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self.timers: List[_Timer] = []
+        self.streams = RandomStreams(0)  # drawn only by workload durations
+
+    def schedule_after(self, delay, action, *, priority=None, label=""):
+        timer = _Timer(label=label, action=action)
+        self.timers.append(timer)
+        return timer.handle
+
+    def schedule_at(self, time, action, *, priority=None, label=""):
+        return self.schedule_after(0.0, action, priority=priority, label=label)
+
+
+class _FifoMicroNet:
+    """Per-directed-channel FIFO queues; delivery is an explorable choice."""
+
+    def __init__(self) -> None:
+        self.actors: Dict[ProcessId, DinerActor] = {}
+        self.channels: Dict[Tuple[ProcessId, ProcessId], List[object]] = {}
+
+    def register(self, actor: DinerActor) -> None:
+        self.actors[actor.pid] = actor
+
+    def send(self, src: ProcessId, dst: ProcessId, message) -> None:
+        self.channels.setdefault((src, dst), []).append(message)
+
+    def deliver_head(self, channel: Tuple[ProcessId, ProcessId]) -> None:
+        message = self.channels[channel].pop(0)
+        if not self.channels[channel]:
+            del self.channels[channel]
+        src, dst = channel
+        self.actors[dst].deliver(src, message)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One property failure, with the path of event labels reaching it."""
+
+    kind: str  # "exclusion" | "fork-duplication" | "deadlock" | ...
+    detail: str
+    path: Tuple[str, ...]
+
+
+@dataclass
+class ExplorationReport:
+    """Outcome of one exhaustive exploration."""
+
+    states_visited: int
+    events_fired: int
+    terminal_states: int
+    max_depth: int
+    violations: List[Violation]
+    truncated: bool  # hit the max_states budget before exhausting
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations and not self.truncated
+
+
+class _World:
+    """One exploration node: the full object graph plus the path to it."""
+
+    def __init__(
+        self,
+        graph: ConflictGraph,
+        coloring: Coloring,
+        max_sessions: int,
+        crashable: Tuple[ProcessId, ...] = (),
+    ) -> None:
+        self.graph = graph
+        self.kernel = _ChoiceKernel()
+        self.net = _FifoMicroNet()
+        self.path: Tuple[str, ...] = ()
+        self.detector = NullDetector(graph)
+        # Crash exploration: each pid in `crashable` MAY crash — the crash
+        # is one more nondeterministic choice, available at every state,
+        # so the search covers a crash at every possible point of every
+        # schedule.  Detection is modeled as the perfect detector: one
+        # one-shot choice per correct neighbor, enabled from the crash on
+        # (strong completeness = DFS covers the branches where it fires;
+        # strong accuracy = no suspicion choice exists before the crash).
+        self.crashable: Tuple[ProcessId, ...] = tuple(crashable)
+        self.crashed_set: set = set()
+        self.pending_detections: List[Tuple[ProcessId, ProcessId]] = []
+        workload = AlwaysHungry(eat_time=1.0, think_time=1.0, max_sessions=max_sessions)
+        trace = TraceRecorder()
+        self.diners: Dict[ProcessId, DinerActor] = {}
+        for pid in graph.nodes:
+            diner = DinerActor(pid, graph, coloring, self.detector, workload, trace)
+            diner.bind(self.kernel, self.net)
+            self.net.register(diner)
+            self.diners[pid] = diner
+        for pid in graph.nodes:
+            self.diners[pid].on_start()
+            self.diners[pid].reevaluate()
+
+    # -- choices ---------------------------------------------------------
+    def enabled_choices(self) -> List[Tuple[str, str]]:
+        """(kind, key) of every explorable event, deterministic order."""
+        choices: List[Tuple[str, str]] = []
+        for index, timer in enumerate(self.kernel.timers):
+            if not timer.handle.cancelled:
+                choices.append(("timer", str(index)))
+        for channel in sorted(self.net.channels):
+            choices.append(("deliver", f"{channel[0]}->{channel[1]}"))
+        for pid in self.crashable:
+            if pid not in self.crashed_set:
+                choices.append(("crash", str(pid)))
+        for observer, subject in self.pending_detections:
+            choices.append(("detect", f"{observer}~{subject}"))
+        return choices
+
+    def fire(self, kind: str, key: str) -> str:
+        """Apply one choice; returns a human-readable label."""
+        if kind == "timer":
+            timer = self.kernel.timers.pop(int(key))
+            label = timer.label
+            if not timer.handle.cancelled:
+                timer.action()
+            return label
+        if kind == "crash":
+            pid = int(key)
+            self.crashed_set.add(pid)
+            self.diners[pid].crash()
+            for neighbor in self.graph.neighbors(pid):
+                if neighbor not in self.crashed_set:
+                    self.pending_detections.append((neighbor, pid))
+            # A neighbor that crashes later never gets to detect.
+            self.pending_detections = [
+                (obs, sub)
+                for obs, sub in self.pending_detections
+                if obs not in self.crashed_set
+            ]
+            return f"crash@{pid}"
+        if kind == "detect":
+            observer, subject = (int(part) for part in key.split("~"))
+            self.pending_detections.remove((observer, subject))
+            if observer not in self.crashed_set:
+                self.detector.module_for(observer).set_suspicion(subject, True)
+                # The module listener requests re-evaluation through the
+                # kernel; drain the resulting reevaluation timers inline so
+                # suspicion effects are atomic with the detection event.
+                self._drain_reevaluations()
+            return f"detect {subject} at {observer}"
+        src, dst = key.split("->")
+        channel = (int(src), int(dst))
+        message = self.net.channels[channel][0]
+        self.net.deliver_head(channel)
+        return f"deliver {type(message).__name__} {key}"
+
+    def _drain_reevaluations(self) -> None:
+        """Fire any reeval@ timers scheduled by request_reevaluation."""
+        while True:
+            pending = [
+                i
+                for i, t in enumerate(self.kernel.timers)
+                if t.label.startswith("reeval@") and not t.handle.cancelled
+            ]
+            if not pending:
+                return
+            timer = self.kernel.timers.pop(pending[0])
+            timer.action()
+
+    # -- canonical state --------------------------------------------------
+    def state_key(self) -> str:
+        parts: List[str] = []
+        for pid in self.graph.nodes:
+            diner = self.diners[pid]
+            flags = ",".join(
+                f"{nbr}:{int(link.pinged)}{int(link.ack)}{int(link.deferred)}"
+                f"{int(link.replied)}{int(link.fork)}{int(link.token)}"
+                for nbr, link in diner._links_in_order()
+            )
+            suspicion = ",".join(
+                str(nbr) for nbr in sorted(diner.module.suspected_neighbors())
+            )
+            crashed = int(diner.crashed)
+            parts.append(
+                f"{pid}|{diner.phase}|{int(diner.inside)}|{crashed}|{flags}|s:{suspicion}"
+            )
+        # Remaining session budget shapes the future: include it.
+        workload = next(iter(self.diners.values())).workload
+        sessions = ",".join(
+            f"{pid}:{workload._sessions.get(pid, 0)}" for pid in self.graph.nodes
+        )
+        timers = "&".join(
+            sorted(t.label for t in self.kernel.timers if not t.handle.cancelled)
+        )
+        channels = "&".join(
+            f"{a}->{b}:" + ",".join(type(m).__name__ for m in queue)
+            for (a, b), queue in sorted(self.net.channels.items())
+        )
+        fates = (
+            ",".join(str(pid) for pid in sorted(self.crashed_set))
+            + "!"
+            + ",".join(f"{o}~{s}" for o, s in sorted(self.pending_detections))
+        )
+        return "||".join(parts) + f"##{sessions}##{timers}##{channels}##{fates}"
+
+    # -- invariants --------------------------------------------------------
+    def check(self) -> Optional[Violation]:
+        """Safety in the current state, judged over live processes.
+
+        A crashed diner's frozen 'eating' phase is not an execution (the
+        theorems speak of live neighbors), and its frozen fork flags are
+        unobservable, so crashed endpoints are skipped — exactly like the
+        runtime :class:`~repro.trace.invariants.ForkUniquenessChecker`.
+        """
+        for a, b in sorted(self.graph.edges):
+            da, db = self.diners[a], self.diners[b]
+            if da.crashed or db.crashed:
+                continue
+            if da.is_eating and db.is_eating:
+                return Violation(
+                    "exclusion", f"neighbors {a} and {b} eat simultaneously", self.path
+                )
+            if da.holds_fork(b) and db.holds_fork(a):
+                return Violation(
+                    "fork-duplication", f"fork ({a},{b}) duplicated", self.path
+                )
+            if da.holds_token(b) and db.holds_token(a):
+                return Violation(
+                    "fork-duplication", f"token ({a},{b}) duplicated", self.path
+                )
+        return None
+
+    def deadlock_violation(self) -> Optional[Violation]:
+        hungry = [
+            pid
+            for pid, diner in self.diners.items()
+            if diner.is_hungry and not diner.crashed
+        ]
+        if hungry:
+            return Violation(
+                "deadlock", f"no enabled event while {hungry} are hungry", self.path
+            )
+        return None
+
+
+def explore_dining(
+    graph: ConflictGraph,
+    *,
+    coloring: Optional[Coloring] = None,
+    max_sessions: int = 1,
+    max_states: int = 200_000,
+    crashable: Tuple[ProcessId, ...] = (),
+    diner_mutator: Optional[Callable[[DinerActor], None]] = None,
+    stop_at_first_violation: bool = True,
+) -> ExplorationReport:
+    """Exhaustively explore every FIFO-respecting schedule.
+
+    ``crashable`` names processes that *may* crash: the crash becomes one
+    more nondeterministic choice available at every state, and detection
+    by each correct neighbor (perfect-detector semantics) becomes a
+    one-shot choice from the crash on — so the search covers a crash at
+    every point of every schedule, detected at every later point.
+
+    ``diner_mutator`` is applied to every diner of the initial world —
+    the hook the mutation tests use to seed a bug and confirm detection.
+    """
+    if len(graph) > 4:
+        raise ConfigurationError(
+            "exhaustive exploration is for small scopes (≤ 4 diners); "
+            f"got {len(graph)}"
+        )
+    for pid in crashable:
+        if pid not in graph:
+            raise ConfigurationError(f"crashable process {pid} is not in the graph")
+    chosen_coloring = coloring or greedy_coloring(graph)
+
+    def rebuild(choice_path: Tuple[Tuple[str, str], ...]) -> Tuple["_World", Tuple[str, ...]]:
+        """Deterministically reconstruct the world at a choice path."""
+        world = _World(graph, chosen_coloring, max_sessions, crashable=tuple(crashable))
+        if diner_mutator is not None:
+            for diner in world.diners.values():
+                diner_mutator(diner)
+                diner.reevaluate()
+        labels: List[str] = []
+        for kind, choice_key in choice_path:
+            labels.append(world.fire(kind, choice_key))
+        return world, tuple(labels)
+
+    report = ExplorationReport(
+        states_visited=0,
+        events_fired=0,
+        terminal_states=0,
+        max_depth=0,
+        violations=[],
+        truncated=False,
+    )
+    visited = set()
+    stack: List[Tuple[Tuple[str, str], ...]] = [()]
+    while stack:
+        choice_path = stack.pop()
+        world, labels = rebuild(choice_path)
+        report.events_fired += len(choice_path)
+        key = world.state_key()
+        if key in visited:
+            continue
+        visited.add(key)
+        report.states_visited += 1
+        report.max_depth = max(report.max_depth, len(choice_path))
+        if report.states_visited > max_states:
+            report.truncated = True
+            break
+
+        violation = world.check()
+        if violation is not None:
+            report.violations.append(
+                Violation(violation.kind, violation.detail, labels)
+            )
+            if stop_at_first_violation:
+                break
+            continue
+
+        choices = world.enabled_choices()
+        if not choices:
+            deadlock = world.deadlock_violation()
+            if deadlock is not None:
+                report.violations.append(
+                    Violation(deadlock.kind, deadlock.detail, labels)
+                )
+                if stop_at_first_violation:
+                    break
+            else:
+                report.terminal_states += 1
+            continue
+
+        for kind, choice_key in choices:
+            stack.append(choice_path + ((kind, choice_key),))
+    return report

@@ -1,0 +1,30 @@
+"""Shared fixtures and helpers for the repro test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import DiningTable, scripted_detector
+from repro.graphs import topologies
+from repro.sim.crash import CrashPlan
+
+
+@pytest.fixture
+def ring6():
+    return topologies.ring(6)
+
+
+@pytest.fixture
+def path3():
+    return topologies.path(3)
+
+
+def quick_table(graph, **kwargs) -> DiningTable:
+    """A DiningTable with fast, deterministic defaults for unit tests."""
+    kwargs.setdefault("seed", 1)
+    kwargs.setdefault("detector", scripted_detector())
+    return DiningTable(graph, **kwargs)
+
+
+def crash_one(pid: int, at: float) -> CrashPlan:
+    return CrashPlan.scripted({pid: at})

@@ -1,0 +1,158 @@
+"""Unit and scenario tests for the baseline algorithms."""
+
+import pytest
+
+from repro.baselines import (
+    ChoySinghDiner,
+    ForkPriorityDiner,
+    NoDoorwaySuspicionDiner,
+    NoForkSuspicionDiner,
+    choy_singh_table,
+    fork_priority_table,
+    perfect_dining_table,
+)
+from repro.core import AlwaysHungry, DiningTable, scripted_detector
+from repro.detectors import NullDetector, PerfectDetector
+from repro.graphs import path, ring
+from repro.sim.crash import CrashPlan
+from repro.sim.latency import UniformLatency
+
+SQUEEZE = {0: 1, 1: 0, 2: 2}
+
+
+class TestChoySingh:
+    def test_factory_wires_null_detector_and_diner(self, ring6):
+        table = choy_singh_table(ring6, seed=1)
+        assert isinstance(table.detector, NullDetector)
+        assert all(isinstance(d, ChoySinghDiner) for d in table.diners.values())
+
+    def test_factory_rejects_detector_override(self, ring6):
+        with pytest.raises(TypeError):
+            choy_singh_table(ring6, detector=scripted_detector())
+
+    def test_failure_free_run_works(self, ring6):
+        table = choy_singh_table(ring6, seed=1).run(until=150.0)
+        assert table.starving_correct(patience=60.0) == []
+        assert table.violations() == []
+
+    def test_crash_starves_neighbors(self, ring6):
+        table = choy_singh_table(ring6, seed=1, crash_plan=CrashPlan.scripted({2: 20.0}))
+        table.run(until=400.0)
+        starving = table.starving_correct(patience=150.0)
+        assert set(starving) >= {1, 3}  # both ring-neighbors of 2 block
+
+    def test_no_replied_throttle(self):
+        # While hungry and outside, the original grants every ping.
+        table = choy_singh_table(path(2), seed=1)
+        table.run(until=2.0)
+        diner = table.diners[0]
+        diner.state = type(diner.state).HUNGRY
+        diner._on_ping(1)
+        diner._on_ping(1)
+        assert not diner.links[1].replied
+        assert not diner.links[1].deferred
+
+
+class TestForkPriority:
+    def test_factory_defaults_to_null_detector(self):
+        table = fork_priority_table(path(3), seed=1)
+        assert isinstance(table.detector, NullDetector)
+        assert all(isinstance(d, ForkPriorityDiner) for d in table.diners.values())
+
+    def test_no_pings_ever_sent(self):
+        table = fork_priority_table(path(3), seed=1).run(until=100.0)
+        assert "Ping" not in table.message_stats.by_type
+        assert "Ack" not in table.message_stats.by_type
+
+    def test_safety_holds_without_detector(self):
+        table = fork_priority_table(path(3), seed=1).run(until=200.0)
+        assert table.violations() == []
+
+    def test_unbounded_overtaking_of_low_color(self):
+        short = fork_priority_table(
+            path(3),
+            seed=5,
+            coloring=SQUEEZE,
+            workload=AlwaysHungry(eat_time=1.0, think_time=0.01),
+            latency=UniformLatency(0.2, 0.6),
+        ).run(until=250.0)
+        long = fork_priority_table(
+            path(3),
+            seed=5,
+            coloring=SQUEEZE,
+            workload=AlwaysHungry(eat_time=1.0, think_time=0.01),
+            latency=UniformLatency(0.2, 0.6),
+        ).run(until=1000.0)
+        assert short.max_overtaking() > 2
+        assert long.max_overtaking() > short.max_overtaking()
+
+    def test_suspicion_restores_progress_under_crash(self):
+        # The "wait-free but unfair" ablation: fork-priority + ◇P₁.
+        table = fork_priority_table(
+            ring(6),
+            seed=1,
+            detector=scripted_detector(detection_delay=2.0),
+            crash_plan=CrashPlan.scripted({2: 20.0}),
+        ).run(until=300.0)
+        assert table.starving_correct(patience=120.0) == []
+
+    def test_without_detector_crash_starves(self):
+        table = fork_priority_table(
+            ring(6), seed=1, crash_plan=CrashPlan.scripted({2: 20.0})
+        ).run(until=400.0)
+        assert table.starving_correct(patience=150.0) != []
+
+
+class TestPerfectDining:
+    def test_factory_wires_perfect_detector(self, ring6):
+        table = perfect_dining_table(ring6, seed=1)
+        assert isinstance(table.detector, PerfectDetector)
+
+    def test_factory_rejects_detector_override(self, ring6):
+        with pytest.raises(TypeError):
+            perfect_dining_table(ring6, detector=scripted_detector())
+
+    def test_perpetual_weak_exclusion(self, ring6):
+        # With P there is no mistake window: zero violations from t=0.
+        table = perfect_dining_table(
+            ring6, seed=2, crash_plan=CrashPlan.scripted({1: 10.0, 4: 30.0})
+        ).run(until=300.0)
+        assert table.violations() == []
+        assert table.starving_correct(patience=120.0) == []
+
+
+class TestAblations:
+    def test_no_doorway_suspicion_starves_in_phase1(self, ring6):
+        # The crashed process owes acks; without suspicion at the doorway
+        # its neighbors stay outside forever.
+        table = DiningTable(
+            ring6,
+            seed=1,
+            detector=scripted_detector(detection_delay=2.0),
+            diner_factory=NoDoorwaySuspicionDiner,
+            crash_plan=CrashPlan.scripted({2: 5.0}),
+        ).run(until=400.0)
+        starving = table.starving_correct(patience=150.0)
+        assert starving != []
+        # Victims are stuck OUTSIDE the doorway (phase 1).
+        assert all(not table.diners[pid].inside for pid in starving)
+
+    def test_no_fork_suspicion_starves_in_phase2(self, ring6):
+        table = DiningTable(
+            ring6,
+            seed=1,
+            detector=scripted_detector(detection_delay=2.0),
+            diner_factory=NoForkSuspicionDiner,
+            crash_plan=CrashPlan.scripted({2: 5.0}),
+        ).run(until=400.0)
+        starving = table.starving_correct(patience=150.0)
+        assert starving != []
+        # At least one victim got INSIDE and blocks on the dead fork.
+        assert any(table.diners[pid].inside for pid in starving)
+
+    def test_ablations_fine_without_crashes(self, ring6):
+        for factory in (NoDoorwaySuspicionDiner, NoForkSuspicionDiner):
+            table = DiningTable(
+                ring6, seed=1, detector=scripted_detector(), diner_factory=factory
+            ).run(until=150.0)
+            assert table.starving_correct(patience=60.0) == []

@@ -1,0 +1,151 @@
+"""Tests for the scheduling-by-edge-reversal baseline."""
+
+import pytest
+
+from repro.baselines import EdgeReversalDiner, edge_reversal_table
+from repro.core import AlwaysHungry
+from repro.detectors import NullDetector
+from repro.graphs import clique, grid, ring
+from repro.sim.crash import CrashPlan
+
+WORKLOAD = dict(eat_time=1.0, think_time=0.01)
+
+
+def ser(graph, **kwargs):
+    kwargs.setdefault("workload", AlwaysHungry(**WORKLOAD))
+    kwargs.setdefault("seed", 1)
+    return edge_reversal_table(graph, **kwargs)
+
+
+class TestWiring:
+    def test_factory_fixes_detector_and_diner(self):
+        table = ser(ring(6))
+        assert isinstance(table.detector, NullDetector)
+        assert all(isinstance(d, EdgeReversalDiner) for d in table.diners.values())
+
+    def test_factory_rejects_overrides(self):
+        with pytest.raises(TypeError):
+            edge_reversal_table(ring(6), detector=None)
+        with pytest.raises(TypeError):
+            edge_reversal_table(ring(6), diner_factory=EdgeReversalDiner)
+
+    def test_initial_orientation_is_by_color(self):
+        table = ser(ring(6))
+        for a, b in table.graph.edges:
+            higher = a if table.coloring[a] > table.coloring[b] else b
+            lower = b if higher == a else a
+            assert table.diners[higher].holds_fork(lower)
+            assert not table.diners[lower].holds_fork(higher)
+
+    def test_initial_sinks_are_local_color_maxima(self):
+        table = ser(grid(3, 3))
+        for pid, diner in table.diners.items():
+            is_max = all(
+                table.coloring[pid] > table.coloring[nbr]
+                for nbr in table.graph.neighbors(pid)
+            )
+            assert diner.is_sink == is_max
+
+
+class TestCrashFreeGuarantees:
+    @pytest.mark.parametrize("graph", [ring(6), grid(3, 3), clique(5)], ids=["ring", "grid", "clique"])
+    def test_perpetual_weak_exclusion(self, graph):
+        table = ser(graph).run(until=200.0)
+        assert table.violations() == []
+
+    def test_everyone_scheduled_fairly(self):
+        table = ser(ring(6)).run(until=200.0)
+        meals = table.eat_counts()
+        # SER on a symmetric always-hungry ring is perfectly round-robin.
+        assert len(set(meals.values())) == 1
+        assert table.starving_correct(patience=80.0) == []
+
+    def test_no_request_traffic(self):
+        table = ser(ring(6)).run(until=100.0)
+        assert set(table.message_stats.by_type) == {"Fork"}
+
+    def test_fork_uniqueness_invariant_holds(self):
+        # check_invariants defaults on; a duplicated fork would raise.
+        ser(grid(3, 3)).run(until=200.0)
+
+
+class TestCrashFragility:
+    def test_one_crash_starves_the_ring(self):
+        table = ser(ring(6), crash_plan=CrashPlan.scripted({2: 20.0}))
+        table.run(until=400.0)
+        starving = table.starving_correct(patience=150.0)
+        # The dead node pins the orientation; starvation cascades to all.
+        assert set(starving) == {0, 1, 3, 4, 5}
+
+    def test_starvation_stays_local_when_graph_disconnects(self):
+        # Two disjoint triangles: a crash in one leaves the other healthy.
+        from repro.graphs import ConflictGraph
+
+        graph = ConflictGraph(range(6), [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)])
+        table = ser(graph, crash_plan=CrashPlan.scripted({0: 20.0}))
+        table.run(until=400.0)
+        starving = set(table.starving_correct(patience=150.0))
+        assert starving == {1, 2}
+        meals = table.eat_counts()
+        assert all(meals[pid] > 50 for pid in (3, 4, 5))
+
+
+class TestAsDaemon:
+    def test_schedules_protocol_crash_free(self):
+        from repro.core import DistributedDaemon, null_detector
+        from repro.stabilization import GreedyRecoloring
+
+        graph = grid(3, 3)
+        protocol = GreedyRecoloring(graph)
+        daemon = DistributedDaemon(
+            graph,
+            protocol,
+            seed=2,
+            detector=null_detector(),
+            diner_factory=EdgeReversalDiner,
+        )
+        daemon.run(until=200.0)
+        assert daemon.converged()
+        assert daemon.sharing_violations == 0  # perpetual exclusion
+
+    def test_fails_as_daemon_under_crash(self):
+        from repro.core import DistributedDaemon, null_detector
+        from repro.stabilization import GreedyRecoloring
+
+        graph = ring(6)
+        protocol = GreedyRecoloring(graph)
+        daemon = DistributedDaemon(
+            graph,
+            protocol,
+            seed=2,
+            detector=null_detector(),
+            diner_factory=EdgeReversalDiner,
+            crash_plan=CrashPlan.scripted({2: 0.005}),
+        )
+        # Once 2 is dead, its neighbor 1 gets at most its initial meals and
+        # is then pinned (the fork from 2 never returns).  A collision
+        # planted on 1 against the frozen register of 2 is repairable only
+        # by 1 — which the crash-oblivious SER daemon has starved.
+        daemon.table.sim.schedule_at(
+            50.0, lambda: daemon.corrupt_register(1, protocol.read(2))
+        )
+        daemon.run(until=400.0)
+        assert not daemon.converged()
+        assert (1, 2) in protocol.conflict_edges(daemon.live_pids())
+
+        # The wait-free daemon repairs the identical scenario.
+        from repro.core import scripted_detector
+
+        protocol2 = GreedyRecoloring(graph)
+        daemon2 = DistributedDaemon(
+            graph,
+            protocol2,
+            seed=2,
+            detector=scripted_detector(detection_delay=1.0),
+            crash_plan=CrashPlan.scripted({2: 0.005}),
+        )
+        daemon2.table.sim.schedule_at(
+            50.0, lambda: daemon2.corrupt_register(1, protocol2.read(2))
+        )
+        daemon2.run(until=400.0)
+        assert daemon2.converged()

@@ -1,0 +1,85 @@
+"""Deterministic construction of the Section 7 channel-capacity extreme.
+
+The paper bounds in-transit dining messages per edge at 4: the unique
+fork, the unique token (riding a fork request), and one outstanding
+ping-or-ack per direction.  Randomized sweeps rarely exceed 3; this test
+builds a schedule that provably puts exactly four messages in flight on
+one edge at once — and, because the online :class:`ChannelBoundChecker`
+is armed at 4 throughout, simultaneously shows the bound is *tight*: the
+run with four in transit passes, and nothing ever reaches five.
+
+The construction (colors {0:0, 1:1}, so the fork starts at 1):
+
+1. diner 1 eats first (it has the fork) while diner 0's ping arrives —
+   deferred (1 is inside);
+2. diner 0 enters the doorway via a scripted false suspicion, spends its
+   token on a fork request, and starts a long suspicion-authorized meal;
+   the request reaches 1 mid-meal — deferred as token∧fork;
+3. at 1's exit the deferred **Fork** and deferred **Ack** depart on slow
+   channels; 1 immediately re-hungers and sends a fresh **Ping**;
+4. a second scripted suspicion lets 1 re-enter the doorway and spend the
+   (returned) token on a **ForkRequest** — four dining messages now share
+   the 1→0 channel.
+"""
+
+from repro.core import DiningTable, ScriptedWorkload, scripted_detector
+from repro.detectors.scripted import MistakeInterval
+from repro.graphs import path
+from repro.sim.latency import ScriptedLatency
+
+SLOW = 33.0
+
+
+def build_extreme_table() -> DiningTable:
+    workload = ScriptedWorkload(
+        think={0: [2.1], 1: [0.05, 0.05]},
+        eat={0: [30.0], 1: [5.0, 1.0]},
+    )
+    latency = ScriptedLatency(
+        {
+            # 1→0 sends, in order: initial Ping, then the four-in-flight
+            # volley: deferred Fork, deferred Ack, fresh Ping, ForkRequest.
+            (1, 0): [1.0, SLOW, SLOW, SLOW, SLOW],
+        }
+    )
+    detector = scripted_detector(
+        convergence_time=40.0,
+        mistakes=(
+            MistakeInterval(0, 1, 3.15, 39.0),
+            MistakeInterval(1, 0, 7.2, 39.0),
+        ),
+    )
+    return DiningTable(
+        path(2),
+        seed=1,
+        coloring={0: 0, 1: 1},
+        workload=workload,
+        latency=latency,
+        detector=detector,
+        channel_bound=4,  # the online checker proves we never hit 5
+    )
+
+
+class TestChannelCapacityExtreme:
+    def test_four_messages_in_transit_simultaneously(self):
+        table = build_extreme_table()
+        table.run(until=10.0)
+        # Inside the volley window: Fork + Ack + Ping + ForkRequest.
+        assert table.occupancy.current[(0, 1)] == 4
+        assert table.occupancy.peak[(0, 1)] == 4
+
+    def test_bound_never_exceeded_and_run_completes_cleanly(self):
+        table = build_extreme_table()
+        table.run(until=120.0)  # checker would raise on a 5th
+        assert table.occupancy.peak[(0, 1)] == 4
+        # Deliveries drained; Lemma 1.1 held when the late request landed.
+        assert table.occupancy.current[(0, 1)] == 0
+        # Both diners ate (0 once via suspicion, 1 twice).
+        assert table.eat_counts() == {1: 2, 0: 1}
+
+    def test_violations_confined_to_mistake_window(self):
+        table = build_extreme_table()
+        table.run(until=120.0)
+        violations = table.violations()
+        assert violations, "the mutual-suspicion window should overlap meals"
+        assert table.violations_after(39.0 + 30.0) == []  # mistakes + eat margin

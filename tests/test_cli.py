@@ -1,0 +1,125 @@
+"""Tests for the command-line interface (invoked in-process)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_dine_defaults(self):
+        args = build_parser().parse_args(["dine"])
+        assert args.topology == "ring"
+        assert args.n == 8
+        assert args.detector == "scripted"
+
+    def test_rejects_unknown_topology(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["dine", "--topology", "mobius"])
+
+    def test_rejects_unknown_protocol(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["daemon", "--protocol", "paxos"])
+
+
+class TestDine:
+    def test_successful_run_exits_zero(self, capsys):
+        code = main(["dine", "--n", "6", "--crashes", "1", "--horizon", "200"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "starving correct:      none" in out
+        assert "peak msgs per edge" in out
+
+    def test_null_detector_with_crash_exits_nonzero(self, capsys):
+        code = main([
+            "dine", "--n", "6", "--crashes", "1", "--detector", "null",
+            "--convergence", "0", "--horizon", "300",
+        ])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "starving correct:      [" in out
+
+    def test_timeline_flag_prints_lanes(self, capsys):
+        code = main([
+            "dine", "--n", "5", "--crashes", "0", "--horizon", "100",
+            "--timeline", "--width", "40",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "legend:" in out
+        assert out.count("|") >= 10
+
+    def test_heartbeat_detector_end_to_end(self, capsys):
+        code = main([
+            "dine", "--n", "6", "--crashes", "1", "--detector", "heartbeat",
+            "--convergence", "40", "--horizon", "400",
+        ])
+        assert code == 0
+
+
+class TestDaemon:
+    @pytest.mark.parametrize("protocol", ["coloring", "mis", "bfs-tree", "matching"])
+    def test_protocols_converge_crash_free(self, protocol, capsys):
+        code = main([
+            "daemon", "--protocol", protocol, "--topology", "grid",
+            "--n", "9", "--crashes", "0", "--horizon", "300",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "converged:           True" in out
+
+    def test_token_ring_ignores_crashes(self, capsys):
+        code = main([
+            "daemon", "--protocol", "token-ring", "--n", "5",
+            "--crashes", "2", "--horizon", "300",
+        ])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "ignoring --crashes" in captured.err
+
+    def test_reports_steps_and_violations(self, capsys):
+        code = main([
+            "daemon", "--protocol", "coloring", "--topology", "ring",
+            "--n", "6", "--crashes", "2", "--horizon", "300",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "protocol steps:" in out
+        assert "sharing violations:" in out
+
+
+class TestExperiments:
+    def test_only_filter_runs_selected(self, capsys):
+        code = main(["experiments", "--only", "e6"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "E6 — Bounded space" in out
+        assert "E1 —" not in out
+
+
+class TestVerify:
+    def test_clean_verdict_exits_zero(self, capsys):
+        code = main(["verify", "--topology", "path", "--n", "2", "--sessions", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "CLEAN" in out
+
+    def test_crashable_scope(self, capsys):
+        code = main([
+            "verify", "--topology", "path", "--n", "2",
+            "--sessions", "1", "--crashable", "1",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "crashable=[1]" in out
+
+    def test_truncation_exits_two(self, capsys):
+        code = main([
+            "verify", "--topology", "ring", "--n", "3", "--max-states", "20",
+        ])
+        out = capsys.readouterr().out
+        assert code == 2
+        assert "TRUNCATED" in out

@@ -1,0 +1,153 @@
+"""Unit tests for the distributed daemon layered on dining."""
+
+import pytest
+
+from repro.core import DistributedDaemon, null_detector, scripted_detector
+from repro.graphs import grid, ring
+from repro.sim.crash import CrashPlan
+from repro.stabilization import DijkstraTokenRing, GreedyRecoloring
+from repro.trace.events import ProtocolStep, TransientFault
+
+
+def ring_daemon(n=5, *, initial=None, seed=1, **kwargs):
+    protocol = DijkstraTokenRing(n, initial=initial)
+    kwargs.setdefault("detector", scripted_detector())
+    return DistributedDaemon(protocol.graph, protocol, seed=seed, **kwargs), protocol
+
+
+class TestScheduling:
+    def test_steps_execute_inside_eating(self):
+        daemon, protocol = ring_daemon(initial=[2, 0, 0, 0, 0])
+        daemon.run(until=60.0)
+        assert daemon.steps_executed > 0
+        steps = daemon.table.trace.of_type(ProtocolStep)
+        assert steps
+        eaters = {pid for pid in range(5)}
+        assert {s.pid for s in steps} <= eaters
+
+    def test_every_process_scheduled_repeatedly(self):
+        daemon, _ = ring_daemon()
+        daemon.run(until=100.0)
+        meals = daemon.table.eat_counts()
+        assert all(meals.get(pid, 0) >= 3 for pid in range(5))
+
+    def test_noop_steps_not_counted(self):
+        # From the legitimate initial state, only the token holder acts.
+        daemon, protocol = ring_daemon(initial=[0, 0, 0, 0, 0])
+        daemon.run(until=30.0)
+        assert daemon.steps_executed == len(daemon.table.trace.of_type(ProtocolStep))
+
+
+class TestConvergence:
+    def test_token_ring_converges_from_corruption(self):
+        daemon, protocol = ring_daemon(initial=[3, 1, 4, 1, 5])
+        daemon.run(until=200.0)
+        assert daemon.converged()
+        assert len(protocol.token_holders()) == 1
+        assert daemon.convergence_time() is not None
+
+    def test_convergence_time_none_while_illegitimate(self):
+        daemon, protocol = ring_daemon(initial=[3, 1, 4, 1, 5])
+        # Before running, multiple tokens exist.
+        assert not daemon.converged() or daemon.convergence_time() is not None
+        if not daemon.converged():
+            assert daemon.convergence_time() is None
+
+    def test_injected_fault_then_reconverges(self):
+        daemon, protocol = ring_daemon(initial=[0, 0, 0, 0, 0])
+        daemon.run(until=50.0)
+        daemon.table.sim.schedule_at(50.5, lambda: daemon.inject_fault(2))
+        daemon.run(until=200.0)
+        assert daemon.converged()
+        faults = daemon.table.trace.of_type(TransientFault)
+        assert len(faults) == 1
+        assert faults[0].pid == 2
+
+    def test_corrupt_register_targets_value(self):
+        graph = grid(2, 3)
+        protocol = GreedyRecoloring(graph, initial={pid: pid % 2 for pid in graph.nodes})
+        daemon = DistributedDaemon(graph, protocol, seed=2, detector=scripted_detector())
+        daemon.run(until=20.0)
+        neighbor = graph.neighbors(0)[0]
+        daemon.table.sim.schedule_at(
+            21.0, lambda: daemon.corrupt_register(0, protocol.read(neighbor))
+        )
+        daemon.run(until=22.0)
+        recorded = daemon.table.trace.of_type(TransientFault)
+        assert any("targeted" in fault.detail for fault in recorded)
+        daemon.run(until=120.0)
+        assert daemon.converged()
+
+
+class TestViolationModel:
+    def test_sharing_violation_counts_and_corrupts(self):
+        # Force overlap: both diners of an edge suspect each other during
+        # the mistake window, so they eat together and the later one's
+        # step becomes a transient fault.
+        from repro.detectors.scripted import MistakeInterval
+
+        graph = ring(5)
+        protocol = GreedyRecoloring(graph)
+        daemon = DistributedDaemon(
+            graph,
+            protocol,
+            seed=3,
+            detector=scripted_detector(
+                convergence_time=30.0,
+                mistakes=[
+                    MistakeInterval(0, 1, 1.0, 25.0),
+                    MistakeInterval(1, 0, 1.0, 25.0),
+                ],
+            ),
+            step_time=5.0,  # long critical sections maximize overlap
+        )
+        daemon.run(until=30.0)
+        assert daemon.sharing_violations > 0
+        assert daemon.table.trace.of_type(TransientFault)
+
+    def test_fault_on_violation_disabled(self):
+        from repro.detectors.scripted import MistakeInterval
+
+        graph = ring(5)
+        protocol = GreedyRecoloring(graph)
+        daemon = DistributedDaemon(
+            graph,
+            protocol,
+            seed=3,
+            detector=scripted_detector(
+                convergence_time=30.0,
+                mistakes=[
+                    MistakeInterval(0, 1, 1.0, 25.0),
+                    MistakeInterval(1, 0, 1.0, 25.0),
+                ],
+            ),
+            step_time=5.0,
+            fault_on_violation=False,
+        )
+        daemon.run(until=30.0)
+        assert daemon.sharing_violations == 0
+        assert not daemon.table.trace.of_type(TransientFault)
+
+    def test_violations_stop_after_convergence(self):
+        daemon, _ = ring_daemon(
+            detector=scripted_detector(convergence_time=20.0, random_mistakes=True)
+        )
+        daemon.run(until=200.0)
+        early = daemon.sharing_violations
+        daemon.run(until=400.0)
+        assert daemon.sharing_violations == early
+
+
+class TestLivePids:
+    def test_live_pids_shrink_with_crashes(self):
+        protocol = GreedyRecoloring(ring(5))
+        daemon = DistributedDaemon(
+            ring(5),
+            protocol,
+            seed=1,
+            detector=scripted_detector(),
+            crash_plan=CrashPlan.scripted({2: 10.0}),
+        )
+        assert sorted(daemon.live_pids()) == [0, 1, 2, 3, 4]
+        daemon.run(until=20.0)
+        assert sorted(daemon.live_pids()) == [0, 1, 3, 4]

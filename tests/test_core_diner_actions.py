@@ -1,0 +1,335 @@
+"""Action-level unit tests for Algorithm 1.
+
+Each test builds a tiny dining instance with a scripted workload and fixed
+unit latency, runs to a precise virtual time, and asserts the local
+variables and message flows the pseudocode prescribes.  Timeline notation
+in comments: one hop = 1.0 time units.
+"""
+
+import pytest
+
+from repro.core import DiningTable, ScriptedWorkload, scripted_detector
+from repro.core.messages import Ack, Fork, ForkRequest, Ping
+from repro.detectors.scripted import MistakeInterval
+from repro.graphs import path, topologies
+from repro.sim.crash import CrashPlan
+
+# path(2) with 1 as the higher color: fork starts at 1, token at 0.
+PAIR_COLORING = {0: 0, 1: 1}
+
+
+def pair_table(*, think=None, eat=None, detector=None, crash_plan=None, seed=1):
+    workload = ScriptedWorkload(think or {}, eat=eat)
+    return DiningTable(
+        path(2),
+        seed=seed,
+        coloring=PAIR_COLORING,
+        workload=workload,
+        detector=detector or scripted_detector(),
+        crash_plan=crash_plan,
+    )
+
+
+class TestInitialPlacement:
+    def test_fork_at_higher_color_token_at_lower(self):
+        table = pair_table()
+        assert table.diners[1].holds_fork(0)
+        assert not table.diners[1].holds_token(0)
+        assert table.diners[0].holds_token(1)
+        assert not table.diners[0].holds_fork(1)
+
+    def test_all_ping_ack_vars_start_false(self):
+        table = pair_table()
+        for diner in table.diners.values():
+            for _, link in diner._links_in_order():
+                assert not (link.pinged or link.ack or link.deferred or link.replied)
+
+    def test_everyone_starts_thinking_outside(self):
+        table = pair_table()
+        for diner in table.diners.values():
+            assert diner.is_thinking
+            assert not diner.inside
+
+
+class TestSoloHungrySession:
+    """Only diner 0 gets hungry; diner 1 thinks throughout."""
+
+    def test_full_message_sequence(self):
+        # t=1: 0 hungry, pings.  t=2: 1 acks (thinking).  t=3: 0 enters,
+        # requests fork.  t=4: 1 grants.  t=5: 0 eats.  t=6: 0 exits.
+        table = pair_table(think={0: [1.0]})
+        table.run(until=10.0)
+        assert table.message_stats.by_type == {
+            "Ping": 1,
+            "Ack": 1,
+            "ForkRequest": 1,
+            "Fork": 1,
+        }
+        assert table.eat_counts() == {0: 1}
+
+    def test_action2_sets_pinged(self):
+        table = pair_table(think={0: [1.0]})
+        table.run(until=1.5)
+        assert table.diners[0].links[1].pinged
+        assert table.diners[0].is_hungry
+
+    def test_action3_thinking_neighbor_acks_without_replied(self):
+        table = pair_table(think={0: [1.0]})
+        table.run(until=2.5)
+        # 1 acked while thinking, so its replied flag stays false.
+        assert not table.diners[1].links[0].replied
+        assert not table.diners[1].links[0].deferred
+
+    def test_action5_enters_and_resets(self):
+        table = pair_table(think={0: [1.0]})
+        table.run(until=3.5)
+        diner = table.diners[0]
+        assert diner.inside
+        assert not diner.links[1].ack  # reset on entry
+        assert not diner.links[1].replied
+
+    def test_action6_spends_token(self):
+        table = pair_table(think={0: [1.0]})
+        table.run(until=3.5)
+        assert not table.diners[0].holds_token(1)
+
+    def test_action7_outside_grants_immediately(self):
+        table = pair_table(think={0: [1.0]})
+        table.run(until=4.5)
+        assert not table.diners[1].holds_fork(0)  # granted
+        assert table.diners[1].holds_token(0)  # token received with request
+
+    def test_action9_eats_with_all_forks(self):
+        table = pair_table(think={0: [1.0]})
+        table.run(until=5.5)
+        assert table.diners[0].is_eating
+        assert table.diners[0].holds_fork(1)
+
+    def test_action10_exits_to_thinking_outside(self):
+        table = pair_table(think={0: [1.0]})
+        table.run(until=7.0)
+        diner = table.diners[0]
+        assert diner.is_thinking
+        assert not diner.inside
+        # Fork stays with the last eater (no deferred request to honor).
+        assert diner.holds_fork(1)
+
+
+class TestContention:
+    """Both diners hungry at t=1: priority resolves, doorway shares."""
+
+    def test_higher_color_eats_first_then_lower(self):
+        table = pair_table(think={0: [1.0], 1: [1.0]})
+        table.run(until=20.0)
+        starts_1 = [c.time for c in table.trace.phase_changes(1) if c.new_phase == "eating"]
+        starts_0 = [c.time for c in table.trace.phase_changes(0) if c.new_phase == "eating"]
+        assert len(starts_1) == 1 and len(starts_0) == 1
+        assert starts_1[0] < starts_0[0]
+
+    def test_no_exclusion_violation(self):
+        table = pair_table(think={0: [1.0], 1: [1.0]})
+        table.run(until=20.0)
+        assert table.violations() == []
+
+    def test_both_enter_doorway_simultaneously(self):
+        # Simultaneous doorway entry is explicitly legal (Section 3).
+        table = pair_table(think={0: [1.0], 1: [1.0]})
+        table.run(until=3.5)
+        assert table.diners[0].inside
+        assert table.diners[1].inside
+
+    def test_replied_set_when_hungry_acks(self):
+        table = pair_table(think={0: [1.0], 1: [1.0]})
+        table.run(until=2.5)
+        # Each acked the other while hungry and outside.
+        assert table.diners[0].links[1].replied
+        assert table.diners[1].links[0].replied
+
+    def test_eating_defers_fork_request(self):
+        # Give 1 a long meal (t=3..5.5) so 0's request (arrives t=4) is
+        # observably deferred as token∧fork.
+        table = pair_table(think={0: [1.0], 1: [1.0]}, eat={1: [2.5]})
+        table.run(until=4.5)
+        diner1 = table.diners[1]
+        assert diner1.is_eating
+        assert diner1.holds_token(0)
+        assert diner1.holds_fork(0)
+
+    def test_exit_releases_deferred_fork(self):
+        table = pair_table(think={0: [1.0], 1: [1.0]}, eat={1: [2.5]})
+        table.run(until=7.0)
+        # 1 exits at t=5.5 sending the deferred fork; 0 eats at t=6.5.
+        assert not table.diners[1].holds_fork(0)
+        assert table.diners[0].is_eating
+
+
+class TestPingDeferral:
+    def test_ping_deferred_while_inside_and_granted_on_exit(self):
+        # 1 becomes hungry late, while 0 is inside/eating; 0 defers the
+        # ack until its exit (Action 3 then Action 10).
+        table = pair_table(think={0: [1.0], 1: [3.5]}, eat={0: [4.0]})
+        table.run(until=6.0)
+        # 0 eats t=5..9; 1's ping lands ~5.5 while 0 is inside.
+        diner0 = table.diners[0]
+        assert diner0.is_eating
+        assert diner0.links[1].deferred
+        table.run(until=12.0)
+        assert not diner0.links[1].deferred  # granted at exit
+        assert table.eat_counts().get(1) == 1  # 1 eventually ate
+
+
+class TestSuspicionSubstitution:
+    def test_crashed_fork_holder_does_not_block(self):
+        # 1 (fork holder) crashes before anything; 0 must eat via suspicion.
+        table = pair_table(
+            think={0: [1.0]},
+            detector=scripted_detector(detection_delay=2.0),
+            crash_plan=CrashPlan.scripted({1: 0.5}),
+        )
+        table.run(until=10.0)
+        assert table.eat_counts().get(0) == 1
+        # It never held the fork: the meal was authorized by suspicion.
+        assert not table.diners[0].holds_fork(1)
+
+    def test_quiescence_after_crash(self):
+        table = pair_table(
+            think={0: [1.0, 0.5, 0.5, 0.5]},
+            detector=scripted_detector(detection_delay=2.0),
+            crash_plan=CrashPlan.scripted({1: 0.5}),
+        )
+        table.run(until=60.0)
+        # Exactly one ping and one fork request can chase the dead
+        # neighbor; both flags then pin and nothing further is sent.
+        sends = table.quiescence.sends_to(1, layer="dining")
+        assert len(sends) == 2
+        kinds = sorted(s.message_type for s in sends)
+        assert kinds == ["ForkRequest", "Ping"]
+
+    def test_suspicion_cascades_straight_to_eating(self):
+        # With its only neighbor suspected, a hungry diner passes Action 5
+        # and Action 9 in the same instant — suspicion substitutes for
+        # both the ack and the fork.
+        table = pair_table(
+            think={0: [1.0]},
+            detector=scripted_detector(
+                convergence_time=5.0,
+                mistakes=[MistakeInterval(0, 1, 1.5, 4.0)],
+            ),
+        )
+        table.run(until=1.6)
+        assert table.diners[0].is_eating
+        assert not table.diners[0].holds_fork(1)
+
+    def test_ack_received_while_inside_is_discarded(self):
+        # Action 4's guard: an ack only registers while hungry AND outside.
+        # Drive the handler directly with the diner inside the doorway.
+        table = pair_table(think={0: [1.0]})
+        table.run(until=1.5)  # 0 is hungry, outside, ping pending
+        diner0 = table.diners[0]
+        assert diner0.links[1].pinged
+        diner0.inside = True  # as if entered via suspicion
+        diner0._on_ack(1)
+        assert not diner0.links[1].ack
+        assert not diner0.links[1].pinged  # the pending-ping flag clears
+
+    def test_ack_received_while_thinking_is_discarded(self):
+        table = pair_table()
+        table.run(until=0.5)
+        diner0 = table.diners[0]
+        assert diner0.is_thinking
+        diner0._on_ack(1)
+        assert not diner0.links[1].ack
+
+    def test_mutual_suspicion_allows_simultaneous_eating(self):
+        # Both suspect each other pre-convergence: both eat at once — the
+        # finitely-many-mistakes regime Theorem 1 tolerates.
+        table = pair_table(
+            think={0: [1.0], 1: [1.0]},
+            eat={0: [5.0], 1: [5.0]},
+            detector=scripted_detector(
+                convergence_time=10.0,
+                mistakes=[
+                    MistakeInterval(0, 1, 1.2, 8.0),
+                    MistakeInterval(1, 0, 1.2, 8.0),
+                ],
+            ),
+        )
+        table.run(until=4.0)
+        assert table.diners[0].is_eating
+        assert table.diners[1].is_eating
+        table.run(until=40.0)
+        violations = table.violations()
+        assert len(violations) == 1
+        assert not table.violations_after(10.0)
+
+
+class TestMessageValidation:
+    def test_message_from_non_neighbor_rejected(self):
+        table = DiningTable(topologies.path(3), seed=1, detector=scripted_detector())
+        with pytest.raises(Exception):
+            table.diners[0].on_message(2, Ping(2))  # 0-2 not neighbors
+
+    def test_unknown_message_type_rejected(self):
+        table = pair_table()
+        with pytest.raises(Exception):
+            table.diners[0].on_message(1, "garbage")
+
+
+class TestIsolatedDiner:
+    """A diner with no conflicts may always eat (degree-0 vertex)."""
+
+    def test_isolated_node_eats_without_messages(self):
+        from repro.graphs import ConflictGraph
+        from repro.core import AlwaysHungry, DiningTable
+
+        graph = ConflictGraph([0, 1, 2], [(0, 1)])  # 2 is isolated
+        table = DiningTable(
+            graph,
+            seed=1,
+            detector=scripted_detector(),
+            workload=AlwaysHungry(eat_time=1.0, think_time=0.01),
+        )
+        table.run(until=60.0)
+        meals = table.eat_counts()
+        # The isolated diner eats back-to-back, unconstrained.
+        assert meals[2] > meals[0]
+        assert meals[2] > 50
+        assert table.violations() == []
+
+
+class TestCrashMidPhases:
+    def test_crash_while_inside_doorway_blocks_nobody(self):
+        # 0 enters the doorway then crashes before eating; 1 must still
+        # dine via suspicion (phase-1 AND phase-2 release).
+        table = pair_table(
+            think={0: [1.0], 1: [4.0, 0.5, 0.5]},
+            detector=scripted_detector(detection_delay=2.0),
+            crash_plan=CrashPlan.scripted({0: 3.2}),  # just after entering
+        )
+        table.run(until=60.0)
+        assert table.diners[0].crashed
+        assert table.eat_counts().get(1, 0) >= 3
+        assert table.starving_correct(patience=20.0) == []
+
+    def test_simultaneous_crash_of_both_endpoints(self):
+        table = pair_table(
+            think={0: [1.0], 1: [1.0]},
+            detector=scripted_detector(detection_delay=2.0),
+            crash_plan=CrashPlan.scripted({0: 2.0, 1: 2.0}),
+        )
+        table.run(until=30.0)  # nothing explodes; trace records both
+        assert table.diners[0].crashed and table.diners[1].crashed
+        assert table.correct_pids == ()
+
+    def test_exit_timer_suppressed_by_crash(self):
+        # Crash mid-meal: the diner must stay frozen in 'eating' (no exit
+        # transition is recorded after the crash).
+        table = pair_table(
+            think={0: [1.0]},
+            eat={0: [10.0]},
+            crash_plan=CrashPlan.scripted({0: 7.0}),
+        )
+        table.run(until=40.0)
+        changes = table.trace.phase_changes(0)
+        assert changes[-1].new_phase == "eating"
+        assert table.diners[0].crashed

@@ -1,0 +1,149 @@
+"""Unit tests for dining messages, diner state, and workloads."""
+
+import pytest
+
+from repro.core import ScriptedWorkload, message_size_bits
+from repro.core.messages import Ack, Fork, ForkRequest, Ping
+from repro.core.state import DinerState, NeighborLinks, local_state_bits
+from repro.core.workload import AlwaysHungry, PoissonWorkload
+from repro.errors import ConfigurationError
+from repro.sim.rng import RandomStreams
+
+
+class TestMessages:
+    def test_all_dining_messages_tagged(self):
+        for message in (Ping(0), Ack(0), ForkRequest(0, 1), Fork(0)):
+            assert message.layer == "dining"
+
+    def test_fork_request_carries_color(self):
+        assert ForkRequest(3, color=7).color == 7
+
+    def test_messages_are_immutable(self):
+        with pytest.raises(Exception):
+            Ping(0).sender = 5
+
+    def test_size_logarithmic_in_n(self):
+        small = message_size_bits(Ping(0), n_processes=8, n_colors=2)
+        large = message_size_bits(Ping(0), n_processes=8192, n_colors=2)
+        assert large - small == 10  # log2(8192) - log2(8)
+
+    def test_fork_request_larger_than_ping(self):
+        ping = message_size_bits(Ping(0), n_processes=16, n_colors=8)
+        request = message_size_bits(ForkRequest(0, 1), n_processes=16, n_colors=8)
+        assert request == ping + 3  # + log2(colors)
+
+
+class TestDinerState:
+    def test_phases_match_trace_names(self):
+        assert DinerState.THINKING.phase == "thinking"
+        assert DinerState.HUNGRY.phase == "hungry"
+        assert DinerState.EATING.phase == "eating"
+
+
+class TestNeighborLinks:
+    def test_fork_starts_at_higher_color(self):
+        high = NeighborLinks.initial(own_color=5, neighbor_color=2)
+        assert high.fork and not high.token
+        low = NeighborLinks.initial(own_color=2, neighbor_color=5)
+        assert low.token and not low.fork
+
+    def test_equal_colors_rejected(self):
+        with pytest.raises(ValueError):
+            NeighborLinks.initial(3, 3)
+
+    def test_ping_ack_vars_start_false(self):
+        links = NeighborLinks.initial(1, 0)
+        assert not links.pinged and not links.ack
+        assert not links.deferred and not links.replied
+
+    def test_deferring_fork_request_is_token_and_fork(self):
+        links = NeighborLinks.initial(1, 0)  # holds fork
+        assert not links.deferring_fork_request()
+        links.token = True
+        assert links.deferring_fork_request()
+
+
+class TestLocalStateBits:
+    def test_scales_linearly_with_degree(self):
+        base = local_state_bits(2, 3)
+        assert local_state_bits(12, 3) - base == 6 * 10
+
+    def test_color_component_logarithmic(self):
+        assert local_state_bits(4, 256) - local_state_bits(4, 2) == 7
+
+
+class TestAlwaysHungry:
+    def test_constant_durations(self):
+        workload = AlwaysHungry(eat_time=2.0, think_time=0.5)
+        streams = RandomStreams(0)
+        assert workload.think_duration(0, streams) == 0.5
+        assert workload.eat_duration(0, streams) == 2.0
+
+    def test_max_sessions_retires_diner(self):
+        workload = AlwaysHungry(max_sessions=2)
+        streams = RandomStreams(0)
+        assert workload.think_duration(0, streams) is not None
+        assert workload.think_duration(0, streams) is not None
+        assert workload.think_duration(0, streams) is None
+
+    def test_max_sessions_per_process(self):
+        workload = AlwaysHungry(max_sessions=1)
+        streams = RandomStreams(0)
+        assert workload.think_duration(0, streams) is not None
+        assert workload.think_duration(1, streams) is not None
+        assert workload.think_duration(0, streams) is None
+
+    def test_rejects_zero_eat_time(self):
+        with pytest.raises(ConfigurationError):
+            AlwaysHungry(eat_time=0.0)
+
+
+class TestPoissonWorkload:
+    def test_durations_positive_and_bounded(self):
+        workload = PoissonWorkload(hunger_rate=1.0, eat_time_range=(0.5, 2.0))
+        streams = RandomStreams(1)
+        for _ in range(100):
+            assert workload.think_duration(0, streams) >= 0.0
+            assert 0.5 <= workload.eat_duration(0, streams) <= 2.0
+
+    def test_per_process_streams_independent(self):
+        workload = PoissonWorkload()
+        s1, s2 = RandomStreams(1), RandomStreams(1)
+        a = [workload.think_duration(0, s1) for _ in range(5)]
+        b = []
+        for _ in range(5):
+            workload.think_duration(9, s2)
+            b.append(workload.think_duration(0, s2))
+        assert a == b
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ConfigurationError):
+            PoissonWorkload(hunger_rate=0.0)
+
+
+class TestScriptedWorkload:
+    def test_think_sequence_consumed_then_forever(self):
+        workload = ScriptedWorkload({0: [1.0, 2.0]})
+        streams = RandomStreams(0)
+        assert workload.think_duration(0, streams) == 1.0
+        assert workload.think_duration(0, streams) == 2.0
+        assert workload.think_duration(0, streams) is None
+
+    def test_unscripted_process_thinks_forever(self):
+        workload = ScriptedWorkload({0: [1.0]})
+        assert workload.think_duration(7, RandomStreams(0)) is None
+
+    def test_eat_sequence_recycles_last(self):
+        workload = ScriptedWorkload({0: [1.0]}, eat={0: [2.0, 3.0]})
+        streams = RandomStreams(0)
+        assert workload.eat_duration(0, streams) == 2.0
+        assert workload.eat_duration(0, streams) == 3.0
+        assert workload.eat_duration(0, streams) == 3.0
+
+    def test_default_eat_when_unscripted(self):
+        workload = ScriptedWorkload({0: [1.0]}, default_eat=4.0)
+        assert workload.eat_duration(0, RandomStreams(0)) == 4.0
+
+    def test_empty_eat_script_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ScriptedWorkload({0: [1.0]}, eat={0: []})

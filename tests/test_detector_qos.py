@@ -1,0 +1,194 @@
+"""Tests for failure-detector QoS metrics."""
+
+import math
+
+import pytest
+
+from repro.core import AlwaysHungry, DiningTable, heartbeat_detector, scripted_detector
+from repro.detectors import detector_qos, suspicion_episodes
+from repro.detectors.scripted import MistakeInterval
+from repro.graphs import ring
+from repro.sim.crash import CrashPlan
+from repro.sim.latency import PartialSynchronyLatency
+from repro.trace.recorder import TraceRecorder
+
+
+def hand_trace(events):
+    """events: (time, observer, suspect, suspected) tuples."""
+    trace = TraceRecorder()
+    for time, observer, suspect, suspected in events:
+        trace.suspicion_change(time, observer, suspect, suspected)
+    return trace
+
+
+class TestEpisodes:
+    def test_closed_episode(self):
+        trace = hand_trace([(1.0, 0, 1, True), (4.0, 0, 1, False)])
+        episodes = suspicion_episodes(trace, horizon=10.0)
+        assert len(episodes) == 1
+        assert (episodes[0].start, episodes[0].end) == (1.0, 4.0)
+        assert episodes[0].duration == 3.0
+
+    def test_open_episode_closed_at_horizon(self):
+        trace = hand_trace([(2.0, 0, 1, True)])
+        episodes = suspicion_episodes(trace, horizon=10.0)
+        assert episodes[0].end == 10.0
+
+    def test_pairs_tracked_independently(self):
+        trace = hand_trace(
+            [(1.0, 0, 1, True), (2.0, 1, 0, True), (3.0, 0, 1, False)]
+        )
+        episodes = suspicion_episodes(trace, horizon=10.0)
+        assert len(episodes) == 2
+        by_pair = {(e.observer, e.subject): e for e in episodes}
+        assert by_pair[(0, 1)].end == 3.0
+        assert by_pair[(1, 0)].end == 10.0
+
+    def test_duplicate_sets_do_not_restart_episode(self):
+        trace = hand_trace(
+            [(1.0, 0, 1, True), (2.0, 0, 1, True), (5.0, 0, 1, False)]
+        )
+        episodes = suspicion_episodes(trace, horizon=10.0)
+        assert len(episodes) == 1
+        assert episodes[0].start == 1.0
+
+
+class TestQosFromScriptedOracle:
+    """The scripted oracle has *known* QoS; the metrics must recover it."""
+
+    def run_table(self, *, mistakes=(), crash_plan=None, detection_delay=2.0, horizon=100.0):
+        graph = ring(5)
+        table = DiningTable(
+            graph,
+            seed=1,
+            detector=scripted_detector(
+                convergence_time=50.0 if mistakes else 0.0,
+                detection_delay=detection_delay,
+                mistakes=mistakes,
+            ),
+            crash_plan=crash_plan,
+        )
+        table.run(until=horizon)
+        return detector_qos(table.trace, graph, table.crash_plan, horizon=horizon)
+
+    def test_detection_time_recovered_exactly(self):
+        report = self.run_table(
+            crash_plan=CrashPlan.scripted({2: 10.0}), detection_delay=2.5
+        )
+        # Both ring-neighbors of 2 detect at exactly crash + 2.5.
+        assert report.detection_times == (2.5, 2.5)
+        assert report.undetected_crash_pairs == 0
+        assert report.mistake_count == 0
+
+    def test_mistakes_recovered_exactly(self):
+        report = self.run_table(
+            mistakes=(
+                MistakeInterval(0, 1, 5.0, 9.0),
+                MistakeInterval(3, 4, 20.0, 21.0),
+            )
+        )
+        assert report.mistake_count == 2
+        assert report.mistake_durations == (1.0, 4.0)
+        assert report.mean_mistake_duration == 2.5
+        assert report.detection_times == ()
+
+    def test_mistake_becoming_truth_splits_correctly(self):
+        # Suspicion starts at 5 as a mistake; subject crashes at 7: the
+        # pre-crash span is a 2.0 mistake, and there is no *detection*
+        # episode (the suspicion started before the crash).
+        report = self.run_table(
+            mistakes=(MistakeInterval(0, 1, 5.0, 9.0),),
+            crash_plan=CrashPlan.scripted({1: 7.0}),
+            detection_delay=1.0,
+        )
+        assert 2.0 in report.mistake_durations
+        # The other neighbor (2) still detects via completeness.
+        assert 1.0 in report.detection_times
+
+    def test_null_detector_reports_undetected(self):
+        from repro.core import null_detector
+
+        graph = ring(5)
+        table = DiningTable(
+            graph,
+            seed=1,
+            detector=null_detector(),
+            crash_plan=CrashPlan.scripted({2: 10.0}),
+        )
+        table.run(until=100.0)
+        report = detector_qos(table.trace, graph, table.crash_plan, horizon=100.0)
+        assert report.undetected_crash_pairs == 2
+        assert report.detection_times == ()
+
+    def test_mistake_rate_normalization(self):
+        report = self.run_table(mistakes=(MistakeInterval(0, 1, 5.0, 9.0),))
+        # 1 mistake / (100 t.u. × 10 ordered neighbor pairs on ring-5).
+        assert report.mistake_rate == pytest.approx(1 / 1000.0)
+
+
+class TestQosOfHeartbeat:
+    def test_heartbeat_qos_shape_under_gst(self):
+        graph = ring(6)
+        crash_plan = CrashPlan.scripted({3: 50.0})
+        table = DiningTable(
+            graph,
+            seed=11,
+            latency=PartialSynchronyLatency(
+                gst=40.0, min_delay=0.1, pre_gst_max=8.0, post_gst_max=1.0
+            ),
+            detector=heartbeat_detector(interval=1.0, initial_timeout=2.0),
+            crash_plan=crash_plan,
+            workload=AlwaysHungry(eat_time=1.0, think_time=0.05),
+        )
+        table.run(until=400.0)
+        report = detector_qos(table.trace, graph, crash_plan, horizon=400.0)
+        # Completeness: both neighbors detected the crash, promptly.
+        assert report.undetected_crash_pairs == 0
+        assert report.worst_detection_time < 30.0
+        # The hostile pre-GST period produced real, finite mistakes.
+        assert report.mistake_count > 0
+        assert all(math.isfinite(d) for d in report.mistake_durations)
+        # Mistakes are short (a heartbeat arrival retracts them).
+        assert report.mean_mistake_duration < 10.0
+
+
+class TestHeartbeatVsQuery:
+    """Push vs. pull ◇P₁: round trips double the jitter exposure."""
+
+    def _qos(self, detector_factory):
+        from repro.core import DiningTable
+        graph = ring(6)
+        crash_plan = CrashPlan.scripted({3: 50.0})
+        table = DiningTable(
+            graph,
+            seed=11,
+            latency=PartialSynchronyLatency(
+                gst=40.0, min_delay=0.1, pre_gst_max=8.0, post_gst_max=1.0
+            ),
+            detector=detector_factory,
+            crash_plan=crash_plan,
+            workload=AlwaysHungry(eat_time=1.0, think_time=0.05),
+        )
+        table.run(until=400.0)
+        return detector_qos(table.trace, graph, crash_plan, horizon=400.0)
+
+    def test_both_complete_and_eventually_accurate(self):
+        from repro.core import query_detector
+
+        for factory in (
+            heartbeat_detector(interval=1.0, initial_timeout=2.0),
+            query_detector(interval=1.0, initial_timeout=2.0),
+        ):
+            report = self._qos(factory)
+            assert report.undetected_crash_pairs == 0
+            assert report.mistake_count > 0  # hostile pre-GST period
+            assert all(math.isfinite(d) for d in report.mistake_durations)
+
+    def test_query_mistakes_at_least_heartbeat_level(self):
+        from repro.core import query_detector
+
+        heartbeat_report = self._qos(heartbeat_detector(interval=1.0, initial_timeout=2.0))
+        query_report = self._qos(query_detector(interval=1.0, initial_timeout=2.0))
+        # Round trips accumulate jitter from both directions: at equal
+        # timeouts the pull detector mistakes at least as much.
+        assert query_report.mistake_count >= heartbeat_report.mistake_count

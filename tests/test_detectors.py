@@ -1,0 +1,255 @@
+"""Unit tests for failure-detector modules and oracles."""
+
+import pytest
+
+from repro.detectors import (
+    DetectorModule,
+    MistakeInterval,
+    NullDetector,
+    PerfectDetector,
+    ScriptedDetector,
+)
+from repro.errors import ConfigurationError
+from repro.graphs import path, ring
+from repro.sim.crash import CrashPlan
+from repro.sim.kernel import Simulator
+
+
+class TestDetectorModule:
+    def test_initially_suspects_nobody(self):
+        module = DetectorModule(0, [1, 2])
+        assert not module.suspects(1)
+        assert module.suspected_neighbors() == frozenset()
+
+    def test_set_and_clear_suspicion(self):
+        module = DetectorModule(0, [1])
+        module.set_suspicion(1, True)
+        assert module.suspects(1)
+        module.set_suspicion(1, False)
+        assert not module.suspects(1)
+
+    def test_scope_enforced_on_query(self):
+        module = DetectorModule(0, [1])
+        with pytest.raises(ConfigurationError):
+            module.suspects(5)
+
+    def test_scope_enforced_on_mutation(self):
+        module = DetectorModule(0, [1])
+        with pytest.raises(ConfigurationError):
+            module.set_suspicion(5, True)
+
+    def test_listeners_notified_on_change_only(self):
+        module = DetectorModule(0, [1])
+        events = []
+        module.subscribe(lambda pid, s: events.append((pid, s)))
+        module.set_suspicion(1, True)
+        module.set_suspicion(1, True)  # no-op
+        module.set_suspicion(1, False)
+        assert events == [(1, True), (1, False)]
+
+    def test_snapshot_is_frozen(self):
+        module = DetectorModule(0, [1, 2])
+        module.set_suspicion(1, True)
+        snap = module.suspected_neighbors()
+        module.set_suspicion(2, True)
+        assert snap == frozenset({1})
+
+
+class TestNullDetector:
+    def test_never_suspects(self):
+        detector = NullDetector(ring(4))
+        for pid in range(4):
+            assert detector.module_for(pid).suspected_neighbors() == frozenset()
+
+    def test_no_agent(self):
+        assert NullDetector(ring(4)).agent_for(0) is None
+
+    def test_unknown_module_raises(self):
+        with pytest.raises(ConfigurationError):
+            NullDetector(ring(4)).module_for(99)
+
+
+class TestScriptedCompleteness:
+    def test_crash_eventually_suspected_by_all_neighbors(self):
+        sim = Simulator()
+        graph = ring(5)
+        plan = CrashPlan.scripted({2: 10.0})
+        detector = ScriptedDetector(sim, graph, plan, detection_delay=2.0)
+        detector.install()
+        sim.run(until=50.0)
+        assert detector.module_for(1).suspects(2)
+        assert detector.module_for(3).suspects(2)
+
+    def test_suspicion_starts_at_detection_time(self):
+        sim = Simulator()
+        graph = ring(5)
+        plan = CrashPlan.scripted({2: 10.0})
+        detector = ScriptedDetector(sim, graph, plan, detection_delay=2.0)
+        detector.install()
+        sim.run(until=11.0)
+        assert not detector.module_for(1).suspects(2)
+        sim.run(until=12.0)
+        assert detector.module_for(1).suspects(2)
+
+    def test_suspicion_is_permanent(self):
+        sim = Simulator()
+        graph = ring(5)
+        plan = CrashPlan.scripted({2: 10.0})
+        detector = ScriptedDetector(sim, graph, plan, detection_delay=1.0)
+        detector.install()
+        sim.run(until=1000.0)
+        assert detector.module_for(1).suspects(2)
+
+    def test_non_neighbors_never_told(self):
+        sim = Simulator()
+        graph = ring(5)  # 0 and 2 are not neighbors
+        plan = CrashPlan.scripted({2: 10.0})
+        detector = ScriptedDetector(sim, graph, plan, detection_delay=1.0)
+        detector.install()
+        sim.run(until=100.0)
+        with pytest.raises(ConfigurationError):
+            detector.module_for(0).suspects(2)
+
+
+class TestScriptedAccuracy:
+    def test_mistake_interval_applies_and_retracts(self):
+        sim = Simulator()
+        graph = path(2)
+        detector = ScriptedDetector(
+            sim,
+            graph,
+            CrashPlan.none(),
+            convergence_time=20.0,
+            mistakes=[MistakeInterval(0, 1, 5.0, 10.0)],
+        )
+        detector.install()
+        sim.run(until=6.0)
+        assert detector.module_for(0).suspects(1)
+        sim.run(until=11.0)
+        assert not detector.module_for(0).suspects(1)
+
+    def test_mistake_must_end_by_convergence(self):
+        sim = Simulator()
+        graph = path(2)
+        with pytest.raises(ConfigurationError):
+            ScriptedDetector(
+                sim,
+                graph,
+                CrashPlan.none(),
+                convergence_time=8.0,
+                mistakes=[MistakeInterval(0, 1, 5.0, 10.0)],
+            )
+
+    def test_mistake_out_of_scope_rejected(self):
+        sim = Simulator()
+        graph = ring(5)
+        with pytest.raises(ConfigurationError):
+            ScriptedDetector(
+                sim,
+                graph,
+                CrashPlan.none(),
+                convergence_time=20.0,
+                mistakes=[MistakeInterval(0, 2, 1.0, 2.0)],  # not neighbors
+            )
+
+    def test_empty_or_inverted_interval_rejected(self):
+        sim = Simulator()
+        graph = path(2)
+        with pytest.raises(ConfigurationError):
+            ScriptedDetector(
+                sim,
+                graph,
+                CrashPlan.none(),
+                convergence_time=20.0,
+                mistakes=[MistakeInterval(0, 1, 5.0, 5.0)],
+            )
+
+    def test_mistake_after_suspect_crash_rejected(self):
+        sim = Simulator()
+        graph = path(2)
+        with pytest.raises(ConfigurationError):
+            ScriptedDetector(
+                sim,
+                graph,
+                CrashPlan.scripted({1: 3.0}),
+                convergence_time=20.0,
+                mistakes=[MistakeInterval(0, 1, 5.0, 8.0)],
+            )
+
+    def test_mistake_becomes_truth_if_suspect_crashes_mid_interval(self):
+        # Observer wrongly suspects at 2.0; suspect actually crashes at 4.0;
+        # the scheduled retraction at 8.0 must NOT clear the suspicion.
+        sim = Simulator()
+        graph = path(2)
+        detector = ScriptedDetector(
+            sim,
+            graph,
+            CrashPlan.scripted({1: 4.0}),
+            convergence_time=20.0,
+            detection_delay=100.0,  # completeness alone would be late
+            mistakes=[MistakeInterval(0, 1, 2.0, 8.0)],
+        )
+        detector.install()
+        sim.run(until=9.0)
+        assert detector.module_for(0).suspects(1)
+
+    def test_double_install_rejected(self):
+        sim = Simulator()
+        detector = ScriptedDetector(sim, path(2), CrashPlan.none())
+        detector.install()
+        with pytest.raises(ConfigurationError):
+            detector.install()
+
+    def test_accuracy_holds_after(self):
+        sim = Simulator()
+        detector = ScriptedDetector(
+            sim,
+            path(2),
+            CrashPlan.none(),
+            convergence_time=30.0,
+            mistakes=[MistakeInterval(0, 1, 5.0, 12.0), MistakeInterval(1, 0, 3.0, 7.0)],
+        )
+        assert detector.accuracy_holds_after() == 12.0
+
+
+class TestRandomMistakes:
+    def test_all_mistakes_end_by_convergence(self):
+        sim = Simulator(seed=8)
+        detector = ScriptedDetector.with_random_mistakes(
+            sim, ring(8), CrashPlan.none(), convergence_time=50.0, mistakes_per_edge=3.0
+        )
+        assert all(m.end <= 50.0 for m in detector.mistakes)
+        assert detector.mistakes  # with 8 edges and rate 3, some exist
+
+    def test_no_mistakes_when_convergence_zero(self):
+        sim = Simulator(seed=8)
+        detector = ScriptedDetector.with_random_mistakes(
+            sim, ring(8), CrashPlan.none(), convergence_time=0.0
+        )
+        assert detector.mistakes == ()
+
+    def test_deterministic_for_seed(self):
+        a = ScriptedDetector.with_random_mistakes(
+            Simulator(seed=4), ring(6), CrashPlan.none(), convergence_time=30.0
+        )
+        b = ScriptedDetector.with_random_mistakes(
+            Simulator(seed=4), ring(6), CrashPlan.none(), convergence_time=30.0
+        )
+        assert a.mistakes == b.mistakes
+
+
+class TestPerfectDetector:
+    def test_no_mistakes_ever(self):
+        sim = Simulator()
+        detector = PerfectDetector(sim, ring(5), CrashPlan.scripted({1: 5.0}))
+        assert detector.mistakes == ()
+        assert detector.convergence_time == 0.0
+
+    def test_detects_crashes(self):
+        sim = Simulator()
+        detector = PerfectDetector(sim, ring(5), CrashPlan.scripted({1: 5.0}), detection_delay=1.0)
+        detector.install()
+        sim.run(until=10.0)
+        assert detector.module_for(0).suspects(1)
+        assert detector.module_for(2).suspects(1)
+        assert not detector.module_for(0).suspects(4)

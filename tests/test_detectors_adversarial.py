@@ -1,0 +1,142 @@
+"""Unit tests for the adversarial (property-violating) detectors."""
+
+import pytest
+
+from repro.detectors import InaccurateDetector, IncompleteDetector
+from repro.errors import ConfigurationError
+from repro.graphs import path, ring
+from repro.sim.crash import CrashPlan
+from repro.sim.kernel import Simulator
+
+
+class TestIncompleteDetector:
+    def test_blind_pair_never_suspects(self):
+        sim = Simulator()
+        graph = ring(5)
+        plan = CrashPlan.scripted({2: 10.0})
+        detector = IncompleteDetector(sim, graph, plan, blind_pairs=[(1, 2)])
+        detector.install()
+        sim.run(until=500.0)
+        assert not detector.module_for(1).suspects(2)  # the violation
+        assert detector.module_for(3).suspects(2)  # others are ideal
+
+    def test_no_false_positives(self):
+        sim = Simulator()
+        graph = ring(5)
+        detector = IncompleteDetector(sim, graph, CrashPlan.none(), blind_pairs=[(0, 1)])
+        detector.install()
+        sim.run(until=100.0)
+        for pid in graph.nodes:
+            assert detector.module_for(pid).suspected_neighbors() == frozenset()
+
+    def test_out_of_scope_pair_rejected(self):
+        sim = Simulator()
+        graph = ring(5)
+        with pytest.raises(ConfigurationError):
+            IncompleteDetector(sim, graph, CrashPlan.none(), blind_pairs=[(0, 2)])
+
+    def test_double_install_rejected(self):
+        sim = Simulator()
+        detector = IncompleteDetector(sim, path(2), CrashPlan.none(), blind_pairs=[(0, 1)])
+        detector.install()
+        with pytest.raises(ConfigurationError):
+            detector.install()
+
+
+class TestInaccurateDetector:
+    def build(self, *, pairs, period=10.0, episode=4.0, crash_plan=None):
+        sim = Simulator()
+        graph = ring(5)
+        detector = InaccurateDetector(
+            sim,
+            graph,
+            crash_plan or CrashPlan.none(),
+            recurring_pairs=pairs,
+            period=period,
+            episode=episode,
+        )
+        detector.install()
+        return sim, detector
+
+    def test_episodes_recur_forever(self):
+        sim, detector = self.build(pairs=[(0, 1)])
+        module = detector.module_for(0)
+        observed = []
+        for t in (11.0, 15.0, 21.0, 25.0, 91.0, 95.0):
+            sim.run(until=t)
+            observed.append(module.suspects(1))
+        # Inside episodes [10,14), [20,24), [90,94): suspected; between: not.
+        assert observed == [True, False, True, False, True, False]
+
+    def test_every_pair_recurs_independently(self):
+        # Regression for the late-binding closure bug: with two pairs, the
+        # SECOND and LATER episodes must fire for both.
+        sim, detector = self.build(pairs=[(0, 1), (1, 0)])
+        sim.run(until=31.0)
+        assert detector.module_for(0).suspects(1)
+        assert detector.module_for(1).suspects(0)
+
+    def test_crash_turns_mistake_into_truth(self):
+        sim, detector = self.build(
+            pairs=[(0, 1)], crash_plan=CrashPlan.scripted({1: 12.0})
+        )
+        sim.run(until=200.0)
+        # 1 crashed during an episode: the suspicion is permanent now.
+        assert detector.module_for(0).suspects(1)
+
+    def test_completeness_still_ideal(self):
+        sim, detector = self.build(
+            pairs=[(0, 1)], crash_plan=CrashPlan.scripted({3: 5.0})
+        )
+        sim.run(until=20.0)
+        assert detector.module_for(2).suspects(3)
+        assert detector.module_for(4).suspects(3)
+
+    def test_episode_must_be_shorter_than_period(self):
+        sim = Simulator()
+        with pytest.raises(ConfigurationError):
+            InaccurateDetector(
+                sim, ring(5), CrashPlan.none(), recurring_pairs=[(0, 1)], period=5.0, episode=5.0
+            )
+
+    def test_out_of_scope_pair_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ConfigurationError):
+            InaccurateDetector(sim, ring(5), CrashPlan.none(), recurring_pairs=[(0, 2)])
+
+
+class TestNecessityProbes:
+    """The E9 headline behaviours, asserted at test scale."""
+
+    def test_incompleteness_starves_exactly_the_blind(self):
+        from repro.core import AlwaysHungry, DiningTable
+        from repro.core.table import incomplete_detector
+        from repro.graphs import topologies
+
+        table = DiningTable(
+            topologies.ring(6),
+            seed=9,
+            detector=incomplete_detector(blind_pairs=[(1, 2), (3, 2)]),
+            crash_plan=CrashPlan.scripted({2: 20.0}),
+            workload=AlwaysHungry(eat_time=1.0, think_time=0.01),
+        )
+        table.run(until=400.0)
+        starving = table.starving_correct(patience=150.0)
+        assert 1 in starving and 3 in starving
+
+    def test_inaccuracy_violates_wx_forever_but_stays_wait_free(self):
+        from repro.core import DiningTable, ScriptedWorkload
+        from repro.core.table import inaccurate_detector
+        from repro.graphs import topologies
+
+        table = DiningTable(
+            topologies.ring(6),
+            seed=9,
+            detector=inaccurate_detector(
+                recurring_pairs=[(4, 5), (5, 4)], period=12.0, episode=6.0
+            ),
+            workload=ScriptedWorkload({4: [0.01] * 400, 5: [0.01] * 400}, default_eat=2.0),
+        )
+        table.run(until=400.0)
+        assert table.violations_after(200.0) != []  # no clean suffix
+        assert table.starving_correct(patience=150.0) == []  # still wait-free

@@ -1,0 +1,147 @@
+"""Unit tests for the heartbeat ◇P₁ implementation.
+
+A minimal host actor stands in for the diner: it starts the agent and
+routes heartbeat messages to it, exactly as
+:class:`repro.core.diner.DinerActor` does.
+"""
+
+import pytest
+
+from repro.detectors.heartbeat import Heartbeat, HeartbeatDetector
+from repro.errors import ConfigurationError
+from repro.graphs import path, ring
+from repro.sim.actor import Actor
+from repro.sim.kernel import Simulator
+from repro.sim.latency import FixedLatency, PartialSynchronyLatency
+from repro.sim.network import Network
+
+
+class Host(Actor):
+    """Bare actor hosting only a heartbeat agent."""
+
+    def __init__(self, pid, detector):
+        super().__init__(pid)
+        self.agent = detector.agent_for(pid)
+
+    def on_start(self):
+        self.agent.start(self)
+
+    def on_message(self, src, message):
+        if self.agent.wants(message):
+            self.agent.on_message(src, message)
+
+
+def build(graph, latency, seed=0, **detector_kwargs):
+    sim = Simulator(seed=seed)
+    network = Network(sim, latency=latency)
+    detector = HeartbeatDetector(graph, **detector_kwargs)
+    hosts = {pid: Host(pid, detector) for pid in graph.nodes}
+    for host in hosts.values():
+        network.register(host)
+    network.start()
+    return sim, network, detector, hosts
+
+
+class TestCompleteness:
+    def test_crashed_neighbor_eventually_permanently_suspected(self):
+        graph = ring(4)
+        sim, network, detector, hosts = build(
+            graph, FixedLatency(0.5), interval=1.0, initial_timeout=3.0
+        )
+        network.crash_at(2, 10.0)
+        sim.run(until=100.0)
+        assert detector.module_for(1).suspects(2)
+        assert detector.module_for(3).suspects(2)
+        # Permanence: still suspected much later.
+        sim.run(until=300.0)
+        assert detector.module_for(1).suspects(2)
+
+    def test_correct_processes_not_suspected_under_synchrony(self):
+        graph = ring(4)
+        sim, network, detector, hosts = build(
+            graph, FixedLatency(0.5), interval=1.0, initial_timeout=3.0
+        )
+        sim.run(until=200.0)
+        for pid in graph.nodes:
+            assert detector.module_for(pid).suspected_neighbors() == frozenset()
+
+
+class TestEventualAccuracy:
+    def test_false_suspicions_stop_after_gst(self):
+        graph = ring(6)
+        latency = PartialSynchronyLatency(
+            gst=50.0, min_delay=0.1, pre_gst_max=10.0, post_gst_max=0.8
+        )
+        sim, network, detector, hosts = build(
+            graph, latency, seed=13, interval=1.0, initial_timeout=1.5, timeout_increment=1.0
+        )
+        sim.run(until=60.0)
+        early_mistakes = detector.total_false_retractions()
+        assert early_mistakes > 0  # hostile pre-GST period really bites
+
+        # Well after GST: record mistakes, run much longer, expect no new
+        # mistakes and no standing suspicion of any (correct) process.
+        sim.run(until=150.0)
+        settled = detector.total_false_retractions()
+        sim.run(until=600.0)
+        assert detector.total_false_retractions() == settled
+        for pid in graph.nodes:
+            assert detector.module_for(pid).suspected_neighbors() == frozenset()
+
+    def test_timeouts_adapt_upward(self):
+        graph = path(2)
+        latency = PartialSynchronyLatency(
+            gst=30.0, min_delay=0.1, pre_gst_max=12.0, post_gst_max=0.5
+        )
+        sim, network, detector, hosts = build(
+            graph, latency, seed=2, interval=1.0, initial_timeout=1.0, timeout_increment=2.0
+        )
+        sim.run(until=200.0)
+        agent = detector.agent_for(0)
+        if agent.false_suspicion_retractions:
+            assert agent.timeout_of(1) > 1.0
+
+
+class TestAgentMechanics:
+    def test_wants_only_heartbeats(self):
+        detector = HeartbeatDetector(path(2))
+        agent = detector.agent_for(0)
+        assert agent.wants(Heartbeat(sent_at=0.0))
+        assert not agent.wants("other")
+
+    def test_agent_identity_per_pid(self):
+        detector = HeartbeatDetector(path(2))
+        assert detector.agent_for(0) is detector.agent_for(0)
+        assert detector.agent_for(0) is not detector.agent_for(1)
+
+    def test_agent_rejects_wrong_actor(self):
+        detector = HeartbeatDetector(path(2))
+        agent = detector.agent_for(0)
+        sim = Simulator()
+        network = Network(sim)
+        host = Host(1, detector)
+        network.register(host)
+        with pytest.raises(ConfigurationError):
+            agent.start(host)
+
+    def test_heartbeat_from_non_neighbor_ignored(self):
+        graph = path(3)  # 0 and 2 are not neighbors
+        sim, network, detector, hosts = build(graph, FixedLatency(0.5))
+        agent = detector.agent_for(0)
+        agent.on_message(2, Heartbeat(sent_at=0.0))  # must not raise
+
+    def test_crashed_host_stops_heartbeating(self):
+        graph = path(2)
+        sim, network, detector, hosts = build(graph, FixedLatency(0.5), interval=1.0)
+        network.crash_at(0, 5.0)
+        sim.run(until=50.0)
+        # The survivor suspects the crashed host and never unsuspects.
+        assert detector.module_for(1).suspects(0)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            HeartbeatDetector(path(2), interval=0.0)
+        with pytest.raises(ConfigurationError):
+            HeartbeatDetector(path(2), initial_timeout=0.0)
+        with pytest.raises(ConfigurationError):
+            HeartbeatDetector(path(2), timeout_increment=0.0)

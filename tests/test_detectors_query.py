@@ -1,0 +1,142 @@
+"""Unit and integration tests for the query-response ◇P₁."""
+
+import pytest
+
+from repro.core import AlwaysHungry, DiningTable, query_detector
+from repro.detectors import Echo, Probe, QueryDetector
+from repro.errors import ConfigurationError
+from repro.graphs import path, ring
+from repro.sim.actor import Actor
+from repro.sim.crash import CrashPlan
+from repro.sim.kernel import Simulator
+from repro.sim.latency import FixedLatency, PartialSynchronyLatency
+from repro.sim.network import Network
+
+
+class Host(Actor):
+    def __init__(self, pid, detector):
+        super().__init__(pid)
+        self.agent = detector.agent_for(pid)
+
+    def on_start(self):
+        self.agent.start(self)
+
+    def on_message(self, src, message):
+        if self.agent.wants(message):
+            self.agent.on_message(src, message)
+
+
+def build(graph, latency, seed=0, **kwargs):
+    sim = Simulator(seed=seed)
+    network = Network(sim, latency=latency)
+    detector = QueryDetector(graph, **kwargs)
+    hosts = {pid: Host(pid, detector) for pid in graph.nodes}
+    for host in hosts.values():
+        network.register(host)
+    network.start()
+    return sim, network, detector
+
+
+class TestCompleteness:
+    def test_crashed_neighbor_eventually_permanently_suspected(self):
+        graph = ring(4)
+        sim, network, detector = build(graph, FixedLatency(0.5), interval=1.0, initial_timeout=3.0)
+        network.crash_at(2, 10.0)
+        sim.run(until=100.0)
+        assert detector.module_for(1).suspects(2)
+        assert detector.module_for(3).suspects(2)
+        sim.run(until=300.0)
+        assert detector.module_for(1).suspects(2)  # permanent
+
+    def test_no_suspicion_under_synchrony(self):
+        graph = ring(4)
+        sim, network, detector = build(graph, FixedLatency(0.5), interval=1.0, initial_timeout=3.0)
+        sim.run(until=200.0)
+        for pid in graph.nodes:
+            assert detector.module_for(pid).suspected_neighbors() == frozenset()
+
+
+class TestEventualAccuracy:
+    def test_mistakes_stop_after_gst(self):
+        graph = ring(6)
+        latency = PartialSynchronyLatency(gst=50.0, min_delay=0.1, pre_gst_max=6.0, post_gst_max=0.6)
+        sim, network, detector = build(
+            graph, latency, seed=23, interval=1.0, initial_timeout=1.5, timeout_increment=1.0
+        )
+        sim.run(until=60.0)
+        assert detector.total_false_retractions() > 0  # hostile pre-GST bites
+        sim.run(until=200.0)
+        settled = detector.total_false_retractions()
+        sim.run(until=700.0)
+        assert detector.total_false_retractions() == settled
+        for pid in graph.nodes:
+            assert detector.module_for(pid).suspected_neighbors() == frozenset()
+
+    def test_round_trip_timeout_adapts(self):
+        graph = path(2)
+        latency = PartialSynchronyLatency(gst=30.0, min_delay=0.1, pre_gst_max=10.0, post_gst_max=0.5)
+        sim, network, detector = build(
+            graph, latency, seed=2, interval=1.0, initial_timeout=1.0, timeout_increment=2.0
+        )
+        sim.run(until=200.0)
+        agent = detector.agent_for(0)
+        if agent.false_suspicion_retractions:
+            assert agent.timeout_of(1) > 1.0
+
+
+class TestAgentMechanics:
+    def test_wants_probes_and_echoes(self):
+        detector = QueryDetector(path(2))
+        agent = detector.agent_for(0)
+        assert agent.wants(Probe(0))
+        assert agent.wants(Echo(0))
+        assert not agent.wants("other")
+
+    def test_stale_echo_ignored(self):
+        graph = path(2)
+        sim, network, detector = build(graph, FixedLatency(0.5), interval=1.0, initial_timeout=0.6)
+        sim.run(until=5.0)
+        agent = detector.agent_for(0)
+        # Hand it an ancient echo: must not clear anything or crash.
+        agent.on_message(1, Echo(-5))
+
+    def test_echo_from_non_neighbor_ignored(self):
+        graph = path(3)
+        sim, network, detector = build(graph, FixedLatency(0.5))
+        detector.agent_for(0).on_message(2, Echo(0))  # 0-2 not neighbors
+
+    def test_agent_rejects_wrong_actor(self):
+        detector = QueryDetector(path(2))
+        sim = Simulator()
+        network = Network(sim)
+        host = Host(1, detector)
+        network.register(host)
+        with pytest.raises(ConfigurationError):
+            detector.agent_for(0).start(host)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            QueryDetector(path(2), interval=0.0)
+        with pytest.raises(ConfigurationError):
+            QueryDetector(path(2), initial_timeout=0.0)
+
+
+class TestDiningOverQueryDetector:
+    def test_full_guarantees_end_to_end(self):
+        graph = ring(8)
+        crash_plan = CrashPlan.scripted({2: 30.0, 6: 60.0})
+        table = DiningTable(
+            graph,
+            seed=14,
+            latency=PartialSynchronyLatency(
+                gst=50.0, min_delay=0.1, pre_gst_max=8.0, post_gst_max=1.0
+            ),
+            detector=query_detector(interval=1.0, initial_timeout=2.5, timeout_increment=1.0),
+            crash_plan=crash_plan,
+            workload=AlwaysHungry(eat_time=1.0, think_time=0.05),
+        )
+        table.run(until=700.0)
+        assert table.starving_correct(patience=250.0) == []
+        assert table.violations_after(300.0) == []
+        assert table.max_overtaking(after=350.0) <= 2
+        assert table.occupancy.max_occupancy <= 4

@@ -1,0 +1,176 @@
+"""Tests for the wait-diagnosis utilities and the daemon early-stop API."""
+
+import pytest
+
+from repro.baselines import choy_singh_table, edge_reversal_table
+from repro.core import (
+    AlwaysHungry,
+    DiningTable,
+    DistributedDaemon,
+    ScriptedWorkload,
+    diagnose_diner,
+    explain_starvation,
+    scripted_detector,
+)
+from repro.errors import ConfigurationError
+from repro.graphs import path, ring
+from repro.sim.crash import CrashPlan
+from repro.stabilization import GreedyRecoloring
+
+
+class TestDiagnoseDiner:
+    def test_thinking_diner_not_blocked(self):
+        table = DiningTable(
+            path(2), seed=1, detector=scripted_detector(),
+            workload=ScriptedWorkload({}),  # nobody ever becomes hungry
+        )
+        table.run(until=1.0)
+        report = diagnose_diner(table, 0)
+        assert report.phase == "thinking"
+        assert report.waiting_phase is None
+        assert report.blocked_on == ()
+
+    def test_phase1_block_identified(self):
+        # Choy-Singh neighbor of a crashed diner waits at the doorway.
+        table = choy_singh_table(
+            ring(4),
+            seed=1,
+            crash_plan=CrashPlan.scripted({2: 5.0}),
+            workload=AlwaysHungry(eat_time=1.0, think_time=0.01),
+        )
+        table.run(until=100.0)
+        starving = table.starving_correct(patience=40.0)
+        assert starving
+        report = diagnose_diner(table, starving[0])
+        assert report.waiting_phase == 1
+        blockers = {s.neighbor: s for s in report.statuses if s.blocking}
+        assert 2 in blockers
+        assert blockers[2].crashed
+        assert not blockers[2].suspected  # the null detector never learns
+
+    def test_phase2_block_identified(self):
+        # Pure Algorithm 1 mid-wait: in pair contention at t=4.5 the
+        # lower-priority diner is inside, awaiting the fork that the
+        # (unsuspected, eating) higher-priority diner is deferring.
+        table = DiningTable(
+            path(2),
+            seed=1,
+            coloring={0: 0, 1: 1},
+            workload=ScriptedWorkload({0: [1.0], 1: [1.0]}, eat={1: [2.5]}),
+            detector=scripted_detector(),
+        )
+        table.run(until=4.5)
+        assert table.diners[1].is_eating
+        report = diagnose_diner(table, 0)
+        assert report.phase == "hungry" and report.inside
+        assert report.waiting_phase == 2
+        assert report.blocked_on == (1,)
+        blocker = report.statuses[0]
+        assert blocker.blocks_forks and not blocker.crashed and not blocker.suspected
+
+    def test_ablation_victim_shows_algorithm1_semantics(self):
+        # The no-fork-suspicion ablation starves while *suspecting* its
+        # dead neighbor; under Algorithm 1's semantics that neighbor is
+        # not a blocker (suspicion would substitute), so the diagnosis
+        # correctly reports "not blocked" — the wedge is the ablation's.
+        from repro.baselines import NoForkSuspicionDiner
+
+        table = DiningTable(
+            ring(4),
+            seed=1,
+            detector=scripted_detector(detection_delay=2.0),
+            diner_factory=NoForkSuspicionDiner,
+            crash_plan=CrashPlan.scripted({2: 5.0}),
+            workload=AlwaysHungry(eat_time=1.0, think_time=0.01),
+        )
+        table.run(until=150.0)
+        inside_victims = [
+            pid
+            for pid in table.starving_correct(patience=60.0)
+            if table.diners[pid].inside
+        ]
+        assert inside_victims
+        report = diagnose_diner(table, inside_victims[0])
+        assert report.waiting_phase is None
+        suspected = [s.neighbor for s in report.statuses if s.suspected]
+        assert 2 in suspected
+
+    def test_unknown_pid_rejected(self):
+        table = DiningTable(path(2), seed=1, detector=scripted_detector())
+        with pytest.raises(ConfigurationError):
+            diagnose_diner(table, 99)
+
+    def test_non_algorithm1_diner_rejected(self):
+        table = edge_reversal_table(ring(4), seed=1)
+        with pytest.raises(ConfigurationError):
+            diagnose_diner(table, 0)
+
+
+class TestExplainStarvation:
+    def test_narrative_for_blocked_diner(self):
+        table = choy_singh_table(
+            ring(4),
+            seed=1,
+            crash_plan=CrashPlan.scripted({2: 5.0}),
+            workload=AlwaysHungry(eat_time=1.0, think_time=0.01),
+        )
+        table.run(until=100.0)
+        victim = table.starving_correct(patience=40.0)[0]
+        text = explain_starvation(table, victim)
+        assert f"diner {victim}" in text
+        assert "CRASHED (undetected!)" in text
+        assert "waiting for" in text
+
+    def test_narrative_for_unblocked_diner(self):
+        table = DiningTable(
+            path(2), seed=1, detector=scripted_detector(),
+            workload=ScriptedWorkload({}),  # nobody ever hungry
+        )
+        table.run(until=5.0)
+        assert "not blocked" in explain_starvation(table, 0)
+
+
+class TestRunUntilConverged:
+    def test_stops_early_when_converged(self):
+        graph = ring(6)
+        protocol = GreedyRecoloring(graph)
+        daemon = DistributedDaemon(graph, protocol, seed=2, detector=scripted_detector())
+        converged_at = daemon.run_until_converged(max_time=500.0, settle=10.0)
+        assert converged_at is not None
+        assert daemon.table.sim.now < 500.0  # stopped well before the cap
+        assert daemon.converged()
+
+    def test_returns_none_when_never_converging(self):
+        # Crash-oblivious daemon + targeted corruption never recovers.
+        from repro.baselines import ChoySinghDiner
+        from repro.core import null_detector
+
+        graph = ring(6)
+        protocol = GreedyRecoloring(graph)
+        daemon = DistributedDaemon(
+            graph,
+            protocol,
+            seed=2,
+            detector=null_detector(),
+            diner_factory=ChoySinghDiner,
+            crash_plan=CrashPlan.scripted({2: 0.005}),
+        )
+        daemon.table.sim.schedule_at(
+            30.0, lambda: daemon.corrupt_register(1, protocol.read(2))
+        )
+        result = daemon.run_until_converged(max_time=120.0, settle=10.0)
+        assert result is None
+        assert daemon.table.sim.now == 120.0
+
+    def test_settle_guards_against_transient_legitimacy(self):
+        # A protocol corrupted shortly after converging must not report
+        # the pre-corruption instant.
+        graph = ring(6)
+        protocol = GreedyRecoloring(graph)
+        daemon = DistributedDaemon(graph, protocol, seed=2, detector=scripted_detector())
+        daemon.table.sim.schedule_at(
+            12.0, lambda: daemon.corrupt_register(1, protocol.read(2))
+        )
+        converged_at = daemon.run_until_converged(max_time=400.0, settle=15.0)
+        assert converged_at is not None
+        assert converged_at >= 12.0  # the corruption reset the clock

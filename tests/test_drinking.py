@@ -1,0 +1,233 @@
+"""Tests for the drinking-philosophers extension."""
+
+import pytest
+
+from repro.core import AlwaysHungry, scripted_detector
+from repro.drinking import (
+    AlwaysAllBottles,
+    DrinkingDiner,
+    RandomThirst,
+    ScriptedThirst,
+    ThirstDeclared,
+    adjacent_simultaneous_drinks,
+    concurrency_profile,
+    demand_at,
+    drinking_table,
+    drinking_violations,
+    drinking_violations_after,
+)
+from repro.errors import ConfigurationError
+from repro.graphs import clique, path, ring
+from repro.sim.crash import CrashPlan
+
+
+class TestWorkloads:
+    def test_random_thirst_demand_bounds(self):
+        with pytest.raises(ConfigurationError):
+            RandomThirst(demand=1.5)
+        with pytest.raises(ConfigurationError):
+            RandomThirst(demand=-0.1)
+
+    def test_demand_one_is_all_bottles(self):
+        from repro.sim.rng import RandomStreams
+
+        graph = ring(5)
+        workload = RandomThirst(demand=1.0)
+        assert workload.bottles(0, graph, RandomStreams(1)) == frozenset(graph.neighbors(0))
+
+    def test_demand_zero_is_no_bottles(self):
+        from repro.sim.rng import RandomStreams
+
+        graph = ring(5)
+        workload = RandomThirst(demand=0.0)
+        assert workload.bottles(0, graph, RandomStreams(1)) == frozenset()
+
+    def test_always_all_bottles(self):
+        from repro.sim.rng import RandomStreams
+
+        graph = clique(4)
+        workload = AlwaysAllBottles()
+        assert workload.bottles(2, graph, RandomStreams(1)) == frozenset({0, 1, 3})
+
+    def test_scripted_thirst_sequences_and_recycling(self):
+        from repro.sim.rng import RandomStreams
+
+        graph = path(3)
+        workload = ScriptedThirst({1: [{0}, {2}]})
+        streams = RandomStreams(1)
+        assert workload.bottles(1, graph, streams) == frozenset({0})
+        assert workload.bottles(1, graph, streams) == frozenset({2})
+        assert workload.bottles(1, graph, streams) == frozenset({2})  # recycled
+
+    def test_scripted_thirst_rejects_non_neighbor(self):
+        from repro.sim.rng import RandomStreams
+
+        graph = path(3)
+        workload = ScriptedThirst({0: [{2}]})  # 2 is not a neighbor of 0
+        with pytest.raises(ConfigurationError):
+            workload.bottles(0, graph, RandomStreams(1))
+
+    def test_unscripted_process_thinks_forever(self):
+        from repro.sim.rng import RandomStreams
+
+        workload = ScriptedThirst({0: [{1}]})
+        assert workload.think_duration(5, RandomStreams(1)) is None
+
+
+class TestDrinkingDiner:
+    def test_requires_thirst_workload(self):
+        with pytest.raises(ConfigurationError):
+            drinking_table(ring(5), workload=AlwaysHungry())  # type: ignore[arg-type]
+
+    def test_disjoint_demands_drink_simultaneously(self):
+        # 0 and 1 are neighbors; 1 demands only its other bottle, so both
+        # may drink at once — legally.
+        graph = path(3)
+        workload = ScriptedThirst(
+            {0: [{1}], 1: [{2}]}, drink_time=5.0, sessions_per_process=1
+        )
+        table = drinking_table(
+            graph, seed=1, workload=workload, detector=scripted_detector()
+        )
+        table.run(until=40.0)
+        # Both processes drank, overlapping (same think time, long drinks).
+        assert adjacent_simultaneous_drinks(table.trace, graph, horizon=40.0) >= 1
+        assert drinking_violations(table.trace, graph, horizon=40.0) == []
+
+    def test_contested_bottle_still_excludes(self):
+        graph = path(2)
+        workload = ScriptedThirst(
+            {0: [{1}] * 20, 1: [{0}] * 20}, drink_time=1.0
+        )
+        table = drinking_table(
+            graph, seed=1, workload=workload, detector=scripted_detector()
+        )
+        table.run(until=100.0)
+        assert drinking_violations(table.trace, graph, horizon=100.0) == []
+        meals = table.eat_counts()
+        assert meals[0] > 5 and meals[1] > 5
+
+    def test_empty_demand_drinks_immediately_after_doorway(self):
+        graph = path(2)
+        workload = ScriptedThirst({0: [set()]}, sessions_per_process=1)
+        table = drinking_table(
+            graph, seed=1, workload=workload, detector=scripted_detector()
+        )
+        table.run(until=20.0)
+        assert table.eat_counts().get(0) == 1
+        # No fork traffic was needed at all.
+        assert "ForkRequest" not in table.message_stats.by_type
+
+    def test_thirst_declared_recorded_per_session(self):
+        graph = ring(4)
+        table = drinking_table(
+            graph,
+            seed=2,
+            workload=RandomThirst(demand=0.5),
+            detector=scripted_detector(),
+        )
+        table.run(until=30.0)
+        declared = table.trace.of_type(ThirstDeclared)
+        hungry_starts = sum(
+            1 for c in table.trace.phase_changes() if c.new_phase == "hungry"
+        )
+        assert len(declared) == hungry_starts
+
+    def test_demand_at_returns_active_session(self):
+        graph = path(3)
+        workload = ScriptedThirst({1: [{0}, {2}]}, drink_time=1.0, sessions_per_process=2)
+        table = drinking_table(
+            graph, seed=1, workload=workload, detector=scripted_detector()
+        )
+        table.run(until=50.0)
+        declared = table.trace.of_type(ThirstDeclared)
+        assert len(declared) == 2
+        assert demand_at(table.trace, 1, declared[0].time) == frozenset({0})
+        assert demand_at(table.trace, 1, declared[1].time + 0.1) == frozenset({2})
+
+
+class TestGuaranteesCarryOver:
+    def test_wait_free_under_crash(self):
+        graph = clique(7)
+        table = drinking_table(
+            graph,
+            seed=5,
+            workload=RandomThirst(demand=0.4),
+            detector=scripted_detector(convergence_time=20.0, random_mistakes=True),
+            crash_plan=CrashPlan.scripted({2: 25.0, 5: 40.0}),
+        )
+        table.run(until=400.0)
+        assert table.starving_correct(patience=150.0) == []
+
+    def test_scoped_exclusion_eventually_clean(self):
+        graph = clique(7)
+        table = drinking_table(
+            graph,
+            seed=5,
+            workload=RandomThirst(demand=0.5),
+            detector=scripted_detector(convergence_time=30.0, random_mistakes=True),
+        )
+        table.run(until=400.0)
+        assert drinking_violations_after(table.trace, graph, 32.0, horizon=400.0) == []
+
+    def test_channel_bound_still_holds(self):
+        # check_invariants is on by default: a 5th message would raise.
+        graph = clique(6)
+        table = drinking_table(
+            graph, seed=3, workload=RandomThirst(demand=0.6), detector=scripted_detector()
+        )
+        table.run(until=200.0)
+        assert table.occupancy.max_occupancy <= 4
+
+    def test_full_demand_matches_dining_behaviour(self):
+        graph = ring(6)
+        drink = drinking_table(
+            graph,
+            seed=7,
+            workload=AlwaysAllBottles(drink_time=1.0),
+            detector=scripted_detector(),
+        ).run(until=150.0)
+        from repro.core import DiningTable
+
+        dine = DiningTable(
+            graph,
+            seed=7,
+            workload=AlwaysHungry(eat_time=1.0, think_time=0.01),
+            detector=scripted_detector(),
+        ).run(until=150.0)
+        assert drink.eat_counts() == dine.eat_counts()
+
+    def test_concurrency_grows_as_demand_thins(self):
+        graph = clique(8)
+        means = []
+        for demand in (1.0, 0.3):
+            table = drinking_table(
+                graph,
+                seed=4,
+                workload=RandomThirst(demand=demand, drink_time=1.0),
+                detector=scripted_detector(),
+            ).run(until=200.0)
+            means.append(concurrency_profile(table.trace, graph, horizon=200.0)["mean"])
+        assert means[1] > means[0] * 1.5
+
+
+class TestDrinkingOverRealDetector:
+    def test_full_stack_with_heartbeat_and_crash(self):
+        from repro.core import heartbeat_detector
+        from repro.sim.latency import PartialSynchronyLatency
+
+        graph = clique(6)
+        table = drinking_table(
+            graph,
+            seed=12,
+            workload=RandomThirst(demand=0.4, drink_time=1.0),
+            latency=PartialSynchronyLatency(
+                gst=40.0, min_delay=0.1, pre_gst_max=6.0, post_gst_max=1.0
+            ),
+            detector=heartbeat_detector(interval=1.0, initial_timeout=2.0),
+            crash_plan=CrashPlan.scripted({3: 25.0}),
+        )
+        table.run(until=500.0)
+        assert table.starving_correct(patience=200.0) == []
+        assert drinking_violations_after(table.trace, graph, 250.0, horizon=500.0) == []
+        assert table.occupancy.max_occupancy <= 4

@@ -1,0 +1,179 @@
+"""Unit tests for conflict graphs, topologies, and colorings."""
+
+import pytest
+
+from repro.errors import ColoringError, ConfigurationError
+from repro.graphs import (
+    ConflictGraph,
+    binary_tree,
+    by_name,
+    clique,
+    color_count,
+    dsatur_coloring,
+    greedy_coloring,
+    grid,
+    path,
+    random_graph,
+    ring,
+    star,
+    validate_coloring,
+)
+
+
+class TestConflictGraph:
+    def test_nodes_sorted_and_deduplicated(self):
+        graph = ConflictGraph([3, 1, 1, 2], [(1, 2)])
+        assert graph.nodes == (1, 2, 3)
+
+    def test_edges_normalized(self):
+        graph = ConflictGraph([0, 1], [(1, 0), (0, 1)])
+        assert graph.edges == frozenset({(0, 1)})
+
+    def test_neighbors_sorted(self):
+        graph = ConflictGraph(range(4), [(0, 3), (0, 1), (0, 2)])
+        assert graph.neighbors(0) == (1, 2, 3)
+
+    def test_are_neighbors(self):
+        graph = ConflictGraph(range(3), [(0, 1)])
+        assert graph.are_neighbors(0, 1)
+        assert graph.are_neighbors(1, 0)
+        assert not graph.are_neighbors(0, 2)
+        assert not graph.are_neighbors(1, 1)
+
+    def test_degree_and_max_degree(self):
+        graph = star(5)
+        assert graph.degree(0) == 4
+        assert graph.degree(1) == 1
+        assert graph.max_degree == 4
+
+    def test_isolated_node_allowed(self):
+        graph = ConflictGraph([0, 1, 2], [(0, 1)])
+        assert graph.neighbors(2) == ()
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ConflictGraph([0, 1], [(0, 0)])
+
+    def test_edge_to_unknown_node_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ConflictGraph([0, 1], [(0, 5)])
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ConflictGraph([], [])
+
+    def test_unknown_pid_queries_raise(self):
+        graph = ring(4)
+        with pytest.raises(ConfigurationError):
+            graph.neighbors(99)
+
+    def test_container_protocol(self):
+        graph = ring(4)
+        assert len(graph) == 4
+        assert 2 in graph
+        assert 9 not in graph
+        assert list(graph) == [0, 1, 2, 3]
+
+
+class TestTopologies:
+    def test_ring_structure(self):
+        graph = ring(5)
+        assert len(graph.edges) == 5
+        assert all(graph.degree(pid) == 2 for pid in graph)
+
+    def test_ring_too_small(self):
+        with pytest.raises(ConfigurationError):
+            ring(2)
+
+    def test_path_structure(self):
+        graph = path(5)
+        assert len(graph.edges) == 4
+        assert graph.degree(0) == 1
+        assert graph.degree(4) == 1
+        assert graph.degree(2) == 2
+
+    def test_star_structure(self):
+        graph = star(6)
+        assert graph.degree(0) == 5
+        assert all(graph.degree(pid) == 1 for pid in range(1, 6))
+
+    def test_clique_structure(self):
+        graph = clique(6)
+        assert len(graph.edges) == 15
+        assert graph.max_degree == 5
+
+    def test_grid_structure(self):
+        graph = grid(3, 4)
+        assert len(graph) == 12
+        assert len(graph.edges) == 3 * 3 + 2 * 4  # horizontal + vertical
+        assert graph.max_degree == 4
+
+    def test_binary_tree_structure(self):
+        graph = binary_tree(7)
+        assert len(graph.edges) == 6
+        assert graph.degree(0) == 2  # root has two children
+
+    def test_random_graph_deterministic(self):
+        a = random_graph(10, 0.4, seed=5)
+        b = random_graph(10, 0.4, seed=5)
+        assert a.edges == b.edges
+
+    def test_random_graph_probability_bounds(self):
+        assert len(random_graph(8, 0.0).edges) == 0
+        assert len(random_graph(8, 1.0).edges) == 28
+        with pytest.raises(ConfigurationError):
+            random_graph(8, 1.5)
+
+    def test_by_name_dispatch(self):
+        for name in ("ring", "path", "star", "clique", "tree", "random", "grid"):
+            graph = by_name(name, 12)
+            assert len(graph) == 12
+
+    def test_by_name_unknown(self):
+        with pytest.raises(ConfigurationError):
+            by_name("mobius", 12)
+
+    def test_by_name_grid_needs_composite(self):
+        with pytest.raises(ConfigurationError):
+            by_name("grid", 13)
+
+
+class TestColoring:
+    @pytest.mark.parametrize("make", [greedy_coloring, dsatur_coloring])
+    @pytest.mark.parametrize(
+        "graph",
+        [ring(6), ring(7), path(5), star(8), clique(6), grid(3, 4), binary_tree(9), random_graph(15, 0.3, seed=2)],
+        ids=["ring6", "ring7", "path5", "star8", "clique6", "grid3x4", "tree9", "random15"],
+    )
+    def test_colorings_are_proper(self, make, graph):
+        coloring = make(graph)
+        validate_coloring(graph, coloring)  # raises on failure
+
+    def test_greedy_uses_at_most_delta_plus_one(self):
+        for graph in (ring(9), star(10), clique(5), grid(4, 4)):
+            coloring = greedy_coloring(graph)
+            assert color_count(coloring) <= graph.max_degree + 1
+
+    def test_dsatur_no_worse_than_greedy_on_star(self):
+        graph = star(10)
+        assert color_count(dsatur_coloring(graph)) == 2
+
+    def test_clique_needs_n_colors(self):
+        graph = clique(6)
+        assert color_count(greedy_coloring(graph)) == 6
+        assert color_count(dsatur_coloring(graph)) == 6
+
+    def test_validate_rejects_monochrome_edge(self):
+        graph = path(3)
+        with pytest.raises(ColoringError):
+            validate_coloring(graph, {0: 1, 1: 1, 2: 0})
+
+    def test_validate_rejects_missing_color(self):
+        graph = path(3)
+        with pytest.raises(ColoringError):
+            validate_coloring(graph, {0: 0, 1: 1})
+
+    def test_validate_rejects_negative_color(self):
+        graph = path(2)
+        with pytest.raises(ColoringError):
+            validate_coloring(graph, {0: -1, 1: 0})

@@ -1,0 +1,101 @@
+"""End-to-end integration: Algorithm 1 over the heartbeat ◇P₁ under GST.
+
+No oracle scripting anywhere — the detector earns its properties from the
+partial-synchrony network, and the dining guarantees follow.
+"""
+
+import pytest
+
+from repro.core import AlwaysHungry, DiningTable, heartbeat_detector
+from repro.graphs import topologies
+from repro.sim.crash import CrashPlan
+from repro.sim.latency import PartialSynchronyLatency
+from repro.sim.rng import RandomStreams
+
+
+def gst_table(graph, *, seed, gst=50.0, crash_plan=None, **kwargs):
+    kwargs.setdefault("workload", AlwaysHungry(eat_time=1.0, think_time=0.05))
+    return DiningTable(
+        graph,
+        seed=seed,
+        latency=PartialSynchronyLatency(
+            gst=gst, min_delay=0.1, pre_gst_max=8.0, post_gst_max=1.0
+        ),
+        detector=heartbeat_detector(interval=1.0, initial_timeout=2.0, timeout_increment=1.0),
+        crash_plan=crash_plan,
+        **kwargs,
+    )
+
+
+@pytest.mark.parametrize("seed", [11, 12, 13])
+def test_full_stack_guarantees_on_ring(seed):
+    graph = topologies.ring(8)
+    crash_plan = CrashPlan.random(range(8), 2, (20.0, 70.0), RandomStreams(seed))
+    table = gst_table(graph, seed=seed, crash_plan=crash_plan)
+    table.run(until=700.0)
+
+    # Wait-freedom.
+    assert table.starving_correct(patience=250.0) == []
+    # Eventual weak exclusion: clean long suffix.
+    assert table.violations_after(300.0) == []
+    # Eventual 2-bounded waiting in the suffix.
+    assert table.max_overtaking(after=350.0) <= 2
+    # Channel bound held throughout (checker would have raised).
+    assert table.occupancy.max_occupancy <= 4
+
+
+def test_hostile_pre_gst_period_causes_real_mistakes():
+    graph = topologies.ring(8)
+    table = gst_table(graph, seed=13, gst=80.0)
+    table.run(until=400.0)
+    assert table.detector.total_false_retractions() > 0
+
+
+def test_pre_gst_violations_possible_but_finite():
+    # With an aggressive initial timeout, mutual suspicion pre-GST can
+    # produce violations; all of them must end once timeouts adapt.
+    graph = topologies.ring(6)
+    table = DiningTable(
+        graph,
+        seed=21,
+        latency=PartialSynchronyLatency(gst=60.0, min_delay=0.1, pre_gst_max=12.0, post_gst_max=0.8),
+        detector=heartbeat_detector(interval=1.0, initial_timeout=1.2, timeout_increment=1.0),
+        workload=AlwaysHungry(eat_time=2.0, think_time=0.05),
+    )
+    table.run(until=800.0)
+    assert table.violations_after(400.0) == []
+
+
+def test_quiescence_holds_with_real_detector():
+    # Dining traffic to the crashed process stops even though heartbeats
+    # (detector layer) keep flowing.
+    graph = topologies.ring(6)
+    crash_plan = CrashPlan.scripted({3: 40.0})
+    table = gst_table(graph, seed=17, crash_plan=crash_plan)
+    table.run(until=300.0)
+    dining_count = len(table.quiescence.sends_to(3, layer="dining"))
+    detector_count = len(table.quiescence.sends_to(3, layer="detector"))
+    table.run(until=900.0)
+    assert len(table.quiescence.sends_to(3, layer="dining")) == dining_count
+    # ◇P requires perpetual probing: detector traffic continues.
+    assert len(table.quiescence.sends_to(3, layer="detector")) > detector_count
+
+
+def test_daemon_over_heartbeat_detector():
+    # The full paper stack: heartbeat ◇P₁ → wait-free daemon → hosted
+    # stabilizing protocol, with a crash.
+    from repro.core import DistributedDaemon
+    from repro.stabilization import GreedyRecoloring
+
+    graph = topologies.grid(3, 3)
+    protocol = GreedyRecoloring(graph)
+    daemon = DistributedDaemon(
+        graph,
+        protocol,
+        seed=19,
+        latency=PartialSynchronyLatency(gst=40.0, min_delay=0.1, pre_gst_max=6.0, post_gst_max=1.0),
+        detector=heartbeat_detector(interval=1.0, initial_timeout=2.0),
+        crash_plan=CrashPlan.scripted({4: 30.0}),
+    )
+    daemon.run(until=600.0)
+    assert daemon.converged()

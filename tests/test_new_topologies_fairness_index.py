@@ -1,0 +1,134 @@
+"""Tests for hypercube/torus topologies and the Jain fairness index."""
+
+import pytest
+
+from repro.core import AlwaysHungry, DiningTable, scripted_detector
+from repro.errors import ConfigurationError
+from repro.graphs import by_name, greedy_coloring, hypercube, torus, validate_coloring
+from repro.sim.crash import CrashPlan
+from repro.trace import jain_fairness_index
+
+
+class TestHypercube:
+    def test_structure(self):
+        graph = hypercube(3)
+        assert len(graph) == 8
+        assert len(graph.edges) == 12
+        assert all(graph.degree(pid) == 3 for pid in graph)
+
+    def test_neighbors_differ_in_one_bit(self):
+        graph = hypercube(4)
+        for a, b in graph.edges:
+            assert bin(a ^ b).count("1") == 1
+
+    def test_dimension_bounds(self):
+        with pytest.raises(ConfigurationError):
+            hypercube(0)
+        with pytest.raises(ConfigurationError):
+            hypercube(11)
+
+    def test_by_name_requires_power_of_two(self):
+        assert len(by_name("hypercube", 16)) == 16
+        with pytest.raises(ConfigurationError):
+            by_name("hypercube", 12)
+
+    def test_colorable(self):
+        graph = hypercube(4)
+        validate_coloring(graph, greedy_coloring(graph))
+
+    def test_dining_guarantees_hold(self):
+        graph = hypercube(3)
+        table = DiningTable(
+            graph,
+            seed=6,
+            detector=scripted_detector(convergence_time=20.0, random_mistakes=True),
+            crash_plan=CrashPlan.scripted({5: 25.0}),
+            workload=AlwaysHungry(eat_time=0.8, think_time=0.02),
+        )
+        table.run(until=250.0)
+        assert table.starving_correct(patience=100.0) == []
+        assert table.violations_after(27.0) == []
+
+
+class TestTorus:
+    def test_structure_is_4_regular(self):
+        graph = torus(3, 4)
+        assert len(graph) == 12
+        assert all(graph.degree(pid) == 4 for pid in graph)
+        assert len(graph.edges) == 24
+
+    def test_minimum_side_enforced(self):
+        with pytest.raises(ConfigurationError):
+            torus(2, 5)
+
+    def test_by_name_factors(self):
+        graph = by_name("torus", 12)
+        assert len(graph) == 12
+        with pytest.raises(ConfigurationError):
+            by_name("torus", 7)  # prime: no sides >= 3
+
+    def test_dining_guarantees_hold(self):
+        graph = torus(3, 3)
+        table = DiningTable(
+            graph,
+            seed=6,
+            detector=scripted_detector(convergence_time=20.0, random_mistakes=True),
+            workload=AlwaysHungry(eat_time=0.8, think_time=0.02),
+        )
+        table.run(until=250.0)
+        assert table.starving_correct(patience=100.0) == []
+        assert table.max_overtaking(after=60.0) <= 2
+
+
+class TestJainFairnessIndex:
+    def test_perfect_equality(self):
+        assert jain_fairness_index({0: 7, 1: 7, 2: 7}) == pytest.approx(1.0)
+
+    def test_total_inequality(self):
+        assert jain_fairness_index([9, 0, 0]) == pytest.approx(1 / 3)
+
+    def test_intermediate(self):
+        assert jain_fairness_index([4, 2]) == pytest.approx(36 / (2 * 20))
+
+    def test_empty_and_zero_are_vacuously_fair(self):
+        assert jain_fairness_index([]) == 1.0
+        assert jain_fairness_index([0, 0]) == 1.0
+
+    def test_dining_on_symmetric_ring_is_near_perfectly_fair(self):
+        from repro.graphs import ring
+
+        table = DiningTable(
+            ring(8),
+            seed=3,
+            detector=scripted_detector(),
+            workload=AlwaysHungry(eat_time=1.0, think_time=0.01),
+        )
+        table.run(until=300.0)
+        assert jain_fairness_index(table.eat_counts()) > 0.99
+
+    def test_fork_priority_squeeze_is_measurably_unfair(self):
+        from repro.baselines import fork_priority_table
+        from repro.graphs import path
+        from repro.sim.latency import UniformLatency
+
+        table = fork_priority_table(
+            path(3),
+            seed=5,
+            coloring={0: 1, 1: 0, 2: 2},
+            workload=AlwaysHungry(eat_time=1.0, think_time=0.01),
+            latency=UniformLatency(0.2, 0.6),
+        )
+        table.run(until=500.0)
+        unfair = jain_fairness_index(table.eat_counts())
+
+        fair_table = DiningTable(
+            path(3),
+            seed=5,
+            coloring={0: 1, 1: 0, 2: 2},
+            detector=scripted_detector(convergence_time=40.0, random_mistakes=True),
+            workload=AlwaysHungry(eat_time=1.0, think_time=0.01),
+            latency=UniformLatency(0.2, 0.6),
+        )
+        fair_table.run(until=500.0)
+        fair = jain_fairness_index(fair_table.eat_counts())
+        assert fair > unfair

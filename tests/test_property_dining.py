@@ -1,0 +1,175 @@
+"""Property-based testing of Algorithm 1 itself.
+
+Hypothesis generates whole dining configurations — topology, seed, crash
+plan, detector convergence — and the paper's theorems are asserted on
+each run.  The online invariant checkers (fork uniqueness, channel bound,
+FIFO) are armed throughout, so any counterexample fails loudly at the
+first bad state.
+
+Horizons are kept modest; the dedicated integration tests cover long
+runs.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core import AlwaysHungry, DiningTable, scripted_detector
+from repro.graphs import topologies
+from repro.sim.crash import CrashPlan
+from repro.sim.rng import RandomStreams
+
+CONFIG = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def dining_configs(draw):
+    topology = draw(st.sampled_from(["ring", "clique", "grid", "star", "path", "tree"]))
+    n = draw(st.sampled_from([4, 6, 8, 9]))
+    if topology == "grid" and n in (4, 9):
+        pass  # 2x2 and 3x3 are fine
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    crash_count = draw(st.integers(min_value=0, max_value=max(0, n - 1)))
+    convergence = draw(st.sampled_from([0.0, 15.0, 40.0]))
+    return topology, n, seed, crash_count, convergence
+
+
+def build(topology, n, seed, crash_count, convergence):
+    graph = topologies.by_name(topology, n, seed=seed)
+    crash_plan = CrashPlan.random(
+        graph.nodes, crash_count, (5.0, 60.0), RandomStreams(seed + 1)
+    )
+    table = DiningTable(
+        graph,
+        seed=seed,
+        detector=scripted_detector(
+            convergence_time=convergence,
+            detection_delay=1.0,
+            random_mistakes=convergence > 0,
+        ),
+        crash_plan=crash_plan,
+        workload=AlwaysHungry(eat_time=0.8, think_time=0.02),
+        check_invariants=True,  # fork uniqueness + channel bound + FIFO, online
+    )
+    return table, crash_plan
+
+
+@given(dining_configs())
+@CONFIG
+def test_theorems_hold_on_random_configurations(config):
+    topology, n, seed, crash_count, convergence = config
+    table, crash_plan = build(topology, n, seed, crash_count, convergence)
+    horizon = 260.0
+    table.run(until=horizon)  # invariant checkers armed throughout
+
+    # Theorem 2 (wait-freedom): nobody correct starves.
+    assert table.starving_correct(patience=120.0) == []
+
+    # Theorem 1 (◇WX): clean suffix after convergence + crash detection,
+    # plus one maximum eating duration of settling time (a meal begun
+    # under a final pre-convergence mistake may still be in progress at
+    # the convergence instant).
+    cutoff = max(convergence, crash_plan.last_crash_time + 1.0) + 0.8
+    assert table.violations_after(cutoff) == []
+
+    # Theorem 3 (◇2-BW): bounded overtaking for post-backlog sessions.
+    assert table.max_overtaking(after=cutoff + 40.0) <= 2
+
+    # Section 7: channel capacity held (checker would have raised too).
+    assert table.occupancy.max_occupancy <= 4
+
+
+@given(dining_configs())
+@CONFIG
+def test_runs_replay_bit_for_bit(config):
+    topology, n, seed, crash_count, convergence = config
+
+    def fingerprint():
+        table, _ = build(topology, n, seed, crash_count, convergence)
+        table.run(until=90.0)
+        return (
+            tuple(sorted(table.eat_counts().items())),
+            table.message_stats.total,
+            table.sim.processed_events,
+            len(table.violations()),
+        )
+
+    assert fingerprint() == fingerprint()
+
+
+@st.composite
+def drinking_configs(draw):
+    topology = draw(st.sampled_from(["ring", "clique", "grid", "star"]))
+    n = draw(st.sampled_from([4, 6, 9]))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    demand = draw(st.sampled_from([0.0, 0.3, 0.7, 1.0]))
+    crash_count = draw(st.integers(min_value=0, max_value=2))
+    return topology, n, seed, demand, crash_count
+
+
+@given(drinking_configs())
+@CONFIG
+def test_drinking_guarantees_on_random_configurations(config):
+    from repro.drinking import (
+        RandomThirst,
+        adjacent_simultaneous_drinks,
+        drinking_table,
+        drinking_violations,
+        drinking_violations_after,
+    )
+
+    topology, n, seed, demand, crash_count = config
+    graph = topologies.by_name(topology, n, seed=seed)
+    crash_plan = CrashPlan.random(
+        graph.nodes, crash_count, (5.0, 40.0), RandomStreams(seed + 2)
+    )
+    convergence = 20.0
+    table = drinking_table(
+        graph,
+        seed=seed,
+        workload=RandomThirst(demand=demand, drink_time=0.8),
+        detector=scripted_detector(convergence_time=convergence, random_mistakes=True),
+        crash_plan=crash_plan,
+    )
+    table.run(until=200.0)
+
+    # Wait-freedom carries over.
+    assert table.starving_correct(patience=90.0) == []
+    # Bottle-scoped eventual exclusion (settling margin: one drink time).
+    cutoff = max(convergence, crash_plan.last_crash_time + 1.0) + 0.8
+    assert drinking_violations_after(table.trace, graph, cutoff, horizon=200.0) == []
+    # Scoped violations can never exceed raw adjacent overlaps.
+    scoped = len(drinking_violations(table.trace, graph, horizon=200.0))
+    raw = adjacent_simultaneous_drinks(table.trace, graph, horizon=200.0)
+    assert scoped <= raw
+    # Channel bound still enforced (checker armed; assert the observation).
+    assert table.occupancy.max_occupancy <= 4
+
+
+@st.composite
+def ser_configs(draw):
+    topology = draw(st.sampled_from(["ring", "clique", "grid", "tree", "path"]))
+    n = draw(st.sampled_from([4, 6, 9]))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    return topology, n, seed
+
+@given(ser_configs())
+@CONFIG
+def test_edge_reversal_perfect_safety_and_fairness_crash_free(config):
+    from repro.baselines import edge_reversal_table
+
+    topology, n, seed = config
+    graph = topologies.by_name(topology, n, seed=seed)
+    table = edge_reversal_table(
+        graph,
+        seed=seed,
+        workload=AlwaysHungry(eat_time=0.6, think_time=0.01),
+    )
+    table.run(until=200.0)
+    # Perpetual weak exclusion: no violation ever, from t = 0.
+    assert table.violations() == []
+    # Every process becomes a sink infinitely often: all keep eating.
+    meals = table.eat_counts()
+    assert all(meals.get(pid, 0) >= 3 for pid in graph.nodes)

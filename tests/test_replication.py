@@ -1,0 +1,108 @@
+"""Tests for the multi-seed replication tooling."""
+
+import pytest
+
+from repro.experiments.replication import columns_for, replicate
+
+
+def fake_experiment(*, seed: int, factor: int = 1):
+    return [
+        {"group": "a", "value": seed * factor, "label": "text-ignored"},
+        {"group": "b", "value": 100 + seed, "flag": True},
+    ]
+
+
+class TestReplicate:
+    def test_aggregates_mean_min_max(self):
+        rows = replicate(
+            fake_experiment, seeds=[1, 2, 3], group_by=("group",)
+        )
+        by_group = {row["group"]: row for row in rows}
+        assert by_group["a"]["value_mean"] == 2.0
+        assert by_group["a"]["value_min"] == 1.0
+        assert by_group["a"]["value_max"] == 3.0
+        assert by_group["a"]["replicates"] == 3
+
+    def test_kwargs_forwarded(self):
+        rows = replicate(
+            fake_experiment, seeds=[2], kwargs={"factor": 10}, group_by=("group",)
+        )
+        by_group = {row["group"]: row for row in rows}
+        assert by_group["a"]["value_mean"] == 20.0
+
+    def test_non_numeric_and_bool_columns_skipped(self):
+        rows = replicate(fake_experiment, seeds=[1], group_by=("group",))
+        by_group = {row["group"]: row for row in rows}
+        assert "label_mean" not in by_group["a"]
+        assert "flag_mean" not in by_group["b"]
+
+    def test_empty_seed_list_rejected(self):
+        with pytest.raises(ValueError):
+            replicate(fake_experiment, seeds=[], group_by=("group",))
+
+    def test_columns_for(self):
+        cols = columns_for(("g",), ("v",), stats=("mean", "max"))
+        assert cols == ("g", "replicates", "v_mean", "v_max")
+
+
+class TestReplicatedSafety:
+    def test_e1_claim_holds_across_seeds(self):
+        from repro.experiments.e1_safety import run_safety
+
+        rows = replicate(
+            run_safety,
+            seeds=range(4),
+            kwargs=dict(
+                topology_names=("ring",),
+                n=8,
+                convergence_times=(20.0,),
+                horizon=200.0,
+            ),
+            group_by=("topology", "T_c"),
+        )
+        assert len(rows) == 1
+        row = rows[0]
+        assert row["replicates"] == 4
+        # The hard claim holds in EVERY replicate, not just on average.
+        assert row["violations_after_cutoff_max"] == 0.0
+        # Pre-convergence violations vary with the seed but exist somewhere.
+        assert row["violations_max"] >= row["violations_min"]
+
+
+class TestReplicatedFairness:
+    def test_theorem3_bound_across_seeds(self):
+        from repro.experiments.e3_fairness import run_ring_fairness
+
+        def run_one(*, seed: int):
+            return [run_ring_fairness(n=6, horizon=250.0, seed=seed)]
+
+        rows = replicate(run_one, seeds=range(5), group_by=("scenario",))
+        assert rows[0]["max_overtaking_max"] <= 2.0
+
+
+class TestCsvExport:
+    def test_round_trip_readable(self, tmp_path):
+        import csv
+
+        from repro.experiments.common import write_csv
+
+        rows = [
+            {"a": 1, "b": 2.5, "c": "text"},
+            {"a": 2, "b": None, "c": "more"},
+        ]
+        path = str(tmp_path / "out.csv")
+        count = write_csv(rows, ["a", "b", "c"], path)
+        assert count == 2
+        with open(path) as stream:
+            loaded = list(csv.reader(stream))
+        assert loaded[0] == ["a", "b", "c"]
+        assert loaded[1] == ["1", "2.5", "text"]
+        assert loaded[2] == ["2", "", "more"]
+
+    def test_experiment_rows_export(self, tmp_path):
+        from repro.experiments.common import write_csv
+        from repro.experiments.e6_space import COLUMNS, run_space
+
+        rows = run_space(topology_names=("ring",), sizes=(8,))
+        path = str(tmp_path / "e6.csv")
+        assert write_csv(rows, COLUMNS, path) == len(rows)

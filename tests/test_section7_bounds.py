@@ -1,0 +1,149 @@
+"""Integration tests for the Section 7 resource claims.
+
+Bounded channel capacity (≤ 4 dining messages per edge), quiescence
+toward crashed processes, and the space accounting.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core import AlwaysHungry, DiningTable, local_state_bits, scripted_detector
+from repro.core.state import NeighborLinks
+from repro.graphs import topologies
+from repro.graphs.coloring import color_count
+from repro.sim.crash import CrashPlan
+from repro.sim.latency import LogNormalLatency
+from repro.sim.rng import RandomStreams
+
+
+class TestChannelBound:
+    @pytest.mark.parametrize("topology", ["ring", "clique", "star", "grid"])
+    def test_never_more_than_four_dining_messages_per_edge(self, topology):
+        # check_invariants=True arms ChannelBoundChecker(4): a fifth
+        # in-transit message raises during the run.
+        graph = topologies.by_name(topology, 12)
+        table = DiningTable(
+            graph,
+            seed=2,
+            detector=scripted_detector(convergence_time=40.0, random_mistakes=True),
+            crash_plan=CrashPlan.random(graph.nodes, 3, (20.0, 100.0), RandomStreams(2)),
+            workload=AlwaysHungry(eat_time=0.5, think_time=0.01),
+            latency=LogNormalLatency(median=1.0, sigma=0.9, ceiling=25.0),
+        )
+        table.run(until=300.0)
+        assert table.occupancy.max_occupancy <= 4
+        assert table.occupancy.edges_exceeding(4) == []
+
+    def test_at_most_one_fork_and_token_in_transit(self):
+        # Stronger decomposition: per edge, fork ≤ 1 and token ≤ 1 at once.
+        from repro.sim.monitors import ChannelOccupancyMonitor
+        from repro.sim.network import NetworkMonitor
+
+        class PerTypeOccupancy(NetworkMonitor):
+            def __init__(self):
+                self.current = {}
+                self.peak = {}
+
+            def _key(self, src, dst, message):
+                edge = (src, dst) if src <= dst else (dst, src)
+                return (edge, type(message).__name__)
+
+            def on_send(self, src, dst, message, time):
+                key = self._key(src, dst, message)
+                self.current[key] = self.current.get(key, 0) + 1
+                self.peak[key] = max(self.peak.get(key, 0), self.current[key])
+
+            def on_deliver(self, src, dst, message, time):
+                self.current[self._key(src, dst, message)] -= 1
+
+            on_drop = on_deliver
+
+        graph = topologies.ring(8)
+        table = DiningTable(
+            graph,
+            seed=3,
+            workload=AlwaysHungry(eat_time=0.5, think_time=0.01),
+            latency=LogNormalLatency(median=1.0, sigma=0.9, ceiling=25.0),
+        )
+        probe = PerTypeOccupancy()
+        table.network.add_monitor(probe)
+        table.run(until=300.0)
+        for (edge, kind), peak in probe.peak.items():
+            if kind in ("Fork", "ForkRequest"):
+                assert peak <= 1, f"{peak} simultaneous {kind} on {edge}"
+
+    def test_detector_layer_not_counted(self):
+        # Heartbeats are not dining messages and may exceed the bound
+        # without tripping the checker.
+        from repro.core import heartbeat_detector
+
+        graph = topologies.path(2)
+        table = DiningTable(
+            graph,
+            seed=1,
+            detector=heartbeat_detector(interval=0.2, initial_timeout=5.0),
+            latency=LogNormalLatency(median=1.0, sigma=0.3, ceiling=3.0),
+        )
+        table.run(until=60.0)  # would raise if heartbeats were counted
+
+
+class TestQuiescence:
+    def test_bounded_post_crash_traffic_and_silence(self):
+        graph = topologies.ring(8)
+        crash_plan = CrashPlan.scripted({2: 30.0, 5: 40.0})
+        table = DiningTable(
+            graph,
+            seed=4,
+            detector=scripted_detector(convergence_time=20.0, random_mistakes=True),
+            crash_plan=crash_plan,
+            workload=AlwaysHungry(eat_time=0.5, think_time=0.01),
+        )
+        table.run(until=200.0)
+        counts = {
+            pid: len(table.quiescence.sends_to(pid, layer="dining"))
+            for pid in crash_plan.faulty
+        }
+        # Extend the run 4x: no new dining message may reach the dead.
+        table.run(until=800.0)
+        for pid in crash_plan.faulty:
+            assert len(table.quiescence.sends_to(pid, layer="dining")) == counts[pid]
+
+    def test_per_neighbor_post_crash_budget(self):
+        # Per correct neighbor: at most 1 ping, 1 fork request, 1 fork,
+        # and 1 ack can chase a crashed process.
+        graph = topologies.clique(6)
+        crash_plan = CrashPlan.scripted({0: 25.0})
+        table = DiningTable(
+            graph,
+            seed=5,
+            detector=scripted_detector(detection_delay=1.0),
+            crash_plan=crash_plan,
+            workload=AlwaysHungry(eat_time=0.5, think_time=0.01),
+        )
+        table.run(until=400.0)
+        sends = table.quiescence.sends_to(0, layer="dining")
+        per_sender: dict = {}
+        for record in sends:
+            key = (record.src, record.message_type)
+            per_sender[key] = per_sender.get(key, 0) + 1
+        for (src, kind), count in per_sender.items():
+            assert count <= 1, f"{src} sent {count} {kind} to crashed 0"
+
+
+class TestSpace:
+    def test_diner_state_matches_accounting(self):
+        graph = topologies.random_graph(14, 0.4, seed=6)
+        table = DiningTable(graph, seed=6).run(until=30.0)
+        colors = color_count(table.coloring)
+        for pid, diner in table.diners.items():
+            assert len(diner.links) == graph.degree(pid)
+            assert len(dataclasses.fields(NeighborLinks)) == 6
+            bits = local_state_bits(graph.degree(pid), colors)
+            # log2 δ + 6δ + c with c small and fixed.
+            assert bits <= 6 * graph.degree(pid) + 16
+
+    def test_bits_grow_with_degree_not_n(self):
+        ring_small = local_state_bits(2, 3)
+        ring_large = local_state_bits(2, 3)
+        assert ring_small == ring_large  # δ fixed ⇒ bits fixed, any n

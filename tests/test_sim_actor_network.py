@@ -1,0 +1,221 @@
+"""Unit tests for actors and the reliable FIFO network."""
+
+import pytest
+
+from repro.errors import ConfigurationError, CrashedProcessError
+from repro.sim.actor import Actor
+from repro.sim.kernel import Simulator
+from repro.sim.latency import FixedLatency, UniformLatency
+from repro.sim.network import Network
+
+
+class Echo(Actor):
+    """Records deliveries; replies when the message asks for it."""
+
+    def __init__(self, pid):
+        super().__init__(pid)
+        self.received = []
+        self.reevaluations = 0
+
+    def on_message(self, src, message):
+        self.received.append((src, message, self.now))
+        if message == "ping?":
+            self.send(src, "pong")
+
+    def reevaluate(self):
+        self.reevaluations += 1
+
+
+def wire(n=2, latency=None, seed=0):
+    sim = Simulator(seed=seed)
+    network = Network(sim, latency=latency or FixedLatency(1.0))
+    actors = [Echo(i) for i in range(n)]
+    for actor in actors:
+        network.register(actor)
+    return sim, network, actors
+
+
+class TestDelivery:
+    def test_message_arrives_after_latency(self):
+        sim, network, (a, b) = wire()
+        sim.schedule_at(0.0, lambda: a.send(1, "hello"))
+        sim.run_until_quiescent()
+        assert b.received == [(0, "hello", 1.0)]
+
+    def test_round_trip(self):
+        sim, network, (a, b) = wire()
+        sim.schedule_at(0.0, lambda: a.send(1, "ping?"))
+        sim.run_until_quiescent()
+        assert a.received == [(1, "pong", 2.0)]
+
+    def test_counts(self):
+        sim, network, (a, b) = wire()
+        sim.schedule_at(0.0, lambda: a.send(1, "x"))
+        sim.schedule_at(0.0, lambda: a.send(1, "y"))
+        sim.run_until_quiescent()
+        assert network.sent_count == 2
+        assert network.delivered_count == 2
+        assert network.dropped_count == 0
+
+    def test_unknown_destination_raises(self):
+        sim, network, (a, b) = wire()
+        sim.schedule_at(0.0, lambda: a.send(99, "x"))
+        with pytest.raises(ConfigurationError):
+            sim.run_until_quiescent()
+
+    def test_duplicate_registration_raises(self):
+        sim, network, actors = wire()
+        with pytest.raises(ConfigurationError):
+            network.register(Echo(0))
+
+    def test_reevaluate_called_after_delivery(self):
+        sim, network, (a, b) = wire()
+        sim.schedule_at(0.0, lambda: a.send(1, "x"))
+        sim.run_until_quiescent()
+        assert b.reevaluations == 1
+
+
+class TestFifo:
+    def test_fifo_under_fixed_latency(self):
+        sim, network, (a, b) = wire()
+        sim.schedule_at(0.0, lambda: [a.send(1, i) for i in range(10)])
+        sim.run_until_quiescent()
+        assert [msg for _, msg, _ in b.received] == list(range(10))
+
+    def test_fifo_under_jittered_latency(self):
+        # Later sends may sample shorter delays; FIFO clamping must still
+        # deliver in send order.
+        sim, network, (a, b) = wire(latency=UniformLatency(0.1, 5.0), seed=9)
+        for k in range(20):
+            sim.schedule_at(0.1 * k, lambda k=k: a.send(1, k))
+        sim.run_until_quiescent()
+        assert [msg for _, msg, _ in b.received] == list(range(20))
+
+    def test_fifo_is_per_directed_channel(self):
+        sim, network, (a, b) = wire(latency=UniformLatency(0.1, 5.0), seed=3)
+        sim.schedule_at(0.0, lambda: a.send(1, "a1"))
+        sim.schedule_at(0.0, lambda: b.send(0, "b1"))
+        sim.schedule_at(0.1, lambda: a.send(1, "a2"))
+        sim.run_until_quiescent()
+        assert [m for _, m, _ in b.received] == ["a1", "a2"]
+
+
+class TestCrashSemantics:
+    def test_crashed_destination_drops(self):
+        sim, network, (a, b) = wire()
+        sim.schedule_at(0.0, lambda: a.send(1, "x"))
+        network.crash_at(1, 0.5)
+        sim.run_until_quiescent()
+        assert b.received == []
+        assert network.dropped_count == 1
+
+    def test_crash_at_delivery_instant_drops(self):
+        # CONTROL (crash) outranks DELIVERY at the same instant.
+        sim, network, (a, b) = wire()
+        sim.schedule_at(0.0, lambda: a.send(1, "x"))
+        network.crash_at(1, 1.0)
+        sim.run_until_quiescent()
+        assert b.received == []
+
+    def test_crashed_sender_raises(self):
+        sim, network, (a, b) = wire()
+        network.crash_at(0, 0.5)
+        sim.schedule_at(1.0, lambda: a.send(1, "x"))
+        with pytest.raises(CrashedProcessError):
+            sim.run_until_quiescent()
+
+    def test_in_flight_message_survives_sender_crash(self):
+        # The channel holds messages independently of the sender's fate.
+        sim, network, (a, b) = wire()
+        sim.schedule_at(0.0, lambda: a.send(1, "x"))
+        network.crash_at(0, 0.5)
+        sim.run_until_quiescent()
+        assert b.received == [(0, "x", 1.0)]
+
+    def test_crash_records_time(self):
+        sim, network, (a, b) = wire()
+        network.crash_at(1, 2.5)
+        sim.run_until_quiescent()
+        assert b.crashed
+        assert b.crash_time == 2.5
+
+    def test_crash_is_idempotent(self):
+        sim, network, (a, b) = wire()
+        network.crash_at(1, 1.0)
+        network.crash_at(1, 2.0)
+        sim.run_until_quiescent()
+        assert b.crash_time == 1.0
+
+
+class TestTimers:
+    def test_timer_fires_and_reevaluates(self):
+        sim, network, (a, b) = wire()
+        fired = []
+        sim.schedule_at(0.0, lambda: a.set_timer(3.0, lambda: fired.append(a.now)))
+        sim.run_until_quiescent()
+        assert fired == [3.0]
+        assert a.reevaluations == 1
+
+    def test_timer_suppressed_after_crash(self):
+        sim, network, (a, b) = wire()
+        fired = []
+        sim.schedule_at(0.0, lambda: a.set_timer(3.0, lambda: fired.append(1)))
+        network.crash_at(0, 1.0)
+        sim.run_until_quiescent()
+        assert fired == []
+
+    def test_cancelled_timer_does_not_fire(self):
+        sim, network, (a, b) = wire()
+        fired = []
+        holder = {}
+        sim.schedule_at(0.0, lambda: holder.update(t=a.set_timer(3.0, lambda: fired.append(1))))
+        sim.schedule_at(1.0, lambda: holder["t"].cancel())
+        sim.run_until_quiescent()
+        assert fired == []
+
+
+class TestReevaluationCoalescing:
+    def test_multiple_requests_coalesce(self):
+        sim, network, (a, b) = wire()
+
+        def burst():
+            a.request_reevaluation()
+            a.request_reevaluation()
+            a.request_reevaluation()
+
+        sim.schedule_at(1.0, burst)
+        sim.run_until_quiescent()
+        assert a.reevaluations == 1
+
+    def test_request_after_fire_schedules_again(self):
+        sim, network, (a, b) = wire()
+        sim.schedule_at(1.0, a.request_reevaluation)
+        sim.schedule_at(2.0, a.request_reevaluation)
+        sim.run_until_quiescent()
+        assert a.reevaluations == 2
+
+    def test_request_on_crashed_actor_is_noop(self):
+        sim, network, (a, b) = wire()
+        network.crash_at(0, 0.5)
+        sim.schedule_at(1.0, a.request_reevaluation)
+        sim.run_until_quiescent()
+        assert a.reevaluations == 0
+
+
+class TestStart:
+    def test_start_invokes_on_start_in_pid_order(self):
+        sim = Simulator()
+        network = Network(sim)
+        order = []
+
+        class Starter(Actor):
+            def on_start(self):
+                order.append(self.pid)
+
+            def on_message(self, src, message):
+                pass
+
+        for pid in (2, 0, 1):
+            network.register(Starter(pid))
+        network.start()
+        assert order == [0, 1, 2]

@@ -1,0 +1,119 @@
+"""Unit tests for the deterministic event queue."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.sim.events import Event, EventPriority, EventQueue
+
+
+def noop():
+    pass
+
+
+class TestOrdering:
+    def test_orders_by_time(self):
+        queue = EventQueue()
+        queue.push(5.0, EventPriority.TIMER, noop, label="late")
+        queue.push(1.0, EventPriority.TIMER, noop, label="early")
+        assert queue.pop().label == "early"
+        assert queue.pop().label == "late"
+
+    def test_same_time_orders_by_priority(self):
+        queue = EventQueue()
+        queue.push(1.0, EventPriority.REEVALUATE, noop, label="reeval")
+        queue.push(1.0, EventPriority.CONTROL, noop, label="control")
+        queue.push(1.0, EventPriority.DELIVERY, noop, label="delivery")
+        queue.push(1.0, EventPriority.TIMER, noop, label="timer")
+        order = [queue.pop().label for _ in range(4)]
+        assert order == ["control", "delivery", "timer", "reeval"]
+
+    def test_same_time_same_priority_is_fifo(self):
+        queue = EventQueue()
+        for i in range(10):
+            queue.push(2.0, EventPriority.TIMER, noop, label=str(i))
+        assert [queue.pop().label for _ in range(10)] == [str(i) for i in range(10)]
+
+    def test_crash_precedes_delivery_at_same_instant(self):
+        # The CONTROL < DELIVERY ordering is what makes "a crashed process
+        # receives nothing from its crash time on" exact.
+        assert EventPriority.CONTROL < EventPriority.DELIVERY
+
+    def test_peek_time_returns_earliest(self):
+        queue = EventQueue()
+        queue.push(7.0, EventPriority.TIMER, noop)
+        queue.push(3.0, EventPriority.TIMER, noop)
+        assert queue.peek_time() == 3.0
+
+    def test_peek_time_empty_is_none(self):
+        assert EventQueue().peek_time() is None
+
+
+class TestCancellation:
+    def test_cancelled_event_is_skipped(self):
+        queue = EventQueue()
+        first = queue.push(1.0, EventPriority.TIMER, noop, label="dead")
+        queue.push(2.0, EventPriority.TIMER, noop, label="alive")
+        first.cancel()
+        assert len(queue) == 1
+        assert queue.pop().label == "alive"
+
+    def test_cancel_all_leaves_queue_empty(self):
+        queue = EventQueue()
+        events = [queue.push(float(i), EventPriority.TIMER, noop) for i in range(5)]
+        for event in events:
+            event.cancel()
+        assert len(queue) == 0
+        assert not queue
+
+    def test_cancel_after_pop_does_not_corrupt_count(self):
+        queue = EventQueue()
+        event = queue.push(1.0, EventPriority.TIMER, noop)
+        queue.push(2.0, EventPriority.TIMER, noop)
+        popped = queue.pop()
+        assert popped is event
+        popped.cancel()  # cancelling a fired event must not double-count
+        assert len(queue) == 1
+
+    def test_cancel_is_idempotent(self):
+        queue = EventQueue()
+        event = queue.push(1.0, EventPriority.TIMER, noop)
+        event.cancel()
+        event.cancel()
+        assert event.cancelled
+
+    def test_cancelled_clears_action(self):
+        queue = EventQueue()
+        event = queue.push(1.0, EventPriority.TIMER, noop)
+        event.cancel()
+        assert event.action is None
+
+    def test_peek_time_skips_cancelled(self):
+        queue = EventQueue()
+        first = queue.push(1.0, EventPriority.TIMER, noop)
+        queue.push(4.0, EventPriority.TIMER, noop)
+        first.cancel()
+        assert queue.peek_time() == 4.0
+
+
+class TestQueueBasics:
+    def test_empty_pop_raises(self):
+        with pytest.raises(SchedulingError):
+            EventQueue().pop()
+
+    def test_len_counts_live_events(self):
+        queue = EventQueue()
+        queue.push(1.0, EventPriority.TIMER, noop)
+        queue.push(2.0, EventPriority.TIMER, noop)
+        assert len(queue) == 2
+        queue.pop()
+        assert len(queue) == 1
+
+    def test_bool_reflects_liveness(self):
+        queue = EventQueue()
+        assert not queue
+        queue.push(1.0, EventPriority.TIMER, noop)
+        assert queue
+
+    def test_event_sort_key_components(self):
+        event = Event(3.0, EventPriority.DELIVERY, 9, noop)
+        assert event.sort_key() == (3.0, 1, 9)

@@ -1,0 +1,133 @@
+"""Unit tests for latency models and crash plans."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.crash import CrashPlan
+from repro.sim.latency import (
+    FixedLatency,
+    LogNormalLatency,
+    PartialSynchronyLatency,
+    UniformLatency,
+)
+from repro.sim.rng import RandomStreams
+
+
+class TestFixedLatency:
+    def test_constant(self):
+        model = FixedLatency(2.0)
+        streams = RandomStreams(0)
+        assert model.sample(0, 1, 0.0, streams) == 2.0
+        assert model.sample(3, 4, 99.0, streams) == 2.0
+
+    def test_rejects_zero(self):
+        with pytest.raises(ConfigurationError):
+            FixedLatency(0.0)
+
+
+class TestUniformLatency:
+    def test_within_bounds(self):
+        model = UniformLatency(0.5, 1.5)
+        streams = RandomStreams(1)
+        samples = [model.sample(0, 1, 0.0, streams) for _ in range(200)]
+        assert all(0.5 <= s <= 1.5 for s in samples)
+
+    def test_rejects_inverted_range(self):
+        with pytest.raises(ConfigurationError):
+            UniformLatency(2.0, 1.0)
+
+    def test_per_channel_streams_are_independent(self):
+        model = UniformLatency(0.5, 1.5)
+        s1 = RandomStreams(1)
+        s2 = RandomStreams(1)
+        # Channel (0,1) draws identically whether or not (2,3) also draws.
+        a = [model.sample(0, 1, 0.0, s1) for _ in range(5)]
+        b = []
+        for _ in range(5):
+            model.sample(2, 3, 0.0, s2)
+            b.append(model.sample(0, 1, 0.0, s2))
+        assert a == b
+
+
+class TestLogNormalLatency:
+    def test_clipped(self):
+        model = LogNormalLatency(median=1.0, sigma=2.0, floor=0.2, ceiling=3.0)
+        streams = RandomStreams(2)
+        samples = [model.sample(0, 1, 0.0, streams) for _ in range(300)]
+        assert all(0.2 <= s <= 3.0 for s in samples)
+
+    def test_rejects_bad_sigma(self):
+        with pytest.raises(ConfigurationError):
+            LogNormalLatency(sigma=0.0)
+
+    def test_rejects_inverted_clip(self):
+        with pytest.raises(ConfigurationError):
+            LogNormalLatency(floor=5.0, ceiling=1.0)
+
+
+class TestPartialSynchrony:
+    def test_pre_gst_can_exceed_post_bound(self):
+        model = PartialSynchronyLatency(gst=100.0, min_delay=0.1, pre_gst_max=50.0, post_gst_max=1.0)
+        streams = RandomStreams(3)
+        pre = [model.sample(0, 1, 10.0, streams) for _ in range(200)]
+        assert max(pre) > 1.0
+
+    def test_post_gst_respects_bound(self):
+        model = PartialSynchronyLatency(gst=100.0, min_delay=0.1, pre_gst_max=50.0, post_gst_max=1.0)
+        streams = RandomStreams(3)
+        post = [model.sample(0, 1, 100.0, streams) for _ in range(200)]
+        assert all(0.1 <= s <= 1.0 for s in post)
+
+    def test_boundary_uses_post_bound_at_gst(self):
+        model = PartialSynchronyLatency(gst=5.0, min_delay=0.1, pre_gst_max=50.0, post_gst_max=0.2)
+        streams = RandomStreams(4)
+        assert model.sample(0, 1, 5.0, streams) <= 0.2
+
+    def test_rejects_max_below_min(self):
+        with pytest.raises(ConfigurationError):
+            PartialSynchronyLatency(min_delay=1.0, pre_gst_max=0.5)
+
+
+class TestCrashPlan:
+    def test_none_plan_is_empty(self):
+        plan = CrashPlan.none()
+        assert plan.faulty == ()
+        assert plan.last_crash_time == 0.0
+
+    def test_scripted_round_trip(self):
+        plan = CrashPlan.scripted({3: 10.0, 1: 5.0})
+        assert plan.faulty == (1, 3)
+        assert plan.crash_time(1) == 5.0
+        assert plan.crash_time(3) == 10.0
+        assert plan.as_dict() == {1: 5.0, 3: 10.0}
+
+    def test_correct_complement(self):
+        plan = CrashPlan.scripted({2: 1.0})
+        assert plan.correct([0, 1, 2, 3]) == (0, 1, 3)
+
+    def test_crash_time_of_correct_process_raises(self):
+        with pytest.raises(ConfigurationError):
+            CrashPlan.scripted({2: 1.0}).crash_time(0)
+
+    def test_last_crash_time(self):
+        plan = CrashPlan.scripted({0: 3.0, 1: 9.0, 2: 6.0})
+        assert plan.last_crash_time == 9.0
+
+    def test_random_plan_is_deterministic(self):
+        a = CrashPlan.random(range(10), 3, (0.0, 50.0), RandomStreams(11))
+        b = CrashPlan.random(range(10), 3, (0.0, 50.0), RandomStreams(11))
+        assert a == b
+
+    def test_random_plan_respects_count_and_window(self):
+        plan = CrashPlan.random(range(10), 4, (5.0, 6.0), RandomStreams(1))
+        assert len(plan.faulty) == 4
+        assert len(set(plan.faulty)) == 4
+        assert all(5.0 <= t <= 6.0 for _, t in plan.crashes)
+
+    def test_random_rejects_excess_count(self):
+        with pytest.raises(ConfigurationError):
+            CrashPlan.random(range(3), 4, (0.0, 1.0), RandomStreams(1))
+
+    def test_rejects_inverted_window(self):
+        with pytest.raises(ConfigurationError):
+            CrashPlan.random(range(3), 1, (5.0, 1.0), RandomStreams(1))

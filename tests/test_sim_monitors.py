@@ -1,0 +1,146 @@
+"""Unit tests for the network traffic probes."""
+
+from dataclasses import dataclass
+
+from repro.sim.actor import Actor
+from repro.sim.kernel import Simulator
+from repro.sim.latency import FixedLatency
+from repro.sim.monitors import (
+    ChannelOccupancyMonitor,
+    MessageStats,
+    QuiescenceMonitor,
+    message_layer,
+)
+from repro.sim.network import Network
+
+
+@dataclass(frozen=True)
+class DiningMsg:
+    payload: int
+    layer = "dining"
+
+
+@dataclass(frozen=True)
+class DetectorMsg:
+    payload: int
+    layer = "detector"
+
+
+class Sink(Actor):
+    def on_message(self, src, message):
+        pass
+
+
+def wire(monitors, latency=FixedLatency(1.0)):
+    sim = Simulator()
+    network = Network(sim, latency=latency)
+    a, b = Sink(0), Sink(1)
+    network.register(a)
+    network.register(b)
+    for monitor in monitors:
+        network.add_monitor(monitor)
+    return sim, network, a, b
+
+
+class TestMessageLayer:
+    def test_reads_layer_attribute(self):
+        assert message_layer(DiningMsg(1)) == "dining"
+
+    def test_defaults_to_app(self):
+        assert message_layer("plain string") == "app"
+
+
+class TestChannelOccupancy:
+    def test_counts_in_transit(self):
+        monitor = ChannelOccupancyMonitor()
+        sim, network, a, b = wire([monitor])
+        sim.schedule_at(0.0, lambda: [a.send(1, DiningMsg(i)) for i in range(3)])
+        sim.run(until=0.5)
+        assert monitor.current[(0, 1)] == 3
+        sim.run_until_quiescent()
+        assert monitor.current[(0, 1)] == 0
+        assert monitor.peak[(0, 1)] == 3
+
+    def test_edge_is_undirected(self):
+        monitor = ChannelOccupancyMonitor()
+        sim, network, a, b = wire([monitor])
+        sim.schedule_at(0.0, lambda: a.send(1, DiningMsg(1)))
+        sim.schedule_at(0.0, lambda: b.send(0, DiningMsg(2)))
+        sim.run(until=0.5)
+        assert monitor.current[(0, 1)] == 2
+
+    def test_layer_filter(self):
+        monitor = ChannelOccupancyMonitor(layer="dining")
+        sim, network, a, b = wire([monitor])
+        sim.schedule_at(0.0, lambda: a.send(1, DiningMsg(1)))
+        sim.schedule_at(0.0, lambda: a.send(1, DetectorMsg(1)))
+        sim.run(until=0.5)
+        assert monitor.current[(0, 1)] == 1
+
+    def test_drop_decrements(self):
+        monitor = ChannelOccupancyMonitor()
+        sim, network, a, b = wire([monitor])
+        sim.schedule_at(0.0, lambda: a.send(1, DiningMsg(1)))
+        network.crash_at(1, 0.5)
+        sim.run_until_quiescent()
+        assert monitor.current[(0, 1)] == 0
+
+    def test_peak_time_recorded(self):
+        monitor = ChannelOccupancyMonitor()
+        sim, network, a, b = wire([monitor])
+        sim.schedule_at(2.0, lambda: a.send(1, DiningMsg(1)))
+        sim.run_until_quiescent()
+        assert monitor.peak_time[(0, 1)] == 2.0
+
+    def test_edges_exceeding(self):
+        monitor = ChannelOccupancyMonitor()
+        sim, network, a, b = wire([monitor])
+        sim.schedule_at(0.0, lambda: [a.send(1, DiningMsg(i)) for i in range(5)])
+        sim.run_until_quiescent()
+        assert monitor.edges_exceeding(4) == [(0, 1)]
+        assert monitor.edges_exceeding(5) == []
+
+    def test_max_occupancy_empty(self):
+        assert ChannelOccupancyMonitor().max_occupancy == 0
+
+
+class TestMessageStats:
+    def test_counts_by_type_and_layer(self):
+        stats = MessageStats()
+        sim, network, a, b = wire([stats])
+        sim.schedule_at(0.0, lambda: a.send(1, DiningMsg(1)))
+        sim.schedule_at(0.0, lambda: a.send(1, DiningMsg(2)))
+        sim.schedule_at(0.0, lambda: a.send(1, DetectorMsg(1)))
+        sim.run_until_quiescent()
+        assert stats.total == 3
+        assert stats.by_type == {"DiningMsg": 2, "DetectorMsg": 1}
+        assert stats.by_layer == {"dining": 2, "detector": 1}
+
+
+class TestQuiescenceMonitor:
+    def test_pre_crash_sends_not_recorded(self):
+        monitor = QuiescenceMonitor({1: 5.0}.get)
+        sim, network, a, b = wire([monitor])
+        sim.schedule_at(0.0, lambda: a.send(1, DiningMsg(1)))
+        sim.run_until_quiescent()
+        assert monitor.post_crash_sends == []
+
+    def test_post_crash_sends_recorded(self):
+        monitor = QuiescenceMonitor({1: 5.0}.get)
+        sim, network, a, b = wire([monitor])
+        network.crash_at(1, 5.0)
+        sim.schedule_at(6.0, lambda: a.send(1, DiningMsg(1)))
+        sim.schedule_at(7.0, lambda: a.send(1, DetectorMsg(1)))
+        sim.run_until_quiescent()
+        assert len(monitor.post_crash_sends) == 2
+        assert len(monitor.sends_to(1, layer="dining")) == 1
+        assert monitor.last_send_time(1) == 7.0
+        assert monitor.last_send_time(1, layer="dining") == 6.0
+
+    def test_sends_to_correct_process_ignored(self):
+        monitor = QuiescenceMonitor({}.get)
+        sim, network, a, b = wire([monitor])
+        sim.schedule_at(0.0, lambda: a.send(1, DiningMsg(1)))
+        sim.run_until_quiescent()
+        assert monitor.post_crash_sends == []
+        assert monitor.last_send_time(1) is None

@@ -1,0 +1,169 @@
+"""Tests for the MIS and BFS-tree hosted protocols."""
+
+import random
+
+import pytest
+
+from repro.core import DistributedDaemon, scripted_detector
+from repro.errors import ConfigurationError
+from repro.graphs import binary_tree, grid, path, random_graph, ring
+from repro.sim.crash import CrashPlan
+from repro.stabilization import BfsSpanningTree, ENTER, MaximalIndependentSet, RETREAT
+
+
+def run_to_quiescence(protocol, pids, max_rounds=10_000):
+    rng = random.Random(0)
+    pids = list(pids)
+    for _ in range(max_rounds):
+        enabled = [pid for pid in pids if protocol.enabled_actions(pid)]
+        if not enabled:
+            return True
+        protocol.execute(rng.choice(enabled))
+    return False
+
+
+class TestMaximalIndependentSet:
+    def test_converges_from_empty(self):
+        graph = random_graph(12, 0.35, seed=4)
+        protocol = MaximalIndependentSet(graph)
+        assert run_to_quiescence(protocol, graph.nodes)
+        assert protocol.is_independent()
+        assert protocol.is_maximal()
+
+    def test_converges_from_all_in(self):
+        graph = clique = ring(7)
+        protocol = MaximalIndependentSet(graph, initial={pid: True for pid in graph.nodes})
+        assert run_to_quiescence(protocol, graph.nodes)
+        assert protocol.is_independent() and protocol.is_maximal()
+
+    def test_retreat_prefers_larger_id(self):
+        graph = path(2)
+        protocol = MaximalIndependentSet(graph, initial={0: True, 1: True})
+        assert protocol.enabled_actions(0) == []  # smaller id stays
+        assert protocol.enabled_actions(1) == [RETREAT]
+
+    def test_enter_requires_no_in_neighbor(self):
+        graph = path(2)
+        protocol = MaximalIndependentSet(graph, initial={0: True})
+        assert protocol.enabled_actions(1) == []
+
+    def test_isolated_node_enters(self):
+        from repro.graphs import ConflictGraph
+
+        graph = ConflictGraph([0, 1, 2], [(0, 1)])
+        protocol = MaximalIndependentSet(graph)
+        assert protocol.enabled_actions(2) == [ENTER]
+
+    def test_frozen_crashed_in_respected(self):
+        graph = path(3)
+        protocol = MaximalIndependentSet(graph, initial={1: True})
+        # 1 "crashed" frozen IN; 0 and 2 cannot enter and are quiescent.
+        assert run_to_quiescence(protocol, [0, 2])
+        assert protocol.legitimate([0, 2])
+        assert protocol.members() == {1}
+
+    def test_under_wait_free_daemon_with_crash(self):
+        graph = grid(3, 3)
+        protocol = MaximalIndependentSet(graph, initial={pid: True for pid in graph.nodes})
+        daemon = DistributedDaemon(
+            graph,
+            protocol,
+            seed=4,
+            detector=scripted_detector(convergence_time=15.0, random_mistakes=True),
+            crash_plan=CrashPlan.scripted({4: 10.0}),
+        )
+        daemon.run(until=300.0)
+        assert daemon.converged()
+        assert protocol.is_independent()
+
+
+class TestBfsSpanningTree:
+    def test_converges_to_true_distances(self):
+        graph = grid(3, 4)
+        protocol = BfsSpanningTree(graph, root=0)
+        assert run_to_quiescence(protocol, graph.nodes)
+        assert protocol.is_correct_bfs(graph.nodes)
+        assert protocol.dist(0) == 0
+        assert protocol.dist(11) == 5  # opposite grid corner
+
+    def test_converges_from_adversarial_corruption(self):
+        graph = binary_tree(10)
+        protocol = BfsSpanningTree(
+            graph, root=0, initial={pid: (0, None) for pid in graph.nodes}
+        )
+        assert run_to_quiescence(protocol, graph.nodes)
+        assert protocol.is_correct_bfs(graph.nodes)
+
+    def test_parents_follow_distances(self):
+        graph = ring(8)
+        protocol = BfsSpanningTree(graph, root=0)
+        run_to_quiescence(protocol, graph.nodes)
+        for child, parent in protocol.tree_edges():
+            assert protocol.dist(parent) == protocol.dist(child) - 1
+
+    def test_unknown_root_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BfsSpanningTree(ring(5), root=99)
+
+    def test_crashed_dist_poisons_plain_tree(self):
+        # 2 crashes frozen at dist 0 (false): without suspicion, its
+        # neighbors lock onto the dead advertisement forever.
+        graph = path(4)  # 0-1-2-3, root 0
+        protocol = BfsSpanningTree(graph, root=0, initial={2: (0, None)})
+        run_to_quiescence(protocol, [0, 1, 3])  # 2 is crashed
+        assert not protocol.is_correct_bfs([0, 1, 3])
+        assert protocol.dist(3) == 1  # poisoned via dead 2
+
+    def test_suspector_heals_the_tree(self):
+        graph = path(4)
+        crashed = 2
+        suspected = lambda p: frozenset({crashed}) if crashed in graph.neighbors(p) else frozenset()
+        protocol = BfsSpanningTree(
+            graph, root=0, initial={2: (0, None)}, suspector=suspected
+        )
+        live = [0, 1, 3]
+        assert run_to_quiescence(protocol, live)
+        assert protocol.legitimate(live)
+        # 3 is disconnected from the root in the live subgraph: sentinel.
+        assert protocol.dist(3) == protocol.sentinel
+        assert protocol.parent(3) is None
+        assert protocol.dist(1) == 1
+
+    def test_under_wait_free_daemon(self):
+        graph = grid(3, 3)
+        protocol = BfsSpanningTree(
+            graph, root=0, initial={pid: (1, None) for pid in graph.nodes}
+        )
+        daemon = DistributedDaemon(
+            graph,
+            protocol,
+            seed=6,
+            detector=scripted_detector(convergence_time=10.0, random_mistakes=True),
+        )
+        daemon.run(until=300.0)
+        assert daemon.converged()
+        assert protocol.is_correct_bfs(graph.nodes)
+
+    def test_crash_aware_tree_under_daemon(self):
+        # Full stack: ◇P₁ modules feed the suspector; after a crash the
+        # live subgraph's BFS tree re-forms.
+        graph = grid(3, 3)
+        daemon_box = []
+
+        def suspector(pid):
+            if not daemon_box:
+                return frozenset()
+            return daemon_box[0].table.detector.module_for(pid).suspected_neighbors()
+
+        protocol = BfsSpanningTree(graph, root=0, suspector=suspector)
+        daemon = DistributedDaemon(
+            graph,
+            protocol,
+            seed=6,
+            detector=scripted_detector(detection_delay=1.0),
+            crash_plan=CrashPlan.scripted({1: 25.0}),
+        )
+        daemon_box.append(daemon)
+        daemon.run(until=400.0)
+        assert daemon.converged()
+        assert protocol.is_correct_bfs(daemon.live_pids())

@@ -1,0 +1,109 @@
+"""Integration tests for Theorem 1: eventual weak exclusion.
+
+For every run there is a time after which no two live neighbors eat
+simultaneously.  We verify the strong form our oracle makes checkable:
+no violation overlaps the suffix after max(detector convergence, last
+crash detection).
+"""
+
+import pytest
+
+from repro.core import AlwaysHungry, DiningTable, scripted_detector
+from repro.detectors.scripted import MistakeInterval
+from repro.graphs import topologies
+from repro.sim.crash import CrashPlan
+from repro.sim.latency import LogNormalLatency
+from repro.sim.rng import RandomStreams
+
+TOPOLOGIES = ["ring", "clique", "grid", "star", "random"]
+
+
+@pytest.mark.parametrize("topology", TOPOLOGIES)
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_no_violations_after_convergence(topology, seed):
+    graph = topologies.by_name(topology, 9 if topology != "grid" else 9, seed=seed)
+    convergence = 40.0
+    detection = 1.0
+    crash_plan = CrashPlan.random(graph.nodes, 2, (10.0, 60.0), RandomStreams(seed))
+    table = DiningTable(
+        graph,
+        seed=seed,
+        detector=scripted_detector(
+            convergence_time=convergence,
+            detection_delay=detection,
+            random_mistakes=True,
+            mistakes_per_edge=2.0,
+        ),
+        crash_plan=crash_plan,
+        workload=AlwaysHungry(eat_time=0.7, think_time=0.01),
+    )
+    table.run(until=300.0)
+    # +0.7: settling margin of one max eating duration (see analysis docs).
+    cutoff = max(convergence, crash_plan.last_crash_time + detection) + 0.7
+    assert table.violations_after(cutoff) == [], (
+        f"{topology} seed={seed}: violations in the converged suffix"
+    )
+    # The run exercised the algorithm: many meals happened.
+    assert sum(table.eat_counts().values()) > 20
+
+
+def test_violations_are_finite_and_pre_convergence_only():
+    graph = topologies.ring(8)
+    table = DiningTable(
+        graph,
+        seed=7,
+        detector=scripted_detector(
+            convergence_time=60.0, random_mistakes=True, mistakes_per_edge=4.0
+        ),
+        workload=AlwaysHungry(eat_time=1.5, think_time=0.01),
+    )
+    table.run(until=500.0)
+    violations = table.violations()
+    # Every violation ends within one eating duration of convergence.
+    assert all(v.end <= 60.0 + 1.5 for v in violations)
+
+
+def test_mutual_mistake_forces_a_violation_then_silence():
+    # Deterministic: neighbors suspect each other long enough to both eat.
+    graph = topologies.path(2)
+    table = DiningTable(
+        graph,
+        seed=1,
+        coloring={0: 0, 1: 1},
+        detector=scripted_detector(
+            convergence_time=30.0,
+            mistakes=[MistakeInterval(0, 1, 2.0, 25.0), MistakeInterval(1, 0, 2.0, 25.0)],
+        ),
+        workload=AlwaysHungry(eat_time=3.0, think_time=0.05),
+    )
+    table.run(until=300.0)
+    assert len(table.violations()) >= 1
+    assert table.violations_after(30.0 + 3.0) == []
+
+
+def test_no_detector_mistakes_means_no_violations():
+    graph = topologies.clique(6)
+    table = DiningTable(
+        graph,
+        seed=4,
+        detector=scripted_detector(convergence_time=0.0),
+        crash_plan=CrashPlan.scripted({0: 15.0, 5: 25.0}),
+        workload=AlwaysHungry(eat_time=0.5, think_time=0.01),
+    )
+    table.run(until=200.0)
+    assert table.violations() == []
+
+
+def test_safety_under_heavy_latency_jitter():
+    graph = topologies.ring(8)
+    crash_plan = CrashPlan.scripted({3: 30.0})
+    table = DiningTable(
+        graph,
+        seed=11,
+        latency=LogNormalLatency(median=1.0, sigma=1.0, ceiling=30.0),
+        detector=scripted_detector(convergence_time=50.0, random_mistakes=True),
+        crash_plan=crash_plan,
+        workload=AlwaysHungry(eat_time=0.5, think_time=0.01),
+    )
+    table.run(until=400.0)
+    assert table.violations_after(max(50.0, 31.0) + 0.5) == []

@@ -1,0 +1,112 @@
+"""Integration tests for Theorem 2: wait-free progress.
+
+Every correct hungry process eventually eats, regardless of crashes —
+including the hard cases the proofs wrestle with: crash while eating,
+crash while holding forks inside the doorway, crash of every neighbor,
+and n−1 crashes.
+"""
+
+import pytest
+
+from repro.core import AlwaysHungry, DiningTable, scripted_detector
+from repro.graphs import topologies
+from repro.sim.crash import CrashPlan
+from repro.sim.rng import RandomStreams
+
+PATIENCE = 150.0
+HORIZON = 450.0
+
+
+def run_ring(crash_plan, *, n=8, seed=1, convergence=30.0):
+    table = DiningTable(
+        topologies.ring(n),
+        seed=seed,
+        detector=scripted_detector(
+            convergence_time=convergence, random_mistakes=convergence > 0
+        ),
+        crash_plan=crash_plan,
+        workload=AlwaysHungry(eat_time=1.0, think_time=0.01),
+    )
+    table.run(until=HORIZON)
+    return table
+
+
+@pytest.mark.parametrize("f", [0, 1, 2, 4, 7])
+def test_wait_free_at_every_crash_count(f):
+    crash_plan = CrashPlan.random(range(8), f, (20.0, 80.0), RandomStreams(f + 10))
+    table = run_ring(crash_plan)
+    assert table.starving_correct(patience=PATIENCE) == []
+    meals = table.eat_counts()
+    for pid in table.correct_pids:
+        assert meals.get(pid, 0) >= 2, f"correct {pid} barely ate with f={f}"
+
+
+def test_crash_while_eating_releases_neighbors():
+    # Pid 2 eats forever-ish and crashes mid-meal; neighbors 1 and 3 must
+    # still make progress via suspicion.
+    table = DiningTable(
+        topologies.ring(6),
+        seed=3,
+        detector=scripted_detector(detection_delay=2.0),
+        crash_plan=CrashPlan.scripted({2: 21.0}),
+        workload=AlwaysHungry(eat_time=2.0, think_time=0.01),
+    )
+    table.run(until=300.0)
+    assert table.starving_correct(patience=100.0) == []
+
+
+def test_all_neighbors_of_one_process_crash():
+    # Star: the hub loses every neighbor; leaves lose their only neighbor.
+    graph = topologies.star(6)
+    crash_plan = CrashPlan.scripted({0: 25.0})  # hub dies
+    table = DiningTable(
+        graph,
+        seed=5,
+        detector=scripted_detector(detection_delay=2.0),
+        crash_plan=crash_plan,
+        workload=AlwaysHungry(eat_time=0.5, think_time=0.01),
+    )
+    table.run(until=300.0)
+    assert table.starving_correct(patience=100.0) == []
+    meals = table.eat_counts()
+    # Leaves conflict only with the dead hub: they feast freely.
+    assert all(meals.get(pid, 0) > 50 for pid in range(1, 6))
+
+
+def test_n_minus_1_crashes_leave_survivor_eating():
+    crash_plan = CrashPlan.random(range(8), 7, (10.0, 60.0), RandomStreams(99))
+    table = run_ring(crash_plan)
+    survivor = table.correct_pids[0]
+    meals_before = None
+    assert table.eat_counts().get(survivor, 0) > 10
+
+
+def test_cascading_crashes_during_convergence_window():
+    # Crashes interleave with detector mistakes: the worst regime.
+    crash_plan = CrashPlan.scripted({1: 15.0, 3: 25.0, 5: 35.0})
+    table = run_ring(crash_plan, seed=8, convergence=50.0)
+    assert table.starving_correct(patience=PATIENCE) == []
+
+
+def test_progress_on_clique_with_majority_crashed():
+    graph = topologies.clique(7)
+    crash_plan = CrashPlan.random(range(7), 4, (10.0, 50.0), RandomStreams(21))
+    table = DiningTable(
+        graph,
+        seed=2,
+        detector=scripted_detector(convergence_time=30.0, random_mistakes=True),
+        crash_plan=crash_plan,
+        workload=AlwaysHungry(eat_time=0.5, think_time=0.01),
+    )
+    table.run(until=HORIZON)
+    assert table.starving_correct(patience=PATIENCE) == []
+
+
+def test_every_correct_process_eats_repeatedly_not_just_once():
+    # Wait-freedom is "eventually eats" for every hungry session, i.e.
+    # infinitely often under an always-hungry workload.
+    crash_plan = CrashPlan.scripted({0: 20.0, 4: 40.0})
+    table = run_ring(crash_plan, seed=6)
+    meals = table.eat_counts()
+    for pid in table.correct_pids:
+        assert meals.get(pid, 0) >= 10

@@ -1,0 +1,140 @@
+"""Unit tests for the online invariant checkers."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.errors import ChannelCapacityError, FifoViolationError, ForkDuplicationError
+from repro.trace.invariants import ChannelBoundChecker, FifoChecker, ForkUniquenessChecker
+
+
+@dataclass
+class FakeDiner:
+    forks: dict
+    tokens: dict
+    crashed: bool = False
+
+    def holds_fork(self, neighbor):
+        return self.forks.get(neighbor, False)
+
+    def holds_token(self, neighbor):
+        return self.tokens.get(neighbor, False)
+
+
+@dataclass(frozen=True)
+class DiningMsg:
+    n: int
+    layer = "dining"
+
+
+@dataclass(frozen=True)
+class OtherMsg:
+    n: int
+    layer = "detector"
+
+
+class TestForkUniqueness:
+    def test_clean_state_passes(self):
+        diners = {
+            0: FakeDiner({1: True}, {1: False}),
+            1: FakeDiner({0: False}, {0: True}),
+        }
+        checker = ForkUniquenessChecker(diners, [(0, 1)])
+        checker.check(1.0)
+        assert checker.checks_performed == 1
+
+    def test_fork_in_transit_passes(self):
+        diners = {
+            0: FakeDiner({1: False}, {1: False}),
+            1: FakeDiner({0: False}, {0: True}),
+        }
+        ForkUniquenessChecker(diners, [(0, 1)]).check(1.0)
+
+    def test_duplicated_fork_raises(self):
+        diners = {
+            0: FakeDiner({1: True}, {1: False}),
+            1: FakeDiner({0: True}, {0: False}),
+        }
+        with pytest.raises(ForkDuplicationError, match="fork"):
+            ForkUniquenessChecker(diners, [(0, 1)]).check(1.0)
+
+    def test_duplicated_token_raises(self):
+        diners = {
+            0: FakeDiner({1: False}, {1: True}),
+            1: FakeDiner({0: False}, {0: True}),
+        }
+        with pytest.raises(ForkDuplicationError, match="token"):
+            ForkUniquenessChecker(diners, [(0, 1)]).check(1.0)
+
+    def test_crashed_endpoint_skipped(self):
+        diners = {
+            0: FakeDiner({1: True}, {1: False}, crashed=True),
+            1: FakeDiner({0: True}, {0: False}),
+        }
+        ForkUniquenessChecker(diners, [(0, 1)]).check(1.0)  # no raise
+
+
+class TestChannelBound:
+    def test_within_bound_passes(self):
+        checker = ChannelBoundChecker(bound=2, layer="dining")
+        checker.on_send(0, 1, DiningMsg(1), 0.0)
+        checker.on_send(0, 1, DiningMsg(2), 0.0)
+        checker.on_deliver(0, 1, DiningMsg(1), 1.0)
+        checker.on_send(0, 1, DiningMsg(3), 1.0)
+
+    def test_exceeding_bound_raises(self):
+        checker = ChannelBoundChecker(bound=2, layer="dining")
+        checker.on_send(0, 1, DiningMsg(1), 0.0)
+        checker.on_send(1, 0, DiningMsg(2), 0.0)  # same undirected edge
+        with pytest.raises(ChannelCapacityError):
+            checker.on_send(0, 1, DiningMsg(3), 0.0)
+
+    def test_other_layers_ignored(self):
+        checker = ChannelBoundChecker(bound=1, layer="dining")
+        checker.on_send(0, 1, DiningMsg(1), 0.0)
+        for _ in range(5):
+            checker.on_send(0, 1, OtherMsg(1), 0.0)  # must not raise
+
+    def test_different_edges_independent(self):
+        checker = ChannelBoundChecker(bound=1, layer="dining")
+        checker.on_send(0, 1, DiningMsg(1), 0.0)
+        checker.on_send(2, 3, DiningMsg(2), 0.0)  # different edge: fine
+
+
+class TestFifoChecker:
+    def test_in_order_delivery_passes(self):
+        checker = FifoChecker()
+        a, b = DiningMsg(1), DiningMsg(2)
+        checker.on_send(0, 1, a, 0.0)
+        checker.on_send(0, 1, b, 0.1)
+        checker.on_deliver(0, 1, a, 1.0)
+        checker.on_deliver(0, 1, b, 1.1)
+
+    def test_out_of_order_delivery_raises(self):
+        checker = FifoChecker()
+        a, b = DiningMsg(1), DiningMsg(2)
+        checker.on_send(0, 1, a, 0.0)
+        checker.on_send(0, 1, b, 0.1)
+        with pytest.raises(FifoViolationError):
+            checker.on_deliver(0, 1, b, 1.0)
+
+    def test_delivery_without_send_raises(self):
+        checker = FifoChecker()
+        with pytest.raises(FifoViolationError):
+            checker.on_deliver(0, 1, DiningMsg(1), 1.0)
+
+    def test_channels_are_directed(self):
+        checker = FifoChecker()
+        a, b = DiningMsg(1), DiningMsg(2)
+        checker.on_send(0, 1, a, 0.0)
+        checker.on_send(1, 0, b, 0.0)
+        checker.on_deliver(1, 0, b, 0.5)
+        checker.on_deliver(0, 1, a, 1.0)
+
+    def test_drop_consumes_in_order(self):
+        checker = FifoChecker()
+        a, b = DiningMsg(1), DiningMsg(2)
+        checker.on_send(0, 1, a, 0.0)
+        checker.on_send(0, 1, b, 0.1)
+        checker.on_drop(0, 1, a, 1.0)
+        checker.on_deliver(0, 1, b, 1.1)

@@ -1,0 +1,225 @@
+"""Unit tests for the trace recorder and analysis functions.
+
+Analysis tests build traces by hand so every quantity has a known answer.
+"""
+
+import math
+
+from repro.graphs import path, ring
+from repro.trace import (
+    EATING,
+    HUNGRY,
+    THINKING,
+    Crash,
+    PhaseChange,
+    TraceRecorder,
+    eat_counts,
+    eat_starts,
+    eating_intervals,
+    exclusion_violations,
+    hungry_sessions,
+    last_violation_end,
+    max_overtaking,
+    overtake_counts,
+    response_times,
+    starving_processes,
+    throughput,
+    violations_after,
+)
+
+
+def make_trace(events):
+    """events: list of (time, pid, old, new) phase changes or ('crash', time, pid)."""
+    trace = TraceRecorder()
+    for event in events:
+        if event[0] == "crash":
+            trace.crash(event[1], event[2])
+        else:
+            time, pid, old, new = event
+            trace.phase_change(time, pid, old, new)
+    return trace
+
+
+def full_cycle(pid, hungry_at, eat_at, think_at):
+    return [
+        (hungry_at, pid, THINKING, HUNGRY),
+        (eat_at, pid, HUNGRY, EATING),
+        (think_at, pid, EATING, THINKING),
+    ]
+
+
+class TestRecorder:
+    def test_records_in_order(self):
+        trace = make_trace(full_cycle(0, 1.0, 2.0, 3.0))
+        assert len(trace) == 3
+        assert [c.time for c in trace.phase_changes(0)] == [1.0, 2.0, 3.0]
+
+    def test_of_type_filters(self):
+        trace = TraceRecorder()
+        trace.phase_change(1.0, 0, THINKING, HUNGRY)
+        trace.crash(2.0, 1)
+        assert len(trace.of_type(PhaseChange)) == 1
+        assert len(trace.of_type(Crash)) == 1
+
+    def test_pid_filters(self):
+        trace = make_trace(full_cycle(0, 1.0, 2.0, 3.0) + full_cycle(1, 1.5, 2.5, 3.5))
+        assert len(trace.phase_changes(0)) == 3
+        assert len(trace.phase_changes()) == 6
+
+    def test_protocol_steps_accessor(self):
+        trace = TraceRecorder()
+        trace.protocol_step(1.0, 3, "recolor", "0->2")
+        steps = trace.protocol_steps(3)
+        assert steps[0].action == "recolor"
+        assert trace.protocol_steps(4) == []
+
+
+class TestIntervals:
+    def test_eating_interval_closed_by_thinking(self):
+        trace = make_trace(full_cycle(0, 1.0, 2.0, 5.0))
+        meals = eating_intervals(trace, 0)
+        assert len(meals) == 1
+        assert (meals[0].start, meals[0].end) == (2.0, 5.0)
+
+    def test_open_interval_extends_to_horizon(self):
+        trace = make_trace([(1.0, 0, THINKING, HUNGRY), (2.0, 0, HUNGRY, EATING)])
+        meals = eating_intervals(trace, 0, horizon=10.0)
+        assert (meals[0].start, meals[0].end) == (2.0, 10.0)
+        assert not meals[0].served
+
+    def test_interval_truncated_at_crash(self):
+        trace = make_trace(
+            [(1.0, 0, THINKING, HUNGRY), (2.0, 0, HUNGRY, EATING), ("crash", 4.0, 0)]
+        )
+        meals = eating_intervals(trace, 0, horizon=100.0)
+        assert (meals[0].start, meals[0].end) == (2.0, 4.0)
+
+    def test_hungry_session_served_flag(self):
+        trace = make_trace(full_cycle(0, 1.0, 3.0, 5.0) + [(6.0, 0, THINKING, HUNGRY)])
+        sessions = hungry_sessions(trace, 0, horizon=20.0)
+        assert len(sessions) == 2
+        assert sessions[0].served and (sessions[0].start, sessions[0].end) == (1.0, 3.0)
+        assert not sessions[1].served and sessions[1].end == 20.0
+
+    def test_multiple_cycles(self):
+        events = full_cycle(0, 1.0, 2.0, 3.0) + full_cycle(0, 4.0, 5.0, 6.0)
+        trace = make_trace(events)
+        assert len(eating_intervals(trace, 0)) == 2
+        assert eat_starts(trace, 0) == [2.0, 5.0]
+        assert eat_counts(trace) == {0: 2}
+
+
+class TestExclusionViolations:
+    def test_overlapping_neighbor_meals_detected(self):
+        graph = path(2)
+        trace = make_trace(full_cycle(0, 0.0, 1.0, 5.0) + full_cycle(1, 0.0, 3.0, 7.0))
+        violations = exclusion_violations(trace, graph)
+        assert len(violations) == 1
+        v = violations[0]
+        assert (v.a, v.b, v.start, v.end) == (0, 1, 3.0, 5.0)
+
+    def test_touching_meals_do_not_overlap(self):
+        graph = path(2)
+        trace = make_trace(full_cycle(0, 0.0, 1.0, 3.0) + full_cycle(1, 0.0, 3.0, 5.0))
+        assert exclusion_violations(trace, graph) == []
+
+    def test_non_neighbors_may_eat_together(self):
+        graph = path(3)  # 0-1-2: 0 and 2 are not neighbors
+        trace = make_trace(full_cycle(0, 0.0, 1.0, 5.0) + full_cycle(2, 0.0, 1.0, 5.0))
+        assert exclusion_violations(trace, graph) == []
+
+    def test_crash_truncation_ends_violation(self):
+        # 1 crashes at 4.0 while both eat from 3.0; overlap is [3, 4).
+        graph = path(2)
+        trace = make_trace(
+            full_cycle(0, 0.0, 1.0, 9.0)
+            + [(0.0, 1, THINKING, HUNGRY), (3.0, 1, HUNGRY, EATING), ("crash", 4.0, 1)]
+        )
+        violations = exclusion_violations(trace, graph, horizon=20.0)
+        assert len(violations) == 1
+        assert violations[0].end == 4.0
+
+    def test_last_violation_end_and_after(self):
+        graph = path(2)
+        trace = make_trace(full_cycle(0, 0.0, 1.0, 5.0) + full_cycle(1, 0.0, 3.0, 7.0))
+        assert last_violation_end(trace, graph) == 5.0
+        assert violations_after(trace, graph, 5.0) == []
+        assert len(violations_after(trace, graph, 4.0)) == 1
+
+    def test_clean_trace_has_none(self):
+        graph = ring(3)
+        trace = make_trace(full_cycle(0, 0.0, 1.0, 2.0) + full_cycle(1, 2.0, 3.0, 4.0))
+        assert last_violation_end(trace, graph) is None
+
+
+class TestStarvation:
+    def test_unserved_old_session_flags(self):
+        trace = make_trace([(1.0, 0, THINKING, HUNGRY)])
+        assert starving_processes(trace, [0], horizon=100.0, patience=50.0) == [0]
+
+    def test_recent_session_is_patient(self):
+        trace = make_trace([(80.0, 0, THINKING, HUNGRY)])
+        assert starving_processes(trace, [0], horizon=100.0, patience=50.0) == []
+
+    def test_served_processes_not_flagged(self):
+        trace = make_trace(full_cycle(0, 1.0, 2.0, 3.0))
+        assert starving_processes(trace, [0], horizon=100.0, patience=10.0) == []
+
+    def test_never_hungry_not_flagged(self):
+        trace = TraceRecorder()
+        assert starving_processes(trace, [0, 1], horizon=100.0, patience=10.0) == []
+
+    def test_only_listed_pids_considered(self):
+        trace = make_trace([(1.0, 0, THINKING, HUNGRY), (1.0, 1, THINKING, HUNGRY)])
+        assert starving_processes(trace, [1], horizon=100.0, patience=10.0) == [1]
+
+
+class TestOvertaking:
+    def test_counts_eats_within_session(self):
+        graph = path(2)
+        # 1 hungry [0, 100) unserved; 0 eats three times inside that window.
+        events = [(0.0, 1, THINKING, HUNGRY)]
+        for k in range(3):
+            events += full_cycle(0, 10.0 * k + 1, 10.0 * k + 2, 10.0 * k + 3)
+        trace = make_trace(events)
+        counts = overtake_counts(trace, graph, horizon=100.0)
+        assert counts[(0, 1)] == 3
+        assert max_overtaking(trace, graph, horizon=100.0) == 3
+
+    def test_eats_outside_session_not_counted(self):
+        graph = path(2)
+        events = full_cycle(0, 1.0, 2.0, 3.0)  # 0 eats at 2.0
+        events += [(5.0, 1, THINKING, HUNGRY)]  # 1 hungry later
+        trace = make_trace(events)
+        assert max_overtaking(trace, graph, horizon=100.0) == 0
+
+    def test_after_cutoff_filters_sessions(self):
+        graph = path(2)
+        events = [(0.0, 1, THINKING, HUNGRY), (50.0, 1, HUNGRY, EATING), (51.0, 1, EATING, THINKING)]
+        for k in range(3):
+            events += full_cycle(0, 10.0 * k + 1, 10.0 * k + 2, 10.0 * k + 3)
+        trace = make_trace(events)
+        assert max_overtaking(trace, graph, after=0.0, horizon=100.0) == 3
+        # Sessions starting after t=10 exclude the only (early) session.
+        assert max_overtaking(trace, graph, after=10.0, horizon=100.0) == 0
+
+    def test_eat_at_session_end_instant_not_counted(self):
+        graph = path(2)
+        events = [(0.0, 1, THINKING, HUNGRY), (5.0, 1, HUNGRY, EATING), (6.0, 1, EATING, THINKING)]
+        events += [(4.0, 0, THINKING, HUNGRY), (5.0, 0, HUNGRY, EATING), (6.0, 0, EATING, THINKING)]
+        trace = make_trace(events)
+        # 0 starts eating exactly when 1's session ends: not an overtake.
+        assert overtake_counts(trace, graph, horizon=10.0).get((0, 1), 0) == 0
+
+
+class TestPerformance:
+    def test_response_times(self):
+        trace = make_trace(full_cycle(0, 1.0, 4.0, 5.0) + full_cycle(0, 6.0, 7.0, 8.0))
+        assert response_times(trace, 0) == [3.0, 1.0]
+
+    def test_throughput(self):
+        trace = make_trace(full_cycle(0, 1.0, 2.0, 3.0) + full_cycle(1, 1.0, 4.0, 5.0))
+        assert throughput(trace, horizon=10.0) == 0.2
+
+    def test_throughput_zero_horizon(self):
+        assert throughput(TraceRecorder(), horizon=0.0) == 0.0

@@ -1,0 +1,151 @@
+"""Tests for timeline rendering and trace serialization."""
+
+import io
+
+import pytest
+
+from repro.core import AlwaysHungry, DiningTable, scripted_detector
+from repro.errors import ConfigurationError
+from repro.graphs import ring
+from repro.sim.crash import CrashPlan
+from repro.trace import (
+    EATING,
+    HUNGRY,
+    THINKING,
+    TraceRecorder,
+    dump_jsonl,
+    load_jsonl,
+    render_meal_ledger,
+    render_timeline,
+)
+from repro.trace.serialize import record_from_dict, record_to_dict
+
+
+def sample_trace():
+    trace = TraceRecorder()
+    trace.phase_change(1.0, 0, THINKING, HUNGRY)
+    trace.phase_change(2.0, 0, HUNGRY, EATING)
+    trace.phase_change(4.0, 0, EATING, THINKING)
+    trace.phase_change(1.0, 1, THINKING, HUNGRY)
+    trace.crash(5.0, 1)
+    return trace
+
+
+class TestTimeline:
+    def test_lane_glyphs_match_phases(self):
+        text = render_timeline(sample_trace(), end=10.0, width=10)
+        lanes = [line for line in text.splitlines() if "|" in line]
+        lane0 = lanes[0].split("|")[1]
+        # Buckets of 1.0: thinking, hungry, eating, eating, thinking...
+        assert lane0[0] == "."
+        assert lane0[1] == "h"
+        assert lane0[2] == "#"
+        assert lane0[3] == "#"
+        assert lane0[4] == "."
+
+    def test_crash_glyph_appears_then_blank(self):
+        text = render_timeline(sample_trace(), end=10.0, width=10)
+        lane1 = [line for line in text.splitlines() if line.strip().startswith("1 ")][0]
+        body = lane1.split("|")[1]
+        assert "x" in body
+        assert body.endswith(" ")
+
+    def test_pid_filter(self):
+        text = render_timeline(sample_trace(), end=10.0, width=10, pids=[0])
+        assert "1 |" not in text
+
+    def test_empty_trace(self):
+        assert render_timeline(TraceRecorder(), end=10.0) == "(empty trace)"
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(ConfigurationError):
+            render_timeline(sample_trace(), start=5.0, end=5.0)
+        with pytest.raises(ConfigurationError):
+            render_timeline(sample_trace(), end=10.0, width=3)
+
+    def test_real_run_renders(self):
+        table = DiningTable(
+            ring(5),
+            seed=2,
+            detector=scripted_detector(),
+            crash_plan=CrashPlan.scripted({2: 25.0}),
+            workload=AlwaysHungry(eat_time=2.0, think_time=0.5),
+        ).run(until=60.0)
+        text = render_timeline(table.trace, end=60.0, width=60)
+        assert text.count("|") == 10  # 5 lanes, 2 bars each
+        assert "#" in text and "x" in text
+
+    def test_meal_ledger(self):
+        table = DiningTable(
+            ring(5),
+            seed=2,
+            detector=scripted_detector(),
+            workload=AlwaysHungry(eat_time=1.0, think_time=0.5),
+        ).run(until=40.0)
+        text = render_meal_ledger(table.trace, 1, horizon=40.0, limit=3)
+        assert "diner 1" in text
+        assert "waited" in text
+        assert "more" in text  # limit truncation visible
+
+
+class TestSerialization:
+    def test_round_trip_preserves_records(self):
+        trace = sample_trace()
+        buffer = io.StringIO()
+        count = dump_jsonl(trace, buffer)
+        assert count == len(trace)
+        loaded = load_jsonl(buffer.getvalue().splitlines())
+        assert list(loaded) == list(trace)
+
+    def test_round_trip_real_run(self):
+        table = DiningTable(
+            ring(5),
+            seed=3,
+            detector=scripted_detector(convergence_time=10.0, random_mistakes=True),
+            crash_plan=CrashPlan.scripted({1: 15.0}),
+        ).run(until=60.0)
+        buffer = io.StringIO()
+        dump_jsonl(table.trace, buffer)
+        loaded = load_jsonl(buffer.getvalue().splitlines())
+        assert list(loaded) == list(table.trace)
+
+    def test_record_dict_round_trip_all_kinds(self):
+        trace = TraceRecorder()
+        trace.phase_change(1.0, 0, THINKING, HUNGRY)
+        trace.doorway_change(2.0, 0, True)
+        trace.suspicion_change(3.0, 0, 1, True)
+        trace.crash(4.0, 1)
+        trace.protocol_step(5.0, 0, "recolor", "0->2")
+        trace.transient_fault(6.0, 0, "injected")
+        for record in trace:
+            assert record_from_dict(record_to_dict(record)) == record
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            record_from_dict({"kind": "martian", "time": 1.0})
+
+    def test_malformed_record_rejected(self):
+        with pytest.raises(ConfigurationError):
+            record_from_dict({"kind": "crash", "time": 1.0})  # missing pid
+
+    def test_invalid_json_line_rejected(self):
+        with pytest.raises(ConfigurationError, match="line 2"):
+            load_jsonl(['{"kind": "crash", "time": 1.0, "pid": 0}', "{broken"])
+
+    def test_blank_lines_skipped(self):
+        loaded = load_jsonl(["", '{"kind": "crash", "time": 1.0, "pid": 0}', "  "])
+        assert len(loaded) == 1
+
+    def test_unserializable_record_rejected(self):
+        trace = TraceRecorder()
+        trace.record(object())
+        with pytest.raises(ConfigurationError):
+            dump_jsonl(trace, io.StringIO())
+
+    def test_dump_and_load_path(self, tmp_path):
+        from repro.trace import dump_path, load_path
+
+        trace = sample_trace()
+        path = str(tmp_path / "trace.jsonl")
+        dump_path(trace, path)
+        assert list(load_path(path)) == list(trace)

@@ -1,0 +1,190 @@
+"""Tests for the exhaustive small-scope explorer.
+
+Clean verdicts on the real algorithm, and mutation tests proving the
+explorer detects seeded bugs — so the clean verdicts mean something.
+"""
+
+import types
+
+import pytest
+
+from repro.core.messages import Fork
+from repro.errors import ConfigurationError
+from repro.graphs import clique, path, ring, star
+from repro.verify import explore_dining
+
+
+class TestCleanVerdicts:
+    """Algorithm 1, crash-free, null detector: every schedule is safe."""
+
+    def test_pair_two_sessions_exhaustive(self):
+        report = explore_dining(path(2), max_sessions=2)
+        assert report.clean
+        assert report.violations == []
+        assert report.terminal_states >= 1
+        assert report.states_visited > 100  # the space was non-trivial
+
+    def test_path3_exhaustive(self):
+        report = explore_dining(path(3), max_sessions=1)
+        assert report.clean
+        assert report.states_visited > 500
+
+    def test_ring3_exhaustive(self):
+        report = explore_dining(ring(3), max_sessions=1)
+        assert report.clean
+        assert report.states_visited > 5_000
+
+    def test_star4_exhaustive(self):
+        report = explore_dining(star(4), max_sessions=1)
+        assert report.clean
+        assert report.states_visited > 10_000
+
+    def test_perpetual_weak_exclusion_is_literal(self):
+        # The checker runs in EVERY visited state; clean means no state
+        # anywhere in the space has two neighbors eating.
+        report = explore_dining(path(2), max_sessions=2)
+        assert not any(v.kind == "exclusion" for v in report.violations)
+
+    def test_scope_guard(self):
+        with pytest.raises(ConfigurationError):
+            explore_dining(ring(5))
+
+    def test_budget_truncation_reported(self):
+        report = explore_dining(ring(3), max_sessions=1, max_states=50)
+        assert report.truncated
+        assert not report.clean  # truncated ⇒ not a verdict
+
+
+def _eager_grant_mutation(diner):
+    """Seeded bug: grant every fork request immediately, even while eating."""
+
+    def evil_on_fork_request(self, src, requester_color):
+        link = self.links[src]
+        link.token = True
+        if link.fork:
+            self.send(src, Fork(self.pid))
+            link.fork = False
+
+    diner._on_fork_request = types.MethodType(evil_on_fork_request, diner)
+
+
+def _lost_deferred_fork_mutation(diner):
+    """Seeded bug: exit forgets to release deferred forks (Action 10)."""
+
+    original_exit = diner.__class__._exit
+
+    def evil_exit(self):
+        # Clear the deferral marker so the release loop skips it.
+        for _, link in self._links_in_order():
+            if link.token and link.fork:
+                link.token = False  # the token silently evaporates
+        original_exit(self)
+
+    diner._exit = types.MethodType(evil_exit, diner)
+
+
+class TestMutationDetection:
+    """The explorer must find seeded bugs, or its clean verdicts are noise."""
+
+    def test_eager_grant_breaks_exclusion(self):
+        report = explore_dining(
+            path(2), max_sessions=2, diner_mutator=_eager_grant_mutation
+        )
+        assert report.violations
+        assert report.violations[0].kind == "exclusion"
+        # The counterexample path is concrete and replayable.
+        assert any("Fork" in step for step in report.violations[0].path)
+
+    def test_lost_deferred_fork_deadlocks(self):
+        report = explore_dining(
+            path(2), max_sessions=2, diner_mutator=_lost_deferred_fork_mutation
+        )
+        assert report.violations
+        kinds = {v.kind for v in report.violations}
+        assert "deadlock" in kinds or "fork-duplication" in kinds
+
+    def test_counterexample_is_minimal_ish(self):
+        # Not strictly minimal (DFS), but bounded by the explored depth.
+        report = explore_dining(
+            path(2), max_sessions=2, diner_mutator=_eager_grant_mutation
+        )
+        assert len(report.violations[0].path) <= report.max_depth + 1
+
+
+def _no_fork_suspicion_mutation(diner):
+    """Seeded bug: Action 9 ignores suspicion (the E2 phase-2 ablation)."""
+    from repro.core.diner import DinerActor
+
+    def evil_try_eat(self):
+        for _, link in self._links_in_order():
+            if not link.fork:
+                return False
+        return DinerActor._try_eat(self)
+
+    diner._try_eat = types.MethodType(evil_try_eat, diner)
+
+
+class TestCrashExploration:
+    """A crash as a choice at EVERY point of EVERY schedule."""
+
+    def test_pair_with_crash_is_clean(self):
+        report = explore_dining(path(2), max_sessions=2, crashable=(1,))
+        assert report.clean
+        # The crash branches multiplied the space substantially.
+        baseline = explore_dining(path(2), max_sessions=2)
+        assert report.states_visited > 3 * baseline.states_visited
+
+    def test_path3_middle_crash_is_clean(self):
+        report = explore_dining(
+            path(3), max_sessions=1, crashable=(1,), max_states=500_000
+        )
+        assert report.clean
+        assert report.states_visited > 15_000
+
+    def test_exhaustive_wait_freedom_meaning(self):
+        # Clean means: in no reachable state is a live hungry diner left
+        # with nothing pending — wait-freedom over every crash timing and
+        # every detection timing, not just sampled ones.
+        report = explore_dining(path(2), max_sessions=1, crashable=(1,))
+        assert not any(v.kind == "deadlock" for v in report.violations)
+        assert report.clean
+
+    def test_suspicion_ablation_caught_with_counterexample(self):
+        report = explore_dining(
+            path(2),
+            max_sessions=1,
+            crashable=(1,),
+            diner_mutator=_no_fork_suspicion_mutation,
+        )
+        assert report.violations
+        assert report.violations[0].kind == "deadlock"
+        assert any(step.startswith("crash@1") for step in report.violations[0].path)
+
+    def test_unmutated_detection_choices_do_not_break_exclusion(self):
+        # Exclusion among LIVE diners holds in every state even while
+        # crash/detect choices interleave arbitrarily (perfect-detector
+        # semantics: no false suspicion exists to cause a mistake).
+        report = explore_dining(path(2), max_sessions=2, crashable=(0,))
+        assert not any(v.kind == "exclusion" for v in report.violations)
+        assert report.clean
+
+    def test_unknown_crashable_pid_rejected(self):
+        with pytest.raises(ConfigurationError):
+            explore_dining(path(2), crashable=(9,))
+
+
+class TestMultiCrashExploration:
+    def test_both_may_crash_on_pair(self):
+        # Up to n−1... in fact both may crash (arbitrarily many faults):
+        # every combination of crash points is covered, including both
+        # diners dying.  Clean = no live hungry diner ever stranded.
+        report = explore_dining(
+            path(2), max_sessions=1, crashable=(0, 1), max_states=600_000
+        )
+        assert report.clean
+
+    def test_two_of_three_may_crash(self):
+        report = explore_dining(
+            path(3), max_sessions=1, crashable=(0, 2), max_states=600_000
+        )
+        assert report.clean
