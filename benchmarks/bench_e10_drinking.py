@@ -1,19 +1,21 @@
 """Bench E10 — Drinking philosophers on the dining substrate (extension).
 
+Thin wrapper over the registered ``e10`` scenario at paper scale.
+
 Claims checked: guarantees carry over (wait-free, eventually clean
 bottle-scoped exclusion) at every demand density; throughput and mean
 concurrency grow monotonically as demands thin; demand = 1.0 behaves like
 dining (peak concurrency bounded by the exclusion structure).
 """
 
-from conftest import run_once
+from conftest import run_scenario_once
 
 from repro.experiments.common import format_table
-from repro.experiments.e10_drinking import COLUMNS, run_drinking
+from repro.experiments.e10_drinking import COLUMNS
 
 
 def test_e10_drinking_table(benchmark):
-    rows = run_once(benchmark, run_drinking, demands=(1.0, 0.6, 0.3), n=8, horizon=300.0)
+    rows = run_scenario_once(benchmark, "e10")
     print()
     print(format_table(rows, COLUMNS, title="E10 — Drinking philosophers (extension)"))
 

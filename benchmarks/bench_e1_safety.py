@@ -1,24 +1,19 @@
 """Bench E1 — Safety (Theorem 1): regenerate the eventual-weak-exclusion table.
 
+Thin wrapper over the registered ``e1`` scenario at paper scale.
+
 Claim checked: zero exclusion violations after the convergence cutoff in
 every configuration; violation counts grow with the convergence time.
 """
 
-from conftest import run_once
+from conftest import run_scenario_once
 
 from repro.experiments.common import format_table
-from repro.experiments.e1_safety import COLUMNS, run_safety
+from repro.experiments.e1_safety import COLUMNS
 
 
 def test_e1_safety_table(benchmark):
-    rows = run_once(
-        benchmark,
-        run_safety,
-        topology_names=("ring", "clique", "grid", "random"),
-        n=12,
-        convergence_times=(0.0, 25.0, 75.0),
-        horizon=400.0,
-    )
+    rows = run_scenario_once(benchmark, "e1")
     print()
     print(format_table(rows, COLUMNS, title="E1 — Safety under eventual weak exclusion"))
 

@@ -1,26 +1,20 @@
 """Bench E2 — Wait-free progress (Theorem 2): regenerate the crash sweep.
 
+Thin wrapper over the registered ``e2`` scenario at paper scale.
+
 Claim checked: Algorithm 1 starves nobody at any crash count f ∈
 {0, …, n−1}; the oracle-free Choy-Singh baseline and both suspicion
 ablations starve once f ≥ 1.
 """
 
-from conftest import run_once
+from conftest import run_scenario_once
 
 from repro.experiments.common import format_table
-from repro.experiments.e2_progress import ALGORITHMS, COLUMNS, run_progress
+from repro.experiments.e2_progress import COLUMNS
 
 
 def test_e2_progress_table(benchmark):
-    rows = run_once(
-        benchmark,
-        run_progress,
-        n=8,
-        crash_counts=(0, 1, 4, 7),
-        algorithms=ALGORITHMS,
-        horizon=500.0,
-        patience=200.0,
-    )
+    rows = run_scenario_once(benchmark, "e2")
     print()
     print(format_table(rows, COLUMNS, title="E2 — Wait-free progress under crash faults"))
 

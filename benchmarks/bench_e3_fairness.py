@@ -1,31 +1,22 @@
 """Bench E3 — Eventual 2-bounded waiting (Theorem 3): regenerate the
 fairness table.
 
+Thin wrapper over the registered ``e3`` scenario (squeeze sweep + ring
+companion + ack-throttle ablation) at paper scale.
+
 Claims checked: Algorithm 1's post-convergence overtaking is ≤ 2 at every
 horizon; the forks-only baseline's overtaking exceeds 2 and grows with
 run length (unbounded in the limit).
 """
 
-from conftest import run_once
+from conftest import run_scenario_once
 
 from repro.experiments.common import format_table
-from repro.experiments.e3_fairness import (
-    COLUMNS,
-    run_fairness,
-    run_ring_fairness,
-    run_throttle_ablation,
-)
-
-
-def _full_suite():
-    rows = run_fairness(horizons=(250.0, 500.0, 1000.0))
-    rows.append(run_ring_fairness(n=10, horizon=500.0))
-    rows.extend(run_throttle_ablation())
-    return rows
+from repro.experiments.e3_fairness import COLUMNS
 
 
 def test_e3_fairness_table(benchmark):
-    rows = run_once(benchmark, _full_suite)
+    rows = run_scenario_once(benchmark, "e3")
     print()
     print(format_table(rows, COLUMNS, title="E3 — Eventual 2-bounded waiting"))
 

@@ -1,29 +1,21 @@
 """Bench E4 — Bounded-capacity channels (Section 7): regenerate the
 per-edge occupancy table.
 
+Thin wrappers over the registered ``e4`` / ``e4b`` scenarios at paper
+scale.
+
 Claim checked: at most 4 dining-layer messages in transit per edge at any
 time, on every topology (the online checker raises mid-run otherwise).
 """
 
-from conftest import run_once
+from conftest import run_scenario_once
 
 from repro.experiments.common import format_table
-from repro.experiments.e4_channels import (
-    COLUMNS,
-    EFFICIENCY_COLUMNS,
-    run_channels,
-    run_message_efficiency,
-)
+from repro.experiments.e4_channels import COLUMNS, EFFICIENCY_COLUMNS
 
 
 def test_e4_channels_table(benchmark):
-    rows = run_once(
-        benchmark,
-        run_channels,
-        topology_names=("ring", "clique", "star", "grid", "random"),
-        n=12,
-        horizon=400.0,
-    )
+    rows = run_scenario_once(benchmark, "e4")
     print()
     print(format_table(rows, COLUMNS, title="E4 — Bounded-capacity channels"))
 
@@ -32,7 +24,7 @@ def test_e4_channels_table(benchmark):
 
 
 def test_e4b_message_efficiency(benchmark):
-    rows = run_once(benchmark, run_message_efficiency, n=12, horizon=300.0)
+    rows = run_scenario_once(benchmark, "e4b")
     print()
     print(
         format_table(

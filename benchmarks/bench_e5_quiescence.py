@@ -1,25 +1,20 @@
 """Bench E5 — Quiescence (Section 7): regenerate the post-crash traffic table.
 
+Thin wrapper over the registered ``e5`` scenario at paper scale.
+
 Claims checked: dining traffic to each crashed process is bounded
 (proportional to its degree, a handful of messages per neighbor) and then
 stops — extending the run 4× adds zero messages.
 """
 
-from conftest import run_once
+from conftest import run_scenario_once
 
 from repro.experiments.common import format_table
-from repro.experiments.e5_quiescence import COLUMNS, run_quiescence
+from repro.experiments.e5_quiescence import COLUMNS
 
 
 def test_e5_quiescence_table(benchmark):
-    rows = run_once(
-        benchmark,
-        run_quiescence,
-        topology_names=("ring", "clique", "grid"),
-        n=10,
-        crash_count=3,
-        horizon=300.0,
-    )
+    rows = run_scenario_once(benchmark, "e5")
     print()
     print(format_table(rows, COLUMNS, title="E5 — Quiescence toward crashed processes"))
 

@@ -1,23 +1,20 @@
 """Bench E6 — Bounded space (Section 7): regenerate the space-accounting table.
 
+Thin wrapper over the registered ``e6`` scenario at paper scale.
+
 Claims checked: per-process bits scale with the degree δ (constant across
 n on bounded-degree topologies, linear only on the clique), exactly six
 booleans per neighbor, and O(log n)-bit messages.
 """
 
-from conftest import run_once
+from conftest import run_scenario_once
 
 from repro.experiments.common import format_table
-from repro.experiments.e6_space import COLUMNS, run_space
+from repro.experiments.e6_space import COLUMNS
 
 
 def test_e6_space_table(benchmark):
-    rows = run_once(
-        benchmark,
-        run_space,
-        topology_names=("ring", "grid", "tree", "random", "star", "clique"),
-        sizes=(8, 16, 32),
-    )
+    rows = run_scenario_once(benchmark, "e6")
     print()
     print(format_table(rows, COLUMNS, title="E6 — Bounded space and message size"))
 

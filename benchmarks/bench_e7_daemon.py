@@ -1,23 +1,21 @@
 """Bench E7 — Wait-free daemons for self-stabilization (Sections 1/8).
 
+Thin wrappers over the registered ``e7`` / ``e7b`` scenarios at paper
+scale.
+
 Claims checked: every hosted protocol converges under the wait-free
 daemon despite transient faults and crashes; the crash-oblivious baseline
 fails to converge once a targeted corruption lands on a starved process.
 """
 
-from conftest import run_once
+from conftest import run_scenario_once
 
 from repro.experiments.common import format_table
-from repro.experiments.e7_daemon import (
-    COLUMNS,
-    SCALING_COLUMNS,
-    run_daemon_suite,
-    run_token_ring_scaling,
-)
+from repro.experiments.e7_daemon import COLUMNS, SCALING_COLUMNS
 
 
 def test_e7b_token_ring_scaling(benchmark):
-    rows = run_once(benchmark, run_token_ring_scaling, sizes=(5, 9, 13))
+    rows = run_scenario_once(benchmark, "e7b")
     print()
     print(
         format_table(
@@ -32,7 +30,7 @@ def test_e7b_token_ring_scaling(benchmark):
 
 
 def test_e7_daemon_table(benchmark):
-    rows = run_once(benchmark, run_daemon_suite)
+    rows = run_scenario_once(benchmark, "e7")
     print()
     print(format_table(rows, COLUMNS, title="E7 — Wait-free daemons for self-stabilization"))
 

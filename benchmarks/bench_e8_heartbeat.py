@@ -1,25 +1,22 @@
 """Bench E8 — Heartbeat ◇P₁ end-to-end + scalability (Sections 1/2/8).
 
+Thin wrappers over the registered ``e8`` / ``e8b`` scenarios at paper
+scale.
+
 Claims checked: with a real heartbeat detector under GST partial
 synchrony, wait-freedom / eventual exclusion / 2-bounded waiting all hold
 end-to-end; the hostile pre-GST period causes genuine (finitely many)
 detector mistakes; throughput scales with ring size.
 """
 
-from conftest import run_once
+from conftest import run_scenario_once
 
 from repro.experiments.common import format_table
-from repro.experiments.e8_heartbeat import (
-    COLUMNS,
-    QOS_COLUMNS,
-    run_gst_sweep,
-    run_qos_sweep,
-    run_scale_sweep,
-)
+from repro.experiments.e8_heartbeat import COLUMNS, QOS_COLUMNS
 
 
 def test_e8b_detector_qos(benchmark):
-    rows = run_once(benchmark, run_qos_sweep, timeouts=(1.5, 3.0, 6.0))
+    rows = run_scenario_once(benchmark, "e8b")
     print()
     print(format_table(rows, QOS_COLUMNS, title="E8b — Heartbeat QoS vs. initial timeout"))
     # The Chen-Toueg trade-off: mistakes decrease monotonically as the
@@ -30,14 +27,8 @@ def test_e8b_detector_qos(benchmark):
     assert all(row["worst_detection"] is not None for row in rows)
 
 
-def _full_suite():
-    return run_gst_sweep(n=8, gsts=(20.0, 60.0, 120.0), horizon=600.0) + run_scale_sweep(
-        sizes=(6, 12, 24), gst=40.0, horizon=400.0
-    )
-
-
 def test_e8_heartbeat_table(benchmark):
-    rows = run_once(benchmark, _full_suite)
+    rows = run_scenario_once(benchmark, "e8")
     print()
     print(format_table(rows, COLUMNS, title="E8 — Heartbeat ◇P₁ end-to-end + scalability"))
 

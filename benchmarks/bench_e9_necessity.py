@@ -1,19 +1,21 @@
 """Bench E9 — Necessity probes (Section 8 / [21]).
 
+Thin wrapper over the registered ``e9`` scenario at paper scale.
+
 Claims checked: the control run keeps every guarantee; breaking
 completeness breaks exactly wait-freedom; breaking eventual accuracy
 breaks exactly eventual weak exclusion, with violations that recur (the
 count roughly doubles when the horizon doubles — no clean suffix).
 """
 
-from conftest import run_once
+from conftest import run_scenario_once
 
 from repro.experiments.common import format_table
-from repro.experiments.e9_necessity import COLUMNS, run_necessity
+from repro.experiments.e9_necessity import COLUMNS
 
 
 def test_e9_necessity_table(benchmark):
-    rows = run_once(benchmark, run_necessity, horizons=(300.0, 600.0))
+    rows = run_scenario_once(benchmark, "e9")
     print()
     print(format_table(rows, COLUMNS, title="E9 — Necessity probes"))
 

@@ -4,6 +4,11 @@ Every benchmark runs its experiment exactly once per measurement
 (``rounds=1, iterations=1``): these are whole-simulation macro-benchmarks
 whose interesting outputs are the claim checks and the wall-clock cost of
 reproducing each published result, not microsecond-level statistics.
+
+The ``bench_e*`` benchmarks are thin wrappers over the scenario registry
+(:mod:`repro.scenarios`): each one replays a registered scenario at its
+paper-scale defaults through the Runner — with the result cache disabled,
+because a benchmark that reads a memoized answer measures nothing.
 """
 
 from __future__ import annotations
@@ -12,3 +17,15 @@ from __future__ import annotations
 def run_once(benchmark, func, **kwargs):
     """Run ``func(**kwargs)`` once under the benchmark timer; return result."""
     return benchmark.pedantic(func, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0)
+
+
+def run_scenario_once(benchmark, name, **overrides):
+    """Run registered scenario ``name`` once (uncached, serial); return rows."""
+    from repro.scenarios import Runner
+
+    runner = Runner(jobs=1, use_cache=False)
+
+    def execute():
+        return runner.run(name, overrides=overrides or None).rows
+
+    return benchmark.pedantic(execute, rounds=1, iterations=1, warmup_rounds=0)

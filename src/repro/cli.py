@@ -4,12 +4,15 @@ Three subcommands::
 
     repro dine --topology ring --n 8 --crashes 2 --horizon 300 --timeline
     repro daemon --protocol coloring --topology grid --n 12 --crashes 2
-    repro experiments --only e1 e3 e9
+    repro experiments --only e1 e3 e9 --seeds 0 1 2 3 --jobs 4
 
 (or ``python -m repro …``).  ``dine`` runs one dining scenario and prints
 the guarantee scorecard (plus an ASCII timeline on request); ``daemon``
-hosts a self-stabilizing protocol; ``experiments`` reproduces the paper's
-claim tables.
+hosts a self-stabilizing protocol; ``experiments`` runs registered
+scenarios from :mod:`repro.scenarios` — ``--list`` enumerates them,
+``--seeds`` replicates across seeds (printing the aggregated table),
+``--jobs`` fans seeds out over worker processes, and ``--no-cache``
+bypasses the ``.repro_cache/`` result cache.
 """
 
 from __future__ import annotations
@@ -167,15 +170,54 @@ def cmd_daemon(args: argparse.Namespace) -> int:
 # ----------------------------------------------------------------------
 # experiments
 # ----------------------------------------------------------------------
-def cmd_experiments(args: argparse.Namespace) -> int:
-    from repro.experiments import ALL_EXPERIMENTS
+def _scenario_sort_key(scenario) -> tuple:
+    """Display order: by experiment number, primaries before companions."""
+    experiment = scenario.experiment
+    try:
+        number = int(experiment.lstrip("e"))
+    except ValueError:
+        number = 10**6
+    return (number, scenario.name)
 
+
+def cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.experiments.common import print_experiment
+    from repro.scenarios import Runner, all_scenarios
+
+    scenarios = sorted(all_scenarios(), key=_scenario_sort_key)
     wanted = {name.lower() for name in (args.only or [])}
-    for module in ALL_EXPERIMENTS:
-        short = module.__name__.rsplit(".", 1)[-1].split("_")[0]  # "e1", …
-        if wanted and short not in wanted:
-            continue
-        module.main()
+    known = {s.name for s in scenarios} | {s.experiment for s in scenarios}
+    unknown = sorted(wanted - known)
+    if unknown:
+        print(
+            f"unknown experiment(s): {', '.join(unknown)}; "
+            f"known: {', '.join(sorted(known))}",
+            file=sys.stderr,
+        )
+        return 2
+    selected = [
+        s for s in scenarios if not wanted or s.name in wanted or s.experiment in wanted
+    ]
+    if args.seeds is not None and not args.seeds:
+        print("--seeds needs at least one seed", file=sys.stderr)
+        return 2
+
+    if args.list_scenarios:
+        for scenario in selected:
+            print(f"{scenario.name:<5} {scenario.title}")
+            print(f"      {scenario.spec.describe()}")
+        return 0
+
+    runner = Runner(jobs=args.jobs, use_cache=not args.no_cache)
+    for scenario in selected:
+        result = runner.run(scenario.name, seeds=args.seeds)
+        if len(result.seeds) > 1:
+            aggregated = result.aggregate()
+            columns = result.aggregate_table_columns(aggregated)
+            title = f"{scenario.title} (aggregated over {len(result.seeds)} seeds)"
+            print_experiment(title, scenario.claim, aggregated, columns)
+        else:
+            print_experiment(scenario.title, scenario.claim, result.rows, scenario.columns)
     return 0
 
 
@@ -251,7 +293,17 @@ def build_parser() -> argparse.ArgumentParser:
 
     experiments = sub.add_parser("experiments", help="reproduce the paper's claim tables")
     experiments.add_argument("--only", nargs="*", metavar="EN",
-                             help="subset, e.g. --only e1 e3 e9")
+                             help="subset by experiment or scenario name, "
+                                  "e.g. --only e1 e3 e8b")
+    experiments.add_argument("--jobs", type=int, default=1, metavar="N",
+                             help="worker processes for seed sweeps (default 1: serial)")
+    experiments.add_argument("--seeds", type=int, nargs="*", metavar="S",
+                             help="override each scenario's seed list; more than one "
+                                  "seed prints the aggregated (mean/min/max) table")
+    experiments.add_argument("--no-cache", action="store_true",
+                             help="bypass the .repro_cache/ result cache")
+    experiments.add_argument("--list", action="store_true", dest="list_scenarios",
+                             help="list registered scenarios instead of running them")
     experiments.set_defaults(func=cmd_experiments)
 
     verify = sub.add_parser(

@@ -29,6 +29,7 @@ from repro.drinking import (
 )
 from repro.experiments.common import print_experiment
 from repro.graphs import topologies
+from repro.scenarios import ScenarioSpec, register_scenario, run_scenario_rows
 from repro.sim.crash import CrashPlan
 from repro.sim.rng import RandomStreams
 
@@ -51,6 +52,22 @@ CLAIM = (
 )
 
 
+@register_scenario(
+    "e10",
+    title="E10 — Drinking philosophers (extension)",
+    claim=CLAIM,
+    columns=COLUMNS,
+    group_by=("demand",),
+    spec=ScenarioSpec(
+        topology=("clique",),
+        detector="scripted",
+        crashes="1 random",
+        latency="zero",
+        workload="random-thirst (demand sweep)",
+        horizon=300.0,
+        seeds=(10,),
+    ),
+)
 def run_drinking(
     *,
     demands: Sequence[float] = (1.0, 0.6, 0.3),
@@ -100,7 +117,7 @@ def run_drinking(
 
 
 def main() -> List[Dict[str, object]]:
-    rows = run_drinking()
+    rows = run_scenario_rows("e10")
     print_experiment("E10 — Drinking philosophers (extension)", CLAIM, rows, COLUMNS)
     return rows
 

@@ -20,6 +20,7 @@ from typing import Dict, List, Sequence
 from repro.core import DiningTable, scripted_detector
 from repro.experiments.common import print_experiment
 from repro.graphs import topologies
+from repro.scenarios import ScenarioSpec, register_scenario, run_scenario_rows
 from repro.sim.crash import CrashPlan
 from repro.sim.rng import RandomStreams
 
@@ -36,6 +37,22 @@ COLUMNS = (
 CLAIM = "Theorem 1 (eventual weak exclusion): zero violations after detector convergence."
 
 
+@register_scenario(
+    "e1",
+    title="E1 — Safety under eventual weak exclusion",
+    claim=CLAIM,
+    columns=COLUMNS,
+    group_by=("topology", "T_c"),
+    spec=ScenarioSpec(
+        topology=("ring", "clique", "grid", "random"),
+        detector="scripted",
+        crashes="random 25% of n",
+        latency="zero",
+        workload="always-hungry",
+        horizon=400.0,
+        seeds=(1,),
+    ),
+)
 def run_safety(
     *,
     topology_names: Sequence[str] = ("ring", "clique", "grid", "random"),
@@ -91,7 +108,7 @@ def run_safety(
 
 
 def main() -> List[Dict[str, object]]:
-    rows = run_safety()
+    rows = run_scenario_rows("e1")
     print_experiment("E1 — Safety under eventual weak exclusion", CLAIM, rows, COLUMNS)
     return rows
 

@@ -28,6 +28,7 @@ from repro.baselines import (
 from repro.core import DiningTable, scripted_detector
 from repro.experiments.common import print_experiment
 from repro.graphs import topologies
+from repro.scenarios import ScenarioSpec, register_scenario, run_scenario_rows
 from repro.sim.crash import CrashPlan
 from repro.sim.rng import RandomStreams
 
@@ -89,6 +90,22 @@ def _build_table(
     raise ValueError(f"unknown algorithm {algorithm!r}")
 
 
+@register_scenario(
+    "e2",
+    title="E2 — Wait-free progress under crash faults",
+    claim=CLAIM,
+    columns=COLUMNS,
+    group_by=("algorithm", "crashes"),
+    spec=ScenarioSpec(
+        topology=("ring",),
+        detector="scripted",
+        crashes="sweep f in {0, 1, n/2, n-1}",
+        latency="zero",
+        workload="always-hungry",
+        horizon=500.0,
+        seeds=(2,),
+    ),
+)
 def run_progress(
     *,
     n: int = 8,
@@ -129,7 +146,7 @@ def run_progress(
 
 
 def main() -> List[Dict[str, object]]:
-    rows = run_progress()
+    rows = run_scenario_rows("e2")
     print_experiment("E2 — Wait-free progress under crash faults", CLAIM, rows, COLUMNS)
     return rows
 

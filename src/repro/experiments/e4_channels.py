@@ -19,6 +19,7 @@ from typing import Dict, List, Sequence
 from repro.core import AlwaysHungry, DiningTable, scripted_detector
 from repro.experiments.common import print_experiment
 from repro.graphs import topologies
+from repro.scenarios import ScenarioSpec, register_scenario, run_scenario_rows
 from repro.sim.crash import CrashPlan
 from repro.sim.latency import LogNormalLatency
 from repro.sim.rng import RandomStreams
@@ -35,6 +36,22 @@ COLUMNS = (
 CLAIM = "Section 7: at most 4 dining-layer messages in transit per edge, ever."
 
 
+@register_scenario(
+    "e4",
+    title="E4 — Bounded-capacity channels",
+    claim=CLAIM,
+    columns=COLUMNS,
+    group_by=("topology",),
+    spec=ScenarioSpec(
+        topology=("ring", "clique", "star", "grid", "random"),
+        detector="scripted",
+        crashes="random 25% of n",
+        latency="lognormal(median=1, sigma=0.8)",
+        workload="always-hungry",
+        horizon=400.0,
+        seeds=(3,),
+    ),
+)
 def run_channels(
     *,
     topology_names: Sequence[str] = ("ring", "clique", "star", "grid", "random"),
@@ -87,6 +104,23 @@ EFFICIENCY_COLUMNS = (
 )
 
 
+@register_scenario(
+    "e4b",
+    title="E4b — Message efficiency (messages per meal vs. degree)",
+    claim="Constant messages per neighbor per session: msgs/meal tracks δ.",
+    columns=EFFICIENCY_COLUMNS,
+    group_by=("topology",),
+    experiment="e4",
+    spec=ScenarioSpec(
+        topology=("ring", "grid", "star", "clique"),
+        detector="scripted",
+        crashes="none",
+        latency="zero",
+        workload="always-hungry",
+        horizon=300.0,
+        seeds=(3,),
+    ),
+)
 def run_message_efficiency(
     *,
     topology_names: Sequence[str] = ("ring", "grid", "star", "clique"),
@@ -129,9 +163,9 @@ def run_message_efficiency(
 
 
 def main() -> List[Dict[str, object]]:
-    rows = run_channels()
+    rows = run_scenario_rows("e4")
     print_experiment("E4 — Bounded-capacity channels", CLAIM, rows, COLUMNS)
-    efficiency = run_message_efficiency()
+    efficiency = run_scenario_rows("e4b")
     print_experiment(
         "E4b — Message efficiency (messages per meal vs. degree)",
         "Constant messages per neighbor per session: msgs/meal tracks δ.",

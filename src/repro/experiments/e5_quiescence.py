@@ -21,6 +21,7 @@ from typing import Dict, List, Sequence
 from repro.core import DiningTable, scripted_detector
 from repro.experiments.common import print_experiment
 from repro.graphs import topologies
+from repro.scenarios import ScenarioSpec, register_scenario, run_scenario_rows
 from repro.sim.crash import CrashPlan
 from repro.sim.rng import RandomStreams
 
@@ -40,6 +41,22 @@ CLAIM = (
 )
 
 
+@register_scenario(
+    "e5",
+    title="E5 — Quiescence toward crashed processes",
+    claim=CLAIM,
+    columns=COLUMNS,
+    group_by=("topology", "crashed_pid"),
+    spec=ScenarioSpec(
+        topology=("ring", "clique", "grid"),
+        detector="scripted",
+        crashes="3 random, mid-run",
+        latency="zero",
+        workload="always-hungry",
+        horizon=300.0,
+        seeds=(4,),
+    ),
+)
 def run_quiescence(
     *,
     topology_names: Sequence[str] = ("ring", "clique", "grid"),
@@ -85,7 +102,7 @@ def run_quiescence(
 
 
 def main() -> List[Dict[str, object]]:
-    rows = run_quiescence()
+    rows = run_scenario_rows("e5")
     print_experiment("E5 — Quiescence toward crashed processes", CLAIM, rows, COLUMNS)
     return rows
 

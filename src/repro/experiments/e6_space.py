@@ -22,6 +22,7 @@ from repro.core.state import NeighborLinks
 from repro.experiments.common import print_experiment
 from repro.graphs import topologies
 from repro.graphs.coloring import color_count
+from repro.scenarios import ScenarioSpec, register_scenario, run_scenario_rows
 
 COLUMNS = (
     "topology",
@@ -36,6 +37,22 @@ COLUMNS = (
 CLAIM = "Section 7: log2(δ) + 6δ + c bits per process; O(log n)-bit messages."
 
 
+@register_scenario(
+    "e6",
+    title="E6 — Bounded space and message size",
+    claim=CLAIM,
+    columns=COLUMNS,
+    group_by=("topology", "n"),
+    spec=ScenarioSpec(
+        topology=("ring", "grid", "tree", "random", "star", "clique"),
+        detector="scripted",
+        crashes="none",
+        latency="zero",
+        workload="always-hungry",
+        horizon=20.0,
+        seeds=(6,),
+    ),
+)
 def run_space(
     *,
     topology_names: Sequence[str] = ("ring", "grid", "tree", "random", "star", "clique"),
@@ -76,7 +93,7 @@ def run_space(
 
 
 def main() -> List[Dict[str, object]]:
-    rows = run_space()
+    rows = run_scenario_rows("e6")
     print_experiment("E6 — Bounded space and message size", CLAIM, rows, COLUMNS)
     return rows
 

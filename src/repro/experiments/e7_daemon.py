@@ -26,6 +26,7 @@ from repro.baselines import ChoySinghDiner
 from repro.core import DistributedDaemon, null_detector, scripted_detector
 from repro.experiments.common import print_experiment
 from repro.graphs import topologies
+from repro.scenarios import ScenarioSpec, register_scenario, run_scenario_rows
 from repro.sim.crash import CrashPlan
 from repro.sim.rng import RandomStreams
 from repro.stabilization import (
@@ -194,6 +195,23 @@ SCALING_COLUMNS = (
 )
 
 
+@register_scenario(
+    "e7b",
+    title="E7b — Token-ring stabilization cost vs. ring size",
+    claim="Dijkstra: O(n²) activations from arbitrary corruption; steps/n grows with n.",
+    columns=SCALING_COLUMNS,
+    group_by=("n",),
+    experiment="e7",
+    spec=ScenarioSpec(
+        topology=("ring",),
+        detector="scripted",
+        crashes="none",
+        latency="zero",
+        workload="protocol-driven",
+        horizon=1500.0,
+        seeds=(7,),
+    ),
+)
 def run_token_ring_scaling(
     *,
     sizes=(5, 9, 13),
@@ -237,6 +255,22 @@ def run_token_ring_scaling(
     return rows
 
 
+@register_scenario(
+    "e7",
+    title="E7 — Wait-free daemons for self-stabilization",
+    claim=CLAIM,
+    columns=COLUMNS,
+    group_by=("scenario", "daemon"),
+    spec=ScenarioSpec(
+        topology=("ring", "grid", "random"),
+        detector="scripted vs. null (baseline)",
+        crashes="per-scenario",
+        latency="zero",
+        workload="protocol-driven",
+        horizon=400.0,
+        seeds=(7,),
+    ),
+)
 def run_daemon_suite(*, seed: int = 7) -> List[Dict[str, object]]:
     return [
         run_token_ring(seed=seed),
@@ -248,9 +282,9 @@ def run_daemon_suite(*, seed: int = 7) -> List[Dict[str, object]]:
 
 
 def main() -> List[Dict[str, object]]:
-    rows = run_daemon_suite()
+    rows = run_scenario_rows("e7")
     print_experiment("E7 — Wait-free daemons for self-stabilization", CLAIM, rows, COLUMNS)
-    scaling = run_token_ring_scaling()
+    scaling = run_scenario_rows("e7b")
     print_experiment(
         "E7b — Token-ring stabilization cost vs. ring size",
         "Dijkstra: O(n²) activations from arbitrary corruption; steps/n grows with n.",

@@ -25,6 +25,7 @@ from typing import Dict, List, Sequence
 from repro.core import AlwaysHungry, DiningTable, heartbeat_detector
 from repro.experiments.common import print_experiment, summarize
 from repro.graphs import topologies
+from repro.scenarios import ScenarioSpec, register_scenario, run_scenario_rows
 from repro.sim.crash import CrashPlan
 from repro.sim.latency import PartialSynchronyLatency
 from repro.sim.rng import RandomStreams
@@ -118,6 +119,27 @@ def run_scale_sweep(
     ]
 
 
+@register_scenario(
+    "e8",
+    title="E8 — Heartbeat ◇P₁ end-to-end + scalability",
+    claim=CLAIM,
+    columns=COLUMNS,
+    group_by=("sweep", "n", "gst"),
+    spec=ScenarioSpec(
+        topology=("ring",),
+        detector="heartbeat",
+        crashes="2 (gst sweep) / n/6 (scale sweep)",
+        latency="partial-synchrony",
+        workload="always-hungry",
+        horizon=600.0,
+        seeds=(8,),
+    ),
+)
+def run_heartbeat_suite(*, seed: int = 8) -> List[Dict[str, object]]:
+    """The full E8 table: the GST sweep followed by the scale sweep."""
+    return run_gst_sweep(seed=seed) + run_scale_sweep(seed=seed)
+
+
 QOS_COLUMNS = (
     "initial_timeout",
     "n",
@@ -130,6 +152,23 @@ QOS_COLUMNS = (
 )
 
 
+@register_scenario(
+    "e8b",
+    title="E8b — Heartbeat detector QoS vs. initial timeout",
+    claim="Chen-Toueg trade-off: smaller timeouts detect faster but mistake more pre-GST.",
+    columns=QOS_COLUMNS,
+    group_by=("initial_timeout",),
+    experiment="e8",
+    spec=ScenarioSpec(
+        topology=("ring",),
+        detector="heartbeat",
+        crashes="2 random",
+        latency="partial-synchrony",
+        workload="always-hungry",
+        horizon=400.0,
+        seeds=(8,),
+    ),
+)
 def run_qos_sweep(
     *,
     timeouts: Sequence[float] = (1.5, 3.0, 6.0),
@@ -183,9 +222,9 @@ def run_qos_sweep(
 
 
 def main() -> List[Dict[str, object]]:
-    rows = run_gst_sweep() + run_scale_sweep()
+    rows = run_scenario_rows("e8")
     print_experiment("E8 — Heartbeat ◇P₁ end-to-end + scalability", CLAIM, rows, COLUMNS)
-    qos = run_qos_sweep()
+    qos = run_scenario_rows("e8b")
     print_experiment(
         "E8b — Heartbeat detector QoS vs. initial timeout",
         "Chen-Toueg trade-off: smaller timeouts detect faster but mistake more pre-GST.",

@@ -26,6 +26,7 @@ from repro.core import AlwaysHungry, DiningTable, scripted_detector
 from repro.core.table import inaccurate_detector, incomplete_detector
 from repro.experiments.common import print_experiment
 from repro.graphs import topologies
+from repro.scenarios import ScenarioSpec, register_scenario, run_scenario_rows
 from repro.sim.crash import CrashPlan
 
 COLUMNS = (
@@ -104,6 +105,22 @@ def _run(
     }
 
 
+@register_scenario(
+    "e9",
+    title="E9 — Necessity probes (which property buys which guarantee)",
+    claim=CLAIM,
+    columns=COLUMNS,
+    group_by=("oracle", "horizon"),
+    spec=ScenarioSpec(
+        topology=("ring",),
+        detector="scripted / incomplete / inaccurate",
+        crashes="scripted (pid 2 at t=20)",
+        latency="zero",
+        workload="always-hungry + scripted adversary",
+        horizon=600.0,
+        seeds=(9,),
+    ),
+)
 def run_necessity(
     *,
     horizons=(300.0, 600.0),
@@ -117,7 +134,7 @@ def run_necessity(
 
 
 def main() -> List[Dict[str, object]]:
-    rows = run_necessity()
+    rows = run_scenario_rows("e9")
     print_experiment("E9 — Necessity probes (which property buys which guarantee)", CLAIM, rows, COLUMNS)
     return rows
 

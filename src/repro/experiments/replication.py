@@ -15,16 +15,24 @@ Typical use::
         seeds=range(10),
         kwargs=dict(topology_names=("ring",), n=10, convergence_times=(25.0,)),
         group_by=("topology", "T_c"),
+        jobs=4,                      # seeds fan out over a process pool
     )
 
 Returns one aggregated row per group with ``metric_mean`` / ``metric_min``
 / ``metric_max`` columns for every numeric metric, plus ``replicates``.
+
+Execution dispatches through the scenario runner
+(:func:`repro.scenarios.map_seeds`), so ``jobs > 1`` parallelizes the
+seed sweep; :func:`replicate_scenario` is the registry-native variant,
+which additionally hits the spec-hash result cache.
 """
 
 from __future__ import annotations
 
-import statistics
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.scenarios.aggregate import aggregate_rows
+from repro.scenarios.runner import map_seeds, run_scenario
 
 
 def replicate(
@@ -34,41 +42,42 @@ def replicate(
     kwargs: Optional[dict] = None,
     group_by: Sequence[str],
     seed_param: str = "seed",
+    jobs: int = 1,
 ) -> List[Dict[str, object]]:
-    """Run ``run_fn`` once per seed and aggregate numeric columns by group."""
-    kwargs = dict(kwargs or {})
-    samples: Dict[Tuple, Dict[str, List[float]]] = {}
-    group_values: Dict[Tuple, Dict[str, object]] = {}
-    replicate_counts: Dict[Tuple, int] = {}
+    """Run ``run_fn`` once per seed and aggregate numeric columns by group.
 
+    Raises :class:`ValueError` if ``group_by`` names a column absent from
+    the produced rows (a typo would otherwise silently collapse every row
+    into one anonymous group).
+    """
     seed_list = list(seeds)
     if not seed_list:
         raise ValueError("replicate needs at least one seed")
+    per_seed = map_seeds(
+        run_fn, seeds=seed_list, kwargs=kwargs, seed_param=seed_param, jobs=jobs
+    )
+    return aggregate_rows(per_seed, group_by=group_by)
 
-    for seed in seed_list:
-        kwargs[seed_param] = seed
-        for row in run_fn(**kwargs):
-            key = tuple(row.get(col) for col in group_by)
-            group_values.setdefault(key, {col: row.get(col) for col in group_by})
-            replicate_counts[key] = replicate_counts.get(key, 0) + 1
-            bucket = samples.setdefault(key, {})
-            for column, value in row.items():
-                if column in group_by:
-                    continue
-                if isinstance(value, bool) or not isinstance(value, (int, float)):
-                    continue
-                bucket.setdefault(column, []).append(float(value))
 
-    aggregated: List[Dict[str, object]] = []
-    for key in sorted(samples, key=lambda k: tuple(str(v) for v in k)):
-        row: Dict[str, object] = dict(group_values[key])
-        row["replicates"] = replicate_counts[key]
-        for column, values in sorted(samples[key].items()):
-            row[f"{column}_mean"] = statistics.fmean(values)
-            row[f"{column}_min"] = min(values)
-            row[f"{column}_max"] = max(values)
-        aggregated.append(row)
-    return aggregated
+def replicate_scenario(
+    name: str,
+    *,
+    seeds: Iterable[int],
+    group_by: Optional[Sequence[str]] = None,
+    overrides: Optional[dict] = None,
+    jobs: int = 1,
+    use_cache: bool = True,
+) -> List[Dict[str, object]]:
+    """Replicate a *registered* scenario across seeds via the Runner.
+
+    Same aggregation as :func:`replicate`, but the per-seed rows go
+    through the scenario result cache, so repeated sweeps are free.
+    ``group_by`` defaults to the scenario's registered grouping.
+    """
+    result = run_scenario(
+        name, seeds=seeds, jobs=jobs, use_cache=use_cache, overrides=overrides
+    )
+    return result.aggregate(group_by)
 
 
 def columns_for(

@@ -1,0 +1,61 @@
+"""Declarative Scenario/Runner framework.
+
+The seam between *describing* a sweep and *executing* it:
+
+* :class:`ScenarioSpec` — frozen, hashable description (topology,
+  detector family, crash/latency/workload regime, horizon, seeds,
+  extra params);
+* :func:`register_scenario` / :func:`get_scenario` /
+  :func:`all_scenarios` — the registry the experiment modules populate;
+* :class:`Runner` / :func:`run_scenario` — seed sweeps through a
+  process pool (serial fallback) with a spec-hash JSON result cache
+  under ``.repro_cache/``;
+* :class:`RunResult` — per-seed rows plus replication-style
+  aggregation;
+* :func:`map_seeds` / :func:`aggregate_rows` — the same dispatch and
+  aggregation for arbitrary run functions (what
+  ``replication.replicate`` builds on).
+
+See ``docs/SCENARIOS.md`` for the guided tour.
+"""
+
+from repro.scenarios.aggregate import aggregate_columns, aggregate_rows
+from repro.scenarios.cache import DEFAULT_CACHE_DIR, ResultCache, default_cache_dir
+from repro.scenarios.registry import (
+    Scenario,
+    all_scenarios,
+    ensure_registered,
+    get_scenario,
+    register_scenario,
+    scenario_names,
+)
+from repro.scenarios.runner import (
+    RunResult,
+    Runner,
+    SeedResult,
+    map_seeds,
+    run_scenario,
+    run_scenario_rows,
+)
+from repro.scenarios.spec import ScenarioSpec
+
+__all__ = [
+    "DEFAULT_CACHE_DIR",
+    "ResultCache",
+    "RunResult",
+    "Runner",
+    "Scenario",
+    "ScenarioSpec",
+    "SeedResult",
+    "aggregate_columns",
+    "aggregate_rows",
+    "all_scenarios",
+    "default_cache_dir",
+    "ensure_registered",
+    "get_scenario",
+    "map_seeds",
+    "register_scenario",
+    "run_scenario",
+    "run_scenario_rows",
+    "scenario_names",
+]

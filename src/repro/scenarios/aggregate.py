@@ -1,0 +1,87 @@
+"""Row aggregation shared by replication and the Runner.
+
+One seed produces a list of row dicts; a sweep produces one list per
+seed.  :func:`aggregate_rows` collapses them into one row per
+``group_by`` key with ``_mean`` / ``_min`` / ``_max`` columns for every
+numeric metric — the same shape :func:`repro.experiments.replication.
+replicate` has always returned, factored out so
+:class:`repro.scenarios.runner.RunResult` can aggregate without a
+circular import back into the experiments package.
+"""
+
+from __future__ import annotations
+
+import statistics
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+Rows = List[Dict[str, object]]
+
+
+def aggregate_rows(rows_per_run: Iterable[Rows], *, group_by: Sequence[str]) -> Rows:
+    """Aggregate numeric columns of many row lists by ``group_by`` key.
+
+    Raises :class:`ValueError` if any row lacks one of the ``group_by``
+    columns — a misspelled group column would otherwise silently
+    collapse every row into a single ``(None, …)`` group.
+    """
+    group_by = tuple(group_by)
+    samples: Dict[Tuple, Dict[str, List[float]]] = {}
+    group_values: Dict[Tuple, Dict[str, object]] = {}
+    replicate_counts: Dict[Tuple, int] = {}
+
+    for rows in rows_per_run:
+        for row in rows:
+            missing = [column for column in group_by if column not in row]
+            if missing:
+                raise ValueError(
+                    f"group_by column(s) {missing} not present in row with "
+                    f"columns {sorted(row)}"
+                )
+            key = tuple(row[column] for column in group_by)
+            group_values.setdefault(key, {column: row[column] for column in group_by})
+            replicate_counts[key] = replicate_counts.get(key, 0) + 1
+            bucket = samples.setdefault(key, {})
+            for column, value in row.items():
+                if column in group_by:
+                    continue
+                if isinstance(value, bool) or not isinstance(value, (int, float)):
+                    continue
+                bucket.setdefault(column, []).append(float(value))
+
+    aggregated: Rows = []
+    for key in sorted(samples, key=lambda k: tuple(str(v) for v in k)):
+        row: Dict[str, object] = dict(group_values[key])
+        row["replicates"] = replicate_counts[key]
+        for column, values in sorted(samples[key].items()):
+            row[f"{column}_mean"] = statistics.fmean(values)
+            row[f"{column}_min"] = min(values)
+            row[f"{column}_max"] = max(values)
+        aggregated.append(row)
+    return aggregated
+
+
+def aggregate_columns(
+    columns: Sequence[str], group_by: Sequence[str], aggregated: Rows
+) -> Tuple[str, ...]:
+    """Display columns for an aggregated table, preserving base order.
+
+    Group columns come first (in their original ``columns`` order, then
+    any group columns not in ``columns``), then ``replicates``, then the
+    ``_mean``/``_min``/``_max`` stats of every metric that survived
+    aggregation — again in base-column order.
+    """
+    group_by = tuple(group_by)
+    present = set()
+    for row in aggregated:
+        present.update(row)
+    ordered_groups = [c for c in columns if c in group_by]
+    ordered_groups += [c for c in group_by if c not in ordered_groups]
+    stats_cols: List[str] = []
+    for column in columns:
+        if column in group_by:
+            continue
+        for stat in ("mean", "min", "max"):
+            derived = f"{column}_{stat}"
+            if derived in present:
+                stats_cols.append(derived)
+    return tuple(ordered_groups) + ("replicates",) + tuple(stats_cols)

@@ -1,0 +1,88 @@
+"""Spec-hash result cache.
+
+Every (scenario, spec, seed) triple is deterministic, so its rows can be
+memoized: the cache key is the spec fingerprint (which folds in the
+package version, the scenario name, the merged params, and the seed),
+and the value is the row list as JSON.  Entries live under
+``.repro_cache/<scenario>/<hash>.json`` — one file per seed, so growing
+a seed list only pays for the new seeds.
+
+The cache is content-addressed and therefore never *invalidated*, only
+missed: change any parameter (or the package version) and the key
+changes.  Corrupt or unreadable entries are treated as misses.  Writes
+are atomic (tmp file + rename) so parallel sweeps can share a cache
+directory safely.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, List, Optional
+
+DEFAULT_CACHE_DIR = ".repro_cache"
+_ENV_VAR = "REPRO_CACHE_DIR"
+
+Rows = List[Dict[str, object]]
+
+
+def default_cache_dir() -> Path:
+    """Cache root: ``$REPRO_CACHE_DIR`` or ``.repro_cache`` in the cwd."""
+    return Path(os.environ.get(_ENV_VAR) or DEFAULT_CACHE_DIR)
+
+
+class ResultCache:
+    """Filesystem-backed memo of per-seed scenario rows."""
+
+    def __init__(self, root: Optional[os.PathLike] = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+
+    def path_for(self, scenario: str, key: str) -> Path:
+        return self.root / scenario / f"{key}.json"
+
+    def load(self, scenario: str, key: str) -> Optional[Rows]:
+        """The cached rows, or None on a miss (including corrupt entries)."""
+        path = self.path_for(scenario, key)
+        try:
+            with open(path, "r", encoding="utf-8") as stream:
+                payload = json.load(stream)
+        except (OSError, ValueError):
+            return None
+        rows = payload.get("rows")
+        if not isinstance(rows, list):
+            return None
+        return rows
+
+    def store(self, scenario: str, key: str, rows: Rows) -> Path:
+        """Persist rows atomically; returns the entry path."""
+        path = self.path_for(scenario, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {"scenario": scenario, "key": key, "rows": rows}
+        fd, tmp_name = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as stream:
+                json.dump(payload, stream)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def clear(self, scenario: Optional[str] = None) -> int:
+        """Drop every entry (or just one scenario's); returns files removed."""
+        target = self.root / scenario if scenario else self.root
+        removed = 0
+        if not target.exists():
+            return removed
+        for entry in sorted(target.rglob("*.json")):
+            try:
+                entry.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

@@ -1,0 +1,138 @@
+"""The scenario registry.
+
+Experiment modules declare their sweeps with :func:`register_scenario`::
+
+    @register_scenario(
+        "e1",
+        title="E1 — Safety under eventual weak exclusion",
+        claim=CLAIM,
+        columns=COLUMNS,
+        group_by=("topology", "T_c"),
+        spec=ScenarioSpec(topology=("ring", ...), horizon=400.0, seeds=(1,)),
+    )
+    def run_safety(*, seed: int = 1, ...): ...
+
+The decorator records the function plus its metadata and returns it
+unchanged, so the module's public ``run_*`` API is exactly what it was
+before the registry existed.  Consumers (`Runner`, the CLI, benchmarks)
+look scenarios up by name; :func:`ensure_registered` lazily imports
+:mod:`repro.experiments` so lookups work in any process — including
+process-pool workers that have imported nothing but this package.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.scenarios.spec import ScenarioSpec
+
+RunFunction = Callable[..., List[Dict[str, object]]]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A registered sweep: metadata plus the function that executes one seed."""
+
+    name: str
+    title: str
+    claim: str
+    columns: Tuple[str, ...]
+    spec: ScenarioSpec
+    run: RunFunction
+    group_by: Tuple[str, ...] = ()
+    seed_param: str = "seed"
+    experiment: str = field(default="")
+
+    def __post_init__(self) -> None:
+        if not self.experiment:
+            # "e4b" belongs to experiment "e4"; "e1" to itself.
+            object.__setattr__(self, "experiment", self.name.rstrip("abcdefgh") or self.name)
+
+    def kwargs_for(self, seed: int, overrides: Optional[dict] = None) -> Dict[str, object]:
+        """The full keyword set for one seed of this scenario."""
+        kwargs: Dict[str, object] = dict(self.spec.params)
+        if overrides:
+            kwargs.update(overrides)
+        kwargs[self.seed_param] = seed
+        return kwargs
+
+
+_REGISTRY: Dict[str, Scenario] = {}
+_BOOTSTRAPPED = False
+
+
+def register_scenario(
+    name: str,
+    *,
+    title: str,
+    claim: str,
+    columns: Sequence[str],
+    spec: ScenarioSpec,
+    group_by: Sequence[str] = (),
+    seed_param: str = "seed",
+    experiment: str = "",
+) -> Callable[[RunFunction], RunFunction]:
+    """Class-style decorator registering ``fn`` as scenario ``name``.
+
+    Re-registration under the same name replaces the entry (so module
+    reloads in interactive sessions behave sanely) but a *different*
+    function colliding with an existing name is a configuration error.
+    """
+
+    def decorator(fn: RunFunction) -> RunFunction:
+        existing = _REGISTRY.get(name)
+        if existing is not None and existing.run.__qualname__ != fn.__qualname__:
+            raise ValueError(
+                f"scenario {name!r} already registered by {existing.run.__qualname__}"
+            )
+        _REGISTRY[name] = Scenario(
+            name=name,
+            title=title,
+            claim=claim,
+            columns=tuple(columns),
+            spec=spec,
+            run=fn,
+            group_by=tuple(group_by),
+            seed_param=seed_param,
+            experiment=experiment,
+        )
+        return fn
+
+    return decorator
+
+
+def ensure_registered() -> None:
+    """Import the experiment modules so their decorators have run.
+
+    Idempotent and cheap after the first call; the import is deferred to
+    here (not module import time) to keep ``repro.scenarios`` free of a
+    circular dependency on :mod:`repro.experiments`.
+    """
+    global _BOOTSTRAPPED
+    if _BOOTSTRAPPED:
+        return
+    import repro.experiments  # noqa: F401  (side effect: registration)
+
+    _BOOTSTRAPPED = True
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look up a scenario by registry name."""
+    ensure_registered()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY)) or "(none)"
+        raise KeyError(f"unknown scenario {name!r}; registered: {known}") from None
+
+
+def all_scenarios() -> List[Scenario]:
+    """Every registered scenario, in registration order."""
+    ensure_registered()
+    return list(_REGISTRY.values())
+
+
+def scenario_names() -> List[str]:
+    """Registry names, in registration order."""
+    return [scenario.name for scenario in all_scenarios()]

@@ -1,0 +1,277 @@
+"""Seed-sweep execution: serial, process-parallel, and cached.
+
+The :class:`Runner` turns a registered scenario name into rows:
+
+* resolves the scenario and merges any per-call parameter overrides;
+* answers each seed from the spec-hash cache when allowed;
+* executes the remaining seeds — through a
+  :class:`concurrent.futures.ProcessPoolExecutor` when ``jobs > 1``,
+  falling back to the serial path whenever a pool cannot be built or
+  fed (sandboxed interpreters, unpicklable payloads);
+* returns a :class:`RunResult` whose ``rows`` are in seed order and
+  therefore identical for any job count.
+
+Workers receive only ``(scenario name, kwargs, seed)`` — they rebuild
+everything else from the registry, which
+:func:`repro.scenarios.registry.ensure_registered` repopulates on first
+lookup in any process.  :func:`map_seeds` exposes the same dispatch for
+arbitrary run functions, which is how
+:func:`repro.experiments.replication.replicate` parallelizes without
+being scenario-aware.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.scenarios.aggregate import aggregate_columns, aggregate_rows
+from repro.scenarios.cache import ResultCache
+from repro.scenarios.registry import Scenario, get_scenario
+from repro.scenarios.spec import ScenarioSpec
+
+Rows = List[Dict[str, object]]
+
+# Failures that mean "this environment / payload cannot use a process
+# pool", as opposed to a genuine error inside the scenario itself.
+_POOL_FAILURES = (BrokenProcessPool, OSError, PermissionError, pickle.PicklingError)
+
+
+def _execute_seed(name: str, kwargs: Dict[str, object], seed: int) -> Tuple[Rows, float]:
+    """Pool worker: run one seed of a registered scenario."""
+    scenario = get_scenario(name)
+    call = dict(kwargs)
+    call[scenario.seed_param] = seed
+    started = time.perf_counter()
+    rows = scenario.run(**call)
+    return rows, time.perf_counter() - started
+
+
+def _call_seeded(run_fn, kwargs: Dict[str, object], seed_param: str, seed: int) -> Rows:
+    """Pool worker for :func:`map_seeds` over an arbitrary function."""
+    call = dict(kwargs)
+    call[seed_param] = seed
+    return run_fn(**call)
+
+
+def _picklable(*objects: object) -> bool:
+    try:
+        for obj in objects:
+            pickle.dumps(obj)
+    except Exception:
+        return False
+    return True
+
+
+def map_seeds(
+    run_fn,
+    *,
+    seeds: Iterable[int],
+    kwargs: Optional[dict] = None,
+    seed_param: str = "seed",
+    jobs: int = 1,
+) -> List[Rows]:
+    """Run ``run_fn`` once per seed; one row list per seed, in seed order.
+
+    With ``jobs > 1`` the seeds fan out over a process pool; anything
+    that prevents that (unpicklable function, no subprocess support)
+    silently degrades to the serial path — the results are identical
+    either way, only the wall clock differs.
+    """
+    seed_list = list(seeds)
+    kwargs = dict(kwargs or {})
+    if jobs > 1 and len(seed_list) > 1 and _picklable(run_fn, kwargs):
+        try:
+            with ProcessPoolExecutor(max_workers=min(jobs, len(seed_list))) as pool:
+                futures = [
+                    pool.submit(_call_seeded, run_fn, kwargs, seed_param, seed)
+                    for seed in seed_list
+                ]
+                return [future.result() for future in futures]
+        except _POOL_FAILURES:
+            pass
+    results: List[Rows] = []
+    for seed in seed_list:
+        call = dict(kwargs)
+        call[seed_param] = seed
+        results.append(run_fn(**call))
+    return results
+
+
+@dataclass(frozen=True)
+class SeedResult:
+    """Rows of one seed, plus how they were obtained."""
+
+    seed: int
+    rows: Rows
+    cached: bool
+    elapsed: float
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Structured outcome of one scenario sweep."""
+
+    scenario: str
+    title: str
+    claim: str
+    columns: Tuple[str, ...]
+    group_by: Tuple[str, ...]
+    spec: ScenarioSpec
+    seed_results: List[SeedResult] = field(default_factory=list)
+
+    @property
+    def seeds(self) -> Tuple[int, ...]:
+        return tuple(result.seed for result in self.seed_results)
+
+    @property
+    def rows(self) -> Rows:
+        """All rows, concatenated in seed order (deterministic)."""
+        rows: Rows = []
+        for result in self.seed_results:
+            rows.extend(result.rows)
+        return rows
+
+    def rows_for(self, seed: int) -> Rows:
+        for result in self.seed_results:
+            if result.seed == seed:
+                return result.rows
+        raise KeyError(f"seed {seed} not part of this run")
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for result in self.seed_results if result.cached)
+
+    @property
+    def elapsed(self) -> float:
+        """Total compute time across seeds (cache hits count as zero)."""
+        return sum(result.elapsed for result in self.seed_results)
+
+    def aggregate(self, group_by: Optional[Sequence[str]] = None) -> Rows:
+        """Mean/min/max aggregation across seeds (replication-style)."""
+        columns = tuple(group_by) if group_by is not None else self.group_by
+        if not columns:
+            raise ValueError(
+                f"scenario {self.scenario!r} declares no group_by columns; "
+                "pass group_by= explicitly"
+            )
+        return aggregate_rows((r.rows for r in self.seed_results), group_by=columns)
+
+    def aggregate_table_columns(self, aggregated: Rows) -> Tuple[str, ...]:
+        """Display columns matching :meth:`aggregate` output."""
+        return aggregate_columns(self.columns, self.group_by, aggregated)
+
+
+class Runner:
+    """Executes registered scenarios: seed sweeps, caching, parallelism."""
+
+    def __init__(
+        self,
+        *,
+        jobs: int = 1,
+        use_cache: bool = True,
+        cache_dir=None,
+    ) -> None:
+        self.jobs = max(1, int(jobs))
+        self.use_cache = use_cache
+        self.cache = ResultCache(cache_dir)
+
+    def run(
+        self,
+        name: str,
+        *,
+        seeds: Optional[Iterable[int]] = None,
+        overrides: Optional[dict] = None,
+    ) -> RunResult:
+        scenario = get_scenario(name)
+        seed_list = [int(s) for s in (seeds if seeds is not None else scenario.spec.seeds)]
+        if not seed_list:
+            raise ValueError(f"scenario {name!r} needs at least one seed")
+        effective = scenario.spec.with_seeds(seed_list)
+        if overrides:
+            effective = effective.with_overrides(**overrides)
+        kwargs = dict(effective.params)
+
+        cached: Dict[int, Rows] = {}
+        if self.use_cache:
+            for seed in seed_list:
+                hit = self.cache.load(name, effective.fingerprint(scenario=name, seed=seed))
+                if hit is not None:
+                    cached[seed] = hit
+
+        pending = [seed for seed in seed_list if seed not in cached]
+        computed = self._execute(scenario, kwargs, pending)
+
+        if self.use_cache:
+            for seed in pending:
+                rows, _ = computed[seed]
+                if _json_faithful(rows):
+                    self.cache.store(
+                        name, effective.fingerprint(scenario=name, seed=seed), rows
+                    )
+
+        seed_results = []
+        for seed in seed_list:
+            if seed in cached:
+                seed_results.append(SeedResult(seed, cached[seed], True, 0.0))
+            else:
+                rows, elapsed = computed[seed]
+                seed_results.append(SeedResult(seed, rows, False, elapsed))
+        return RunResult(
+            scenario=name,
+            title=scenario.title,
+            claim=scenario.claim,
+            columns=scenario.columns,
+            group_by=scenario.group_by,
+            spec=effective,
+            seed_results=seed_results,
+        )
+
+    def _execute(
+        self, scenario: Scenario, kwargs: Dict[str, object], seeds: Sequence[int]
+    ) -> Dict[int, Tuple[Rows, float]]:
+        if not seeds:
+            return {}
+        if self.jobs > 1 and len(seeds) > 1 and _picklable(kwargs):
+            try:
+                with ProcessPoolExecutor(max_workers=min(self.jobs, len(seeds))) as pool:
+                    futures = {
+                        seed: pool.submit(_execute_seed, scenario.name, kwargs, seed)
+                        for seed in seeds
+                    }
+                    return {seed: future.result() for seed, future in futures.items()}
+            except _POOL_FAILURES:
+                pass
+        return {seed: _execute_seed(scenario.name, kwargs, seed) for seed in seeds}
+
+
+def _json_faithful(rows: Rows) -> bool:
+    """True when rows survive a JSON round trip unchanged (safe to cache)."""
+    try:
+        return json.loads(json.dumps(rows)) == rows
+    except (TypeError, ValueError):
+        return False
+
+
+def run_scenario(
+    name: str,
+    *,
+    seeds: Optional[Iterable[int]] = None,
+    jobs: int = 1,
+    use_cache: bool = True,
+    cache_dir=None,
+    overrides: Optional[dict] = None,
+) -> RunResult:
+    """One-call convenience over :class:`Runner`."""
+    runner = Runner(jobs=jobs, use_cache=use_cache, cache_dir=cache_dir)
+    return runner.run(name, seeds=seeds, overrides=overrides)
+
+
+def run_scenario_rows(name: str, **overrides: object) -> Rows:
+    """Rows of a scenario's default sweep (the experiment ``main()`` path)."""
+    return run_scenario(name, overrides=overrides or None).rows

@@ -1,0 +1,101 @@
+"""Declarative scenario specifications.
+
+A :class:`ScenarioSpec` is the *description* of a sweep — which
+topologies, which detector family, what crash/latency/workload regime,
+how long, and over which seeds — divorced from the code that executes
+it.  Specs are frozen, canonically serializable (:meth:`canonical`), and
+content-hashable (:meth:`fingerprint`), which is what makes the result
+cache and the process-pool dispatch in :mod:`repro.scenarios.runner`
+possible: a worker process needs nothing but the registry name and a
+params dict to reproduce a run, and a cache entry is valid exactly as
+long as the canonical form matches.
+
+Specs do not interpret their descriptive fields (``topology``,
+``detector``, …) — the registered run function does, through its own
+keyword defaults and the ``params`` mapping.  The descriptive fields
+exist so the registry can be *listed* meaningfully (``repro experiments
+--list``) and so future schedulers can shard on them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field, replace
+from typing import Dict, Mapping, Tuple
+
+from repro import __version__
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """Declarative description of one registered sweep.
+
+    ``params`` holds the extra keyword arguments handed to the run
+    function (beyond the seed); everything else is descriptive metadata
+    that the runner, cache, and CLI listing use.  Values in ``params``
+    must be JSON-serializable scalars/lists/dicts so the spec stays
+    hashable and process-portable.
+    """
+
+    topology: Tuple[str, ...] = ()
+    detector: str = "scripted"
+    crashes: str = "none"
+    latency: str = "zero"
+    workload: str = "always-hungry"
+    horizon: float = 0.0
+    seeds: Tuple[int, ...] = (1,)
+    params: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        # Normalize mutable inputs so equality and hashing are stable.
+        object.__setattr__(self, "topology", tuple(self.topology))
+        object.__setattr__(self, "seeds", tuple(int(s) for s in self.seeds))
+        object.__setattr__(self, "params", dict(self.params))
+
+    def with_overrides(self, **params: object) -> "ScenarioSpec":
+        """A copy with ``params`` merged over this spec's params."""
+        merged = dict(self.params)
+        merged.update(params)
+        return replace(self, params=merged)
+
+    def with_seeds(self, seeds) -> "ScenarioSpec":
+        """A copy sweeping ``seeds`` instead of the default list."""
+        return replace(self, seeds=tuple(int(s) for s in seeds))
+
+    def canonical(self) -> Dict[str, object]:
+        """JSON-ready canonical form (stable key order, plain types)."""
+        return {
+            "topology": list(self.topology),
+            "detector": self.detector,
+            "crashes": self.crashes,
+            "latency": self.latency,
+            "workload": self.workload,
+            "horizon": self.horizon,
+            "seeds": list(self.seeds),
+            "params": {key: self.params[key] for key in sorted(self.params)},
+        }
+
+    def fingerprint(self, *, scenario: str = "", seed: object = None) -> str:
+        """Content hash of this spec (optionally scoped to one seed).
+
+        The package version is folded in so a cache populated by one
+        release is never trusted by another.
+        """
+        payload = {
+            "version": __version__,
+            "scenario": scenario,
+            "seed": seed,
+            "spec": self.canonical(),
+        }
+        encoded = json.dumps(payload, sort_keys=True, default=str).encode("utf-8")
+        return hashlib.sha256(encoded).hexdigest()
+
+    def describe(self) -> str:
+        """One-line summary for registry listings."""
+        topo = ",".join(self.topology) if self.topology else "-"
+        return (
+            f"topology={topo} detector={self.detector} crashes={self.crashes} "
+            f"latency={self.latency} workload={self.workload} "
+            f"horizon={self.horizon:g} seeds={list(self.seeds)}"
+        )

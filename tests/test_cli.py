@@ -99,6 +99,46 @@ class TestExperiments:
         assert "E6 — Bounded space" in out
         assert "E1 —" not in out
 
+    def test_only_family_selects_variants(self, capsys):
+        code = main(["experiments", "--only", "e4", "--list"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "e4 " in out
+        assert "e4b" in out
+
+    def test_empty_seeds_exits_two(self, capsys):
+        code = main(["experiments", "--only", "e6", "--seeds"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "at least one seed" in err
+
+    def test_unknown_only_exits_two(self, capsys):
+        code = main(["experiments", "--only", "e99"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "unknown experiment" in err
+        assert "e1" in err
+
+    def test_list_enumerates_registry_in_order(self, capsys):
+        code = main(["experiments", "--list"])
+        out = capsys.readouterr().out
+        assert code == 0
+        names = [line.split()[0] for line in out.splitlines() if line and not line.startswith(" ")]
+        assert names == [
+            "e1", "e2", "e3", "e4", "e4b", "e5", "e6",
+            "e7", "e7b", "e8", "e8b", "e9", "e10",
+        ]
+
+    def test_seed_sweep_prints_aggregated_table(self, capsys):
+        code = main([
+            "experiments", "--only", "e6", "--seeds", "0", "1",
+            "--jobs", "2", "--no-cache",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "aggregated over 2 seeds" in out
+        assert "replicates" in out
+
 
 class TestVerify:
     def test_clean_verdict_exits_zero(self, capsys):

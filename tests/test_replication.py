@@ -40,6 +40,17 @@ class TestReplicate:
         with pytest.raises(ValueError):
             replicate(fake_experiment, seeds=[], group_by=("group",))
 
+    def test_misspelled_group_column_rejected(self):
+        with pytest.raises(ValueError, match="grp"):
+            replicate(fake_experiment, seeds=[1], group_by=("grp",))
+
+    def test_parallel_jobs_match_serial(self):
+        serial = replicate(fake_experiment, seeds=[1, 2, 3], group_by=("group",))
+        parallel = replicate(
+            fake_experiment, seeds=[1, 2, 3], group_by=("group",), jobs=2
+        )
+        assert serial == parallel
+
     def test_columns_for(self):
         cols = columns_for(("g",), ("v",), stats=("mean", "max"))
         assert cols == ("g", "replicates", "v_mean", "v_max")
