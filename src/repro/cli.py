@@ -1,23 +1,33 @@
 """Command-line interface.
 
-Three subcommands::
+Subcommands::
 
     repro dine --topology ring --n 8 --crashes 2 --horizon 300 --timeline
     repro daemon --protocol coloring --topology grid --n 12 --crashes 2
     repro experiments --only e1 e3 e9 --seeds 0 1 2 3 --jobs 4
+    repro report e1 --seeds 1 2 3 --json report.json
+    repro verify --topology ring --n 3
 
 (or ``python -m repro …``).  ``dine`` runs one dining scenario and prints
-the guarantee scorecard (plus an ASCII timeline on request); ``daemon``
-hosts a self-stabilizing protocol; ``experiments`` runs registered
-scenarios from :mod:`repro.scenarios` — ``--list`` enumerates them,
-``--seeds`` replicates across seeds (printing the aggregated table),
-``--jobs`` fans seeds out over worker processes, and ``--no-cache``
-bypasses the ``.repro_cache/`` result cache.
+the guarantee scorecard (plus an ASCII timeline on request, and a wait
+diagnosis for any starving diner); ``daemon`` hosts a self-stabilizing
+protocol; ``experiments`` runs registered scenarios from
+:mod:`repro.scenarios` — ``--list`` enumerates them, ``--seeds``
+replicates across seeds (printing the aggregated table), ``--jobs`` fans
+seeds out over worker processes, ``--no-cache`` bypasses the
+``.repro_cache/`` result cache, and ``--cache-stats`` prints its
+hit/miss/byte tallies; ``report`` runs (or replays from cache) a
+scenario with metrics collection on and prints the run report —
+quiescence curve, last-violation time, channel-bound peak, kernel
+hotspots.  ``dine``, ``daemon``, ``experiments``, and ``report`` accept
+``--metrics PATH`` to dump the raw metrics snapshot (JSON, or Prometheus
+text exposition when the path ends in ``.prom``).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional, Sequence
 
@@ -71,6 +81,28 @@ def _crash_plan(graph, crashes: int, horizon: float, seed: int) -> CrashPlan:
     )
 
 
+def _metrics_registry(args: argparse.Namespace):
+    """A fresh registry when ``--metrics`` was given, else None."""
+    if not getattr(args, "metrics", None):
+        return None
+    from repro.obs import MetricsRegistry
+
+    return MetricsRegistry()
+
+
+def _write_metrics(snapshot: dict, path: str) -> None:
+    """Dump a metrics snapshot: Prometheus text for ``*.prom``, else JSON."""
+    if path.endswith(".prom"):
+        from repro.obs import render_prometheus
+
+        payload = render_prometheus(snapshot)
+    else:
+        payload = json.dumps(snapshot, indent=2, sort_keys=True) + "\n"
+    with open(path, "w", encoding="utf-8") as stream:
+        stream.write(payload)
+    print(f"  metrics written:       {path}")
+
+
 # ----------------------------------------------------------------------
 # dine
 # ----------------------------------------------------------------------
@@ -86,6 +118,7 @@ def cmd_dine(args: argparse.Namespace) -> int:
         latency = PartialSynchronyLatency(
             gst=args.convergence or 50.0, min_delay=0.1, pre_gst_max=8.0, post_gst_max=1.0
         )
+    registry = _metrics_registry(args)
     table = DiningTable(
         graph,
         seed=args.seed,
@@ -93,6 +126,7 @@ def cmd_dine(args: argparse.Namespace) -> int:
         crash_plan=crash_plan,
         latency=latency,
         workload=AlwaysHungry(eat_time=args.eat_time, think_time=0.01),
+        metrics=registry,
     )
     table.run(until=args.horizon)
 
@@ -113,6 +147,15 @@ def cmd_dine(args: argparse.Namespace) -> int:
     print(f"  exclusion violations:  {len(violations)} total, {len(late)} after t={settle:g}")
     print(f"  max overtaking (late): {table.max_overtaking(after=settle)}")
     print(f"  peak msgs per edge:    {table.occupancy.max_occupancy} (bound 4)")
+    if registry is not None:
+        _write_metrics(registry.snapshot(), args.metrics)
+
+    if starving:
+        from repro.core.diagnostics import explain_starvation
+
+        print()
+        for pid in starving:
+            print(explain_starvation(table, pid))
 
     if args.timeline:
         print()
@@ -148,12 +191,14 @@ def cmd_daemon(args: argparse.Namespace) -> int:
         protocol = _build_protocol(args.protocol, graph)
 
     crash_plan = _crash_plan(graph, args.crashes, args.horizon, args.seed)
+    registry = _metrics_registry(args)
     daemon = DistributedDaemon(
         graph,
         protocol,
         seed=args.seed,
         detector=_build_detector(args.detector, args.convergence),
         crash_plan=crash_plan,
+        metrics=registry,
     )
     daemon.run(until=args.horizon)
 
@@ -164,6 +209,8 @@ def cmd_daemon(args: argparse.Namespace) -> int:
     converged = daemon.converged()
     when = daemon.convergence_time()
     print(f"  converged:           {converged}" + (f" (since t≈{when:.1f})" if converged else ""))
+    if registry is not None:
+        _write_metrics(registry.snapshot(), args.metrics)
     return 0 if converged else 1
 
 
@@ -208,7 +255,10 @@ def cmd_experiments(args: argparse.Namespace) -> int:
             print(f"      {scenario.spec.describe()}")
         return 0
 
-    runner = Runner(jobs=args.jobs, use_cache=not args.no_cache)
+    runner = Runner(
+        jobs=args.jobs, use_cache=not args.no_cache, collect_metrics=bool(args.metrics)
+    )
+    snapshots = []
     for scenario in selected:
         result = runner.run(scenario.name, seeds=args.seeds)
         if len(result.seeds) > 1:
@@ -218,7 +268,60 @@ def cmd_experiments(args: argparse.Namespace) -> int:
             print_experiment(title, scenario.claim, aggregated, columns)
         else:
             print_experiment(scenario.title, scenario.claim, result.rows, scenario.columns)
+        if args.metrics:
+            merged = result.merged_metrics()
+            if merged is not None:
+                snapshots.append(merged)
+    if args.metrics:
+        from repro.obs import merge_snapshots
+
+        if snapshots:
+            _write_metrics(merge_snapshots(snapshots), args.metrics)
+        else:
+            print("no metrics collected (nothing ran?)", file=sys.stderr)
+    if args.cache_stats:
+        print(runner.cache_stats.describe())
     return 0
+
+
+# ----------------------------------------------------------------------
+# report
+# ----------------------------------------------------------------------
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.obs import build_report, render_report_text
+    from repro.scenarios import Runner, scenario_names
+
+    known = scenario_names()
+    if args.scenario not in known:
+        print(
+            f"unknown scenario {args.scenario!r}; known: {', '.join(sorted(known))}",
+            file=sys.stderr,
+        )
+        return 2
+
+    runner = Runner(jobs=args.jobs, use_cache=not args.no_cache, collect_metrics=True)
+    result = runner.run(args.scenario, seeds=args.seeds)
+    report = build_report(result, top=args.top, bound=args.bound)
+    print(render_report_text(report))
+    if args.cache_stats:
+        print()
+        print(runner.cache_stats.describe())
+
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as stream:
+            json.dump(report, stream, indent=2, sort_keys=True)
+            stream.write("\n")
+        print(f"\nreport written: {args.json}")
+    if args.prom:
+        from repro.obs import render_prometheus
+
+        merged = result.merged_metrics()
+        if merged is not None:
+            with open(args.prom, "w", encoding="utf-8") as stream:
+                stream.write(render_prometheus(merged))
+            print(f"metrics written: {args.prom}")
+
+    return 0 if report["summary"].get("channel_bound_ok", True) else 1
 
 
 # ----------------------------------------------------------------------
@@ -278,6 +381,9 @@ def build_parser() -> argparse.ArgumentParser:
     dine.add_argument("--timeline", action="store_true", help="print an ASCII timeline")
     dine.add_argument("--timeline-span", type=float, default=120.0)
     dine.add_argument("--width", type=int, default=100)
+    dine.add_argument("--metrics", metavar="PATH",
+                      help="write the run's metrics snapshot (JSON, or Prometheus "
+                           "text if PATH ends in .prom)")
     dine.set_defaults(func=cmd_dine)
 
     daemon = sub.add_parser("daemon", help="schedule a self-stabilizing protocol")
@@ -289,6 +395,9 @@ def build_parser() -> argparse.ArgumentParser:
     daemon.add_argument("--detector", choices=DETECTORS, default="scripted")
     daemon.add_argument("--convergence", type=float, default=20.0)
     daemon.add_argument("--horizon", type=float, default=400.0)
+    daemon.add_argument("--metrics", metavar="PATH",
+                        help="write the run's metrics snapshot (JSON, or Prometheus "
+                             "text if PATH ends in .prom)")
     daemon.set_defaults(func=cmd_daemon)
 
     experiments = sub.add_parser("experiments", help="reproduce the paper's claim tables")
@@ -304,7 +413,33 @@ def build_parser() -> argparse.ArgumentParser:
                              help="bypass the .repro_cache/ result cache")
     experiments.add_argument("--list", action="store_true", dest="list_scenarios",
                              help="list registered scenarios instead of running them")
+    experiments.add_argument("--metrics", metavar="PATH",
+                             help="collect metrics and write the merged snapshot "
+                                  "(JSON, or Prometheus text if PATH ends in .prom)")
+    experiments.add_argument("--cache-stats", action="store_true", dest="cache_stats",
+                             help="print result-cache hit/miss/byte tallies at the end")
     experiments.set_defaults(func=cmd_experiments)
+
+    report = sub.add_parser(
+        "report", help="run one scenario with metrics on and print the run report"
+    )
+    report.add_argument("scenario", help="registered scenario name, e.g. e1")
+    report.add_argument("--seeds", type=int, nargs="*", metavar="S",
+                        help="override the scenario's seed list")
+    report.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for seed sweeps (default 1: serial)")
+    report.add_argument("--no-cache", action="store_true",
+                        help="bypass the .repro_cache/ result cache")
+    report.add_argument("--top", type=int, default=5, metavar="N",
+                        help="kernel hotspots to show (default 5)")
+    report.add_argument("--bound", type=int, default=4,
+                        help="per-edge dining channel bound to assert (default 4)")
+    report.add_argument("--json", metavar="PATH", help="also write the report as JSON")
+    report.add_argument("--prom", metavar="PATH",
+                        help="also write merged metrics as Prometheus text exposition")
+    report.add_argument("--cache-stats", action="store_true", dest="cache_stats",
+                        help="print result-cache hit/miss/byte tallies")
+    report.set_defaults(func=cmd_report)
 
     verify = sub.add_parser(
         "verify", help="exhaustively explore every schedule of a small scope"

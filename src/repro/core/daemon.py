@@ -70,6 +70,8 @@ class DistributedDaemon:
         step_time: Duration = 0.5,
         think_time: Duration = 0.01,
         check_invariants: bool = True,
+        trace=None,
+        metrics=None,
     ) -> None:
         self.protocol = protocol
         self.fault_on_violation = fault_on_violation
@@ -89,6 +91,8 @@ class DistributedDaemon:
             diner_factory=diner_factory,
             on_eat=self._on_eat,
             check_invariants=check_invariants,
+            trace=trace,
+            metrics=metrics,
         )
         self._rng = self.table.sim.streams.stream("daemon-violations")
 

@@ -41,6 +41,8 @@ from repro.detectors.scripted import MistakeInterval, ScriptedDetector
 from repro.errors import ConfigurationError
 from repro.graphs.coloring import Coloring, greedy_coloring, validate_coloring
 from repro.graphs.conflict import ConflictGraph, ProcessId
+from repro.obs.context import active_registry
+from repro.obs.instrument import instrument_table
 from repro.sim.crash import CrashPlan
 from repro.sim.kernel import Simulator
 from repro.sim.latency import FixedLatency, LatencyModel
@@ -214,6 +216,8 @@ class DiningTable:
         check_invariants: bool = True,
         channel_bound: int = 4,
         max_events: int = 50_000_000,
+        trace: Optional[TraceRecorder] = None,
+        metrics=None,
     ) -> None:
         self.graph = graph
         self.crash_plan = crash_plan if crash_plan is not None else CrashPlan.none()
@@ -222,7 +226,7 @@ class DiningTable:
                 raise ConfigurationError(f"crash plan mentions unknown process {pid}")
 
         self.sim = Simulator(seed=seed, max_events=max_events)
-        self.trace = TraceRecorder()
+        self.trace = trace if trace is not None else TraceRecorder()
         self.network = Network(self.sim, latency=latency or FixedLatency(1.0))
 
         self.coloring = coloring if coloring is not None else greedy_coloring(graph)
@@ -240,6 +244,16 @@ class DiningTable:
         self.network.add_monitor(self.occupancy)
         self.network.add_monitor(self.message_stats)
         self.network.add_monitor(self.quiescence)
+
+        # Observability: an explicit registry wins; otherwise join the
+        # ambient ``repro.obs.collecting`` block when one is active.
+        registry = metrics if metrics is not None else active_registry()
+        self.metrics = registry
+        self.instrumentation = (
+            instrument_table(self, registry, bound=channel_bound)
+            if registry is not None
+            else None
+        )
 
         make_diner = diner_factory if diner_factory is not None else DinerActor
         self.diners: Dict[ProcessId, DinerActor] = {}

@@ -1,0 +1,65 @@
+"""Observability: metrics, profiling, and run reports.
+
+The measurement substrate over the simulator and scenario runner:
+
+* :mod:`repro.obs.metrics` — sim-time-aware :class:`Counter` /
+  :class:`Gauge` / :class:`Histogram` in a per-run
+  :class:`MetricsRegistry`, plus snapshot querying and merging;
+* :mod:`repro.obs.context` — ambient collection
+  (``with collecting(): …``) that any :class:`~repro.core.table.DiningTable`
+  built inside the block joins automatically;
+* :mod:`repro.obs.instrument` — the probes wired into the kernel,
+  network, diners/detectors, and quiescence monitor;
+* :mod:`repro.obs.profile` — the wall-clock kernel profiler behind the
+  hotspot tables;
+* :mod:`repro.obs.report` — run-report building and JSON / text /
+  Prometheus rendering (the ``repro report`` command).
+
+See ``docs/OBSERVABILITY.md`` for metric names and label conventions.
+"""
+
+from repro.obs.context import active_registry, collecting
+from repro.obs.instrument import Instrumentation, instrument_table
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    counter_by_label,
+    counter_total,
+    gauge_max,
+    gauge_max_time,
+    merge_snapshots,
+)
+from repro.obs.profile import KernelProfiler
+from repro.obs.report import (
+    build_report,
+    hotspots,
+    quiescence_curve,
+    render_prometheus,
+    render_report_text,
+    summarize_snapshot,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Instrumentation",
+    "KernelProfiler",
+    "MetricsRegistry",
+    "active_registry",
+    "build_report",
+    "collecting",
+    "counter_by_label",
+    "counter_total",
+    "gauge_max",
+    "gauge_max_time",
+    "hotspots",
+    "instrument_table",
+    "merge_snapshots",
+    "quiescence_curve",
+    "render_prometheus",
+    "render_report_text",
+    "summarize_snapshot",
+]

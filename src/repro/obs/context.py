@@ -1,0 +1,42 @@
+"""Ambient metrics collection.
+
+Experiment run functions build their own :class:`DiningTable` objects
+deep inside library code, so threading a registry argument through every
+call chain would touch every experiment.  Instead, collection is
+ambient: ``with collecting() as registry: …`` installs a registry that
+:class:`~repro.core.table.DiningTable` picks up automatically, so any
+simulation constructed inside the block is instrumented — the same
+pattern as profilers and tracers everywhere.
+
+The stack is per-process module state, which is exactly right for this
+codebase: simulations are single-threaded, and process-pool workers each
+get their own interpreter (the scenario runner opens a ``collecting``
+block inside the worker).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, List, Optional
+
+from repro.obs.metrics import MetricsRegistry
+
+_STACK: List[MetricsRegistry] = []
+
+
+def active_registry() -> Optional[MetricsRegistry]:
+    """The innermost collecting registry, or None when collection is off."""
+    return _STACK[-1] if _STACK else None
+
+
+@contextmanager
+def collecting(
+    registry: Optional[MetricsRegistry] = None, *, profile: bool = True
+) -> Iterator[MetricsRegistry]:
+    """Collect metrics from every simulation built inside the block."""
+    own = registry if registry is not None else MetricsRegistry(profile=profile)
+    _STACK.append(own)
+    try:
+        yield own
+    finally:
+        _STACK.pop()

@@ -1,0 +1,398 @@
+"""Sim-time-aware metrics primitives and the per-run registry.
+
+The paper's guarantees are quantitative *and* temporal — at most 4
+dining messages in transit per edge, ◇WX's "no violations after some
+time", quiescence toward crashed neighbors — so the instruments here
+carry virtual time alongside values:
+
+* :class:`Counter` — monotonically increasing total (messages sent,
+  meals, suspicions).
+* :class:`Gauge` — instantaneous level with running min/max, the
+  virtual time of the max, and a time-weighted average (in-transit
+  occupancy, queue depth).
+* :class:`Histogram` — geometric-bucket distribution with exact
+  count/sum/min/max (post-crash send times, event costs).
+
+A :class:`MetricsRegistry` owns one family per ``(kind, name, labels)``
+triple, renders everything into a plain-dict :meth:`snapshot` (JSON- and
+pickle-safe, so snapshots travel through the result cache and process
+pools), and merges snapshots across seeds with :func:`merge_snapshots`.
+Instruments are deliberately free of locks and callbacks: all simulation
+code is single-threaded per run, and the registry is per-run.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+#: Geometric bucket upper bounds covering both sub-second wall-clock
+#: costs and multi-thousand-unit virtual times.  The trailing +inf
+#: bucket is implicit.
+DEFAULT_BUCKETS: Tuple[float, ...] = tuple(
+    round(mantissa * 10.0**exponent, 6)
+    for exponent in range(-6, 7)
+    for mantissa in (1.0, 2.5, 5.0)
+)
+
+
+def _label_key(labels: Mapping[str, object]) -> LabelKey:
+    """Canonical, hashable, order-independent form of a label set."""
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """Monotonically increasing total."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelKey = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease (inc {amount})")
+        self.value += amount
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"name": self.name, "labels": dict(self.labels), "value": self.value}
+
+
+class Gauge:
+    """Instantaneous level, aware of virtual time.
+
+    ``set(value, time)`` updates the level and, when a time is given,
+    accumulates the time-weighted integral so :meth:`time_average`
+    reports mean occupancy over the observed window.  The running max
+    remembers *when* it was reached (``max_time``) — that instant is the
+    paper's "last violation" / "peak congestion" witness.
+    """
+
+    __slots__ = (
+        "name", "labels", "value", "max", "min", "max_time",
+        "_integral", "_first_time", "_last_time",
+    )
+
+    def __init__(self, name: str, labels: LabelKey = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.value: float = 0.0
+        self.max: Optional[float] = None
+        self.min: Optional[float] = None
+        self.max_time: Optional[float] = None
+        self._integral: float = 0.0
+        self._first_time: Optional[float] = None
+        self._last_time: Optional[float] = None
+
+    def set(self, value: float, time: Optional[float] = None) -> None:
+        if time is not None:
+            if self._last_time is None:
+                self._first_time = time
+            elif time > self._last_time:
+                self._integral += self.value * (time - self._last_time)
+            self._last_time = max(time, self._last_time or time)
+        self.value = value
+        if self.max is None or value > self.max:
+            self.max = value
+            self.max_time = time if time is not None else self.max_time
+        if self.min is None or value < self.min:
+            self.min = value
+
+    def inc(self, amount: float = 1.0, time: Optional[float] = None) -> None:
+        self.set(self.value + amount, time)
+
+    def dec(self, amount: float = 1.0, time: Optional[float] = None) -> None:
+        self.set(self.value - amount, time)
+
+    def time_average(self) -> Optional[float]:
+        """Time-weighted mean level, or None before two timed updates."""
+        if self._first_time is None or self._last_time is None:
+            return None
+        span = self._last_time - self._first_time
+        if span <= 0:
+            return float(self.value)
+        return self._integral / span
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "labels": dict(self.labels),
+            "value": self.value,
+            "max": self.max,
+            "min": self.min,
+            "max_time": self.max_time,
+            "time_average": self.time_average(),
+        }
+
+
+class Histogram:
+    """Geometric-bucket distribution with exact count/sum/min/max."""
+
+    __slots__ = ("name", "labels", "bounds", "bucket_counts", "count", "sum", "min", "max")
+
+    def __init__(
+        self,
+        name: str,
+        labels: LabelKey = (),
+        bounds: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        self.name = name
+        self.labels = labels
+        self.bounds: Tuple[float, ...] = tuple(bounds)
+        self.bucket_counts: List[int] = [0] * (len(self.bounds) + 1)  # + overflow
+        self.count = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        self.bucket_counts[self._bucket_index(value)] += 1
+
+    def _bucket_index(self, value: float) -> int:
+        lo, hi = 0, len(self.bounds)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if value <= self.bounds[mid]:
+                hi = mid
+            else:
+                lo = mid + 1
+        return lo
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Approximate quantile: the upper bound of the covering bucket."""
+        if self.count == 0:
+            return None
+        target = max(1, math.ceil(q * self.count))
+        seen = 0
+        for index, bucket_count in enumerate(self.bucket_counts):
+            seen += bucket_count
+            if seen >= target:
+                if index < len(self.bounds):
+                    return min(self.bounds[index], self.max if self.max is not None else self.bounds[index])
+                return self.max
+        return self.max
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "labels": dict(self.labels),
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "bounds": list(self.bounds),
+            "bucket_counts": list(self.bucket_counts),
+        }
+
+
+class MetricsRegistry:
+    """Per-run instrument store.
+
+    One instrument per ``(kind, name, labels)``; asking again returns
+    the same object, so independent components accumulate into shared
+    totals.  ``profile`` advertises whether attached instrumentation
+    should install the wall-clock kernel profiler (the registry itself
+    never touches the kernel).
+    """
+
+    def __init__(self, *, profile: bool = True) -> None:
+        self.profile = profile
+        self._counters: Dict[Tuple[str, LabelKey], Counter] = {}
+        self._gauges: Dict[Tuple[str, LabelKey], Gauge] = {}
+        self._histograms: Dict[Tuple[str, LabelKey], Histogram] = {}
+        self._finalizers: List[Callable[[], None]] = []
+        self._instances: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Instrument access
+    # ------------------------------------------------------------------
+    def counter(self, name: str, **labels: object) -> Counter:
+        key = (name, _label_key(labels))
+        instrument = self._counters.get(key)
+        if instrument is None:
+            instrument = self._counters[key] = Counter(name, key[1])
+        return instrument
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        key = (name, _label_key(labels))
+        instrument = self._gauges.get(key)
+        if instrument is None:
+            instrument = self._gauges[key] = Gauge(name, key[1])
+        return instrument
+
+    def histogram(
+        self, name: str, *, bounds: Sequence[float] = DEFAULT_BUCKETS, **labels: object
+    ) -> Histogram:
+        key = (name, _label_key(labels))
+        instrument = self._histograms.get(key)
+        if instrument is None:
+            instrument = self._histograms[key] = Histogram(name, key[1], bounds)
+        return instrument
+
+    def next_instance(self, kind: str) -> str:
+        """A deterministic per-registry instance tag (``t0``, ``t1`` …).
+
+        Used to scope *live* per-edge gauges to one simulation when a
+        single seed runs several tables back to back, so one table's
+        residual in-flight count can never leak into the next table's
+        live readings.
+        """
+        index = self._instances.get(kind, 0)
+        self._instances[kind] = index + 1
+        return f"{kind[:1]}{index}"
+
+    # ------------------------------------------------------------------
+    # Finalization and snapshots
+    # ------------------------------------------------------------------
+    def add_finalizer(self, finalizer: Callable[[], None]) -> None:
+        """Register a flush hook run at every :meth:`snapshot`.
+
+        Finalizers must be *delta-safe*: snapshotting twice may not
+        double-count (instrumentation flushes only what accrued since
+        its previous flush).
+        """
+        self._finalizers.append(finalizer)
+
+    def finalize(self) -> None:
+        for finalizer in self._finalizers:
+            finalizer()
+
+    def snapshot(self) -> Dict[str, object]:
+        """Plain-dict rendering of every instrument (JSON-faithful)."""
+        self.finalize()
+        return {
+            "counters": [c.as_dict() for _, c in sorted(self._counters.items())],
+            "gauges": [g.as_dict() for _, g in sorted(self._gauges.items())],
+            "histograms": [h.as_dict() for _, h in sorted(self._histograms.items())],
+        }
+
+
+# ----------------------------------------------------------------------
+# Snapshot queries and merging
+# ----------------------------------------------------------------------
+def _match(entry: Mapping[str, object], name: str, labels: Mapping[str, object]) -> bool:
+    if entry.get("name") != name:
+        return False
+    entry_labels = entry.get("labels") or {}
+    return all(entry_labels.get(str(k)) == str(v) for k, v in labels.items())
+
+
+def counter_total(snapshot: Mapping[str, object], name: str, **labels: object) -> float:
+    """Sum of every counter named ``name`` whose labels include ``labels``."""
+    return sum(
+        float(entry["value"])
+        for entry in snapshot.get("counters", ())
+        if _match(entry, name, labels)
+    )
+
+
+def counter_by_label(
+    snapshot: Mapping[str, object], name: str, label: str, **labels: object
+) -> Dict[str, float]:
+    """Totals of counter ``name`` keyed by the value of one label."""
+    totals: Dict[str, float] = {}
+    for entry in snapshot.get("counters", ()):
+        if _match(entry, name, labels):
+            key = (entry.get("labels") or {}).get(label, "")
+            totals[key] = totals.get(key, 0.0) + float(entry["value"])
+    return totals
+
+
+def gauge_entries(
+    snapshot: Mapping[str, object], name: str, **labels: object
+) -> List[Mapping[str, object]]:
+    return [entry for entry in snapshot.get("gauges", ()) if _match(entry, name, labels)]
+
+
+def gauge_max(snapshot: Mapping[str, object], name: str, **labels: object) -> Optional[float]:
+    """Largest ``max`` across every gauge named ``name``."""
+    values = [
+        float(entry["max"])
+        for entry in gauge_entries(snapshot, name, **labels)
+        if entry.get("max") is not None
+    ]
+    return max(values) if values else None
+
+
+def gauge_max_time(snapshot: Mapping[str, object], name: str, **labels: object) -> Optional[float]:
+    """Virtual time at which the overall-max gauge reading happened."""
+    best: Optional[Tuple[float, Optional[float]]] = None
+    for entry in gauge_entries(snapshot, name, **labels):
+        if entry.get("max") is None:
+            continue
+        candidate = (float(entry["max"]), entry.get("max_time"))
+        if best is None or candidate[0] > best[0]:
+            best = candidate
+    if best is None or best[1] is None:
+        return None
+    return float(best[1])
+
+
+def histogram_entries(
+    snapshot: Mapping[str, object], name: str, **labels: object
+) -> List[Mapping[str, object]]:
+    return [entry for entry in snapshot.get("histograms", ()) if _match(entry, name, labels)]
+
+
+def _merge_entry(kind: str, target: Dict[str, object], source: Mapping[str, object]) -> None:
+    if kind == "counters":
+        target["value"] = float(target["value"]) + float(source["value"])
+        return
+    if kind == "gauges":
+        for field, pick in (("max", max), ("min", min)):
+            a, b = target.get(field), source.get(field)
+            target[field] = pick(a, b) if a is not None and b is not None else (a if b is None else b)
+        if source.get("max") is not None and target.get("max") == source.get("max"):
+            target["max_time"] = source.get("max_time")
+        target["value"] = max(float(target.get("value") or 0.0), float(source.get("value") or 0.0))
+        target["time_average"] = None  # not meaningful across runs
+        return
+    # histograms
+    target["count"] = int(target["count"]) + int(source["count"])
+    target["sum"] = float(target["sum"]) + float(source["sum"])
+    for field, pick in (("max", max), ("min", min)):
+        a, b = target.get(field), source.get(field)
+        target[field] = pick(a, b) if a is not None and b is not None else (a if b is None else b)
+    if list(target.get("bounds", ())) == list(source.get("bounds", ())):
+        target["bucket_counts"] = [
+            x + y for x, y in zip(target["bucket_counts"], source["bucket_counts"])
+        ]
+
+
+def merge_snapshots(snapshots: Iterable[Mapping[str, object]]) -> Dict[str, object]:
+    """Combine per-seed snapshots into one cross-run view.
+
+    Counters and histogram populations add; gauges keep the extreme
+    envelope (max of maxes, min of mins, and the witness time of the
+    overall max) — the right semantics for "worst observed anywhere".
+    """
+    merged: Dict[str, object] = {"counters": [], "gauges": [], "histograms": []}
+    index: Dict[Tuple[str, str, LabelKey], Dict[str, object]] = {}
+    for snapshot in snapshots:
+        if not snapshot:
+            continue
+        for kind in ("counters", "gauges", "histograms"):
+            for entry in snapshot.get(kind, ()):
+                key = (kind, str(entry["name"]), _label_key(entry.get("labels") or {}))
+                existing = index.get(key)
+                if existing is None:
+                    clone = dict(entry)
+                    if "bucket_counts" in clone:
+                        clone["bucket_counts"] = list(clone["bucket_counts"])
+                    index[key] = clone
+                    merged[kind].append(clone)
+                else:
+                    _merge_entry(kind, existing, entry)
+    for kind in ("counters", "gauges", "histograms"):
+        merged[kind].sort(key=lambda entry: (entry["name"], sorted((entry.get("labels") or {}).items())))
+    return merged

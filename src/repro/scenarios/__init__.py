@@ -20,7 +20,7 @@ See ``docs/SCENARIOS.md`` for the guided tour.
 """
 
 from repro.scenarios.aggregate import aggregate_columns, aggregate_rows
-from repro.scenarios.cache import DEFAULT_CACHE_DIR, ResultCache, default_cache_dir
+from repro.scenarios.cache import CacheStats, DEFAULT_CACHE_DIR, ResultCache, default_cache_dir
 from repro.scenarios.registry import (
     Scenario,
     all_scenarios,
@@ -40,6 +40,7 @@ from repro.scenarios.runner import (
 from repro.scenarios.spec import ScenarioSpec
 
 __all__ = [
+    "CacheStats",
     "DEFAULT_CACHE_DIR",
     "ResultCache",
     "RunResult",

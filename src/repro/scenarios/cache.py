@@ -3,7 +3,9 @@
 Every (scenario, spec, seed) triple is deterministic, so its rows can be
 memoized: the cache key is the spec fingerprint (which folds in the
 package version, the scenario name, the merged params, and the seed),
-and the value is the row list as JSON.  Entries live under
+and the value is the row list as JSON — plus, when the run collected
+them, the seed's metrics snapshot, so ``repro report`` on a warm cache
+needs no recomputation.  Entries live under
 ``.repro_cache/<scenario>/<hash>.json`` — one file per seed, so growing
 a seed list only pays for the new seeds.
 
@@ -12,6 +14,10 @@ missed: change any parameter (or the package version) and the key
 changes.  Corrupt or unreadable entries are treated as misses.  Writes
 are atomic (tmp file + rename) so parallel sweeps can share a cache
 directory safely.
+
+Every cache instance keeps :class:`CacheStats` — hits, misses, bytes in
+and out — which ``repro experiments --cache-stats`` surfaces instead of
+the historical silent behavior.
 """
 
 from __future__ import annotations
@@ -19,8 +25,9 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 DEFAULT_CACHE_DIR = ".repro_cache"
 _ENV_VAR = "REPRO_CACHE_DIR"
@@ -33,37 +40,86 @@ def default_cache_dir() -> Path:
     return Path(os.environ.get(_ENV_VAR) or DEFAULT_CACHE_DIR)
 
 
+@dataclass
+class CacheStats:
+    """Tallies of one cache instance's traffic."""
+
+    hits: int = 0
+    misses: int = 0
+    bytes_read: int = 0
+    stores: int = 0
+    bytes_written: int = 0
+    root: str = field(default="")
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> Optional[float]:
+        return self.hits / self.lookups if self.lookups else None
+
+    def describe(self) -> str:
+        """One-line summary for CLI output."""
+        rate = f"{self.hit_rate:.0%}" if self.hit_rate is not None else "-"
+        return (
+            f"cache {self.root or default_cache_dir()}: "
+            f"{self.hits} hit(s) / {self.misses} miss(es) ({rate}), "
+            f"{self.bytes_read} B read, {self.stores} store(s), "
+            f"{self.bytes_written} B written"
+        )
+
+
 class ResultCache:
-    """Filesystem-backed memo of per-seed scenario rows."""
+    """Filesystem-backed memo of per-seed scenario rows (+ metrics)."""
 
     def __init__(self, root: Optional[os.PathLike] = None) -> None:
         self.root = Path(root) if root is not None else default_cache_dir()
+        self.stats = CacheStats(root=str(self.root))
 
     def path_for(self, scenario: str, key: str) -> Path:
         return self.root / scenario / f"{key}.json"
 
-    def load(self, scenario: str, key: str) -> Optional[Rows]:
-        """The cached rows, or None on a miss (including corrupt entries)."""
+    def load_entry(
+        self, scenario: str, key: str
+    ) -> Optional[Tuple[Rows, Optional[dict]]]:
+        """``(rows, metrics_snapshot_or_None)``, or None on a miss."""
         path = self.path_for(scenario, key)
         try:
             with open(path, "r", encoding="utf-8") as stream:
-                payload = json.load(stream)
+                raw = stream.read()
+            payload = json.loads(raw)
         except (OSError, ValueError):
+            self.stats.misses += 1
             return None
         rows = payload.get("rows")
         if not isinstance(rows, list):
+            self.stats.misses += 1
             return None
-        return rows
+        self.stats.hits += 1
+        self.stats.bytes_read += len(raw.encode("utf-8"))
+        metrics = payload.get("metrics")
+        return rows, metrics if isinstance(metrics, dict) else None
 
-    def store(self, scenario: str, key: str, rows: Rows) -> Path:
-        """Persist rows atomically; returns the entry path."""
+    def load(self, scenario: str, key: str) -> Optional[Rows]:
+        """The cached rows, or None on a miss (including corrupt entries)."""
+        entry = self.load_entry(scenario, key)
+        return entry[0] if entry is not None else None
+
+    def store(
+        self, scenario: str, key: str, rows: Rows, *, metrics: Optional[dict] = None
+    ) -> Path:
+        """Persist rows (and optionally metrics) atomically; returns the path."""
         path = self.path_for(scenario, key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        payload = {"scenario": scenario, "key": key, "rows": rows}
+        payload: Dict[str, object] = {"scenario": scenario, "key": key, "rows": rows}
+        if metrics is not None:
+            payload["metrics"] = metrics
+        encoded = json.dumps(payload)
         fd, tmp_name = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as stream:
-                json.dump(payload, stream)
+                stream.write(encoded)
             os.replace(tmp_name, path)
         except BaseException:
             try:
@@ -71,6 +127,8 @@ class ResultCache:
             except OSError:
                 pass
             raise
+        self.stats.stores += 1
+        self.stats.bytes_written += len(encoded.encode("utf-8"))
         return path
 
     def clear(self, scenario: Optional[str] = None) -> int:

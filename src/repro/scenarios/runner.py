@@ -42,14 +42,30 @@ Rows = List[Dict[str, object]]
 _POOL_FAILURES = (BrokenProcessPool, OSError, PermissionError, pickle.PicklingError)
 
 
-def _execute_seed(name: str, kwargs: Dict[str, object], seed: int) -> Tuple[Rows, float]:
-    """Pool worker: run one seed of a registered scenario."""
+def _execute_seed(
+    name: str, kwargs: Dict[str, object], seed: int, collect_metrics: bool = False
+) -> Tuple[Rows, float, Optional[dict]]:
+    """Pool worker: run one seed of a registered scenario.
+
+    With ``collect_metrics`` the whole seed executes inside an ambient
+    :func:`repro.obs.collecting` block, so every simulation the run
+    function builds reports into one registry; the returned snapshot is
+    a plain dict (pickle- and JSON-safe) covering the full seed.
+    """
     scenario = get_scenario(name)
     call = dict(kwargs)
     call[scenario.seed_param] = seed
     started = time.perf_counter()
-    rows = scenario.run(**call)
-    return rows, time.perf_counter() - started
+    if collect_metrics:
+        from repro.obs import collecting
+
+        with collecting() as registry:
+            rows = scenario.run(**call)
+        snapshot: Optional[dict] = registry.snapshot()
+    else:
+        rows = scenario.run(**call)
+        snapshot = None
+    return rows, time.perf_counter() - started, snapshot
 
 
 def _call_seeded(run_fn, kwargs: Dict[str, object], seed_param: str, seed: int) -> Rows:
@@ -105,12 +121,18 @@ def map_seeds(
 
 @dataclass(frozen=True)
 class SeedResult:
-    """Rows of one seed, plus how they were obtained."""
+    """Rows of one seed, plus how they were obtained.
+
+    ``metrics`` is the seed's metrics snapshot (see
+    :meth:`repro.obs.MetricsRegistry.snapshot`) when the run collected
+    one — freshly computed or replayed from the cache — else None.
+    """
 
     seed: int
     rows: Rows
     cached: bool
     elapsed: float
+    metrics: Optional[dict] = None
 
 
 @dataclass(frozen=True)
@@ -147,6 +169,15 @@ class RunResult:
     def cache_hits(self) -> int:
         return sum(1 for result in self.seed_results if result.cached)
 
+    def merged_metrics(self) -> Optional[dict]:
+        """Cross-seed metrics snapshot, or None if nothing was collected."""
+        snapshots = [r.metrics for r in self.seed_results if r.metrics]
+        if not snapshots:
+            return None
+        from repro.obs.metrics import merge_snapshots
+
+        return merge_snapshots(snapshots)
+
     @property
     def elapsed(self) -> float:
         """Total compute time across seeds (cache hits count as zero)."""
@@ -176,10 +207,20 @@ class Runner:
         jobs: int = 1,
         use_cache: bool = True,
         cache_dir=None,
+        collect_metrics: bool = False,
     ) -> None:
         self.jobs = max(1, int(jobs))
         self.use_cache = use_cache
         self.cache = ResultCache(cache_dir)
+        # When collecting, a cached entry only counts as a hit if it
+        # carries a metrics snapshot — older rows-only entries are
+        # recomputed so the report never silently misses seeds.
+        self.collect_metrics = collect_metrics
+
+    @property
+    def cache_stats(self):
+        """Hit/miss/byte tallies of this runner's cache instance."""
+        return self.cache.stats
 
     def run(
         self,
@@ -197,31 +238,38 @@ class Runner:
             effective = effective.with_overrides(**overrides)
         kwargs = dict(effective.params)
 
-        cached: Dict[int, Rows] = {}
+        cached: Dict[int, Tuple[Rows, Optional[dict]]] = {}
         if self.use_cache:
             for seed in seed_list:
-                hit = self.cache.load(name, effective.fingerprint(scenario=name, seed=seed))
-                if hit is not None:
-                    cached[seed] = hit
+                hit = self.cache.load_entry(name, effective.fingerprint(scenario=name, seed=seed))
+                if hit is None:
+                    continue
+                if self.collect_metrics and hit[1] is None:
+                    continue  # rows-only entry: recompute to get metrics
+                cached[seed] = hit
 
         pending = [seed for seed in seed_list if seed not in cached]
         computed = self._execute(scenario, kwargs, pending)
 
         if self.use_cache:
             for seed in pending:
-                rows, _ = computed[seed]
+                rows, _, snapshot = computed[seed]
                 if _json_faithful(rows):
                     self.cache.store(
-                        name, effective.fingerprint(scenario=name, seed=seed), rows
+                        name,
+                        effective.fingerprint(scenario=name, seed=seed),
+                        rows,
+                        metrics=snapshot,
                     )
 
         seed_results = []
         for seed in seed_list:
             if seed in cached:
-                seed_results.append(SeedResult(seed, cached[seed], True, 0.0))
+                rows, snapshot = cached[seed]
+                seed_results.append(SeedResult(seed, rows, True, 0.0, snapshot))
             else:
-                rows, elapsed = computed[seed]
-                seed_results.append(SeedResult(seed, rows, False, elapsed))
+                rows, elapsed, snapshot = computed[seed]
+                seed_results.append(SeedResult(seed, rows, False, elapsed, snapshot))
         return RunResult(
             scenario=name,
             title=scenario.title,
@@ -234,20 +282,25 @@ class Runner:
 
     def _execute(
         self, scenario: Scenario, kwargs: Dict[str, object], seeds: Sequence[int]
-    ) -> Dict[int, Tuple[Rows, float]]:
+    ) -> Dict[int, Tuple[Rows, float, Optional[dict]]]:
         if not seeds:
             return {}
         if self.jobs > 1 and len(seeds) > 1 and _picklable(kwargs):
             try:
                 with ProcessPoolExecutor(max_workers=min(self.jobs, len(seeds))) as pool:
                     futures = {
-                        seed: pool.submit(_execute_seed, scenario.name, kwargs, seed)
+                        seed: pool.submit(
+                            _execute_seed, scenario.name, kwargs, seed, self.collect_metrics
+                        )
                         for seed in seeds
                     }
                     return {seed: future.result() for seed, future in futures.items()}
             except _POOL_FAILURES:
                 pass
-        return {seed: _execute_seed(scenario.name, kwargs, seed) for seed in seeds}
+        return {
+            seed: _execute_seed(scenario.name, kwargs, seed, self.collect_metrics)
+            for seed in seeds
+        }
 
 
 def _json_faithful(rows: Rows) -> bool:
@@ -266,9 +319,12 @@ def run_scenario(
     use_cache: bool = True,
     cache_dir=None,
     overrides: Optional[dict] = None,
+    collect_metrics: bool = False,
 ) -> RunResult:
     """One-call convenience over :class:`Runner`."""
-    runner = Runner(jobs=jobs, use_cache=use_cache, cache_dir=cache_dir)
+    runner = Runner(
+        jobs=jobs, use_cache=use_cache, cache_dir=cache_dir, collect_metrics=collect_metrics
+    )
     return runner.run(name, seeds=seeds, overrides=overrides)
 
 

@@ -18,6 +18,7 @@ drawing randomness only from :class:`repro.sim.rng.RandomStreams`.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Callable, List, Optional
 
 from repro.errors import SchedulingError
@@ -49,6 +50,9 @@ class Simulator:
         self._finished = False
         self.streams = RandomStreams(seed)
         self._step_listeners: List[Callable[[Instant], None]] = []
+        # Optional wall-clock profiler (see repro.obs.profile): when set,
+        # every fired action is timed and attributed via its event label.
+        self.profiler = None
 
     # ------------------------------------------------------------------
     # Clock
@@ -62,6 +66,11 @@ class Simulator:
     def processed_events(self) -> int:
         """Number of events fired so far (diagnostics and budget checks)."""
         return self._processed
+
+    @property
+    def queue_depth(self) -> int:
+        """Live events currently pending (observability probes)."""
+        return len(self._queue)
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -127,7 +136,13 @@ class Simulator:
         self._now = event.time
         action = event.action
         if action is not None:
-            action()
+            profiler = self.profiler
+            if profiler is None:
+                action()
+            else:
+                started = perf_counter()
+                action()
+                profiler.record(event.label, perf_counter() - started)
         for listener in self._step_listeners:
             listener(self._now)
         return True

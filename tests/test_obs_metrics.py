@@ -1,0 +1,211 @@
+"""Unit tests for the metrics primitives, registry, and renderers."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    counter_by_label,
+    counter_total,
+    gauge_max,
+    gauge_max_time,
+    merge_snapshots,
+    render_prometheus,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram
+
+
+class TestCounter:
+    def test_accumulates(self):
+        counter = Counter("x")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_rejects_decrease(self):
+        with pytest.raises(ValueError, match="cannot decrease"):
+            Counter("x").inc(-1)
+
+
+class TestGauge:
+    def test_tracks_extremes_and_witness_time(self):
+        gauge = Gauge("g")
+        gauge.set(1, 0.0)
+        gauge.set(4, 10.0)
+        gauge.set(2, 20.0)
+        assert gauge.value == 2
+        assert gauge.max == 4
+        assert gauge.min == 1
+        assert gauge.max_time == 10.0
+
+    def test_time_weighted_average(self):
+        gauge = Gauge("g")
+        gauge.set(0, 0.0)
+        gauge.set(2, 10.0)  # level 0 held for 10
+        gauge.set(0, 20.0)  # level 2 held for 10
+        # integral = 0*10 + 2*10 = 20 over span 20.
+        assert gauge.time_average() == pytest.approx(1.0)
+
+    def test_average_undefined_without_timestamps(self):
+        gauge = Gauge("g")
+        gauge.set(5)
+        assert gauge.time_average() is None
+
+    def test_inc_dec_round_trip(self):
+        gauge = Gauge("g")
+        gauge.inc(3, 1.0)
+        gauge.dec(1, 2.0)
+        assert gauge.value == 2
+        assert gauge.max == 3
+
+
+class TestHistogram:
+    def test_exact_moments(self):
+        hist = Histogram("h")
+        for value in (0.5, 1.5, 100.0):
+            hist.observe(value)
+        assert hist.count == 3
+        assert hist.sum == pytest.approx(102.0)
+        assert hist.min == 0.5
+        assert hist.max == 100.0
+        assert sum(hist.bucket_counts) == 3
+
+    def test_bucket_assignment_respects_bounds(self):
+        hist = Histogram("h", bounds=(1.0, 10.0))
+        hist.observe(0.5)  # <= 1
+        hist.observe(10.0)  # <= 10 (boundary inclusive)
+        hist.observe(11.0)  # overflow
+        assert hist.bucket_counts == [1, 1, 1]
+
+    def test_quantile_brackets_the_population(self):
+        hist = Histogram("h", bounds=(1.0, 10.0, 100.0))
+        for value in (0.5, 2.0, 3.0, 50.0):
+            hist.observe(value)
+        assert hist.quantile(0.5) == 10.0  # second bucket's upper bound
+        assert hist.quantile(1.0) == 50.0  # capped at the observed max
+
+    def test_quantile_empty_is_none(self):
+        assert Histogram("h").quantile(0.5) is None
+
+
+class TestRegistry:
+    def test_same_name_and_labels_share_the_instrument(self):
+        registry = MetricsRegistry()
+        a = registry.counter("hits", kind="x")
+        b = registry.counter("hits", kind="x")
+        c = registry.counter("hits", kind="y")
+        assert a is b
+        assert a is not c
+
+    def test_label_order_is_canonical(self):
+        registry = MetricsRegistry()
+        assert registry.gauge("g", a=1, b=2) is registry.gauge("g", b=2, a=1)
+
+    def test_next_instance_is_deterministic(self):
+        registry = MetricsRegistry()
+        assert registry.next_instance("table") == "t0"
+        assert registry.next_instance("table") == "t1"
+        assert MetricsRegistry().next_instance("table") == "t0"
+
+    def test_snapshot_is_json_faithful(self):
+        registry = MetricsRegistry()
+        registry.counter("c", kind="a").inc(2)
+        registry.gauge("g").set(3, 1.5)
+        registry.histogram("h").observe(0.25)
+        snapshot = registry.snapshot()
+        assert json.loads(json.dumps(snapshot)) == snapshot
+
+    def test_finalizers_run_at_snapshot(self):
+        registry = MetricsRegistry()
+        calls = []
+        registry.add_finalizer(lambda: calls.append(1))
+        registry.snapshot()
+        registry.snapshot()
+        assert calls == [1, 1]
+
+
+class TestSnapshotQueries:
+    def _snapshot(self):
+        registry = MetricsRegistry()
+        registry.counter("msgs", type="Ping", layer="dining").inc(3)
+        registry.counter("msgs", type="Fork", layer="dining").inc(2)
+        registry.counter("msgs", type="HB", layer="detector").inc(7)
+        registry.gauge("edge", edge="0-1").set(4, 12.0)
+        registry.gauge("edge", edge="1-2").set(2, 5.0)
+        return registry.snapshot()
+
+    def test_counter_total_filters_by_labels(self):
+        snapshot = self._snapshot()
+        assert counter_total(snapshot, "msgs") == 12
+        assert counter_total(snapshot, "msgs", layer="dining") == 5
+        assert counter_total(snapshot, "msgs", type="HB") == 7
+
+    def test_counter_by_label_groups(self):
+        grouped = counter_by_label(self._snapshot(), "msgs", "layer")
+        assert grouped == {"dining": 5.0, "detector": 7.0}
+
+    def test_gauge_max_and_witness_time(self):
+        snapshot = self._snapshot()
+        assert gauge_max(snapshot, "edge") == 4
+        assert gauge_max_time(snapshot, "edge") == 12.0
+
+
+class TestMergeSnapshots:
+    def test_counters_add_and_gauges_keep_envelope(self):
+        first = MetricsRegistry()
+        first.counter("c").inc(2)
+        first.gauge("g").set(3, 10.0)
+        second = MetricsRegistry()
+        second.counter("c").inc(5)
+        second.gauge("g").set(7, 40.0)
+        second.gauge("g").set(1, 50.0)
+        merged = merge_snapshots([first.snapshot(), second.snapshot()])
+        assert counter_total(merged, "c") == 7
+        assert gauge_max(merged, "g") == 7
+        assert gauge_max_time(merged, "g") == 40.0
+        (entry,) = [g for g in merged["gauges"] if g["name"] == "g"]
+        assert entry["min"] == 1
+
+    def test_histogram_populations_add(self):
+        first = MetricsRegistry()
+        first.histogram("h", bounds=(1.0, 10.0)).observe(0.5)
+        second = MetricsRegistry()
+        second.histogram("h", bounds=(1.0, 10.0)).observe(5.0)
+        merged = merge_snapshots([first.snapshot(), second.snapshot()])
+        (entry,) = merged["histograms"]
+        assert entry["count"] == 2
+        assert entry["bucket_counts"] == [1, 1, 0]
+
+    def test_disjoint_label_sets_stay_separate(self):
+        first = MetricsRegistry()
+        first.counter("c", seed="1").inc(1)
+        second = MetricsRegistry()
+        second.counter("c", seed="2").inc(1)
+        merged = merge_snapshots([first.snapshot(), second.snapshot()])
+        assert len(merged["counters"]) == 2
+
+    def test_empty_input_merges_to_empty(self):
+        merged = merge_snapshots([])
+        assert merged == {"counters": [], "gauges": [], "histograms": []}
+
+
+class TestPrometheusRendering:
+    def test_families_values_and_facets(self):
+        registry = MetricsRegistry()
+        registry.counter("net.messages_sent_total", type="Ping").inc(3)
+        registry.gauge("net.in_transit", edge="0-1").set(2, 1.0)
+        registry.histogram("q.time", bounds=(1.0, 10.0)).observe(0.5)
+        text = render_prometheus(registry.snapshot())
+        assert "# TYPE repro_net_messages_sent_total counter" in text
+        assert 'repro_net_messages_sent_total{type="Ping"} 3' in text
+        assert "# TYPE repro_net_in_transit gauge" in text
+        assert 'repro_net_in_transit_max{edge="0-1"} 2' in text
+        assert 'repro_q_time_bucket{le="1"} 1' in text
+        assert 'repro_q_time_bucket{le="+Inf"} 1' in text
+        assert "repro_q_time_count 1" in text
+        # Every non-comment line is "name{labels} value" — parseable.
+        for line in text.splitlines():
+            if line and not line.startswith("#"):
+                assert " " in line
+                float(line.rsplit(" ", 1)[1])

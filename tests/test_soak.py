@@ -4,6 +4,11 @@
 partial synchrony; staggered crashes before and after GST; a hosted
 self-stabilizing coloring corrupted mid-run; all online invariant
 checkers armed.  Everything the paper promises must hold simultaneously.
+
+The run records through a :class:`StreamingTraceRecorder`, so the soak
+doubles as the integration test for bounded-memory tracing: every
+trace-consuming assertion below (detector QoS most of all) streams its
+records back from the JSONL spill file.
 """
 
 import pytest
@@ -15,13 +20,18 @@ from repro.sim.crash import CrashPlan
 from repro.sim.latency import PartialSynchronyLatency
 from repro.stabilization import GreedyRecoloring, TransientFaultPlan
 from repro.trace import jain_fairness_index
+from repro.trace.recorder import StreamingTraceRecorder
+from repro.trace.serialize import load_path
+
+SOAK_KEEP_LAST = 500
 
 
 @pytest.fixture(scope="module")
-def soak_run():
+def soak_run(tmp_path_factory):
     graph = random_graph(30, 0.12, seed=404)
     protocol = GreedyRecoloring(graph)
     crash_plan = CrashPlan.scripted({3: 20.0, 11: 45.0, 19: 70.0, 27: 95.0})
+    spill = tmp_path_factory.mktemp("soak") / "trace.jsonl"
     daemon = DistributedDaemon(
         graph,
         protocol,
@@ -33,12 +43,14 @@ def soak_run():
         crash_plan=crash_plan,
         step_time=0.5,
         check_invariants=True,
+        trace=StreamingTraceRecorder(spill, keep_last=SOAK_KEEP_LAST),
     )
     faults = TransientFaultPlan.random(
         daemon, burst_times=(120.0, 200.0), victims_per_burst=4
     )
     faults.apply(daemon)
     daemon.run(until=900.0)
+    daemon.table.trace.close()  # flush the spill; accessors stream from disk
     return graph, protocol, crash_plan, daemon
 
 
@@ -84,6 +96,21 @@ class TestSoak:
         report = detector_qos(daemon.table.trace, graph, crash_plan, horizon=900.0)
         assert report.undetected_crash_pairs == 0
         assert report.mistake_count > 0  # the pre-GST period was hostile
+
+    def test_streaming_trace_memory_is_bounded(self, soak_run):
+        graph, protocol, crash_plan, daemon = soak_run
+        trace = daemon.table.trace
+        assert isinstance(trace, StreamingTraceRecorder)
+        assert len(trace) > 10_000  # the run really produced a big trace...
+        assert len(trace.tail()) == SOAK_KEEP_LAST  # ...but residency stayed capped
+
+    def test_streaming_spill_file_is_loadable(self, soak_run):
+        graph, protocol, crash_plan, daemon = soak_run
+        trace = daemon.table.trace
+        reloaded = list(load_path(trace.path))
+        assert len(reloaded) == len(trace)
+        # The resident tail and the end of the spill file agree exactly.
+        assert reloaded[-SOAK_KEEP_LAST:] == trace.tail()
 
     def test_every_correct_process_well_served(self, soak_run):
         # Jain's index is only meaningful under homogeneous contention

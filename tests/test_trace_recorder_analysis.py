@@ -73,6 +73,81 @@ class TestRecorder:
         assert steps[0].action == "recolor"
         assert trace.protocol_steps(4) == []
 
+    def test_listeners_observe_every_record(self):
+        trace = TraceRecorder()
+        seen = []
+        trace.add_listener(seen.append)
+        trace.phase_change(1.0, 0, THINKING, HUNGRY)
+        trace.crash(2.0, 1)
+        assert [type(r).__name__ for r in seen] == ["PhaseChange", "Crash"]
+
+    def test_typed_listeners_receive_only_their_kinds(self):
+        from repro.trace.events import Crash, PhaseChange
+
+        trace = TraceRecorder()
+        phases, crashes, everything = [], [], []
+        trace.add_listener(phases.append, types=(PhaseChange,))
+        trace.add_listener(crashes.append, types=(Crash,))
+        trace.add_listener(everything.append)
+        trace.phase_change(1.0, 0, THINKING, HUNGRY)
+        trace.doorway_change(1.5, 0, True)
+        trace.crash(2.0, 1)
+        assert [r.time for r in phases] == [1.0]
+        assert [r.time for r in crashes] == [2.0]
+        assert len(everything) == 3
+
+
+class TestStreamingRecorder:
+    def _fill(self, trace, count=25):
+        for i in range(count):
+            trace.phase_change(float(i), i % 3, THINKING, HUNGRY)
+
+    def test_round_trip_matches_memory_recorder(self, tmp_path):
+        from repro.trace.recorder import StreamingTraceRecorder
+
+        streaming = StreamingTraceRecorder(tmp_path / "t.jsonl", flush_every=4)
+        memory = TraceRecorder()
+        self._fill(streaming)
+        self._fill(memory)
+        assert len(streaming) == len(memory)
+        assert list(streaming) == list(memory)
+        assert streaming.of_type(PhaseChange) == memory.of_type(PhaseChange)
+        assert streaming.phase_changes(0) == memory.phase_changes(0)
+
+    def test_tail_is_bounded(self, tmp_path):
+        from repro.trace.recorder import StreamingTraceRecorder
+
+        trace = StreamingTraceRecorder(tmp_path / "t.jsonl", keep_last=10)
+        self._fill(trace, count=50)
+        tail = trace.tail()
+        assert len(tail) == 10
+        assert tail[-1].time == 49.0
+
+    def test_iteration_flushes_pending_buffer(self, tmp_path):
+        from repro.trace.recorder import StreamingTraceRecorder
+
+        trace = StreamingTraceRecorder(tmp_path / "t.jsonl", flush_every=1000)
+        self._fill(trace, count=5)  # all still buffered
+        assert len(list(trace)) == 5
+
+    def test_spill_file_is_serialize_compatible(self, tmp_path):
+        from repro.trace.recorder import StreamingTraceRecorder
+        from repro.trace.serialize import load_path
+
+        trace = StreamingTraceRecorder(tmp_path / "t.jsonl")
+        self._fill(trace)
+        trace.close()
+        assert list(load_path(trace.path)) == list(trace)
+
+    def test_listeners_fire_while_streaming(self, tmp_path):
+        from repro.trace.recorder import StreamingTraceRecorder
+
+        trace = StreamingTraceRecorder(tmp_path / "t.jsonl")
+        seen = []
+        trace.add_listener(seen.append)
+        self._fill(trace, count=7)
+        assert len(seen) == 7
+
 
 class TestIntervals:
     def test_eating_interval_closed_by_thinking(self):
