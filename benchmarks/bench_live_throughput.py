@@ -1,0 +1,69 @@
+"""Live loopback vs discrete-event kernel: meals/sec on a ring-8.
+
+Both runs host the *same* ``DinerActor`` with the same eating/thinking
+times; only the substrate differs.  The kernel simulates virtual seconds
+as fast as the interpreter allows, while the live host spends real
+wall-clock seconds, so the kernel's meals-per-wall-second is expected to
+win by orders of magnitude — the point of this benchmark is to document
+that ratio and to catch regressions in the live runtime's overhead
+(codec, call_soon links, wall-clock timers, online checkers).
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.core import AlwaysHungry, DiningTable, scripted_detector
+from repro.graphs import ring
+from repro.net.host import AsyncHost, HostConfig, run_host
+
+EAT_TIME = 0.05
+THINK_TIME = 0.01
+LIVE_DURATION = 1.0
+KERNEL_HORIZON = 60.0  # virtual seconds
+
+
+def test_live_loopback_ring8_meal_rate(benchmark):
+    """Wall-clock meal throughput of the asyncio loopback runtime."""
+
+    def run_live():
+        host = AsyncHost(
+            ring(8),
+            config=HostConfig(
+                duration=LIVE_DURATION,
+                seed=1,
+                eat_time=EAT_TIME,
+                think_time=THINK_TIME,
+            ),
+        )
+        return run_host(host)
+
+    result = run_once(benchmark, run_live)
+    meals = sum(result["meals"].values())
+    assert result["violations"] == []
+    assert meals > 0
+    benchmark.extra_info["meals"] = meals
+    benchmark.extra_info["meals_per_wall_sec"] = round(meals / LIVE_DURATION, 1)
+
+
+def test_kernel_ring8_meal_rate(benchmark):
+    """The same ring-8 workload under the discrete-event kernel."""
+
+    def run_kernel():
+        table = DiningTable(
+            ring(8),
+            seed=1,
+            detector=scripted_detector(),
+            workload=AlwaysHungry(eat_time=EAT_TIME, think_time=THINK_TIME),
+        )
+        table.run(until=KERNEL_HORIZON)
+        return table
+
+    table = run_once(benchmark, run_kernel)
+    meals = sum(table.eat_counts().values())
+    assert meals > 0
+    benchmark.extra_info["meals"] = meals
+    benchmark.extra_info["virtual_horizon"] = KERNEL_HORIZON
+    if benchmark.stats:  # absent under --benchmark-disable
+        wall = benchmark.stats.stats.mean
+        benchmark.extra_info["meals_per_wall_sec"] = round(meals / wall, 1)

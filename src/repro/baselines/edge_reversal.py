@@ -111,7 +111,7 @@ class EdgeReversalDiner(Actor):
         self.trace.crash(self.now, self.pid)
 
     def _schedule_next_hunger(self) -> None:
-        duration = self.workload.think_duration(self.pid, self.sim.streams)
+        duration = self.workload.think_duration(self.pid, self.streams)
         if duration is None:
             return
         self.set_timer(duration, self._become_hungry, label=f"hunger@{self.pid}")
@@ -128,7 +128,7 @@ class EdgeReversalDiner(Actor):
         if self.is_hungry and self.is_sink:
             self._set_state(DinerState.EATING)
             self.meals_eaten += 1
-            duration = self.workload.eat_duration(self.pid, self.sim.streams)
+            duration = self.workload.eat_duration(self.pid, self.streams)
             self.set_timer(duration, self._exit, label=f"exit@{self.pid}")
             if self.on_eat is not None:
                 self.on_eat(self)

@@ -7,6 +7,8 @@ Subcommands::
     repro experiments --only e1 e3 e9 --seeds 0 1 2 3 --jobs 4
     repro report e1 --seeds 1 2 3 --json report.json
     repro verify --topology ring --n 3
+    repro cluster --topology ring --n 3 --processes 3 --duration 2
+    repro serve --spec run/spec.json --host-index 0
 
 (or ``python -m repro …``).  ``dine`` runs one dining scenario and prints
 the guarantee scorecard (plus an ASCII timeline on request, and a wait
@@ -22,6 +24,12 @@ quiescence curve, last-violation time, channel-bound peak, kernel
 hotspots.  ``dine``, ``daemon``, ``experiments``, and ``report`` accept
 ``--metrics PATH`` to dump the raw metrics snapshot (JSON, or Prometheus
 text exposition when the path ends in ``.prom``).
+
+``cluster`` runs Algorithm 1 *live*: one OS process per host, real
+sockets, a wall-clock heartbeat ◇P₁, then the merged safety/fairness
+verdict and a Prometheus rendering of the combined metrics (exit 0 only
+on a clean run).  ``serve`` is its per-host child entry point, also
+usable standalone against a hand-written spec.
 """
 
 from __future__ import annotations
@@ -29,7 +37,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.core import (
     AlwaysHungry,
@@ -359,13 +367,69 @@ def cmd_verify(args: argparse.Namespace) -> int:
 
 
 # ----------------------------------------------------------------------
+# cluster / serve (live runtime)
+# ----------------------------------------------------------------------
+def _parse_crash_spec(text: Optional[str]) -> dict:
+    """Parse ``pid:time,pid:time`` into {pid: crash_instant}."""
+    crashes: dict = {}
+    if not text:
+        return crashes
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        pid_text, _, time_text = part.partition(":")
+        try:
+            crashes[int(pid_text)] = float(time_text)
+        except ValueError:
+            raise SystemExit(f"bad --crash entry {part!r}; expected pid:time") from None
+    return crashes
+
+
+def cmd_cluster(args: argparse.Namespace) -> int:
+    from repro.net.cluster import ClusterSpec, launch, placement_summary
+
+    spec = ClusterSpec(
+        topology=args.topology,
+        n=args.n,
+        processes=args.processes,
+        duration=args.duration,
+        seed=args.seed,
+        eat_time=args.eat_time,
+        think_time=args.think_time,
+        heartbeat_interval=args.heartbeat_interval,
+        initial_timeout=args.initial_timeout,
+        timeout_increment=args.timeout_increment,
+        transport=args.transport,
+        crash_times=_parse_crash_spec(args.crash),
+        run_dir=args.run_dir,
+    )
+    print(
+        f"live cluster: {args.topology}-{args.n} over {args.processes} "
+        f"process(es) via {args.transport}, {args.duration:g}s"
+    )
+    print(f"  placement: {placement_summary(spec)}")
+    verdict = launch(spec)
+    return 0 if verdict.ok else 1
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.net.cluster import serve
+
+    return serve(args.spec, args.host_index, output_dir=args.output)
+
+
+# ----------------------------------------------------------------------
 # parser
 # ----------------------------------------------------------------------
 def build_parser() -> argparse.ArgumentParser:
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Eventually k-bounded wait-free distributed daemons (Song & Pike, DSN 2007).",
     )
+    parser.add_argument("--version", action="version", version=f"%(prog)s {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     dine = sub.add_parser("dine", help="run one dining scenario and check the guarantees")
@@ -451,6 +515,38 @@ def build_parser() -> argparse.ArgumentParser:
                         help="pids that may crash at any point of any schedule")
     verify.add_argument("--max-states", type=int, default=500_000)
     verify.set_defaults(func=cmd_verify)
+
+    cluster = sub.add_parser(
+        "cluster",
+        help="run Algorithm 1 live: one OS process per host over real sockets",
+    )
+    cluster.add_argument("--topology", choices=TOPOLOGIES, default="ring")
+    cluster.add_argument("--n", type=int, default=3)
+    cluster.add_argument("--processes", type=int, default=3,
+                         help="OS processes to spread the diners over")
+    cluster.add_argument("--duration", type=float, default=2.0,
+                         help="wall-clock seconds the actors run")
+    cluster.add_argument("--seed", type=int, default=0)
+    cluster.add_argument("--eat-time", type=float, default=0.05)
+    cluster.add_argument("--think-time", type=float, default=0.01)
+    cluster.add_argument("--heartbeat-interval", type=float, default=0.25)
+    cluster.add_argument("--initial-timeout", type=float, default=0.75)
+    cluster.add_argument("--timeout-increment", type=float, default=0.25)
+    cluster.add_argument("--transport", choices=("unix", "tcp"), default="unix")
+    cluster.add_argument("--crash", metavar="PID:T,...",
+                         help="crash injections, e.g. --crash 2:0.5,4:1.0")
+    cluster.add_argument("--run-dir", default="cluster-run",
+                         help="directory for spec, per-host outputs, and logs")
+    cluster.set_defaults(func=cmd_cluster)
+
+    serve = sub.add_parser(
+        "serve", help="run one host of a launched cluster (child entry point)"
+    )
+    serve.add_argument("--spec", required=True, help="path to the cluster spec.json")
+    serve.add_argument("--host-index", type=int, required=True)
+    serve.add_argument("--output", default=None,
+                       help="output directory (default: <run-dir>/host-<index>)")
+    serve.set_defaults(func=cmd_serve)
 
     return parser
 

@@ -36,16 +36,16 @@ Two notes on fidelity:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, Optional
 
 from repro.core.messages import Ack, Fork, ForkRequest, Ping
 from repro.core.state import DinerState, NeighborLinks
+from repro.core.substrate import Actor
 from repro.core.workload import Workload
 from repro.detectors.base import DetectorModule, FailureDetector
 from repro.errors import ConfigurationError, ForkDuplicationError
 from repro.graphs.coloring import Coloring
 from repro.graphs.conflict import ConflictGraph, ProcessId
-from repro.sim.actor import Actor
 from repro.trace.recorder import TraceRecorder
 
 EatCallback = Callable[["DinerActor"], None]
@@ -151,7 +151,7 @@ class DinerActor(Actor):
         self.request_reevaluation()
 
     def _schedule_next_hunger(self) -> None:
-        duration = self.workload.think_duration(self.pid, self.sim.streams)
+        duration = self.workload.think_duration(self.pid, self.streams)
         if duration is None:
             return  # thinks forever (permitted by the dining spec)
         self.set_timer(duration, self._become_hungry, label=f"hunger@{self.pid}")
@@ -226,7 +226,7 @@ class DinerActor(Actor):
                 return False
         self._set_state(DinerState.EATING)
         self.meals_eaten += 1
-        duration = self.workload.eat_duration(self.pid, self.sim.streams)
+        duration = self.workload.eat_duration(self.pid, self.streams)
         self._exit_timer = self.set_timer(duration, self._exit, label=f"exit@{self.pid}")
         if self.on_eat is not None:
             self.on_eat(self)

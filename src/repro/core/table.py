@@ -37,7 +37,7 @@ from repro.core.workload import AlwaysHungry, Workload
 from repro.detectors.base import FailureDetector, NullDetector
 from repro.detectors.heartbeat import HeartbeatDetector
 from repro.detectors.perfect import PerfectDetector
-from repro.detectors.scripted import MistakeInterval, ScriptedDetector
+from repro.detectors.scripted import ScriptedDetector
 from repro.errors import ConfigurationError
 from repro.graphs.coloring import Coloring, greedy_coloring, validate_coloring
 from repro.graphs.conflict import ConflictGraph, ProcessId

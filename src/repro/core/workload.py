@@ -25,11 +25,13 @@ Provided workloads:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 from repro.errors import ConfigurationError
-from repro.sim.rng import RandomStreams
-from repro.sim.time import Duration, validate_duration
+from repro.timebase import Duration, validate_duration
+
+if TYPE_CHECKING:  # annotation-only: keeps this module substrate-neutral
+    from repro.sim.rng import RandomStreams
 
 ProcessId = int
 

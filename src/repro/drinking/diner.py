@@ -73,7 +73,7 @@ class DrinkingDiner(DinerActor):
     def _become_hungry(self) -> None:
         if not self.is_thinking:
             return
-        self.current_bottles = self.workload.bottles(self.pid, self.graph, self.sim.streams)
+        self.current_bottles = self.workload.bottles(self.pid, self.graph, self.streams)
         self.trace.record(ThirstDeclared(self.now, self.pid, self.current_bottles))
         super()._become_hungry()
 
@@ -131,7 +131,7 @@ class DrinkingDiner(DinerActor):
 
         self._set_state(DinerState.EATING)
         self.meals_eaten += 1
-        duration = self.workload.eat_duration(self.pid, self.sim.streams)
+        duration = self.workload.eat_duration(self.pid, self.streams)
         self._exit_timer = self.set_timer(duration, self._exit, label=f"exit@{self.pid}")
         if self.on_eat is not None:
             self.on_eat(self)

@@ -12,7 +12,7 @@ bottle (:class:`AlwaysAllBottles`).
 
 from __future__ import annotations
 
-from typing import FrozenSet, Optional, Sequence
+from typing import FrozenSet, Optional
 
 from repro.core.workload import Workload
 from repro.errors import ConfigurationError

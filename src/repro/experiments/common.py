@@ -9,7 +9,7 @@ and EXPERIMENTS.md generation all consume the same output.
 from __future__ import annotations
 
 import statistics
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, Iterable, Sequence
 
 
 def format_table(rows: Sequence[Dict[str, object]], columns: Sequence[str], *, title: str = "") -> str:

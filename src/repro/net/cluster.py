@@ -1,0 +1,412 @@
+"""Multi-process cluster launcher and post-run verdict.
+
+``repro cluster`` turns a topology spec into *n* OS processes, each an
+:class:`~repro.net.host.AsyncHost` running its share of the diners over
+real sockets, then merges what every host recorded into one verdict:
+
+1. **Launch** — :func:`launch` writes ``spec.json`` into a run directory
+   (topology, placement, per-host addresses, shared epoch), spawns one
+   ``repro serve`` process per host, and waits for them all.
+2. **Serve** — :func:`serve` (the child entry point) rebuilds the host
+   from the spec, runs it, and dumps ``trace.jsonl`` / ``wire.jsonl`` /
+   ``metrics.json`` / ``result.json`` into its own output directory.
+3. **Merge** — :func:`merge_run` recombines the per-host outputs.  Trace
+   records carry the shared-epoch clock, so sorting by time yields one
+   system-wide trace for the standard analysis (exclusion violations,
+   starvation).  Wire logs from both endpoints of every cross-host edge
+   are replayed into an exact per-edge in-transit staircase — the
+   authoritative Section 7 check for edges no single host can see — and
+   the per-host metric snapshots merge into one Prometheus exposition.
+
+The verdict is strict: any live checker violation (fork/token
+uniqueness, channel bound, FIFO sequence gap), any merged-log channel
+excursion above the bound, any starving correct diner, or any exclusion
+violation past the detector settle window fails the run.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import subprocess
+import sys
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.graphs import topologies
+from repro.graphs.conflict import ConflictGraph, ProcessId
+from repro.net.host import AsyncHost, HostConfig, run_host
+from repro.obs.metrics import MetricsRegistry, gauge_max, merge_snapshots
+from repro.obs.report import render_prometheus
+from repro.trace import analysis
+from repro.trace.recorder import TraceRecorder
+from repro.trace.serialize import load_path
+
+__all__ = ["ClusterSpec", "ClusterVerdict", "launch", "merge_run", "placement_summary", "serve"]
+
+Edge = Tuple[ProcessId, ProcessId]
+
+
+@dataclass
+class ClusterSpec:
+    """Everything a cluster run needs, JSON-serializable for the children."""
+
+    topology: str = "ring"
+    n: int = 3
+    processes: int = 3
+    duration: float = 2.0
+    seed: int = 0
+    eat_time: float = 0.05
+    think_time: float = 0.01
+    heartbeat_interval: float = 0.25
+    initial_timeout: float = 0.75
+    timeout_increment: float = 0.25
+    channel_bound: int = 4
+    connect_timeout: float = 10.0
+    transport: str = "unix"
+    crash_times: Dict[int, float] = field(default_factory=dict)
+    run_dir: str = "cluster-run"
+    #: Filled in by :func:`launch` before the spec reaches the children.
+    epoch: Optional[float] = None
+    addresses: Dict[int, object] = field(default_factory=dict)
+    placement: Dict[int, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.processes < 1:
+            raise ConfigurationError(f"need at least one process, got {self.processes}")
+        if self.processes > self.n:
+            raise ConfigurationError(
+                f"{self.processes} processes for {self.n} diners: some would be empty"
+            )
+        if self.transport not in ("unix", "tcp"):
+            raise ConfigurationError(f"cluster transport must be unix or tcp, not {self.transport!r}")
+
+    # ------------------------------------------------------------------
+    # Derived structure
+    # ------------------------------------------------------------------
+    def graph(self) -> ConflictGraph:
+        return topologies.by_name(self.topology, self.n, seed=self.seed)
+
+    def host_config(self) -> HostConfig:
+        return HostConfig(
+            duration=self.duration,
+            seed=self.seed,
+            eat_time=self.eat_time,
+            think_time=self.think_time,
+            heartbeat_interval=self.heartbeat_interval,
+            initial_timeout=self.initial_timeout,
+            timeout_increment=self.timeout_increment,
+            channel_bound=self.channel_bound,
+            connect_timeout=self.connect_timeout,
+        )
+
+    def default_placement(self) -> Dict[int, int]:
+        """Round-robin diners over hosts (balanced, deterministic)."""
+        nodes = self.graph().nodes
+        return {pid: index % self.processes for index, pid in enumerate(nodes)}
+
+    def host_dir(self, host_index: int) -> str:
+        return os.path.join(self.run_dir, f"host-{host_index}")
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ClusterSpec":
+        data = json.loads(text)
+        # JSON object keys are strings; the int-keyed maps come back typed.
+        for key in ("crash_times", "addresses", "placement"):
+            data[key] = {int(k): v for k, v in (data.get(key) or {}).items()}
+        return cls(**data)
+
+    @classmethod
+    def load(cls, path: str) -> "ClusterSpec":
+        with open(path, "r", encoding="utf-8") as stream:
+            return cls.from_json(stream.read())
+
+
+@dataclass
+class ClusterVerdict:
+    """Merged outcome of one cluster run."""
+
+    ok: bool
+    hosts: List[Dict[str, object]]
+    checker_violations: List[str]
+    exclusion_total: int
+    exclusion_late: int
+    starving: List[int]
+    total_meals: int
+    max_in_transit: int
+    edge_peaks: Dict[str, int]
+    prometheus: str
+
+    def describe(self) -> str:
+        lines = [
+            f"cluster verdict: {'PASS' if self.ok else 'FAIL'}",
+            f"  hosts:                 {len(self.hosts)}",
+            f"  total meals:           {self.total_meals}",
+            f"  checker violations:    {len(self.checker_violations)}",
+            f"  exclusion violations:  {self.exclusion_total} total, "
+            f"{self.exclusion_late} after settle",
+            f"  starving correct:      {self.starving or 'none'}",
+            f"  peak msgs per edge:    {self.max_in_transit} (bound 4)",
+        ]
+        for detail in self.checker_violations[:10]:
+            lines.append(f"    ! {detail}")
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Child entry point
+# ----------------------------------------------------------------------
+def build_host(spec: ClusterSpec, host_index: int) -> AsyncHost:
+    """Rebuild one host (its diners, links, detector) from a launched spec."""
+    graph = spec.graph()
+    placement = spec.placement or spec.default_placement()
+    local_pids = [pid for pid in graph.nodes if placement[pid] == host_index]
+    if not local_pids:
+        raise ConfigurationError(f"host {host_index} owns no diners")
+    return AsyncHost(
+        graph,
+        local_pids=local_pids,
+        config=spec.host_config(),
+        placement=placement,
+        host_index=host_index,
+        addresses=spec.addresses,
+        transport=spec.transport if spec.processes > 1 else "loopback",
+        epoch=spec.epoch,
+        crash_times=spec.crash_times,
+        run=f"host{host_index}",
+    )
+
+
+def serve(spec_path: str, host_index: int, output_dir: Optional[str] = None) -> int:
+    """Run one host of a launched cluster; the ``repro serve`` body."""
+    spec = ClusterSpec.load(spec_path)
+    host = build_host(spec, host_index)
+    run_host(host)
+    host.write_outputs(output_dir or spec.host_dir(host_index))
+    return 1 if host.violations else 0
+
+
+# ----------------------------------------------------------------------
+# Launcher
+# ----------------------------------------------------------------------
+def _allocate_addresses(spec: ClusterSpec) -> Dict[int, object]:
+    if spec.transport == "unix":
+        return {
+            index: os.path.join(spec.run_dir, f"host-{index}.sock")
+            for index in range(spec.processes)
+        }
+    import socket
+
+    addresses: Dict[int, object] = {}
+    probes = []
+    for index in range(spec.processes):
+        probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        probe.bind(("127.0.0.1", 0))
+        probes.append(probe)
+        addresses[index] = ["127.0.0.1", probe.getsockname()[1]]
+    for probe in probes:  # release only after all ports are distinct
+        probe.close()
+    return addresses
+
+
+def launch(spec: ClusterSpec, *, quiet: bool = False) -> ClusterVerdict:
+    """Spawn the cluster, wait for every host, and merge the outputs."""
+    os.makedirs(spec.run_dir, exist_ok=True)
+    spec.placement = spec.placement or spec.default_placement()
+    spec.addresses = _allocate_addresses(spec)
+    # Actors on every host start together at the epoch; the margin covers
+    # interpreter start-up plus the dial-retry handshake.
+    spec.epoch = time.time() + 1.0 + 0.4 * spec.processes
+    spec_path = os.path.join(spec.run_dir, "spec.json")
+    with open(spec_path, "w", encoding="utf-8") as stream:
+        stream.write(spec.to_json())
+        stream.write("\n")
+
+    if spec.processes == 1:
+        serve(spec_path, 0)
+        return merge_run(spec)
+
+    children = []
+    for index in range(spec.processes):
+        log = open(os.path.join(spec.run_dir, f"host-{index}.log"), "w", encoding="utf-8")
+        children.append(
+            (
+                subprocess.Popen(
+                    [sys.executable, "-m", "repro", "serve",
+                     "--spec", spec_path, "--host-index", str(index)],
+                    stdout=log,
+                    stderr=subprocess.STDOUT,
+                ),
+                log,
+            )
+        )
+    deadline = spec.epoch + spec.duration + spec.connect_timeout + 30.0
+    failures: List[str] = []
+    for index, (child, log) in enumerate(children):
+        budget = max(1.0, deadline - time.time())
+        try:
+            code = child.wait(timeout=budget)
+        except subprocess.TimeoutExpired:
+            child.kill()
+            child.wait()
+            failures.append(f"host {index} timed out and was killed")
+            code = -9
+        finally:
+            log.close()
+        if code not in (0, 1):  # 1 = ran but saw violations; merge reports them
+            failures.append(f"host {index} exited with code {code}")
+
+    verdict = merge_run(spec)
+    if failures:
+        verdict.checker_violations.extend(failures)
+        verdict.ok = False
+    if not quiet:
+        print(verdict.describe())
+        print()
+        print(verdict.prometheus, end="")
+    return verdict
+
+
+# ----------------------------------------------------------------------
+# Merge
+# ----------------------------------------------------------------------
+def _merge_traces(host_dirs: List[str]) -> TraceRecorder:
+    records: List[object] = []
+    for directory in host_dirs:
+        records.extend(load_path(os.path.join(directory, "trace.jsonl")))
+    records.sort(key=lambda record: record.time)
+    merged = TraceRecorder()
+    for record in records:
+        merged.record(record)
+    return merged
+
+
+def _load_wire_events(host_dirs: List[str]) -> List[dict]:
+    events: List[dict] = []
+    for directory in host_dirs:
+        with open(os.path.join(directory, "wire.jsonl"), "r", encoding="utf-8") as stream:
+            for line in stream:
+                line = line.strip()
+                if line:
+                    events.append(json.loads(line))
+    # Deliveries physically follow their sends and every host stamps with
+    # the same machine clock, so a time sort (sends first on exact ties)
+    # replays each edge's true occupancy staircase.
+    events.sort(key=lambda e: (e["time"], 0 if e["kind"] == "send" else 1, e["seq"]))
+    return events
+
+
+def _edge_occupancy(events: List[dict]) -> Dict[Edge, Tuple[int, float, int]]:
+    """Exact dining-layer occupancy per undirected edge: (peak, at, final)."""
+    state: Dict[Edge, List] = {}
+    for event in events:
+        if event["layer"] != "dining":
+            continue
+        a, b = event["src"], event["dst"]
+        edge = (a, b) if a <= b else (b, a)
+        entry = state.setdefault(edge, [0, 0, 0.0])
+        if event["kind"] == "send":
+            entry[0] += 1
+            if entry[0] > entry[1]:
+                entry[1] = entry[0]
+                entry[2] = event["time"]
+        else:  # deliver or drop both vacate the channel
+            entry[0] -= 1
+    return {edge: (entry[1], entry[2], entry[0]) for edge, entry in state.items()}
+
+
+def merge_run(spec: ClusterSpec) -> ClusterVerdict:
+    """Combine per-host outputs into the system-wide verdict."""
+    graph = spec.graph()
+    host_dirs = [spec.host_dir(index) for index in range(spec.processes)]
+
+    results: List[Dict[str, object]] = []
+    snapshots: List[dict] = []
+    checker_violations: List[str] = []
+    for index, directory in enumerate(host_dirs):
+        with open(os.path.join(directory, "result.json"), "r", encoding="utf-8") as stream:
+            result = json.load(stream)
+        results.append(result)
+        checker_violations.extend(
+            f"host {index}: {detail}" for detail in result.get("violations", ())
+        )
+        with open(os.path.join(directory, "metrics.json"), "r", encoding="utf-8") as stream:
+            snapshots.append(json.load(stream))
+
+    trace = _merge_traces(host_dirs)
+    occupancy = _edge_occupancy(_load_wire_events(host_dirs))
+    max_in_transit = max((peak for peak, _, _ in occupancy.values()), default=0)
+    for edge, (peak, _, _) in sorted(occupancy.items()):
+        if peak > spec.channel_bound:
+            checker_violations.append(
+                f"merged wire log: {peak} dining messages in transit on edge "
+                f"{edge}, bound is {spec.channel_bound}"
+            )
+
+    # The authoritative per-edge gauge comes from the merged staircase —
+    # cross-host edges are invisible to any single host's registry.
+    cluster_registry = MetricsRegistry(profile=False)
+    for (a, b), (peak, at, final) in sorted(occupancy.items()):
+        gauge = cluster_registry.gauge(
+            "net.in_transit", edge=f"{a}-{b}", layer="dining", run="cluster"
+        )
+        gauge.set(peak, at)
+        gauge.set(final)
+    merged_metrics = merge_snapshots([*snapshots, cluster_registry.snapshot()])
+
+    horizon = spec.duration
+    violations = analysis.exclusion_violations(trace, graph, horizon=horizon)
+    # ◇WX tolerates early violations from detector mistakes; after the
+    # settle window (time for the adaptive timeouts to absorb start-up
+    # jitter, plus one meal to drain) none are acceptable.
+    settle = min(
+        horizon, spec.initial_timeout + spec.timeout_increment + spec.eat_time
+    )
+    late = [v for v in violations if v.end > settle]
+    crashed = set(spec.crash_times)
+    correct = [pid for pid in graph.nodes if pid not in crashed]
+    patience = max(0.4 * spec.duration, 20 * spec.eat_time)
+    starving = analysis.starving_processes(
+        trace, correct, horizon=horizon, patience=patience
+    )
+
+    total_meals = sum(
+        int(count) for result in results for count in result.get("meals", {}).values()
+    )
+    gauge_ceiling = gauge_max(merged_metrics, "net.in_transit")
+    if gauge_ceiling is not None and not math.isfinite(gauge_ceiling):
+        checker_violations.append("non-finite in-transit gauge")
+
+    ok = not checker_violations and not late and not starving and (
+        max_in_transit <= spec.channel_bound
+    )
+    return ClusterVerdict(
+        ok=ok,
+        hosts=results,
+        checker_violations=checker_violations,
+        exclusion_total=len(violations),
+        exclusion_late=len(late),
+        starving=starving,
+        total_meals=total_meals,
+        max_in_transit=max_in_transit,
+        edge_peaks={f"{a}-{b}": peak for (a, b), (peak, _, _) in sorted(occupancy.items())},
+        prometheus=render_prometheus(merged_metrics),
+    )
+
+
+def placement_summary(spec: ClusterSpec) -> str:
+    """Human-readable diner-to-host assignment, e.g. ``host 0: [0, 2]``."""
+    placement = spec.placement or spec.default_placement()
+    by_host: Dict[int, List[int]] = {}
+    for pid, host in sorted(placement.items()):
+        by_host.setdefault(host, []).append(pid)
+    return ", ".join(f"host {host}: {pids}" for host, pids in sorted(by_host.items()))

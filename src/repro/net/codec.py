@@ -1,0 +1,241 @@
+"""Binary wire codec for the dining and detector layers.
+
+Algorithm 1 exchanges exactly four dining message types plus the
+heartbeat probes of the ◇P₁ implementation.  The codec keeps the paper's
+Section 7 message-size accounting honest on a real wire: every id is an
+unsigned LEB128 varint, so a frame costs O(log n) bits for an n-process
+system — the same growth rate :func:`repro.core.messages.message_size_bits`
+assigns it (the constant differs: real framing pays byte alignment and a
+length prefix).
+
+Frame layout (all varints unsigned LEB128)::
+
+    frame   := length:uvarint payload          # length = len(payload)
+    payload := tag:u8 src:uvarint dst:uvarint seq:uvarint body
+    tag     := 0x01 Ping | 0x02 Ack | 0x03 ForkRequest | 0x04 Fork
+             | 0x05 Heartbeat
+    body    := ""                              # Ping, Ack, Fork
+             | color:uvarint                   # ForkRequest
+             | sent_at:f64-big-endian          # Heartbeat
+
+``seq`` is the per-directed-channel sequence number (1-based, counting
+every message on that channel regardless of layer).  It rides on the wire
+so a receiver can assert the paper's channel assumption — FIFO, no loss,
+no duplication — *live*: every arriving frame must carry exactly the next
+expected sequence number.
+
+The dining messages carry their sender pid in-band (``Ping.sender`` and
+friends); the envelope's ``src`` is authoritative for routing, and
+encoding refuses a message whose in-band sender disagrees with it, so a
+decoded message always reconstructs bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator, List, Tuple
+
+from repro.core.messages import Ack, Fork, ForkRequest, Ping
+from repro.detectors.heartbeat import Heartbeat
+from repro.errors import ReproError
+
+__all__ = [
+    "FrameDecoder",
+    "WireCodecError",
+    "WireMessage",
+    "decode_frame",
+    "decode_message",
+    "encode_frame",
+    "encode_message",
+    "frame_size_bits",
+]
+
+
+class WireCodecError(ReproError):
+    """Malformed frame, unknown tag, or unencodable message."""
+
+
+TAG_PING = 0x01
+TAG_ACK = 0x02
+TAG_FORK_REQUEST = 0x03
+TAG_FORK = 0x04
+TAG_HEARTBEAT = 0x05
+
+_TAG_OF_TYPE = {
+    Ping: TAG_PING,
+    Ack: TAG_ACK,
+    ForkRequest: TAG_FORK_REQUEST,
+    Fork: TAG_FORK,
+    Heartbeat: TAG_HEARTBEAT,
+}
+
+#: Hard ceiling on one frame's payload (a dining frame is ~10 bytes; even
+#: adversarial 64-bit ids stay under 64).  Keeps a corrupted length prefix
+#: from allocating unbounded buffers.
+MAX_PAYLOAD_BYTES = 256
+
+WireMessage = Tuple[int, int, int, object]  # (src, dst, seq, message)
+
+
+# ----------------------------------------------------------------------
+# Varints (unsigned LEB128)
+# ----------------------------------------------------------------------
+def _encode_uvarint(value: int) -> bytes:
+    if value < 0:
+        raise WireCodecError(f"cannot encode negative value {value} as uvarint")
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def _decode_uvarint(data: bytes, offset: int) -> Tuple[int, int]:
+    """Decode one uvarint at ``offset``; returns (value, next_offset)."""
+    result = 0
+    shift = 0
+    while True:
+        if offset >= len(data):
+            raise WireCodecError("truncated varint")
+        if shift > 63:
+            raise WireCodecError("varint exceeds 64 bits")
+        byte = data[offset]
+        offset += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, offset
+        shift += 7
+
+
+# ----------------------------------------------------------------------
+# Message payloads
+# ----------------------------------------------------------------------
+def encode_message(src: int, dst: int, seq: int, message) -> bytes:
+    """Encode one envelope payload (no length prefix)."""
+    tag = _TAG_OF_TYPE.get(type(message))
+    if tag is None:
+        raise WireCodecError(
+            f"no wire encoding for message type {type(message).__name__}"
+        )
+    sender = getattr(message, "sender", None)
+    if sender is not None and sender != src:
+        raise WireCodecError(
+            f"in-band sender {sender} disagrees with envelope src {src}"
+        )
+    head = (
+        bytes((tag,))
+        + _encode_uvarint(src)
+        + _encode_uvarint(dst)
+        + _encode_uvarint(seq)
+    )
+    if tag == TAG_FORK_REQUEST:
+        return head + _encode_uvarint(message.color)
+    if tag == TAG_HEARTBEAT:
+        return head + struct.pack(">d", message.sent_at)
+    return head
+
+
+def decode_message(payload: bytes) -> WireMessage:
+    """Inverse of :func:`encode_message`."""
+    if not payload:
+        raise WireCodecError("empty payload")
+    tag = payload[0]
+    src, offset = _decode_uvarint(payload, 1)
+    dst, offset = _decode_uvarint(payload, offset)
+    seq, offset = _decode_uvarint(payload, offset)
+    if tag == TAG_PING:
+        message: object = Ping(src)
+    elif tag == TAG_ACK:
+        message = Ack(src)
+    elif tag == TAG_FORK_REQUEST:
+        color, offset = _decode_uvarint(payload, offset)
+        message = ForkRequest(src, color)
+    elif tag == TAG_FORK:
+        message = Fork(src)
+    elif tag == TAG_HEARTBEAT:
+        if len(payload) - offset < 8:
+            raise WireCodecError("truncated heartbeat timestamp")
+        (sent_at,) = struct.unpack_from(">d", payload, offset)
+        offset += 8
+        message = Heartbeat(sent_at=sent_at)
+    else:
+        raise WireCodecError(f"unknown message tag 0x{tag:02x}")
+    if offset != len(payload):
+        raise WireCodecError(
+            f"{len(payload) - offset} trailing byte(s) after tag 0x{tag:02x}"
+        )
+    return src, dst, seq, message
+
+
+# ----------------------------------------------------------------------
+# Framing
+# ----------------------------------------------------------------------
+def encode_frame(src: int, dst: int, seq: int, message) -> bytes:
+    """One length-prefixed frame, ready for a byte stream."""
+    payload = encode_message(src, dst, seq, message)
+    return _encode_uvarint(len(payload)) + payload
+
+
+def decode_frame(data: bytes) -> WireMessage:
+    """Decode exactly one frame; trailing bytes are an error."""
+    length, offset = _decode_uvarint(data, 0)
+    if len(data) - offset != length:
+        raise WireCodecError(
+            f"frame length {length} disagrees with {len(data) - offset} payload bytes"
+        )
+    return decode_message(data[offset:])
+
+
+class FrameDecoder:
+    """Incremental frame decoder for a byte stream.
+
+    Feed arbitrary chunks; complete frames come out in order.  Partial
+    frames stay buffered until their bytes arrive — exactly the reassembly
+    a TCP reader needs.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> List[WireMessage]:
+        """Absorb ``data``; return every now-complete frame."""
+        self._buffer.extend(data)
+        return list(self._drain())
+
+    def _drain(self) -> Iterator[WireMessage]:
+        while True:
+            try:
+                length, offset = _decode_uvarint(bytes(self._buffer[:10]), 0)
+            except WireCodecError:
+                if len(self._buffer) >= 10:
+                    raise  # 10 bytes cannot fail to hold a sane length varint
+                return
+            if length > MAX_PAYLOAD_BYTES:
+                raise WireCodecError(
+                    f"frame payload of {length} bytes exceeds cap {MAX_PAYLOAD_BYTES}"
+                )
+            end = offset + length
+            if len(self._buffer) < end:
+                return
+            payload = bytes(self._buffer[offset:end])
+            del self._buffer[:end]
+            yield decode_message(payload)
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered awaiting the rest of a frame."""
+        return len(self._buffer)
+
+
+def frame_size_bits(src: int, dst: int, seq: int, message) -> int:
+    """Exact on-the-wire size of one frame, in bits.
+
+    Used by tests to confirm the real encoding keeps the paper's O(log n)
+    growth: for the dining types this is a constant plus the varint cost
+    of two pids and a sequence number, each ⌈⌈log₂ x⌉/7⌉ bytes.
+    """
+    return 8 * len(encode_frame(src, dst, seq, message))

@@ -1,0 +1,543 @@
+"""AsyncHost: Algorithm 1 actors on a real asyncio event loop.
+
+One :class:`AsyncHost` owns one event loop and hosts one or more
+**unchanged** :class:`~repro.core.diner.DinerActor` objects through
+:class:`~repro.net.substrate.LiveSubstrate`.  Everything the simulator
+kernel provided under virtual time is re-realised under wall-clock time:
+
+* **Links** — every message (local or remote) passes through the binary
+  codec.  Actors on the same host are linked through ``loop.call_soon``
+  (asyncio's FIFO ready queue preserves send order); actors on different
+  hosts are linked through one TCP or Unix-socket connection per directed
+  host pair (TCP byte ordering makes every directed channel FIFO).
+* **◇P₁** — the same :class:`~repro.detectors.heartbeat.HeartbeatDetector`
+  used under the kernel, now driven by wall-clock timers: heartbeats every
+  ``heartbeat_interval`` seconds, adaptive per-neighbor deadlines.
+* **Crash injection** — a scheduled :meth:`~repro.core.substrate.Actor.crash`
+  freezes the actor (no more steps, deliveries dropped); once *every*
+  local actor is crashed the host severs its connections, which is what a
+  process crash looks like from the rest of the cluster.
+* **Live checking** — fork/token uniqueness after every step and the
+  Section 7 channel bound on every local edge; cross-host edges are
+  checked post-hoc from the merged wire logs (see
+  :mod:`repro.net.cluster`).  Per-directed-channel sequence numbers ride
+  in every frame, and a receiver rejects any gap or reordering — the
+  paper's FIFO/no-loss channel assumption, asserted live.
+* **Observability** — the same metric names as the simulator
+  (``net.messages_sent_total``, ``net.in_transit``, ``dining.*``) in a
+  :class:`~repro.obs.metrics.MetricsRegistry`, plus an append-only wire
+  log of every send/deliver/drop with wall-clock timestamps.
+
+Exceptions raised inside actor steps or checkers are captured as run
+violations (never thrown through the event loop), so a run always
+completes and reports everything it saw.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import json
+import os
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.diner import DinerActor
+from repro.core.substrate import ProcessId
+from repro.core.workload import AlwaysHungry, Workload
+from repro.detectors.heartbeat import HeartbeatDetector
+from repro.errors import ConfigurationError, InvariantViolation
+from repro.graphs.coloring import Coloring, greedy_coloring, validate_coloring
+from repro.graphs.conflict import ConflictGraph
+from repro.net.codec import FrameDecoder, WireCodecError, decode_frame, encode_frame
+from repro.net.substrate import LiveSubstrate
+from repro.obs.instrument import NetworkInstrument, TraceInstrument
+from repro.obs.metrics import MetricsRegistry
+from repro.sim.monitors import message_layer
+from repro.sim.rng import RandomStreams
+from repro.trace.invariants import ChannelBoundChecker, ForkUniquenessChecker
+from repro.trace.recorder import TraceRecorder
+from repro.trace.serialize import dump_path
+
+__all__ = ["AsyncHost", "HostConfig", "WireEvent", "run_host"]
+
+
+@dataclass
+class HostConfig:
+    """Numeric knobs of a live run; one instance is shared by a cluster.
+
+    Defaults are scaled for second-long demonstration runs: eating lasts
+    50 ms and the detector heartbeats every 250 ms, so a 2-second run
+    sees dozens of meals and several detector periods.
+    """
+
+    duration: float = 2.0
+    seed: int = 0
+    eat_time: float = 0.05
+    think_time: float = 0.01
+    max_sessions: Optional[int] = None
+    heartbeat_interval: float = 0.25
+    initial_timeout: float = 0.75
+    timeout_increment: float = 0.25
+    channel_bound: int = 4
+    connect_timeout: float = 10.0
+
+
+@dataclass(frozen=True)
+class WireEvent:
+    """One observed transport event, timestamped on the shared epoch clock.
+
+    ``kind`` is ``send``, ``deliver``, or ``drop`` (delivery attempt at a
+    crashed actor).  Both endpoints of a cross-host edge log with the same
+    machine's clock, so merged wire logs reconstruct exact per-edge
+    occupancy with no skew correction.
+    """
+
+    kind: str
+    src: ProcessId
+    dst: ProcessId
+    type: str
+    layer: str
+    seq: int
+    time: float
+    bits: int
+
+
+class AsyncHost:
+    """Hosts a subset of a conflict graph's diners on one event loop.
+
+    Parameters
+    ----------
+    graph:
+        The full conflict graph (every host knows the whole topology).
+    local_pids:
+        The processes this host runs; default all of them (single-host
+        loopback mode).
+    placement:
+        pid -> host index, for routing.  Defaults to everything local.
+    host_index, addresses, transport:
+        This host's identity, the host-index -> address map, and the link
+        kind: ``loopback`` (in-process only), ``unix`` (address is a
+        socket path), or ``tcp`` (address is a ``[host, port]`` pair).
+    epoch:
+        Shared wall-clock zero (``time.time()`` units).  The cluster
+        launcher picks one instant slightly in the future and hands it to
+        every host, so ``now`` is cross-process comparable and all hosts
+        start their actors together.  Defaults to "when run() starts".
+    crash_times:
+        pid -> crash instant (seconds after the epoch) for local pids.
+    """
+
+    def __init__(
+        self,
+        graph: ConflictGraph,
+        *,
+        local_pids: Optional[Sequence[ProcessId]] = None,
+        config: Optional[HostConfig] = None,
+        placement: Optional[Mapping[ProcessId, int]] = None,
+        host_index: int = 0,
+        addresses: Optional[Mapping[int, object]] = None,
+        transport: str = "loopback",
+        epoch: Optional[float] = None,
+        crash_times: Optional[Mapping[ProcessId, float]] = None,
+        workload: Optional[Workload] = None,
+        coloring: Optional[Coloring] = None,
+        registry: Optional[MetricsRegistry] = None,
+        run: str = "live",
+    ) -> None:
+        if transport not in ("loopback", "unix", "tcp"):
+            raise ConfigurationError(f"unknown transport {transport!r}")
+        self.graph = graph
+        self.config = config or HostConfig()
+        self.host_index = int(host_index)
+        self.transport = transport
+        self._addresses = dict(addresses or {})
+        self._epoch: Optional[float] = epoch
+        self._finished = False
+        self.loop: Optional[asyncio.AbstractEventLoop] = None
+
+        pids = tuple(local_pids) if local_pids is not None else graph.nodes
+        for pid in pids:
+            if pid not in graph:
+                raise ConfigurationError(f"local pid {pid} is not in the conflict graph")
+        self.local_pids: Tuple[ProcessId, ...] = tuple(sorted(pids))
+
+        self._placement: Dict[ProcessId, int] = (
+            dict(placement)
+            if placement is not None
+            else {pid: self.host_index for pid in graph.nodes}
+        )
+        for pid in graph.nodes:
+            if pid not in self._placement:
+                raise ConfigurationError(f"placement does not cover process {pid}")
+        if transport == "loopback":
+            remote = [p for p in graph.nodes if self._placement[p] != self.host_index]
+            if remote:
+                raise ConfigurationError(
+                    f"loopback transport cannot reach remote pids {remote}"
+                )
+
+        self.streams = RandomStreams(self.config.seed)
+        self.coloring = coloring if coloring is not None else greedy_coloring(graph)
+        validate_coloring(graph, self.coloring)
+        self.detector = HeartbeatDetector(
+            graph,
+            interval=self.config.heartbeat_interval,
+            initial_timeout=self.config.initial_timeout,
+            timeout_increment=self.config.timeout_increment,
+        )
+        self.workload = workload if workload is not None else AlwaysHungry(
+            eat_time=self.config.eat_time,
+            think_time=self.config.think_time,
+            max_sessions=self.config.max_sessions,
+        )
+        self.trace = TraceRecorder()
+
+        self.registry = registry if registry is not None else MetricsRegistry(profile=False)
+        self._net_probe = NetworkInstrument(
+            self.registry, run=run, bound=self.config.channel_bound
+        )
+        self._trace_probe = TraceInstrument(self.registry, graph, self)
+        self._trace_probe.attach(self.trace)
+        self.registry.add_finalizer(self._flush_probes)
+
+        self.diners: Dict[ProcessId, DinerActor] = {}
+        for pid in self.local_pids:
+            diner = DinerActor(
+                pid, graph, self.coloring, self.detector, self.workload, self.trace
+            )
+            diner.bind_substrate(LiveSubstrate(self, pid))
+            self.diners[pid] = diner
+
+        local = set(self.local_pids)
+        self._local_edges = tuple(
+            edge for edge in sorted(graph.edges) if edge[0] in local and edge[1] in local
+        )
+        self._fork_checker = ForkUniquenessChecker(self.diners, self._local_edges)
+        self._bound_checker = ChannelBoundChecker(
+            bound=self.config.channel_bound, layer="dining"
+        )
+
+        self._crash_times: Dict[ProcessId, float] = {
+            pid: float(t)
+            for pid, t in (crash_times or {}).items()
+            if pid in self.diners
+        }
+
+        self._next_seq: Dict[Tuple[ProcessId, ProcessId], int] = {}
+        self._expected_seq: Dict[Tuple[ProcessId, ProcessId], int] = {}
+        self.wire_events: List[WireEvent] = []
+        self.violations: List[str] = []
+
+        self._server = None
+        self._writers: Dict[int, asyncio.StreamWriter] = {}
+        self._reader_tasks: List[asyncio.Task] = []
+
+    # ------------------------------------------------------------------
+    # Substrate surface (consumed by LiveSubstrate)
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Wall-clock seconds since the shared run epoch."""
+        if self._epoch is None:
+            return 0.0
+        return time.time() - self._epoch
+
+    def guarded(self, callback, label: str = ""):
+        """Wrap an actor callback: capture exceptions, then run checkers."""
+
+        def step() -> None:
+            if self._finished:
+                return
+            try:
+                callback()
+            except Exception as exc:  # noqa: BLE001 - every actor fault is a finding
+                self._record_violation(f"{label or 'step'}: {exc}")
+                return
+            self._after_step()
+
+        return step
+
+    def transmit(self, src: ProcessId, dst: ProcessId, message) -> None:
+        """Route one message: local FIFO queue or the peer connection."""
+        if self._finished:
+            return
+        key = (src, dst)
+        seq = self._next_seq.get(key, 0) + 1
+        self._next_seq[key] = seq
+        frame = encode_frame(src, dst, seq, message)
+        now = self.now
+        name = type(message).__name__
+        layer = message_layer(message)
+        self.wire_events.append(
+            WireEvent("send", src, dst, name, layer, seq, now, 8 * len(frame))
+        )
+        if self._placement[dst] == self.host_index:
+            # Local edge: both endpoints observable, so the live per-edge
+            # gauge and the Section 7 bound checker are exact here.
+            self._net_probe.on_send(src, dst, message, now)
+            try:
+                self._bound_checker.on_send(src, dst, message, now)
+            except InvariantViolation as exc:
+                self._record_violation(str(exc))
+            self.loop.call_soon(self._deliver_frame, frame)
+        else:
+            self.registry.counter("net.messages_sent_total", type=name, layer=layer).inc()
+            writer = self._writers.get(self._placement[dst])
+            if writer is None or writer.is_closing():
+                # The peer is gone (crashed hosts sever their links, and
+                # hosts wind down independently): the message is lost in
+                # transit, exactly a crash-model drop.
+                self.wire_events.append(
+                    WireEvent("drop", src, dst, name, layer, seq, now, 8 * len(frame))
+                )
+                self.registry.counter(
+                    "net.messages_dropped_total", type=name, layer=layer
+                ).inc()
+            else:
+                writer.write(frame)
+
+    # ------------------------------------------------------------------
+    # Delivery
+    # ------------------------------------------------------------------
+    def _deliver_frame(self, frame: bytes) -> None:
+        try:
+            src, dst, seq, message = decode_frame(frame)
+        except WireCodecError as exc:
+            self._record_violation(f"undecodable loopback frame: {exc}")
+            return
+        self._receive(src, dst, seq, message)
+
+    def _receive(self, src: ProcessId, dst: ProcessId, seq: int, message) -> None:
+        if self._finished:
+            return
+        key = (src, dst)
+        expected = self._expected_seq.get(key, 0) + 1
+        if seq != expected:
+            self._record_violation(
+                f"t={self.now:.4f}: channel {src}->{dst} delivered seq {seq}, "
+                f"expected {expected} (FIFO/no-loss violated)"
+            )
+        self._expected_seq[key] = seq
+
+        actor = self.diners.get(dst)
+        now = self.now
+        name = type(message).__name__
+        layer = message_layer(message)
+        local_src = self._placement[src] == self.host_index
+        if actor is None:
+            self._record_violation(f"frame for non-local pid {dst} ({name} from {src})")
+            return
+        if actor.crashed:
+            self.wire_events.append(
+                WireEvent("drop", src, dst, name, layer, seq, now, 0)
+            )
+            if local_src:
+                self._net_probe.on_drop(src, dst, message, now)
+                self._bound_checker.on_drop(src, dst, message, now)
+            else:
+                self.registry.counter(
+                    "net.messages_dropped_total", type=name, layer=layer
+                ).inc()
+            return
+        self.wire_events.append(
+            WireEvent("deliver", src, dst, name, layer, seq, now, 0)
+        )
+        if local_src:
+            self._net_probe.on_deliver(src, dst, message, now)
+            self._bound_checker.on_deliver(src, dst, message, now)
+        else:
+            self.registry.counter(
+                "net.messages_delivered_total", type=name, layer=layer
+            ).inc()
+        try:
+            actor.deliver(src, message)
+        except Exception as exc:  # noqa: BLE001 - every actor fault is a finding
+            self._record_violation(f"deliver {name} {src}->{dst}: {exc}")
+            return
+        self._after_step()
+
+    # ------------------------------------------------------------------
+    # Checking
+    # ------------------------------------------------------------------
+    def _after_step(self) -> None:
+        try:
+            self._fork_checker.check(self.now)
+        except InvariantViolation as exc:
+            self._record_violation(str(exc))
+
+    def _record_violation(self, detail: str) -> None:
+        self.violations.append(detail)
+
+    def _flush_probes(self) -> None:
+        self._net_probe.flush()
+        self._trace_probe.flush()
+
+    # ------------------------------------------------------------------
+    # Transport lifecycle
+    # ------------------------------------------------------------------
+    def _peer_hosts(self) -> Tuple[int, ...]:
+        """Host indices this host exchanges messages with."""
+        peers = set()
+        for pid in self.local_pids:
+            for neighbor in self.graph.neighbors(pid):
+                owner = self._placement[neighbor]
+                if owner != self.host_index:
+                    peers.add(owner)
+        return tuple(sorted(peers))
+
+    async def _start_transport(self) -> None:
+        if self.transport == "loopback":
+            return
+        address = self._addresses.get(self.host_index)
+        if address is None:
+            raise ConfigurationError(f"no address for host {self.host_index}")
+        if self.transport == "unix":
+            self._server = await asyncio.start_unix_server(
+                self._on_connection, path=str(address)
+            )
+        else:
+            bind_host, port = address
+            self._server = await asyncio.start_server(
+                self._on_connection, host=str(bind_host), port=int(port)
+            )
+        for peer in self._peer_hosts():
+            self._writers[peer] = await self._dial(peer)
+
+    async def _dial(self, peer: int) -> asyncio.StreamWriter:
+        """Connect to ``peer``, retrying while the cluster is still coming up."""
+        address = self._addresses.get(peer)
+        if address is None:
+            raise ConfigurationError(f"no address for peer host {peer}")
+        deadline = time.time() + self.config.connect_timeout
+        while True:
+            try:
+                if self.transport == "unix":
+                    _, writer = await asyncio.open_unix_connection(path=str(address))
+                else:
+                    bind_host, port = address
+                    _, writer = await asyncio.open_connection(str(bind_host), int(port))
+                return writer
+            except OSError:
+                if time.time() >= deadline:
+                    raise ConfigurationError(
+                        f"host {self.host_index} could not reach host {peer} "
+                        f"at {address!r} within {self.config.connect_timeout}s"
+                    ) from None
+                await asyncio.sleep(0.05)
+
+    def _on_connection(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        self._reader_tasks.append(asyncio.ensure_future(self._read_connection(reader)))
+
+    async def _read_connection(self, reader: asyncio.StreamReader) -> None:
+        decoder = FrameDecoder()
+        while True:
+            data = await reader.read(4096)
+            if not data:
+                return
+            try:
+                frames = decoder.feed(data)
+            except WireCodecError as exc:
+                self._record_violation(f"corrupt inbound stream: {exc}")
+                return
+            for src, dst, seq, message in frames:
+                self._receive(src, dst, seq, message)
+
+    def _kill_connections(self) -> None:
+        """Sever every link: what the cluster sees when this host 'crashes'."""
+        if self._server is not None:
+            self._server.close()
+        for writer in self._writers.values():
+            if not writer.is_closing():
+                writer.close()
+        for task in self._reader_tasks:
+            task.cancel()
+
+    # ------------------------------------------------------------------
+    # Run
+    # ------------------------------------------------------------------
+    async def run(self) -> "AsyncHost":
+        """Connect, run every local actor for ``config.duration``, wind down."""
+        self.loop = asyncio.get_running_loop()
+        await self._start_transport()
+        if self._epoch is None:
+            self._epoch = time.time()
+        start_delay = self._epoch - time.time()
+        if start_delay > 0:
+            await asyncio.sleep(start_delay)
+
+        for pid, actor in sorted(self.diners.items()):
+            self.guarded(actor.on_start, label=f"start@{pid}")()
+        for pid, instant in sorted(self._crash_times.items()):
+            self.loop.call_later(max(0.0, instant - self.now), self._inject_crash, pid)
+
+        remaining = self._epoch + self.config.duration - time.time()
+        if remaining > 0:
+            await asyncio.sleep(remaining)
+        await self._shutdown()
+        return self
+
+    def _inject_crash(self, pid: ProcessId) -> None:
+        if self._finished:
+            return
+        actor = self.diners[pid]
+        if actor.crashed:
+            return
+        try:
+            actor.crash()
+        except Exception as exc:  # noqa: BLE001 - every actor fault is a finding
+            self._record_violation(f"crash@{pid}: {exc}")
+        if all(a.crashed for a in self.diners.values()):
+            self._kill_connections()
+
+    async def _shutdown(self) -> None:
+        self._finished = True
+        self._kill_connections()
+        if self._server is not None:
+            try:
+                await self._server.wait_closed()
+            except Exception:  # pragma: no cover - platform-dependent teardown
+                pass
+        await asyncio.sleep(0)  # let cancelled reader tasks unwind
+        self.registry.finalize()
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def result(self) -> Dict[str, object]:
+        """Compact machine-readable summary of this host's run."""
+        return {
+            "host_index": self.host_index,
+            "local_pids": list(self.local_pids),
+            "epoch": self._epoch,
+            "duration": self.config.duration,
+            "transport": self.transport,
+            "meals": {str(pid): d.meals_eaten for pid, d in sorted(self.diners.items())},
+            "crashed": sorted(pid for pid, d in self.diners.items() if d.crashed),
+            "violations": list(self.violations),
+            "wire_events": len(self.wire_events),
+            "max_in_transit_local": self._net_probe.max_in_transit(),
+            "false_suspicion_retractions": self.detector.total_false_retractions(),
+        }
+
+    def write_outputs(self, directory: str) -> None:
+        """Dump trace, wire log, metrics snapshot, and result summary."""
+        os.makedirs(directory, exist_ok=True)
+        dump_path(self.trace, os.path.join(directory, "trace.jsonl"))
+        with open(os.path.join(directory, "wire.jsonl"), "w", encoding="utf-8") as stream:
+            for event in self.wire_events:
+                stream.write(json.dumps(dataclasses.asdict(event), sort_keys=True))
+                stream.write("\n")
+        with open(os.path.join(directory, "metrics.json"), "w", encoding="utf-8") as stream:
+            json.dump(self.registry.snapshot(), stream, indent=2, sort_keys=True)
+            stream.write("\n")
+        with open(os.path.join(directory, "result.json"), "w", encoding="utf-8") as stream:
+            json.dump(self.result(), stream, indent=2, sort_keys=True)
+            stream.write("\n")
+
+
+def run_host(host: AsyncHost) -> Dict[str, object]:
+    """Run one host to completion on a fresh event loop; returns its result."""
+    asyncio.run(host.run())
+    return host.result()

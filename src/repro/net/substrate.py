@@ -1,0 +1,103 @@
+"""Asyncio implementation of the actor substrate protocol.
+
+:class:`LiveSubstrate` is the wall-clock counterpart of
+:class:`repro.sim.actor.KernelSubstrate`: the same five capabilities from
+:class:`repro.core.substrate.Substrate`, realised on a running asyncio
+event loop instead of a virtual-time event queue —
+
+============================  =========================================
+capability                    live realisation
+============================  =========================================
+``now``                       ``time.time()`` minus the run epoch
+``streams``                   per-host :class:`~repro.sim.rng.RandomStreams`
+``send``                      host transmit (loopback queue or socket)
+``set_timer``                 ``loop.call_later``
+``request_reevaluation``      ``loop.call_soon``
+============================  =========================================
+
+The epoch is shared by every host of a cluster run (the launcher passes
+one ``time.time()`` snapshot to all processes), so ``now`` values recorded
+in different OS processes on the same machine are directly comparable —
+cross-process trace merging needs no clock reconciliation.
+
+Callbacks are routed through the host's guard so an exception inside an
+actor step is captured as a run violation instead of being swallowed by
+the event loop's default handler.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import TYPE_CHECKING, Callable
+
+from repro.core.substrate import ProcessId
+from repro.timebase import Duration, Instant, validate_duration
+
+if TYPE_CHECKING:  # annotation-only: avoid a host<->substrate import cycle
+    from repro.net.host import AsyncHost
+
+__all__ = ["LiveSubstrate", "LiveTimer"]
+
+
+class LiveTimer:
+    """Cancellable one-shot timer over ``loop.call_later``.
+
+    Satisfies :class:`repro.core.substrate.TimerHandle`: exposes a
+    ``cancelled`` attribute (the kernel's handle is a dataclass field, so
+    the protocol pins an attribute, not a method) and an idempotent
+    :meth:`cancel`.
+    """
+
+    __slots__ = ("_handle", "cancelled", "label")
+
+    def __init__(self, handle: asyncio.TimerHandle, label: str = "") -> None:
+        self._handle = handle
+        self.cancelled = False
+        self.label = label
+
+    def cancel(self) -> None:
+        self.cancelled = True
+        self._handle.cancel()
+
+
+class LiveSubstrate:
+    """One actor's view of its :class:`~repro.net.host.AsyncHost`."""
+
+    __slots__ = ("_host", "_pid")
+
+    def __init__(self, host: "AsyncHost", pid: ProcessId) -> None:
+        self._host = host
+        self._pid = pid
+
+    # ------------------------------------------------------------------
+    # Clock and randomness
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> Instant:
+        return self._host.now
+
+    @property
+    def streams(self):
+        return self._host.streams
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def send(self, src: ProcessId, dst: ProcessId, message) -> None:
+        self._host.transmit(src, dst, message)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def set_timer(
+        self, delay: Duration, callback: Callable[[], None], *, label: str = ""
+    ) -> LiveTimer:
+        delay = validate_duration(delay, name=label or "timer delay")
+        timer = LiveTimer(
+            self._host.loop.call_later(delay, self._host.guarded(callback, label)),
+            label,
+        )
+        return timer
+
+    def request_reevaluation(self, callback: Callable[[], None], *, label: str = "") -> None:
+        self._host.loop.call_soon(self._host.guarded(callback, label))

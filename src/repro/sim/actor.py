@@ -1,148 +1,62 @@
-"""Actor base class: a simulated process.
+"""The discrete-event kernel as an actor substrate.
 
-An :class:`Actor` is an event-driven process bound to a
-:class:`~repro.sim.kernel.Simulator` and a
-:class:`~repro.sim.network.Network`.  Subclasses implement
-:meth:`on_message` (and optionally :meth:`on_start`, :meth:`on_crash`) and
-use :meth:`send`, :meth:`set_timer`, and :meth:`request_reevaluation`.
+The :class:`~repro.core.substrate.Actor` base class (historically defined
+here) is written against the :class:`~repro.core.substrate.Substrate`
+protocol; this module supplies the simulator-backed implementation:
+:class:`KernelSubstrate` adapts a :class:`~repro.sim.kernel.Simulator` +
+:class:`~repro.sim.network.Network` pair to that surface, mapping timers
+onto ``TIMER``-priority events and guard re-evaluations onto zero-delay
+``REEVALUATE``-priority events so same-instant interleavings stay
+deterministic.
 
-Crash semantics follow the paper's fault model exactly: from its crash
-instant a process executes no further steps — pending timers are dead, and
-messages addressed to it are dropped by the network.  Crashing is
-irreversible.
-
-Guard re-evaluation
--------------------
-The dining algorithm is specified as guarded commands that must fire when
-continuously enabled.  Actors get weak fairness for free by re-evaluating
-guards whenever local state may have changed: every message receipt and
-timer firing ends with a call to :meth:`reevaluate` (subclass hook), and
-external components (for example a failure detector whose output changed)
-call :meth:`request_reevaluation`, which coalesces into at most one pending
-re-evaluation event per actor.
+``Actor`` and ``ProcessId`` are re-exported for the many call sites (and
+downstream projects) that import them from their historical home.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable
 
-from repro.errors import CrashedProcessError, SimulationError
+from repro.core.substrate import Actor, ProcessId, Substrate, TimerHandle
 from repro.sim.events import Event, EventPriority
-from repro.sim.kernel import Simulator
 from repro.sim.time import Duration, Instant
 
-ProcessId = int
+__all__ = ["Actor", "KernelSubstrate", "ProcessId", "Substrate", "TimerHandle"]
 
 
-class Actor:
-    """Base class for simulated processes."""
+class KernelSubstrate:
+    """A (simulator, network) pair presented as a :class:`Substrate`.
 
-    def __init__(self, pid: ProcessId) -> None:
-        self.pid = pid
-        self.crashed = False
-        self.crash_time: Optional[Instant] = None
-        self._sim: Optional[Simulator] = None
-        self._network = None
-        self._reevaluation_pending = False
+    Also accepts duck-typed kernels (anything with ``now``, ``streams``,
+    and ``schedule_after``) — the exhaustive explorer binds actors to its
+    choice kernel through this same adapter.
+    """
 
-    # ------------------------------------------------------------------
-    # Wiring
-    # ------------------------------------------------------------------
-    def bind(self, sim: Simulator, network) -> None:
-        """Attach this actor to a simulator and network (called by Network)."""
-        self._sim = sim
-        self._network = network
+    __slots__ = ("sim", "network")
 
-    @property
-    def sim(self) -> Simulator:
-        if self._sim is None:
-            raise SimulationError(f"actor {self.pid} is not bound to a simulator")
-        return self._sim
+    def __init__(self, sim, network) -> None:
+        self.sim = sim
+        self.network = network
 
     @property
     def now(self) -> Instant:
         return self.sim.now
 
-    # ------------------------------------------------------------------
-    # Lifecycle hooks (subclass API)
-    # ------------------------------------------------------------------
-    def on_start(self) -> None:
-        """Called once when the simulation starts; default does nothing."""
+    @property
+    def streams(self):
+        return self.sim.streams
 
-    def on_message(self, src: ProcessId, message) -> None:
-        """Handle a delivered message; subclasses must override."""
-        raise NotImplementedError
+    def send(self, src: ProcessId, dst: ProcessId, message) -> None:
+        self.network.send(src, dst, message)
 
-    def on_crash(self) -> None:
-        """Called once at the actor's crash instant; default does nothing."""
+    def set_timer(
+        self, delay: Duration, callback: Callable[[], None], *, label: str = ""
+    ) -> Event:
+        return self.sim.schedule_after(
+            delay, callback, priority=EventPriority.TIMER, label=label
+        )
 
-    def reevaluate(self) -> None:
-        """Re-check guarded commands; default does nothing.
-
-        Subclasses with guarded-command semantics override this; the base
-        class calls it after every message and timer.
-        """
-
-    # ------------------------------------------------------------------
-    # Actions available to subclasses
-    # ------------------------------------------------------------------
-    def send(self, dst: ProcessId, message) -> None:
-        """Send ``message`` to ``dst`` over the network.
-
-        Sending from a crashed actor raises: a correct implementation never
-        reaches a send after its crash instant, so this surfaces kernel
-        bugs instead of silently widening the fault model.
-        """
-        if self.crashed:
-            raise CrashedProcessError(f"crashed process {self.pid} attempted to send")
-        if self._network is None:
-            raise SimulationError(f"actor {self.pid} is not bound to a network")
-        self._network.send(self.pid, dst, message)
-
-    def set_timer(self, delay: Duration, callback: Callable[[], None], *, label: str = "") -> Event:
-        """Schedule ``callback`` after ``delay``; suppressed if crashed by then."""
-
-        def fire() -> None:
-            if self.crashed:
-                return
-            callback()
-            self.reevaluate()
-
-        return self.sim.schedule_after(delay, fire, priority=EventPriority.TIMER, label=label or f"timer@{self.pid}")
-
-    def request_reevaluation(self) -> None:
-        """Schedule a coalesced guard re-evaluation for this actor.
-
-        Safe to call many times per instant; only one event is pending at
-        any moment.  Used by failure detectors to notify the dining layer
-        that suspicion output changed.
-        """
-        if self.crashed or self._reevaluation_pending or self._sim is None:
-            return
-        self._reevaluation_pending = True
-
-        def fire() -> None:
-            self._reevaluation_pending = False
-            if self.crashed:
-                return
-            self.reevaluate()
-
-        self.sim.schedule_after(0.0, fire, priority=EventPriority.REEVALUATE, label=f"reeval@{self.pid}")
-
-    # ------------------------------------------------------------------
-    # Kernel-facing entry points
-    # ------------------------------------------------------------------
-    def deliver(self, src: ProcessId, message) -> None:
-        """Network entry point; ignores deliveries to crashed actors."""
-        if self.crashed:
-            return
-        self.on_message(src, message)
-        self.reevaluate()
-
-    def crash(self) -> None:
-        """Crash this actor now; irreversible, idempotent."""
-        if self.crashed:
-            return
-        self.crashed = True
-        self.crash_time = self.now if self._sim is not None else None
-        self.on_crash()
+    def request_reevaluation(self, callback: Callable[[], None], *, label: str = "") -> None:
+        self.sim.schedule_after(
+            0.0, callback, priority=EventPriority.REEVALUATE, label=label
+        )

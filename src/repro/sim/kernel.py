@@ -19,7 +19,7 @@ drawing randomness only from :class:`repro.sim.rng.RandomStreams`.
 from __future__ import annotations
 
 from time import perf_counter
-from typing import Callable, List, Optional
+from typing import Callable, List
 
 from repro.errors import SchedulingError
 from repro.sim.events import Event, EventPriority, EventQueue

@@ -29,7 +29,7 @@ import random
 from typing import Iterable, List, Optional
 
 from repro.errors import ConfigurationError
-from repro.graphs.conflict import ConflictGraph, ProcessId
+from repro.graphs.conflict import ProcessId
 from repro.graphs.topologies import ring
 from repro.stabilization.protocol import GuardedProtocol
 

@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.sim.time import Instant
+from repro.timebase import Instant
 
 ProcessId = int
 

@@ -26,7 +26,7 @@ import json
 from collections import deque
 from typing import Callable, Iterator, List, Optional, Type, TypeVar
 
-from repro.sim.time import Instant
+from repro.timebase import Instant
 from repro.trace.events import (
     Crash,
     DoorwayChange,

@@ -1,8 +1,7 @@
 """Unit tests for the distributed daemon layered on dining."""
 
-import pytest
 
-from repro.core import DistributedDaemon, null_detector, scripted_detector
+from repro.core import DistributedDaemon, scripted_detector
 from repro.graphs import grid, ring
 from repro.sim.crash import CrashPlan
 from repro.stabilization import DijkstraTokenRing, GreedyRecoloring

@@ -9,7 +9,7 @@ in comments: one hop = 1.0 time units.
 import pytest
 
 from repro.core import DiningTable, ScriptedWorkload, scripted_detector
-from repro.core.messages import Ack, Fork, ForkRequest, Ping
+from repro.core.messages import Ping
 from repro.detectors.scripted import MistakeInterval
 from repro.graphs import path, topologies
 from repro.sim.crash import CrashPlan

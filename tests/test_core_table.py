@@ -11,7 +11,6 @@ from repro.core import (
 )
 from repro.detectors import NullDetector, PerfectDetector, ScriptedDetector
 from repro.errors import ColoringError, ConfigurationError
-from repro.graphs import ring
 from repro.sim.crash import CrashPlan
 
 

@@ -97,10 +97,11 @@ class TestReportCommand:
         assert code == 0
         assert "1 hit(s)" in warm
         # The guarantee lines are identical cold and warm.
-        pick = lambda text: [
-            line for line in text.splitlines()
-            if line.strip().startswith(("channel bound", "last violation", "quiescence:"))
-        ]
+        def pick(text):
+            return [
+                line for line in text.splitlines()
+                if line.strip().startswith(("channel bound", "last violation", "quiescence:"))
+            ]
         assert pick(cold) == pick(warm)
 
     def test_unknown_scenario_exits_two(self, capsys):

@@ -7,17 +7,16 @@ would actually catch violations, and (b) verify the lemma-shaped facts on
 real runs, including the ack-budget mechanics behind Theorem 3.
 """
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import pytest
 
 from repro.core import AlwaysHungry, DiningTable, ScriptedWorkload, scripted_detector
 from repro.core.messages import Ack, Ping
 from repro.errors import InvariantViolation
-from repro.graphs import clique, path, ring
+from repro.graphs import clique, path
 from repro.sim.crash import CrashPlan
 from repro.sim.latency import LogNormalLatency
-from repro.sim.monitors import MessageStats
 from repro.sim.network import NetworkMonitor
 from repro.trace.invariants import DinerLocalInvariantChecker, PendingPingChecker
 

@@ -5,7 +5,6 @@ import pytest
 from repro.core import AlwaysHungry, scripted_detector
 from repro.drinking import (
     AlwaysAllBottles,
-    DrinkingDiner,
     RandomThirst,
     ScriptedThirst,
     ThirstDeclared,

@@ -1,6 +1,5 @@
 """Coverage of remaining public surface: errors, runners, report, exports."""
 
-import io
 
 import pytest
 

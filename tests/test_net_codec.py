@@ -1,0 +1,173 @@
+"""Wire codec: round-trip identity, golden byte layouts, size accounting."""
+
+import json
+import math
+import os
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.messages import Ack, Fork, ForkRequest, Ping, message_size_bits
+from repro.detectors.heartbeat import Heartbeat
+from repro.net.codec import (
+    FrameDecoder,
+    WireCodecError,
+    decode_frame,
+    decode_message,
+    encode_frame,
+    encode_message,
+    frame_size_bits,
+)
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "fixtures", "wire_golden.json")
+
+pids = st.integers(min_value=0, max_value=2**63 - 1)
+seqs = st.integers(min_value=0, max_value=2**63 - 1)
+colors = st.integers(min_value=0, max_value=2**63 - 1)
+timestamps = st.floats(allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def envelopes(draw):
+    """(src, dst, seq, message) with adversarial ids, colors, timestamps."""
+    src = draw(pids)
+    dst = draw(pids)
+    seq = draw(seqs)
+    kind = draw(st.sampled_from(("ping", "ack", "fork_request", "fork", "heartbeat")))
+    if kind == "ping":
+        message = Ping(src)
+    elif kind == "ack":
+        message = Ack(src)
+    elif kind == "fork_request":
+        message = ForkRequest(src, draw(colors))
+    elif kind == "fork":
+        message = Fork(src)
+    else:
+        message = Heartbeat(sent_at=draw(timestamps))
+    return src, dst, seq, message
+
+
+# ----------------------------------------------------------------------
+# Round trip (property-based)
+# ----------------------------------------------------------------------
+@settings(max_examples=300, deadline=None)
+@given(envelopes())
+def test_round_trip_identity(envelope):
+    src, dst, seq, message = envelope
+    payload = encode_message(src, dst, seq, message)
+    assert decode_message(payload) == (src, dst, seq, message)
+
+
+@settings(max_examples=100, deadline=None)
+@given(envelopes())
+def test_frame_round_trip(envelope):
+    src, dst, seq, message = envelope
+    assert decode_frame(encode_frame(src, dst, seq, message)) == envelope
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(envelopes(), min_size=1, max_size=20), st.integers(1, 7))
+def test_stream_reassembly_in_arbitrary_chunks(batch, chunk):
+    """A FrameDecoder fed arbitrary byte chunks yields every frame in order."""
+    stream = b"".join(encode_frame(*e) for e in batch)
+    decoder = FrameDecoder()
+    decoded = []
+    for offset in range(0, len(stream), chunk):
+        decoded.extend(decoder.feed(stream[offset:offset + chunk]))
+    assert decoded == batch
+    assert decoder.pending_bytes == 0
+
+
+def test_heartbeat_nan_is_preserved():
+    # NaN compares unequal to itself, so check the bit pattern explicitly.
+    src, dst, seq, message = decode_message(
+        encode_message(1, 2, 3, Heartbeat(sent_at=math.nan))
+    )
+    assert (src, dst, seq) == (1, 2, 3)
+    assert math.isnan(message.sent_at)
+
+
+# ----------------------------------------------------------------------
+# Golden byte layouts
+# ----------------------------------------------------------------------
+def _golden_cases():
+    with open(GOLDEN_PATH, "r", encoding="utf-8") as stream:
+        return json.load(stream)
+
+
+@pytest.mark.parametrize("case", _golden_cases(), ids=lambda c: c["name"])
+def test_golden_encoding(case):
+    """The wire format is pinned: changing it must change this fixture."""
+    message = {
+        "Ping": lambda: Ping(case["src"]),
+        "Ack": lambda: Ack(case["src"]),
+        "ForkRequest": lambda: ForkRequest(case["src"], case["color"]),
+        "Fork": lambda: Fork(case["src"]),
+        "Heartbeat": lambda: Heartbeat(sent_at=case["sent_at"]),
+    }[case["type"]]()
+    frame = encode_frame(case["src"], case["dst"], case["seq"], message)
+    assert frame.hex() == case["frame_hex"]
+    assert decode_frame(bytes.fromhex(case["frame_hex"])) == (
+        case["src"], case["dst"], case["seq"], message,
+    )
+
+
+# ----------------------------------------------------------------------
+# Size accounting (Section 7: O(log n) bits per message)
+# ----------------------------------------------------------------------
+def test_frame_size_grows_logarithmically_like_the_model():
+    """Doubling n adds O(1) bytes per frame: same growth rate as the
+    abstract accounting in core.messages.message_size_bits."""
+    sizes = {}
+    for exponent in range(1, 9):
+        n = 2**exponent
+        src, dst = n - 1, n - 2
+        sizes[n] = frame_size_bits(src, dst, 1, Ping(src))
+        assert message_size_bits(Ping(src), n_processes=n, n_colors=3) <= sizes[n]
+    increments = [
+        sizes[2 ** (e + 1)] - sizes[2**e] for e in range(1, 8)
+    ]
+    # Each doubling costs at most two extra varint bytes (one per pid).
+    assert all(0 <= delta <= 16 for delta in increments)
+
+
+def test_dining_frames_are_compact():
+    # Small-system frames: a handful of bytes, exactly as Section 7 intends.
+    assert len(encode_frame(3, 5, 1, Ping(3))) == 5
+    assert len(encode_frame(3, 5, 1, ForkRequest(3, 1))) == 6
+
+
+# ----------------------------------------------------------------------
+# Malformed input
+# ----------------------------------------------------------------------
+def test_encode_rejects_mismatched_sender():
+    with pytest.raises(WireCodecError):
+        encode_message(1, 2, 3, Ping(9))
+
+
+def test_encode_rejects_unknown_type():
+    with pytest.raises(WireCodecError):
+        encode_message(1, 2, 3, object())
+
+
+def test_decode_rejects_unknown_tag():
+    with pytest.raises(WireCodecError):
+        decode_message(bytes([0x7F, 1, 2, 3]))
+
+
+def test_decode_rejects_truncated_payload():
+    payload = encode_message(1, 2, 3, Heartbeat(sent_at=0.25))
+    with pytest.raises(WireCodecError):
+        decode_message(payload[:-1])
+
+
+def test_decode_rejects_trailing_bytes():
+    payload = encode_message(1, 2, 3, Ping(1))
+    with pytest.raises(WireCodecError):
+        decode_message(payload + b"\x00")
+
+
+def test_decoder_rejects_oversized_length_prefix():
+    decoder = FrameDecoder()
+    with pytest.raises(WireCodecError):
+        decoder.feed(encode_frame(0, 0, 0, Ping(0)) + b"\xff\xff\x7f")

@@ -1,0 +1,181 @@
+"""Live runtime: loopback end-to-end runs, layering, and a real cluster.
+
+The loopback tests exercise the whole live stack — LiveSubstrate wall-clock
+timers, the binary codec on every hop, the heartbeat ◇P₁, and the online
+checkers — inside one asyncio loop, so they are fast and deterministic
+enough for tier-1.  One test spawns a real 3-process unix-socket cluster
+through the same launcher ``repro cluster`` uses.
+"""
+
+import ast
+import os
+
+import pytest
+
+from repro.graphs.topologies import ring
+from repro.net.host import AsyncHost, HostConfig, run_host
+from repro.net.cluster import ClusterSpec, launch
+
+SRC_ROOT = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+
+
+def _fast_config(duration: float) -> HostConfig:
+    return HostConfig(
+        duration=duration,
+        seed=7,
+        eat_time=0.02,
+        think_time=0.005,
+        heartbeat_interval=0.1,
+        initial_timeout=0.3,
+        timeout_increment=0.1,
+    )
+
+
+# ----------------------------------------------------------------------
+# Loopback end-to-end
+# ----------------------------------------------------------------------
+def test_loopback_five_ring_end_to_end():
+    """A 5-diner ring over the live loopback transport: everyone eats,
+    no fork-uniqueness or channel-bound violation, Section 7 respected."""
+    host = AsyncHost(ring(5), config=_fast_config(1.0))
+    result = run_host(host)
+
+    assert result["violations"] == []
+    meals = {int(pid): count for pid, count in result["meals"].items()}
+    assert set(meals) == {0, 1, 2, 3, 4}
+    assert all(count > 0 for count in meals.values())
+    assert result["max_in_transit_local"] <= 4
+    assert result["wire_events"] > 0
+
+
+def test_loopback_crash_injection_keeps_neighbors_eating():
+    """Crashing one diner mid-run must not stall its correct neighbors:
+    the wall-clock ◇P₁ suspects the silent process and grants its forks."""
+    host = AsyncHost(ring(5), config=_fast_config(1.5), crash_times={2: 0.3})
+    result = run_host(host)
+
+    assert result["violations"] == []
+    assert result["crashed"] == [2]
+    meals = {int(pid): count for pid, count in result["meals"].items()}
+    # The crashed diner's neighbors keep making progress after the crash.
+    assert meals[1] > 0 and meals[3] > 0
+
+
+def test_loopback_rejects_remote_placement():
+    with pytest.raises(Exception):
+        AsyncHost(ring(3), local_pids=[0], placement={0: 0, 1: 1, 2: 1})
+
+
+# ----------------------------------------------------------------------
+# Layering: core stays transport-agnostic
+# ----------------------------------------------------------------------
+def _module_path(module: str):
+    """Filesystem path of a repro module, or None if not ours."""
+    if module != "repro" and not module.startswith("repro."):
+        return None
+    relative = module.replace(".", os.sep)
+    for candidate in (
+        os.path.join(SRC_ROOT, relative + ".py"),
+        os.path.join(SRC_ROOT, relative, "__init__.py"),
+    ):
+        if os.path.exists(candidate):
+            return candidate
+    return None
+
+
+def _is_type_checking_if(node: ast.If) -> bool:
+    test = node.test
+    return (isinstance(test, ast.Name) and test.id == "TYPE_CHECKING") or (
+        isinstance(test, ast.Attribute) and test.attr == "TYPE_CHECKING"
+    )
+
+
+def _load_time_imports(module: str):
+    """Modules imported when ``module`` itself is imported.
+
+    TYPE_CHECKING blocks never execute, and imports inside function bodies
+    are deferred until the function runs (the lazy-loading idiom that keeps
+    ``core`` free of any hard simulator dependency), so both are excluded.
+    """
+    path = _module_path(module)
+    if path is None:
+        return
+    with open(path, "r", encoding="utf-8") as stream:
+        tree = ast.parse(stream.read(), filename=path)
+    package = module if path.endswith("__init__.py") else module.rsplit(".", 1)[0]
+
+    def walk(nodes):
+        for node in nodes:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            if isinstance(node, ast.If) and _is_type_checking_if(node):
+                yield from walk(node.orelse)
+                continue
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    yield alias.name
+            elif isinstance(node, ast.ImportFrom):
+                if node.level:
+                    parts = package.split(".")
+                    base = ".".join(parts[: len(parts) - node.level + 1])
+                    yield f"{base}.{node.module}" if node.module else base
+                elif node.module:
+                    yield node.module
+            for child in ast.iter_child_nodes(node):
+                yield from walk([child])
+
+    yield from walk(tree.body)
+
+
+def test_core_diner_is_transport_agnostic():
+    """The transitive import closure of ``repro.core.diner`` must not
+    reach the simulator kernel or the live runtime: DinerActor talks only
+    to the Substrate protocol, so either side can host it unchanged."""
+    closure, frontier = set(), ["repro.core.diner"]
+    while frontier:
+        module = frontier.pop()
+        if module in closure or _module_path(module) is None:
+            continue
+        closure.add(module)
+        frontier.extend(_load_time_imports(module))
+
+    offenders = sorted(
+        module
+        for module in closure
+        if module.split(".")[:2] in (["repro", "sim"], ["repro", "net"])
+    )
+    assert not offenders, f"core.diner runtime closure leaks into {offenders}"
+
+
+# ----------------------------------------------------------------------
+# Real sockets: 3 OS processes over unix sockets
+# ----------------------------------------------------------------------
+def test_three_process_unix_cluster(tmp_path):
+    """One diner per OS process on a triangle, linked by unix sockets.
+    The merged verdict must be clean and the Section 7 bound must hold
+    on every (cross-host) edge of the merged wire log."""
+    spec = ClusterSpec(
+        topology="ring",
+        n=3,
+        processes=3,
+        duration=1.0,
+        seed=3,
+        eat_time=0.02,
+        think_time=0.005,
+        heartbeat_interval=0.1,
+        initial_timeout=0.3,
+        timeout_increment=0.1,
+        run_dir=str(tmp_path / "cluster"),
+    )
+    verdict = launch(spec, quiet=True)
+
+    assert verdict.ok, verdict.describe()
+    assert verdict.checker_violations == []
+    assert verdict.total_meals > 0
+    assert 0 < verdict.max_in_transit <= 4
+    # Every triangle edge is cross-host here, so each must appear in the
+    # merged staircase and in the cluster-level Prometheus exposition.
+    assert set(verdict.edge_peaks) == {"0-1", "0-2", "1-2"}
+    assert 'repro_net_in_transit{edge="0-1",layer="dining",run="cluster"}' in (
+        verdict.prometheus
+    )

@@ -139,7 +139,7 @@ class TestProfilerAndPhases:
 
     def test_phase_seconds_cover_the_run(self):
         with collecting() as registry:
-            table = run_adversarial_table()
+            run_adversarial_table()
         snapshot = registry.snapshot()
         by_phase = {
             (entry["labels"] or {}).get("phase"): entry["value"]

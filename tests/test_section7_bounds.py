@@ -37,7 +37,6 @@ class TestChannelBound:
 
     def test_at_most_one_fork_and_token_in_transit(self):
         # Stronger decomposition: per edge, fork ≤ 1 and token ≤ 1 at once.
-        from repro.sim.monitors import ChannelOccupancyMonitor
         from repro.sim.network import NetworkMonitor
 
         class PerTypeOccupancy(NetworkMonitor):

@@ -5,7 +5,7 @@ import random
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.graphs import grid, path, random_graph, ring
+from repro.graphs import path, random_graph, ring
 from repro.stabilization import (
     BACK_OFF,
     DijkstraTokenRing,
@@ -197,7 +197,8 @@ class TestMatchingWidowRule:
     def test_live_subgraph_reaches_maximality_with_frozen_crash(self):
         graph = ring(5)
         crashed = 2
-        suspected = lambda p: frozenset({crashed}) if crashed in graph.neighbors(p) else frozenset()
+        def suspected(p):
+            return frozenset({crashed}) if crashed in graph.neighbors(p) else frozenset()
         protocol = MaximalMatching(graph, initial={1: crashed}, suspector=suspected)
         live = [pid for pid in graph.nodes if pid != crashed]
         assert run_to_quiescence(protocol, live)

@@ -31,7 +31,7 @@ class TestMaximalIndependentSet:
         assert protocol.is_maximal()
 
     def test_converges_from_all_in(self):
-        graph = clique = ring(7)
+        graph = ring(7)
         protocol = MaximalIndependentSet(graph, initial={pid: True for pid in graph.nodes})
         assert run_to_quiescence(protocol, graph.nodes)
         assert protocol.is_independent() and protocol.is_maximal()
@@ -117,7 +117,8 @@ class TestBfsSpanningTree:
     def test_suspector_heals_the_tree(self):
         graph = path(4)
         crashed = 2
-        suspected = lambda p: frozenset({crashed}) if crashed in graph.neighbors(p) else frozenset()
+        def suspected(p):
+            return frozenset({crashed}) if crashed in graph.neighbors(p) else frozenset()
         protocol = BfsSpanningTree(
             graph, root=0, initial={2: (0, None)}, suspector=suspected
         )

@@ -77,7 +77,6 @@ def test_n_minus_1_crashes_leave_survivor_eating():
     crash_plan = CrashPlan.random(range(8), 7, (10.0, 60.0), RandomStreams(99))
     table = run_ring(crash_plan)
     survivor = table.correct_pids[0]
-    meals_before = None
     assert table.eat_counts().get(survivor, 0) > 10
 
 

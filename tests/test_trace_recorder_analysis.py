@@ -3,7 +3,6 @@
 Analysis tests build traces by hand so every quantity has a known answer.
 """
 
-import math
 
 from repro.graphs import path, ring
 from repro.trace import (

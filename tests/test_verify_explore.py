@@ -10,7 +10,7 @@ import pytest
 
 from repro.core.messages import Fork
 from repro.errors import ConfigurationError
-from repro.graphs import clique, path, ring, star
+from repro.graphs import path, ring, star
 from repro.verify import explore_dining
 
 
