@@ -1,0 +1,136 @@
+"""Overhead guard for the `repro.checks` suite on the kernel hot path.
+
+Measures the 10-seed E1 sweep with the check suite attached (the
+default: ``check_invariants=True`` arms the strict ``standard_suite``
+via ``KernelCheckAdapter``) against the identical sweep with the suite
+detached (``check_invariants=False`` — no adapter, no probes, no
+per-message checker feed), and asserts the overhead stays inside the
+repository's ~10 % observability budget.
+
+Methodology (same as the metrics-layer measurement recorded in
+CHANGES.md): attached/detached runs are interleaved in ABBA order per
+seed so slow drift in background load hits both variants equally, and
+the overhead is summarized with load-robust estimators — per-seed best
+(min) and 25th-percentile times, summed across seeds.  Background load
+only ever inflates a sample, so min/low-quartile estimators converge on
+the true cost; means and medians on a busy 1-CPU box do not.
+
+Run directly to (re)generate ``BENCH_checks.json`` at the repo root:
+
+    PYTHONPATH=src python benchmarks/bench_checks_overhead.py
+
+or through pytest (same measurement, pytest-benchmark timer around the
+whole sweep):
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_checks_overhead.py
+"""
+
+from __future__ import annotations
+
+import functools
+import json
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Dict, Iterator, List
+
+SEEDS = tuple(range(1, 11))
+PAIRS_PER_SEED = 2  # each ABBA block contributes two samples per variant
+BUDGET = 0.10
+
+
+@contextmanager
+def detached_checks() -> Iterator[None]:
+    """Force every ``DiningTable`` built inside to skip the check suite."""
+    from repro.core.table import DiningTable
+
+    original = DiningTable.__init__
+
+    @functools.wraps(original)
+    def patched(self, *args, **kwargs):
+        kwargs["check_invariants"] = False
+        original(self, *args, **kwargs)
+
+    DiningTable.__init__ = patched
+    try:
+        yield
+    finally:
+        DiningTable.__init__ = original
+
+
+def _run_seed(seed: int) -> float:
+    from repro.experiments.e1_safety import run_safety
+
+    started = time.perf_counter()
+    run_safety(seed=seed)
+    return time.perf_counter() - started
+
+
+def _quantile(samples: List[float], q: float) -> float:
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    position = q * (len(ordered) - 1)
+    low = int(position)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = position - low
+    return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+
+
+def measure() -> Dict[str, object]:
+    """Run the interleaved sweep and return the BENCH_checks payload."""
+    attached: Dict[int, List[float]] = {seed: [] for seed in SEEDS}
+    detached: Dict[int, List[float]] = {seed: [] for seed in SEEDS}
+    for seed in SEEDS:
+        for _ in range(PAIRS_PER_SEED):
+            attached[seed].append(_run_seed(seed))
+            with detached_checks():
+                detached[seed].append(_run_seed(seed))
+                detached[seed].append(_run_seed(seed))
+            attached[seed].append(_run_seed(seed))
+
+    def overhead(estimator) -> float:
+        with_checks = sum(estimator(attached[seed]) for seed in SEEDS)
+        without = sum(estimator(detached[seed]) for seed in SEEDS)
+        return with_checks / without - 1.0
+
+    by_min = overhead(min)
+    by_p25 = overhead(lambda samples: _quantile(samples, 0.25))
+    return {
+        "benchmark": "checks-suite overhead, 10-seed E1 sweep",
+        "method": (
+            "per-seed ABBA interleaving (A=checks attached, B=detached), "
+            f"{PAIRS_PER_SEED} pair(s) per seed; per-seed min / 25th-percentile "
+            "times summed across seeds"
+        ),
+        "seeds": list(SEEDS),
+        "samples_per_variant_per_seed": 2 * PAIRS_PER_SEED,
+        "attached_seconds": {str(seed): attached[seed] for seed in SEEDS},
+        "detached_seconds": {str(seed): detached[seed] for seed in SEEDS},
+        "overhead_by_min": by_min,
+        "overhead_by_p25": by_p25,
+        "budget": BUDGET,
+        "within_budget": min(by_min, by_p25) <= BUDGET,
+    }
+
+
+def test_checks_overhead_within_budget(benchmark):
+    payload = benchmark.pedantic(measure, rounds=1, iterations=1, warmup_rounds=0)
+    print()
+    print(f"overhead by min: {payload['overhead_by_min']:+.1%}")
+    print(f"overhead by p25: {payload['overhead_by_p25']:+.1%}")
+    assert payload["within_budget"]
+
+
+def main() -> int:
+    payload = measure()
+    out = Path(__file__).resolve().parent.parent / "BENCH_checks.json"
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"overhead by min: {payload['overhead_by_min']:+.1%}")
+    print(f"overhead by p25: {payload['overhead_by_p25']:+.1%}")
+    print(f"budget: {BUDGET:.0%}; wrote {out}")
+    return 0 if payload["within_budget"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,58 @@
+"""The :class:`Checker` protocol.
+
+A checker consumes normalized check events (:mod:`repro.checks.events`)
+and produces one :class:`~repro.checks.verdict.PropertyVerdict`.  The
+contract:
+
+* ``interests`` — the event classes the checker wants; the suite builds
+  a type-dispatch table from it so uninterested checkers cost nothing on
+  the hot path.
+* ``observe(event, index) -> violations or None`` — called for each
+  interesting event with its 0-based stream ordinal.  Violations
+  returned here are *immediate* (safety bugs caught in the act); the
+  suite records them and strict adapters may raise on them.
+* ``finalize() -> PropertyVerdict`` — end-of-stream judgement.  Eventual
+  properties (◇WX, wait-freedom, ◇2-BW) report here because their
+  pass/fail depends on settle/patience windows known only at the end.
+
+Checkers that saw no relevant events report status ``skip``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, Type
+
+from repro.checks.verdict import PASS, SKIP, PropertyVerdict, Violation
+
+
+class Checker:
+    """Base class for canonical property checkers."""
+
+    #: Property name; keys the suite's verdict.
+    name: str = "?"
+    #: Event classes this checker observes.
+    interests: Tuple[Type, ...] = ()
+
+    def __init__(self) -> None:
+        self.observed = 0
+
+    def observe(self, event, index: int) -> Optional[List[Violation]]:
+        raise NotImplementedError
+
+    def finalize(self) -> PropertyVerdict:
+        raise NotImplementedError
+
+    # Helpers ---------------------------------------------------------
+
+    def _status(self, violations: List[Violation]) -> str:
+        if not self.observed:
+            return SKIP
+        return PASS if not violations else "fail"
+
+    def _verdict(self, violations: List[Violation], **counters) -> PropertyVerdict:
+        return PropertyVerdict(
+            prop=self.name,
+            status=self._status(violations),
+            violations=list(violations),
+            counters={k: float(v) for k, v in counters.items()},
+        )

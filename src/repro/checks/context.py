@@ -1,0 +1,65 @@
+"""Ambient verdict collection.
+
+Scenario run functions build their :class:`~repro.core.table.DiningTable`
+objects deep inside library code, so — exactly like ambient metrics
+collection (:mod:`repro.obs.context`) — the scenario runner attaches
+check suites ambiently: ``with collecting_checks() as collector: …``
+makes every table constructed inside the block register its suite, and
+``collector.verdict()`` merges their finalized verdicts afterwards.
+
+The stack is per-process module state; simulations are single-threaded
+and process-pool workers open their own block inside the worker.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Callable, Iterator, List, Optional, Tuple
+
+from repro.checks.suite import CheckSuite
+from repro.checks.verdict import Verdict
+
+
+class CheckCollector:
+    """Accumulates the suites of every table built inside one block."""
+
+    def __init__(self) -> None:
+        self._entries: List[Tuple[CheckSuite, Callable[[], Optional[float]]]] = []
+
+    def register(
+        self, suite: CheckSuite, horizon_of: Callable[[], Optional[float]]
+    ) -> None:
+        """Adopt one suite; ``horizon_of`` is read lazily at verdict time
+        (typically the owning simulator's clock)."""
+        self._entries.append((suite, horizon_of))
+
+    @property
+    def suites(self) -> List[CheckSuite]:
+        return [suite for suite, _ in self._entries]
+
+    def verdict(self) -> Verdict:
+        """Finalize every registered suite and merge the results."""
+        return Verdict.merge(
+            suite.finalize(horizon_of()) for suite, horizon_of in self._entries
+        )
+
+
+_STACK: List[CheckCollector] = []
+
+
+def active_collector() -> Optional[CheckCollector]:
+    """The innermost collector, or None when check collection is off."""
+    return _STACK[-1] if _STACK else None
+
+
+@contextmanager
+def collecting_checks(
+    collector: Optional[CheckCollector] = None,
+) -> Iterator[CheckCollector]:
+    """Collect check verdicts from every table built inside the block."""
+    own = collector if collector is not None else CheckCollector()
+    _STACK.append(own)
+    try:
+        yield own
+    finally:
+        _STACK.pop()

@@ -1,0 +1,169 @@
+"""Adapters from recorded artifacts to the normalized check-event stream.
+
+A run leaves two kinds of artifacts: the trace (typed records of
+:mod:`repro.trace.events`, one JSONL object per line with a ``kind``
+tag) and, for live runs, the wire log (one JSON object per transport
+event).  Both speak distinguishable ``kind`` vocabularies, so
+:func:`load_events_path` accepts either file — or a mix — and
+``repro check`` can replay any combination of them through the full
+suite.  :func:`merge_events` reproduces the cluster's merge order
+(time-sorted, sends before the departures they race with), which is what
+turns the old merged-staircase reconstruction into a plain check-event
+adapter.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.checks.events import (
+    CrashEvent,
+    DoorwayEvent,
+    PhaseEvent,
+    SendEvent,
+    SuspicionEvent,
+    WIRE_EVENT_TYPES,
+)
+from repro.checks.suite import CheckConfig, CheckSuite, standard_suite
+from repro.checks.verdict import Verdict
+from repro.errors import ConfigurationError
+from repro.trace.events import (
+    Crash,
+    DoorwayChange,
+    PhaseChange,
+    SuspicionChange,
+)
+from repro.trace.serialize import record_from_dict
+
+Edge = Tuple[int, int]
+
+#: ``kind`` values of trace-record JSONL lines that map to check events.
+_TRACE_KINDS = {"phase", "doorway", "suspicion", "crash"}
+#: ``kind`` values carried by trace records with no checkable content.
+_IGNORED_TRACE_KINDS = {"protocol_step", "transient_fault"}
+
+
+def event_from_trace_record(record) -> Optional[object]:
+    """One trace record as a check event (None for non-checkable kinds)."""
+    cls = type(record)
+    if cls is PhaseChange:
+        return PhaseEvent(record.time, record.pid, record.old_phase, record.new_phase)
+    if cls is Crash:
+        return CrashEvent(record.time, record.pid)
+    if cls is DoorwayChange:
+        return DoorwayEvent(record.time, record.pid, record.inside)
+    if cls is SuspicionChange:
+        return SuspicionEvent(
+            record.time, record.observer, record.suspect, record.suspected
+        )
+    return None
+
+
+def events_from_trace(records: Iterable) -> List[object]:
+    """Check events for every checkable record, in trace order."""
+    events = []
+    for record in records:
+        event = event_from_trace_record(record)
+        if event is not None:
+            events.append(event)
+    return events
+
+
+def event_from_wire(record) -> object:
+    """One wire-log entry (dict or any object with the wire fields)."""
+    get = record.get if isinstance(record, dict) else lambda k, d=None: getattr(record, k, d)
+    kind = get("kind")
+    cls = WIRE_EVENT_TYPES.get(kind)
+    if cls is None:
+        raise ConfigurationError(f"unknown wire event kind {kind!r}")
+    return cls(
+        time=get("time"),
+        src=get("src"),
+        dst=get("dst"),
+        type=get("type"),
+        layer=get("layer"),
+        seq=get("seq"),
+    )
+
+
+def events_from_wire(records: Iterable) -> List[object]:
+    return [event_from_wire(record) for record in records]
+
+
+def _order_key(event) -> Tuple[float, int, int]:
+    seq = getattr(event, "seq", None)
+    return (
+        event.time,
+        0 if type(event) is SendEvent else 1,
+        seq if seq is not None else -1,
+    )
+
+
+def merge_events(*streams: Iterable) -> List[object]:
+    """Merge event streams into one time-ordered stream.
+
+    Sends sort before same-instant departures (a message is in transit
+    for the instant it spends on a zero-latency local edge), then by
+    sequence number — the exact order the cluster's occupancy
+    reconstruction used, now shared by every offline consumer.
+    """
+    merged: List[object] = []
+    for stream in streams:
+        merged.extend(stream)
+    merged.sort(key=_order_key)
+    return merged
+
+
+def load_events_lines(lines: Iterable[str]) -> List[object]:
+    """Parse JSONL lines holding trace records and/or wire-log entries."""
+    events: List[object] = []
+    for line_number, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            data = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(
+                f"line {line_number}: invalid JSON ({exc})"
+            ) from None
+        kind = data.get("kind")
+        if kind in WIRE_EVENT_TYPES:
+            events.append(event_from_wire(data))
+        elif kind in _TRACE_KINDS:
+            event = event_from_trace_record(record_from_dict(data))
+            if event is not None:
+                events.append(event)
+        elif kind in _IGNORED_TRACE_KINDS:
+            continue
+        else:
+            raise ConfigurationError(
+                f"line {line_number}: unknown event kind {kind!r}"
+            )
+    return events
+
+
+def load_events_path(path: str) -> List[object]:
+    """Load one JSONL artifact (trace, wire log, or a mix of lines)."""
+    with open(path, "r", encoding="utf-8") as stream:
+        return load_events_lines(stream)
+
+
+def replay(
+    edges: Sequence[Edge],
+    events: Iterable,
+    config: Optional[CheckConfig] = None,
+    *,
+    horizon: Optional[float] = None,
+    suite: Optional[CheckSuite] = None,
+) -> Verdict:
+    """Run a recorded event stream through the full suite offline.
+
+    State-based properties (fork uniqueness, diner-local invariants)
+    have nothing to probe offline and come back ``skip``.
+    """
+    if suite is None:
+        suite = standard_suite(edges, config)
+    suite.feed(events)
+    return suite.finalize(horizon)

@@ -1,0 +1,177 @@
+"""CheckSuite: compose checkers, feed one event stream, emit one Verdict."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Type
+
+from repro.checks.base import Checker
+from repro.checks.properties import (
+    ChannelBoundChecker,
+    DinerLocalChecker,
+    FifoChecker,
+    ForkUniquenessChecker,
+    OvertakingChecker,
+    PendingPingChecker,
+    ProgressChecker,
+    QuiescenceChecker,
+    WxSafetyChecker,
+)
+from repro.checks.verdict import Verdict, Violation
+
+Edge = Tuple[int, int]
+
+
+@dataclass
+class CheckConfig:
+    """Shared knobs of a standard suite.
+
+    ``None`` for a window parameter (``settle``, ``patience``,
+    ``overtaking_after``, ``quiescence_grace``) means the corresponding
+    eventual property is reported *informationally* — counters and
+    witnesses but never a ``fail`` — because judging an eventual claim
+    needs a concrete cutoff.  Substrates that know their convergence
+    window (the cluster, ``repro check`` invocations, experiments) set
+    them explicitly.
+    """
+
+    channel_bound: int = 4
+    layer: Optional[str] = "dining"
+    settle: Optional[float] = None
+    patience: Optional[float] = None
+    overtaking_bound: int = 2
+    overtaking_after: Optional[float] = None
+    quiescence_grace: Optional[float] = None
+    correct: Optional[Sequence[int]] = None
+    crash_time_of: Optional[Callable[[int], Optional[float]]] = None
+
+
+class CheckSuite:
+    """Drives a set of checkers over one normalized event stream.
+
+    ``observe`` dispatches each event only to the checkers whose
+    ``interests`` cover its type; violations a checker reports from
+    ``observe`` are forwarded to ``on_violation`` (strict adapters raise
+    there).  ``finalize(horizon=...)`` collects every checker's
+    :class:`~repro.checks.verdict.PropertyVerdict` into a single
+    :class:`~repro.checks.verdict.Verdict`.
+    """
+
+    def __init__(
+        self,
+        checkers: Sequence[Checker],
+        *,
+        on_violation: Optional[Callable[[Violation], None]] = None,
+    ) -> None:
+        self.checkers: Tuple[Checker, ...] = tuple(checkers)
+        self.on_violation = on_violation
+        self.events_observed = 0
+        self.last_event_time: Optional[float] = None
+        self.violations: List[Violation] = []
+        self._finalizers: List[Callable[[], None]] = []
+        self._dispatch: Dict[Type, List[Checker]] = {}
+        for checker in self.checkers:
+            for event_type in checker.interests:
+                self._dispatch.setdefault(event_type, []).append(checker)
+
+    def add_finalizer(self, hook: Callable[[], None]) -> None:
+        """Run ``hook()`` at the start of every :meth:`finalize`.
+
+        Batching adapters use this to flush deferred counters (idempotent
+        hooks only: ``finalize`` may be called more than once per run).
+        """
+        self._finalizers.append(hook)
+
+    def checker(self, name: str) -> Checker:
+        for checker in self.checkers:
+            if checker.name == name:
+                return checker
+        raise KeyError(name)
+
+    def observe(self, event) -> List[Violation]:
+        """Feed one event; returns (and records) immediate violations."""
+        index = self.events_observed
+        self.events_observed += 1
+        time = event.time
+        if self.last_event_time is None or time > self.last_event_time:
+            self.last_event_time = time
+        found: List[Violation] = []
+        for checker in self._dispatch.get(type(event), ()):
+            reported = checker.observe(event, index)
+            if reported:
+                found.extend(reported)
+        if found:
+            self.violations.extend(found)
+            if self.on_violation is not None:
+                for violation in found:
+                    self.on_violation(violation)
+        return found
+
+    def feed(self, events: Iterable) -> "CheckSuite":
+        for event in events:
+            self.observe(event)
+        return self
+
+    def finalize(self, horizon: Optional[float] = None) -> Verdict:
+        """Judge the stream up to ``horizon`` (default: last event time)."""
+        for hook in self._finalizers:
+            hook()
+        if horizon is None:
+            horizon = self.last_event_time
+        for checker in self.checkers:
+            if hasattr(checker, "horizon"):
+                checker.horizon = horizon
+        return Verdict(
+            properties={c.name: c.finalize() for c in self.checkers},
+            events_observed=self.events_observed,
+            horizon=horizon,
+        )
+
+
+def standard_suite(
+    edges: Sequence[Edge],
+    config: Optional[CheckConfig] = None,
+    *,
+    state_probes: bool = True,
+    diner_locals: bool = True,
+    on_violation: Optional[Callable[[Violation], None]] = None,
+) -> CheckSuite:
+    """The full paper-property suite over a conflict graph's edge set.
+
+    ``state_probes=False`` omits the state-based checkers (fork
+    uniqueness, diner-local invariants) for substrates that cannot probe
+    live state — offline replay reports them ``skip`` either way, so the
+    flag is purely a construction convenience.  ``diner_locals=False``
+    additionally omits the Algorithm-1-specific local invariants for
+    tables running baseline diners that lack the probed fields.
+    """
+    config = config or CheckConfig()
+    edges = tuple(sorted(tuple(sorted(edge)) for edge in edges))
+    checkers: List[Checker] = []
+    if state_probes:
+        checkers.append(ForkUniquenessChecker(edges))
+        if diner_locals:
+            checkers.append(DinerLocalChecker())
+    checkers.append(
+        ChannelBoundChecker(bound=config.channel_bound, layer=config.layer)
+    )
+    checkers.append(FifoChecker())
+    checkers.append(WxSafetyChecker(edges, settle=config.settle))
+    checkers.append(
+        ProgressChecker(patience=config.patience, correct=config.correct)
+    )
+    checkers.append(
+        OvertakingChecker(
+            edges, bound=config.overtaking_bound, after=config.overtaking_after
+        )
+    )
+    checkers.append(
+        QuiescenceChecker(
+            layer=config.layer,
+            grace=config.quiescence_grace,
+            crash_time_of=config.crash_time_of,
+        )
+    )
+    if diner_locals:
+        checkers.append(PendingPingChecker())
+    return CheckSuite(checkers, on_violation=on_violation)

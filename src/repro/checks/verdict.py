@@ -1,0 +1,260 @@
+"""Typed check outcomes: :class:`Violation`, :class:`PropertyVerdict`,
+and the composite :class:`Verdict` every substrate emits.
+
+A verdict is deliberately JSON-round-trippable (``to_json`` /
+``from_json``) so the live cluster can persist per-host verdicts, the
+scenario cache can store per-seed verdicts next to rows and metrics, and
+``repro check`` can re-emit them for CI gates — all without inventing
+per-layer result dicts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.checks.events import CHECK_EVENT_VERSION
+
+#: Per-property statuses.  ``skip`` means the stream carried no evidence
+#: either way (e.g. replaying a trace with no wire log leaves the
+#: channel-bound checker with nothing to observe).
+PASS = "pass"
+FAIL = "fail"
+SKIP = "skip"
+
+#: How many violation witnesses a property keeps; beyond this only the
+#: counters grow.  Keeps verdicts bounded on pathological runs.
+MAX_WITNESSES = 100
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One concrete counterexample to a property.
+
+    ``subject`` names the culprit — an edge tuple ``(a, b)``, a process
+    id ``(pid,)``, or an ordered channel pair — and ``event_index`` is
+    the 0-based ordinal of the witnessing event in the observed stream.
+    """
+
+    prop: str
+    time: float
+    detail: str
+    subject: Tuple = ()
+    event_index: Optional[int] = None
+
+    def to_json(self) -> dict:
+        return {
+            "prop": self.prop,
+            "time": self.time,
+            "detail": self.detail,
+            "subject": list(self.subject),
+            "event_index": self.event_index,
+        }
+
+    @classmethod
+    def from_json(cls, data: Mapping) -> "Violation":
+        return cls(
+            prop=data["prop"],
+            time=data["time"],
+            detail=data["detail"],
+            subject=tuple(data.get("subject", ())),
+            event_index=data.get("event_index"),
+        )
+
+
+def _merge_counter(name: str, values: Sequence[float]) -> float:
+    if name.startswith("max_") or name.startswith("last_") or name.startswith("peak_"):
+        return max(values)
+    return sum(values)
+
+
+@dataclass
+class PropertyVerdict:
+    """Outcome of one checker over one (or several merged) streams."""
+
+    prop: str
+    status: str
+    violations: List[Violation] = field(default_factory=list)
+    counters: Dict[str, float] = field(default_factory=dict)
+    details: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.status != FAIL
+
+    @property
+    def first_violation(self) -> Optional[Violation]:
+        return self.violations[0] if self.violations else None
+
+    def to_json(self) -> dict:
+        return {
+            "prop": self.prop,
+            "status": self.status,
+            "violations": [v.to_json() for v in self.violations],
+            "counters": dict(self.counters),
+            "details": dict(self.details),
+        }
+
+    @classmethod
+    def from_json(cls, data: Mapping) -> "PropertyVerdict":
+        return cls(
+            prop=data["prop"],
+            status=data["status"],
+            violations=[Violation.from_json(v) for v in data.get("violations", [])],
+            counters=dict(data.get("counters", {})),
+            details=dict(data.get("details", {})),
+        )
+
+    @classmethod
+    def merge(cls, verdicts: Sequence["PropertyVerdict"]) -> "PropertyVerdict":
+        """Combine the same property's verdicts from several streams.
+
+        ``fail`` dominates ``pass`` dominates ``skip``; counters sum
+        (``max_*`` / ``peak_*`` / ``last_*`` take the max); witnesses
+        concatenate up to :data:`MAX_WITNESSES`.
+        """
+        live = [v for v in verdicts if v.status != SKIP]
+        if not live:
+            return cls(prop=verdicts[0].prop, status=SKIP)
+        status = FAIL if any(v.status == FAIL for v in live) else PASS
+        violations: List[Violation] = []
+        for v in live:
+            violations.extend(v.violations)
+        counters: Dict[str, float] = {}
+        names = {name for v in live for name in v.counters}
+        for name in sorted(names):
+            counters[name] = _merge_counter(
+                name, [v.counters[name] for v in live if name in v.counters]
+            )
+        details: Dict[str, object] = {}
+        for v in live:
+            details.update(v.details)
+        return cls(
+            prop=verdicts[0].prop,
+            status=status,
+            violations=violations[:MAX_WITNESSES],
+            counters=counters,
+            details=details,
+        )
+
+
+@dataclass
+class Verdict:
+    """The single composite result type of the checks subsystem.
+
+    ``properties`` maps property name to its :class:`PropertyVerdict`;
+    ``events_observed`` counts every event the suite saw (probes
+    included, online) and ``horizon`` is the time the stream was judged
+    up to.
+    """
+
+    properties: Dict[str, PropertyVerdict]
+    events_observed: int = 0
+    horizon: Optional[float] = None
+    version: int = CHECK_EVENT_VERSION
+
+    @property
+    def ok(self) -> bool:
+        return all(p.ok for p in self.properties.values())
+
+    @property
+    def failed(self) -> List[str]:
+        return [name for name, p in self.properties.items() if not p.ok]
+
+    def all_violations(self) -> List[Violation]:
+        out: List[Violation] = []
+        for prop in self.properties.values():
+            out.extend(prop.violations)
+        return out
+
+    def property(self, name: str) -> PropertyVerdict:
+        return self.properties[name]
+
+    def statuses(self) -> Dict[str, str]:
+        return {name: p.status for name, p in self.properties.items()}
+
+    def with_property(self, prop: PropertyVerdict) -> "Verdict":
+        properties = dict(self.properties)
+        properties[prop.prop] = prop
+        return replace(self, properties=properties)
+
+    def describe(self) -> str:
+        """Uniform human rendering, used by every CLI surface."""
+        lines = [f"checks: {'PASS' if self.ok else 'FAIL'}"]
+        lines.append(
+            f"  events observed: {self.events_observed}"
+            + (f", horizon: {self.horizon:g}" if self.horizon is not None else "")
+        )
+        for name in sorted(self.properties):
+            prop = self.properties[name]
+            line = f"  [{prop.status:>4}] {name}"
+            interesting = {
+                k: v for k, v in prop.counters.items() if v or k.endswith("_total")
+            }
+            if interesting:
+                rendered = ", ".join(
+                    f"{k}={v:g}" for k, v in sorted(interesting.items())
+                )
+                line += f"  ({rendered})"
+            lines.append(line)
+            witness = prop.first_violation
+            if witness is not None:
+                where = f" @event {witness.event_index}" if witness.event_index is not None else ""
+                lines.append(
+                    f"         first violation t={witness.time:g}"
+                    f" subject={witness.subject}{where}: {witness.detail}"
+                )
+        return "\n".join(lines)
+
+    def to_json(self) -> dict:
+        return {
+            "version": self.version,
+            "ok": self.ok,
+            "events_observed": self.events_observed,
+            "horizon": self.horizon,
+            "properties": {
+                name: prop.to_json() for name, prop in sorted(self.properties.items())
+            },
+        }
+
+    @classmethod
+    def from_json(cls, data: Mapping) -> "Verdict":
+        return cls(
+            properties={
+                name: PropertyVerdict.from_json(prop)
+                for name, prop in data.get("properties", {}).items()
+            },
+            events_observed=data.get("events_observed", 0),
+            horizon=data.get("horizon"),
+            version=data.get("version", CHECK_EVENT_VERSION),
+        )
+
+    @classmethod
+    def merge(cls, verdicts: Iterable["Verdict"]) -> "Verdict":
+        """Merge verdicts from several streams (hosts, seeds, tables).
+
+        Property-wise :meth:`PropertyVerdict.merge`; the union of
+        property names is kept so a property skipped by one stream but
+        judged by another keeps the judgement.
+        """
+        verdicts = list(verdicts)
+        if not verdicts:
+            return cls(properties={})
+        names: List[str] = []
+        for v in verdicts:
+            for name in v.properties:
+                if name not in names:
+                    names.append(name)
+        merged = {
+            name: PropertyVerdict.merge(
+                [v.properties[name] for v in verdicts if name in v.properties]
+            )
+            for name in names
+        }
+        horizons = [v.horizon for v in verdicts if v.horizon is not None]
+        return cls(
+            properties=merged,
+            events_observed=sum(v.events_observed for v in verdicts),
+            horizon=max(horizons) if horizons else None,
+            version=max(v.version for v in verdicts),
+        )

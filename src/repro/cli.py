@@ -7,6 +7,7 @@ Subcommands::
     repro experiments --only e1 e3 e9 --seeds 0 1 2 3 --jobs 4
     repro report e1 --seeds 1 2 3 --json report.json
     repro verify --topology ring --n 3
+    repro check trace.jsonl wire.jsonl --topology ring --n 3
     repro cluster --topology ring --n 3 --processes 3 --duration 2
     repro serve --spec run/spec.json --host-index 0
 
@@ -30,6 +31,12 @@ sockets, a wall-clock heartbeat ◇P₁, then the merged safety/fairness
 verdict and a Prometheus rendering of the combined metrics (exit 0 only
 on a clean run).  ``serve`` is its per-host child entry point, also
 usable standalone against a hand-written spec.
+
+``check`` replays recorded artifacts — trace JSONL files (``dine
+--trace``, per-host ``trace.jsonl``) and/or wire logs (``wire.jsonl``)
+— through the full :mod:`repro.checks` suite offline and prints the
+same verdict scorecard every other front end uses (exit 0 only when
+every judged property passes).
 """
 
 from __future__ import annotations
@@ -157,13 +164,25 @@ def cmd_dine(args: argparse.Namespace) -> int:
     print(f"  peak msgs per edge:    {table.occupancy.max_occupancy} (bound 4)")
     if registry is not None:
         _write_metrics(registry.snapshot(), args.metrics)
+    if args.trace:
+        from repro.trace.serialize import dump_path
+
+        records = dump_path(table.trace, args.trace)
+        print(f"  trace written:         {args.trace} ({records} records; "
+              f"replay with `repro check`)")
+
+    from repro.obs import render_verdict_text
+
+    verdict = table.verdict(settle=settle, patience=args.horizon * 0.4)
+    print()
+    for line in render_verdict_text(verdict).splitlines():
+        print(f"  {line}")
 
     if starving:
-        from repro.core.diagnostics import explain_starvation
+        from repro.core.diagnostics import explain_verdict
 
         print()
-        for pid in starving:
-            print(explain_starvation(table, pid))
+        print(explain_verdict(table, verdict))
 
     if args.timeline:
         print()
@@ -307,7 +326,12 @@ def cmd_report(args: argparse.Namespace) -> int:
         )
         return 2
 
-    runner = Runner(jobs=args.jobs, use_cache=not args.no_cache, collect_metrics=True)
+    runner = Runner(
+        jobs=args.jobs,
+        use_cache=not args.no_cache,
+        collect_metrics=True,
+        collect_checks=True,
+    )
     result = runner.run(args.scenario, seeds=args.seeds)
     report = build_report(result, top=args.top, bound=args.bound)
     print(render_report_text(report))
@@ -329,7 +353,9 @@ def cmd_report(args: argparse.Namespace) -> int:
                 stream.write(render_prometheus(merged))
             print(f"metrics written: {args.prom}")
 
-    return 0 if report["summary"].get("channel_bound_ok", True) else 1
+    checks = report.get("checks")
+    checks_ok = checks is None or bool(checks.get("ok", True))
+    return 0 if report["summary"].get("channel_bound_ok", True) and checks_ok else 1
 
 
 # ----------------------------------------------------------------------
@@ -363,7 +389,49 @@ def cmd_verify(args: argparse.Namespace) -> int:
         return 1
     print("  verdict:            CLEAN (exclusion, uniqueness, no deadlock "
           "in every reachable state)")
+    from repro.obs import render_verdict_text
+
+    for line in render_verdict_text(report.verdict()).splitlines():
+        print(f"  {line}")
     return 0
+
+
+# ----------------------------------------------------------------------
+# check (offline replay of recorded artifacts)
+# ----------------------------------------------------------------------
+def cmd_check(args: argparse.Namespace) -> int:
+    from repro.checks import CheckConfig, load_events_path, merge_events, replay
+    from repro.obs import render_verdict_text
+
+    if args.spec:
+        from repro.net.cluster import ClusterSpec, check_config_for
+
+        spec = ClusterSpec.load(args.spec)
+        edges = sorted(spec.graph().edges)
+        config = check_config_for(spec)
+        horizon = args.horizon if args.horizon is not None else spec.duration
+    else:
+        graph = topologies.by_name(args.topology, args.n, seed=args.seed)
+        edges = sorted(graph.edges)
+        config = CheckConfig(
+            channel_bound=args.bound,
+            settle=args.settle,
+            patience=args.patience,
+            overtaking_after=args.after,
+            quiescence_grace=args.grace,
+        )
+        horizon = args.horizon
+
+    events = merge_events(*(load_events_path(path) for path in args.artifacts))
+    verdict = replay(edges, events, config, horizon=horizon)
+    print(f"replayed {len(events)} event(s) from {len(args.artifacts)} artifact(s)")
+    print(render_verdict_text(verdict))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as stream:
+            json.dump(verdict.to_json(), stream, indent=2, sort_keys=True)
+            stream.write("\n")
+        print(f"verdict written: {args.json}")
+    return 0 if verdict.ok else 1
 
 
 # ----------------------------------------------------------------------
@@ -448,6 +516,9 @@ def build_parser() -> argparse.ArgumentParser:
     dine.add_argument("--metrics", metavar="PATH",
                       help="write the run's metrics snapshot (JSON, or Prometheus "
                            "text if PATH ends in .prom)")
+    dine.add_argument("--trace", metavar="PATH",
+                      help="write the run's trace as JSONL (replayable offline "
+                           "with `repro check`)")
     dine.set_defaults(func=cmd_dine)
 
     daemon = sub.add_parser("daemon", help="schedule a self-stabilizing protocol")
@@ -515,6 +586,38 @@ def build_parser() -> argparse.ArgumentParser:
                         help="pids that may crash at any point of any schedule")
     verify.add_argument("--max-states", type=int, default=500_000)
     verify.set_defaults(func=cmd_verify)
+
+    check = sub.add_parser(
+        "check",
+        help="replay recorded trace/wire artifacts through the property checkers",
+    )
+    check.add_argument("artifacts", nargs="+", metavar="PATH",
+                       help="JSONL artifacts: traces (dine --trace, host trace.jsonl) "
+                            "and/or wire logs (wire.jsonl); streams are merged")
+    check.add_argument("--spec", metavar="PATH",
+                       help="cluster spec.json: take topology, bound, and the "
+                            "settle/patience windows from the recorded run")
+    check.add_argument("--topology", choices=TOPOLOGIES, default="ring")
+    check.add_argument("--n", type=int, default=3)
+    check.add_argument("--seed", type=int, default=0,
+                       help="seed the topology was built with (random graphs)")
+    check.add_argument("--bound", type=int, default=4,
+                       help="per-edge dining channel bound (default 4)")
+    check.add_argument("--settle", type=float, default=None,
+                       help="judge exclusion overlaps only after this instant "
+                            "(omit: count but never fail)")
+    check.add_argument("--patience", type=float, default=None,
+                       help="hungry-longer-than-this fails progress "
+                            "(omit: informational)")
+    check.add_argument("--after", type=float, default=None,
+                       help="judge the overtaking bound only after this instant")
+    check.add_argument("--grace", type=float, default=None,
+                       help="post-crash sends later than crash+grace fail quiescence")
+    check.add_argument("--horizon", type=float, default=None,
+                       help="judge open windows up to this instant "
+                            "(default: last event time, or the spec duration)")
+    check.add_argument("--json", metavar="PATH", help="also write the verdict as JSON")
+    check.set_defaults(func=cmd_check)
 
     cluster = sub.add_parser(
         "cluster",

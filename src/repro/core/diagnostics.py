@@ -11,7 +11,10 @@ answers it from live state, phrased in the algorithm's own terms:
   token currently is, and whether suspicion substitutes.
 
 :func:`explain_starvation` renders the report as text — the thing to
-print when a progress assertion fails.
+print when a progress assertion fails — and :func:`explain_verdict`
+does the same starting from a failed :class:`~repro.checks.Verdict`:
+every diner the progress property names gets a wait analysis, and every
+other failed property contributes its first witness.
 """
 
 from __future__ import annotations
@@ -19,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
+from repro.checks import PROGRESS, Verdict
 from repro.core.diner import DinerActor
 from repro.core.table import DiningTable
 from repro.errors import ConfigurationError
@@ -133,4 +137,29 @@ def explain_starvation(table: DiningTable, pid: ProcessId) -> str:
             extra.append("token held" if status.we_hold_token else "token away (request sent or deferred)")
         detail = f" [{', '.join(extra)}]" if extra else ""
         lines.append(f"    waiting for {what} from {status.neighbor} — {fate}{detail}")
+    return "\n".join(lines)
+
+
+def explain_verdict(table: DiningTable, verdict: Verdict) -> str:
+    """Diagnose every failure a :class:`~repro.checks.Verdict` reports.
+
+    Starving diners named by a failed progress property get the full
+    :func:`explain_starvation` wait analysis (their live state still
+    holds the answer); every other failed property is summarized by its
+    first witness.
+    """
+    lines: List[str] = []
+    for name in verdict.failed:
+        prop = verdict.property(name)
+        if name == PROGRESS:
+            for pid in prop.details.get("starving", []):
+                if lines:
+                    lines.append("")
+                lines.append(explain_starvation(table, pid))
+            continue
+        witness = prop.first_violation
+        if witness is not None:
+            lines.append(f"{name} failed at t={witness.time:g}: {witness.detail}")
+    if not lines:
+        return "no failed properties to explain"
     return "\n".join(lines)

@@ -32,6 +32,10 @@ from __future__ import annotations
 import math
 from typing import Callable, Dict, List, Optional
 
+from repro.checks.context import active_collector
+from repro.checks.properties import CHANNEL_BOUND, QUIESCENCE
+from repro.checks.suite import CheckConfig, standard_suite
+from repro.checks.verdict import Verdict
 from repro.core.diner import DinerActor, EatCallback
 from repro.core.workload import AlwaysHungry, Workload
 from repro.detectors.base import FailureDetector, NullDetector
@@ -43,6 +47,7 @@ from repro.graphs.coloring import Coloring, greedy_coloring, validate_coloring
 from repro.graphs.conflict import ConflictGraph, ProcessId
 from repro.obs.context import active_registry
 from repro.obs.instrument import instrument_table
+from repro.sim.checks import KernelCheckAdapter, raise_violation
 from repro.sim.crash import CrashPlan
 from repro.sim.kernel import Simulator
 from repro.sim.latency import FixedLatency, LatencyModel
@@ -50,13 +55,6 @@ from repro.sim.monitors import ChannelOccupancyMonitor, MessageStats, Quiescence
 from repro.sim.network import Network
 from repro.sim.time import Duration, Instant
 from repro.trace import analysis
-from repro.trace.invariants import (
-    ChannelBoundChecker,
-    DinerLocalInvariantChecker,
-    FifoChecker,
-    ForkUniquenessChecker,
-    PendingPingChecker,
-)
 from repro.trace.recorder import TraceRecorder
 
 DetectorFactory = Callable[[Simulator, ConflictGraph, CrashPlan], FailureDetector]
@@ -214,6 +212,8 @@ class DiningTable:
         diner_factory: Optional[DinerFactory] = None,
         on_eat: Optional[EatCallback] = None,
         check_invariants: bool = True,
+        strict_checks: Optional[bool] = None,
+        check_config: Optional[CheckConfig] = None,
         channel_bound: int = 4,
         max_events: int = 50_000_000,
         trace: Optional[TraceRecorder] = None,
@@ -237,24 +237,6 @@ class DiningTable:
 
         self.workload = workload if workload is not None else AlwaysHungry()
 
-        # Monitors (always on: cheap, and every experiment reads them).
-        self.occupancy = ChannelOccupancyMonitor(layer="dining")
-        self.message_stats = MessageStats()
-        self.quiescence = QuiescenceMonitor(self.crash_plan.as_dict().get)
-        self.network.add_monitor(self.occupancy)
-        self.network.add_monitor(self.message_stats)
-        self.network.add_monitor(self.quiescence)
-
-        # Observability: an explicit registry wins; otherwise join the
-        # ambient ``repro.obs.collecting`` block when one is active.
-        registry = metrics if metrics is not None else active_registry()
-        self.metrics = registry
-        self.instrumentation = (
-            instrument_table(self, registry, bound=channel_bound)
-            if registry is not None
-            else None
-        )
-
         make_diner = diner_factory if diner_factory is not None else DinerActor
         self.diners: Dict[ProcessId, DinerActor] = {}
         for pid in graph.nodes:
@@ -270,18 +252,74 @@ class DiningTable:
             self.diners[pid] = diner
             self.network.register(diner)
 
+        # Property checking: one substrate-agnostic CheckSuite, fed by the
+        # kernel adapter.  ``check_invariants=True`` keeps the historical
+        # teeth — an immediate safety violation (fork duplication, channel
+        # overflow, FIFO break, local-invariant break) raises its typed
+        # exception from inside the offending event.
+        self.checks = None
+        self._check_adapter = None
         if check_invariants:
-            fork_checker = ForkUniquenessChecker(self.diners, sorted(graph.edges))
-            self.sim.add_step_listener(fork_checker.check)
-            self.network.add_monitor(ChannelBoundChecker(bound=channel_bound, layer="dining"))
-            self.network.add_monitor(FifoChecker())
-            if all(isinstance(d, DinerActor) for d in self.diners.values()):
-                # Proof-level local invariants (ack/replied scoping, the
-                # phase nesting, Lemma 2.2) only make sense for diners
-                # built on Algorithm 1's variable set.
-                local_checker = DinerLocalInvariantChecker(self.diners)
-                self.sim.add_step_listener(local_checker.check)
-                self.network.add_monitor(PendingPingChecker())
+            config = check_config if check_config is not None else CheckConfig()
+            config.channel_bound = channel_bound
+            config.crash_time_of = self.crash_plan.as_dict().get
+            if config.correct is None:
+                config.correct = self.crash_plan.correct(graph.nodes)
+            # Proof-level local invariants (ack/replied scoping, the phase
+            # nesting, Lemma 2.2) only make sense for diners built on
+            # Algorithm 1's variable set.
+            diner_locals = all(isinstance(d, DinerActor) for d in self.diners.values())
+            self.checks = standard_suite(
+                sorted(graph.edges),
+                config,
+                diner_locals=diner_locals,
+                on_violation=None if strict_checks is False else raise_violation,
+            )
+
+        # Monitors (always on: cheap, and every experiment reads them).
+        # With a check suite attached, the kernel adapter feeds the same
+        # canonical occupancy/quiescence implementations exactly once,
+        # batches the message stats, and the monitor objects become read
+        # facades over the shared state — the adapter is then the only
+        # registered observer besides the instrumentation.
+        if self.checks is not None:
+            self._check_adapter = KernelCheckAdapter(
+                self.checks, self.diners, crashing=self.crash_plan.faulty
+            )
+            channel_checker = self.checks.checker(CHANNEL_BOUND)
+            self.message_stats = self._check_adapter.stats
+            self.occupancy = ChannelOccupancyMonitor(
+                layer=channel_checker.layer, occupancy=channel_checker.occupancy
+            )
+            self.quiescence = QuiescenceMonitor(
+                self.crash_plan.as_dict().get,
+                checker=self.checks.checker(QUIESCENCE),
+            )
+        else:
+            self.message_stats = MessageStats()
+            self.occupancy = ChannelOccupancyMonitor(layer="dining")
+            self.quiescence = QuiescenceMonitor(self.crash_plan.as_dict().get)
+            self.network.add_monitor(self.message_stats)
+            self.network.add_monitor(self.occupancy)
+            self.network.add_monitor(self.quiescence)
+
+        # Observability: an explicit registry wins; otherwise join the
+        # ambient ``repro.obs.collecting`` block when one is active.
+        registry = metrics if metrics is not None else active_registry()
+        self.metrics = registry
+        self.instrumentation = (
+            instrument_table(self, registry, bound=channel_bound)
+            if registry is not None
+            else None
+        )
+
+        if self.checks is not None:
+            # Attached last so the instrumentation monitors still observe
+            # a message even when a strict check raises from the adapter.
+            self._check_adapter.attach(self.sim, self.network, self.trace)
+            collector = active_collector()
+            if collector is not None:
+                collector.register(self.checks, lambda: self.sim.now)
 
         self.crash_plan.apply(self.network)
         # Oracle-style detectors (scripted, perfect, adversarial) drive
@@ -310,6 +348,32 @@ class DiningTable:
     @property
     def correct_pids(self) -> tuple:
         return self.crash_plan.correct(self.graph.nodes)
+
+    def verdict(
+        self,
+        *,
+        settle: Optional[Instant] = None,
+        patience: Optional[float] = None,
+        after: Optional[Instant] = None,
+    ) -> Verdict:
+        """Finalize the attached check suite into a single Verdict.
+
+        ``settle`` / ``patience`` / ``after`` bind the eventual
+        properties' judgement windows (◇WX, wait-freedom, ◇2-BW) at the
+        current horizon; left ``None`` they stay as configured (default:
+        informational).  Requires ``check_invariants=True``.
+        """
+        if self.checks is None:
+            raise ConfigurationError(
+                "no check suite attached (table built with check_invariants=False)"
+            )
+        if settle is not None:
+            self.checks.checker("wx-safety").settle = settle
+        if patience is not None:
+            self.checks.checker("progress").patience = patience
+        if after is not None:
+            self.checks.checker("overtaking").after = after
+        return self.checks.finalize(self.sim.now)
 
     def violations(self) -> List[analysis.ExclusionViolation]:
         """All exclusion violations recorded so far."""

@@ -33,8 +33,9 @@ class CrashedProcessError(SimulationError):
 class InvariantViolation(ReproError):
     """A checked algorithm invariant does not hold.
 
-    Raised by the online checkers in :mod:`repro.trace.invariants` (for
-    example fork uniqueness, channel-capacity bounds, or FIFO ordering).
+    Raised by the online checkers in :mod:`repro.checks` when a suite is
+    armed strictly (for example fork uniqueness, channel-capacity
+    bounds, or FIFO ordering).
     """
 
 

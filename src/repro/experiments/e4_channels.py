@@ -5,7 +5,7 @@ between each pair of neighbors — the unique fork, the unique token, and
 at most one pending ping-or-ack in each direction.
 
 Method: long, high-contention runs across topologies with the online
-:class:`~repro.trace.invariants.ChannelBoundChecker` armed at bound 4 (a
+:class:`~repro.checks.ChannelBoundChecker` armed at bound 4 (a
 fifth concurrent message raises immediately).  We report the observed
 per-edge maximum and how many edges ever reached it.  Detector traffic is
 excluded by layer, exactly as the paper's accounting scopes the bound to

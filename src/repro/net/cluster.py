@@ -11,17 +11,22 @@ real sockets, then merges what every host recorded into one verdict:
    from the spec, runs it, and dumps ``trace.jsonl`` / ``wire.jsonl`` /
    ``metrics.json`` / ``result.json`` into its own output directory.
 3. **Merge** — :func:`merge_run` recombines the per-host outputs.  Trace
-   records carry the shared-epoch clock, so sorting by time yields one
-   system-wide trace for the standard analysis (exclusion violations,
-   starvation).  Wire logs from both endpoints of every cross-host edge
-   are replayed into an exact per-edge in-transit staircase — the
-   authoritative Section 7 check for edges no single host can see — and
-   the per-host metric snapshots merge into one Prometheus exposition.
+   records and wire logs carry the shared-epoch clock, so converting
+   both into the normalized check-event vocabulary and time-merging them
+   (:func:`repro.checks.merge_events`) yields one system-wide stream.
+   That stream is replayed through the exact
+   :func:`repro.checks.standard_suite` every other substrate runs — the
+   authoritative Section 7 / FIFO judgement for cross-host edges no
+   single host can see — and its channel staircase feeds the
+   cluster-level Prometheus gauges.  State-based properties (fork
+   uniqueness, the diner-local invariants) cannot be probed offline, so
+   their per-host verdicts are adopted into the merged
+   :class:`~repro.checks.Verdict` via ``PropertyVerdict.merge``.
 
-The verdict is strict: any live checker violation (fork/token
-uniqueness, channel bound, FIFO sequence gap), any merged-log channel
-excursion above the bound, any starving correct diner, or any exclusion
-violation past the detector settle window fails the run.
+The verdict is strict: any live checker violation on a host, any merged
+-stream property failure (channel bound, FIFO sequence gap, starving
+correct diner, exclusion violation past the detector settle window)
+fails the run.
 """
 
 from __future__ import annotations
@@ -33,21 +38,32 @@ import subprocess
 import sys
 import time
 from dataclasses import asdict, dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
+from repro.checks import (
+    CHANNEL_BOUND,
+    DINER_LOCAL,
+    FORK_UNIQUENESS,
+    PROGRESS,
+    WX_SAFETY,
+    CheckConfig,
+    PropertyVerdict,
+    Verdict,
+    events_from_trace,
+    events_from_wire,
+    merge_events,
+    standard_suite,
+)
 from repro.errors import ConfigurationError
 from repro.graphs import topologies
-from repro.graphs.conflict import ConflictGraph, ProcessId
+from repro.graphs.conflict import ConflictGraph
 from repro.net.host import AsyncHost, HostConfig, run_host
 from repro.obs.metrics import MetricsRegistry, gauge_max, merge_snapshots
 from repro.obs.report import render_prometheus
-from repro.trace import analysis
-from repro.trace.recorder import TraceRecorder
 from repro.trace.serialize import load_path
 
 __all__ = ["ClusterSpec", "ClusterVerdict", "launch", "merge_run", "placement_summary", "serve"]
 
-Edge = Tuple[ProcessId, ProcessId]
 
 
 @dataclass
@@ -133,18 +149,51 @@ class ClusterSpec:
 
 @dataclass
 class ClusterVerdict:
-    """Merged outcome of one cluster run."""
+    """Merged outcome of one cluster run.
+
+    ``checks`` is the shared :class:`repro.checks.Verdict` — the same
+    type every substrate emits — judged over the merged check-event
+    stream with the per-host state-based properties adopted in.  The
+    legacy summary accessors (``exclusion_total``, ``starving``, …) read
+    straight out of it.
+    """
 
     ok: bool
     hosts: List[Dict[str, object]]
     checker_violations: List[str]
-    exclusion_total: int
-    exclusion_late: int
-    starving: List[int]
+    checks: Verdict
     total_meals: int
-    max_in_transit: int
-    edge_peaks: Dict[str, int]
     prometheus: str
+
+    def _counter(self, prop: str, name: str) -> int:
+        verdict = self.checks.properties.get(prop)
+        return int(verdict.counters.get(name, 0)) if verdict is not None else 0
+
+    @property
+    def exclusion_total(self) -> int:
+        return self._counter(WX_SAFETY, "overlap_windows_total")
+
+    @property
+    def exclusion_late(self) -> int:
+        return self._counter(WX_SAFETY, "late_windows_total")
+
+    @property
+    def starving(self) -> List[int]:
+        verdict = self.checks.properties.get(PROGRESS)
+        if verdict is None:
+            return []
+        return list(verdict.details.get("starving", []))
+
+    @property
+    def max_in_transit(self) -> int:
+        return self._counter(CHANNEL_BOUND, "max_in_transit")
+
+    @property
+    def edge_peaks(self) -> Dict[str, int]:
+        verdict = self.checks.properties.get(CHANNEL_BOUND)
+        if verdict is None:
+            return {}
+        return dict(verdict.details.get("edge_peaks", {}))
 
     def describe(self) -> str:
         lines = [
@@ -152,13 +201,10 @@ class ClusterVerdict:
             f"  hosts:                 {len(self.hosts)}",
             f"  total meals:           {self.total_meals}",
             f"  checker violations:    {len(self.checker_violations)}",
-            f"  exclusion violations:  {self.exclusion_total} total, "
-            f"{self.exclusion_late} after settle",
-            f"  starving correct:      {self.starving or 'none'}",
-            f"  peak msgs per edge:    {self.max_in_transit} (bound 4)",
         ]
         for detail in self.checker_violations[:10]:
             lines.append(f"    ! {detail}")
+        lines.extend("  " + line for line in self.checks.describe().splitlines())
         return "\n".join(lines)
 
 
@@ -192,7 +238,7 @@ def serve(spec_path: str, host_index: int, output_dir: Optional[str] = None) -> 
     host = build_host(spec, host_index)
     run_host(host)
     host.write_outputs(output_dir or spec.host_dir(host_index))
-    return 1 if host.violations else 0
+    return 1 if host.violations or not host.verdict().ok else 0
 
 
 # ----------------------------------------------------------------------
@@ -279,49 +325,49 @@ def launch(spec: ClusterSpec, *, quiet: bool = False) -> ClusterVerdict:
 # ----------------------------------------------------------------------
 # Merge
 # ----------------------------------------------------------------------
-def _merge_traces(host_dirs: List[str]) -> TraceRecorder:
-    records: List[object] = []
-    for directory in host_dirs:
-        records.extend(load_path(os.path.join(directory, "trace.jsonl")))
-    records.sort(key=lambda record: record.time)
-    merged = TraceRecorder()
-    for record in records:
-        merged.record(record)
-    return merged
+def _load_merged_events(host_dirs: List[str]) -> List[object]:
+    """Every host's trace and wire log as one time-ordered check-event stream.
 
-
-def _load_wire_events(host_dirs: List[str]) -> List[dict]:
-    events: List[dict] = []
+    All hosts stamp with the same shared-epoch clock, so
+    :func:`repro.checks.merge_events` (time sort, sends before the
+    departures they race with) replays each edge's true occupancy
+    staircase.
+    """
+    streams: List[List[object]] = []
     for directory in host_dirs:
+        streams.append(
+            events_from_trace(load_path(os.path.join(directory, "trace.jsonl")))
+        )
+        wire: List[dict] = []
         with open(os.path.join(directory, "wire.jsonl"), "r", encoding="utf-8") as stream:
             for line in stream:
                 line = line.strip()
                 if line:
-                    events.append(json.loads(line))
-    # Deliveries physically follow their sends and every host stamps with
-    # the same machine clock, so a time sort (sends first on exact ties)
-    # replays each edge's true occupancy staircase.
-    events.sort(key=lambda e: (e["time"], 0 if e["kind"] == "send" else 1, e["seq"]))
-    return events
+                    wire.append(json.loads(line))
+        streams.append(events_from_wire(wire))
+    return merge_events(*streams)
 
 
-def _edge_occupancy(events: List[dict]) -> Dict[Edge, Tuple[int, float, int]]:
-    """Exact dining-layer occupancy per undirected edge: (peak, at, final)."""
-    state: Dict[Edge, List] = {}
-    for event in events:
-        if event["layer"] != "dining":
-            continue
-        a, b = event["src"], event["dst"]
-        edge = (a, b) if a <= b else (b, a)
-        entry = state.setdefault(edge, [0, 0, 0.0])
-        if event["kind"] == "send":
-            entry[0] += 1
-            if entry[0] > entry[1]:
-                entry[1] = entry[0]
-                entry[2] = event["time"]
-        else:  # deliver or drop both vacate the channel
-            entry[0] -= 1
-    return {edge: (entry[1], entry[2], entry[0]) for edge, entry in state.items()}
+def check_config_for(spec: ClusterSpec) -> CheckConfig:
+    """The cluster's judged windows, derived from its timing knobs.
+
+    ◇WX tolerates early violations from detector mistakes; after the
+    settle window (time for the adaptive timeouts to absorb start-up
+    jitter, plus one meal to drain) none are acceptable.  Patience is
+    chosen generously above the wait-free algorithm's observed response
+    times, so a diner flagged starving is genuinely blocked, not slow.
+    """
+    crashed = set(spec.crash_times)
+    return CheckConfig(
+        channel_bound=spec.channel_bound,
+        settle=min(
+            spec.duration,
+            spec.initial_timeout + spec.timeout_increment + spec.eat_time,
+        ),
+        patience=max(0.4 * spec.duration, 20 * spec.eat_time),
+        correct=tuple(pid for pid in spec.graph().nodes if pid not in crashed),
+        crash_time_of=spec.crash_times.get,
+    )
 
 
 def merge_run(spec: ClusterSpec) -> ClusterVerdict:
@@ -331,6 +377,7 @@ def merge_run(spec: ClusterSpec) -> ClusterVerdict:
 
     results: List[Dict[str, object]] = []
     snapshots: List[dict] = []
+    host_verdicts: List[Verdict] = []
     checker_violations: List[str] = []
     for index, directory in enumerate(host_dirs):
         with open(os.path.join(directory, "result.json"), "r", encoding="utf-8") as stream:
@@ -339,45 +386,38 @@ def merge_run(spec: ClusterSpec) -> ClusterVerdict:
         checker_violations.extend(
             f"host {index}: {detail}" for detail in result.get("violations", ())
         )
+        if result.get("verdict"):
+            host_verdicts.append(Verdict.from_json(result["verdict"]))
         with open(os.path.join(directory, "metrics.json"), "r", encoding="utf-8") as stream:
             snapshots.append(json.load(stream))
 
-    trace = _merge_traces(host_dirs)
-    occupancy = _edge_occupancy(_load_wire_events(host_dirs))
-    max_in_transit = max((peak for peak, _, _ in occupancy.values()), default=0)
-    for edge, (peak, _, _) in sorted(occupancy.items()):
-        if peak > spec.channel_bound:
-            checker_violations.append(
-                f"merged wire log: {peak} dining messages in transit on edge "
-                f"{edge}, bound is {spec.channel_bound}"
-            )
+    # One suite, the same one every substrate runs, over the merged
+    # stream — the authoritative judgement for cross-host edges no
+    # single host can see.
+    suite = standard_suite(sorted(graph.edges), check_config_for(spec))
+    suite.feed(_load_merged_events(host_dirs))
+    checks = suite.finalize(spec.duration)
+
+    # Fork uniqueness and the diner-local invariants need live state
+    # probes; adopt each host's judgement of its own diners.
+    for prop in (FORK_UNIQUENESS, DINER_LOCAL):
+        judged = [
+            v.properties[prop] for v in host_verdicts if prop in v.properties
+        ]
+        if judged:
+            checks = checks.with_property(PropertyVerdict.merge(judged))
 
     # The authoritative per-edge gauge comes from the merged staircase —
     # cross-host edges are invisible to any single host's registry.
+    occupancy = suite.checker(CHANNEL_BOUND).occupancy
     cluster_registry = MetricsRegistry(profile=False)
-    for (a, b), (peak, at, final) in sorted(occupancy.items()):
+    for (a, b), peak in sorted(occupancy.peak.items()):
         gauge = cluster_registry.gauge(
             "net.in_transit", edge=f"{a}-{b}", layer="dining", run="cluster"
         )
-        gauge.set(peak, at)
-        gauge.set(final)
+        gauge.set(peak, occupancy.peak_time.get((a, b), 0.0))
+        gauge.set(occupancy.current.get((a, b), 0))
     merged_metrics = merge_snapshots([*snapshots, cluster_registry.snapshot()])
-
-    horizon = spec.duration
-    violations = analysis.exclusion_violations(trace, graph, horizon=horizon)
-    # ◇WX tolerates early violations from detector mistakes; after the
-    # settle window (time for the adaptive timeouts to absorb start-up
-    # jitter, plus one meal to drain) none are acceptable.
-    settle = min(
-        horizon, spec.initial_timeout + spec.timeout_increment + spec.eat_time
-    )
-    late = [v for v in violations if v.end > settle]
-    crashed = set(spec.crash_times)
-    correct = [pid for pid in graph.nodes if pid not in crashed]
-    patience = max(0.4 * spec.duration, 20 * spec.eat_time)
-    starving = analysis.starving_processes(
-        trace, correct, horizon=horizon, patience=patience
-    )
 
     total_meals = sum(
         int(count) for result in results for count in result.get("meals", {}).values()
@@ -386,19 +426,12 @@ def merge_run(spec: ClusterSpec) -> ClusterVerdict:
     if gauge_ceiling is not None and not math.isfinite(gauge_ceiling):
         checker_violations.append("non-finite in-transit gauge")
 
-    ok = not checker_violations and not late and not starving and (
-        max_in_transit <= spec.channel_bound
-    )
     return ClusterVerdict(
-        ok=ok,
+        ok=not checker_violations and checks.ok,
         hosts=results,
         checker_violations=checker_violations,
-        exclusion_total=len(violations),
-        exclusion_late=len(late),
-        starving=starving,
+        checks=checks,
         total_meals=total_meals,
-        max_in_transit=max_in_transit,
-        edge_peaks={f"{a}-{b}": peak for (a, b), (peak, _, _) in sorted(occupancy.items())},
         prometheus=render_prometheus(merged_metrics),
     )
 

@@ -17,12 +17,14 @@ kernel provided under virtual time is re-realised under wall-clock time:
   freezes the actor (no more steps, deliveries dropped); once *every*
   local actor is crashed the host severs its connections, which is what a
   process crash looks like from the rest of the cluster.
-* **Live checking** — fork/token uniqueness after every step and the
-  Section 7 channel bound on every local edge; cross-host edges are
-  checked post-hoc from the merged wire logs (see
-  :mod:`repro.net.cluster`).  Per-directed-channel sequence numbers ride
-  in every frame, and a receiver rejects any gap or reordering — the
-  paper's FIFO/no-loss channel assumption, asserted live.
+* **Live checking** — the same :func:`repro.checks.standard_suite` the
+  simulator kernel runs, fed online from this host's vantage point:
+  state probes after every local step, message events on fully local
+  edges, and deliver/drop events for inbound cross-host traffic
+  (per-directed-channel sequence numbers ride in every frame, so the
+  FIFO/no-loss assumption is asserted live).  Cross-host edges are
+  re-judged post-hoc from the merged wire logs (see
+  :mod:`repro.net.cluster`), through the identical checkers.
 * **Observability** — the same metric names as the simulator
   (``net.messages_sent_total``, ``net.in_transit``, ``dining.*``) in a
   :class:`~repro.obs.metrics.MetricsRegistry`, plus an append-only wire
@@ -43,11 +45,22 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+from repro.checks import (
+    CheckConfig,
+    DeliverEvent,
+    DropEvent,
+    ProbeEvent,
+    SendEvent,
+    Verdict,
+    Violation,
+    event_from_trace_record,
+    standard_suite,
+)
 from repro.core.diner import DinerActor
 from repro.core.substrate import ProcessId
 from repro.core.workload import AlwaysHungry, Workload
 from repro.detectors.heartbeat import HeartbeatDetector
-from repro.errors import ConfigurationError, InvariantViolation
+from repro.errors import ConfigurationError
 from repro.graphs.coloring import Coloring, greedy_coloring, validate_coloring
 from repro.graphs.conflict import ConflictGraph
 from repro.net.codec import FrameDecoder, WireCodecError, decode_frame, encode_frame
@@ -56,7 +69,7 @@ from repro.obs.instrument import NetworkInstrument, TraceInstrument
 from repro.obs.metrics import MetricsRegistry
 from repro.sim.monitors import message_layer
 from repro.sim.rng import RandomStreams
-from repro.trace.invariants import ChannelBoundChecker, ForkUniquenessChecker
+from repro.trace.events import Crash, PhaseChange
 from repro.trace.recorder import TraceRecorder
 from repro.trace.serialize import dump_path
 
@@ -214,10 +227,6 @@ class AsyncHost:
         self._local_edges = tuple(
             edge for edge in sorted(graph.edges) if edge[0] in local and edge[1] in local
         )
-        self._fork_checker = ForkUniquenessChecker(self.diners, self._local_edges)
-        self._bound_checker = ChannelBoundChecker(
-            bound=self.config.channel_bound, layer="dining"
-        )
 
         self._crash_times: Dict[ProcessId, float] = {
             pid: float(t)
@@ -225,8 +234,26 @@ class AsyncHost:
             if pid in self.diners
         }
 
+        # The same substrate-agnostic suite the kernel runs, judging what
+        # this host can see: local edges exactly, inbound remote channels
+        # from the receiving side.  Violations are collected, never
+        # raised — a live run always completes and reports what it saw.
+        self.checks = standard_suite(
+            self._local_edges,
+            CheckConfig(
+                channel_bound=self.config.channel_bound,
+                correct=tuple(
+                    pid for pid in self.local_pids if pid not in self._crash_times
+                ),
+                crash_time_of=self._crash_times.get,
+            ),
+            on_violation=self._on_check_violation,
+        )
+        self._probe = ProbeEvent(0.0, self.diners)
+        self.trace.add_listener(self._on_trace_record, types=(PhaseChange, Crash))
+        self._end: Optional[float] = None
+
         self._next_seq: Dict[Tuple[ProcessId, ProcessId], int] = {}
-        self._expected_seq: Dict[Tuple[ProcessId, ProcessId], int] = {}
         self.wire_events: List[WireEvent] = []
         self.violations: List[str] = []
 
@@ -277,10 +304,7 @@ class AsyncHost:
             # Local edge: both endpoints observable, so the live per-edge
             # gauge and the Section 7 bound checker are exact here.
             self._net_probe.on_send(src, dst, message, now)
-            try:
-                self._bound_checker.on_send(src, dst, message, now)
-            except InvariantViolation as exc:
-                self._record_violation(str(exc))
+            self.checks.observe(SendEvent(now, src, dst, name, layer, seq))
             self.loop.call_soon(self._deliver_frame, frame)
         else:
             self.registry.counter("net.messages_sent_total", type=name, layer=layer).inc()
@@ -312,15 +336,6 @@ class AsyncHost:
     def _receive(self, src: ProcessId, dst: ProcessId, seq: int, message) -> None:
         if self._finished:
             return
-        key = (src, dst)
-        expected = self._expected_seq.get(key, 0) + 1
-        if seq != expected:
-            self._record_violation(
-                f"t={self.now:.4f}: channel {src}->{dst} delivered seq {seq}, "
-                f"expected {expected} (FIFO/no-loss violated)"
-            )
-        self._expected_seq[key] = seq
-
         actor = self.diners.get(dst)
         now = self.now
         name = type(message).__name__
@@ -333,9 +348,11 @@ class AsyncHost:
             self.wire_events.append(
                 WireEvent("drop", src, dst, name, layer, seq, now, 0)
             )
+            # The FIFO checker judges the carried seq either way; channel
+            # occupancy only retires sends it actually saw (local edges).
+            self.checks.observe(DropEvent(now, src, dst, name, layer, seq))
             if local_src:
                 self._net_probe.on_drop(src, dst, message, now)
-                self._bound_checker.on_drop(src, dst, message, now)
             else:
                 self.registry.counter(
                     "net.messages_dropped_total", type=name, layer=layer
@@ -344,9 +361,9 @@ class AsyncHost:
         self.wire_events.append(
             WireEvent("deliver", src, dst, name, layer, seq, now, 0)
         )
+        self.checks.observe(DeliverEvent(now, src, dst, name, layer, seq))
         if local_src:
             self._net_probe.on_deliver(src, dst, message, now)
-            self._bound_checker.on_deliver(src, dst, message, now)
         else:
             self.registry.counter(
                 "net.messages_delivered_total", type=name, layer=layer
@@ -362,10 +379,16 @@ class AsyncHost:
     # Checking
     # ------------------------------------------------------------------
     def _after_step(self) -> None:
-        try:
-            self._fork_checker.check(self.now)
-        except InvariantViolation as exc:
-            self._record_violation(str(exc))
+        self._probe.time = self.now
+        self.checks.observe(self._probe)
+
+    def _on_trace_record(self, record) -> None:
+        event = event_from_trace_record(record)
+        if event is not None:
+            self.checks.observe(event)
+
+    def _on_check_violation(self, violation: Violation) -> None:
+        self._record_violation(f"{violation.prop}: {violation.detail}")
 
     def _record_violation(self, detail: str) -> None:
         self.violations.append(detail)
@@ -493,6 +516,7 @@ class AsyncHost:
 
     async def _shutdown(self) -> None:
         self._finished = True
+        self._end = self.now
         self._kill_connections()
         if self._server is not None:
             try:
@@ -505,6 +529,19 @@ class AsyncHost:
     # ------------------------------------------------------------------
     # Results
     # ------------------------------------------------------------------
+    def verdict(self) -> Verdict:
+        """This host's view of the run, judged by the standard suite.
+
+        Eventual properties are informational here (no settle/patience
+        windows are set at host scope); the cluster merges per-host
+        verdicts with a re-judged merged-stream verdict and applies the
+        windows there.
+        """
+        horizon = self._end if self._end is not None else (
+            self.now if self._epoch is not None else None
+        )
+        return self.checks.finalize(horizon)
+
     def result(self) -> Dict[str, object]:
         """Compact machine-readable summary of this host's run."""
         return {
@@ -516,6 +553,7 @@ class AsyncHost:
             "meals": {str(pid): d.meals_eaten for pid, d in sorted(self.diners.items())},
             "crashed": sorted(pid for pid, d in self.diners.items() if d.crashed),
             "violations": list(self.violations),
+            "verdict": self.verdict().to_json(),
             "wire_events": len(self.wire_events),
             "max_in_transit_local": self._net_probe.max_in_transit(),
             "false_suspicion_retractions": self.detector.total_false_retractions(),

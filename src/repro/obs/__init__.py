@@ -38,6 +38,7 @@ from repro.obs.report import (
     quiescence_curve,
     render_prometheus,
     render_report_text,
+    render_verdict_text,
     summarize_snapshot,
 )
 
@@ -61,5 +62,6 @@ __all__ = [
     "quiescence_curve",
     "render_prometheus",
     "render_report_text",
+    "render_verdict_text",
     "summarize_snapshot",
 ]

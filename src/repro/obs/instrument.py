@@ -90,8 +90,8 @@ class NetworkInstrument(NetworkMonitor):
     Other layers are counted but not tracked per edge: occupancy is only
     a paper quantity for dining messages.  A dining edge rising above
     ``bound`` increments an excursion counter — the online mirror of
-    :class:`repro.trace.invariants.ChannelBoundChecker`, which raises
-    instead.
+    :class:`repro.checks.ChannelBoundChecker`, which (strictly armed)
+    raises instead.
     """
 
     def __init__(

@@ -8,9 +8,16 @@ processes, when was the last exclusion violation, how close did any edge
 come to the 4-message channel bound, and where did the kernel's wall
 clock actually go.
 
+When the sweep also collected check verdicts (``repro report`` runs with
+check collection on), the report carries the merged
+:class:`~repro.checks.Verdict` under ``"checks"`` and the text rendering
+appends its per-property scorecard.
+
 Renderers:
 
 * :func:`render_report_text` — the human page ``repro report`` prints;
+* :func:`render_verdict_text` — a :class:`~repro.checks.Verdict` (or its
+  JSON form) as the indented scorecard every front end shares;
 * :func:`render_prometheus` — Prometheus text exposition of a snapshot
   (counters, gauges, and cumulative ``_bucket`` histograms), for
   scraping a dumped file or diffing runs with standard tooling;
@@ -128,6 +135,12 @@ def build_report(result, *, top: int = 5, bound: int = 4) -> Dict[str, object]:
         else:
             missing.append(seed_result.seed)
     merged = merge_snapshots(snapshots)
+    checks = None
+    merged_checks = getattr(result, "merged_checks", None)
+    if callable(merged_checks):
+        verdict = merged_checks()
+        if verdict is not None:
+            checks = verdict.to_json()
     return {
         "scenario": result.scenario,
         "title": result.title,
@@ -138,6 +151,7 @@ def build_report(result, *, top: int = 5, bound: int = 4) -> Dict[str, object]:
         "compute_seconds": result.elapsed,
         "rows": len(result.rows),
         "summary": summarize_snapshot(merged, top=top, bound=bound),
+        "checks": checks,
         "metrics": merged,
     }
 
@@ -151,6 +165,19 @@ def _fmt(value: Optional[float], suffix: str = "") -> str:
     if isinstance(value, float) and not value.is_integer():
         return f"{value:.2f}{suffix}"
     return f"{int(value)}{suffix}"
+
+
+def render_verdict_text(verdict) -> str:
+    """A check verdict as its indented scorecard.
+
+    Accepts a :class:`~repro.checks.Verdict` or its ``to_json`` dict, so
+    report documents round-tripped through JSON render identically.
+    """
+    from repro.checks import Verdict
+
+    if not isinstance(verdict, Verdict):
+        verdict = Verdict.from_json(verdict)
+    return verdict.describe()
 
 
 def render_report_text(report: Mapping[str, object]) -> str:
@@ -192,6 +219,10 @@ def render_report_text(report: Mapping[str, object]) -> str:
     if curve:
         staircase = ", ".join(f"t≤{_fmt(point['t'])}: {_fmt(point['sends'])}" for point in curve)
         lines.append(f"  quiescence curve:    {staircase}")
+    if report.get("checks"):
+        lines.append("")
+        for line in render_verdict_text(report["checks"]).splitlines():
+            lines.append(f"  {line}" if line else line)
     lines.append("")
     lines.append("volume")
     lines.append(

@@ -4,8 +4,8 @@ Every (scenario, spec, seed) triple is deterministic, so its rows can be
 memoized: the cache key is the spec fingerprint (which folds in the
 package version, the scenario name, the merged params, and the seed),
 and the value is the row list as JSON — plus, when the run collected
-them, the seed's metrics snapshot, so ``repro report`` on a warm cache
-needs no recomputation.  Entries live under
+them, the seed's metrics snapshot and check verdict, so ``repro report``
+on a warm cache needs no recomputation.  Entries live under
 ``.repro_cache/<scenario>/<hash>.json`` — one file per seed, so growing
 a seed list only pays for the new seeds.
 
@@ -82,8 +82,8 @@ class ResultCache:
 
     def load_entry(
         self, scenario: str, key: str
-    ) -> Optional[Tuple[Rows, Optional[dict]]]:
-        """``(rows, metrics_snapshot_or_None)``, or None on a miss."""
+    ) -> Optional[Tuple[Rows, Optional[dict], Optional[dict]]]:
+        """``(rows, metrics_or_None, checks_or_None)``, or None on a miss."""
         path = self.path_for(scenario, key)
         try:
             with open(path, "r", encoding="utf-8") as stream:
@@ -99,7 +99,12 @@ class ResultCache:
         self.stats.hits += 1
         self.stats.bytes_read += len(raw.encode("utf-8"))
         metrics = payload.get("metrics")
-        return rows, metrics if isinstance(metrics, dict) else None
+        checks = payload.get("checks")
+        return (
+            rows,
+            metrics if isinstance(metrics, dict) else None,
+            checks if isinstance(checks, dict) else None,
+        )
 
     def load(self, scenario: str, key: str) -> Optional[Rows]:
         """The cached rows, or None on a miss (including corrupt entries)."""
@@ -107,14 +112,22 @@ class ResultCache:
         return entry[0] if entry is not None else None
 
     def store(
-        self, scenario: str, key: str, rows: Rows, *, metrics: Optional[dict] = None
+        self,
+        scenario: str,
+        key: str,
+        rows: Rows,
+        *,
+        metrics: Optional[dict] = None,
+        checks: Optional[dict] = None,
     ) -> Path:
-        """Persist rows (and optionally metrics) atomically; returns the path."""
+        """Persist rows (and optional metrics/checks) atomically; returns the path."""
         path = self.path_for(scenario, key)
         path.parent.mkdir(parents=True, exist_ok=True)
         payload: Dict[str, object] = {"scenario": scenario, "key": key, "rows": rows}
         if metrics is not None:
             payload["metrics"] = metrics
+        if checks is not None:
+            payload["checks"] = checks
         encoded = json.dumps(payload)
         fd, tmp_name = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
         try:

@@ -26,6 +26,7 @@ import json
 import pickle
 import time
 from concurrent.futures import ProcessPoolExecutor
+from contextlib import ExitStack
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
@@ -43,29 +44,45 @@ _POOL_FAILURES = (BrokenProcessPool, OSError, PermissionError, pickle.PicklingEr
 
 
 def _execute_seed(
-    name: str, kwargs: Dict[str, object], seed: int, collect_metrics: bool = False
-) -> Tuple[Rows, float, Optional[dict]]:
+    name: str,
+    kwargs: Dict[str, object],
+    seed: int,
+    collect_metrics: bool = False,
+    collect_checks: bool = False,
+) -> Tuple[Rows, float, Optional[dict], Optional[dict]]:
     """Pool worker: run one seed of a registered scenario.
 
     With ``collect_metrics`` the whole seed executes inside an ambient
     :func:`repro.obs.collecting` block, so every simulation the run
     function builds reports into one registry; the returned snapshot is
-    a plain dict (pickle- and JSON-safe) covering the full seed.
+    a plain dict (pickle- and JSON-safe) covering the full seed.  With
+    ``collect_checks`` the seed likewise runs inside
+    :func:`repro.checks.collecting_checks`, and the merged
+    :class:`~repro.checks.Verdict` of every table the seed built comes
+    back in JSON form.
     """
     scenario = get_scenario(name)
     call = dict(kwargs)
     call[scenario.seed_param] = seed
     started = time.perf_counter()
-    if collect_metrics:
-        from repro.obs import collecting
+    with ExitStack() as stack:
+        registry = None
+        collector = None
+        if collect_metrics:
+            from repro.obs import collecting
 
-        with collecting() as registry:
-            rows = scenario.run(**call)
-        snapshot: Optional[dict] = registry.snapshot()
-    else:
+            registry = stack.enter_context(collecting())
+        if collect_checks:
+            from repro.checks import collecting_checks
+
+            collector = stack.enter_context(collecting_checks())
         rows = scenario.run(**call)
-        snapshot = None
-    return rows, time.perf_counter() - started, snapshot
+    elapsed = time.perf_counter() - started
+    snapshot: Optional[dict] = registry.snapshot() if registry is not None else None
+    checks: Optional[dict] = (
+        collector.verdict().to_json() if collector is not None else None
+    )
+    return rows, elapsed, snapshot, checks
 
 
 def _call_seeded(run_fn, kwargs: Dict[str, object], seed_param: str, seed: int) -> Rows:
@@ -126,6 +143,9 @@ class SeedResult:
     ``metrics`` is the seed's metrics snapshot (see
     :meth:`repro.obs.MetricsRegistry.snapshot`) when the run collected
     one — freshly computed or replayed from the cache — else None.
+    ``checks`` is likewise the seed's merged check verdict in JSON form
+    (see :meth:`repro.checks.Verdict.to_json`) when the run collected
+    verdicts.
     """
 
     seed: int
@@ -133,6 +153,7 @@ class SeedResult:
     cached: bool
     elapsed: float
     metrics: Optional[dict] = None
+    checks: Optional[dict] = None
 
 
 @dataclass(frozen=True)
@@ -178,6 +199,20 @@ class RunResult:
 
         return merge_snapshots(snapshots)
 
+    def merged_checks(self):
+        """Cross-seed check :class:`~repro.checks.Verdict`, or None.
+
+        Merges the per-seed verdicts with the same algebra the live
+        cluster uses for per-host verdicts (fail dominates; counters
+        sum, peaks take the max).
+        """
+        collected = [r.checks for r in self.seed_results if r.checks]
+        if not collected:
+            return None
+        from repro.checks import Verdict
+
+        return Verdict.merge(Verdict.from_json(checks) for checks in collected)
+
     @property
     def elapsed(self) -> float:
         """Total compute time across seeds (cache hits count as zero)."""
@@ -208,14 +243,17 @@ class Runner:
         use_cache: bool = True,
         cache_dir=None,
         collect_metrics: bool = False,
+        collect_checks: bool = False,
     ) -> None:
         self.jobs = max(1, int(jobs))
         self.use_cache = use_cache
         self.cache = ResultCache(cache_dir)
         # When collecting, a cached entry only counts as a hit if it
-        # carries a metrics snapshot — older rows-only entries are
-        # recomputed so the report never silently misses seeds.
+        # carries what the caller asked for (metrics snapshot / check
+        # verdict) — older partial entries are recomputed so the report
+        # never silently misses seeds.
         self.collect_metrics = collect_metrics
+        self.collect_checks = collect_checks
 
     @property
     def cache_stats(self):
@@ -238,7 +276,7 @@ class Runner:
             effective = effective.with_overrides(**overrides)
         kwargs = dict(effective.params)
 
-        cached: Dict[int, Tuple[Rows, Optional[dict]]] = {}
+        cached: Dict[int, Tuple[Rows, Optional[dict], Optional[dict]]] = {}
         if self.use_cache:
             for seed in seed_list:
                 hit = self.cache.load_entry(name, effective.fingerprint(scenario=name, seed=seed))
@@ -246,6 +284,8 @@ class Runner:
                     continue
                 if self.collect_metrics and hit[1] is None:
                     continue  # rows-only entry: recompute to get metrics
+                if self.collect_checks and hit[2] is None:
+                    continue  # entry predates verdicts: recompute to get them
                 cached[seed] = hit
 
         pending = [seed for seed in seed_list if seed not in cached]
@@ -253,23 +293,24 @@ class Runner:
 
         if self.use_cache:
             for seed in pending:
-                rows, _, snapshot = computed[seed]
+                rows, _, snapshot, checks = computed[seed]
                 if _json_faithful(rows):
                     self.cache.store(
                         name,
                         effective.fingerprint(scenario=name, seed=seed),
                         rows,
                         metrics=snapshot,
+                        checks=checks,
                     )
 
         seed_results = []
         for seed in seed_list:
             if seed in cached:
-                rows, snapshot = cached[seed]
-                seed_results.append(SeedResult(seed, rows, True, 0.0, snapshot))
+                rows, snapshot, checks = cached[seed]
+                seed_results.append(SeedResult(seed, rows, True, 0.0, snapshot, checks))
             else:
-                rows, elapsed, snapshot = computed[seed]
-                seed_results.append(SeedResult(seed, rows, False, elapsed, snapshot))
+                rows, elapsed, snapshot, checks = computed[seed]
+                seed_results.append(SeedResult(seed, rows, False, elapsed, snapshot, checks))
         return RunResult(
             scenario=name,
             title=scenario.title,
@@ -282,7 +323,7 @@ class Runner:
 
     def _execute(
         self, scenario: Scenario, kwargs: Dict[str, object], seeds: Sequence[int]
-    ) -> Dict[int, Tuple[Rows, float, Optional[dict]]]:
+    ) -> Dict[int, Tuple[Rows, float, Optional[dict], Optional[dict]]]:
         if not seeds:
             return {}
         if self.jobs > 1 and len(seeds) > 1 and _picklable(kwargs):
@@ -290,7 +331,12 @@ class Runner:
                 with ProcessPoolExecutor(max_workers=min(self.jobs, len(seeds))) as pool:
                     futures = {
                         seed: pool.submit(
-                            _execute_seed, scenario.name, kwargs, seed, self.collect_metrics
+                            _execute_seed,
+                            scenario.name,
+                            kwargs,
+                            seed,
+                            self.collect_metrics,
+                            self.collect_checks,
                         )
                         for seed in seeds
                     }
@@ -298,7 +344,9 @@ class Runner:
             except _POOL_FAILURES:
                 pass
         return {
-            seed: _execute_seed(scenario.name, kwargs, seed, self.collect_metrics)
+            seed: _execute_seed(
+                scenario.name, kwargs, seed, self.collect_metrics, self.collect_checks
+            )
             for seed in seeds
         }
 
@@ -320,10 +368,15 @@ def run_scenario(
     cache_dir=None,
     overrides: Optional[dict] = None,
     collect_metrics: bool = False,
+    collect_checks: bool = False,
 ) -> RunResult:
     """One-call convenience over :class:`Runner`."""
     runner = Runner(
-        jobs=jobs, use_cache=use_cache, cache_dir=cache_dir, collect_metrics=collect_metrics
+        jobs=jobs,
+        use_cache=use_cache,
+        cache_dir=cache_dir,
+        collect_metrics=collect_metrics,
+        collect_checks=collect_checks,
     )
     return runner.run(name, seeds=seeds, overrides=overrides)
 

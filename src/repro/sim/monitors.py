@@ -12,6 +12,12 @@ every send, delivery, and drop without touching algorithm code:
   after that process's crash instant, to verify correct processes
   eventually stop messaging crashed neighbors.
 
+The occupancy and quiescence monitors are thin adapters over the
+canonical implementations in :mod:`repro.checks.properties`
+(:class:`~repro.checks.properties.ChannelOccupancy`,
+:class:`~repro.checks.properties.QuiescenceChecker`) — how those
+quantities are counted exists exactly once, in the checks subsystem.
+
 Messages advertise their protocol layer through a ``layer`` attribute
 (``"dining"`` for Algorithm 1 traffic, ``"detector"`` for heartbeats);
 monitors can filter on it so detector chatter doesn't obscure the dining
@@ -21,21 +27,26 @@ bound.
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.checks.properties import ChannelOccupancy, PostCrashSend, QuiescenceChecker
 from repro.sim.actor import ProcessId
 from repro.sim.network import NetworkMonitor
 from repro.sim.time import Instant
+
+__all__ = [
+    "ChannelOccupancyMonitor",
+    "DeferredMessageStats",
+    "MessageStats",
+    "PostCrashSend",
+    "QuiescenceMonitor",
+    "message_layer",
+]
 
 
 def message_layer(message) -> str:
     """Return the protocol layer a message belongs to (default ``"app"``)."""
     return getattr(message, "layer", "app")
-
-
-def _edge(a: ProcessId, b: ProcessId) -> Tuple[ProcessId, ProcessId]:
-    return (a, b) if a <= b else (b, a)
 
 
 class ChannelOccupancyMonitor(NetworkMonitor):
@@ -46,45 +57,43 @@ class ChannelOccupancyMonitor(NetworkMonitor):
     layer:
         When given, only messages of that layer are counted; others are
         invisible to this monitor.
+    occupancy:
+        An existing :class:`~repro.checks.properties.ChannelOccupancy` to
+        expose instead of a fresh one.  A table with an attached check
+        suite passes the suite's instance so the monitor is a pure read
+        facade over counts the kernel adapter maintains — register the
+        monitor *or* feed the shared instance elsewhere, never both.
     """
 
-    def __init__(self, layer: Optional[str] = None) -> None:
-        self._layer = layer
-        self.current: Dict[Tuple[ProcessId, ProcessId], int] = defaultdict(int)
-        self.peak: Dict[Tuple[ProcessId, ProcessId], int] = defaultdict(int)
-        self.peak_time: Dict[Tuple[ProcessId, ProcessId], Instant] = {}
-
-    def _counts(self, message) -> bool:
-        return self._layer is None or message_layer(message) == self._layer
+    def __init__(
+        self,
+        layer: Optional[str] = None,
+        *,
+        occupancy: Optional[ChannelOccupancy] = None,
+    ) -> None:
+        self._occupancy = occupancy if occupancy is not None else ChannelOccupancy(layer=layer)
+        # Shared dict objects, so reads stay plain attribute+key lookups.
+        self.current: Dict[Tuple[ProcessId, ProcessId], int] = self._occupancy.current
+        self.peak: Dict[Tuple[ProcessId, ProcessId], int] = self._occupancy.peak
+        self.peak_time: Dict[Tuple[ProcessId, ProcessId], Instant] = self._occupancy.peak_time
 
     def on_send(self, src: ProcessId, dst: ProcessId, message, time: Instant) -> None:
-        if not self._counts(message):
-            return
-        edge = _edge(src, dst)
-        self.current[edge] += 1
-        if self.current[edge] > self.peak[edge]:
-            self.peak[edge] = self.current[edge]
-            self.peak_time[edge] = time
-
-    def _departed(self, src: ProcessId, dst: ProcessId, message) -> None:
-        if not self._counts(message):
-            return
-        self.current[_edge(src, dst)] -= 1
+        self._occupancy.record_send(src, dst, message_layer(message), time)
 
     def on_deliver(self, src: ProcessId, dst: ProcessId, message, time: Instant) -> None:
-        self._departed(src, dst, message)
+        self._occupancy.record_departure(src, dst, message_layer(message))
 
     def on_drop(self, src: ProcessId, dst: ProcessId, message, time: Instant) -> None:
-        self._departed(src, dst, message)
+        self._occupancy.record_departure(src, dst, message_layer(message))
 
     @property
     def max_occupancy(self) -> int:
         """Largest number of in-transit messages ever seen on any edge."""
-        return max(self.peak.values(), default=0)
+        return self._occupancy.max_occupancy
 
     def edges_exceeding(self, bound: int) -> List[Tuple[ProcessId, ProcessId]]:
         """Edges whose peak occupancy exceeded ``bound``."""
-        return sorted(edge for edge, peak in self.peak.items() if peak > bound)
+        return self._occupancy.edges_exceeding(bound)
 
 
 class MessageStats(NetworkMonitor):
@@ -101,45 +110,73 @@ class MessageStats(NetworkMonitor):
         self.by_layer[message_layer(message)] += 1
 
 
-@dataclass(frozen=True)
-class PostCrashSend:
-    """One message sent to an already-crashed destination."""
+class DeferredMessageStats(MessageStats):
+    """Read facade over send counts an adapter accumulates out-of-line.
 
-    src: ProcessId
-    dst: ProcessId
-    time: Instant
-    message_type: str
-    layer: str
+    The kernel check adapter batches sends per message class and settles
+    them through ``flush`` — every accessor flushes first, so readers
+    always see up-to-date totals.  Never register this as a monitor; the
+    adapter is the one counting.
+    """
+
+    def __init__(self, flush: Callable[[], None]) -> None:
+        self._flush = flush
+        self._by_type: Dict[str, int] = defaultdict(int)
+        self._by_layer: Dict[str, int] = defaultdict(int)
+        self._total = 0
+
+    @property
+    def by_type(self) -> Dict[str, int]:
+        self._flush()
+        return self._by_type
+
+    @property
+    def by_layer(self) -> Dict[str, int]:
+        self._flush()
+        return self._by_layer
+
+    @property
+    def total(self) -> int:
+        self._flush()
+        return self._total
 
 
 class QuiescenceMonitor(NetworkMonitor):
     """Records traffic addressed to crashed processes.
 
     ``crash_time_of`` maps a pid to its crash instant or ``None`` when the
-    process is correct (typically ``CrashPlan.as_dict().get``).
+    process is correct (typically ``CrashPlan.as_dict().get``).  With
+    ``checker`` the monitor becomes a read facade over an existing
+    :class:`~repro.checks.properties.QuiescenceChecker` (the check
+    suite's) instead of counting on its own — register the monitor *or*
+    feed the shared checker elsewhere, never both.
     """
 
-    def __init__(self, crash_time_of: Callable[[ProcessId], Optional[Instant]]) -> None:
-        self._crash_time_of = crash_time_of
-        self.post_crash_sends: List[PostCrashSend] = []
+    def __init__(
+        self,
+        crash_time_of: Callable[[ProcessId], Optional[Instant]],
+        *,
+        checker: Optional[QuiescenceChecker] = None,
+    ) -> None:
+        self._checker = (
+            checker
+            if checker is not None
+            else QuiescenceChecker(layer=None, crash_time_of=crash_time_of)
+        )
+
+    @property
+    def post_crash_sends(self) -> List[PostCrashSend]:
+        return self._checker.post_crash_sends
 
     def on_send(self, src: ProcessId, dst: ProcessId, message, time: Instant) -> None:
-        crash_time = self._crash_time_of(dst)
-        if crash_time is None or time < crash_time:
-            return
-        self.post_crash_sends.append(
-            PostCrashSend(src, dst, time, type(message).__name__, message_layer(message))
+        self._checker.record_send(
+            src, dst, time, type(message).__name__, message_layer(message)
         )
 
     def sends_to(self, dst: ProcessId, *, layer: Optional[str] = None) -> List[PostCrashSend]:
         """Post-crash sends addressed to ``dst`` (optionally one layer)."""
-        return [
-            record
-            for record in self.post_crash_sends
-            if record.dst == dst and (layer is None or record.layer == layer)
-        ]
+        return self._checker.sends_to(dst, layer=layer)
 
     def last_send_time(self, dst: ProcessId, *, layer: Optional[str] = None) -> Optional[Instant]:
         """Time of the final post-crash send to ``dst``, or None."""
-        times = [record.time for record in self.sends_to(dst, layer=layer)]
-        return max(times) if times else None
+        return self._checker.last_send_time(dst, layer=layer)

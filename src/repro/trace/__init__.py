@@ -1,4 +1,9 @@
-"""Measurement substrate: trace records, recorder, analysis, invariants."""
+"""Measurement substrate: trace records, recorder, analysis.
+
+Online invariant checking moved to the substrate-agnostic
+:mod:`repro.checks` subsystem; this package records and measures runs,
+it no longer judges them.
+"""
 
 from repro.trace.analysis import (
     ExclusionViolation,
@@ -31,24 +36,21 @@ from repro.trace.events import (
     SuspicionChange,
     TransientFault,
 )
-from repro.trace.invariants import ChannelBoundChecker, FifoChecker, ForkUniquenessChecker
-from repro.trace.recorder import TraceRecorder
+from repro.trace.recorder import StreamingTraceRecorder, TraceRecorder
 from repro.trace.serialize import dump_jsonl, dump_path, load_jsonl, load_path
 from repro.trace.timeline import render_meal_ledger, render_timeline
 
 __all__ = [
-    "ChannelBoundChecker",
     "Crash",
     "DoorwayChange",
     "EATING",
     "ExclusionViolation",
-    "FifoChecker",
-    "ForkUniquenessChecker",
     "HUNGRY",
     "Interval",
     "PHASES",
     "PhaseChange",
     "ProtocolStep",
+    "StreamingTraceRecorder",
     "SuspicionChange",
     "THINKING",
     "TraceRecorder",

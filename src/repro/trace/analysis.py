@@ -28,7 +28,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.graphs.conflict import ConflictGraph
-from repro.sim.time import Instant
+from repro.timebase import Instant
 from repro.trace.events import EATING, HUNGRY, Crash, PhaseChange, ProcessId
 from repro.trace.recorder import TraceRecorder
 

@@ -35,6 +35,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.checks.properties import FORK_UNIQUENESS, WX_SAFETY, probe_violations
+from repro.checks.verdict import FAIL, PASS, PropertyVerdict
+from repro.checks.verdict import Verdict as CheckVerdict
+from repro.checks.verdict import Violation as CheckViolation
 from repro.core.diner import DinerActor
 from repro.core.workload import AlwaysHungry
 from repro.detectors.base import NullDetector
@@ -43,6 +47,14 @@ from repro.graphs.coloring import Coloring, greedy_coloring
 from repro.graphs.conflict import ConflictGraph, ProcessId
 from repro.sim.rng import RandomStreams
 from repro.trace.recorder import TraceRecorder
+
+#: checks-property name -> the explorer's historical violation kinds.
+_KIND_OF_PROP = {WX_SAFETY: "exclusion", FORK_UNIQUENESS: "fork-duplication"}
+_PROP_OF_KIND = {
+    "exclusion": WX_SAFETY,
+    "fork-duplication": FORK_UNIQUENESS,
+    "deadlock": "deadlock-freedom",
+}
 
 
 # ----------------------------------------------------------------------
@@ -132,6 +144,37 @@ class ExplorationReport:
     @property
     def clean(self) -> bool:
         return not self.violations and not self.truncated
+
+    def verdict(self) -> CheckVerdict:
+        """This exploration as a standard checks Verdict.
+
+        Exploration judges state properties over *all* schedules, so the
+        verdict carries the three explored properties (perpetual weak
+        exclusion, fork/token uniqueness, deadlock freedom) with each
+        counterexample's choice path as the witness detail.
+        """
+        properties = {}
+        for prop in sorted(set(_PROP_OF_KIND.values())):
+            found = [
+                CheckViolation(
+                    prop=prop,
+                    time=0.0,
+                    detail=f"{v.detail} (path: {' ; '.join(v.path) or '<initial>'})",
+                    subject=v.path,
+                )
+                for v in self.violations
+                if _PROP_OF_KIND.get(v.kind) == prop
+            ]
+            properties[prop] = PropertyVerdict(
+                prop=prop,
+                status=FAIL if found else PASS,
+                violations=found,
+                counters={"violations_total": float(len(found))},
+            )
+        verdict = CheckVerdict(properties=properties, events_observed=self.events_fired)
+        for prop_verdict in verdict.properties.values():
+            prop_verdict.counters["states_visited"] = float(self.states_visited)
+        return verdict
 
 
 class _World:
@@ -278,28 +321,24 @@ class _World:
     def check(self) -> Optional[Violation]:
         """Safety in the current state, judged over live processes.
 
-        A crashed diner's frozen 'eating' phase is not an execution (the
-        theorems speak of live neighbors), and its frozen fork flags are
-        unobservable, so crashed endpoints are skipped — exactly like the
-        runtime :class:`~repro.trace.invariants.ForkUniquenessChecker`.
+        Delegates to the canonical state check
+        (:func:`repro.checks.properties.probe_violations`) with its
+        perpetual-exclusion clause enabled: with a crash-free run and the
+        null detector, weak exclusion is a property of every state, not
+        just a suffix.  Crashed endpoints are skipped there — a crashed
+        diner's frozen state is unobservable to the system.
         """
-        for a, b in sorted(self.graph.edges):
-            da, db = self.diners[a], self.diners[b]
-            if da.crashed or db.crashed:
-                continue
-            if da.is_eating and db.is_eating:
-                return Violation(
-                    "exclusion", f"neighbors {a} and {b} eat simultaneously", self.path
-                )
-            if da.holds_fork(b) and db.holds_fork(a):
-                return Violation(
-                    "fork-duplication", f"fork ({a},{b}) duplicated", self.path
-                )
-            if da.holds_token(b) and db.holds_token(a):
-                return Violation(
-                    "fork-duplication", f"token ({a},{b}) duplicated", self.path
-                )
-        return None
+        found = probe_violations(
+            sorted(self.graph.edges), self.diners, exclusion=True
+        )
+        if not found:
+            return None
+        first = found[0]
+        return Violation(
+            _KIND_OF_PROP.get(first.prop, first.prop),
+            first.detail.replace("t=0.0: ", ""),
+            self.path,
+        )
 
     def deadlock_violation(self) -> Optional[Violation]:
         hungry = [

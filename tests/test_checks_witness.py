@@ -1,0 +1,124 @@
+"""Witness quality: an injected safety bug must be caught and localized.
+
+A deliberately broken diner (Action 9 fires without holding the forks)
+runs in an otherwise-correct ring.  The shared checks subsystem must
+fail exactly the right property (◇WX safety), name the culprit edge,
+and carry a usable first-violation witness — both online in the kernel
+run and offline when the recorded trace is replayed through
+``repro check``.
+"""
+
+import pytest
+
+from repro.checks import WX_SAFETY, CheckConfig, load_events_path, replay
+from repro.cli import main
+from repro.core import AlwaysHungry, DiningTable, scripted_detector
+from repro.core.diner import DinerActor
+from repro.core.state import DinerState
+from repro.graphs import ring
+
+
+class GreedyDiner(DinerActor):
+    """Broken on purpose: eats the moment it is inside the doorway,
+    without checking a single fork (the guard of Action 9 is gone)."""
+
+    def _try_eat(self) -> bool:
+        self._set_state(DinerState.EATING)
+        self.meals_eaten += 1
+        duration = self.workload.eat_duration(self.pid, self.streams)
+        self._exit_timer = self.set_timer(duration, self._exit, label=f"exit@{self.pid}")
+        if self.on_eat is not None:
+            self.on_eat(self)
+        return True
+
+
+def _make_diner(pid, *args, **kwargs):
+    cls = GreedyDiner if pid == 0 else DinerActor
+    return cls(pid, *args, **kwargs)
+
+
+@pytest.fixture(scope="module")
+def broken_run(tmp_path_factory):
+    """One buggy run: the finalized online verdict plus its trace file."""
+    from repro.trace.serialize import dump_path
+
+    table = DiningTable(
+        ring(3),
+        seed=11,
+        detector=scripted_detector(),
+        diner_factory=_make_diner,
+        workload=AlwaysHungry(eat_time=1.0, think_time=0.01),
+        strict_checks=False,  # record violations instead of raising
+    )
+    table.run(until=60.0)
+    trace_path = str(tmp_path_factory.mktemp("witness") / "trace.jsonl")
+    dump_path(table.trace, trace_path)
+    return table.verdict(settle=0.0), trace_path
+
+
+class TestOnlineWitness:
+    def test_wx_safety_is_the_property_that_fails(self, broken_run):
+        verdict, _ = broken_run
+        assert not verdict.ok
+        assert verdict.failed == [WX_SAFETY]
+
+    def test_witness_names_the_culprit_edge(self, broken_run):
+        verdict, _ = broken_run
+        witness = verdict.property(WX_SAFETY).first_violation
+        assert witness is not None
+        # The greedy diner is 0; the overlap is on one of its ring edges.
+        assert 0 in witness.subject
+        assert witness.subject in ((0, 1), (0, 2))
+
+    def test_witness_carries_the_event_index(self, broken_run):
+        verdict, _ = broken_run
+        witness = verdict.property(WX_SAFETY).first_violation
+        assert witness.event_index is not None
+        assert witness.event_index >= 0
+        assert witness.time > 0.0
+
+    def test_correct_diner_properties_still_pass(self, broken_run):
+        verdict, _ = broken_run
+        statuses = verdict.statuses()
+        assert statuses["fork-uniqueness"] == "pass"
+        assert statuses["diner-local"] == "pass"
+        assert statuses["channel-bound"] == "pass"
+
+
+class TestReplayWitness:
+    def test_replay_reaches_the_same_judgement(self, broken_run):
+        verdict, trace_path = broken_run
+        replayed = replay(
+            sorted(ring(3).edges),
+            load_events_path(trace_path),
+            CheckConfig(settle=0.0),
+        )
+        assert not replayed.ok
+        assert replayed.failed == [WX_SAFETY]
+        online = verdict.property(WX_SAFETY).first_violation
+        offline = replayed.property(WX_SAFETY).first_violation
+        # Same overlap: same edge, same instant (indexes differ because
+        # the online stream also carried sends, delivers, and probes).
+        assert offline.subject == online.subject
+        assert offline.time == pytest.approx(online.time)
+        assert offline.event_index is not None
+
+    def test_repro_check_cli_flags_the_trace(self, broken_run, capsys):
+        _, trace_path = broken_run
+        code = main([
+            "check", trace_path, "--topology", "ring", "--n", "3", "--settle", "0",
+        ])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "checks: FAIL" in out
+        assert "wx-safety" in out
+        assert "first violation" in out
+
+    def test_repro_check_cli_passes_without_settle(self, broken_run, capsys):
+        # No --settle: overlaps are counted but never judged (the paper's
+        # guarantee is eventual), so the same artifact exits clean.
+        _, trace_path = broken_run
+        code = main(["check", trace_path, "--topology", "ring", "--n", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "overlap_windows_total" in out

@@ -1,24 +1,34 @@
 """Empirical checks of the paper's lemmas and proof-level invariants.
 
 Lemmas 1.1/1.2 (fork uniqueness) and 2.2 (one pending ping per pair) are
-enforced online by the checkers in :mod:`repro.trace.invariants`, which
-the DiningTable arms by default — the tests here (a) confirm the checkers
-would actually catch violations, and (b) verify the lemma-shaped facts on
-real runs, including the ack-budget mechanics behind Theorem 3.
+enforced online by the checkers in :mod:`repro.checks`, which the
+DiningTable arms by default (raising strictly through
+:func:`repro.sim.checks.raise_violation`) — the tests here (a) confirm
+the checkers would actually catch violations, and (b) verify the
+lemma-shaped facts on real runs, including the ack-budget mechanics
+behind Theorem 3.
 """
 
 from dataclasses import dataclass
 
 import pytest
 
+from repro.checks import (
+    CheckSuite,
+    DeliverEvent,
+    DinerLocalChecker,
+    PendingPingChecker,
+    ProbeEvent,
+    SendEvent,
+)
 from repro.core import AlwaysHungry, DiningTable, ScriptedWorkload, scripted_detector
-from repro.core.messages import Ack, Ping
+from repro.core.messages import Ack
 from repro.errors import InvariantViolation
 from repro.graphs import clique, path
+from repro.sim.checks import raise_violation
 from repro.sim.crash import CrashPlan
 from repro.sim.latency import LogNormalLatency
 from repro.sim.network import NetworkMonitor
-from repro.trace.invariants import DinerLocalInvariantChecker, PendingPingChecker
 
 
 # ----------------------------------------------------------------------
@@ -43,54 +53,65 @@ class FakeDiner:
         return iter(sorted(self._links.items()))
 
 
+def _strict_suite(*checkers):
+    """The same strict arming the DiningTable uses by default."""
+    return CheckSuite(checkers, on_violation=raise_violation)
+
+
 class TestDinerLocalChecker:
+    def _probe(self, states, time=1.0):
+        _strict_suite(DinerLocalChecker()).observe(ProbeEvent(time, states))
+
     def test_eating_outside_doorway_caught(self):
-        checker = DinerLocalInvariantChecker({0: FakeDiner(eating=True, inside=False)})
         with pytest.raises(InvariantViolation, match="outside the doorway"):
-            checker.check(1.0)
+            self._probe({0: FakeDiner(eating=True, inside=False)})
 
     def test_ack_while_inside_caught(self):
         diner = FakeDiner(hungry=True, inside=True, links={1: FakeLink(ack=True)})
-        checker = DinerLocalInvariantChecker({0: diner})
         with pytest.raises(InvariantViolation, match="doorway ack"):
-            checker.check(1.0)
+            self._probe({0: diner})
 
     def test_replied_while_thinking_caught(self):
         diner = FakeDiner(links={1: FakeLink(replied=True)})
-        checker = DinerLocalInvariantChecker({0: diner})
         with pytest.raises(InvariantViolation, match="replied"):
-            checker.check(1.0)
+            self._probe({0: diner})
 
     def test_clean_states_pass(self):
-        diners = {
-            0: FakeDiner(eating=True, inside=True),
-            1: FakeDiner(hungry=True, links={0: FakeLink(ack=True, replied=True)}),
-        }
-        DinerLocalInvariantChecker(diners).check(1.0)
+        self._probe(
+            {
+                0: FakeDiner(eating=True, inside=True),
+                1: FakeDiner(hungry=True, links={0: FakeLink(ack=True, replied=True)}),
+            }
+        )
 
     def test_crashed_diners_skipped(self):
         diner = FakeDiner(eating=True, inside=False)
         diner.crashed = True
-        DinerLocalInvariantChecker({0: diner}).check(1.0)
+        self._probe({0: diner})
 
 
 class TestPendingPingChecker:
+    @staticmethod
+    def _ping(time, src, dst):
+        return SendEvent(time, src, dst, "Ping", "dining")
+
     def test_second_concurrent_ping_caught(self):
-        checker = PendingPingChecker()
-        checker.on_send(0, 1, Ping(0), 1.0)
+        suite = _strict_suite(PendingPingChecker())
+        suite.observe(self._ping(1.0, 0, 1))
         with pytest.raises(InvariantViolation, match="Lemma 2.2"):
-            checker.on_send(0, 1, Ping(0), 2.0)
+            suite.observe(self._ping(2.0, 0, 1))
 
     def test_ack_retires_the_ping(self):
-        checker = PendingPingChecker()
-        checker.on_send(0, 1, Ping(0), 1.0)
-        checker.on_deliver(1, 0, Ack(1), 2.0)  # ack back to the initiator
-        checker.on_send(0, 1, Ping(0), 3.0)  # now legal again
+        suite = _strict_suite(PendingPingChecker())
+        suite.observe(self._ping(1.0, 0, 1))
+        # Ack back to the initiator retires the outstanding ping.
+        suite.observe(DeliverEvent(2.0, 1, 0, "Ack", "dining"))
+        suite.observe(self._ping(3.0, 0, 1))  # now legal again
 
     def test_opposite_directions_independent(self):
-        checker = PendingPingChecker()
-        checker.on_send(0, 1, Ping(0), 1.0)
-        checker.on_send(1, 0, Ping(1), 1.0)  # fine: different initiator
+        suite = _strict_suite(PendingPingChecker())
+        suite.observe(self._ping(1.0, 0, 1))
+        suite.observe(self._ping(1.0, 1, 0))  # fine: different initiator
 
 
 # ----------------------------------------------------------------------

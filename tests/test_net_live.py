@@ -127,24 +127,81 @@ def _load_time_imports(module: str):
     yield from walk(tree.body)
 
 
-def test_core_diner_is_transport_agnostic():
-    """The transitive import closure of ``repro.core.diner`` must not
-    reach the simulator kernel or the live runtime: DinerActor talks only
-    to the Substrate protocol, so either side can host it unchanged."""
-    closure, frontier = set(), ["repro.core.diner"]
+def _runtime_closure(root: str) -> set:
+    closure, frontier = set(), [root]
     while frontier:
         module = frontier.pop()
         if module in closure or _module_path(module) is None:
             continue
         closure.add(module)
         frontier.extend(_load_time_imports(module))
+    return closure
 
-    offenders = sorted(
+
+def _substrate_offenders(closure) -> list:
+    return sorted(
         module
         for module in closure
         if module.split(".")[:2] in (["repro", "sim"], ["repro", "net"])
     )
+
+
+def test_core_diner_is_transport_agnostic():
+    """The transitive import closure of ``repro.core.diner`` must not
+    reach the simulator kernel or the live runtime: DinerActor talks only
+    to the Substrate protocol, so either side can host it unchanged."""
+    offenders = _substrate_offenders(_runtime_closure("repro.core.diner"))
     assert not offenders, f"core.diner runtime closure leaks into {offenders}"
+
+
+def test_checks_subsystem_is_substrate_agnostic():
+    """``repro.checks`` judges streams from the kernel, the live host,
+    the cluster merge, and offline replay — so its own import closure
+    must reach neither ``repro.sim`` nor ``repro.net``; the adapters that
+    know a substrate live with that substrate instead."""
+    closure = _runtime_closure("repro.checks")
+    # Every submodule of the package obeys the rule, not just __init__.
+    for name in ("base", "context", "events", "properties", "stream", "suite", "verdict"):
+        closure |= _runtime_closure(f"repro.checks.{name}")
+    offenders = _substrate_offenders(closure)
+    assert not offenders, f"repro.checks runtime closure leaks into {offenders}"
+
+
+# ----------------------------------------------------------------------
+# Differential: one checker implementation, two substrates
+# ----------------------------------------------------------------------
+def test_kernel_and_loopback_verdicts_agree():
+    """The same seeded ring-5 scenario judged by the simulator kernel and
+    by the live loopback host must produce Verdicts that agree on every
+    property's status — the whole point of the shared checks subsystem."""
+    from repro.core import AlwaysHungry, DiningTable, scripted_detector
+
+    host = AsyncHost(ring(5), config=_fast_config(1.0))
+    run_host(host)
+    live = host.verdict()
+
+    table = DiningTable(
+        ring(5),
+        seed=7,
+        detector=scripted_detector(),
+        workload=AlwaysHungry(eat_time=0.5, think_time=0.1),
+    )
+    table.run(until=60.0)
+    kernel = table.verdict()
+
+    assert kernel.statuses() == live.statuses()
+    # Pinned: both substrates observe and pass every standard property.
+    assert kernel.statuses() == {
+        "channel-bound": "pass",
+        "diner-local": "pass",
+        "fifo": "pass",
+        "fork-uniqueness": "pass",
+        "overtaking": "pass",
+        "pending-ping": "pass",
+        "progress": "pass",
+        "quiescence": "pass",
+        "wx-safety": "pass",
+    }
 
 
 # ----------------------------------------------------------------------

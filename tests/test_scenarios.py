@@ -142,6 +142,45 @@ class TestResultCache:
         assert not any(tmp_path.rglob("*.json"))
 
 
+class TestCheckCollection:
+    def test_collect_checks_merges_per_seed_verdicts(self):
+        result = Runner(jobs=1, use_cache=False, collect_checks=True).run(
+            "e6", seeds=(0, 1), overrides=SMALL_OVERRIDES
+        )
+        assert all(r.checks is not None for r in result.seed_results)
+        verdict = result.merged_checks()
+        assert verdict is not None and verdict.ok
+        assert verdict.statuses()["channel-bound"] == "pass"
+        assert verdict.statuses()["fork-uniqueness"] == "pass"
+
+    def test_checks_off_by_default(self):
+        result = Runner(jobs=1, use_cache=False).run(
+            "e6", seeds=(0,), overrides=SMALL_OVERRIDES
+        )
+        assert all(r.checks is None for r in result.seed_results)
+        assert result.merged_checks() is None
+
+    def test_verdicts_ride_the_cache(self, tmp_path):
+        cold = Runner(jobs=1, use_cache=True, cache_dir=tmp_path, collect_checks=True).run(
+            "e6", seeds=(0,), overrides=SMALL_OVERRIDES
+        )
+        warm = Runner(jobs=1, use_cache=True, cache_dir=tmp_path, collect_checks=True).run(
+            "e6", seeds=(0,), overrides=SMALL_OVERRIDES
+        )
+        assert warm.cache_hits == 1
+        assert warm.merged_checks().to_json() == cold.merged_checks().to_json()
+
+    def test_rows_only_entry_recomputed_when_checks_requested(self, tmp_path):
+        Runner(jobs=1, use_cache=True, cache_dir=tmp_path).run(
+            "e6", seeds=(0,), overrides=SMALL_OVERRIDES
+        )
+        result = Runner(jobs=1, use_cache=True, cache_dir=tmp_path, collect_checks=True).run(
+            "e6", seeds=(0,), overrides=SMALL_OVERRIDES
+        )
+        assert result.cache_hits == 0
+        assert result.merged_checks() is not None
+
+
 class TestAggregation:
     def test_runresult_aggregate_uses_scenario_group_by(self, tmp_path):
         result = Runner(jobs=1, use_cache=False).run(
