@@ -69,9 +69,11 @@ from repro.checks.verdict import (
     FAIL,
     PASS,
     SKIP,
+    STATUS_ORDER,
     PropertyVerdict,
     Verdict,
     Violation,
+    worst_status,
 )
 
 __all__ = [
@@ -87,6 +89,7 @@ __all__ = [
     "PROGRESS",
     "QUIESCENCE",
     "SKIP",
+    "STATUS_ORDER",
     "WX_SAFETY",
     "ChannelBoundChecker",
     "ChannelOccupancy",
@@ -127,4 +130,5 @@ __all__ = [
     "probe_violations",
     "replay",
     "standard_suite",
+    "worst_status",
 ]

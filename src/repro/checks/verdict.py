@@ -26,6 +26,24 @@ SKIP = "skip"
 #: counters grow.  Keeps verdicts bounded on pathological runs.
 MAX_WITNESSES = 100
 
+#: The status lattice the merge algebra joins over: ``skip`` (no
+#: evidence) < ``pass`` (evidence, no violation) < ``fail``.  Merging
+#: takes the join, so merged statuses are monotone in their inputs.
+STATUS_ORDER = {SKIP: 0, PASS: 1, FAIL: 2}
+
+
+def worst_status(statuses: Iterable[str]) -> str:
+    """The join (max) of statuses under :data:`STATUS_ORDER`.
+
+    Empty input joins to ``skip``, the lattice bottom — the status of a
+    property no stream carried evidence for.
+    """
+    worst = SKIP
+    for status in statuses:
+        if STATUS_ORDER[status] > STATUS_ORDER[worst]:
+            worst = status
+    return worst
+
 
 @dataclass(frozen=True)
 class Violation:

@@ -8,6 +8,8 @@ Subcommands::
     repro report e1 --seeds 1 2 3 --json report.json
     repro verify --topology ring --n 3
     repro check trace.jsonl wire.jsonl --topology ring --n 3
+    repro fuzz --budget 60s --runs 50 --shrink
+    repro fuzz --mutants --budget 60s
     repro cluster --topology ring --n 3 --processes 3 --duration 2
     repro serve --spec run/spec.json --host-index 0
 
@@ -37,6 +39,13 @@ usable standalone against a hand-written spec.
 — through the full :mod:`repro.checks` suite offline and prints the
 same verdict scorecard every other front end uses (exit 0 only when
 every judged property passes).
+
+``fuzz`` runs adversarial campaigns from :mod:`repro.faults`: sampled
+latency/crash/flap/burst schedules against the pristine algorithm
+(exit 1 on any violation), or — with ``--mutants`` — one kill-campaign
+per seeded bug, exiting 1 if any selected mutant survives.  ``--shrink``
+delta-debugs every failure to a minimal witness directory replayable by
+``repro check`` and ``repro fuzz --plan``.
 """
 
 from __future__ import annotations
@@ -435,6 +444,108 @@ def cmd_check(args: argparse.Namespace) -> int:
 
 
 # ----------------------------------------------------------------------
+# fuzz (adversarial campaigns / mutation testing)
+# ----------------------------------------------------------------------
+def _parse_budget(text: Optional[str]) -> Optional[float]:
+    """Parse ``60s`` / ``2m`` / ``1h`` / ``90`` into wall-clock seconds."""
+    if text is None:
+        return None
+    units = {"s": 1.0, "m": 60.0, "h": 3600.0}
+    scale = units.get(text[-1:].lower())
+    number = text[:-1] if scale else text
+    try:
+        return float(number) * (scale or 1.0)
+    except ValueError:
+        raise SystemExit(f"bad --budget {text!r}; expected e.g. 60s, 2m, 90") from None
+
+
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.faults import (
+        CampaignSpec,
+        FaultPlan,
+        all_mutants,
+        run_campaign,
+        run_mutation_harness,
+        run_plan,
+        shrink_plan,
+        write_witness,
+    )
+
+    if args.list_mutants:
+        for mutant in all_mutants():
+            crash = "  [needs crash]" if mutant.needs_crash else ""
+            print(f"{mutant.name:<26} expects {', '.join(mutant.expected)}{crash}")
+            print(f"    {mutant.description}")
+        return 0
+
+    def emit_witness(result, shrink_result, directory):
+        path = write_witness(shrink_result.result, directory, shrink=shrink_result)
+        print(f"  witness: {path} ({', '.join(shrink_result.result.failed)})")
+
+    # --plan: replay one serialized plan bit-for-bit.
+    if args.plan:
+        plan = FaultPlan.load(args.plan)
+        print(f"plan: {plan.describe()}")
+        result = run_plan(plan, substrate=args.substrate)
+        print(result.verdict.describe())
+        if result.failed and args.shrink:
+            shrunk = shrink_plan(plan, baseline=result)
+            print(shrunk.describe())
+            emit_witness(result, shrunk, args.out)
+        return 0 if result.ok else 1
+
+    base = CampaignSpec(
+        topology=args.topology,
+        n=args.n,
+        seed=args.seed,
+        runs=args.runs,
+        budget_seconds=_parse_budget(args.budget),
+        substrate=args.substrate,
+    )
+
+    # --mutants: one kill-campaign per seeded bug; exit 1 on survivors.
+    if args.mutants is not None:
+        report = run_mutation_harness(args.mutants or None, base=base)
+        print(report.describe())
+        if args.shrink:
+            for outcome in report.outcomes:
+                if outcome.killed and outcome.killing_result is not None:
+                    shrunk = shrink_plan(
+                        outcome.killing_result.plan,
+                        baseline=outcome.killing_result,
+                    )
+                    outcome.shrink = shrunk
+                    emit_witness(
+                        outcome.killing_result,
+                        shrunk,
+                        os.path.join(args.out, outcome.name),
+                    )
+        if args.json:
+            with open(args.json, "w", encoding="utf-8") as stream:
+                json.dump(report.to_json(), stream, indent=2, sort_keys=True)
+                stream.write("\n")
+            print(f"report written: {args.json}")
+        return 0 if not report.survivors else 1
+
+    # Plain campaign against the pristine algorithm: exit 1 on violations.
+    campaign = run_campaign(base)
+    print(campaign.describe())
+    failure = campaign.first_failure
+    if failure is not None and args.shrink:
+        shrunk = shrink_plan(failure.plan, baseline=failure)
+        print(shrunk.describe())
+        emit_witness(failure, shrunk, args.out)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as stream:
+            json.dump(campaign.to_json(), stream, indent=2, sort_keys=True)
+            stream.write("\n")
+        print(f"campaign written: {args.json}")
+    return 0 if campaign.ok else 1
+
+
+# ----------------------------------------------------------------------
 # cluster / serve (live runtime)
 # ----------------------------------------------------------------------
 def _parse_crash_spec(text: Optional[str]) -> dict:
@@ -618,6 +729,36 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default: last event time, or the spec duration)")
     check.add_argument("--json", metavar="PATH", help="also write the verdict as JSON")
     check.set_defaults(func=cmd_check)
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="adversarial fuzz campaigns, mutation testing, and witness shrinking",
+    )
+    fuzz.add_argument("--topology", choices=TOPOLOGIES, default="ring")
+    fuzz.add_argument("--n", type=int, default=5)
+    fuzz.add_argument("--seed", type=int, default=0,
+                      help="campaign seed: the whole sampled walk derives from it")
+    fuzz.add_argument("--runs", type=int, default=20,
+                      help="sampled plans per campaign (per mutant with --mutants)")
+    fuzz.add_argument("--budget", metavar="60s",
+                      help="wall-clock lid per campaign, e.g. 60s, 2m "
+                           "(checked between runs; the walk only truncates)")
+    fuzz.add_argument("--substrate", choices=("kernel", "live"), default="kernel",
+                      help="where plans run (live: loopback AsyncHost, scaled time)")
+    fuzz.add_argument("--mutants", nargs="*", metavar="NAME",
+                      help="mutation testing: kill-campaign per named mutant "
+                           "(no names: the whole registry); exit 1 on survivors")
+    fuzz.add_argument("--list-mutants", action="store_true",
+                      help="list the seeded-bug registry and exit")
+    fuzz.add_argument("--shrink", action="store_true",
+                      help="delta-debug each failure to a minimal witness directory")
+    fuzz.add_argument("--plan", metavar="PATH",
+                      help="replay one witness plan.json instead of sampling")
+    fuzz.add_argument("--out", default="fuzz-witness", metavar="DIR",
+                      help="witness root for --shrink (default fuzz-witness/)")
+    fuzz.add_argument("--json", metavar="PATH",
+                      help="also write the campaign/mutation report as JSON")
+    fuzz.set_defaults(func=cmd_fuzz)
 
     cluster = sub.add_parser(
         "cluster",

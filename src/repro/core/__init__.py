@@ -28,11 +28,18 @@ from repro.core.table import (
     query_detector,
     scripted_detector,
 )
-from repro.core.workload import AlwaysHungry, PoissonWorkload, ScriptedWorkload, Workload
+from repro.core.workload import (
+    AlwaysHungry,
+    BurstyWorkload,
+    PoissonWorkload,
+    ScriptedWorkload,
+    Workload,
+)
 
 __all__ = [
     "Ack",
     "AlwaysHungry",
+    "BurstyWorkload",
     "DINING_MESSAGE_TYPES",
     "DinerActor",
     "DinerDiagnosis",

@@ -85,6 +85,44 @@ class AlwaysHungry(Workload):
         return self.eat_time
 
 
+class BurstyWorkload(Workload):
+    """Hungry-session bursts separated by idle gaps.
+
+    Each diner fires ``burst`` rapid sessions (``burst_think`` between
+    them), then idles for ``idle_time`` before the next burst.  The fuzz
+    campaigns use this to alternate contention spikes with quiet phases:
+    a burst landing just after a neighbor's crash or a detector mistake
+    exercises the doorway reset and deferred-release paths that steady
+    ``AlwaysHungry`` traffic tends to keep warm.
+    """
+
+    def __init__(
+        self,
+        *,
+        burst: int = 4,
+        burst_think: Duration = 0.01,
+        idle_time: Duration = 8.0,
+        eat_time: Duration = 1.0,
+    ) -> None:
+        if burst < 1:
+            raise ConfigurationError(f"burst must be >= 1, got {burst}")
+        self.burst = int(burst)
+        self.burst_think = validate_duration(burst_think, name="burst_think", allow_zero=False)
+        self.idle_time = validate_duration(idle_time, name="idle_time", allow_zero=False)
+        self.eat_time = validate_duration(eat_time, name="eat_time", allow_zero=False)
+        self._sessions: Dict[ProcessId, int] = {}
+
+    def think_duration(self, pid: ProcessId, streams: RandomStreams) -> Optional[Duration]:
+        count = self._sessions.get(pid, 0)
+        self._sessions[pid] = count + 1
+        if count and count % self.burst == 0:
+            return self.idle_time
+        return self.burst_think
+
+    def eat_duration(self, pid: ProcessId, streams: RandomStreams) -> Duration:
+        return self.eat_time
+
+
 class PoissonWorkload(Workload):
     """Exponential think times and uniform eat times."""
 

@@ -17,6 +17,7 @@ from repro.experiments import (
     e9_necessity,
     e10_drinking,
 )
+from repro.faults import scenarios as fuzz_scenarios  # registers the fuzz_* family
 
 ALL_EXPERIMENTS = (
     e1_safety,

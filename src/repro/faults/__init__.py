@@ -1,0 +1,65 @@
+"""Adversarial fuzz campaigns over the dining substrates.
+
+The proofs of Theorems 1–3 quantify over *all* admissible asynchronous
+schedules; a seeded simulation samples exactly one.  This package closes
+part of that gap by composing adversarial **schedule mutators** — seeded
+latency adversaries, crash-timing search biased toward fork-holding and
+doorway-transit states, ◇P₁ suspicion flapping, hungry-session burst
+workloads — into a declarative :class:`~repro.faults.plan.FaultPlan`
+that runs on either substrate (simulation kernel or live
+:class:`~repro.net.host.AsyncHost`) and is judged by the same
+:func:`repro.checks.standard_suite` Verdict pipeline as every other
+front end.
+
+Layers:
+
+* :mod:`repro.faults.plan` — the JSON-round-trippable plan vocabulary;
+* :mod:`repro.faults.engine` — one plan → one judged run (kernel/live);
+* :mod:`repro.faults.sampler` — seeded plan derivation for campaigns;
+* :mod:`repro.faults.mutants` — the seeded-bug registry mutation
+  testing runs campaigns against;
+* :mod:`repro.faults.campaign` — budgeted campaigns + mutation scores;
+* :mod:`repro.faults.shrink` — delta-debugging plan minimization and
+  witness artifacts replayable by ``repro check``;
+* :mod:`repro.faults.scenarios` — the ``fuzz_*`` scenario family riding
+  the Runner's seed fan-out and result cache.
+"""
+
+from repro.faults.campaign import (
+    CampaignResult,
+    CampaignSpec,
+    MutationReport,
+    run_campaign,
+    run_mutation_harness,
+)
+from repro.faults.engine import FaultRunResult, JudgeWindows, run_plan, run_plan_kernel, run_plan_live
+from repro.faults.mutants import Mutant, all_mutants, get_mutant, mutant_names
+from repro.faults.plan import CrashSpec, FaultPlan, FlapSpec, LatencySpec, WorkloadSpec
+from repro.faults.sampler import sample_plan
+from repro.faults.shrink import ShrinkResult, shrink_plan, write_witness
+
+__all__ = [
+    "CampaignResult",
+    "CampaignSpec",
+    "CrashSpec",
+    "FaultPlan",
+    "FaultRunResult",
+    "FlapSpec",
+    "JudgeWindows",
+    "LatencySpec",
+    "Mutant",
+    "MutationReport",
+    "ShrinkResult",
+    "WorkloadSpec",
+    "all_mutants",
+    "get_mutant",
+    "mutant_names",
+    "run_campaign",
+    "run_mutation_harness",
+    "run_plan",
+    "run_plan_kernel",
+    "run_plan_live",
+    "sample_plan",
+    "shrink_plan",
+    "write_witness",
+]

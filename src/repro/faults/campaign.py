@@ -1,0 +1,353 @@
+"""Budgeted fuzz campaigns and the mutation-testing harness.
+
+A campaign is a deterministic walk over
+:func:`repro.faults.sampler.sample_plan` indices, bounded by a run count
+and optionally a wall-clock budget.  Against the pristine algorithm the
+campaign is the empirical side of Theorems 1–3: every sampled adversary
+must produce a verdict with zero violations.  Against a
+:mod:`repro.faults.mutants` registry entry it is mutation testing: a
+mutant is *killed* by the first sampled plan whose verdict fails, and
+the fraction of killed mutants is the campaign's mutation score — a
+direct measure of how much bug-finding power the property suite plus
+the adversary schedule actually has.
+
+Memory discipline: passing runs drop their trace and wire log
+immediately (only the verdict and counters stay), so a 200-run campaign
+holds at most one run's worth of artifacts — the failing one the
+shrinker needs.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ConfigurationError
+from repro.faults.engine import FaultRunResult, run_plan
+from repro.faults.mutants import Mutant, all_mutants, get_mutant
+from repro.faults.plan import FaultPlan
+from repro.faults.sampler import sample_plan
+
+#: When a mutant only bites on the post-crash path (``needs_crash``),
+#: crash-free sampled indices are skipped without counting against the
+#: run budget — but never more than this many indices per counted run,
+#: so a pathological sampler cannot spin the harness forever.
+MAX_SKIP_FACTOR = 4
+
+
+# ----------------------------------------------------------------------
+# Campaign spec / result
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CampaignSpec:
+    """Everything that determines a campaign, hashably.
+
+    ``budget_seconds`` is a wall-clock lid checked *between* runs: the
+    campaign never starts a run past the budget but always finishes the
+    one it is in.  ``runs`` is the index ceiling either way, so results
+    are reproducible by (topology, n, seed) alone — the budget can only
+    truncate the walk, never reorder it.
+    """
+
+    topology: str = "ring"
+    n: int = 5
+    seed: int = 0
+    runs: int = 20
+    budget_seconds: Optional[float] = None
+    substrate: str = "kernel"
+    mutant: Optional[str] = None
+    judge: bool = True
+    stop_on_failure: bool = False
+
+    def plan(self, index: int) -> FaultPlan:
+        """The ``index``-th plan of this campaign's walk."""
+        return sample_plan(
+            topology=self.topology,
+            n=self.n,
+            seed=self.seed,
+            index=index,
+            mutant=self.mutant,
+        )
+
+    def to_json(self) -> dict:
+        return {
+            "topology": self.topology,
+            "n": self.n,
+            "seed": self.seed,
+            "runs": self.runs,
+            "budget_seconds": self.budget_seconds,
+            "substrate": self.substrate,
+            "mutant": self.mutant,
+            "judge": self.judge,
+            "stop_on_failure": self.stop_on_failure,
+        }
+
+
+@dataclass
+class CampaignResult:
+    """What a campaign produced: one :class:`FaultRunResult` per run."""
+
+    spec: CampaignSpec
+    results: List[FaultRunResult] = field(default_factory=list)
+    elapsed: float = 0.0
+    budget_exhausted: bool = False
+
+    @property
+    def runs_executed(self) -> int:
+        return len(self.results)
+
+    @property
+    def failures(self) -> List[FaultRunResult]:
+        return [r for r in self.results if r.failed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    @property
+    def first_failure(self) -> Optional[FaultRunResult]:
+        failures = self.failures
+        return failures[0] if failures else None
+
+    def violation_count(self) -> int:
+        return sum(len(r.verdict.all_violations()) for r in self.results)
+
+    def fail_counts(self) -> Dict[str, int]:
+        """How often each property failed across the campaign."""
+        counts: Dict[str, int] = {}
+        for result in self.failures:
+            for prop in result.failed:
+                counts[prop] = counts.get(prop, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def describe(self) -> str:
+        lines = [
+            f"campaign {self.spec.topology}-{self.spec.n} seed={self.spec.seed} "
+            f"substrate={self.spec.substrate}"
+            + (f" mutant={self.spec.mutant}" if self.spec.mutant else "")
+        ]
+        lines.append(
+            f"  runs: {self.runs_executed}/{self.spec.runs}"
+            + (" (budget exhausted)" if self.budget_exhausted else "")
+            + f", elapsed {self.elapsed:.1f}s"
+        )
+        if self.ok:
+            lines.append("  violations: 0")
+        else:
+            lines.append(
+                f"  violations: {self.violation_count()} across "
+                f"{len(self.failures)} failing run(s)"
+            )
+            for prop, count in self.fail_counts().items():
+                lines.append(f"    {prop}: {count} run(s)")
+            first = self.first_failure
+            if first is not None:
+                index = self.results.index(first)
+                lines.append(f"  first failure: run {index}: {first.plan.describe()}")
+        return "\n".join(lines)
+
+    def to_json(self) -> dict:
+        return {
+            "spec": self.spec.to_json(),
+            "runs_executed": self.runs_executed,
+            "budget_exhausted": self.budget_exhausted,
+            "elapsed": self.elapsed,
+            "ok": self.ok,
+            "fail_counts": self.fail_counts(),
+            "results": [r.to_json() for r in self.results],
+        }
+
+
+def run_campaign(spec: CampaignSpec) -> CampaignResult:
+    """Walk ``spec``'s sampled plans until runs, budget, or a kill stops it."""
+    if spec.runs < 1:
+        raise ConfigurationError(f"campaign needs at least 1 run, got {spec.runs}")
+    start = time.monotonic()
+    out = CampaignResult(spec=spec)
+    for index in range(spec.runs):
+        if (
+            spec.budget_seconds is not None
+            and index > 0
+            and time.monotonic() - start >= spec.budget_seconds
+        ):
+            out.budget_exhausted = True
+            break
+        result = run_plan(spec.plan(index), substrate=spec.substrate, judge=spec.judge)
+        if result.ok:
+            result.trace = None
+            result.wire = []
+        out.results.append(result)
+        if result.failed and spec.stop_on_failure:
+            break
+    out.elapsed = time.monotonic() - start
+    return out
+
+
+# ----------------------------------------------------------------------
+# Mutation testing
+# ----------------------------------------------------------------------
+@dataclass
+class MutantOutcome:
+    """One mutant's fate under the campaign."""
+
+    name: str
+    description: str
+    expected: Tuple[str, ...]
+    killed: bool
+    runs: int
+    elapsed: float
+    failed_properties: Tuple[str, ...] = ()
+    matched_expected: bool = False
+    killing_index: Optional[int] = None
+    killing_result: Optional[FaultRunResult] = None
+    shrink: Optional[object] = None  # ShrinkResult, attached by the caller
+
+    def to_json(self) -> dict:
+        return {
+            "name": self.name,
+            "description": self.description,
+            "expected": list(self.expected),
+            "killed": self.killed,
+            "runs": self.runs,
+            "elapsed": self.elapsed,
+            "failed_properties": list(self.failed_properties),
+            "matched_expected": self.matched_expected,
+            "killing_index": self.killing_index,
+            "killing_plan": (
+                self.killing_result.plan.to_json()
+                if self.killing_result is not None
+                else None
+            ),
+        }
+
+
+@dataclass
+class MutationReport:
+    """The harness result: per-mutant outcomes plus the mutation score."""
+
+    base: CampaignSpec
+    outcomes: List[MutantOutcome] = field(default_factory=list)
+    elapsed: float = 0.0
+
+    @property
+    def total(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def killed(self) -> int:
+        return sum(1 for o in self.outcomes if o.killed)
+
+    @property
+    def survivors(self) -> List[str]:
+        return [o.name for o in self.outcomes if not o.killed]
+
+    @property
+    def score(self) -> float:
+        return self.killed / self.total if self.outcomes else 0.0
+
+    def describe(self) -> str:
+        width = max((len(o.name) for o in self.outcomes), default=4)
+        lines = [
+            f"mutation harness: {self.killed}/{self.total} killed "
+            f"(score {self.score:.2f}), elapsed {self.elapsed:.1f}s"
+        ]
+        for o in self.outcomes:
+            if o.killed:
+                props = ", ".join(o.failed_properties)
+                match = "" if o.matched_expected else "  [unexpected property]"
+                lines.append(
+                    f"  [KILLED  ] {o.name:<{width}}  run {o.killing_index} "
+                    f"({o.runs} tried): {props}{match}"
+                )
+            else:
+                lines.append(
+                    f"  [SURVIVED] {o.name:<{width}}  {o.runs} run(s), "
+                    f"expected {', '.join(o.expected)}"
+                )
+        return "\n".join(lines)
+
+    def to_json(self) -> dict:
+        return {
+            "base": self.base.to_json(),
+            "total": self.total,
+            "killed": self.killed,
+            "score": self.score,
+            "survivors": self.survivors,
+            "elapsed": self.elapsed,
+            "outcomes": [o.to_json() for o in self.outcomes],
+        }
+
+
+def run_mutation_harness(
+    mutants: Optional[Iterable[Union[str, Mutant]]] = None,
+    *,
+    base: Optional[CampaignSpec] = None,
+) -> MutationReport:
+    """Run one kill-campaign per mutant and score the suite.
+
+    Each mutant walks the same sampled-plan sequence (up to
+    ``base.runs`` runs, stopping at the first kill); ``needs_crash``
+    mutants skip crash-free indices without spending budget on plans
+    that cannot possibly reach their bug.  ``base.budget_seconds``, if
+    set, is a *per-mutant* wall lid.  ``base.mutant`` must be unset —
+    the harness supplies it.
+    """
+    base = base or CampaignSpec()
+    if base.mutant is not None:
+        raise ConfigurationError(
+            "run_mutation_harness supplies the mutant; leave base.mutant unset"
+        )
+    selected: List[Mutant] = [
+        get_mutant(m) if isinstance(m, str) else m
+        for m in (mutants if mutants is not None else all_mutants())
+    ]
+    start = time.monotonic()
+    report = MutationReport(base=base)
+    for mutant in selected:
+        m_start = time.monotonic()
+        runs = 0
+        index = 0
+        outcome = MutantOutcome(
+            name=mutant.name,
+            description=mutant.description,
+            expected=mutant.expected,
+            killed=False,
+            runs=0,
+            elapsed=0.0,
+        )
+        while runs < base.runs and index < base.runs * MAX_SKIP_FACTOR:
+            if (
+                base.budget_seconds is not None
+                and runs > 0
+                and time.monotonic() - m_start >= base.budget_seconds
+            ):
+                break
+            plan = sample_plan(
+                topology=base.topology,
+                n=base.n,
+                seed=base.seed,
+                index=index,
+                mutant=mutant.name,
+            )
+            index += 1
+            if mutant.needs_crash and not plan.crashes:
+                continue
+            result = run_plan(plan, substrate=base.substrate, judge=base.judge)
+            runs += 1
+            if result.failed:
+                outcome.killed = True
+                outcome.failed_properties = tuple(result.failed)
+                outcome.matched_expected = bool(
+                    set(result.failed) & set(mutant.expected)
+                )
+                outcome.killing_index = index - 1
+                outcome.killing_result = result
+                break
+            result.trace = None
+            result.wire = []
+        outcome.runs = runs
+        outcome.elapsed = time.monotonic() - m_start
+        report.outcomes.append(outcome)
+    report.elapsed = time.monotonic() - start
+    return report

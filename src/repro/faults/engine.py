@@ -1,0 +1,512 @@
+"""One FaultPlan → one judged run, on either substrate.
+
+The engine interprets a :class:`~repro.faults.plan.FaultPlan`:
+
+* **kernel** — a :class:`~repro.core.table.DiningTable` with the plan's
+  latency adversary, workload, scripted ◇P₁ (convergence, detection
+  delay, random pre-convergence mistakes), and crash injections.
+  Time-scripted crashes ride the ordinary
+  :class:`~repro.sim.crash.CrashPlan`; *state-triggered* crashes arm
+  trace/network listeners that kill the victim the moment it enters the
+  doorway, starts eating, or receives a fork — the windows in which a
+  crash strands the most shared state at neighbors.  Every triggered
+  victim also appears in the CrashPlan at its ``deadline``, so the
+  detector oracles know about it (detection is merely late, which ◇P₁
+  permits) and the crash happens by the deadline even if the trigger
+  never fires.
+* **live** — a loopback :class:`~repro.net.host.AsyncHost` whose new
+  ``inject_latency`` hook replays the same latency adversary in scaled
+  wall time; crashes use their (scaled) scripted times or deadlines.
+
+Both paths end in the same :func:`repro.checks.standard_suite` Verdict.
+Judgement windows are derived from the plan itself
+(:meth:`JudgeWindows.for_plan`): eventual properties are never judged
+tighter than the adversary allows, so a clean campaign over the
+unmutated algorithm passing with 0 violations is a meaningful claim.
+
+Exceptions a mutant raises mid-run (``ForkDuplicationError`` from
+Lemma 1.1's runtime assert, kernel event-budget exhaustion from a flood
+bug, …) are converted into failing properties rather than propagated, so
+the campaign layer sees a uniform Verdict either way.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.checks import CheckConfig, FAIL, PropertyVerdict, Verdict, Violation
+from repro.checks.properties import CHANNEL_BOUND, FIFO, FORK_UNIQUENESS
+from repro.core.messages import Fork
+from repro.core.table import DiningTable, scripted_detector
+from repro.errors import (
+    ChannelCapacityError,
+    ConfigurationError,
+    FifoViolationError,
+    ForkDuplicationError,
+    InvariantViolation,
+    SimulationError,
+)
+from repro.faults.mutants import get_mutant
+from repro.faults.plan import CrashSpec, FaultPlan
+from repro.graphs import topologies
+from repro.sim.crash import CrashPlan
+from repro.sim.events import EventPriority
+from repro.sim.monitors import message_layer
+from repro.sim.network import NetworkMonitor
+from repro.trace.events import DoorwayChange, PhaseChange
+
+#: Synthetic property name for mutant-raised faults that map to no
+#: standard property (scheduling storms, crashed-process sends, …).
+RUNTIME_ERROR = "runtime-error"
+
+#: How many pieces a kernel run is cut into, so a failing plan stops at
+#: the first chunk whose suite holds a violation instead of simulating a
+#: flood mutant to the full horizon.
+RUN_CHUNKS = 8
+
+
+# ----------------------------------------------------------------------
+# Judgement windows
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class JudgeWindows:
+    """Windows binding the eventual properties, derived from the plan.
+
+    All values are in the plan's virtual time units.  The derivation is
+    deliberately generous — a window too tight would convict the correct
+    algorithm of its adversary's sins; the clean-campaign acceptance run
+    (``repro fuzz`` with no mutant) is the empirical check that it never
+    does.
+    """
+
+    settle: float
+    patience: float
+    after: float
+    grace: float
+
+    @staticmethod
+    def for_plan(plan: FaultPlan, *, margin: float = 3.0) -> "JudgeWindows":
+        lat = plan.latency.ceiling()
+        eat = plan.workload.eat_ceiling()
+        # Suspicion output is trustworthy only after detector convergence,
+        # latency stabilization (GST), and the last possible crash's
+        # detection; in-flight stragglers add one ceiling.
+        base = max(
+            plan.flaps.convergence,
+            plan.latency.stabilization_time(),
+            plan.last_possible_crash() + plan.flaps.detection_delay,
+        )
+        settle = base + eat + 2.0 * lat + margin
+        # A hungry diner can transitively wait behind every other diner's
+        # meal plus the message round-trips between them, all of which may
+        # start before ``base``.
+        patience = base + plan.n * (eat + 4.0 * lat) + margin
+        after = settle
+        # Traffic toward a victim stops once every neighbor's detector
+        # fires, and detectors are scripted from CrashPlan deadlines —
+        # but the quiescence clock starts at the ACTUAL crash, which for
+        # a trigger can be as early as its arming time.  Grace must span
+        # from the earliest possible crash instant to trustworthy
+        # suspicion (``base``), or legal late detection convicts the
+        # correct algorithm.
+        earliest = min((c.earliest_time() for c in plan.crashes), default=0.0)
+        grace = max(0.0, base - earliest) + eat + 3.0 * lat + margin
+        return JudgeWindows(settle=settle, patience=patience, after=after, grace=grace)
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "settle": self.settle,
+            "patience": self.patience,
+            "after": self.after,
+            "grace": self.grace,
+        }
+
+
+# ----------------------------------------------------------------------
+# Run result
+# ----------------------------------------------------------------------
+@dataclass
+class FaultRunResult:
+    """Everything one interpreted plan produced.
+
+    ``trace`` and ``wire`` stay attached (in memory) so the shrinker can
+    write a witness without re-running; ``to_json`` omits them.
+    ``crash_times`` maps pid to the *actual* crash instant — for
+    triggered crashes this is the trigger time, not the deadline.
+    """
+
+    plan: FaultPlan
+    substrate: str
+    verdict: Verdict
+    windows: Optional[JudgeWindows]
+    crash_times: Dict[int, float] = field(default_factory=dict)
+    meals: Dict[int, int] = field(default_factory=dict)
+    events: int = 0
+    stopped_early: bool = False
+    error: Optional[str] = None
+    trace: object = None
+    wire: List[dict] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.verdict.ok
+
+    @property
+    def failed(self) -> List[str]:
+        return self.verdict.failed
+
+    def to_json(self) -> dict:
+        return {
+            "plan": self.plan.to_json(),
+            "substrate": self.substrate,
+            "windows": self.windows.as_dict() if self.windows else None,
+            "crash_times": {str(p): t for p, t in sorted(self.crash_times.items())},
+            "meals": {str(p): m for p, m in sorted(self.meals.items())},
+            "events": self.events,
+            "stopped_early": self.stopped_early,
+            "error": self.error,
+            "verdict": self.verdict.to_json(),
+        }
+
+
+# ----------------------------------------------------------------------
+# Wire logging (kernel): the offline-replayable message stream
+# ----------------------------------------------------------------------
+class _WireLogMonitor(NetworkMonitor):
+    """Records every kernel send/deliver/drop as a wire-log dict.
+
+    The dicts speak the exact vocabulary of
+    :func:`repro.checks.stream.event_from_wire`, so a witness directory's
+    ``wire.jsonl`` makes channel-bound / FIFO / quiescence judgeable by
+    ``repro check`` offline.  Sequence numbers are assigned at send; the
+    kernel network is FIFO by construction, so deliveries and drops
+    retire pending sequence numbers in order.
+    """
+
+    def __init__(self) -> None:
+        self.records: List[dict] = []
+        self._next: Dict[Tuple[int, int], int] = {}
+        self._pending: Dict[Tuple[int, int], deque] = {}
+
+    def _record(self, kind, src, dst, message, time, seq) -> None:
+        self.records.append(
+            {
+                "kind": kind,
+                "src": src,
+                "dst": dst,
+                "type": type(message).__name__,
+                "layer": message_layer(message),
+                "seq": seq,
+                "time": time,
+            }
+        )
+
+    def on_send(self, src, dst, message, time) -> None:
+        key = (src, dst)
+        seq = self._next.get(key, 0) + 1
+        self._next[key] = seq
+        self._pending.setdefault(key, deque()).append(seq)
+        self._record("send", src, dst, message, time, seq)
+
+    def _retire(self, src, dst) -> Optional[int]:
+        pending = self._pending.get((src, dst))
+        return pending.popleft() if pending else None
+
+    def on_deliver(self, src, dst, message, time) -> None:
+        self._record("deliver", src, dst, message, time, self._retire(src, dst))
+
+    def on_drop(self, src, dst, message, time) -> None:
+        self._record("drop", src, dst, message, time, self._retire(src, dst))
+
+
+# ----------------------------------------------------------------------
+# Triggered crashes (kernel)
+# ----------------------------------------------------------------------
+class _CrashTrigger(NetworkMonitor):
+    """Arms one state-triggered crash on a running table.
+
+    Doorway and eating triggers listen to the trace; the fork trigger
+    watches deliveries.  The kill is always *scheduled* at the current
+    instant with CONTROL priority — never executed synchronously inside
+    the triggering event — so the victim finishes the very step that put
+    it into the targeted state (it genuinely crashes holding the fork /
+    inside the doorway) and the transport never loses the triggering
+    delivery.
+    """
+
+    def __init__(self, table: DiningTable, spec: CrashSpec) -> None:
+        self.table = table
+        self.spec = spec
+        self.fired = False
+
+    def arm(self) -> None:
+        if self.spec.when == "fork":
+            self.table.network.add_monitor(self)
+        elif self.spec.when == "doorway":
+            self.table.trace.add_listener(self._on_doorway, types=(DoorwayChange,))
+        elif self.spec.when == "eating":
+            self.table.trace.add_listener(self._on_phase, types=(PhaseChange,))
+        else:  # pragma: no cover - CrashSpec validation forbids this
+            raise ConfigurationError(f"unknown trigger {self.spec.when!r}")
+
+    def _on_doorway(self, record) -> None:
+        if record.pid == self.spec.pid and record.inside and record.time >= self.spec.after:
+            self._fire()
+
+    def _on_phase(self, record) -> None:
+        if (
+            record.pid == self.spec.pid
+            and record.new_phase == "eating"
+            and record.time >= self.spec.after
+        ):
+            self._fire()
+
+    def on_deliver(self, src, dst, message, time) -> None:
+        if dst == self.spec.pid and isinstance(message, Fork) and time >= self.spec.after:
+            self._fire()
+
+    def _fire(self) -> None:
+        if self.fired:
+            return
+        self.fired = True
+        sim = self.table.sim
+        pid = self.spec.pid
+        sim.schedule_at(
+            sim.now,
+            lambda: self.table.network.crash(pid),
+            priority=EventPriority.CONTROL,
+            label=f"fuzz-trigger-crash {pid}",
+        )
+
+
+# ----------------------------------------------------------------------
+# Exception → property mapping
+# ----------------------------------------------------------------------
+def _property_of_exception(exc: BaseException) -> str:
+    if isinstance(exc, ForkDuplicationError):
+        return FORK_UNIQUENESS
+    if isinstance(exc, ChannelCapacityError):
+        return CHANNEL_BOUND
+    if isinstance(exc, FifoViolationError):
+        return FIFO
+    return RUNTIME_ERROR
+
+
+def _fold_exception(verdict: Verdict, exc: BaseException, time: float) -> Verdict:
+    """Merge a mutant-raised fault into the verdict as a failing property."""
+    name = _property_of_exception(exc)
+    synthetic = PropertyVerdict(
+        prop=name,
+        status=FAIL,
+        violations=[
+            Violation(
+                prop=name,
+                time=time,
+                detail=f"{type(exc).__name__}: {exc}",
+            )
+        ],
+        counters={"raised_total": 1},
+    )
+    existing = verdict.properties.get(name)
+    if existing is not None:
+        synthetic = PropertyVerdict.merge([existing, synthetic])
+    return verdict.with_property(synthetic)
+
+
+# ----------------------------------------------------------------------
+# Kernel interpretation
+# ----------------------------------------------------------------------
+def build_table(plan: FaultPlan, *, judge: bool = True) -> DiningTable:
+    """The DiningTable a plan describes (exposed for tests)."""
+    graph = topologies.by_name(plan.topology, plan.n, seed=plan.seed)
+    crash_plan = CrashPlan.scripted({c.pid: c.latest_time() for c in plan.crashes})
+    windows = JudgeWindows.for_plan(plan) if judge else None
+    config = CheckConfig(
+        settle=windows.settle if windows else None,
+        patience=windows.patience if windows else None,
+        overtaking_after=windows.after if windows else None,
+        quiescence_grace=windows.grace if windows and plan.crashes else None,
+    )
+    mutant = get_mutant(plan.mutant) if plan.mutant else None
+    flaps = plan.flaps
+    return DiningTable(
+        graph,
+        seed=plan.seed,
+        latency=plan.latency.build(),
+        workload=plan.workload.build(),
+        crash_plan=crash_plan,
+        detector=scripted_detector(
+            convergence_time=flaps.convergence,
+            detection_delay=flaps.detection_delay,
+            random_mistakes=flaps.mistakes_per_edge > 0,
+            mistakes_per_edge=flaps.mistakes_per_edge,
+            mean_mistake_duration=flaps.mean_mistake_duration,
+        ),
+        diner_factory=mutant.factory() if mutant else None,
+        strict_checks=False,
+        check_config=config,
+    )
+
+
+def run_plan_kernel(
+    plan: FaultPlan,
+    *,
+    judge: bool = True,
+    stop_on_violation: bool = True,
+) -> FaultRunResult:
+    """Interpret ``plan`` on the discrete-event kernel.
+
+    ``judge=False`` leaves every eventual property informational (the
+    differential tests use this: statuses then depend only on what the
+    stream *proves*, not on window tuning).  ``stop_on_violation``
+    short-circuits the run at the first chunk whose suite holds a
+    violation — mutation campaigns spend no budget past the kill.
+    """
+    windows = JudgeWindows.for_plan(plan) if judge else None
+    table = build_table(plan, judge=judge)
+    wire = _WireLogMonitor()
+    table.network.add_monitor(wire)
+    for spec in plan.crashes:
+        if spec.when is not None:
+            _CrashTrigger(table, spec).arm()
+
+    stopped_early = False
+    error: Optional[BaseException] = None
+    for chunk in range(1, RUN_CHUNKS + 1):
+        try:
+            table.run(until=plan.horizon * chunk / RUN_CHUNKS)
+        except (InvariantViolation, SimulationError) as exc:
+            error = exc
+            break
+        if stop_on_violation and table.checks.violations:
+            stopped_early = chunk < RUN_CHUNKS
+            break
+
+    verdict = table.verdict()
+    if error is not None:
+        verdict = _fold_exception(verdict, error, table.sim.now)
+
+    return FaultRunResult(
+        plan=plan,
+        substrate="kernel",
+        verdict=verdict,
+        windows=windows,
+        crash_times={r.pid: r.time for r in table.trace.crashes()},
+        meals=table.eat_counts(),
+        events=table.sim.processed_events,
+        stopped_early=stopped_early or error is not None,
+        error=f"{type(error).__name__}: {error}" if error is not None else None,
+        trace=table.trace,
+        wire=wire.records,
+    )
+
+
+# ----------------------------------------------------------------------
+# Live interpretation
+# ----------------------------------------------------------------------
+def run_plan_live(
+    plan: FaultPlan,
+    *,
+    time_scale: float = 0.02,
+    judge: bool = True,
+) -> FaultRunResult:
+    """Interpret ``plan`` on a loopback :class:`~repro.net.host.AsyncHost`.
+
+    ``time_scale`` maps plan (virtual) seconds to wall seconds — the
+    default squeezes a 120-unit horizon into ~2.4 s of wall clock.  The
+    plan's latency adversary is replayed through the host's
+    ``inject_latency`` hook (same model, same seed-derived streams,
+    delays scaled); crashes use their scripted times, triggers their
+    deadlines (state triggers are kernel-only).  ◇P₁ is the host's real
+    heartbeat detector, so the plan's flap script does not apply — the
+    pre-convergence adversary on this substrate is genuine wall-clock
+    jitter.  With ``judge=True`` the settle/patience/overtaking windows
+    are bound (scaled) at finalize; quiescence stays informational (its
+    grace is consumed online, before windows could be rebound).
+    """
+    from repro.net.host import AsyncHost, HostConfig, run_host
+    from repro.sim.rng import RandomStreams
+
+    if time_scale <= 0:
+        raise ConfigurationError(f"time_scale must be positive, got {time_scale!r}")
+    graph = topologies.by_name(plan.topology, plan.n, seed=plan.seed)
+    windows = JudgeWindows.for_plan(plan) if judge else None
+    mutant = get_mutant(plan.mutant) if plan.mutant else None
+
+    model = plan.latency.build()
+    streams = RandomStreams(plan.seed).spawn("fuzz-live-latency")
+
+    def inject(src: int, dst: int, message, now: float) -> float:
+        virtual_now = now / time_scale
+        return model.sample(src, dst, virtual_now, streams) * time_scale
+
+    host = AsyncHost(
+        graph,
+        config=HostConfig(
+            duration=plan.horizon * time_scale,
+            seed=plan.seed,
+        ),
+        crash_times={c.pid: c.latest_time() * time_scale for c in plan.crashes},
+        workload=plan.workload.build(time_scale=time_scale),
+        inject_latency=inject,
+        diner_factory=mutant.factory() if mutant else None,
+        run="fuzz",
+    )
+    run_host(host)
+
+    if judge and windows is not None:
+        host.checks.checker("wx-safety").settle = windows.settle * time_scale
+        host.checks.checker("progress").patience = windows.patience * time_scale
+        host.checks.checker("overtaking").after = windows.after * time_scale
+    verdict = host.verdict()
+    # ``host.violations`` mixes checker-forwarded witnesses (already in
+    # the verdict, possibly as informational counters) with actor faults
+    # the host captured outside the checkers (a mutant raising
+    # mid-step).  Only the latter must fail the run.
+    checker_details = {f"{v.prop}: {v.detail}" for v in host.checks.violations}
+    actor_faults = [d for d in host.violations if d not in checker_details]
+    if actor_faults:
+        synthetic = PropertyVerdict(
+            prop=RUNTIME_ERROR,
+            status=FAIL,
+            violations=[
+                Violation(prop=RUNTIME_ERROR, time=host.now, detail=detail)
+                for detail in actor_faults[:5]
+            ],
+            counters={"raised_total": len(actor_faults)},
+        )
+        verdict = verdict.with_property(synthetic)
+
+    return FaultRunResult(
+        plan=plan,
+        substrate="live",
+        verdict=verdict,
+        windows=windows,
+        crash_times={r.pid: r.time / time_scale for r in host.trace.crashes()},
+        meals={pid: d.meals_eaten for pid, d in host.diners.items()},
+        events=host.checks.events_observed,
+        trace=host.trace,
+        wire=[
+            {
+                "kind": e.kind,
+                "src": e.src,
+                "dst": e.dst,
+                "type": e.type,
+                "layer": e.layer,
+                "seq": e.seq,
+                "time": e.time,
+            }
+            for e in host.wire_events
+        ],
+    )
+
+
+def run_plan(plan: FaultPlan, *, substrate: str = "kernel", **kwargs) -> FaultRunResult:
+    """Dispatch a plan to its substrate interpreter."""
+    if substrate == "kernel":
+        return run_plan_kernel(plan, **kwargs)
+    if substrate == "live":
+        return run_plan_live(plan, **kwargs)
+    raise ConfigurationError(f"unknown substrate {substrate!r}")

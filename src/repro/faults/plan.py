@@ -1,0 +1,354 @@
+"""The declarative fault-plan vocabulary.
+
+A :class:`FaultPlan` is a complete, self-contained description of one
+adversarial run: topology, seed, horizon, a latency adversary, crash
+injections (time-scripted or *state-triggered*: biased toward
+fork-holding, doorway-transit, or eating states), ◇P₁ suspicion-flap
+intensity, and the hunger workload.  Plans are JSON-round-trippable
+(``to_json`` / ``from_json``) so a failing plan is itself the repro
+artifact: the shrinker persists the minimized plan next to its trace,
+and ``repro fuzz --plan`` replays it bit-for-bit.
+
+The plan layer knows nothing about substrates; :mod:`repro.faults.engine`
+interprets a plan on the kernel or the live host.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field, replace
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.core.workload import AlwaysHungry, BurstyWorkload, PoissonWorkload, Workload
+from repro.errors import ConfigurationError
+from repro.sim.latency import (
+    FixedLatency,
+    LatencyModel,
+    LogNormalLatency,
+    PartialSynchronyLatency,
+    StormLatency,
+    UniformLatency,
+)
+
+#: Crash-trigger states a :class:`CrashSpec` can target.  ``"doorway"``
+#: crashes the victim the moment it transits into the doorway,
+#: ``"eating"`` at the first bite, ``"fork"`` on receipt of a fork (a
+#: fork-holding state) — the three windows in which a crash strands the
+#: most shared state at neighbors.
+TRIGGER_STATES = ("doorway", "eating", "fork")
+
+
+# ----------------------------------------------------------------------
+# Latency adversaries
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class LatencySpec:
+    """A named latency adversary plus its parameters.
+
+    ``kind`` selects the :mod:`repro.sim.latency` model: ``fixed``,
+    ``uniform``, ``lognormal``, ``gst`` (partial synchrony), or
+    ``storm`` (periodic congestion bursts).  :meth:`ceiling` is the
+    worst-case post-convergence delay, which the engine folds into its
+    judgement windows so eventual properties are never judged tighter
+    than the adversary allows.
+    """
+
+    kind: str = "fixed"
+    params: Tuple[Tuple[str, float], ...] = ()
+
+    @staticmethod
+    def of(kind: str, **params: float) -> "LatencySpec":
+        return LatencySpec(kind=kind, params=tuple(sorted(params.items())))
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(self.params)
+
+    def build(self) -> LatencyModel:
+        p = self.as_dict()
+        if self.kind == "fixed":
+            return FixedLatency(p.get("delay", 1.0))
+        if self.kind == "uniform":
+            return UniformLatency(p.get("low", 0.5), p.get("high", 1.5))
+        if self.kind == "lognormal":
+            return LogNormalLatency(
+                median=p.get("median", 1.0),
+                sigma=p.get("sigma", 0.5),
+                floor=p.get("floor", 0.05),
+                ceiling=p.get("ceiling", 6.0),
+            )
+        if self.kind == "gst":
+            return PartialSynchronyLatency(
+                gst=p.get("gst", 20.0),
+                min_delay=p.get("min_delay", 0.1),
+                pre_gst_max=p.get("pre_gst_max", 6.0),
+                post_gst_max=p.get("post_gst_max", 1.0),
+            )
+        if self.kind == "storm":
+            return StormLatency(
+                period=p.get("period", 20.0),
+                storm_len=p.get("storm_len", 5.0),
+                calm_low=p.get("calm_low", 0.5),
+                calm_high=p.get("calm_high", 1.5),
+                storm_low=p.get("storm_low", 3.0),
+                storm_high=p.get("storm_high", 6.0),
+            )
+        raise ConfigurationError(f"unknown latency kind {self.kind!r}")
+
+    def ceiling(self) -> float:
+        """Worst-case single-message delay once the system has settled."""
+        p = self.as_dict()
+        if self.kind == "fixed":
+            return p.get("delay", 1.0)
+        if self.kind == "uniform":
+            return p.get("high", 1.5)
+        if self.kind == "lognormal":
+            return p.get("ceiling", 6.0)
+        if self.kind == "gst":
+            return p.get("post_gst_max", 1.0)
+        if self.kind == "storm":
+            return p.get("storm_high", 6.0)
+        raise ConfigurationError(f"unknown latency kind {self.kind!r}")
+
+    def stabilization_time(self) -> float:
+        """Time after which :meth:`ceiling` holds (GST for ``gst``, else 0)."""
+        return self.as_dict().get("gst", 0.0) if self.kind == "gst" else 0.0
+
+
+# ----------------------------------------------------------------------
+# Crash injections
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CrashSpec:
+    """One crash: either at an exact time or on a state trigger.
+
+    * ``at`` — crash at that absolute instant (the classic
+      :class:`~repro.sim.crash.CrashPlan` path; the only form the live
+      substrate supports).
+    * ``when`` ∈ :data:`TRIGGER_STATES` — crash the victim at the first
+      matching state change at or after ``after`` (the crash-timing
+      search biased toward fork-holding / doorway-transit states).  If
+      the trigger never fires, ``deadline`` crashes the victim anyway,
+      so the last crash time is always bounded and judgement windows
+      stay computable.
+    """
+
+    pid: int
+    at: Optional[float] = None
+    when: Optional[str] = None
+    after: float = 0.0
+    deadline: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if (self.at is None) == (self.when is None):
+            raise ConfigurationError(
+                f"crash of {self.pid}: give exactly one of at= or when=, "
+                f"got at={self.at!r} when={self.when!r}"
+            )
+        if self.when is not None:
+            if self.when not in TRIGGER_STATES:
+                raise ConfigurationError(
+                    f"unknown crash trigger {self.when!r}; known: {TRIGGER_STATES}"
+                )
+            if self.deadline is None:
+                raise ConfigurationError(
+                    f"triggered crash of {self.pid} needs a deadline"
+                )
+
+    def latest_time(self) -> float:
+        """Upper bound on when this crash can happen."""
+        return self.at if self.at is not None else float(self.deadline)
+
+    def earliest_time(self) -> float:
+        """Lower bound on when this crash can happen.
+
+        A trigger can fire as soon as it arms (``after``), long before
+        the detector oracle — scripted from the ``deadline`` — suspects
+        the victim; quiescence grace must span that whole gap.
+        """
+        return self.at if self.at is not None else self.after
+
+
+# ----------------------------------------------------------------------
+# ◇P₁ suspicion flapping
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FlapSpec:
+    """Adversarial ◇P₁ behaviour before convergence.
+
+    ``mistakes_per_edge`` false-suspicion episodes (mean length
+    ``mean_mistake_duration``) are scattered over ``[0, convergence)``;
+    from ``convergence`` on the detector satisfies eventual strong
+    accuracy, and real crashes are detected within ``detection_delay``.
+    ``mistakes_per_edge=0`` with ``convergence=0`` is the benign oracle.
+    """
+
+    convergence: float = 0.0
+    detection_delay: float = 1.0
+    mistakes_per_edge: float = 0.0
+    mean_mistake_duration: float = 2.0
+
+
+# ----------------------------------------------------------------------
+# Workloads
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Hunger workload: ``always`` (max contention), ``burst``
+    (hungry-session bursts separated by idle gaps), or ``poisson``."""
+
+    kind: str = "always"
+    params: Tuple[Tuple[str, float], ...] = ()
+
+    @staticmethod
+    def of(kind: str, **params: float) -> "WorkloadSpec":
+        return WorkloadSpec(kind=kind, params=tuple(sorted(params.items())))
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(self.params)
+
+    def build(self, *, time_scale: float = 1.0) -> Workload:
+        p = {k: v * time_scale for k, v in self.params}
+        if self.kind == "always":
+            return AlwaysHungry(
+                eat_time=p.get("eat_time", 1.0 * time_scale),
+                think_time=p.get("think_time", 0.01 * time_scale),
+            )
+        if self.kind == "burst":
+            return BurstyWorkload(
+                burst=int(self.as_dict().get("burst", 4)),
+                burst_think=p.get("burst_think", 0.01 * time_scale),
+                idle_time=p.get("idle_time", 8.0 * time_scale),
+                eat_time=p.get("eat_time", 1.0 * time_scale),
+            )
+        if self.kind == "poisson":
+            rate = self.as_dict().get("hunger_rate", 0.5)
+            return PoissonWorkload(
+                hunger_rate=rate / time_scale if time_scale else rate,
+                eat_time_range=(
+                    p.get("eat_low", 0.5 * time_scale),
+                    p.get("eat_high", 1.5 * time_scale),
+                ),
+            )
+        raise ConfigurationError(f"unknown workload kind {self.kind!r}")
+
+    def eat_ceiling(self) -> float:
+        """Longest possible eating session (shapes judgement windows)."""
+        p = self.as_dict()
+        if self.kind == "poisson":
+            return p.get("eat_high", 1.5)
+        return p.get("eat_time", 1.0)
+
+
+# ----------------------------------------------------------------------
+# The plan
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FaultPlan:
+    """One complete adversarial run, declaratively.
+
+    ``mutant`` optionally names an entry of the
+    :mod:`repro.faults.mutants` registry to run instead of the pristine
+    :class:`~repro.core.diner.DinerActor` — the mutation-testing harness
+    sets it, ordinary fuzzing leaves it ``None``.
+    """
+
+    topology: str = "ring"
+    n: int = 5
+    seed: int = 0
+    horizon: float = 120.0
+    latency: LatencySpec = field(default_factory=LatencySpec)
+    crashes: Tuple[CrashSpec, ...] = ()
+    flaps: FlapSpec = field(default_factory=FlapSpec)
+    workload: WorkloadSpec = field(default_factory=WorkloadSpec)
+    mutant: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.n < 2:
+            raise ConfigurationError(f"need at least 2 diners, got {self.n}")
+        if self.horizon <= 0:
+            raise ConfigurationError(f"horizon must be positive, got {self.horizon}")
+        seen = set()
+        for crash in self.crashes:
+            if crash.pid in seen:
+                raise ConfigurationError(f"process {crash.pid} crashes twice")
+            seen.add(crash.pid)
+            if not 0 <= crash.pid < self.n:
+                raise ConfigurationError(
+                    f"crash plan mentions pid {crash.pid} outside 0..{self.n - 1}"
+                )
+
+    # -- derived ---------------------------------------------------------
+    def last_possible_crash(self) -> float:
+        """Latest instant any crash of this plan can occur (0.0 if none)."""
+        return max((c.latest_time() for c in self.crashes), default=0.0)
+
+    def faulty_pids(self) -> Tuple[int, ...]:
+        return tuple(sorted(c.pid for c in self.crashes))
+
+    def describe(self) -> str:
+        crash_bits = ", ".join(
+            f"{c.pid}@{c.at:g}" if c.at is not None else f"{c.pid}:{c.when}≥{c.after:g}"
+            for c in self.crashes
+        )
+        mutant = f", mutant={self.mutant}" if self.mutant else ""
+        return (
+            f"{self.topology}-{self.n} seed={self.seed} horizon={self.horizon:g} "
+            f"latency={self.latency.kind} workload={self.workload.kind} "
+            f"flaps={self.flaps.mistakes_per_edge:g}/edge conv={self.flaps.convergence:g} "
+            f"crashes=[{crash_bits}]{mutant}"
+        )
+
+    # -- serialization ---------------------------------------------------
+    def to_json(self) -> dict:
+        data = asdict(self)
+        data["latency"] = {"kind": self.latency.kind, "params": self.latency.as_dict()}
+        data["workload"] = {"kind": self.workload.kind, "params": self.workload.as_dict()}
+        data["crashes"] = [asdict(c) for c in self.crashes]
+        return data
+
+    @classmethod
+    def from_json(cls, data: Mapping) -> "FaultPlan":
+        latency = data.get("latency", {})
+        workload = data.get("workload", {})
+        flaps = data.get("flaps", {})
+        return cls(
+            topology=data.get("topology", "ring"),
+            n=int(data.get("n", 5)),
+            seed=int(data.get("seed", 0)),
+            horizon=float(data.get("horizon", 120.0)),
+            latency=LatencySpec.of(latency.get("kind", "fixed"), **latency.get("params", {})),
+            crashes=tuple(
+                CrashSpec(
+                    pid=int(c["pid"]),
+                    at=c.get("at"),
+                    when=c.get("when"),
+                    after=float(c.get("after", 0.0)),
+                    deadline=c.get("deadline"),
+                )
+                for c in data.get("crashes", ())
+            ),
+            flaps=FlapSpec(
+                convergence=float(flaps.get("convergence", 0.0)),
+                detection_delay=float(flaps.get("detection_delay", 1.0)),
+                mistakes_per_edge=float(flaps.get("mistakes_per_edge", 0.0)),
+                mean_mistake_duration=float(flaps.get("mean_mistake_duration", 2.0)),
+            ),
+            workload=WorkloadSpec.of(
+                workload.get("kind", "always"), **workload.get("params", {})
+            ),
+            mutant=data.get("mutant"),
+        )
+
+    def dump(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as stream:
+            json.dump(self.to_json(), stream, indent=2, sort_keys=True)
+            stream.write("\n")
+
+    @classmethod
+    def load(cls, path: str) -> "FaultPlan":
+        with open(path, "r", encoding="utf-8") as stream:
+            return cls.from_json(json.load(stream))
+
+    def with_(self, **changes) -> "FaultPlan":
+        """A modified copy (the shrinker's workhorse)."""
+        return replace(self, **changes)

@@ -1,0 +1,142 @@
+"""Seeded derivation of adversarial FaultPlans.
+
+A campaign is a walk over ``sample_plan(... index=0, 1, 2, ...)``: every
+plan is a pure function of ``(topology, n, seed, index)`` through the
+same SHA-256-derived :class:`~repro.sim.rng.RandomStreams` family the
+simulator uses, so a campaign replays bit-for-bit from its spec and any
+single failing index replays alone.
+
+Plans cycle through adversary *archetypes* rather than sampling one flat
+distribution — crash-heavy shapes appear from index 1, so mutation
+campaigns whose bugs only bite on the post-crash path (suspicion
+substitution, quiescence) meet a killing schedule within a handful of
+runs instead of waiting for a lucky draw.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.faults.engine import JudgeWindows
+from repro.faults.plan import CrashSpec, FaultPlan, FlapSpec, LatencySpec, WorkloadSpec
+from repro.sim.rng import RandomStreams
+
+#: Archetype cycle (index % len): a contention baseline, then
+#: crash/flap/storm/burst compositions.  Names are documentation; the
+#: sampler switches on position.
+ARCHETYPES = (
+    "contention",          # benign-adversary baseline: jitter only
+    "crash-holding-fork",  # fork-receipt-triggered crash + flaps
+    "storm-crash",         # congestion storms + timed crash
+    "doorway-crash-burst", # doorway-transit crash under bursty hunger
+    "gst-flap",            # partial synchrony + heavy pre-GST flapping
+    "double-crash-eating", # two victims, one eating-triggered
+)
+
+
+def sample_plan(
+    *,
+    topology: str = "ring",
+    n: int = 5,
+    seed: int = 0,
+    index: int = 0,
+    mutant: Optional[str] = None,
+    horizon_floor: float = 60.0,
+) -> FaultPlan:
+    """The ``index``-th plan of campaign ``(topology, n, seed)``.
+
+    The horizon is stretched to comfortably contain the plan's own
+    judgement windows (patience plus slack), so every sampled plan is
+    judgeable — eventual properties never pass vacuously because the run
+    ended inside their settle window.
+    """
+    rng = RandomStreams(seed).stream(f"fuzz/plan/{index}")
+    shape = ARCHETYPES[index % len(ARCHETYPES)]
+
+    latency = LatencySpec.of("uniform", low=0.3, high=round(rng.uniform(1.0, 2.0), 3))
+    crashes = ()
+    flaps = FlapSpec()
+    workload = WorkloadSpec.of("always", eat_time=round(rng.uniform(0.5, 1.5), 3))
+
+    pids = list(range(n))
+    rng.shuffle(pids)
+
+    if shape == "crash-holding-fork":
+        after = round(rng.uniform(2.0, 12.0), 3)
+        crashes = (
+            CrashSpec(pid=pids[0], when="fork", after=after, deadline=after + 20.0),
+        )
+        flaps = FlapSpec(
+            convergence=round(rng.uniform(8.0, 20.0), 3),
+            detection_delay=round(rng.uniform(1.0, 2.0), 3),
+            mistakes_per_edge=round(rng.uniform(0.5, 1.5), 3),
+            mean_mistake_duration=round(rng.uniform(1.0, 3.0), 3),
+        )
+    elif shape == "storm-crash":
+        latency = LatencySpec.of(
+            "storm",
+            period=round(rng.uniform(15.0, 25.0), 3),
+            storm_len=round(rng.uniform(3.0, 6.0), 3),
+            calm_low=0.3,
+            calm_high=1.0,
+            storm_low=2.0,
+            storm_high=round(rng.uniform(4.0, 6.0), 3),
+        )
+        crashes = (CrashSpec(pid=pids[0], at=round(rng.uniform(5.0, 20.0), 3)),)
+        flaps = FlapSpec(detection_delay=round(rng.uniform(1.0, 2.0), 3))
+    elif shape == "doorway-crash-burst":
+        workload = WorkloadSpec.of(
+            "burst",
+            burst=rng.randint(2, 5),
+            burst_think=0.01,
+            idle_time=round(rng.uniform(4.0, 10.0), 3),
+            eat_time=round(rng.uniform(0.5, 1.5), 3),
+        )
+        after = round(rng.uniform(2.0, 10.0), 3)
+        crashes = (
+            CrashSpec(pid=pids[0], when="doorway", after=after, deadline=after + 20.0),
+        )
+        flaps = FlapSpec(
+            convergence=round(rng.uniform(5.0, 15.0), 3),
+            detection_delay=1.0,
+        )
+    elif shape == "gst-flap":
+        gst = round(rng.uniform(15.0, 30.0), 3)
+        latency = LatencySpec.of(
+            "gst", gst=gst, min_delay=0.1, pre_gst_max=5.0, post_gst_max=1.0
+        )
+        flaps = FlapSpec(
+            convergence=gst,
+            detection_delay=round(rng.uniform(1.0, 2.0), 3),
+            mistakes_per_edge=round(rng.uniform(1.0, 2.0), 3),
+            mean_mistake_duration=round(rng.uniform(1.0, 3.0), 3),
+        )
+    elif shape == "double-crash-eating":
+        if n >= 4:
+            after = round(rng.uniform(2.0, 8.0), 3)
+            crashes = (
+                CrashSpec(pid=pids[0], when="eating", after=after, deadline=after + 20.0),
+                CrashSpec(pid=pids[1], at=round(rng.uniform(10.0, 25.0), 3)),
+            )
+        else:
+            crashes = (CrashSpec(pid=pids[0], at=round(rng.uniform(5.0, 15.0), 3)),)
+        flaps = FlapSpec(
+            convergence=round(rng.uniform(8.0, 18.0), 3),
+            detection_delay=round(rng.uniform(1.0, 2.0), 3),
+        )
+    # "contention": the defaults above — jitter, full hunger, no faults.
+
+    draft = FaultPlan(
+        topology=topology,
+        n=n,
+        seed=seed * 10_000 + index,
+        horizon=horizon_floor,
+        latency=latency,
+        crashes=crashes,
+        flaps=flaps,
+        workload=workload,
+        mutant=mutant,
+    )
+    windows = JudgeWindows.for_plan(draft)
+    horizon = max(horizon_floor, round(windows.patience * 1.3 + 10.0, 3))
+    return draft.with_(horizon=horizon)

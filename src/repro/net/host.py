@@ -140,6 +140,18 @@ class AsyncHost:
         start their actors together.  Defaults to "when run() starts".
     crash_times:
         pid -> crash instant (seconds after the epoch) for local pids.
+    inject_latency:
+        Optional adversarial delay hook for *local* edges:
+        ``inject_latency(src, dst, message, now)`` returns extra wall
+        seconds to hold the message before delivery.  When set, every
+        local delivery routes through ``loop.call_later`` and is clamped
+        to the channel's latest scheduled delivery, so injected jitter
+        can never reorder a FIFO channel.  The fuzz engine uses this to
+        run the same latency adversaries the kernel runs.
+    diner_factory:
+        Optional substitute actor constructor with the
+        :class:`~repro.core.diner.DinerActor` signature (the mutation
+        harness injects seeded bugs through it).
     """
 
     def __init__(
@@ -158,6 +170,8 @@ class AsyncHost:
         coloring: Optional[Coloring] = None,
         registry: Optional[MetricsRegistry] = None,
         run: str = "live",
+        inject_latency=None,
+        diner_factory=None,
     ) -> None:
         if transport not in ("loopback", "unix", "tcp"):
             raise ConfigurationError(f"unknown transport {transport!r}")
@@ -215,13 +229,19 @@ class AsyncHost:
         self._trace_probe.attach(self.trace)
         self.registry.add_finalizer(self._flush_probes)
 
+        make_diner = diner_factory if diner_factory is not None else DinerActor
         self.diners: Dict[ProcessId, DinerActor] = {}
         for pid in self.local_pids:
-            diner = DinerActor(
+            diner = make_diner(
                 pid, graph, self.coloring, self.detector, self.workload, self.trace
             )
             diner.bind_substrate(LiveSubstrate(self, pid))
             self.diners[pid] = diner
+
+        self._inject_latency = inject_latency
+        # Latest scheduled (delayed) delivery per local directed channel;
+        # clamping against it keeps injected jitter FIFO-safe.
+        self._delay_front: Dict[Tuple[ProcessId, ProcessId], float] = {}
 
         local = set(self.local_pids)
         self._local_edges = tuple(
@@ -305,7 +325,23 @@ class AsyncHost:
             # gauge and the Section 7 bound checker are exact here.
             self._net_probe.on_send(src, dst, message, now)
             self.checks.observe(SendEvent(now, src, dst, name, layer, seq))
-            self.loop.call_soon(self._deliver_frame, frame)
+            if self._inject_latency is None:
+                self.loop.call_soon(self._deliver_frame, frame)
+            else:
+                # Once a channel carries injected delays, every delivery on
+                # it goes through call_later and is clamped to the channel
+                # front — mixing call_soon with call_later could reorder.
+                # Work in loop time: call_later schedules on the loop's
+                # monotonic clock, and equal deadlines are not stable in
+                # its timer heap — the front is therefore kept in loop
+                # coordinates and each delivery lands strictly after it.
+                delay = float(self._inject_latency(src, dst, message, now) or 0.0)
+                when = self.loop.time() + max(0.0, delay)
+                front = self._delay_front.get(key)
+                if front is not None and when <= front:
+                    when = front + 1e-6
+                self._delay_front[key] = when
+                self.loop.call_at(when, self._deliver_frame, frame)
         else:
             self.registry.counter("net.messages_sent_total", type=name, layer=layer).inc()
             writer = self._writers.get(self._placement[dst])

@@ -123,6 +123,46 @@ class PartialSynchronyLatency:
         return rng.uniform(self.min_delay, self.post_gst_max)
 
 
+class StormLatency:
+    """Periodic congestion storms over a calm base channel.
+
+    Outside storm windows delays are uniform in ``[calm_low, calm_high]``;
+    during the window ``[k·period, k·period + storm_len)`` they are
+    uniform in ``[storm_low, storm_high]``.  Combined with the network's
+    FIFO clamping this piles a backlog onto a channel and then releases
+    it as a burst of near-simultaneous deliveries — the adversarial
+    pattern the fuzz campaigns use to probe the Section 7 channel bound
+    and doorway bookkeeping under reordering pressure between channels.
+    """
+
+    def __init__(
+        self,
+        *,
+        period: Duration = 20.0,
+        storm_len: Duration = 5.0,
+        calm_low: Duration = 0.5,
+        calm_high: Duration = 1.5,
+        storm_low: Duration = 3.0,
+        storm_high: Duration = 6.0,
+    ) -> None:
+        self.period = validate_duration(period, name="period", allow_zero=False)
+        self.storm_len = validate_duration(storm_len, name="storm_len")
+        if self.storm_len > self.period:
+            raise ConfigurationError("storm_len must not exceed period")
+        self.calm_low = validate_duration(calm_low, name="calm_low", allow_zero=False)
+        self.calm_high = validate_duration(calm_high, name="calm_high", allow_zero=False)
+        self.storm_low = validate_duration(storm_low, name="storm_low", allow_zero=False)
+        self.storm_high = validate_duration(storm_high, name="storm_high", allow_zero=False)
+        if self.calm_high < self.calm_low or self.storm_high < self.storm_low:
+            raise ConfigurationError("latency range inverted")
+
+    def sample(self, src: ProcessId, dst: ProcessId, now: Instant, streams: RandomStreams) -> Duration:
+        rng = _channel_stream(streams, src, dst)
+        if (now % self.period) < self.storm_len:
+            return rng.uniform(self.storm_low, self.storm_high)
+        return rng.uniform(self.calm_low, self.calm_high)
+
+
 class ScriptedLatency:
     """Exact per-channel delay sequences, for adversarial interleavings.
 

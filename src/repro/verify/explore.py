@@ -42,7 +42,7 @@ from repro.checks.verdict import Violation as CheckViolation
 from repro.core.diner import DinerActor
 from repro.core.workload import AlwaysHungry
 from repro.detectors.base import NullDetector
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ForkDuplicationError, InvariantViolation
 from repro.graphs.coloring import Coloring, greedy_coloring
 from repro.graphs.conflict import ConflictGraph, ProcessId
 from repro.sim.rng import RandomStreams
@@ -408,7 +408,24 @@ def explore_dining(
     stack: List[Tuple[Tuple[str, str], ...]] = [()]
     while stack:
         choice_path = stack.pop()
-        world, labels = rebuild(choice_path)
+        try:
+            world, labels = rebuild(choice_path)
+        except InvariantViolation as exc:
+            # A runtime assert (Lemma 1.1's ForkDuplicationError, a
+            # channel/FIFO raise) fired mid-replay — under a seeded
+            # mutant that *is* the finding, not a crash of the search.
+            kind = (
+                "fork-duplication"
+                if isinstance(exc, ForkDuplicationError)
+                else type(exc).__name__
+            )
+            report.violations.append(
+                Violation(kind, str(exc), tuple(f"{k}:{c}" for k, c in choice_path))
+            )
+            report.events_fired += len(choice_path)
+            if stop_at_first_violation:
+                break
+            continue
         report.events_fired += len(choice_path)
         key = world.state_key()
         if key in visited:

@@ -1,0 +1,84 @@
+"""Campaigns and the mutation-testing harness.
+
+Marked ``fuzz``: the full-registry kill test runs dozens of simulated
+plans.  The fast tier (``-m "not fuzz"``) skips this module; CI's fuzz
+job and the default full run include it.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults import (
+    CampaignSpec,
+    mutant_names,
+    run_campaign,
+    run_mutation_harness,
+)
+
+pytestmark = pytest.mark.fuzz
+
+
+def test_clean_campaign_has_zero_violations():
+    result = run_campaign(CampaignSpec(n=5, seed=0, runs=12))
+    assert result.ok, result.describe()
+    assert result.runs_executed == 12
+    assert result.violation_count() == 0
+    # Passing runs drop their artifacts (memory discipline).
+    assert all(r.trace is None and not r.wire for r in result.results)
+
+
+def test_campaign_is_deterministic():
+    spec = CampaignSpec(n=5, seed=4, runs=6)
+    a = run_campaign(spec)
+    b = run_campaign(spec)
+    assert [r.plan for r in a.results] == [r.plan for r in b.results]
+    assert [r.verdict.statuses() for r in a.results] == [
+        r.verdict.statuses() for r in b.results
+    ]
+
+
+def test_campaign_budget_truncates_without_reordering():
+    # A zero budget still executes the first run, then stops.
+    result = run_campaign(CampaignSpec(n=5, seed=0, runs=50, budget_seconds=0.0))
+    assert result.budget_exhausted
+    assert result.runs_executed == 1
+    full = run_campaign(CampaignSpec(n=5, seed=0, runs=2))
+    assert result.results[0].plan == full.results[0].plan
+
+
+def test_campaign_stop_on_failure_short_circuits():
+    spec = CampaignSpec(n=5, seed=0, runs=10, mutant="greedy-eater", stop_on_failure=True)
+    result = run_campaign(spec)
+    assert not result.ok
+    assert result.runs_executed < 10
+    # The failing run keeps its artifacts for the shrinker.
+    assert result.first_failure.trace is not None
+
+
+def test_mutation_harness_kills_the_whole_registry():
+    report = run_mutation_harness(base=CampaignSpec(n=5, seed=0, runs=10))
+    assert report.total == len(mutant_names())
+    assert report.killed >= report.total - 1, report.describe()
+    # Every kill is on an anticipated property (the registry documents
+    # what each bug breaks).
+    for outcome in report.outcomes:
+        if outcome.killed:
+            assert outcome.matched_expected, (
+                f"{outcome.name} killed by unexpected "
+                f"{outcome.failed_properties}, expected {outcome.expected}"
+            )
+            assert outcome.killing_result is not None
+
+
+def test_mutation_harness_rejects_preset_mutant():
+    with pytest.raises(ConfigurationError):
+        run_mutation_harness(base=CampaignSpec(mutant="greedy-eater"))
+
+
+def test_needs_crash_mutants_skip_crash_free_plans():
+    report = run_mutation_harness(
+        ["no-suspicion-substitution"], base=CampaignSpec(n=5, seed=0, runs=4)
+    )
+    (outcome,) = report.outcomes
+    assert outcome.killed
+    assert outcome.killing_result.plan.crashes

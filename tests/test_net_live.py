@@ -16,6 +16,8 @@ from repro.graphs.topologies import ring
 from repro.net.host import AsyncHost, HostConfig, run_host
 from repro.net.cluster import ClusterSpec, launch
 
+pytestmark = pytest.mark.live
+
 SRC_ROOT = os.path.join(os.path.dirname(__file__), os.pardir, "src")
 
 

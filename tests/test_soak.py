@@ -14,6 +14,8 @@ records back from the JSONL spill file.
 import pytest
 
 from repro.core import DistributedDaemon, heartbeat_detector
+
+pytestmark = pytest.mark.slow
 from repro.detectors.qos import detector_qos
 from repro.graphs import random_graph
 from repro.sim.crash import CrashPlan

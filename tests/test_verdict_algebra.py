@@ -1,0 +1,183 @@
+"""Property-based tests (hypothesis) for the Verdict merge algebra.
+
+The merge algebra is what makes multi-stream judgement sound: per-host
+verdicts in the live cluster, per-seed verdicts in the scenario cache,
+and per-chunk verdicts in fuzz campaigns are all combined with
+:meth:`Verdict.merge`.  These laws are what the consumers silently rely
+on: merging is associative and commutative (hosts can report in any
+order, reductions can tree up), the empty verdict is an identity, the
+status lattice is monotone (merging can never *un-fail* a property),
+and JSON round-trips preserve everything including witnesses.
+
+Counters use integers here: float summation is not associative to the
+last ulp, and the laws under test are the algebra's, not IEEE 754's.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.checks import (
+    FAIL,
+    PASS,
+    SKIP,
+    STATUS_ORDER,
+    PropertyVerdict,
+    Verdict,
+    Violation,
+    worst_status,
+)
+
+PROPS = ("wx-safety", "progress", "overtaking", "channel-bound", "fifo")
+STATUSES = (PASS, FAIL, SKIP)
+
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+def violations(prop):
+    return st.builds(
+        Violation,
+        prop=st.just(prop),
+        time=st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+        detail=st.text(max_size=20),
+        subject=st.tuples(st.integers(0, 9)),
+        event_index=st.one_of(st.none(), st.integers(0, 10_000)),
+    )
+
+
+@st.composite
+def property_verdicts(draw, prop=None):
+    name = prop if prop is not None else draw(st.sampled_from(PROPS))
+    status = draw(st.sampled_from(STATUSES))
+    if status == SKIP:
+        # The algebra treats skip as "no evidence": bare by construction.
+        return PropertyVerdict(prop=name, status=SKIP)
+    wits = draw(st.lists(violations(name), max_size=3)) if status == FAIL else []
+    counter_names = draw(
+        st.lists(
+            st.sampled_from(
+                ("violations_total", "max_in_transit", "peak_queue", "last_seen", "seen")
+            ),
+            unique=True,
+            max_size=4,
+        )
+    )
+    counters = {name_: draw(st.integers(0, 1000)) for name_ in counter_names}
+    return PropertyVerdict(prop=name, status=status, violations=wits, counters=counters)
+
+
+@st.composite
+def verdicts(draw):
+    names = draw(st.lists(st.sampled_from(PROPS), unique=True, max_size=len(PROPS)))
+    props = {name: draw(property_verdicts(prop=name)) for name in names}
+    return Verdict(
+        properties=props,
+        events_observed=draw(st.integers(0, 10_000)),
+        horizon=draw(st.one_of(st.none(), st.floats(0.0, 1e6, allow_nan=False))),
+    )
+
+
+def _witness_key(v):
+    return (v.prop, v.time, v.detail, v.subject, -1 if v.event_index is None else v.event_index)
+
+
+def canonical(verdict):
+    """Order-insensitive normal form: violations as multisets."""
+    out = {}
+    for name, prop in verdict.properties.items():
+        out[name] = (
+            prop.status,
+            tuple(sorted(_witness_key(w) for w in prop.violations)),
+            tuple(sorted(prop.counters.items())),
+        )
+    return out, verdict.events_observed, verdict.horizon
+
+
+# ----------------------------------------------------------------------
+# Merge laws
+# ----------------------------------------------------------------------
+@settings(max_examples=200)
+@given(verdicts(), verdicts(), verdicts())
+def test_merge_associative(a, b, c):
+    left = Verdict.merge([Verdict.merge([a, b]), c])
+    right = Verdict.merge([a, Verdict.merge([b, c])])
+    assert canonical(left) == canonical(right)
+
+
+@settings(max_examples=200)
+@given(verdicts(), verdicts())
+def test_merge_commutative_up_to_witness_order(a, b):
+    ab = Verdict.merge([a, b])
+    ba = Verdict.merge([b, a])
+    assert ab.statuses() == ba.statuses()
+    assert canonical(ab)[0].keys() == canonical(ba)[0].keys()
+    for name in ab.properties:
+        assert canonical(ab)[0][name] == canonical(ba)[0][name]
+
+
+@settings(max_examples=200)
+@given(verdicts())
+def test_merge_identity(v):
+    identity = Verdict(properties={})
+    merged = Verdict.merge([v, identity])
+    # Identity adds no properties and no events; bare-skip properties
+    # stay bare skips.
+    assert canonical(merged) == canonical(v)
+    assert canonical(Verdict.merge([identity, v])) == canonical(v)
+
+
+@settings(max_examples=200)
+@given(verdicts())
+def test_merge_idempotent_on_statuses(v):
+    # Statuses are a lattice join, so self-merge never changes them
+    # (counters sum, so the full verdict is deliberately NOT idempotent).
+    assert Verdict.merge([v, v]).statuses() == v.statuses()
+
+
+# ----------------------------------------------------------------------
+# Status lattice
+# ----------------------------------------------------------------------
+@settings(max_examples=200)
+@given(verdicts(), verdicts())
+def test_merge_status_monotone(a, b):
+    """Merged status is the join: never below either input's status."""
+    merged = Verdict.merge([a, b])
+    for name, prop in merged.properties.items():
+        inputs = [
+            v.properties[name].status for v in (a, b) if name in v.properties
+        ]
+        assert STATUS_ORDER[prop.status] == max(STATUS_ORDER[s] for s in inputs)
+
+
+@settings(max_examples=200)
+@given(st.lists(st.sampled_from(STATUSES), max_size=8))
+def test_worst_status_is_join(statuses):
+    worst = worst_status(statuses)
+    assert all(STATUS_ORDER[s] <= STATUS_ORDER[worst] for s in statuses)
+    assert worst in (list(statuses) + [SKIP])
+
+
+def test_status_lattice_order():
+    """skip (no evidence) < pass (evidence, clean) < fail."""
+    assert STATUS_ORDER[SKIP] < STATUS_ORDER[PASS] < STATUS_ORDER[FAIL]
+    assert worst_status([]) == SKIP
+    assert worst_status([SKIP, PASS]) == PASS
+    assert worst_status([PASS, FAIL, SKIP]) == FAIL
+
+
+# ----------------------------------------------------------------------
+# JSON round-trip
+# ----------------------------------------------------------------------
+@settings(max_examples=200)
+@given(verdicts())
+def test_json_round_trip_preserves_everything(v):
+    back = Verdict.from_json(v.to_json())
+    assert canonical(back) == canonical(v)
+    assert back.ok == v.ok
+    # ``properties`` dict order follows to_json's sorted rendering, so
+    # the failing-name *set* is what round-trips.
+    assert sorted(back.failed) == sorted(v.failed)
+    # Witnesses survive with full fidelity, order included.
+    for name, prop in v.properties.items():
+        assert [w.to_json() for w in back.properties[name].violations] == [
+            w.to_json() for w in prop.violations
+        ]
