@@ -78,7 +78,10 @@ from repro.stabilization import (
 )
 from repro.trace.timeline import render_timeline
 
-TOPOLOGIES = ("ring", "path", "star", "clique", "grid", "tree", "random")
+TOPOLOGIES = (
+    "ring", "path", "star", "clique", "grid", "tree", "random",
+    "geometric", "scale_free",
+)
 DETECTORS = ("scripted", "perfect", "null", "heartbeat", "query")
 PROTOCOLS = ("coloring", "token-ring", "matching", "mis", "bfs-tree")
 
@@ -734,7 +737,10 @@ def build_parser() -> argparse.ArgumentParser:
         "fuzz",
         help="adversarial fuzz campaigns, mutation testing, and witness shrinking",
     )
-    fuzz.add_argument("--topology", choices=TOPOLOGIES, default="ring")
+    fuzz.add_argument("--topology", choices=TOPOLOGIES + ("mixed",), default="ring",
+                      help="conflict graph shape; 'mixed' rotates the sampler's "
+                           "topology pool (ring/grid/random/geometric/scale_free) "
+                           "across the campaign walk")
     fuzz.add_argument("--n", type=int, default=5)
     fuzz.add_argument("--seed", type=int, default=0,
                       help="campaign seed: the whole sampled walk derives from it")

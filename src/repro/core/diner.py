@@ -102,6 +102,24 @@ class DinerActor(Actor):
         for neighbor in graph.neighbors(pid):
             neighbor_color = int(coloring[neighbor])
             self.links[neighbor] = NeighborLinks.initial(self.color, neighbor_color)
+        # Neighbor iteration order is fixed for the life of the actor;
+        # materializing it once replaces a generator + two dict lookups on
+        # every guard scan (Actions 2/5/6/9 walk this list constantly).
+        self._ordered_links = [
+            (neighbor, self.links[neighbor]) for neighbor in graph.neighbors(pid)
+        ]
+        # Messages carry only static fields (sender id, static color), so
+        # each diner sends the *same* four frozen instances for its entire
+        # life — interning them removes one allocation per send.
+        self._msg_ping = Ping(pid)
+        self._msg_ack = Ack(pid)
+        self._msg_fork = Fork(pid)
+        self._msg_fork_request = ForkRequest(pid, self.color)
+        # Timer labels are as static as the messages; the fire wrappers
+        # are bound methods instead of per-call closures (Actor.set_timer
+        # builds a fresh closure every call — twice per meal here).
+        self._hunger_label = f"hunger@{pid}"
+        self._exit_label = f"exit@{pid}"
 
         self._detector_agent = detector.agent_for(pid)
         self._exit_timer = None
@@ -154,7 +172,20 @@ class DinerActor(Actor):
         duration = self.workload.think_duration(self.pid, self.streams)
         if duration is None:
             return  # thinks forever (permitted by the dining spec)
-        self.set_timer(duration, self._become_hungry, label=f"hunger@{self.pid}")
+        self.substrate.set_timer(duration, self._hunger_fire, label=self._hunger_label)
+
+    def _hunger_fire(self) -> None:
+        # Pre-built timer body (what Actor.set_timer would wrap on the fly).
+        if self.crashed:
+            return
+        self._become_hungry()
+        self.reevaluate()
+
+    def _exit_fire(self) -> None:
+        if self.crashed:
+            return
+        self._exit()
+        self.reevaluate()
 
     # ------------------------------------------------------------------
     # Action 1: become hungry
@@ -177,34 +208,45 @@ class DinerActor(Actor):
         """
         if self.crashed:
             return
-        progress = True
-        while progress:
-            progress = False
-            if self.is_hungry and not self.inside:
-                progress |= self._request_missing_acks()  # Action 2
-                progress |= self._try_enter_doorway()  # Action 5
-            if self.is_hungry and self.inside:
-                progress |= self._request_missing_forks()  # Action 6
-                progress |= self._try_eat()  # Action 9
+        hungry = DinerState.HUNGRY
+        while self.state is hungry:
+            if not self.inside:
+                fired = self._request_missing_acks()  # Action 2
+                fired |= self._try_enter_doorway()  # Action 5
+            else:
+                fired = self._request_missing_forks()  # Action 6
+                fired |= self._try_eat()  # Action 9
+            if not fired:
+                return
 
     def _request_missing_acks(self) -> bool:
         """Action 2: ping every neighbor whose ack is missing and unpinged."""
         fired = False
-        for neighbor, link in self._links_in_order():
+        ping = self._msg_ping
+        # Direct transport call: the network re-checks crashed senders
+        # with the same error Actor.send raises, so skipping the
+        # delegation frame loses nothing but the frame.
+        send = self._substrate.send
+        pid = self.pid
+        for neighbor, link in self._ordered_links:
             if not link.pinged and not link.ack:
-                self.send(neighbor, Ping(self.pid))
+                send(pid, neighbor, ping)
                 link.pinged = True
                 fired = True
         return fired
 
     def _try_enter_doorway(self) -> bool:
         """Action 5: enter once every neighbor acked or is suspected."""
-        for neighbor, link in self._links_in_order():
-            if not link.ack and not self.module.suspects(neighbor):
+        # Membership on the module's live suspected set: neighbors are in
+        # scope by construction, so the checked ``suspects`` call adds
+        # nothing but a frame per neighbor per scan.
+        suspected = self.module.suspected
+        for neighbor, link in self._ordered_links:
+            if not link.ack and neighbor not in suspected:
                 return False
         self.inside = True
-        self.trace.doorway_change(self.now, self.pid, True)
-        for _, link in self._links_in_order():
+        self.trace.doorway_change(self._substrate.now, self.pid, True)
+        for _, link in self._ordered_links:
             link.ack = False
             link.replied = False
         return True
@@ -212,22 +254,28 @@ class DinerActor(Actor):
     def _request_missing_forks(self) -> bool:
         """Action 6: spend each held token on a request for a missing fork."""
         fired = False
-        for neighbor, link in self._links_in_order():
+        request = self._msg_fork_request
+        send = self._substrate.send
+        pid = self.pid
+        for neighbor, link in self._ordered_links:
             if link.token and not link.fork:
-                self.send(neighbor, ForkRequest(self.pid, self.color))
+                send(pid, neighbor, request)
                 link.token = False
                 fired = True
         return fired
 
     def _try_eat(self) -> bool:
         """Action 9: eat once every neighbor's fork is held or it is suspected."""
-        for neighbor, link in self._links_in_order():
-            if not link.fork and not self.module.suspects(neighbor):
+        suspected = self.module.suspected
+        for neighbor, link in self._ordered_links:
+            if not link.fork and neighbor not in suspected:
                 return False
         self._set_state(DinerState.EATING)
         self.meals_eaten += 1
         duration = self.workload.eat_duration(self.pid, self.streams)
-        self._exit_timer = self.set_timer(duration, self._exit, label=f"exit@{self.pid}")
+        self._exit_timer = self.substrate.set_timer(
+            duration, self._exit_fire, label=self._exit_label
+        )
         if self.on_eat is not None:
             self.on_eat(self)
         return True
@@ -236,14 +284,26 @@ class DinerActor(Actor):
     # Message handlers (Actions 3, 4, 7, 8)
     # ------------------------------------------------------------------
     def on_message(self, src: ProcessId, message) -> None:
-        if self._detector_agent is not None and self._detector_agent.wants(message):
-            self._detector_agent.on_message(src, message)
+        agent = self._detector_agent
+        if agent is not None and agent.wants(message):
+            agent.on_message(src, message)
             return
         if src not in self.links:
             raise ConfigurationError(
                 f"diner {self.pid} got {type(message).__name__} from non-neighbor {src}"
             )
-        if isinstance(message, Ping):
+        # Exact-type dispatch first (the four concrete classes cover all
+        # real traffic); isinstance only for subclassed message types.
+        cls = type(message)
+        if cls is Ping:
+            self._on_ping(src)
+        elif cls is Ack:
+            self._on_ack(src)
+        elif cls is ForkRequest:
+            self._on_fork_request(src, message.color)
+        elif cls is Fork:
+            self._on_fork(src)
+        elif isinstance(message, Ping):
             self._on_ping(src)
         elif isinstance(message, Ack):
             self._on_ack(src)
@@ -262,13 +322,13 @@ class DinerActor(Actor):
         if self.inside or link.replied:
             link.deferred = True
         else:
-            self.send(src, Ack(self.pid))
-            link.replied = self.is_hungry
+            self._substrate.send(self.pid, src, self._msg_ack)
+            link.replied = self.state is DinerState.HUNGRY
 
     def _on_ack(self, src: ProcessId) -> None:
         """Action 4: an ack only counts while hungry and outside."""
         link = self.links[src]
-        link.ack = self.is_hungry and not self.inside
+        link.ack = self.state is DinerState.HUNGRY and not self.inside
         link.pinged = False
 
     def _on_fork_request(self, src: ProcessId, requester_color: int) -> None:
@@ -282,8 +342,8 @@ class DinerActor(Actor):
                 "which does not hold the fork (Lemma 1.1 violated)"
             )
         link.token = True
-        if not self.inside or (self.is_hungry and self.color < requester_color):
-            self.send(src, Fork(self.pid))
+        if not self.inside or (self.state is DinerState.HUNGRY and self.color < requester_color):
+            self._substrate.send(self.pid, src, self._msg_fork)
             link.fork = False
 
     def _on_fork(self, src: ProcessId) -> None:
@@ -298,14 +358,18 @@ class DinerActor(Actor):
         if not self.is_eating:
             return
         self.inside = False
-        self.trace.doorway_change(self.now, self.pid, False)
+        self.trace.doorway_change(self._substrate.now, self.pid, False)
         self._set_state(DinerState.THINKING)
-        for neighbor, link in self._links_in_order():
+        send = self._substrate.send
+        pid = self.pid
+        fork = self._msg_fork
+        ack = self._msg_ack
+        for neighbor, link in self._ordered_links:
             if link.token and link.fork:  # a deferred fork request
-                self.send(neighbor, Fork(self.pid))
+                send(pid, neighbor, fork)
                 link.fork = False
             if link.deferred:
-                self.send(neighbor, Ack(self.pid))
+                send(pid, neighbor, ack)
                 link.deferred = False
         self._schedule_next_hunger()
 
@@ -314,15 +378,14 @@ class DinerActor(Actor):
     # ------------------------------------------------------------------
     def _links_in_order(self):
         """Neighbor links in ascending pid order (determinism)."""
-        for neighbor in self.graph.neighbors(self.pid):
-            yield neighbor, self.links[neighbor]
+        return iter(self._ordered_links)
 
     def _set_state(self, new_state: DinerState) -> None:
         old = self.state
         if old is new_state:
             return
         self.state = new_state
-        self.trace.phase_change(self.now, self.pid, old.phase, new_state.phase)
+        self.trace.phase_change(self._substrate.now, self.pid, old.phase, new_state.phase)
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         flags = "in" if self.inside else "out"

@@ -21,7 +21,7 @@ import math
 from dataclasses import dataclass
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Ping:
     """Request one doorway ack from a neighbor."""
 
@@ -29,7 +29,7 @@ class Ping:
     layer = "dining"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Ack:
     """Permission for the recipient to count this sender toward doorway entry."""
 
@@ -37,7 +37,7 @@ class Ack:
     layer = "dining"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ForkRequest:
     """Request the shared fork; carries the requester's static color.
 
@@ -51,7 +51,7 @@ class ForkRequest:
     layer = "dining"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Fork:
     """The unique shared fork of one conflict edge."""
 

@@ -37,7 +37,7 @@ class DinerState(Enum):
         return self.value
 
 
-@dataclass
+@dataclass(slots=True)
 class NeighborLinks:
     """The six per-neighbor booleans of Algorithm 1.
 

@@ -98,6 +98,11 @@ class Actor:
         self.crash_time: Optional[Instant] = None
         self._substrate: Optional[Substrate] = None
         self._reevaluation_pending = False
+        # Built lazily on first use and reused for the actor's life: the
+        # re-evaluation callback and label never change, so rebuilding a
+        # closure and an f-string per request is pure hot-path waste.
+        self._reeval_fire: Optional[Callable[[], None]] = None
+        self._reeval_label = ""
 
     # ------------------------------------------------------------------
     # Wiring
@@ -205,13 +210,19 @@ class Actor:
             return
         self._reevaluation_pending = True
 
-        def fire() -> None:
-            self._reevaluation_pending = False
-            if self.crashed:
-                return
-            self.reevaluate()
+        fire = self._reeval_fire
+        if fire is None:
 
-        self._substrate.request_reevaluation(fire, label=f"reeval@{self.pid}")
+            def fire() -> None:
+                self._reevaluation_pending = False
+                if self.crashed:
+                    return
+                self.reevaluate()
+
+            self._reeval_fire = fire
+            self._reeval_label = f"reeval@{self.pid}"
+
+        self._substrate.request_reevaluation(fire, label=self._reeval_label)
 
     # ------------------------------------------------------------------
     # Substrate-facing entry points

@@ -48,6 +48,11 @@ class DetectorModule:
         self.owner = owner
         self._scope: FrozenSet[ProcessId] = frozenset(neighbors)
         self._suspected: Set[ProcessId] = set()
+        # Live read-only view (the same set object, mutated in place,
+        # never rebound): the dining guard loops test membership directly
+        # instead of paying the scope-checking ``suspects`` call per
+        # neighbor per scan.  Callers must not mutate it.
+        self.suspected = self._suspected
         self._listeners: List[SuspicionListener] = []
 
     # -- queries --------------------------------------------------------

@@ -16,6 +16,7 @@ from repro.experiments import (
     e8_heartbeat,
     e9_necessity,
     e10_drinking,
+    load_sweep,
 )
 from repro.faults import scenarios as fuzz_scenarios  # registers the fuzz_* family
 
@@ -30,6 +31,7 @@ ALL_EXPERIMENTS = (
     e8_heartbeat,
     e9_necessity,
     e10_drinking,
+    load_sweep,
 )
 
 __all__ = [
@@ -44,4 +46,5 @@ __all__ = [
     "e8_heartbeat",
     "e9_necessity",
     "e10_drinking",
+    "load_sweep",
 ]

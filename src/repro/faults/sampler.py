@@ -33,6 +33,13 @@ ARCHETYPES = (
     "double-crash-eating", # two victims, one eating-triggered
 )
 
+#: Rotation pool for ``topology="mixed"``: one campaign walk then covers
+#: sparse symmetric rings, meshes, Erdős–Rényi, bounded-degree geometric
+#: fields, and hub-heavy scale-free graphs.  The pool length (5) is
+#: coprime to the archetype cycle (6), so every (archetype, topology)
+#: pairing appears within 30 indices.
+TOPOLOGY_POOL = ("ring", "grid", "random", "geometric", "scale_free")
+
 
 def sample_plan(
     *,
@@ -52,6 +59,10 @@ def sample_plan(
     """
     rng = RandomStreams(seed).stream(f"fuzz/plan/{index}")
     shape = ARCHETYPES[index % len(ARCHETYPES)]
+    if topology == "mixed":
+        # Resolved here (not in the CLI) so a replayed plan.json records
+        # the concrete topology while the campaign spec stays "mixed".
+        topology = TOPOLOGY_POOL[index % len(TOPOLOGY_POOL)]
 
     latency = LatencySpec.of("uniform", low=0.3, high=round(rng.uniform(1.0, 2.0), 3))
     crashes = ()

@@ -15,8 +15,10 @@ from repro.graphs.topologies import (
     grid,
     hypercube,
     path,
+    random_geometric,
     random_graph,
     ring,
+    scale_free,
     star,
     torus,
 )
@@ -35,8 +37,10 @@ __all__ = [
     "grid",
     "hypercube",
     "path",
+    "random_geometric",
     "random_graph",
     "ring",
+    "scale_free",
     "star",
     "torus",
     "validate_coloring",

@@ -8,6 +8,7 @@ bounded vs. linear degree.
 
 from __future__ import annotations
 
+import math
 import random
 from typing import Optional
 
@@ -131,7 +132,109 @@ def random_graph(n: int, edge_probability: float, seed: int = 0) -> ConflictGrap
     return ConflictGraph(range(n), edges)
 
 
-def by_name(name: str, n: int, *, seed: int = 0, edge_probability: float = 0.3) -> ConflictGraph:
+def random_geometric(n: int, radius: Optional[float] = None, *, seed: int = 0) -> ConflictGraph:
+    """Random geometric graph: ``n`` points in the unit square, conflicts
+    between every pair closer than ``radius``.
+
+    The scale-out workhorse: degree stays O(n·r²) — locally bounded, like
+    a sensor field or a wireless mesh — so the paper's O(δ) state and
+    ≤4-per-edge channel claims can be measured at n in the thousands.
+    ``radius=None`` picks ~1.2× the connectivity threshold
+    √(ln n / πn), giving an (almost surely) connected graph whose mean
+    degree grows only logarithmically.
+
+    Edge discovery uses a uniform cell grid (cell side = radius, candidate
+    pairs only within the 3×3 neighborhood), so building n=10,000 costs
+    O(n·δ) instead of the naive O(n²) distance matrix.
+    """
+    n = _require(n, 2, "random geometric graph")
+    if radius is None:
+        radius = 1.2 * math.sqrt(math.log(n) / (math.pi * n))
+    radius = float(radius)
+    if not 0.0 < radius <= math.sqrt(2.0):
+        raise ConfigurationError(f"geometric radius must be in (0, sqrt(2)], got {radius!r}")
+    rng = random.Random(seed)
+    points = [(rng.random(), rng.random()) for _ in range(n)]
+
+    inv = 1.0 / radius
+    cells: dict = {}
+    for pid, (x, y) in enumerate(points):
+        cells.setdefault((int(x * inv), int(y * inv)), []).append(pid)
+
+    r2 = radius * radius
+    edges = []
+    # Each unordered cell pair is visited once: within-cell pairs i<j, and
+    # the four "forward" neighbor offsets of the eight surrounding cells.
+    forward = ((0, 1), (1, -1), (1, 0), (1, 1))
+    for (cx, cy), members in cells.items():
+        for a in range(len(members)):
+            i = members[a]
+            xi, yi = points[i]
+            for b in range(a + 1, len(members)):
+                j = members[b]
+                dx = xi - points[j][0]
+                dy = yi - points[j][1]
+                if dx * dx + dy * dy <= r2:
+                    edges.append((i, j))
+        for ox, oy in forward:
+            others = cells.get((cx + ox, cy + oy))
+            if others:
+                for i in members:
+                    xi, yi = points[i]
+                    for j in others:
+                        dx = xi - points[j][0]
+                        dy = yi - points[j][1]
+                        if dx * dx + dy * dy <= r2:
+                            edges.append((i, j))
+    return ConflictGraph(range(n), edges)
+
+
+def scale_free(n: int, attachment: int = 2, *, seed: int = 0) -> ConflictGraph:
+    """Barabási–Albert preferential-attachment graph.
+
+    Each arriving node attaches to ``attachment`` distinct existing nodes
+    chosen proportionally to their current degree, yielding the power-law
+    hubs of real-world conflict structure.  δ grows with n (hub degree
+    ~√n), which is exactly the stress the O(δ) per-diner state and the
+    hub's fork fan-in need: the opposite regime from the bounded-degree
+    geometric mesh.
+
+    Preferential selection uses the standard repeated-endpoints list (one
+    entry per edge endpoint), so sampling is O(1) per draw and the whole
+    construction is O(n·attachment).
+    """
+    n = _require(n, 3, "scale-free graph")
+    m = int(attachment)
+    if not 1 <= m < n:
+        raise ConfigurationError(f"attachment must be in [1, n), got {attachment!r}")
+    rng = random.Random(seed)
+    edges = []
+    # Endpoint multiset: node k appears degree(k) times; drawing uniformly
+    # from it IS degree-proportional selection.
+    endpoints: list = []
+    targets = list(range(m))  # the first arrival wires to the m founders
+    for new in range(m, n):
+        for t in targets:
+            edges.append((new, t))
+            endpoints.append(new)
+            endpoints.append(t)
+        if new + 1 < n:
+            chosen = set()
+            while len(chosen) < m:
+                chosen.add(endpoints[rng.randrange(len(endpoints))])
+            targets = sorted(chosen)  # sorted: iteration order never depends on set hashing
+    return ConflictGraph(range(n), edges)
+
+
+def by_name(
+    name: str,
+    n: int,
+    *,
+    seed: int = 0,
+    edge_probability: float = 0.3,
+    radius: Optional[float] = None,
+    attachment: int = 2,
+) -> ConflictGraph:
     """Topology factory keyed by name, for parameter sweeps.
 
     Grid dimensions are the squarest factorization of ``n``.
@@ -149,6 +252,10 @@ def by_name(name: str, n: int, *, seed: int = 0, edge_probability: float = 0.3) 
         return binary_tree(n)
     if name == "random":
         return random_graph(n, edge_probability, seed=seed)
+    if name in ("geometric", "random_geometric"):
+        return random_geometric(n, radius, seed=seed)
+    if name in ("scale_free", "scalefree", "barabasi_albert"):
+        return scale_free(n, attachment, seed=seed)
     if name == "hypercube":
         dimension = n.bit_length() - 1
         if 1 << dimension != n:

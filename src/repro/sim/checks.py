@@ -153,6 +153,10 @@ class KernelCheckAdapter(NetworkMonitor):
         # serves every instance.
         self._type_info: Dict[type, Tuple[str, str, int, bool]] = {}
         self._dirty_edges: set = set()
+        # Filled by attach(): the simulator whose one-shot ``_post_event``
+        # hook the dirty-markers arm (a cell, so the closures built below
+        # see the late-bound kernel).
+        self._sim_cell: list = [None]
         # (pid, neighbor) links — or (pid, None) for a whole diner —
         # whose local flags may have changed since the last step probe.
         # Link-granular on purpose: under steady ping traffic almost
@@ -199,6 +203,7 @@ class KernelCheckAdapter(NetworkMonitor):
         type_info = self._type_info
         dirty_edges = self._dirty_edges
         dirty_pairs = self._dirty_pairs
+        sim_cell = self._sim_cell
         counters = self._counters
         sent_by_class = self._sent_by_class
         intern = self._intern
@@ -239,6 +244,34 @@ class KernelCheckAdapter(NetworkMonitor):
         local = self._local
         local_probe = local.record_probe if local is not None else None
         mark_locals = local is not None
+
+        def on_step(now):
+            if dirty_edges:
+                found = fork_probe(diners, dirty_edges, now)
+                if found:
+                    report_all(found)
+                dirty_edges.clear()
+            if dirty_pairs:
+                found = local_probe(diners, now, dirty_pairs)
+                if found:
+                    report_all(found)
+                dirty_pairs.clear()
+
+        def mark_pair(pair):
+            # Arm the kernel's one-shot post-event hook alongside the
+            # first mark: clean events then never call into the checker
+            # at all (the kernel pays one load-and-branch), and dirty
+            # events pay one probe of exactly the touched slice.
+            sim = sim_cell[0]
+            if sim._post_event is None:
+                sim._post_event = on_step
+            dirty_pairs.add(pair)
+
+        def mark_edge(edge):
+            sim = sim_cell[0]
+            if sim._post_event is None:
+                sim._post_event = on_step
+            dirty_edges.add(edge)
 
         def on_send(src, dst, message, time):
             cls = type(message)
@@ -290,7 +323,7 @@ class KernelCheckAdapter(NetworkMonitor):
                         counters[3] += 1
             elif kind == 2 and mark_locals:  # _KIND_ACK
                 # Sending an ack flips the sender's ``replied`` flag.
-                dirty_pairs.add((src, dst))
+                mark_pair((src, dst))
             if dst in crashing:
                 if q_send is not None:
                     violation = q_send(src, dst, time, name, layer)
@@ -369,13 +402,13 @@ class KernelCheckAdapter(NetworkMonitor):
                         occ_current[edge] = level - 1
             if kind == 3:  # _KIND_FORKISH
                 if fork_probe is not None:
-                    dirty_edges.add((src, dst) if src <= dst else (dst, src))
+                    mark_edge((src, dst) if src <= dst else (dst, src))
             elif kind:
                 if kind == 2 and pp_ack is not None:  # _KIND_ACK
                     pp_ack(src, dst)
                 if mark_locals:
                     # The delivery mutates dst's link state toward src.
-                    dirty_pairs.add((dst, src))
+                    mark_pair((dst, src))
 
         def on_drop(src, dst, message, time):
             info = type_info.get(type(message))
@@ -393,21 +426,9 @@ class KernelCheckAdapter(NetworkMonitor):
             if kind == 2 and pp_ack is not None:
                 pp_ack(src, dst)
 
-        def on_step(now):
-            if dirty_edges:
-                found = fork_probe(diners, dirty_edges, now)
-                if found:
-                    report_all(found)
-                dirty_edges.clear()
-            if dirty_pairs:
-                found = local_probe(diners, now, dirty_pairs)
-                if found:
-                    report_all(found)
-                dirty_pairs.clear()
-
         def on_phase_or_doorway(record):
             if mark_locals:
-                dirty_pairs.add((record.pid, None))
+                mark_pair((record.pid, None))
 
         self.on_send = on_send
         self.on_deliver = on_deliver
@@ -416,8 +437,8 @@ class KernelCheckAdapter(NetworkMonitor):
         self._on_state_record = on_phase_or_doorway
 
     def attach(self, sim, network, trace) -> "KernelCheckAdapter":
+        self._sim_cell[0] = sim
         network.add_monitor(self)
-        sim.add_step_listener(self.on_step)
         trace.add_listener(
             self._on_state_record, types=(PhaseChange, DoorwayChange)
         )

@@ -14,17 +14,40 @@ is bit-for-bit reproducible.  The kernel enforces its half of the contract
 by firing same-instant events in ``(priority, scheduling order)`` and by
 never consulting wall-clock time.  Components uphold the other half by
 drawing randomness only from :class:`repro.sim.rng.RandomStreams`.
+
+Hot path
+--------
+:meth:`Simulator.run` drains the queue through
+:meth:`~repro.sim.events.EventQueue.pop_due`, which fuses the historical
+``peek_time`` + ``pop`` pair and returns the raw entry tuple, so firing a
+fire-and-forget event allocates nothing.  Per-event overhead beyond the
+queue is three attribute loads and three branches: the profiler check, the
+one-shot post-event hook, and the step-listener check.  The two observer
+mechanisms are deliberately different:
+
+* ``add_step_listener`` — persistent observers (the obs instrumentation)
+  called after every event;
+* ``_post_event`` — a **one-shot** hook slot armed by the invariant-check
+  adapter only when an event actually dirtied checkable state, so a clean
+  step costs one load-and-branch instead of a call into the checker.
 """
 
 from __future__ import annotations
 
+from heapq import heappush
 from time import perf_counter
-from typing import Callable, List
+from typing import Callable, List, Optional
 
 from repro.errors import SchedulingError
-from repro.sim.events import Event, EventPriority, EventQueue
+from repro.sim.events import _PRIO_SHIFT, Event, EventPriority, EventQueue
 from repro.sim.rng import RandomStreams
 from repro.sim.time import END_OF_TIME, START_OF_TIME, Duration, Instant, validate_duration, validate_instant
+
+# Enum member lookups are surprisingly costly on the hot path; the two
+# fire-and-forget priorities are resolved once at import, pre-shifted
+# into entry-subkey position (see repro.sim.events).
+_DELIVERY_SUBKEY_BASE = int(EventPriority.DELIVERY) << _PRIO_SHIFT
+_REEVALUATE_SUBKEY_BASE = int(EventPriority.REEVALUATE) << _PRIO_SHIFT
 
 
 class Simulator:
@@ -53,6 +76,9 @@ class Simulator:
         # Optional wall-clock profiler (see repro.obs.profile): when set,
         # every fired action is timed and attributed via its event label.
         self.profiler = None
+        # One-shot post-event hook (see module docstring).  Cleared before
+        # each invocation; the armer re-arms it when new work appears.
+        self._post_event: Optional[Callable[[Instant], None]] = None
 
     # ------------------------------------------------------------------
     # Clock
@@ -88,16 +114,17 @@ class Simulator:
         Scheduling in the past is an error; scheduling exactly at ``now``
         is allowed and fires after the current event completes.
         """
-        time = validate_instant(time)
         if self._finished:
             raise SchedulingError("cannot schedule on a finished simulator")
-        if time < self._now:
-            raise SchedulingError(
-                f"cannot schedule event {label!r} at {time} before current time {self._now}"
-            )
-        if time == END_OF_TIME:
+        if not self._now <= time < END_OF_TIME:
+            # Off the fast path: produce the precise historical error.
+            time = validate_instant(time)
+            if time < self._now:
+                raise SchedulingError(
+                    f"cannot schedule event {label!r} at {time} before current time {self._now}"
+                )
             raise SchedulingError(f"cannot schedule event {label!r} at END_OF_TIME")
-        return self._queue.push(time, priority, action, label=label)
+        return self._queue.push(float(time), priority, action, label=label)
 
     def schedule_after(
         self,
@@ -108,33 +135,84 @@ class Simulator:
         label: str = "",
     ) -> Event:
         """Schedule ``action`` after a relative ``delay`` from now."""
-        delay = validate_duration(delay, name="delay")
+        if not delay >= 0.0:  # negative or NaN: report via the validator
+            delay = validate_duration(delay, name="delay")
         return self.schedule_at(self._now + delay, action, priority=priority, label=label)
+
+    def schedule_delivery(self, time: Instant, action: Callable[[], None], label: str = "") -> None:
+        """Fire-and-forget delivery at absolute ``time`` (no handle).
+
+        The network's fast path: deliveries are never cancelled, so no
+        :class:`Event` is allocated.
+        """
+        if self._finished:
+            raise SchedulingError("cannot schedule on a finished simulator")
+        if not self._now <= time < END_OF_TIME:
+            time = validate_instant(time)
+            if time < self._now:
+                raise SchedulingError(
+                    f"cannot schedule event {label!r} at {time} before current time {self._now}"
+                )
+            raise SchedulingError(f"cannot schedule event {label!r} at END_OF_TIME")
+        # Inlined EventQueue.push_transient: one call frame per message
+        # delivery is measurable at storm scale, and the kernel and its
+        # queue are one subsystem (see the module docstring).
+        queue = self._queue
+        queue._seq = sequence = queue._seq + 1
+        entry = (time, _DELIVERY_SUBKEY_BASE | sequence, action, label, None)
+        tick = int(time * queue._inv)
+        base = queue._base
+        if tick <= base:
+            heappush(queue._extra, entry)
+        elif tick < base + queue._span:
+            queue._ring[tick % queue._span].append(entry)
+            queue._near += 1
+        else:
+            heappush(queue._far, entry)
+        queue._live += 1
+
+    def schedule_reevaluation(self, action: Callable[[], None], *, label: str = "") -> None:
+        """Fire-and-forget guard re-evaluation at the current instant.
+
+        REEVALUATE priority sorts after every same-instant delivery and
+        timer, so the callback observes the settled state of the step.
+        """
+        if self._finished:
+            raise SchedulingError("cannot schedule on a finished simulator")
+        # Inlined push_transient; a re-evaluation lands at the current
+        # instant, which is always the current tick (or earlier), so only
+        # the _extra branch of the insert can apply.
+        queue = self._queue
+        queue._seq = sequence = queue._seq + 1
+        heappush(
+            queue._extra,
+            (self._now, _REEVALUATE_SUBKEY_BASE | sequence, action, label, None),
+        )
+        queue._live += 1
 
     def add_step_listener(self, listener: Callable[[Instant], None]) -> None:
         """Register a callback invoked after every processed event.
 
-        Used by online invariant checkers that want to observe every state
-        the simulation passes through without instrumenting each actor.
+        Used by observers that want to see every state the simulation
+        passes through (metrics instrumentation) without instrumenting
+        each actor.
         """
         self._step_listeners.append(listener)
 
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def step(self) -> bool:
-        """Fire the next pending event.  Returns False if none remain."""
-        if not self._queue:
-            return False
-        event = self._queue.pop()
-        self._processed += 1
-        if self._processed > self._max_events:
+    def _fire(self, entry: tuple) -> None:
+        """Account for and fire one popped entry (shared step/run tail)."""
+        processed = self._processed + 1
+        self._processed = processed
+        if processed > self._max_events:
             raise SchedulingError(
                 f"event budget exhausted ({self._max_events} events); "
                 "likely a zero-delay scheduling loop"
             )
-        self._now = event.time
-        action = event.action
+        self._now = now = entry[0]
+        action = entry[2]
         if action is not None:
             profiler = self.profiler
             if profiler is None:
@@ -142,9 +220,22 @@ class Simulator:
             else:
                 started = perf_counter()
                 action()
-                profiler.record(event.label, perf_counter() - started)
-        for listener in self._step_listeners:
-            listener(self._now)
+                profiler.record(entry[3], perf_counter() - started)
+        hook = self._post_event
+        if hook is not None:
+            self._post_event = None
+            hook(now)
+        listeners = self._step_listeners
+        if listeners:
+            for listener in listeners:
+                listener(now)
+
+    def step(self) -> bool:
+        """Fire the next pending event.  Returns False if none remain."""
+        entry = self._queue.pop_due(END_OF_TIME)
+        if entry is None:
+            return False
+        self._fire(entry)
         return True
 
     def run(self, *, until: Instant = END_OF_TIME) -> Instant:
@@ -156,20 +247,83 @@ class Simulator:
         Returns the clock value at exit.
         """
         until = validate_instant(until, name="until")
-        while True:
-            next_time = self._queue.peek_time()
-            if next_time is None or next_time > until:
-                break
-            self.step()
+        queue = self._queue
+        pop_due = queue.pop_due
+        max_events = self._max_events
+        perf = perf_counter
+        # Loop-invariant hoists: the profiler and the step listeners are
+        # attached before the run starts (mid-run attachment is not part
+        # of their contract); the one-shot _post_event hook is re-read
+        # every event because actions arm it.  The processed counter is
+        # kept in a local and written back in ``finally`` so it stays
+        # exact even when an action raises.
+        profiler = self.profiler
+        listeners = self._step_listeners if self._step_listeners else None
+        processed = self._processed
+        try:
+            while True:
+                # Inlined EventQueue.pop_due fast path: a live entry at
+                # the drain cursor with no earlier late arrival.  The
+                # queue's own pop_due handles every other case (bucket
+                # exhausted, cancelled head, _extra front).
+                cur = queue._cur
+                idx = queue._idx
+                if idx < len(cur):
+                    entry = cur[idx]
+                    event = entry[4]
+                    if event is None or not event.cancelled:
+                        extra = queue._extra
+                        if not extra or entry < extra[0]:
+                            if entry[0] > until:
+                                break
+                            queue._idx = idx + 1
+                            queue._live -= 1
+                            if event is not None:
+                                event._queue = None
+                        else:
+                            entry = pop_due(until)
+                            if entry is None:
+                                break
+                    else:
+                        entry = pop_due(until)
+                        if entry is None:
+                            break
+                else:
+                    entry = pop_due(until)
+                    if entry is None:
+                        break
+                # Inlined _fire: this is the simulation's innermost loop.
+                processed += 1
+                if processed > max_events:
+                    raise SchedulingError(
+                        f"event budget exhausted ({max_events} events); "
+                        "likely a zero-delay scheduling loop"
+                    )
+                self._now = now = entry[0]
+                action = entry[2]
+                if action is not None:
+                    if profiler is None:
+                        action()
+                    else:
+                        started = perf()
+                        action()
+                        profiler.record(entry[3], perf() - started)
+                hook = self._post_event
+                if hook is not None:
+                    self._post_event = None
+                    hook(now)
+                if listeners is not None:
+                    for listener in listeners:
+                        listener(now)
+        finally:
+            self._processed = processed
         if until != END_OF_TIME and until > self._now:
             self._now = until
         return self._now
 
     def run_until_quiescent(self) -> Instant:
         """Process events until no event remains; returns the final time."""
-        while self.step():
-            pass
-        return self._now
+        return self.run(until=END_OF_TIME)
 
     def finish(self) -> None:
         """Mark the simulator finished; later scheduling attempts raise."""

@@ -44,6 +44,50 @@ class NetworkMonitor:
         """A message was discarded because the destination had crashed."""
 
 
+class _Delivery:
+    """A pooled, reusable delivery record (arena-style reuse).
+
+    One callable object per *in-flight* message instead of one closure per
+    *send*: when the delivery fires it returns itself to the network's
+    free list before touching the receiver, so the pool's size is bounded
+    by the peak number of concurrently in-transit messages — a handful per
+    channel under the paper's ≤4-per-edge regime — while a closure-based
+    scheme allocates (closure + cell) on every single send.
+    """
+
+    __slots__ = ("_network", "src", "dst", "message")
+
+    def __init__(self, network: "Network") -> None:
+        self._network = network
+        self.src: ProcessId = -1
+        self.dst: ProcessId = -1
+        self.message = None
+
+    def __call__(self) -> None:
+        network = self._network
+        src = self.src
+        dst = self.dst
+        message = self.message
+        # Recycle before delivering: the queue entry referencing this
+        # record is already popped, and the receiver's reaction may send
+        # (and thus want a fresh record) immediately.
+        self.message = None
+        network._pool.append(self)
+        receiver = network._actors[dst]
+        now = network._sim._now
+        if receiver.crashed:
+            network.dropped_count += 1
+            for monitor in network._monitors:
+                monitor.on_drop(src, dst, message, now)
+            return
+        network.delivered_count += 1
+        monitors = network._monitors
+        if monitors:
+            for monitor in monitors:
+                monitor.on_deliver(src, dst, message, now)
+        receiver.deliver(src, message)
+
+
 class Network:
     """Message fabric connecting :class:`~repro.sim.actor.Actor` objects."""
 
@@ -54,11 +98,21 @@ class Network:
     ) -> None:
         self._sim = sim
         self._latency: LatencyModel = latency if latency is not None else FixedLatency(1.0)
+        # Constant-latency fast path: FixedLatency validated its delay at
+        # construction, so the per-send ``sample`` frame can be skipped.
+        self._fixed_delay: Optional[float] = (
+            self._latency.delay if type(self._latency) is FixedLatency else None
+        )
         self._actors: Dict[ProcessId, Actor] = {}
         self._monitors: List[NetworkMonitor] = []
         # Last *scheduled* delivery instant per directed channel; clamping
         # against it is what makes channels FIFO.
         self._channel_front: Dict[tuple, Instant] = {}
+        # Free list of _Delivery records and the per-message-class label
+        # cache ("deliver Fork"): the profiler aggregates labels to
+        # exactly this granularity (see repro.obs.profile.normalize).
+        self._pool: List[_Delivery] = []
+        self._labels: Dict[type, str] = {}
         self.sent_count = 0
         self.delivered_count = 0
         self.dropped_count = 0
@@ -99,46 +153,49 @@ class Network:
     # ------------------------------------------------------------------
     def send(self, src: ProcessId, dst: ProcessId, message) -> None:
         """Transmit ``message`` on the directed FIFO channel ``src -> dst``."""
-        if src not in self._actors:
+        actors = self._actors
+        sender = actors.get(src)
+        if sender is None:
             raise ConfigurationError(f"unknown sender {src}")
-        if dst not in self._actors:
+        if dst not in actors:
             raise ConfigurationError(f"unknown destination {dst}")
-        sender = self._actors[src]
         if sender.crashed:
             raise CrashedProcessError(f"crashed process {src} attempted to send")
 
-        now = self._sim.now
-        delay = self._latency.sample(src, dst, now, self._sim.streams)
-        if delay <= 0:
-            raise SimulationError(f"latency model produced non-positive delay {delay!r}")
+        sim = self._sim
+        now = sim._now
+        delay = self._fixed_delay
+        if delay is None:
+            delay = self._latency.sample(src, dst, now, sim.streams)
+            if delay <= 0:
+                raise SimulationError(
+                    f"latency model produced non-positive delay {delay!r}"
+                )
         arrival = now + delay
-        front = self._channel_front.get((src, dst))
+        key = (src, dst)
+        fronts = self._channel_front
+        front = fronts.get(key)
         if front is not None and arrival < front:
             arrival = front
-        self._channel_front[(src, dst)] = arrival
+        fronts[key] = arrival
 
         self.sent_count += 1
-        for monitor in self._monitors:
-            monitor.on_send(src, dst, message, now)
+        monitors = self._monitors
+        if monitors:
+            for monitor in monitors:
+                monitor.on_send(src, dst, message, now)
 
-        def deliver() -> None:
-            receiver = self._actors[dst]
-            if receiver.crashed:
-                self.dropped_count += 1
-                for monitor in self._monitors:
-                    monitor.on_drop(src, dst, message, self._sim.now)
-                return
-            self.delivered_count += 1
-            for monitor in self._monitors:
-                monitor.on_deliver(src, dst, message, self._sim.now)
-            receiver.deliver(src, message)
-
-        self._sim.schedule_at(
-            arrival,
-            deliver,
-            priority=EventPriority.DELIVERY,
-            label=f"deliver {type(message).__name__} {src}->{dst}",
-        )
+        pool = self._pool
+        record = pool.pop() if pool else _Delivery(self)
+        record.src = src
+        record.dst = dst
+        record.message = message
+        cls = type(message)
+        labels = self._labels
+        label = labels.get(cls)
+        if label is None:
+            label = labels[cls] = f"deliver {cls.__name__}"
+        sim.schedule_delivery(arrival, record, label)
 
     # ------------------------------------------------------------------
     # Fault injection

@@ -28,7 +28,7 @@ EATING = "eating"
 PHASES = (THINKING, HUNGRY, EATING)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PhaseChange:
     """A diner moved between thinking / hungry / eating."""
 
@@ -38,7 +38,7 @@ class PhaseChange:
     new_phase: str
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DoorwayChange:
     """A diner entered (``inside=True``) or exited the asynchronous doorway."""
 
@@ -47,7 +47,7 @@ class DoorwayChange:
     inside: bool
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SuspicionChange:
     """A detector module's output on one neighbor flipped."""
 
@@ -57,7 +57,7 @@ class SuspicionChange:
     suspected: bool
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Crash:
     """A process crashed."""
 
@@ -65,7 +65,7 @@ class Crash:
     pid: ProcessId
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ProtocolStep:
     """The hosted (self-stabilizing) protocol executed one action at ``pid``.
 
@@ -79,7 +79,7 @@ class ProtocolStep:
     detail: Optional[str] = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TransientFault:
     """A transient fault corrupted the hosted protocol's state at ``pid``."""
 

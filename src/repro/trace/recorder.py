@@ -63,7 +63,12 @@ class TraceRecorder:
 
     def _store(self, record: object) -> None:
         self._records.append(record)
-        self._by_type.setdefault(type(record), []).append(record)
+        by_type = self._by_type
+        cls = type(record)
+        bucket = by_type.get(cls)
+        if bucket is None:
+            bucket = by_type[cls] = []
+        bucket.append(record)
 
     def add_listener(
         self,

@@ -128,6 +128,7 @@ class TestExperiments:
             "e1", "e2", "e3", "e4", "e4b", "e5", "e6",
             "e7", "e7b", "e8", "e8b", "e9", "e10",
             "fuzz_clean", "fuzz_differential", "fuzz_mutation",
+            "load_sweep",
         ]
 
     def test_seed_sweep_prints_aggregated_table(self, capsys):

@@ -1,0 +1,196 @@
+"""Model-based and leak-regression tests for the calendar event queue.
+
+The queue rework (calendar buckets + sorted-bucket drain cursor + far
+heap + late-arrival heap) replaced a single binary heap whose semantics
+were easy to eyeball.  These tests pin the new implementation to a naive
+reference model — a sorted list popped from the front — over random
+push/cancel/pop interleavings, and guard the dead-entry compaction bound
+that the old heap lacked (mass cancellation used to leave unbounded
+garbage tuples behind).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.events import EventPriority, EventQueue
+from repro.sim.kernel import Simulator
+
+PRIORITIES = tuple(EventPriority)
+
+
+def _noop() -> None:
+    return None
+
+
+class _Reference:
+    """Naive sorted-list queue: the semantics the calendar queue must match."""
+
+    def __init__(self) -> None:
+        self.entries: list = []  # (time, int(priority), sequence) of live events
+
+    def push(self, key: tuple) -> None:
+        self.entries.append(key)
+        self.entries.sort()
+
+    def cancel(self, key: tuple) -> None:
+        self.entries.remove(key)
+
+    def pop(self) -> tuple:
+        return self.entries.pop(0)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+# Times are drawn from a lattice of quarter-width ticks so the model hits
+# every structural case: same-tick ties (priority/sequence ordering),
+# same-bucket neighbors, ring-distance buckets, and far-heap times beyond
+# span * bucket_width = 256 * 0.05 = 12.8.
+_TIMES = st.integers(min_value=0, max_value=2000).map(lambda q: q * 0.0125)
+
+
+@st.composite
+def _operations(draw):
+    ops = []
+    for _ in range(draw(st.integers(min_value=1, max_value=60))):
+        kind = draw(
+            st.sampled_from(("push", "push", "push", "cancel", "pop", "double-cancel"))
+        )
+        ops.append(
+            (kind, draw(_TIMES), draw(st.sampled_from(PRIORITIES)), draw(st.integers(0, 10**9)))
+        )
+    return ops
+
+
+class TestCalendarQueueMatchesReference:
+    @given(_operations())
+    @settings(max_examples=250, deadline=None)
+    def test_random_interleavings(self, ops):
+        queue = EventQueue()
+        reference = _Reference()
+        handles = {}  # sort key -> live Event handle
+
+        for kind, time_value, priority, pick in ops:
+            if kind == "push":
+                event = queue.push(time_value, priority, _noop, label="model")
+                key = (event.time, int(event.priority), event.sequence)
+                handles[key] = event
+                reference.push(key)
+            elif kind in ("cancel", "double-cancel") and handles:
+                key = sorted(handles)[pick % len(handles)]
+                event = handles.pop(key)
+                event.cancel()
+                if kind == "double-cancel":
+                    event.cancel()  # idempotent: must not double-count
+                reference.cancel(key)
+            elif kind == "pop" and reference:
+                expected = reference.pop()
+                event = queue.pop()
+                assert (event.time, int(event.priority), event.sequence) == expected
+                handles.pop(expected, None)
+            # queue_depth accounting must agree after every operation
+            assert len(queue) == len(reference)
+            assert bool(queue) == bool(reference)
+
+        # Drain: remaining pops come out in exact reference order.
+        while reference:
+            expected = reference.pop()
+            event = queue.pop()
+            assert (event.time, int(event.priority), event.sequence) == expected
+        assert len(queue) == 0
+        assert not queue
+
+    @given(_operations())
+    @settings(max_examples=100, deadline=None)
+    def test_peek_time_tracks_reference_front(self, ops):
+        queue = EventQueue()
+        reference = _Reference()
+        handles = {}
+        for kind, time_value, priority, pick in ops:
+            if kind == "push":
+                event = queue.push(time_value, priority, _noop)
+                key = (event.time, int(event.priority), event.sequence)
+                handles[key] = event
+                reference.push(key)
+            elif kind in ("cancel", "double-cancel") and handles:
+                key = sorted(handles)[pick % len(handles)]
+                handles.pop(key).cancel()
+                reference.cancel(key)
+            elif kind == "pop" and reference:
+                handles.pop(reference.pop(), None)
+                queue.pop()
+            if reference:
+                assert queue.peek_time() == reference.entries[0][0]
+            else:
+                assert queue.peek_time() is None
+
+
+class TestDeadEntryCompaction:
+    """Regression for the dead-entry leak: cancelled tuples must not pile up."""
+
+    def test_cancel_10k_timers_keeps_storage_bounded(self):
+        queue = EventQueue()
+        events = [
+            queue.push(1.0 + (i % 97) * 0.25, EventPriority.TIMER, _noop)
+            for i in range(10_000)
+        ]
+        for event in events:
+            event.cancel()
+        assert len(queue) == 0
+        # The compaction threshold is max(64, live); with nothing live the
+        # storage must collapse to at most one threshold's worth of garbage,
+        # not the 10,000 dead tuples the old heap retained.
+        assert queue.storage_size() <= 128
+
+    def test_mass_cancel_with_survivors_stays_near_live_size(self):
+        queue = EventQueue()
+        doomed = [
+            queue.push(5.0 + (i % 311) * 0.1, EventPriority.TIMER, _noop)
+            for i in range(10_000)
+        ]
+        survivors = [
+            queue.push(2.0 + i * 0.01, EventPriority.TIMER, _noop) for i in range(100)
+        ]
+        for event in doomed:
+            event.cancel()
+        assert len(queue) == 100
+        # Garbage is bounded by the live population (plus the 64-entry
+        # hysteresis floor), independent of how many cancels happened.
+        assert queue.storage_size() <= 2 * len(survivors) + 64
+        popped = [queue.pop() for _ in range(100)]
+        assert [e.sequence for e in popped] == [e.sequence for e in survivors]
+
+    def test_simulator_timer_churn_storage_bounded(self):
+        sim = Simulator(seed=0)
+        pending = [sim.schedule_after(50.0, _noop, label="doomed") for _ in range(10_000)]
+        keeper = sim.schedule_after(1.0, _noop, label="keeper")
+        for event in pending:
+            event.cancel()
+        assert sim.queue_depth == 1
+        assert sim._queue.storage_size() <= 128
+        sim.run(until=2.0)
+        assert not keeper.cancelled
+        assert sim.queue_depth == 0
+
+    def test_interleaved_cancel_pop_accounting(self):
+        # Cancelling an entry that has already reached the drain cursor's
+        # bucket exercises the lazy-skip path in _settle; counts must stay
+        # exact through a mix of cancels before and after partial drains.
+        queue = EventQueue()
+        first = [queue.push(0.1 * i, EventPriority.TIMER, _noop) for i in range(1, 51)]
+        for event in first[::2]:
+            event.cancel()
+        drained = []
+        for _ in range(10):
+            drained.append(queue.pop().sequence)
+        assert drained == [e.sequence for e in first[1::2]][:10]
+        late = [queue.push(100.0, EventPriority.TIMER, _noop) for _ in range(5)]
+        for event in late:
+            event.cancel()
+        remaining = [e for e in first[1::2]][10:]
+        assert len(queue) == len(remaining)
+        assert [queue.pop().sequence for _ in remaining] == [
+            e.sequence for e in remaining
+        ]

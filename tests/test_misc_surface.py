@@ -106,7 +106,7 @@ class TestRunners:
     def test_experiment_modules_expose_contract(self):
         from repro.experiments import ALL_EXPERIMENTS
 
-        assert len(ALL_EXPERIMENTS) == 10
+        assert len(ALL_EXPERIMENTS) == 11
         for module in ALL_EXPERIMENTS:
             assert isinstance(module.CLAIM, str) and module.CLAIM
             assert isinstance(module.COLUMNS, tuple) and module.COLUMNS

@@ -1,0 +1,174 @@
+"""Scale-out surface: geometric/scale-free generators, load_sweep, wiring.
+
+The n=10,000-diner regime rests on three pieces added with the kernel
+rework: the ``random_geometric`` and ``scale_free`` generators, the
+registered ``load_sweep`` scenario, and the fuzz/CLI wiring that lets
+campaigns exercise the new shapes.  Each is pinned here, plus the
+acceptance-scale run: a random-geometric table under the full strict
+check suite.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import AlwaysHungry, DiningTable, scripted_detector
+from repro.errors import ConfigurationError
+from repro.faults.sampler import TOPOLOGY_POOL, sample_plan
+from repro.graphs import by_name, random_geometric, scale_free
+from repro.scenarios import get_scenario
+
+
+class TestRandomGeometric:
+    def test_matches_brute_force_distance_check(self):
+        # The grid-bucketed edge discovery must produce exactly the naive
+        # O(n^2) edge set: re-derive the points and compare.
+        import random
+
+        n, radius, seed = 120, 0.17, 9
+        graph = random_geometric(n, radius, seed=seed)
+        rng = random.Random(seed)
+        points = [(rng.random(), rng.random()) for _ in range(n)]
+        expected = {
+            (i, j)
+            for i in range(n)
+            for j in range(i + 1, n)
+            if math.dist(points[i], points[j]) <= radius
+        }
+        assert set(graph.edges) == expected
+
+    def test_deterministic_in_seed(self):
+        assert random_geometric(300, seed=4).edges == random_geometric(300, seed=4).edges
+        assert random_geometric(300, seed=4).edges != random_geometric(300, seed=5).edges
+
+    def test_default_radius_connects_and_stays_sparse(self):
+        graph = random_geometric(500, seed=11)
+        # Bounded-degree regime: mean degree grows like log n, far from clique.
+        assert graph.max_degree < 40
+        seen = {graph.nodes[0]}
+        stack = [graph.nodes[0]]
+        while stack:
+            for neighbor in graph.neighbors(stack.pop()):
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    stack.append(neighbor)
+        # 1.2x the connectivity threshold gives an *almost surely* connected
+        # graph: a giant component holding essentially every node.  (A
+        # stray isolated diner is legal — it may always eat.)
+        assert len(seen) >= 0.99 * len(graph)
+
+    def test_bad_radius_rejected(self):
+        with pytest.raises(ConfigurationError):
+            random_geometric(10, 0.0)
+        with pytest.raises(ConfigurationError):
+            random_geometric(10, 2.0)
+
+
+class TestScaleFree:
+    def test_edge_count_and_hub_growth(self):
+        m = 2
+        graph = scale_free(2000, m, seed=3)
+        # BA wiring: every arrival after the founders adds exactly m edges.
+        assert len(graph.edges) == m * (len(graph) - m)
+        # Preferential attachment concentrates degree: the hub dwarfs the
+        # minimum degree m, unlike any bounded-degree topology.
+        assert graph.max_degree > 20 * m
+
+    def test_deterministic_in_seed(self):
+        assert scale_free(400, seed=2).edges == scale_free(400, seed=2).edges
+        assert scale_free(400, seed=2).edges != scale_free(400, seed=3).edges
+
+    def test_bad_attachment_rejected(self):
+        with pytest.raises(ConfigurationError):
+            scale_free(10, 0)
+        with pytest.raises(ConfigurationError):
+            scale_free(10, 10)
+
+
+class TestWiring:
+    def test_by_name_aliases(self):
+        assert by_name("geometric", 100, seed=1).edges == by_name(
+            "random_geometric", 100, seed=1
+        ).edges
+        assert by_name("scale_free", 100, seed=1).edges == by_name(
+            "scalefree", 100, seed=1
+        ).edges
+        assert by_name("barabasi_albert", 100, seed=1).max_degree >= 2
+
+    def test_by_name_forwards_shape_parameters(self):
+        wide = by_name("geometric", 100, seed=1, radius=0.5)
+        narrow = by_name("geometric", 100, seed=1, radius=0.1)
+        assert len(wide.edges) > len(narrow.edges)
+        assert len(by_name("scale_free", 100, seed=1, attachment=3).edges) == 3 * 97
+
+    def test_cli_exposes_new_topologies(self):
+        from repro.cli import TOPOLOGIES
+
+        assert "geometric" in TOPOLOGIES
+        assert "scale_free" in TOPOLOGIES
+
+    def test_sample_plan_mixed_rotates_topology_pool(self):
+        seen = {
+            sample_plan(topology="mixed", n=12, seed=1, index=i).topology
+            for i in range(len(TOPOLOGY_POOL))
+        }
+        assert seen == set(TOPOLOGY_POOL)
+        # Resolution is deterministic: same (seed, index) -> same plan.
+        assert (
+            sample_plan(topology="mixed", n=12, seed=1, index=3).topology
+            == sample_plan(topology="mixed", n=12, seed=1, index=3).topology
+        )
+
+    def test_fuzz_plans_run_on_new_topologies(self):
+        from repro.faults.engine import run_plan
+
+        for topology in ("geometric", "scale_free"):
+            plan = sample_plan(topology=topology, n=10, seed=2, index=0)
+            plan = plan.with_(horizon=30.0)
+            outcome = run_plan(plan)
+            assert outcome.verdict.ok, (topology, outcome.verdict.statuses())
+
+
+class TestLoadSweep:
+    def test_registered_and_runs_small(self):
+        scenario = get_scenario("load_sweep")
+        rows = scenario.run(
+            topology_names=("geometric", "scale_free"),
+            sizes=(60,),
+            inject_rates=(0.2, 2.0),
+            horizon=15.0,
+            seed=1,
+        )
+        assert len(rows) == 4
+        for row in rows:
+            assert set(scenario.columns) <= set(row)
+            assert row["max_in_transit"] <= 4
+            assert row["meals"] > 0
+        # Saturation direction: pushing rate up never lowers throughput
+        # below the trickle regime's meal count on the same graph.
+        by_topo = {}
+        for row in rows:
+            by_topo.setdefault(row["topology"], []).append(row["meals"])
+        for meals in by_topo.values():
+            assert meals[1] >= meals[0]
+
+
+class TestAcceptanceScale:
+    @pytest.mark.slow
+    def test_n2000_geometric_passes_strict_suite(self):
+        graph = random_geometric(2000, seed=7)
+        table = DiningTable(
+            graph,
+            seed=7,
+            detector=scripted_detector(),
+            workload=AlwaysHungry(eat_time=0.05, think_time=1.0),
+        )
+        # Strict checks raise mid-run on any violation; reaching the
+        # horizon plus a PASS verdict is the Section 7 certificate.
+        table.run(until=30.0)
+        verdict = table.verdict()
+        assert verdict.ok, verdict.statuses()
+        assert table.occupancy.max_occupancy <= 4
+        assert sum(table.eat_counts().values()) > 1000
