@@ -73,6 +73,7 @@ from repro.checks.verdict import (
     PropertyVerdict,
     Verdict,
     Violation,
+    annotate_violations,
     worst_status,
 )
 
@@ -118,6 +119,7 @@ __all__ = [
     "Violation",
     "WxSafetyChecker",
     "active_collector",
+    "annotate_violations",
     "collecting_checks",
     "diner_local_violations",
     "event_from_trace_record",

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Type
 
 from repro.checks.base import Checker
@@ -44,6 +45,8 @@ class CheckConfig:
     quiescence_grace: Optional[float] = None
     correct: Optional[Sequence[int]] = None
     crash_time_of: Optional[Callable[[int], Optional[float]]] = None
+    #: Attribute wall-clock per property (see CheckSuite ``profile``).
+    profile: bool = False
 
 
 class CheckSuite:
@@ -62,6 +65,7 @@ class CheckSuite:
         checkers: Sequence[Checker],
         *,
         on_violation: Optional[Callable[[Violation], None]] = None,
+        profile: bool = False,
     ) -> None:
         self.checkers: Tuple[Checker, ...] = tuple(checkers)
         self.on_violation = on_violation
@@ -73,6 +77,18 @@ class CheckSuite:
         for checker in self.checkers:
             for event_type in checker.interests:
                 self._dispatch.setdefault(event_type, []).append(checker)
+        # Per-property wall-clock attribution (the ROADMAP "checks under
+        # 10%" work needs to know *which* checker to optimize).  Off by
+        # default: the profiled dispatch table is a parallel structure,
+        # so the unprofiled observe loop is untouched.
+        self._profile_cells: Optional[Dict[str, List[float]]] = None
+        self._profiled_dispatch: Dict[Type, List[Tuple[Checker, List[float]]]] = {}
+        if profile:
+            self._profile_cells = {c.name: [0.0, 0.0] for c in self.checkers}
+            self._profiled_dispatch = {
+                event_type: [(c, self._profile_cells[c.name]) for c in checkers_]
+                for event_type, checkers_ in self._dispatch.items()
+            }
 
     def add_finalizer(self, hook: Callable[[], None]) -> None:
         """Run ``hook()`` at the start of every :meth:`finalize`.
@@ -96,10 +112,19 @@ class CheckSuite:
         if self.last_event_time is None or time > self.last_event_time:
             self.last_event_time = time
         found: List[Violation] = []
-        for checker in self._dispatch.get(type(event), ()):
-            reported = checker.observe(event, index)
-            if reported:
-                found.extend(reported)
+        if self._profile_cells is None:
+            for checker in self._dispatch.get(type(event), ()):
+                reported = checker.observe(event, index)
+                if reported:
+                    found.extend(reported)
+        else:
+            for checker, cell in self._profiled_dispatch.get(type(event), ()):
+                started = perf_counter()
+                reported = checker.observe(event, index)
+                cell[0] += perf_counter() - started
+                cell[1] += 1.0
+                if reported:
+                    found.extend(reported)
         if found:
             self.violations.extend(found)
             if self.on_violation is not None:
@@ -112,6 +137,44 @@ class CheckSuite:
             self.observe(event)
         return self
 
+    @property
+    def profiling(self) -> bool:
+        """Whether per-property wall-clock attribution is on."""
+        return self._profile_cells is not None
+
+    def profile_add(self, name: str, seconds: float, events: int = 0) -> None:
+        """Attribute adapter-side work that bypasses ``observe``.
+
+        Batching adapters (the kernel's) judge some properties inline and
+        settle in bulk; this lets them charge that wall-clock to a named
+        account so the attribution still sums to what checking truly
+        cost.  No-op when profiling is off.
+        """
+        cells = self._profile_cells
+        if cells is None:
+            return
+        cell = cells.get(name)
+        if cell is None:
+            cell = cells[name] = [0.0, 0.0]
+        cell[0] += seconds
+        cell[1] += events
+
+    def profile_totals(self) -> Dict[str, Tuple[float, int]]:
+        """Per-property ``(wall_seconds, observe_calls)`` attribution.
+
+        Empty unless the suite was built with ``profile=True``.  Covers
+        the dispatched ``observe`` calls plus each checker's ``finalize``
+        (batching adapters that bypass ``observe`` attribute their replay
+        there, so the totals still name the right checker to optimize).
+        """
+        if self._profile_cells is None:
+            return {}
+        return {
+            name: (cell[0], int(cell[1]))
+            for name, cell in self._profile_cells.items()
+            if cell[0] or cell[1]
+        }
+
     def finalize(self, horizon: Optional[float] = None) -> Verdict:
         """Judge the stream up to ``horizon`` (default: last event time)."""
         for hook in self._finalizers:
@@ -121,8 +184,18 @@ class CheckSuite:
         for checker in self.checkers:
             if hasattr(checker, "horizon"):
                 checker.horizon = horizon
+        properties = {}
+        cells = self._profile_cells
+        for checker in self.checkers:
+            if cells is None:
+                properties[checker.name] = checker.finalize()
+            else:
+                cell = cells[checker.name]
+                started = perf_counter()
+                properties[checker.name] = checker.finalize()
+                cell[0] += perf_counter() - started
         return Verdict(
-            properties={c.name: c.finalize() for c in self.checkers},
+            properties=properties,
             events_observed=self.events_observed,
             horizon=horizon,
         )
@@ -135,6 +208,7 @@ def standard_suite(
     state_probes: bool = True,
     diner_locals: bool = True,
     on_violation: Optional[Callable[[Violation], None]] = None,
+    profile: bool = False,
 ) -> CheckSuite:
     """The full paper-property suite over a conflict graph's edge set.
 
@@ -174,4 +248,6 @@ def standard_suite(
     )
     if diner_locals:
         checkers.append(PendingPingChecker())
-    return CheckSuite(checkers, on_violation=on_violation)
+    return CheckSuite(
+        checkers, on_violation=on_violation, profile=profile or config.profile
+    )

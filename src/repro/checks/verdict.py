@@ -52,6 +52,10 @@ class Violation:
     ``subject`` names the culprit — an edge tuple ``(a, b)``, a process
     id ``(pid,)``, or an ordered channel pair — and ``event_index`` is
     the 0-based ordinal of the witnessing event in the observed stream.
+    ``trace_id``/``span_id`` point at the request span of the violating
+    diner when the run was traced (see :mod:`repro.obs.tracing` and
+    :func:`annotate_violations`), so a FAIL names one traceable request
+    instead of just an instant.
     """
 
     prop: str
@@ -59,15 +63,21 @@ class Violation:
     detail: str
     subject: Tuple = ()
     event_index: Optional[int] = None
+    trace_id: Optional[int] = None
+    span_id: Optional[int] = None
 
     def to_json(self) -> dict:
-        return {
+        data = {
             "prop": self.prop,
             "time": self.time,
             "detail": self.detail,
             "subject": list(self.subject),
             "event_index": self.event_index,
         }
+        if self.trace_id is not None:
+            data["trace_id"] = self.trace_id
+            data["span_id"] = self.span_id
+        return data
 
     @classmethod
     def from_json(cls, data: Mapping) -> "Violation":
@@ -77,7 +87,62 @@ class Violation:
             detail=data["detail"],
             subject=tuple(data.get("subject", ())),
             event_index=data.get("event_index"),
+            trace_id=data.get("trace_id"),
+            span_id=data.get("span_id"),
         )
+
+
+def annotate_violations(verdict: "Verdict", spans: Iterable) -> "Verdict":
+    """Point each witness at the request span it happened inside.
+
+    ``spans`` is any span list (duck-typed: ``name``, ``pid``,
+    ``trace_id``, ``span_id``, ``start``, ``end``) — typically the output
+    of :func:`repro.obs.tracing.spans_from_events` or a host's span log.
+    For each violation whose subject names one or more pids, the
+    enclosing ``request`` span of those pids at the violation instant is
+    looked up; when several subjects have one (an exclusion edge has
+    two eaters), the latest-starting request wins — the second eater is
+    the intrusion the witness describes.  Violations with no covering
+    request are left untouched.  Returns a new :class:`Verdict`.
+    """
+    by_pid: Dict[int, List] = {}
+    for span in spans:
+        if span.name == "request":
+            by_pid.setdefault(span.pid, []).append(span)
+    for requests in by_pid.values():
+        requests.sort(key=lambda s: s.start)
+
+    def covering(pid, time: float):
+        best = None
+        for span in by_pid.get(pid, ()):
+            if span.start > time:
+                break
+            if span.end is None or time <= span.end:
+                best = span
+        return best
+
+    properties: Dict[str, PropertyVerdict] = {}
+    for name, prop in verdict.properties.items():
+        violations = []
+        for violation in prop.violations:
+            if violation.trace_id is None:
+                candidates = [
+                    span
+                    for span in (
+                        covering(pid, violation.time)
+                        for pid in violation.subject
+                        if isinstance(pid, int)
+                    )
+                    if span is not None
+                ]
+                if candidates:
+                    winner = max(candidates, key=lambda s: s.start)
+                    violation = replace(
+                        violation, trace_id=winner.trace_id, span_id=winner.span_id
+                    )
+            violations.append(violation)
+        properties[name] = replace(prop, violations=violations)
+    return replace(verdict, properties=properties)
 
 
 def _merge_counter(name: str, values: Sequence[float]) -> float:
@@ -218,6 +283,8 @@ class Verdict:
             witness = prop.first_violation
             if witness is not None:
                 where = f" @event {witness.event_index}" if witness.event_index is not None else ""
+                if witness.trace_id is not None:
+                    where += f" trace={witness.trace_id:#x}/{witness.span_id}"
                 lines.append(
                     f"         first violation t={witness.time:g}"
                     f" subject={witness.subject}{where}: {witness.detail}"

@@ -8,6 +8,7 @@ Subcommands::
     repro report e1 --seeds 1 2 3 --json report.json
     repro verify --topology ring --n 3
     repro check trace.jsonl wire.jsonl --topology ring --n 3
+    repro trace cluster-run/spans.jsonl --pid 2
     repro fuzz --budget 60s --runs 50 --shrink
     repro fuzz --mutants --budget 60s
     repro cluster --topology ring --n 3 --processes 3 --duration 2
@@ -39,6 +40,11 @@ usable standalone against a hand-written spec.
 — through the full :mod:`repro.checks` suite offline and prints the
 same verdict scorecard every other front end uses (exit 0 only when
 every judged property passes).
+
+``trace`` renders recorded request spans (``dine --spans``, per-host
+``spans.jsonl``, a cluster's stitched ``spans.jsonl``, or trace/wire
+logs rebuilt offline) as per-request timelines plus the critical path of
+the slowest — or a named — request.
 
 ``fuzz`` runs adversarial campaigns from :mod:`repro.faults`: sampled
 latency/crash/flap/burst schedules against the pristine algorithm
@@ -155,7 +161,13 @@ def cmd_dine(args: argparse.Namespace) -> int:
         workload=AlwaysHungry(eat_time=args.eat_time, think_time=0.01),
         metrics=registry,
     )
+    tracer = None
+    if args.spans:
+        from repro.obs.tracing import attach_tracer
+
+        tracer = attach_tracer(table)
     table.run(until=args.horizon)
+    spans = tracer.finish() if tracer is not None else []
 
     meals = table.eat_counts()
     print(f"dining on {args.topology}-{args.n}, seed {args.seed}, "
@@ -182,10 +194,20 @@ def cmd_dine(args: argparse.Namespace) -> int:
         records = dump_path(table.trace, args.trace)
         print(f"  trace written:         {args.trace} ({records} records; "
               f"replay with `repro check`)")
+    if args.spans:
+        from repro.obs.tracing import dump_spans
+
+        written = dump_spans(args.spans, spans)
+        print(f"  spans written:         {args.spans} ({written} spans; "
+              f"render with `repro trace`)")
 
     from repro.obs import render_verdict_text
 
     verdict = table.verdict(settle=settle, patience=args.horizon * 0.4)
+    if spans:
+        from repro.checks import annotate_violations
+
+        verdict = annotate_violations(verdict, spans)
     print()
     for line in render_verdict_text(verdict).splitlines():
         print(f"  {line}")
@@ -194,7 +216,7 @@ def cmd_dine(args: argparse.Namespace) -> int:
         from repro.core.diagnostics import explain_verdict
 
         print()
-        print(explain_verdict(table, verdict))
+        print(explain_verdict(table, verdict, spans=spans))
 
     if args.timeline:
         print()
@@ -447,6 +469,70 @@ def cmd_check(args: argparse.Namespace) -> int:
 
 
 # ----------------------------------------------------------------------
+# trace (request timelines and critical paths)
+# ----------------------------------------------------------------------
+def _is_span_artifact(path: str) -> bool:
+    """True when the file's first record is a serialized span."""
+    with open(path, "r", encoding="utf-8") as stream:
+        for line in stream:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                return json.loads(line).get("kind") == "span"
+            except json.JSONDecodeError:
+                return False
+    return False
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.checks import load_events_path, merge_events
+    from repro.obs.tracing import (
+        completed_meals,
+        load_spans,
+        render_critical_path,
+        render_timeline,
+        request_spans,
+        slowest_request,
+        spans_from_events,
+        stitch_spans,
+    )
+
+    span_lists = []
+    event_paths = []
+    for path in args.artifacts:
+        if _is_span_artifact(path):
+            span_lists.append(load_spans(path))
+        else:
+            event_paths.append(path)
+    if event_paths:
+        events = merge_events(*(load_events_path(path) for path in event_paths))
+        span_lists.append(spans_from_events(events, horizon=args.horizon))
+    spans = stitch_spans(*span_lists)
+    if not spans:
+        print("no spans found (trace the run first: dine --spans, cluster, "
+              "or a tracing host)", file=sys.stderr)
+        return 2
+
+    requests = request_spans(spans)
+    print(f"{len(spans)} span(s) from {len(args.artifacts)} artifact(s): "
+          f"{len(requests)} request(s), {completed_meals(spans)} meal(s)")
+    print()
+    for line in render_timeline(spans, pid=args.pid, limit=args.limit):
+        print(line)
+
+    if args.trace_id:
+        target: Optional[int] = int(args.trace_id, 0)
+    else:
+        target = slowest_request(spans, pid=args.pid)
+    if target is not None:
+        print()
+        for line in render_critical_path(spans, target):
+            print(line)
+    return 0
+
+
+# ----------------------------------------------------------------------
 # fuzz (adversarial campaigns / mutation testing)
 # ----------------------------------------------------------------------
 def _parse_budget(text: Optional[str]) -> Optional[float]:
@@ -585,13 +671,23 @@ def cmd_cluster(args: argparse.Namespace) -> int:
         transport=args.transport,
         crash_times=_parse_crash_spec(args.crash),
         run_dir=args.run_dir,
+        tracing=not args.no_tracing,
+        scrape_base=args.scrape_base,
+        flight=args.flight,
     )
     print(
         f"live cluster: {args.topology}-{args.n} over {args.processes} "
         f"process(es) via {args.transport}, {args.duration:g}s"
     )
     print(f"  placement: {placement_summary(spec)}")
+    if spec.scrape_base is not None:
+        ports = ", ".join(
+            str(spec.scrape_base + index) for index in range(spec.processes)
+        )
+        print(f"  /metrics:  127.0.0.1 port(s) {ports}")
     verdict = launch(spec)
+    if args.metrics:
+        _write_metrics(verdict.metrics, args.metrics)
     return 0 if verdict.ok else 1
 
 
@@ -633,6 +729,9 @@ def build_parser() -> argparse.ArgumentParser:
     dine.add_argument("--trace", metavar="PATH",
                       help="write the run's trace as JSONL (replayable offline "
                            "with `repro check`)")
+    dine.add_argument("--spans", metavar="PATH",
+                      help="attach the request tracer and write its spans as "
+                           "JSONL (render with `repro trace`)")
     dine.set_defaults(func=cmd_dine)
 
     daemon = sub.add_parser("daemon", help="schedule a self-stabilizing protocol")
@@ -733,6 +832,25 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("--json", metavar="PATH", help="also write the verdict as JSON")
     check.set_defaults(func=cmd_check)
 
+    trace = sub.add_parser(
+        "trace",
+        help="render per-request timelines and the critical path from artifacts",
+    )
+    trace.add_argument("artifacts", nargs="+", metavar="PATH",
+                       help="spans.jsonl from a traced run, and/or trace/wire "
+                            "JSONL to rebuild spans from offline")
+    trace.add_argument("--pid", type=int, default=None,
+                       help="only this diner's requests")
+    trace.add_argument("--trace-id", metavar="ID",
+                       help="critical path for this request (hex or decimal "
+                            "trace id; default: the slowest request)")
+    trace.add_argument("--limit", type=int, default=10, metavar="N",
+                       help="most recent requests to render (default 10)")
+    trace.add_argument("--horizon", type=float, default=None,
+                       help="close still-open spans at this instant when "
+                            "rebuilding from trace/wire events")
+    trace.set_defaults(func=cmd_trace)
+
     fuzz = sub.add_parser(
         "fuzz",
         help="adversarial fuzz campaigns, mutation testing, and witness shrinking",
@@ -787,6 +905,18 @@ def build_parser() -> argparse.ArgumentParser:
                          help="crash injections, e.g. --crash 2:0.5,4:1.0")
     cluster.add_argument("--run-dir", default="cluster-run",
                          help="directory for spec, per-host outputs, and logs")
+    cluster.add_argument("--metrics", metavar="PATH",
+                         help="write the merged cluster metrics (JSON, or "
+                              "Prometheus text if PATH ends in .prom)")
+    cluster.add_argument("--scrape-base", type=int, metavar="PORT",
+                         help="serve live /metrics per host on "
+                              "127.0.0.1:PORT+host_index while the run lasts")
+    cluster.add_argument("--flight", action="store_true",
+                         help="arm each host's flight recorder (dumps recent "
+                              "trace/wire/span rings on FAIL)")
+    cluster.add_argument("--no-tracing", action="store_true",
+                         help="disable request tracing (no span logs, no wire "
+                              "trace context)")
     cluster.set_defaults(func=cmd_cluster)
 
     serve = sub.add_parser(

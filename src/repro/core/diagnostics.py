@@ -112,8 +112,24 @@ def diagnose_diner(table: DiningTable, pid: ProcessId) -> DinerDiagnosis:
     )
 
 
-def explain_starvation(table: DiningTable, pid: ProcessId) -> str:
-    """Human-readable account of what ``pid`` is waiting for right now."""
+def _critical_path_lines(spans, pid: ProcessId) -> List[str]:
+    """The starving diner's worst request, broken down phase by phase."""
+    from repro.obs.tracing import render_critical_path, slowest_request
+
+    worst = slowest_request(spans, pid=pid)
+    if worst is None:
+        return []
+    return ["  " + line for line in render_critical_path(spans, worst)]
+
+
+def explain_starvation(table: DiningTable, pid: ProcessId, *, spans=None) -> str:
+    """Human-readable account of what ``pid`` is waiting for right now.
+
+    With ``spans`` (a traced run's request spans), the report ends with
+    the diner's worst request's critical path: which phase the wait
+    accumulated in, and — when it was fork collection — whose fork
+    arrived last.
+    """
     report = diagnose_diner(table, pid)
     lines = [
         f"diner {pid} at t={report.time:g}: {report.phase}, "
@@ -122,31 +138,33 @@ def explain_starvation(table: DiningTable, pid: ProcessId) -> str:
     ]
     if report.waiting_phase is None:
         lines.append("  not blocked (thinking, eating, crashed, or fully enabled)")
-        return "\n".join(lines)
-
-    lines.append(f"  blocked in phase {report.waiting_phase}:")
-    for status in report.statuses:
-        if not status.blocking:
-            continue
-        what = "doorway ack" if status.blocks_doorway else "shared fork"
-        fate = "CRASHED (undetected!)" if status.crashed else "live, not suspected"
-        extra = []
-        if status.blocks_doorway and status.ping_pending:
-            extra.append("ping pending")
-        if status.blocks_forks:
-            extra.append("token held" if status.we_hold_token else "token away (request sent or deferred)")
-        detail = f" [{', '.join(extra)}]" if extra else ""
-        lines.append(f"    waiting for {what} from {status.neighbor} — {fate}{detail}")
+    else:
+        lines.append(f"  blocked in phase {report.waiting_phase}:")
+        for status in report.statuses:
+            if not status.blocking:
+                continue
+            what = "doorway ack" if status.blocks_doorway else "shared fork"
+            fate = "CRASHED (undetected!)" if status.crashed else "live, not suspected"
+            extra = []
+            if status.blocks_doorway and status.ping_pending:
+                extra.append("ping pending")
+            if status.blocks_forks:
+                extra.append("token held" if status.we_hold_token else "token away (request sent or deferred)")
+            detail = f" [{', '.join(extra)}]" if extra else ""
+            lines.append(f"    waiting for {what} from {status.neighbor} — {fate}{detail}")
+    if spans:
+        lines.extend(_critical_path_lines(spans, pid))
     return "\n".join(lines)
 
 
-def explain_verdict(table: DiningTable, verdict: Verdict) -> str:
+def explain_verdict(table: DiningTable, verdict: Verdict, *, spans=None) -> str:
     """Diagnose every failure a :class:`~repro.checks.Verdict` reports.
 
     Starving diners named by a failed progress property get the full
     :func:`explain_starvation` wait analysis (their live state still
     holds the answer); every other failed property is summarized by its
-    first witness.
+    first witness.  ``spans`` (from an attached tracer) adds each
+    starving diner's critical path to its analysis.
     """
     lines: List[str] = []
     for name in verdict.failed:
@@ -155,11 +173,16 @@ def explain_verdict(table: DiningTable, verdict: Verdict) -> str:
             for pid in prop.details.get("starving", []):
                 if lines:
                     lines.append("")
-                lines.append(explain_starvation(table, pid))
+                lines.append(explain_starvation(table, pid, spans=spans))
             continue
         witness = prop.first_violation
         if witness is not None:
-            lines.append(f"{name} failed at t={witness.time:g}: {witness.detail}")
+            trace = (
+                f" trace={witness.trace_id:#x}/{witness.span_id}"
+                if getattr(witness, "trace_id", None) is not None
+                else ""
+            )
+            lines.append(f"{name} failed at t={witness.time:g}: {witness.detail}{trace}")
     if not lines:
         return "no failed properties to explain"
     return "\n".join(lines)

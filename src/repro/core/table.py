@@ -257,6 +257,11 @@ class DiningTable:
         # teeth — an immediate safety violation (fork duplication, channel
         # overflow, FIFO break, local-invariant break) raises its typed
         # exception from inside the offending event.
+        # Observability registry resolved up front: the check suite's
+        # per-property profiling rides the same opt-in as the kernel
+        # profiler, and both must be decided before the suite is built.
+        registry = metrics if metrics is not None else active_registry()
+
         self.checks = None
         self._check_adapter = None
         if check_invariants:
@@ -265,6 +270,8 @@ class DiningTable:
             config.crash_time_of = self.crash_plan.as_dict().get
             if config.correct is None:
                 config.correct = self.crash_plan.correct(graph.nodes)
+            if registry is not None and getattr(registry, "profile", False):
+                config.profile = True
             # Proof-level local invariants (ack/replied scoping, the phase
             # nesting, Lemma 2.2) only make sense for diners built on
             # Algorithm 1's variable set.
@@ -305,7 +312,6 @@ class DiningTable:
 
         # Observability: an explicit registry wins; otherwise join the
         # ambient ``repro.obs.collecting`` block when one is active.
-        registry = metrics if metrics is not None else active_registry()
         self.metrics = registry
         self.instrumentation = (
             instrument_table(self, registry, bound=channel_bound)

@@ -49,6 +49,7 @@ from repro.checks import (
     CheckConfig,
     PropertyVerdict,
     Verdict,
+    annotate_violations,
     events_from_trace,
     events_from_wire,
     merge_events,
@@ -60,6 +61,7 @@ from repro.graphs.conflict import ConflictGraph
 from repro.net.host import AsyncHost, HostConfig, run_host
 from repro.obs.metrics import MetricsRegistry, gauge_max, merge_snapshots
 from repro.obs.report import render_prometheus
+from repro.obs.tracing import completed_meals, dump_spans, load_spans, stitch_spans
 from repro.trace.serialize import load_path
 
 __all__ = ["ClusterSpec", "ClusterVerdict", "launch", "merge_run", "placement_summary", "serve"]
@@ -85,6 +87,13 @@ class ClusterSpec:
     transport: str = "unix"
     crash_times: Dict[int, float] = field(default_factory=dict)
     run_dir: str = "cluster-run"
+    #: Request tracing on every host (span logs + wire trace context).
+    tracing: bool = True
+    #: Base port for per-host ``/metrics`` endpoints: host *i* scrapes on
+    #: ``scrape_base + i`` (None = no endpoints).
+    scrape_base: Optional[int] = None
+    #: Arm each host's flight recorder (dumps under ``host-i/flight/``).
+    flight: bool = False
     #: Filled in by :func:`launch` before the spec reaches the children.
     epoch: Optional[float] = None
     addresses: Dict[int, object] = field(default_factory=dict)
@@ -106,8 +115,8 @@ class ClusterSpec:
     def graph(self) -> ConflictGraph:
         return topologies.by_name(self.topology, self.n, seed=self.seed)
 
-    def host_config(self) -> HostConfig:
-        return HostConfig(
+    def host_config(self, host_index: Optional[int] = None) -> HostConfig:
+        config = HostConfig(
             duration=self.duration,
             seed=self.seed,
             eat_time=self.eat_time,
@@ -117,12 +126,31 @@ class ClusterSpec:
             timeout_increment=self.timeout_increment,
             channel_bound=self.channel_bound,
             connect_timeout=self.connect_timeout,
+            tracing=self.tracing,
         )
+        if host_index is not None:
+            if self.scrape_base is not None:
+                config.scrape_port = int(self.scrape_base) + host_index
+            if self.flight:
+                config.flight_dir = os.path.join(self.host_dir(host_index), "flight")
+        return config
 
     def default_placement(self) -> Dict[int, int]:
-        """Round-robin diners over hosts (balanced, deterministic)."""
+        """Contiguous blocks of diners per host (balanced, deterministic).
+
+        Blocks beat round-robin for a conflict graph with locality (ring,
+        path, grid): adjacent diners land on the same host, so part of
+        each host's neighborhood is a *local* edge — observable from both
+        endpoints, which is what makes its live per-edge occupancy gauge
+        (and the Section 7 bound assertion behind it) exact in that
+        host's ``/metrics`` scrape — and only the block boundaries pay a
+        socket hop.
+        """
         nodes = self.graph().nodes
-        return {pid: index % self.processes for index, pid in enumerate(nodes)}
+        return {
+            pid: index * self.processes // len(nodes)
+            for index, pid in enumerate(nodes)
+        }
 
     def host_dir(self, host_index: int) -> str:
         return os.path.join(self.run_dir, f"host-{host_index}")
@@ -164,6 +192,11 @@ class ClusterVerdict:
     checks: Verdict
     total_meals: int
     prometheus: str
+    #: Merged metrics snapshot (the exposition above renders this).
+    metrics: Dict[str, object] = field(default_factory=dict)
+    #: Stitched cross-process trace: span count and the meals it covers.
+    spans: int = 0
+    span_meals: int = 0
 
     def _counter(self, prop: str, name: str) -> int:
         verdict = self.checks.properties.get(prop)
@@ -202,6 +235,11 @@ class ClusterVerdict:
             f"  total meals:           {self.total_meals}",
             f"  checker violations:    {len(self.checker_violations)}",
         ]
+        if self.spans:
+            lines.append(
+                f"  trace spans:           {self.spans} "
+                f"(stitched; {self.span_meals} meals)"
+            )
         for detail in self.checker_violations[:10]:
             lines.append(f"    ! {detail}")
         lines.extend("  " + line for line in self.checks.describe().splitlines())
@@ -221,7 +259,7 @@ def build_host(spec: ClusterSpec, host_index: int) -> AsyncHost:
     return AsyncHost(
         graph,
         local_pids=local_pids,
-        config=spec.host_config(),
+        config=spec.host_config(host_index),
         placement=placement,
         host_index=host_index,
         addresses=spec.addresses,
@@ -407,6 +445,20 @@ def merge_run(spec: ClusterSpec) -> ClusterVerdict:
         if judged:
             checks = checks.with_property(PropertyVerdict.merge(judged))
 
+    # Stitch the per-host span logs into one cross-process trace.  The
+    # deterministic ids make this a sort; the stitched trace is the
+    # cluster's request-level record (``repro trace <run>/spans.jsonl``)
+    # and names the request behind every violation witness.
+    merged_spans = []
+    for directory in host_dirs:
+        spans_path = os.path.join(directory, "spans.jsonl")
+        if os.path.exists(spans_path):
+            merged_spans.append(load_spans(spans_path))
+    stitched = stitch_spans(*merged_spans)
+    if stitched:
+        dump_spans(os.path.join(spec.run_dir, "spans.jsonl"), stitched)
+        checks = annotate_violations(checks, stitched)
+
     # The authoritative per-edge gauge comes from the merged staircase —
     # cross-host edges are invisible to any single host's registry.
     occupancy = suite.checker(CHANNEL_BOUND).occupancy
@@ -433,6 +485,9 @@ def merge_run(spec: ClusterSpec) -> ClusterVerdict:
         checks=checks,
         total_meals=total_meals,
         prometheus=render_prometheus(merged_metrics),
+        metrics=merged_metrics,
+        spans=len(stitched),
+        span_meals=completed_meals(stitched),
     )
 
 

@@ -11,12 +11,23 @@ length prefix).
 Frame layout (all varints unsigned LEB128)::
 
     frame   := length:uvarint payload          # length = len(payload)
-    payload := tag:u8 src:uvarint dst:uvarint seq:uvarint body
-    tag     := 0x01 Ping | 0x02 Ack | 0x03 ForkRequest | 0x04 Fork
+    payload := tag:u8 src:uvarint dst:uvarint seq:uvarint body context?
+    tag     := kind | TRACED?                  # TRACED = 0x80 flag bit
+    kind    := 0x01 Ping | 0x02 Ack | 0x03 ForkRequest | 0x04 Fork
              | 0x05 Heartbeat
     body    := ""                              # Ping, Ack, Fork
              | color:uvarint                   # ForkRequest
              | sent_at:f64-big-endian          # Heartbeat
+    context := trace:uvarint span:uvarint lamport:uvarint  # iff TRACED
+
+The trace context is **optional and backward compatible**: a frame
+without the ``TRACED`` flag is byte-identical to the historical
+encoding (the golden vectors pin this), and tracing-enabled hosts only
+pay the context bytes on the wire when a tracer is attached.  The
+context is the sender's causal stamp (see
+:mod:`repro.obs.tracing`): which request span emitted the message and
+the sender's Lamport clock at the send, which is what lets a cluster
+stitch one coherent cross-process trace out of per-host span logs.
 
 ``seq`` is the per-directed-channel sequence number (1-based, counting
 every message on that channel regardless of layer).  It rides on the wire
@@ -33,7 +44,7 @@ decoded message always reconstructs bit-for-bit.
 from __future__ import annotations
 
 import struct
-from typing import Iterator, List, Tuple
+from typing import Iterator, List, Optional, Tuple
 
 from repro.core.messages import Ack, Fork, ForkRequest, Ping
 from repro.detectors.heartbeat import Heartbeat
@@ -41,10 +52,14 @@ from repro.errors import ReproError
 
 __all__ = [
     "FrameDecoder",
+    "TAG_TRACED",
+    "TraceTag",
     "WireCodecError",
     "WireMessage",
     "decode_frame",
+    "decode_frame_ex",
     "decode_message",
+    "decode_message_ex",
     "encode_frame",
     "encode_message",
     "frame_size_bits",
@@ -60,6 +75,14 @@ TAG_ACK = 0x02
 TAG_FORK_REQUEST = 0x03
 TAG_FORK = 0x04
 TAG_HEARTBEAT = 0x05
+
+#: Flag bit: the payload carries a trailing trace-context block.
+TAG_TRACED = 0x80
+
+#: The wire form of a span context: ``(trace_id, span_id, lamport)``.
+#: Kept a plain tuple so the codec stays free of observability imports;
+#: :class:`repro.obs.tracing.SpanContext` is tuple-compatible with it.
+TraceTag = Tuple[int, int, int]
 
 _TAG_OF_TYPE = {
     Ping: TAG_PING,
@@ -114,8 +137,15 @@ def _decode_uvarint(data: bytes, offset: int) -> Tuple[int, int]:
 # ----------------------------------------------------------------------
 # Message payloads
 # ----------------------------------------------------------------------
-def encode_message(src: int, dst: int, seq: int, message) -> bytes:
-    """Encode one envelope payload (no length prefix)."""
+def encode_message(
+    src: int, dst: int, seq: int, message, context: Optional[TraceTag] = None
+) -> bytes:
+    """Encode one envelope payload (no length prefix).
+
+    With ``context`` the payload gains the ``TRACED`` flag bit and a
+    trailing ``trace span lamport`` varint block; without it the bytes
+    are identical to the pre-tracing encoding.
+    """
     tag = _TAG_OF_TYPE.get(type(message))
     if tag is None:
         raise WireCodecError(
@@ -127,23 +157,32 @@ def encode_message(src: int, dst: int, seq: int, message) -> bytes:
             f"in-band sender {sender} disagrees with envelope src {src}"
         )
     head = (
-        bytes((tag,))
+        bytes((tag | TAG_TRACED if context is not None else tag,))
         + _encode_uvarint(src)
         + _encode_uvarint(dst)
         + _encode_uvarint(seq)
     )
     if tag == TAG_FORK_REQUEST:
-        return head + _encode_uvarint(message.color)
-    if tag == TAG_HEARTBEAT:
-        return head + struct.pack(">d", message.sent_at)
-    return head
+        head += _encode_uvarint(message.color)
+    elif tag == TAG_HEARTBEAT:
+        head += struct.pack(">d", message.sent_at)
+    if context is None:
+        return head
+    trace_id, span_id, lamport = context
+    return (
+        head
+        + _encode_uvarint(trace_id)
+        + _encode_uvarint(span_id)
+        + _encode_uvarint(lamport)
+    )
 
 
-def decode_message(payload: bytes) -> WireMessage:
-    """Inverse of :func:`encode_message`."""
+def decode_message_ex(payload: bytes) -> Tuple[int, int, int, object, Optional[TraceTag]]:
+    """Decode one payload, surfacing the trace context when present."""
     if not payload:
         raise WireCodecError("empty payload")
-    tag = payload[0]
+    tag = payload[0] & ~TAG_TRACED
+    traced = bool(payload[0] & TAG_TRACED)
     src, offset = _decode_uvarint(payload, 1)
     dst, offset = _decode_uvarint(payload, offset)
     seq, offset = _decode_uvarint(payload, offset)
@@ -164,19 +203,33 @@ def decode_message(payload: bytes) -> WireMessage:
         message = Heartbeat(sent_at=sent_at)
     else:
         raise WireCodecError(f"unknown message tag 0x{tag:02x}")
+    context: Optional[TraceTag] = None
+    if traced:
+        trace_id, offset = _decode_uvarint(payload, offset)
+        span_id, offset = _decode_uvarint(payload, offset)
+        lamport, offset = _decode_uvarint(payload, offset)
+        context = (trace_id, span_id, lamport)
     if offset != len(payload):
         raise WireCodecError(
-            f"{len(payload) - offset} trailing byte(s) after tag 0x{tag:02x}"
+            f"{len(payload) - offset} trailing byte(s) after tag 0x{payload[0]:02x}"
         )
+    return src, dst, seq, message, context
+
+
+def decode_message(payload: bytes) -> WireMessage:
+    """Inverse of :func:`encode_message` (any trace context is dropped)."""
+    src, dst, seq, message, _ = decode_message_ex(payload)
     return src, dst, seq, message
 
 
 # ----------------------------------------------------------------------
 # Framing
 # ----------------------------------------------------------------------
-def encode_frame(src: int, dst: int, seq: int, message) -> bytes:
+def encode_frame(
+    src: int, dst: int, seq: int, message, context: Optional[TraceTag] = None
+) -> bytes:
     """One length-prefixed frame, ready for a byte stream."""
-    payload = encode_message(src, dst, seq, message)
+    payload = encode_message(src, dst, seq, message, context)
     return _encode_uvarint(len(payload)) + payload
 
 
@@ -190,16 +243,32 @@ def decode_frame(data: bytes) -> WireMessage:
     return decode_message(data[offset:])
 
 
+def decode_frame_ex(data: bytes):
+    """Like :func:`decode_frame`, also returning the trace context (or None)."""
+    length, offset = _decode_uvarint(data, 0)
+    if len(data) - offset != length:
+        raise WireCodecError(
+            f"frame length {length} disagrees with {len(data) - offset} payload bytes"
+        )
+    return decode_message_ex(data[offset:])
+
+
 class FrameDecoder:
     """Incremental frame decoder for a byte stream.
 
     Feed arbitrary chunks; complete frames come out in order.  Partial
     frames stay buffered until their bytes arrive — exactly the reassembly
     a TCP reader needs.
+
+    With ``capture_context=True`` every decoded frame is a 5-tuple
+    ``(src, dst, seq, message, context)`` where ``context`` is the
+    frame's trace tag or ``None``; the default keeps the historical
+    4-tuple shape.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, *, capture_context: bool = False) -> None:
         self._buffer = bytearray()
+        self._capture_context = capture_context
 
     def feed(self, data: bytes) -> List[WireMessage]:
         """Absorb ``data``; return every now-complete frame."""
@@ -223,7 +292,10 @@ class FrameDecoder:
                 return
             payload = bytes(self._buffer[offset:end])
             del self._buffer[:end]
-            yield decode_message(payload)
+            if self._capture_context:
+                yield decode_message_ex(payload)
+            else:
+                yield decode_message(payload)
 
     @property
     def pending_bytes(self) -> int:
@@ -231,11 +303,13 @@ class FrameDecoder:
         return len(self._buffer)
 
 
-def frame_size_bits(src: int, dst: int, seq: int, message) -> int:
+def frame_size_bits(
+    src: int, dst: int, seq: int, message, context: Optional[TraceTag] = None
+) -> int:
     """Exact on-the-wire size of one frame, in bits.
 
     Used by tests to confirm the real encoding keeps the paper's O(log n)
     growth: for the dining types this is a constant plus the varint cost
     of two pids and a sequence number, each ⌈⌈log₂ x⌉/7⌉ bytes.
     """
-    return 8 * len(encode_frame(src, dst, seq, message))
+    return 8 * len(encode_frame(src, dst, seq, message, context))

@@ -53,6 +53,7 @@ from repro.checks import (
     SendEvent,
     Verdict,
     Violation,
+    annotate_violations,
     event_from_trace_record,
     standard_suite,
 )
@@ -63,15 +64,30 @@ from repro.detectors.heartbeat import HeartbeatDetector
 from repro.errors import ConfigurationError
 from repro.graphs.coloring import Coloring, greedy_coloring, validate_coloring
 from repro.graphs.conflict import ConflictGraph
-from repro.net.codec import FrameDecoder, WireCodecError, decode_frame, encode_frame
+from repro.net.codec import (
+    FrameDecoder,
+    WireCodecError,
+    decode_frame_ex,
+    encode_frame,
+)
 from repro.net.substrate import LiveSubstrate
+from repro.obs.flight import FlightRecorder
 from repro.obs.instrument import NetworkInstrument, TraceInstrument
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import (
+    Span,
+    SpanAssembler,
+    SpanContext,
+    completed_meals,
+    dump_spans,
+    flush_span_metrics,
+    span_to_dict,
+)
 from repro.sim.monitors import message_layer
 from repro.sim.rng import RandomStreams
-from repro.trace.events import Crash, PhaseChange
+from repro.trace.events import Crash, DoorwayChange, PhaseChange
 from repro.trace.recorder import TraceRecorder
-from repro.trace.serialize import dump_path
+from repro.trace.serialize import dump_path, record_to_dict
 
 __all__ = ["AsyncHost", "HostConfig", "WireEvent", "run_host"]
 
@@ -95,6 +111,16 @@ class HostConfig:
     timeout_increment: float = 0.25
     channel_bound: int = 4
     connect_timeout: float = 10.0
+    #: Request tracing: span assembly plus the optional trace-context tag
+    #: on every outbound frame (untraced peers decode them regardless).
+    tracing: bool = True
+    #: Serve Prometheus text on ``http://127.0.0.1:<port>/metrics`` while
+    #: the host runs (0 = pick a free port; None = no endpoint).
+    scrape_port: Optional[int] = None
+    #: Dump the flight-recorder rings here on a FAIL verdict or any
+    #: recorded violation (None = recorder off).
+    flight_dir: Optional[str] = None
+    flight_capacity: int = 512
 
 
 @dataclass(frozen=True)
@@ -277,7 +303,25 @@ class AsyncHost:
         self.wire_events: List[WireEvent] = []
         self.violations: List[str] = []
 
+        # Request tracing: lifecycle records drive the span assembler;
+        # message stamps ride the wire as the codec's optional context
+        # block, so cross-host spans merge without a shared clock oracle.
+        self.tracer: Optional[SpanAssembler] = None
+        self.spans: List[Span] = []
+        if self.config.tracing:
+            self.tracer = SpanAssembler()
+            self.trace.add_listener(
+                self._on_span_record, types=(PhaseChange, DoorwayChange, Crash)
+            )
+
+        self.flight: Optional[FlightRecorder] = None
+        if self.config.flight_dir is not None:
+            self.flight = FlightRecorder(self.config.flight_capacity)
+            self.trace.add_listener(self._on_flight_record)
+
         self._server = None
+        self._scrape_server = None
+        self.scrape_address: Optional[Tuple[str, int]] = None
         self._writers: Dict[int, asyncio.StreamWriter] = {}
         self._reader_tasks: List[asyncio.Task] = []
 
@@ -313,11 +357,12 @@ class AsyncHost:
         key = (src, dst)
         seq = self._next_seq.get(key, 0) + 1
         self._next_seq[key] = seq
-        frame = encode_frame(src, dst, seq, message)
         now = self.now
+        context = None if self.tracer is None else self.tracer.send(now, src)
+        frame = encode_frame(src, dst, seq, message, context)
         name = type(message).__name__
         layer = message_layer(message)
-        self.wire_events.append(
+        self._wire(
             WireEvent("send", src, dst, name, layer, seq, now, 8 * len(frame))
         )
         if self._placement[dst] == self.host_index:
@@ -349,7 +394,7 @@ class AsyncHost:
                 # The peer is gone (crashed hosts sever their links, and
                 # hosts wind down independently): the message is lost in
                 # transit, exactly a crash-model drop.
-                self.wire_events.append(
+                self._wire(
                     WireEvent("drop", src, dst, name, layer, seq, now, 8 * len(frame))
                 )
                 self.registry.counter(
@@ -363,13 +408,20 @@ class AsyncHost:
     # ------------------------------------------------------------------
     def _deliver_frame(self, frame: bytes) -> None:
         try:
-            src, dst, seq, message = decode_frame(frame)
+            src, dst, seq, message, context = decode_frame_ex(frame)
         except WireCodecError as exc:
             self._record_violation(f"undecodable loopback frame: {exc}")
             return
-        self._receive(src, dst, seq, message)
+        self._receive(src, dst, seq, message, context)
 
-    def _receive(self, src: ProcessId, dst: ProcessId, seq: int, message) -> None:
+    def _receive(
+        self,
+        src: ProcessId,
+        dst: ProcessId,
+        seq: int,
+        message,
+        context: Optional[Tuple[int, int, int]] = None,
+    ) -> None:
         if self._finished:
             return
         actor = self.diners.get(dst)
@@ -381,7 +433,7 @@ class AsyncHost:
             self._record_violation(f"frame for non-local pid {dst} ({name} from {src})")
             return
         if actor.crashed:
-            self.wire_events.append(
+            self._wire(
                 WireEvent("drop", src, dst, name, layer, seq, now, 0)
             )
             # The FIFO checker judges the carried seq either way; channel
@@ -394,9 +446,14 @@ class AsyncHost:
                     "net.messages_dropped_total", type=name, layer=layer
                 ).inc()
             return
-        self.wire_events.append(
+        self._wire(
             WireEvent("deliver", src, dst, name, layer, seq, now, 0)
         )
+        if self.tracer is not None:
+            self.tracer.receive(
+                now, src, dst, name,
+                None if context is None else SpanContext(*context),
+            )
         self.checks.observe(DeliverEvent(now, src, dst, name, layer, seq))
         if local_src:
             self._net_probe.on_deliver(src, dst, message, now)
@@ -423,6 +480,23 @@ class AsyncHost:
         if event is not None:
             self.checks.observe(event)
 
+    def _on_span_record(self, record) -> None:
+        tracer = self.tracer
+        if type(record) is PhaseChange:
+            tracer.on_phase(record.time, record.pid, record.old_phase, record.new_phase)
+        elif type(record) is DoorwayChange:
+            tracer.on_doorway(record.time, record.pid, record.inside)
+        else:
+            tracer.on_crash(record.time, record.pid)
+
+    def _on_flight_record(self, record) -> None:
+        self.flight.record_trace(record_to_dict(record))
+
+    def _wire(self, event: WireEvent) -> None:
+        self.wire_events.append(event)
+        if self.flight is not None:
+            self.flight.record_wire(dataclasses.asdict(event))
+
     def _on_check_violation(self, violation: Violation) -> None:
         self._record_violation(f"{violation.prop}: {violation.detail}")
 
@@ -445,6 +519,44 @@ class AsyncHost:
                 if owner != self.host_index:
                     peers.add(owner)
         return tuple(sorted(peers))
+
+    async def _start_scrape(self) -> None:
+        if self.config.scrape_port is None:
+            return
+        self._scrape_server = await asyncio.start_server(
+            self._serve_scrape, host="127.0.0.1", port=int(self.config.scrape_port)
+        )
+        self.scrape_address = self._scrape_server.sockets[0].getsockname()[:2]
+
+    async def _serve_scrape(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Answer one HTTP scrape with the registry's Prometheus text.
+
+        Any request path gets the exposition (``/metrics`` by
+        convention); the snapshot runs the registry finalizers, so
+        mid-run scrapes see freshly flushed gauges and counters.
+        """
+        from repro.obs.report import render_prometheus
+
+        try:
+            while True:
+                line = await reader.readline()
+                if not line or line in (b"\r\n", b"\n"):
+                    break
+            body = render_prometheus(self.registry.snapshot()).encode("utf-8")
+            writer.write(
+                b"HTTP/1.1 200 OK\r\n"
+                b"Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+                + f"Content-Length: {len(body)}\r\n".encode("ascii")
+                + b"Connection: close\r\n\r\n"
+                + body
+            )
+            await writer.drain()
+        except Exception:  # pragma: no cover - a dead scraper is not a finding
+            pass
+        finally:
+            writer.close()
 
     async def _start_transport(self) -> None:
         if self.transport == "loopback":
@@ -490,7 +602,7 @@ class AsyncHost:
         self._reader_tasks.append(asyncio.ensure_future(self._read_connection(reader)))
 
     async def _read_connection(self, reader: asyncio.StreamReader) -> None:
-        decoder = FrameDecoder()
+        decoder = FrameDecoder(capture_context=True)
         while True:
             data = await reader.read(4096)
             if not data:
@@ -500,8 +612,8 @@ class AsyncHost:
             except WireCodecError as exc:
                 self._record_violation(f"corrupt inbound stream: {exc}")
                 return
-            for src, dst, seq, message in frames:
-                self._receive(src, dst, seq, message)
+            for src, dst, seq, message, context in frames:
+                self._receive(src, dst, seq, message, context)
 
     def _kill_connections(self) -> None:
         """Sever every link: what the cluster sees when this host 'crashes'."""
@@ -519,6 +631,7 @@ class AsyncHost:
     async def run(self) -> "AsyncHost":
         """Connect, run every local actor for ``config.duration``, wind down."""
         self.loop = asyncio.get_running_loop()
+        await self._start_scrape()
         await self._start_transport()
         if self._epoch is None:
             self._epoch = time.time()
@@ -560,7 +673,46 @@ class AsyncHost:
             except Exception:  # pragma: no cover - platform-dependent teardown
                 pass
         await asyncio.sleep(0)  # let cancelled reader tasks unwind
+        if self.tracer is not None:
+            self.spans = self.tracer.finish(self._end)
+            flush_span_metrics(self.spans, self.registry)
         self.registry.finalize()
+        self._maybe_dump_flight()
+        if self._scrape_server is not None:
+            self._scrape_server.close()
+            try:
+                await self._scrape_server.wait_closed()
+            except Exception:  # pragma: no cover - platform-dependent teardown
+                pass
+
+    def _maybe_dump_flight(self) -> None:
+        """Dump the flight rings when the run ends badly (FAIL or fault)."""
+        if self.flight is None:
+            return
+        verdict = self.verdict()
+        crashed = sorted(pid for pid, d in self.diners.items() if d.crashed)
+        unplanned = [pid for pid in crashed if pid not in self._crash_times]
+        if verdict.ok and not self.violations and not unplanned:
+            return
+        if self.spans:
+            for span in self.spans[-self.flight.capacity:]:
+                self.flight.record_span(span_to_dict(span))
+        reason = (
+            "verdict-fail" if not verdict.ok
+            else "violations" if self.violations
+            else "unplanned-crash"
+        )
+        self.flight.dump(
+            self.config.flight_dir,
+            reason=reason,
+            context={
+                "host_index": self.host_index,
+                "local_pids": list(self.local_pids),
+                "violations": list(self.violations[:20]),
+                "crashed": crashed,
+                "horizon": self._end,
+            },
+        )
 
     # ------------------------------------------------------------------
     # Results
@@ -576,7 +728,12 @@ class AsyncHost:
         horizon = self._end if self._end is not None else (
             self.now if self._epoch is not None else None
         )
-        return self.checks.finalize(horizon)
+        verdict = self.checks.finalize(horizon)
+        if self.spans:
+            # Name the violating request: every witness gains the
+            # trace-id/span-id of the request span covering it.
+            verdict = annotate_violations(verdict, self.spans)
+        return verdict
 
     def result(self) -> Dict[str, object]:
         """Compact machine-readable summary of this host's run."""
@@ -591,6 +748,9 @@ class AsyncHost:
             "violations": list(self.violations),
             "verdict": self.verdict().to_json(),
             "wire_events": len(self.wire_events),
+            "spans": len(self.spans),
+            "span_meals": completed_meals(self.spans),
+            "scrape_address": list(self.scrape_address) if self.scrape_address else None,
             "max_in_transit_local": self._net_probe.max_in_transit(),
             "false_suspicion_retractions": self.detector.total_false_retractions(),
         }
@@ -599,6 +759,8 @@ class AsyncHost:
         """Dump trace, wire log, metrics snapshot, and result summary."""
         os.makedirs(directory, exist_ok=True)
         dump_path(self.trace, os.path.join(directory, "trace.jsonl"))
+        if self.spans:
+            dump_spans(os.path.join(directory, "spans.jsonl"), self.spans)
         with open(os.path.join(directory, "wire.jsonl"), "w", encoding="utf-8") as stream:
             for event in self.wire_events:
                 stream.write(json.dumps(dataclasses.asdict(event), sort_keys=True))

@@ -13,12 +13,18 @@ The measurement substrate over the simulator and scenario runner:
 * :mod:`repro.obs.profile` — the wall-clock kernel profiler behind the
   hotspot tables;
 * :mod:`repro.obs.report` — run-report building and JSON / text /
-  Prometheus rendering (the ``repro report`` command).
+  Prometheus rendering (the ``repro report`` command);
+* :mod:`repro.obs.tracing` — causal request spans (one per hunger, with
+  phase children and Lamport-clock stamps), span assembly from any
+  substrate, and timeline / critical-path rendering (``repro trace``);
+* :mod:`repro.obs.flight` — the bounded flight recorder live hosts dump
+  on a FAIL verdict.
 
 See ``docs/OBSERVABILITY.md`` for metric names and label conventions.
 """
 
 from repro.obs.context import active_registry, collecting
+from repro.obs.flight import FlightRecorder
 from repro.obs.instrument import Instrumentation, instrument_table
 from repro.obs.metrics import (
     Counter,
@@ -31,7 +37,7 @@ from repro.obs.metrics import (
     gauge_max_time,
     merge_snapshots,
 )
-from repro.obs.profile import KernelProfiler
+from repro.obs.profile import KernelProfiler, flush_check_profile
 from repro.obs.report import (
     build_report,
     hotspots,
@@ -41,27 +47,55 @@ from repro.obs.report import (
     render_verdict_text,
     summarize_snapshot,
 )
+from repro.obs.tracing import (
+    Span,
+    SpanAssembler,
+    SpanContext,
+    attach_tracer,
+    completed_meals,
+    critical_path,
+    dump_spans,
+    load_spans,
+    render_critical_path,
+    render_timeline,
+    spans_from_events,
+    stitch_spans,
+)
 
 __all__ = [
     "Counter",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "Instrumentation",
     "KernelProfiler",
     "MetricsRegistry",
+    "Span",
+    "SpanAssembler",
+    "SpanContext",
     "active_registry",
+    "attach_tracer",
     "build_report",
     "collecting",
+    "completed_meals",
     "counter_by_label",
     "counter_total",
+    "critical_path",
+    "dump_spans",
+    "flush_check_profile",
     "gauge_max",
     "gauge_max_time",
     "hotspots",
     "instrument_table",
+    "load_spans",
     "merge_snapshots",
     "quiescence_curve",
+    "render_critical_path",
     "render_prometheus",
     "render_report_text",
+    "render_timeline",
     "render_verdict_text",
+    "spans_from_events",
+    "stitch_spans",
     "summarize_snapshot",
 ]

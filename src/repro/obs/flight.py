@@ -1,0 +1,122 @@
+"""Flight recorder: a bounded ring of recent observability artifacts.
+
+Long live runs cannot keep every trace record and wire event in memory,
+but when a verdict comes back FAIL (or an actor faults) the *recent*
+history is exactly what diagnosis needs.  The :class:`FlightRecorder`
+keeps the last ``capacity`` trace records, wire events, and closed spans
+in fixed-size rings; :meth:`dump` writes them as a witness directory in
+the same JSONL formats every other artifact uses, so a dump is directly
+replayable::
+
+    repro check flight/trace.jsonl flight/wire.jsonl --topology ring --n 3
+    repro trace flight/spans.jsonl
+
+``flight.json`` records why the dump happened and how much each ring
+forgot, so a truncated replay is never mistaken for the whole run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import deque
+from typing import Dict, Iterable, List, Optional
+
+__all__ = ["FlightRecorder"]
+
+
+class FlightRecorder:
+    """Fixed-capacity rings of trace records, wire events, and spans.
+
+    Everything is stored as plain JSON-ready dicts (the caller serializes
+    at record time, so a dump never touches live objects).  ``evicted``
+    reports per-ring how many entries the ring forgot.
+    """
+
+    def __init__(self, capacity: int = 512) -> None:
+        if capacity < 1:
+            raise ValueError(f"flight recorder capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._rings: Dict[str, deque] = {
+            "trace": deque(maxlen=self.capacity),
+            "wire": deque(maxlen=self.capacity),
+            "spans": deque(maxlen=self.capacity),
+        }
+        self._seen: Dict[str, int] = {"trace": 0, "wire": 0, "spans": 0}
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record_trace(self, record: dict) -> None:
+        self._record("trace", record)
+
+    def record_wire(self, event: dict) -> None:
+        self._record("wire", event)
+
+    def record_span(self, span: dict) -> None:
+        self._record("spans", span)
+
+    def _record(self, ring: str, entry: dict) -> None:
+        self._rings[ring].append(entry)
+        self._seen[ring] += 1
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    @property
+    def evicted(self) -> Dict[str, int]:
+        """Entries each ring forgot: ``{"trace": n, "wire": n, "spans": n}``."""
+        return {
+            ring: self._seen[ring] - len(entries)
+            for ring, entries in self._rings.items()
+        }
+
+    def entries(self, ring: str) -> List[dict]:
+        return list(self._rings[ring])
+
+    # ------------------------------------------------------------------
+    # Dumping
+    # ------------------------------------------------------------------
+    def dump(
+        self,
+        directory: str,
+        *,
+        reason: str = "manual",
+        context: Optional[dict] = None,
+    ) -> str:
+        """Write the rings as a replayable witness directory; returns it.
+
+        Layout: ``trace.jsonl`` / ``wire.jsonl`` / ``spans.jsonl`` (each
+        omitted when its ring is empty) plus ``flight.json`` metadata
+        (reason, per-ring retained/evicted counts, caller context).
+        """
+        os.makedirs(directory, exist_ok=True)
+        written: Dict[str, int] = {}
+        for ring, entries in self._rings.items():
+            if not entries:
+                continue
+            name = f"{ring}.jsonl"
+            written[ring] = _write_jsonl(os.path.join(directory, name), entries)
+        meta = {
+            "reason": reason,
+            "capacity": self.capacity,
+            "retained": {ring: len(entries) for ring, entries in self._rings.items()},
+            "evicted": self.evicted,
+            "files": {ring: f"{ring}.jsonl" for ring in written},
+        }
+        if context:
+            meta["context"] = context
+        with open(os.path.join(directory, "flight.json"), "w", encoding="utf-8") as stream:
+            json.dump(meta, stream, indent=2, sort_keys=True)
+            stream.write("\n")
+        return directory
+
+
+def _write_jsonl(path: str, entries: Iterable[dict]) -> int:
+    count = 0
+    with open(path, "w", encoding="utf-8") as stream:
+        for entry in entries:
+            stream.write(json.dumps(entry, sort_keys=True))
+            stream.write("\n")
+            count += 1
+    return count

@@ -367,6 +367,7 @@ class Instrumentation:
         trace_probe: TraceInstrument,
         quiescence_probe: Optional[QuiescenceInstrument],
         profiler: Optional[KernelProfiler],
+        checks=None,
     ) -> None:
         self.registry = registry
         self.sim = sim_probe
@@ -374,6 +375,7 @@ class Instrumentation:
         self.trace = trace_probe
         self.quiescence = quiescence_probe
         self.profiler = profiler
+        self.checks = checks
 
     def flush(self) -> None:
         self.sim.flush()
@@ -383,6 +385,10 @@ class Instrumentation:
             self.quiescence.flush()
         if self.profiler is not None:
             self.profiler.flush_into(self.registry)
+        if self.checks is not None:
+            from repro.obs.profile import flush_check_profile
+
+            flush_check_profile(self.checks, self.registry)
 
 
 def instrument_table(table, registry: MetricsRegistry, *, bound: int = 4) -> Instrumentation:
@@ -410,7 +416,13 @@ def instrument_table(table, registry: MetricsRegistry, *, bound: int = 4) -> Ins
         profiler = KernelProfiler()
         table.sim.profiler = profiler
     handle = Instrumentation(
-        registry, sim_probe, network_probe, trace_probe, quiescence_probe, profiler
+        registry,
+        sim_probe,
+        network_probe,
+        trace_probe,
+        quiescence_probe,
+        profiler,
+        checks=getattr(table, "checks", None),
     )
     registry.add_finalizer(handle.flush)
     return handle

@@ -117,3 +117,27 @@ class KernelProfiler:
                 cell[1] - seen[1]
             )
             self._flushed_actors[actor] = (cell[0], cell[1])
+
+
+def flush_check_profile(suite, registry: MetricsRegistry) -> Dict[str, Tuple[float, int]]:
+    """Emit a profiled :class:`~repro.checks.suite.CheckSuite`'s per-property
+    wall-clock attribution into ``registry``.
+
+    Metrics: ``checks.property_wall_seconds_total{property=...}`` and
+    ``checks.property_events_total{property=...}``.  Delta-safe per
+    suite (repeated snapshot flushes never double-count), so it can ride
+    the same registry finalizer as the kernel profiler; a suite whose
+    profiling is off contributes nothing.  Returns the current totals.
+    """
+    totals = suite.profile_totals()
+    seen: Dict[str, Tuple[float, int]] = getattr(suite, "_profile_flushed", {})
+    for name, (seconds, events) in sorted(totals.items()):
+        prior = seen.get(name, (0.0, 0))
+        registry.counter("checks.property_wall_seconds_total", property=name).inc(
+            seconds - prior[0]
+        )
+        registry.counter("checks.property_events_total", property=name).inc(
+            events - prior[1]
+        )
+    suite._profile_flushed = dict(totals)
+    return totals

@@ -76,6 +76,23 @@ def hotspots(snapshot: Mapping[str, object], *, top: int = 5) -> List[Dict[str, 
     ]
 
 
+def check_costs(snapshot: Mapping[str, object]) -> List[Dict[str, object]]:
+    """Per-property checker wall-clock attribution, costliest first.
+
+    Populated when a run profiled its check suite (``repro report
+    --profile-checks`` or any adapter built with ``profile=True``); the
+    ranking is what the ROADMAP "checks back under 10%" work optimizes
+    against.
+    """
+    seconds = counter_by_label(snapshot, "checks.property_wall_seconds_total", "property")
+    events = counter_by_label(snapshot, "checks.property_events_total", "property")
+    ranked = sorted(seconds.items(), key=lambda item: (-item[1], item[0]))
+    return [
+        {"property": name, "events": int(events.get(name, 0)), "seconds": secs}
+        for name, secs in ranked
+    ]
+
+
 def summarize_snapshot(
     snapshot: Mapping[str, object], *, top: int = 5, bound: int = 4
 ) -> Dict[str, object]:
@@ -116,6 +133,7 @@ def summarize_snapshot(
         ),
         "profiled_seconds": counter_total(snapshot, "profile.wall_seconds_total"),
         "hotspots": hotspots(snapshot, top=top),
+        "check_costs": check_costs(snapshot),
     }
 
 
@@ -254,6 +272,18 @@ def render_report_text(report: Mapping[str, object]) -> str:
             lines.append(
                 f"  {str(spot['site']).ljust(width)}  {spot['events']:>9} events  "
                 f"{spot['seconds']:.4f}s"
+            )
+    costs = summary.get("check_costs") or []
+    if costs:
+        lines.append("")
+        total = sum(cost["seconds"] for cost in costs)
+        lines.append(f"check cost by property ({total:.4f}s attributed)")
+        width = max(len(str(cost["property"])) for cost in costs)
+        for cost in costs:
+            share = 0.0 if total <= 0 else 100.0 * cost["seconds"] / total
+            lines.append(
+                f"  {str(cost['property']).ljust(width)}  {cost['events']:>9} events  "
+                f"{cost['seconds']:.4f}s  {share:5.1f}%"
             )
     return "\n".join(lines)
 

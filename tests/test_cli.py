@@ -165,3 +165,48 @@ class TestVerify:
         out = capsys.readouterr().out
         assert code == 2
         assert "TRUNCATED" in out
+
+
+class TestTrace:
+    def test_dine_spans_then_trace_renders_critical_path(self, tmp_path, capsys):
+        spans_path = str(tmp_path / "spans.jsonl")
+        code = main([
+            "dine", "--n", "5", "--crashes", "0", "--horizon", "100",
+            "--spans", spans_path,
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "spans written:" in out
+
+        code = main(["trace", spans_path, "--pid", "0", "--limit", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "request(s)" in out and "meal(s)" in out
+        assert "request pid=0" in out
+        assert "critical path for pid=0" in out
+
+    def test_trace_rebuilds_spans_from_event_artifacts(self, tmp_path, capsys):
+        trace_path = str(tmp_path / "trace.jsonl")
+        code = main([
+            "dine", "--n", "5", "--crashes", "0", "--horizon", "100",
+            "--trace", trace_path,
+        ])
+        assert code == 0
+        capsys.readouterr()
+        code = main(["trace", trace_path])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "critical path for pid=" in out
+
+    def test_trace_without_spans_exits_two(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        code = main(["trace", str(empty)])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "no spans found" in err
+
+    def test_trace_parser_defaults(self):
+        args = build_parser().parse_args(["trace", "spans.jsonl"])
+        assert args.limit == 10
+        assert args.pid is None and args.trace_id is None

@@ -13,7 +13,9 @@ from repro.net.codec import (
     FrameDecoder,
     WireCodecError,
     decode_frame,
+    decode_frame_ex,
     decode_message,
+    decode_message_ex,
     encode_frame,
     encode_message,
     frame_size_bits,
@@ -25,6 +27,11 @@ pids = st.integers(min_value=0, max_value=2**63 - 1)
 seqs = st.integers(min_value=0, max_value=2**63 - 1)
 colors = st.integers(min_value=0, max_value=2**63 - 1)
 timestamps = st.floats(allow_nan=False, allow_infinity=False)
+contexts = st.tuples(
+    st.integers(min_value=0, max_value=2**63 - 1),  # trace id
+    st.integers(min_value=0, max_value=2**63 - 1),  # span id
+    st.integers(min_value=0, max_value=2**63 - 1),  # lamport
+)
 
 
 @st.composite
@@ -78,6 +85,69 @@ def test_stream_reassembly_in_arbitrary_chunks(batch, chunk):
     assert decoder.pending_bytes == 0
 
 
+@settings(max_examples=200, deadline=None)
+@given(envelopes(), contexts)
+def test_traced_round_trip_surfaces_context(envelope, context):
+    """A tagged payload round-trips the trace context exactly — and the
+    plain decoder still accepts it, silently dropping the tag."""
+    src, dst, seq, message = envelope
+    payload = encode_message(src, dst, seq, message, context)
+    assert decode_message_ex(payload) == (src, dst, seq, message, context)
+    assert decode_message(payload) == (src, dst, seq, message)
+
+
+@settings(max_examples=100, deadline=None)
+@given(envelopes())
+def test_untagged_payload_decodes_with_none_context(envelope):
+    src, dst, seq, message = envelope
+    payload = encode_message(src, dst, seq, message)
+    assert decode_message_ex(payload) == (src, dst, seq, message, None)
+
+
+@settings(max_examples=100, deadline=None)
+@given(envelopes(), contexts)
+def test_context_is_pure_suffix(envelope, context):
+    """Tagging costs exactly the flag bit plus the three context varints:
+    strip them and the bytes are the historical untagged encoding."""
+    plain = encode_message(*envelope)
+    traced = encode_message(*envelope, context)
+    assert len(traced) > len(plain)
+    stripped = bytes((traced[0] & 0x7F,)) + traced[1:len(plain)]
+    assert stripped == plain
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.tuples(envelopes(), st.none() | contexts), min_size=1, max_size=12),
+       st.integers(1, 7))
+def test_capture_context_stream_mixes_tagged_and_untagged(batch, chunk):
+    """FrameDecoder(capture_context=True) yields 5-tuples for a stream
+    freely mixing traced and untraced frames."""
+    stream = b"".join(
+        encode_frame(*envelope, context) for envelope, context in batch
+    )
+    decoder = FrameDecoder(capture_context=True)
+    decoded = []
+    for offset in range(0, len(stream), chunk):
+        decoded.extend(decoder.feed(stream[offset:offset + chunk]))
+    assert decoded == [(*envelope, context) for envelope, context in batch]
+    assert decoder.pending_bytes == 0
+
+
+def test_decode_frame_ex_matches_decode_frame_plus_context():
+    context = (0x300000007, 2, 41)
+    frame = encode_frame(3, 5, 1, Ping(3), context)
+    assert decode_frame_ex(frame) == (3, 5, 1, Ping(3), context)
+    assert decode_frame(frame) == (3, 5, 1, Ping(3))
+    plain = encode_frame(3, 5, 1, Ping(3))
+    assert decode_frame_ex(plain) == (3, 5, 1, Ping(3), None)
+
+
+def test_decode_rejects_truncated_context():
+    payload = encode_message(1, 2, 3, Ping(1), (7, 1, 9))
+    with pytest.raises(WireCodecError):
+        decode_message_ex(payload[:-1])
+
+
 def test_heartbeat_nan_is_preserved():
     # NaN compares unequal to itself, so check the bit pattern explicitly.
     src, dst, seq, message = decode_message(
@@ -105,10 +175,14 @@ def test_golden_encoding(case):
         "Fork": lambda: Fork(case["src"]),
         "Heartbeat": lambda: Heartbeat(sent_at=case["sent_at"]),
     }[case["type"]]()
-    frame = encode_frame(case["src"], case["dst"], case["seq"], message)
+    context = tuple(case["context"]) if "context" in case else None
+    frame = encode_frame(case["src"], case["dst"], case["seq"], message, context)
     assert frame.hex() == case["frame_hex"]
     assert decode_frame(bytes.fromhex(case["frame_hex"])) == (
         case["src"], case["dst"], case["seq"], message,
+    )
+    assert decode_frame_ex(bytes.fromhex(case["frame_hex"])) == (
+        case["src"], case["dst"], case["seq"], message, context,
     )
 
 
