@@ -13,6 +13,8 @@ Subcommands::
     repro fuzz --mutants --budget 60s
     repro cluster --topology ring --n 3 --processes 3 --duration 2
     repro serve --spec run/spec.json --host-index 0
+    repro loadgen --n 8 --processes 3 --sessions 10000
+    repro loadgen --spec run/spec.json --sessions 5000
 
 (or ``python -m repro …``).  ``dine`` runs one dining scenario and prints
 the guarantee scorecard (plus an ASCII timeline on request, and a wait
@@ -33,7 +35,18 @@ text exposition when the path ends in ``.prom``).
 sockets, a wall-clock heartbeat ◇P₁, then the merged safety/fairness
 verdict and a Prometheus rendering of the combined metrics (exit 0 only
 on a clean run).  ``serve`` is its per-host child entry point, also
-usable standalone against a hand-written spec.
+usable standalone against a hand-written spec.  With ``--serve-locks``
+every host additionally exposes the lease service of
+:mod:`repro.locks`: named resources mapped onto conflict-graph diners,
+granted to clients by the unchanged Algorithm 1.
+
+``loadgen`` drives tens of thousands of short-lived lease sessions
+against a ``--serve-locks`` cluster — either one already running
+(``--spec``) or one it launches itself — and reports grant/deny/expiry
+counters, client-observed latency quantiles, and whether every grant
+carried the serving diner's eating-span trace context (exit 0 only on a
+full PASS: all sessions completed, zero errors, zero leaked leases, and
+a clean merged cluster verdict in self-launch mode).
 
 ``check`` replays recorded artifacts — trace JSONL files (``dine
 --trace``, per-host ``trace.jsonl``) and/or wire logs (``wire.jsonl``)
@@ -674,6 +687,7 @@ def cmd_cluster(args: argparse.Namespace) -> int:
         tracing=not args.no_tracing,
         scrape_base=args.scrape_base,
         flight=args.flight,
+        serve_locks=args.serve_locks,
     )
     print(
         f"live cluster: {args.topology}-{args.n} over {args.processes} "
@@ -695,6 +709,87 @@ def cmd_serve(args: argparse.Namespace) -> int:
     from repro.net.cluster import serve
 
     return serve(args.spec, args.host_index, output_dir=args.output)
+
+
+# ----------------------------------------------------------------------
+# loadgen (lease sessions against a --serve-locks cluster)
+# ----------------------------------------------------------------------
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    import asyncio
+    import time
+
+    from repro.locks.loadgen import LoadgenOptions, run_loadgen
+    from repro.net.cluster import (
+        ClusterSpec,
+        merge_run,
+        placement_summary,
+        start_cluster,
+        wait_cluster,
+    )
+
+    options = LoadgenOptions(
+        sessions=args.sessions,
+        concurrency=args.concurrency,
+        connections_per_host=args.connections,
+        ttl_ms=args.ttl_ms,
+        hold_fraction=args.hold_fraction,
+        abandon_fraction=args.abandon_fraction,
+        acquire_timeout=args.acquire_timeout,
+        seed=args.seed,
+    )
+
+    def emit(report) -> None:
+        print(report.describe())
+        if args.json:
+            with open(args.json, "w", encoding="utf-8") as stream:
+                json.dump(report.to_dict(), stream, indent=2, sort_keys=True)
+                stream.write("\n")
+            print(f"report written: {args.json}")
+
+    # Against an already-running cluster: burst, report, done.
+    if args.spec:
+        spec = ClusterSpec.load(args.spec)
+        if not spec.serve_locks:
+            print("spec was not launched with --serve-locks", file=sys.stderr)
+            return 2
+        report = asyncio.run(run_loadgen(spec, options))
+        emit(report)
+        return 0 if report.ok else 1
+
+    # Self-contained: launch a --serve-locks cluster here, burst against
+    # it while it runs, then wait it out and fold in the merged verdict.
+    spec = ClusterSpec(
+        topology=args.topology,
+        n=args.n,
+        processes=args.processes,
+        duration=args.duration,
+        seed=args.seed,
+        transport=args.transport,
+        run_dir=args.run_dir,
+        tracing=not args.no_tracing,
+        scrape_base=args.scrape_base,
+        serve_locks=True,
+    )
+    print(
+        f"lease service: {args.topology}-{args.n} over {args.processes} "
+        f"process(es) via {args.transport}, {args.duration:g}s; "
+        f"{options.sessions} sessions x{options.concurrency}"
+    )
+    handle = start_cluster(spec)
+    print(f"  placement: {placement_summary(spec)}")
+    time.sleep(max(0.0, spec.epoch - time.time()) + 0.2)
+    report = asyncio.run(run_loadgen(spec, options))
+    emit(report)
+
+    failures = wait_cluster(handle)
+    verdict = merge_run(spec)
+    if failures:
+        verdict.checker_violations.extend(failures)
+        verdict.ok = False
+    print()
+    print(verdict.describe())
+    leaked = int((verdict.locks or {}).get("leaked_leases", 0))
+    return 0 if report.ok and verdict.ok and leaked == 0 else 1
 
 
 # ----------------------------------------------------------------------
@@ -917,7 +1012,50 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument("--no-tracing", action="store_true",
                          help="disable request tracing (no span logs, no wire "
                               "trace context)")
+    cluster.add_argument("--serve-locks", action="store_true",
+                         help="install the lease service on every host: diners "
+                              "serve client demand (see `repro loadgen`)")
     cluster.set_defaults(func=cmd_cluster)
+
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="drive short-lived lease sessions against a --serve-locks cluster",
+    )
+    loadgen.add_argument("--spec", metavar="PATH",
+                         help="spec.json of an already-running --serve-locks "
+                              "cluster (omit to launch one here)")
+    loadgen.add_argument("--topology", choices=TOPOLOGIES, default="ring")
+    loadgen.add_argument("--n", type=int, default=8)
+    loadgen.add_argument("--processes", type=int, default=3)
+    loadgen.add_argument("--duration", type=float, default=30.0,
+                         help="cluster lifetime when launching here (the burst "
+                              "must fit inside it)")
+    loadgen.add_argument("--seed", type=int, default=0)
+    loadgen.add_argument("--transport", choices=("unix", "tcp"), default="unix")
+    loadgen.add_argument("--run-dir", default="loadgen-run",
+                         help="run directory when launching here")
+    loadgen.add_argument("--scrape-base", type=int, metavar="PORT",
+                         help="serve live /metrics per host while the run lasts")
+    loadgen.add_argument("--no-tracing", action="store_true",
+                         help="disable tracing (grants lose their eating-span "
+                              "context, so the span-backed check is skipped)")
+    loadgen.add_argument("--sessions", type=int, default=10_000,
+                         help="total acquire/release sessions (default 10000)")
+    loadgen.add_argument("--concurrency", type=int, default=200,
+                         help="sessions in flight at once (default 200)")
+    loadgen.add_argument("--connections", type=int, default=4,
+                         help="client connections per serving host (default 4)")
+    loadgen.add_argument("--ttl-ms", type=int, default=50,
+                         help="lease TTL per session in milliseconds (default 50)")
+    loadgen.add_argument("--hold-fraction", type=float, default=0.2,
+                         help="mean hold time as a fraction of the TTL (default 0.2)")
+    loadgen.add_argument("--abandon-fraction", type=float, default=0.02,
+                         help="fraction of grants never released — the TTL must "
+                              "reclaim them (default 0.02)")
+    loadgen.add_argument("--acquire-timeout", type=float, default=30.0)
+    loadgen.add_argument("--json", metavar="PATH",
+                         help="also write the loadgen report as JSON")
+    loadgen.set_defaults(func=cmd_loadgen)
 
     serve = sub.add_parser(
         "serve", help="run one host of a launched cluster (child entry point)"

@@ -188,6 +188,42 @@ class DinerActor(Actor):
         self.reevaluate()
 
     # ------------------------------------------------------------------
+    # External service hooks (hosted services, e.g. repro.locks)
+    # ------------------------------------------------------------------
+    def become_hungry_now(self) -> None:
+        """Drive Action 1 on demand: a hosted service has work queued.
+
+        Action 1 is external by specification ("a thinking process may
+        become hungry at any time"), so a service nudging it preserves
+        the algorithm exactly; the guard still applies and this is a
+        no-op unless the diner is thinking.  Must be called from the
+        substrate's event context (a timer/soon callback), never from
+        inside another action of this diner.
+        """
+        if self.crashed:
+            return
+        self._become_hungry()
+        self.reevaluate()
+
+    def finish_eating_early(self) -> bool:
+        """Run Action 10 now, ahead of the eat timer.
+
+        Used by hosted services when the critical section's client work
+        completes before the scheduled eat duration (a lease released
+        before its TTL).  Cancels the pending exit timer and exits
+        eating; returns ``False`` (doing nothing) unless eating.
+        """
+        if self.crashed or not self.is_eating:
+            return False
+        timer = self._exit_timer
+        if timer is not None:
+            timer.cancel()
+            self._exit_timer = None
+        self._exit()
+        self.reevaluate()
+        return True
+
+    # ------------------------------------------------------------------
     # Action 1: become hungry
     # ------------------------------------------------------------------
     def _become_hungry(self) -> None:

@@ -34,7 +34,14 @@ from repro.faults.campaign import (
 )
 from repro.faults.engine import FaultRunResult, JudgeWindows, run_plan, run_plan_kernel, run_plan_live
 from repro.faults.mutants import Mutant, all_mutants, get_mutant, mutant_names
-from repro.faults.plan import CrashSpec, FaultPlan, FlapSpec, LatencySpec, WorkloadSpec
+from repro.faults.plan import (
+    ClientStormSpec,
+    CrashSpec,
+    FaultPlan,
+    FlapSpec,
+    LatencySpec,
+    WorkloadSpec,
+)
 from repro.faults.sampler import sample_plan
 from repro.faults.shrink import ShrinkResult, shrink_plan, write_witness
 
@@ -42,6 +49,7 @@ __all__ = [
     "CampaignResult",
     "CampaignSpec",
     "CrashSpec",
+    "ClientStormSpec",
     "FaultPlan",
     "FaultRunResult",
     "FlapSpec",

@@ -61,6 +61,12 @@ from repro.trace.events import DoorwayChange, PhaseChange
 #: standard property (scheduling storms, crashed-process sends, …).
 RUNTIME_ERROR = "runtime-error"
 
+#: Synthetic property judging the lease-service path under a client
+#: storm: every lease the storm leaves active must be backed by an
+#: eating (or crashed) diner — a leak means a grant escaped Algorithm
+#: 1's critical section.
+LEASE_BACKING = "lease-backing"
+
 #: How many pieces a kernel run is cut into, so a failing plan stops at
 #: the first chunk whose suite holds a violation instead of simulating a
 #: flood mutant to the full horizon.
@@ -89,7 +95,7 @@ class JudgeWindows:
     @staticmethod
     def for_plan(plan: FaultPlan, *, margin: float = 3.0) -> "JudgeWindows":
         lat = plan.latency.ceiling()
-        eat = plan.workload.eat_ceiling()
+        eat = plan.eat_ceiling()  # storm TTLs included
         # Suspicion output is trustworthy only after detector convergence,
         # latency stabilization (GST), and the last possible crash's
         # detection; in-flight stragglers add one ceiling.
@@ -148,6 +154,8 @@ class FaultRunResult:
     error: Optional[str] = None
     trace: object = None
     wire: List[dict] = field(default_factory=list)
+    #: LockCore snapshot when the plan carried a client storm.
+    storm: Optional[Dict[str, object]] = None
 
     @property
     def ok(self) -> bool:
@@ -168,6 +176,7 @@ class FaultRunResult:
             "stopped_early": self.stopped_early,
             "error": self.error,
             "verdict": self.verdict.to_json(),
+            "storm": self.storm,
         }
 
 
@@ -282,6 +291,122 @@ class _CrashTrigger(NetworkMonitor):
 
 
 # ----------------------------------------------------------------------
+# Client storms (lease-service path)
+# ----------------------------------------------------------------------
+class _KernelStorm:
+    """Interpret a :class:`~repro.faults.plan.ClientStormSpec` on a table.
+
+    Sessions are driven straight into a :class:`~repro.locks.service.
+    LockCore` — no sockets, the kernel analogue of a ``LockService``
+    client fleet.  Bursts fire on CONTROL-priority timers; each grant
+    either abandons (the killed-connection client: only the TTL reclaims
+    its lease) or releases after the plan's hold time.
+    """
+
+    def __init__(self, table: DiningTable, plan: FaultPlan) -> None:
+        from repro.locks.service import LeaseWorkload, LockCore, default_resources
+
+        self.table = table
+        self.spec = plan.storm
+        sim = table.sim
+        self.core = LockCore(
+            default_resources(table.graph),
+            table.diners,
+            clock=lambda: sim.now,
+            defer=lambda fn: sim.schedule_at(
+                sim.now, fn, priority=EventPriority.CONTROL, label="storm-defer"
+            ),
+        )
+        self.core.attach(table.trace)
+        if isinstance(table.workload, LeaseWorkload):
+            table.workload.bind(self.core)
+        self._rng = sim.streams.stream("fuzz/client-storm")
+        self._names = sorted(self.core.resources)
+
+    def arm(self) -> None:
+        spec = self.spec
+        sim = self.table.sim
+        session = _storm_session_base()
+        remaining = spec.sessions
+        when = spec.start
+        while remaining:
+            count = min(spec.burst, remaining)
+            ids = list(range(session, session + count))
+            sim.schedule_at(
+                when,
+                lambda ids=ids: self._burst(ids),
+                priority=EventPriority.CONTROL,
+                label="storm-burst",
+            )
+            session += count
+            remaining -= count
+            when += spec.interval
+
+    def _burst(self, ids) -> None:
+        ttl_ms = max(1, int(round(self.spec.ttl * 1000.0)))
+        for session in ids:
+            resource = self._names[self._rng.randrange(len(self._names))]
+            self.core.request(
+                session,
+                resource,
+                ttl_ms,
+                lambda message, _s=session: self._reply(_s, message),
+            )
+
+    def _reply(self, session: int, message) -> None:
+        from repro.locks.messages import LeaseGrant
+
+        if type(message) is not LeaseGrant:
+            return  # denials are the core's books; nothing to drive
+        if self._rng.random() < self.spec.abandon:
+            self.core.abandon(session)
+            return
+        sim = self.table.sim
+        lease_id = message.lease_id
+        sim.schedule_at(
+            sim.now + self.spec.hold,
+            lambda: self.core.release(session, lease_id),
+            priority=EventPriority.CONTROL,
+            label="storm-release",
+        )
+
+    def finalize(self, verdict: Verdict, now: float) -> Verdict:
+        """Close the service books and judge the lease-backing property."""
+        self.core.shutdown()  # flush still-queued waiters (denied: shutdown)
+        return _fold_leaked(verdict, self.core, now)
+
+
+def _storm_session_base() -> int:
+    from repro.locks.messages import SESSION_BASE
+
+    return SESSION_BASE
+
+
+def _fold_leaked(verdict: Verdict, core, now: float) -> Verdict:
+    leaked = core.leaked_leases()
+    if not leaked:
+        return verdict
+    synthetic = PropertyVerdict(
+        prop=LEASE_BACKING,
+        status=FAIL,
+        violations=[
+            Violation(
+                prop=LEASE_BACKING,
+                time=now,
+                detail=(
+                    f"lease {lease.lease_id} on {lease.resource} "
+                    f"(session {lease.session}) active but diner "
+                    f"{lease.pid} is not eating"
+                ),
+            )
+            for lease in leaked[:5]
+        ],
+        counters={"leaked_total": len(leaked)},
+    )
+    return verdict.with_property(synthetic)
+
+
+# ----------------------------------------------------------------------
 # Exception → property mapping
 # ----------------------------------------------------------------------
 def _property_of_exception(exc: BaseException) -> str:
@@ -371,6 +496,10 @@ def run_plan_kernel(
     for spec in plan.crashes:
         if spec.when is not None:
             _CrashTrigger(table, spec).arm()
+    storm = None
+    if plan.storm.active:
+        storm = _KernelStorm(table, plan)
+        storm.arm()
 
     stopped_early = False
     error: Optional[BaseException] = None
@@ -387,6 +516,8 @@ def run_plan_kernel(
     verdict = table.verdict()
     if error is not None:
         verdict = _fold_exception(verdict, error, table.sim.now)
+    if storm is not None:
+        verdict = storm.finalize(verdict, table.sim.now)
 
     return FaultRunResult(
         plan=plan,
@@ -400,6 +531,7 @@ def run_plan_kernel(
         error=f"{type(error).__name__}: {error}" if error is not None else None,
         trace=table.trace,
         wire=wire.records,
+        storm=storm.core.snapshot() if storm is not None else None,
     )
 
 
@@ -454,13 +586,19 @@ def run_plan_live(
         diner_factory=mutant.factory() if mutant else None,
         run="fuzz",
     )
-    run_host(host)
+    storm_core = None
+    if plan.storm.active:
+        storm_core = _run_host_with_storm(host, plan, time_scale)
+    else:
+        run_host(host)
 
     if judge and windows is not None:
         host.checks.checker("wx-safety").settle = windows.settle * time_scale
         host.checks.checker("progress").patience = windows.patience * time_scale
         host.checks.checker("overtaking").after = windows.after * time_scale
     verdict = host.verdict()
+    if storm_core is not None:
+        verdict = _fold_leaked(verdict, storm_core, host.now)
     # ``host.violations`` mixes checker-forwarded witnesses (already in
     # the verdict, possibly as informational counters) with actor faults
     # the host captured outside the checkers (a mutant raising
@@ -500,7 +638,81 @@ def run_plan_live(
             }
             for e in host.wire_events
         ],
+        storm=storm_core.snapshot() if storm_core is not None else None,
     )
+
+
+def _run_host_with_storm(host, plan: FaultPlan, time_scale: float):
+    """Run a loopback host while a scaled client storm drives a LockCore.
+
+    The storm shares the host's loop: bursts run inside ``host.guarded``
+    (so checker/violation capture sees them) and releases ride
+    ``loop.call_later`` — the in-process analogue of the socket-borne
+    ``LockService`` path, at fuzz speed.  Returns the core for the
+    caller's books (snapshot + leak judgement).
+    """
+    import asyncio
+
+    from repro.locks.messages import LeaseGrant
+    from repro.locks.service import LeaseWorkload, LockCore, default_resources
+
+    spec = plan.storm
+    core = LockCore(
+        default_resources(host.graph),
+        host.diners,
+        clock=lambda: host.now,
+        defer=lambda fn: host.loop.call_soon(host.guarded(fn, "storm-defer")),
+    )
+    core.attach(host.trace)
+    if isinstance(host.workload, LeaseWorkload):
+        host.workload.bind(core)
+    from repro.sim.rng import RandomStreams
+
+    rng = RandomStreams(plan.seed).stream("fuzz/client-storm")
+    names = sorted(core.resources)
+    ttl_ms = max(1, int(round(spec.ttl * time_scale * 1000.0)))
+
+    def reply(session: int, message) -> None:
+        if type(message) is not LeaseGrant:
+            return
+        if rng.random() < spec.abandon:
+            core.abandon(session)
+            return
+        lease_id = message.lease_id
+        host.loop.call_later(
+            spec.hold * time_scale,
+            host.guarded(lambda: core.release(session, lease_id), "storm-release"),
+        )
+
+    async def drive(runner: "asyncio.Future") -> None:
+        await asyncio.sleep(spec.start * time_scale)
+        session = _storm_session_base()
+        remaining = spec.sessions
+        while remaining and not runner.done():
+            count = min(spec.burst, remaining)
+            for sid in range(session, session + count):
+                resource = names[rng.randrange(len(names))]
+                host.guarded(
+                    lambda _s=sid, _r=resource: core.request(
+                        _s, _r, ttl_ms, lambda m, _s=_s: reply(_s, m)
+                    ),
+                    "storm-request",
+                )()
+            session += count
+            remaining -= count
+            if remaining:
+                await asyncio.sleep(spec.interval * time_scale)
+
+    async def main() -> None:
+        runner = asyncio.ensure_future(host.run())
+        try:
+            await drive(runner)
+        finally:
+            await runner
+
+    asyncio.run(main())
+    core.shutdown()  # flush still-queued waiters (denied: shutdown)
+    return core
 
 
 def run_plan(plan: FaultPlan, *, substrate: str = "kernel", **kwargs) -> FaultRunResult:

@@ -189,12 +189,72 @@ class FlapSpec:
 
 
 # ----------------------------------------------------------------------
+# Client storms (lease-service path)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ClientStormSpec:
+    """Bursts of lease-client sessions driven into a ``LockCore``.
+
+    ``sessions == 0`` disables the storm.  Otherwise sessions arrive in
+    bursts of ``burst`` every ``interval`` starting at ``start``; each
+    acquires a random local resource with TTL ``ttl`` (plan time units)
+    and then either **abandons** with probability ``abandon`` — the
+    killed-connection client, whose lease only the TTL reclaims — or
+    releases early after ``hold``.  The engine judges the service path
+    on top of the standard suite: a lease left unbacked by an eating
+    diner fails the synthetic ``lease-backing`` property.
+    """
+
+    sessions: int = 0
+    burst: int = 8
+    interval: float = 2.0
+    start: float = 1.0
+    ttl: float = 1.0
+    hold: float = 0.4
+    abandon: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.sessions < 0:
+            raise ConfigurationError(f"storm sessions must be >= 0, got {self.sessions}")
+        if not self.sessions:
+            return
+        if self.burst < 1:
+            raise ConfigurationError(f"storm burst must be >= 1, got {self.burst}")
+        if self.interval <= 0 or self.ttl <= 0:
+            raise ConfigurationError(
+                f"storm interval/ttl must be positive, got "
+                f"{self.interval!r}/{self.ttl!r}"
+            )
+        if self.hold < 0 or self.start < 0:
+            raise ConfigurationError(
+                f"storm hold/start must be >= 0, got {self.hold!r}/{self.start!r}"
+            )
+        if not 0.0 <= self.abandon <= 1.0:
+            raise ConfigurationError(
+                f"storm abandon must be a probability, got {self.abandon!r}"
+            )
+
+    @property
+    def active(self) -> bool:
+        return self.sessions > 0
+
+    def last_burst_time(self) -> float:
+        """When the final burst fires (0.0 for an inactive storm)."""
+        if not self.sessions:
+            return 0.0
+        bursts = -(-self.sessions // self.burst)  # ceil division
+        return self.start + (bursts - 1) * self.interval
+
+
+# ----------------------------------------------------------------------
 # Workloads
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class WorkloadSpec:
     """Hunger workload: ``always`` (max contention), ``burst``
-    (hungry-session bursts separated by idle gaps), or ``poisson``."""
+    (hungry-session bursts separated by idle gaps), ``poisson``, or
+    ``lease`` (demand-driven: diners hunger only when a client-storm
+    session queues, and eat for the granted lease's TTL)."""
 
     kind: str = "always"
     params: Tuple[Tuple[str, float], ...] = ()
@@ -229,13 +289,25 @@ class WorkloadSpec:
                     p.get("eat_high", 1.5 * time_scale),
                 ),
             )
+        if self.kind == "lease":
+            # Deferred: keeps the plan vocabulary import-light; only
+            # storm plans pay for the locks subsystem.
+            from repro.locks.service import LeaseWorkload
+
+            return LeaseWorkload(idle_eat_time=p.get("idle_eat_time", 0.05 * time_scale))
         raise ConfigurationError(f"unknown workload kind {self.kind!r}")
 
     def eat_ceiling(self) -> float:
-        """Longest possible eating session (shapes judgement windows)."""
+        """Longest possible eating session (shapes judgement windows).
+
+        For ``lease`` this is only the idle fallback; the engine maxes it
+        with the storm's TTL, which is what leased meals actually last.
+        """
         p = self.as_dict()
         if self.kind == "poisson":
             return p.get("eat_high", 1.5)
+        if self.kind == "lease":
+            return p.get("idle_eat_time", 0.05)
         return p.get("eat_time", 1.0)
 
 
@@ -261,6 +333,9 @@ class FaultPlan:
     flaps: FlapSpec = field(default_factory=FlapSpec)
     workload: WorkloadSpec = field(default_factory=WorkloadSpec)
     mutant: Optional[str] = None
+    #: Lease-service client storm (inactive by default); see
+    #: :class:`ClientStormSpec`.
+    storm: ClientStormSpec = field(default_factory=ClientStormSpec)
 
     def __post_init__(self) -> None:
         if self.n < 2:
@@ -285,17 +360,30 @@ class FaultPlan:
     def faulty_pids(self) -> Tuple[int, ...]:
         return tuple(sorted(c.pid for c in self.crashes))
 
+    def eat_ceiling(self) -> float:
+        """Longest possible meal, storm TTLs included (window derivation)."""
+        ceiling = self.workload.eat_ceiling()
+        if self.storm.active:
+            ceiling = max(ceiling, self.storm.ttl)
+        return ceiling
+
     def describe(self) -> str:
         crash_bits = ", ".join(
             f"{c.pid}@{c.at:g}" if c.at is not None else f"{c.pid}:{c.when}≥{c.after:g}"
             for c in self.crashes
         )
         mutant = f", mutant={self.mutant}" if self.mutant else ""
+        storm = ""
+        if self.storm.active:
+            storm = (
+                f" storm={self.storm.sessions}x{self.storm.burst}"
+                f"@{self.storm.interval:g} ttl={self.storm.ttl:g}"
+            )
         return (
             f"{self.topology}-{self.n} seed={self.seed} horizon={self.horizon:g} "
             f"latency={self.latency.kind} workload={self.workload.kind} "
             f"flaps={self.flaps.mistakes_per_edge:g}/edge conv={self.flaps.convergence:g} "
-            f"crashes=[{crash_bits}]{mutant}"
+            f"crashes=[{crash_bits}]{mutant}{storm}"
         )
 
     # -- serialization ---------------------------------------------------
@@ -311,6 +399,7 @@ class FaultPlan:
         latency = data.get("latency", {})
         workload = data.get("workload", {})
         flaps = data.get("flaps", {})
+        storm = data.get("storm") or {}
         return cls(
             topology=data.get("topology", "ring"),
             n=int(data.get("n", 5)),
@@ -337,6 +426,15 @@ class FaultPlan:
                 workload.get("kind", "always"), **workload.get("params", {})
             ),
             mutant=data.get("mutant"),
+            storm=ClientStormSpec(
+                sessions=int(storm.get("sessions", 0)),
+                burst=int(storm.get("burst", 8)),
+                interval=float(storm.get("interval", 2.0)),
+                start=float(storm.get("start", 1.0)),
+                ttl=float(storm.get("ttl", 1.0)),
+                hold=float(storm.get("hold", 0.4)),
+                abandon=float(storm.get("abandon", 0.2)),
+            ),
         )
 
     def dump(self, path: str) -> None:

@@ -18,7 +18,14 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.faults.engine import JudgeWindows
-from repro.faults.plan import CrashSpec, FaultPlan, FlapSpec, LatencySpec, WorkloadSpec
+from repro.faults.plan import (
+    ClientStormSpec,
+    CrashSpec,
+    FaultPlan,
+    FlapSpec,
+    LatencySpec,
+    WorkloadSpec,
+)
 from repro.sim.rng import RandomStreams
 
 #: Archetype cycle (index % len): a contention baseline, then
@@ -31,13 +38,14 @@ ARCHETYPES = (
     "doorway-crash-burst", # doorway-transit crash under bursty hunger
     "gst-flap",            # partial synchrony + heavy pre-GST flapping
     "double-crash-eating", # two victims, one eating-triggered
+    "client-storm",        # lease-service bursts: acquire/abandon + crash
 )
 
 #: Rotation pool for ``topology="mixed"``: one campaign walk then covers
 #: sparse symmetric rings, meshes, Erdős–Rényi, bounded-degree geometric
 #: fields, and hub-heavy scale-free graphs.  The pool length (5) is
-#: coprime to the archetype cycle (6), so every (archetype, topology)
-#: pairing appears within 30 indices.
+#: coprime to the archetype cycle (7), so every (archetype, topology)
+#: pairing appears within 35 indices.
 TOPOLOGY_POOL = ("ring", "grid", "random", "geometric", "scale_free")
 
 
@@ -68,6 +76,7 @@ def sample_plan(
     crashes = ()
     flaps = FlapSpec()
     workload = WorkloadSpec.of("always", eat_time=round(rng.uniform(0.5, 1.5), 3))
+    storm = ClientStormSpec()
 
     pids = list(range(n))
     rng.shuffle(pids)
@@ -135,6 +144,22 @@ def sample_plan(
             convergence=round(rng.uniform(8.0, 18.0), 3),
             detection_delay=round(rng.uniform(1.0, 2.0), 3),
         )
+    elif shape == "client-storm":
+        # The lease-service path: demand-driven diners, session bursts
+        # that acquire/hold/abandon, and a timed crash so reclamation of
+        # a crashed server's leases is exercised too.
+        workload = WorkloadSpec.of("lease")
+        storm = ClientStormSpec(
+            sessions=rng.randint(30, 80),
+            burst=rng.randint(3, 10),
+            interval=round(rng.uniform(1.5, 3.0), 3),
+            start=round(rng.uniform(2.0, 4.0), 3),
+            ttl=round(rng.uniform(0.6, 1.5), 3),
+            hold=round(rng.uniform(0.1, 0.5), 3),
+            abandon=round(rng.uniform(0.1, 0.4), 3),
+        )
+        crashes = (CrashSpec(pid=pids[0], at=round(rng.uniform(10.0, 25.0), 3)),)
+        flaps = FlapSpec(detection_delay=round(rng.uniform(1.0, 2.0), 3))
     # "contention": the defaults above — jitter, full hunger, no faults.
 
     draft = FaultPlan(
@@ -147,7 +172,14 @@ def sample_plan(
         flaps=flaps,
         workload=workload,
         mutant=mutant,
+        storm=storm,
     )
     windows = JudgeWindows.for_plan(draft)
     horizon = max(horizon_floor, round(windows.patience * 1.3 + 10.0, 3))
+    if storm.active:
+        # Every burst must land, and the last grants must have room to
+        # expire (TTL) or release before the books are judged.
+        horizon = max(
+            horizon, round(storm.last_burst_time() + 3.0 * storm.ttl + 10.0, 3)
+        )
     return draft.with_(horizon=horizon)

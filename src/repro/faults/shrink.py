@@ -21,12 +21,18 @@ from __future__ import annotations
 
 import json
 import os
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Iterator, List, Optional, Tuple
 
 from repro.errors import ConfigurationError
 from repro.faults.engine import FaultRunResult, run_plan_kernel
-from repro.faults.plan import FaultPlan, FlapSpec, LatencySpec, WorkloadSpec
+from repro.faults.plan import (
+    ClientStormSpec,
+    FaultPlan,
+    FlapSpec,
+    LatencySpec,
+    WorkloadSpec,
+)
 
 #: The shrinker never pushes the horizon below this — eventual properties
 #: need room to be judged at all.
@@ -95,8 +101,20 @@ def _candidates(plan: FaultPlan) -> Iterator[Tuple[str, FaultPlan]]:
     fixed = LatencySpec.of("fixed", delay=1.0)
     if plan.latency != fixed:
         yield f"latency {plan.latency.kind} -> fixed(1.0)", plan.with_(latency=fixed)
+    storm = plan.storm
+    if storm.active:
+        yield "drop the client storm", plan.with_(storm=ClientStormSpec())
+        if storm.sessions > 4:
+            sessions = storm.sessions // 2
+            yield f"storm sessions {storm.sessions} -> {sessions}", plan.with_(
+                storm=replace(storm, sessions=sessions)
+            )
+        if storm.abandon:
+            yield "storm abandon -> 0", plan.with_(storm=replace(storm, abandon=0.0))
     plain = WorkloadSpec.of("always", eat_time=1.0)
-    if plan.workload != plain:
+    if plan.workload != plain and not storm.active:
+        # (With a storm, the lease workload is part of the repro; the
+        # drop-the-storm rung above removes both together when it can.)
         yield f"workload {plan.workload.kind} -> always(1.0)", plan.with_(
             workload=plain
         )

@@ -1,0 +1,64 @@
+"""``repro.locks``: a lease service riding Algorithm 1.
+
+The dining daemon becomes a client-serving lock manager: named resources
+map onto conflict-graph nodes, a client session acquires a TTL lease on
+a resource, and the grant fires exactly when that resource's (unchanged)
+:class:`~repro.core.diner.DinerActor` enters *eating* — Algorithm 1 is
+the scheduler, so every safety and fairness property the checkers judge
+for dining transfers verbatim to the lease API (no double grants, 2
+-bounded overtaking between contending sessions, progress across diner
+crashes via ◇P₁).
+
+Modules:
+
+* :mod:`repro.locks.messages` — the four wire message types;
+* :mod:`repro.locks.service`  — :class:`LockCore` (transport-agnostic
+  brain), :class:`LeaseWorkload`, and :class:`LockService` (the live
+  :class:`~repro.net.host.AsyncHost` adapter);
+* :mod:`repro.locks.client`   — async :class:`LockClient`;
+* :mod:`repro.locks.loadgen`  — the ``repro loadgen`` session driver.
+
+Only :mod:`messages` is imported eagerly: :mod:`repro.net.codec` imports
+it while defining the lease frame tags, so pulling the service (which
+imports the codec back) at package-import time would be a cycle.
+"""
+
+from repro.locks.messages import (
+    LEASE_MESSAGE_TYPES,
+    SESSION_BASE,
+    LeaseDenied,
+    LeaseGrant,
+    LeaseRelease,
+    LeaseRequest,
+)
+
+__all__ = [
+    "LEASE_MESSAGE_TYPES",
+    "SESSION_BASE",
+    "LeaseDenied",
+    "LeaseGrant",
+    "LeaseRelease",
+    "LeaseRequest",
+    "LeaseWorkload",
+    "LockClient",
+    "LockCore",
+    "LockService",
+    "default_resources",
+]
+
+_LAZY = {
+    "LeaseWorkload": "repro.locks.service",
+    "LockCore": "repro.locks.service",
+    "LockService": "repro.locks.service",
+    "LockClient": "repro.locks.client",
+    "default_resources": "repro.locks.service",
+}
+
+
+def __getattr__(name):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)

@@ -1,0 +1,237 @@
+"""Session load generator: tens of thousands of short-lived lease sessions.
+
+``repro loadgen`` points this at a running ``repro cluster --serve-locks``
+deployment (its ``spec.json`` names the transport, addresses, and
+placement) and drives ``sessions`` short acquire/hold/release cycles
+through a pool of multiplexed :class:`~repro.locks.client.LockClient`
+connections.  Each session:
+
+1. picks a serving host and one of its local resources (seeded RNG —
+   runs are reproducible),
+2. acquires a TTL lease and records the client-observed latency,
+3. on grant, verifies the frame's trace context names the serving
+   diner's **eating span** (the causal proof that Algorithm 1 scheduled
+   the grant), then holds briefly and releases — or, with probability
+   ``abandon_fraction``, walks away and lets the TTL reclaim it.
+
+The report carries grant/deny/abandon counters, latency quantiles, and
+an ``ok`` flag: every session completed, zero transport errors, and
+(when the cluster traces) every grant span-backed.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.locks.client import LockClient
+from repro.obs.tracing import SPAN_EATING, _SID_OF_NAME
+
+__all__ = ["LoadgenOptions", "LoadgenReport", "resources_by_host", "run_loadgen"]
+
+_EATING_SID = _SID_OF_NAME[SPAN_EATING]
+
+
+@dataclass
+class LoadgenOptions:
+    """Knobs of one load run (defaults sized for the CI smoke burst)."""
+
+    sessions: int = 10_000
+    concurrency: int = 200
+    connections_per_host: int = 4
+    ttl_ms: int = 50
+    #: Mean hold is ``hold_fraction * ttl`` (uniform in [0, 2 * mean)).
+    hold_fraction: float = 0.2
+    #: Probability a granted session never releases (TTL reclaims it).
+    abandon_fraction: float = 0.02
+    acquire_timeout: float = 30.0
+    seed: int = 0
+
+
+@dataclass
+class LoadgenReport:
+    """Machine-readable outcome of one load run."""
+
+    sessions: int
+    completed: int
+    grants: int
+    denies: Dict[str, int]
+    abandons: int
+    errors: int
+    span_backed: int
+    elapsed: float
+    latency: Dict[str, float]
+    ok: bool
+    error_samples: List[str] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "sessions": self.sessions,
+            "completed": self.completed,
+            "grants": self.grants,
+            "denies": dict(self.denies),
+            "abandons": self.abandons,
+            "errors": self.errors,
+            "span_backed": self.span_backed,
+            "elapsed": self.elapsed,
+            "sessions_per_sec": (
+                0.0 if self.elapsed <= 0 else self.completed / self.elapsed
+            ),
+            "latency": dict(self.latency),
+            "ok": self.ok,
+            "error_samples": list(self.error_samples),
+        }
+
+    def describe(self) -> str:
+        lines = [
+            f"loadgen: {'PASS' if self.ok else 'FAIL'}",
+            f"  sessions:        {self.completed}/{self.sessions}"
+            f" in {self.elapsed:.2f}s"
+            f" ({0.0 if self.elapsed <= 0 else self.completed / self.elapsed:.0f}/s)",
+            f"  grants:          {self.grants} ({self.span_backed} span-backed)",
+            f"  denies:          {sum(self.denies.values())} {dict(sorted(self.denies.items()))}",
+            f"  abandoned:       {self.abandons}",
+            f"  errors:          {self.errors}",
+        ]
+        if self.latency:
+            lines.append(
+                "  latency:         "
+                + " ".join(f"{k}={v * 1000:.1f}ms" for k, v in self.latency.items())
+            )
+        lines.extend(f"    ! {sample}" for sample in self.error_samples[:5])
+        return "\n".join(lines)
+
+
+def resources_by_host(spec) -> List[List[str]]:
+    """Each serving host's resource names, from a :class:`ClusterSpec`.
+
+    Honors an explicit ``lock_resources`` table; otherwise the default
+    ``r<pid>`` naming over the spec's placement.
+    """
+    placement = spec.placement or spec.default_placement()
+    named = spec.lock_resources or {
+        f"r{pid}": pid for pid in spec.graph().nodes
+    }
+    by_host: List[List[str]] = [[] for _ in range(spec.processes)]
+    for name, pid in sorted(named.items()):
+        by_host[placement[int(pid)]].append(name)
+    return by_host
+
+
+async def run_loadgen(spec, options: Optional[LoadgenOptions] = None) -> LoadgenReport:
+    """Drive one load run against a launched cluster spec."""
+    options = options or LoadgenOptions()
+    resources = resources_by_host(spec)
+    serving = [i for i in range(spec.processes) if resources[i]]
+    if not serving:
+        raise ValueError("no host serves any resource")
+
+    clients: Dict[int, List[LockClient]] = {}
+    client_index = 0
+    for host in serving:
+        pool = []
+        for _ in range(max(1, options.connections_per_host)):
+            client = LockClient(
+                spec.transport, spec.addresses[host], client_index=client_index
+            )
+            client_index += 1
+            await client.connect()
+            pool.append(client)
+        clients[host] = pool
+
+    grants = 0
+    denies: Dict[str, int] = {}
+    abandons = 0
+    errors = 0
+    span_backed = 0
+    completed = 0
+    latencies: List[float] = []
+    error_samples: List[str] = []
+    counter = iter(range(options.sessions))
+    started = time.perf_counter()
+
+    async def worker(worker_id: int) -> None:
+        nonlocal grants, abandons, errors, span_backed, completed
+        rng = random.Random((options.seed << 16) ^ worker_id)
+        while True:
+            index = next(counter, None)
+            if index is None:
+                return
+            host = serving[index % len(serving)]
+            client = rng.choice(clients[host])
+            resource = rng.choice(resources[host])
+            try:
+                outcome = await client.acquire(
+                    resource, options.ttl_ms, timeout=options.acquire_timeout
+                )
+            except Exception as exc:  # noqa: BLE001 - counted, sampled, reported
+                errors += 1
+                if len(error_samples) < 20:
+                    error_samples.append(f"{resource}: {type(exc).__name__}: {exc}")
+                completed += 1
+                continue
+            completed += 1
+            if not outcome.granted:
+                denies[outcome.reason or "?"] = denies.get(outcome.reason or "?", 0) + 1
+                continue
+            grants += 1
+            latencies.append(outcome.latency)
+            context = outcome.context
+            if context is not None and context[0] != 0 and context[1] == _EATING_SID:
+                span_backed += 1
+            if rng.random() < options.abandon_fraction:
+                abandons += 1  # no release: the TTL reclaims the lease
+                continue
+            hold = (options.ttl_ms / 1000.0) * options.hold_fraction * 2.0 * rng.random()
+            if hold > 0:
+                await asyncio.sleep(hold)
+            try:
+                await client.release(outcome)
+            except Exception as exc:  # noqa: BLE001
+                errors += 1
+                if len(error_samples) < 20:
+                    error_samples.append(f"release {resource}: {exc}")
+
+    workers = [
+        asyncio.ensure_future(worker(i)) for i in range(max(1, options.concurrency))
+    ]
+    await asyncio.gather(*workers)
+    elapsed = time.perf_counter() - started
+
+    for pool in clients.values():
+        for client in pool:
+            await client.close()
+
+    latency: Dict[str, float] = {}
+    if latencies:
+        latencies.sort()
+        last = len(latencies) - 1
+        latency = {
+            "p50": latencies[last // 2],
+            "p90": latencies[min(last, (len(latencies) * 9) // 10)],
+            "p99": latencies[min(last, (len(latencies) * 99) // 100)],
+            "max": latencies[last],
+        }
+
+    tracing = bool(getattr(spec, "tracing", False))
+    ok = (
+        completed == options.sessions
+        and errors == 0
+        and (not tracing or span_backed == grants)
+    )
+    return LoadgenReport(
+        sessions=options.sessions,
+        completed=completed,
+        grants=grants,
+        denies=denies,
+        abandons=abandons,
+        errors=errors,
+        span_backed=span_backed,
+        elapsed=elapsed,
+        latency=latency,
+        ok=ok,
+        error_samples=error_samples,
+    )

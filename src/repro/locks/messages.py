@@ -1,0 +1,75 @@
+"""Lease-layer message types: the client-facing lock-service protocol.
+
+The lock service (:mod:`repro.locks.service`) maps named resources onto
+conflict-graph nodes and serves acquire/release **leases** over the same
+LEB128-framed wire the dining layer uses.  Four message types cover the
+whole protocol:
+
+* :class:`LeaseRequest` — a client session asks for a lease on a named
+  resource, proposing a TTL in milliseconds;
+* :class:`LeaseGrant` — the service grants a lease.  It is sent while the
+  resource's diner is *eating* (Algorithm 1 is the scheduler), so on a
+  tracing host the frame carries the diner's eating-span context — every
+  grant is causally backed by a dining critical section;
+* :class:`LeaseRelease` — the client returns the lease early (the diner
+  exits eating immediately; otherwise the TTL reclaims it);
+* :class:`LeaseDenied` — the request was refused (queue full, unknown
+  resource, resource hosted elsewhere, crashed diner, shutdown).
+
+All four are tagged ``layer="locks"`` so the dining-layer checkers
+(channel bound, FIFO seqs in the kernel adapter) never count them: lease
+traffic rides client connections, not the paper's conflict-graph
+channels.  ``sender`` follows the repo-wide in-band convention — the
+session id on client→service messages, the serving diner's pid on
+service→client messages (0 when no diner is responsible, e.g. an
+unknown-resource denial).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Client session ids live above this base so they can never collide with
+#: conflict-graph pids (graphs in this repo are numbered from 0).
+SESSION_BASE = 1 << 20
+
+
+@dataclass(frozen=True, slots=True)
+class LeaseRequest:
+    """Ask for a lease on ``resource`` with a ``ttl_ms`` wall-clock TTL."""
+
+    sender: int
+    resource: str
+    ttl_ms: int
+    layer = "locks"
+
+
+@dataclass(frozen=True, slots=True)
+class LeaseGrant:
+    """A granted lease; ``sender`` is the serving diner's pid."""
+
+    sender: int
+    lease_id: int
+    ttl_ms: int
+    layer = "locks"
+
+
+@dataclass(frozen=True, slots=True)
+class LeaseRelease:
+    """Return ``lease_id`` early; the serving diner exits eating now."""
+
+    sender: int
+    lease_id: int
+    layer = "locks"
+
+
+@dataclass(frozen=True, slots=True)
+class LeaseDenied:
+    """The request was refused; ``reason`` is a short machine-readable word."""
+
+    sender: int
+    reason: str
+    layer = "locks"
+
+
+LEASE_MESSAGE_TYPES = (LeaseRequest, LeaseGrant, LeaseRelease, LeaseDenied)

@@ -64,7 +64,17 @@ from repro.obs.report import render_prometheus
 from repro.obs.tracing import completed_meals, dump_spans, load_spans, stitch_spans
 from repro.trace.serialize import load_path
 
-__all__ = ["ClusterSpec", "ClusterVerdict", "launch", "merge_run", "placement_summary", "serve"]
+__all__ = [
+    "ClusterHandle",
+    "ClusterSpec",
+    "ClusterVerdict",
+    "launch",
+    "merge_run",
+    "placement_summary",
+    "serve",
+    "start_cluster",
+    "wait_cluster",
+]
 
 
 
@@ -94,6 +104,13 @@ class ClusterSpec:
     scrape_base: Optional[int] = None
     #: Arm each host's flight recorder (dumps under ``host-i/flight/``).
     flight: bool = False
+    #: Install the lease service on every host: diners run the demand-
+    #: driven :class:`~repro.locks.service.LeaseWorkload` and clients
+    #: dial the same listener addresses the diner links use.
+    serve_locks: bool = False
+    #: Resource name -> owning diner pid (empty: one ``r<pid>`` per
+    #: diner).  Each host serves the resources of its local diners.
+    lock_resources: Dict[str, int] = field(default_factory=dict)
     #: Filled in by :func:`launch` before the spec reaches the children.
     epoch: Optional[float] = None
     addresses: Dict[int, object] = field(default_factory=dict)
@@ -197,6 +214,9 @@ class ClusterVerdict:
     #: Stitched cross-process trace: span count and the meals it covers.
     spans: int = 0
     span_meals: int = 0
+    #: Aggregated lease-service counters (None when ``--serve-locks``
+    #: was off); ``leaked_leases`` here must be zero on a clean run.
+    locks: Optional[Dict[str, object]] = None
 
     def _counter(self, prop: str, name: str) -> int:
         verdict = self.checks.properties.get(prop)
@@ -240,6 +260,16 @@ class ClusterVerdict:
                 f"  trace spans:           {self.spans} "
                 f"(stitched; {self.span_meals} meals)"
             )
+        if self.locks is not None:
+            counters = self.locks.get("counters", {})
+            lines.append(
+                "  leases:                "
+                f"{counters.get('grants', 0)} granted, "
+                f"{counters.get('releases', 0)} released, "
+                f"{counters.get('expiries', 0)} expired, "
+                f"{sum(self.locks.get('denies', {}).values())} denied, "
+                f"{self.locks.get('leaked_leases', 0)} leaked"
+            )
         for detail in self.checker_violations[:10]:
             lines.append(f"    ! {detail}")
         lines.extend("  " + line for line in self.checks.describe().splitlines())
@@ -256,18 +286,38 @@ def build_host(spec: ClusterSpec, host_index: int) -> AsyncHost:
     local_pids = [pid for pid in graph.nodes if placement[pid] == host_index]
     if not local_pids:
         raise ConfigurationError(f"host {host_index} owns no diners")
-    return AsyncHost(
+    workload = None
+    if spec.serve_locks:
+        from repro.locks.service import LeaseWorkload
+
+        workload = LeaseWorkload()
+    host = AsyncHost(
         graph,
         local_pids=local_pids,
         config=spec.host_config(host_index),
         placement=placement,
         host_index=host_index,
         addresses=spec.addresses,
-        transport=spec.transport if spec.processes > 1 else "loopback",
+        # Lease clients dial the host's listener, so a --serve-locks host
+        # binds its socket even when it is the whole cluster.
+        transport=spec.transport if (spec.processes > 1 or spec.serve_locks) else "loopback",
         epoch=spec.epoch,
         crash_times=spec.crash_times,
+        workload=workload,
         run=f"host{host_index}",
     )
+    if spec.serve_locks:
+        from repro.locks.service import LockService
+
+        resources = None
+        if spec.lock_resources:
+            resources = {
+                name: int(pid)
+                for name, pid in spec.lock_resources.items()
+                if placement[int(pid)] == host_index
+            }
+        LockService.install(host, resources=resources)
+    return host
 
 
 def serve(spec_path: str, host_index: int, output_dir: Optional[str] = None) -> int:
@@ -302,8 +352,22 @@ def _allocate_addresses(spec: ClusterSpec) -> Dict[int, object]:
     return addresses
 
 
-def launch(spec: ClusterSpec, *, quiet: bool = False) -> ClusterVerdict:
-    """Spawn the cluster, wait for every host, and merge the outputs."""
+@dataclass
+class ClusterHandle:
+    """A started cluster: children still serving, outputs not yet merged.
+
+    :func:`start_cluster` returns one so a caller (``repro loadgen``) can
+    drive live traffic against the hosts *while they run*, then
+    :func:`wait_cluster` + :func:`merge_run` to close the books.
+    """
+
+    spec: ClusterSpec
+    spec_path: str
+    children: List[object] = field(default_factory=list)
+
+
+def start_cluster(spec: ClusterSpec) -> ClusterHandle:
+    """Write the spec and spawn every host as its own OS process."""
     os.makedirs(spec.run_dir, exist_ok=True)
     spec.placement = spec.placement or spec.default_placement()
     spec.addresses = _allocate_addresses(spec)
@@ -314,10 +378,6 @@ def launch(spec: ClusterSpec, *, quiet: bool = False) -> ClusterVerdict:
     with open(spec_path, "w", encoding="utf-8") as stream:
         stream.write(spec.to_json())
         stream.write("\n")
-
-    if spec.processes == 1:
-        serve(spec_path, 0)
-        return merge_run(spec)
 
     children = []
     for index in range(spec.processes):
@@ -333,9 +393,15 @@ def launch(spec: ClusterSpec, *, quiet: bool = False) -> ClusterVerdict:
                 log,
             )
         )
+    return ClusterHandle(spec=spec, spec_path=spec_path, children=children)
+
+
+def wait_cluster(handle: ClusterHandle) -> List[str]:
+    """Wait for every host; returns launcher-level failures (not merges)."""
+    spec = handle.spec
     deadline = spec.epoch + spec.duration + spec.connect_timeout + 30.0
     failures: List[str] = []
-    for index, (child, log) in enumerate(children):
+    for index, (child, log) in enumerate(handle.children):
         budget = max(1.0, deadline - time.time())
         try:
             code = child.wait(timeout=budget)
@@ -348,7 +414,13 @@ def launch(spec: ClusterSpec, *, quiet: bool = False) -> ClusterVerdict:
             log.close()
         if code not in (0, 1):  # 1 = ran but saw violations; merge reports them
             failures.append(f"host {index} exited with code {code}")
+    return failures
 
+
+def launch(spec: ClusterSpec, *, quiet: bool = False) -> ClusterVerdict:
+    """Spawn the cluster, wait for every host, and merge the outputs."""
+    handle = start_cluster(spec)
+    failures = wait_cluster(handle)
     verdict = merge_run(spec)
     if failures:
         verdict.checker_violations.extend(failures)
@@ -471,6 +543,29 @@ def merge_run(spec: ClusterSpec) -> ClusterVerdict:
         gauge.set(occupancy.current.get((a, b), 0))
     merged_metrics = merge_snapshots([*snapshots, cluster_registry.snapshot()])
 
+    # Aggregate the per-host lease-service books (``--serve-locks`` runs).
+    locks: Optional[Dict[str, object]] = None
+    lock_snapshots = [r["locks"] for r in results if r.get("locks") is not None]
+    if lock_snapshots:
+        counters: Dict[str, int] = {}
+        denies: Dict[str, int] = {}
+        locks = {
+            "resources": {},
+            "counters": counters,
+            "denies": denies,
+            "active_leases": 0,
+            "waiting_sessions": 0,
+            "leaked_leases": 0,
+        }
+        for snap in lock_snapshots:
+            locks["resources"].update(snap.get("resources", {}))
+            for name, value in snap.get("counters", {}).items():
+                counters[name] = counters.get(name, 0) + int(value)
+            for reason, value in snap.get("denies", {}).items():
+                denies[reason] = denies.get(reason, 0) + int(value)
+            for key in ("active_leases", "waiting_sessions", "leaked_leases"):
+                locks[key] += int(snap.get(key, 0))
+
     total_meals = sum(
         int(count) for result in results for count in result.get("meals", {}).values()
     )
@@ -488,6 +583,7 @@ def merge_run(spec: ClusterSpec) -> ClusterVerdict:
         metrics=merged_metrics,
         spans=len(stitched),
         span_meals=completed_meals(stitched),
+        locks=locks,
     )
 
 

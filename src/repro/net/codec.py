@@ -14,10 +14,16 @@ Frame layout (all varints unsigned LEB128)::
     payload := tag:u8 src:uvarint dst:uvarint seq:uvarint body context?
     tag     := kind | TRACED?                  # TRACED = 0x80 flag bit
     kind    := 0x01 Ping | 0x02 Ack | 0x03 ForkRequest | 0x04 Fork
-             | 0x05 Heartbeat
+             | 0x05 Heartbeat | 0x06 LeaseRequest | 0x07 LeaseGrant
+             | 0x08 LeaseRelease | 0x09 LeaseDenied
     body    := ""                              # Ping, Ack, Fork
              | color:uvarint                   # ForkRequest
              | sent_at:f64-big-endian          # Heartbeat
+             | resource:str ttl_ms:uvarint     # LeaseRequest
+             | lease_id:uvarint ttl_ms:uvarint # LeaseGrant
+             | lease_id:uvarint                # LeaseRelease
+             | reason:str                      # LeaseDenied
+    str     := length:uvarint utf8-bytes       # length <= 64
     context := trace:uvarint span:uvarint lamport:uvarint  # iff TRACED
 
 The trace context is **optional and backward compatible**: a frame
@@ -49,6 +55,7 @@ from typing import Iterator, List, Optional, Tuple
 from repro.core.messages import Ack, Fork, ForkRequest, Ping
 from repro.detectors.heartbeat import Heartbeat
 from repro.errors import ReproError
+from repro.locks.messages import LeaseDenied, LeaseGrant, LeaseRelease, LeaseRequest
 
 __all__ = [
     "FrameDecoder",
@@ -63,6 +70,7 @@ __all__ = [
     "encode_frame",
     "encode_message",
     "frame_size_bits",
+    "frame_wire_bytes",
 ]
 
 
@@ -75,6 +83,10 @@ TAG_ACK = 0x02
 TAG_FORK_REQUEST = 0x03
 TAG_FORK = 0x04
 TAG_HEARTBEAT = 0x05
+TAG_LEASE_REQUEST = 0x06
+TAG_LEASE_GRANT = 0x07
+TAG_LEASE_RELEASE = 0x08
+TAG_LEASE_DENIED = 0x09
 
 #: Flag bit: the payload carries a trailing trace-context block.
 TAG_TRACED = 0x80
@@ -90,7 +102,15 @@ _TAG_OF_TYPE = {
     ForkRequest: TAG_FORK_REQUEST,
     Fork: TAG_FORK,
     Heartbeat: TAG_HEARTBEAT,
+    LeaseRequest: TAG_LEASE_REQUEST,
+    LeaseGrant: TAG_LEASE_GRANT,
+    LeaseRelease: TAG_LEASE_RELEASE,
+    LeaseDenied: TAG_LEASE_DENIED,
 }
+
+#: Cap on the UTF-8 byte length of an in-frame string (resource names,
+#: denial reasons); keeps every lease frame under MAX_PAYLOAD_BYTES.
+MAX_STRING_BYTES = 64
 
 #: Hard ceiling on one frame's payload (a dining frame is ~10 bytes; even
 #: adversarial 64-bit ids stay under 64).  Keeps a corrupted length prefix
@@ -134,6 +154,42 @@ def _decode_uvarint(data: bytes, offset: int) -> Tuple[int, int]:
         shift += 7
 
 
+def _uvarint_size(value: int) -> int:
+    """Encoded byte length of ``value`` as an unsigned LEB128 varint."""
+    if value < 0:
+        raise WireCodecError(f"cannot encode negative value {value} as uvarint")
+    size = 1
+    value >>= 7
+    while value:
+        size += 1
+        value >>= 7
+    return size
+
+
+def _encode_string(text: str) -> bytes:
+    raw = text.encode("utf-8")
+    if len(raw) > MAX_STRING_BYTES:
+        raise WireCodecError(
+            f"string of {len(raw)} UTF-8 bytes exceeds cap {MAX_STRING_BYTES}"
+        )
+    return _encode_uvarint(len(raw)) + raw
+
+
+def _decode_string(data: bytes, offset: int) -> Tuple[str, int]:
+    length, offset = _decode_uvarint(data, offset)
+    if length > MAX_STRING_BYTES:
+        raise WireCodecError(
+            f"string of {length} UTF-8 bytes exceeds cap {MAX_STRING_BYTES}"
+        )
+    end = offset + length
+    if end > len(data):
+        raise WireCodecError("truncated string")
+    try:
+        return data[offset:end].decode("utf-8"), end
+    except UnicodeDecodeError as exc:
+        raise WireCodecError(f"malformed UTF-8 string: {exc}") from None
+
+
 # ----------------------------------------------------------------------
 # Message payloads
 # ----------------------------------------------------------------------
@@ -166,6 +222,14 @@ def encode_message(
         head += _encode_uvarint(message.color)
     elif tag == TAG_HEARTBEAT:
         head += struct.pack(">d", message.sent_at)
+    elif tag == TAG_LEASE_REQUEST:
+        head += _encode_string(message.resource) + _encode_uvarint(message.ttl_ms)
+    elif tag == TAG_LEASE_GRANT:
+        head += _encode_uvarint(message.lease_id) + _encode_uvarint(message.ttl_ms)
+    elif tag == TAG_LEASE_RELEASE:
+        head += _encode_uvarint(message.lease_id)
+    elif tag == TAG_LEASE_DENIED:
+        head += _encode_string(message.reason)
     if context is None:
         return head
     trace_id, span_id, lamport = context
@@ -201,6 +265,20 @@ def decode_message_ex(payload: bytes) -> Tuple[int, int, int, object, Optional[T
         (sent_at,) = struct.unpack_from(">d", payload, offset)
         offset += 8
         message = Heartbeat(sent_at=sent_at)
+    elif tag == TAG_LEASE_REQUEST:
+        resource, offset = _decode_string(payload, offset)
+        ttl_ms, offset = _decode_uvarint(payload, offset)
+        message = LeaseRequest(src, resource, ttl_ms)
+    elif tag == TAG_LEASE_GRANT:
+        lease_id, offset = _decode_uvarint(payload, offset)
+        ttl_ms, offset = _decode_uvarint(payload, offset)
+        message = LeaseGrant(src, lease_id, ttl_ms)
+    elif tag == TAG_LEASE_RELEASE:
+        lease_id, offset = _decode_uvarint(payload, offset)
+        message = LeaseRelease(src, lease_id)
+    elif tag == TAG_LEASE_DENIED:
+        reason, offset = _decode_string(payload, offset)
+        message = LeaseDenied(src, reason)
     else:
         raise WireCodecError(f"unknown message tag 0x{tag:02x}")
     context: Optional[TraceTag] = None
@@ -278,7 +356,9 @@ class FrameDecoder:
     def _drain(self) -> Iterator[WireMessage]:
         while True:
             try:
-                length, offset = _decode_uvarint(bytes(self._buffer[:10]), 0)
+                # The buffer is indexed directly (a bytearray yields ints,
+                # exactly like bytes) — no per-frame prefix copy.
+                length, offset = _decode_uvarint(self._buffer, 0)
             except WireCodecError:
                 if len(self._buffer) >= 10:
                     raise  # 10 bytes cannot fail to hold a sane length varint
@@ -303,6 +383,44 @@ class FrameDecoder:
         return len(self._buffer)
 
 
+def frame_wire_bytes(
+    src: int, dst: int, seq: int, message, context: Optional[TraceTag] = None
+) -> int:
+    """Exact byte length of ``encode_frame(...)`` without building it.
+
+    The live host's loopback fast path skips the encode/decode round trip
+    entirely (the decoded tuple is already in hand) but still accounts
+    frame sizes in its wire log; this computes the identical length from
+    varint arithmetic alone, allocation-free.
+    """
+    tag = _TAG_OF_TYPE.get(type(message))
+    if tag is None:
+        raise WireCodecError(
+            f"no wire encoding for message type {type(message).__name__}"
+        )
+    size = 1 + _uvarint_size(src) + _uvarint_size(dst) + _uvarint_size(seq)
+    if tag == TAG_FORK_REQUEST:
+        size += _uvarint_size(message.color)
+    elif tag == TAG_HEARTBEAT:
+        size += 8
+    elif tag == TAG_LEASE_REQUEST:
+        raw = len(message.resource.encode("utf-8"))
+        size += _uvarint_size(raw) + raw + _uvarint_size(message.ttl_ms)
+    elif tag == TAG_LEASE_GRANT:
+        size += _uvarint_size(message.lease_id) + _uvarint_size(message.ttl_ms)
+    elif tag == TAG_LEASE_RELEASE:
+        size += _uvarint_size(message.lease_id)
+    elif tag == TAG_LEASE_DENIED:
+        raw = len(message.reason.encode("utf-8"))
+        size += _uvarint_size(raw) + raw
+    if context is not None:
+        trace_id, span_id, lamport = context
+        size += (
+            _uvarint_size(trace_id) + _uvarint_size(span_id) + _uvarint_size(lamport)
+        )
+    return _uvarint_size(size) + size
+
+
 def frame_size_bits(
     src: int, dst: int, seq: int, message, context: Optional[TraceTag] = None
 ) -> int:
@@ -312,4 +430,4 @@ def frame_size_bits(
     growth: for the dining types this is a constant plus the varint cost
     of two pids and a sequence number, each ⌈⌈log₂ x⌉/7⌉ bytes.
     """
-    return 8 * len(encode_frame(src, dst, seq, message, context))
+    return 8 * frame_wire_bytes(src, dst, seq, message, context)

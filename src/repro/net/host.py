@@ -38,12 +38,11 @@ completes and reports everything it saw.
 from __future__ import annotations
 
 import asyncio
-import dataclasses
 import json
 import os
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, NamedTuple, Optional, Sequence, Tuple
 
 from repro.checks import (
     CheckConfig,
@@ -64,11 +63,12 @@ from repro.detectors.heartbeat import HeartbeatDetector
 from repro.errors import ConfigurationError
 from repro.graphs.coloring import Coloring, greedy_coloring, validate_coloring
 from repro.graphs.conflict import ConflictGraph
+from repro.locks.messages import LeaseDenied
 from repro.net.codec import (
     FrameDecoder,
     WireCodecError,
-    decode_frame_ex,
     encode_frame,
+    frame_wire_bytes,
 )
 from repro.net.substrate import LiveSubstrate
 from repro.obs.flight import FlightRecorder
@@ -123,14 +123,15 @@ class HostConfig:
     flight_capacity: int = 512
 
 
-@dataclass(frozen=True)
-class WireEvent:
+class WireEvent(NamedTuple):
     """One observed transport event, timestamped on the shared epoch clock.
 
     ``kind`` is ``send``, ``deliver``, or ``drop`` (delivery attempt at a
     crashed actor).  Both endpoints of a cross-host edge log with the same
     machine's clock, so merged wire logs reconstruct exact per-edge
-    occupancy with no skew correction.
+    occupancy with no skew correction.  A named tuple rather than a
+    dataclass: the wire log appends two of these per local message, and
+    tuple construction is the cheapest allocation the interpreter offers.
     """
 
     kind: str
@@ -296,6 +297,19 @@ class AsyncHost:
             on_violation=self._on_check_violation,
         )
         self._probe = ProbeEvent(0.0, self.diners)
+        # Per-pid partial probes: a step at one diner can only change that
+        # diner's own flags and the fork/token state of its incident
+        # edges, so post-step checking restricts to those (the full-scan
+        # probe remains for steps without a single responsible pid).
+        self._pid_probes: Dict[ProcessId, ProbeEvent] = {
+            pid: ProbeEvent(
+                0.0,
+                self.diners,
+                edges=tuple(e for e in self._local_edges if pid in e),
+                pairs=((pid, None),),
+            )
+            for pid in self.local_pids
+        }
         self.trace.add_listener(self._on_trace_record, types=(PhaseChange, Crash))
         self._end: Optional[float] = None
 
@@ -324,6 +338,14 @@ class AsyncHost:
         self.scrape_address: Optional[Tuple[str, int]] = None
         self._writers: Dict[int, asyncio.StreamWriter] = {}
         self._reader_tasks: List[asyncio.Task] = []
+        self._conn_writers: List[asyncio.StreamWriter] = []
+        # Outbound coalescing: frames for a peer accumulate in one buffer
+        # and a single call_soon flushes the batch — one syscall per loop
+        # turn per peer instead of one writer.write per frame.
+        self._out_buffers: Dict[int, bytearray] = {}
+        self._flush_pending: set = set()
+        #: Installed by :meth:`repro.locks.service.LockService.install`.
+        self.lock_service = None
 
     # ------------------------------------------------------------------
     # Substrate surface (consumed by LiveSubstrate)
@@ -335,8 +357,18 @@ class AsyncHost:
             return 0.0
         return time.time() - self._epoch
 
-    def guarded(self, callback, label: str = ""):
-        """Wrap an actor callback: capture exceptions, then run checkers."""
+    @property
+    def placement(self) -> Dict[ProcessId, int]:
+        """The pid -> host-index routing map (read-only by convention)."""
+        return self._placement
+
+    def guarded(self, callback, label: str = "", pid: Optional[ProcessId] = None):
+        """Wrap an actor callback: capture exceptions, then run checkers.
+
+        With ``pid`` the post-step probe restricts to that diner's state
+        and incident edges (a timer or reevaluation callback can only
+        have changed its own actor); without it the full scan runs.
+        """
 
         def step() -> None:
             if self._finished:
@@ -346,12 +378,19 @@ class AsyncHost:
             except Exception as exc:  # noqa: BLE001 - every actor fault is a finding
                 self._record_violation(f"{label or 'step'}: {exc}")
                 return
-            self._after_step()
+            self._after_step(pid)
 
         return step
 
     def transmit(self, src: ProcessId, dst: ProcessId, message) -> None:
-        """Route one message: local FIFO queue or the peer connection."""
+        """Route one message: local FIFO queue or the peer connection.
+
+        Local edges never touch the codec: the decoded form is what the
+        receiving actor wants, so the message object rides ``call_soon``
+        directly and only its *would-be* frame size is accounted
+        (:func:`frame_wire_bytes` — exact, allocation-free).  Remote
+        edges encode once and coalesce into the peer's output buffer.
+        """
         if self._finished:
             return
         key = (src, dst)
@@ -359,19 +398,17 @@ class AsyncHost:
         self._next_seq[key] = seq
         now = self.now
         context = None if self.tracer is None else self.tracer.send(now, src)
-        frame = encode_frame(src, dst, seq, message, context)
         name = type(message).__name__
         layer = message_layer(message)
-        self._wire(
-            WireEvent("send", src, dst, name, layer, seq, now, 8 * len(frame))
-        )
         if self._placement[dst] == self.host_index:
+            bits = 8 * frame_wire_bytes(src, dst, seq, message, context)
+            self._wire(WireEvent("send", src, dst, name, layer, seq, now, bits))
             # Local edge: both endpoints observable, so the live per-edge
             # gauge and the Section 7 bound checker are exact here.
             self._net_probe.on_send(src, dst, message, now)
             self.checks.observe(SendEvent(now, src, dst, name, layer, seq))
             if self._inject_latency is None:
-                self.loop.call_soon(self._deliver_frame, frame)
+                self.loop.call_soon(self._receive, src, dst, seq, message, context)
             else:
                 # Once a channel carries injected delays, every delivery on
                 # it goes through call_later and is clamped to the channel
@@ -386,10 +423,15 @@ class AsyncHost:
                 if front is not None and when <= front:
                     when = front + 1e-6
                 self._delay_front[key] = when
-                self.loop.call_at(when, self._deliver_frame, frame)
+                self.loop.call_at(when, self._receive, src, dst, seq, message, context)
         else:
+            frame = encode_frame(src, dst, seq, message, context)
+            self._wire(
+                WireEvent("send", src, dst, name, layer, seq, now, 8 * len(frame))
+            )
             self.registry.counter("net.messages_sent_total", type=name, layer=layer).inc()
-            writer = self._writers.get(self._placement[dst])
+            peer = self._placement[dst]
+            writer = self._writers.get(peer)
             if writer is None or writer.is_closing():
                 # The peer is gone (crashed hosts sever their links, and
                 # hosts wind down independently): the message is lost in
@@ -401,18 +443,34 @@ class AsyncHost:
                     "net.messages_dropped_total", type=name, layer=layer
                 ).inc()
             else:
-                writer.write(frame)
+                self._buffer_frame(peer, frame)
 
     # ------------------------------------------------------------------
     # Delivery
     # ------------------------------------------------------------------
-    def _deliver_frame(self, frame: bytes) -> None:
-        try:
-            src, dst, seq, message, context = decode_frame_ex(frame)
-        except WireCodecError as exc:
-            self._record_violation(f"undecodable loopback frame: {exc}")
+    def _buffer_frame(self, peer: int, frame: bytes) -> None:
+        """Append to the peer's output buffer; flush once per loop turn."""
+        buffer = self._out_buffers.get(peer)
+        if buffer is None:
+            buffer = self._out_buffers[peer] = bytearray()
+        buffer += frame
+        if peer not in self._flush_pending:
+            self._flush_pending.add(peer)
+            self.loop.call_soon(self._flush_peer, peer)
+
+    def _flush_peer(self, peer: int) -> None:
+        self._flush_pending.discard(peer)
+        buffer = self._out_buffers.get(peer)
+        if not buffer:
             return
-        self._receive(src, dst, seq, message, context)
+        writer = self._writers.get(peer)
+        if writer is not None and not writer.is_closing():
+            writer.write(bytes(buffer))
+        buffer.clear()
+
+    def _flush_all_peers(self) -> None:
+        for peer in list(self._out_buffers):
+            self._flush_peer(peer)
 
     def _receive(
         self,
@@ -450,10 +508,9 @@ class AsyncHost:
             WireEvent("deliver", src, dst, name, layer, seq, now, 0)
         )
         if self.tracer is not None:
-            self.tracer.receive(
-                now, src, dst, name,
-                None if context is None else SpanContext(*context),
-            )
+            if context is not None and type(context) is not SpanContext:
+                context = SpanContext(*context)
+            self.tracer.receive(now, src, dst, name, context)
         self.checks.observe(DeliverEvent(now, src, dst, name, layer, seq))
         if local_src:
             self._net_probe.on_deliver(src, dst, message, now)
@@ -466,14 +523,15 @@ class AsyncHost:
         except Exception as exc:  # noqa: BLE001 - every actor fault is a finding
             self._record_violation(f"deliver {name} {src}->{dst}: {exc}")
             return
-        self._after_step()
+        self._after_step(dst)
 
     # ------------------------------------------------------------------
     # Checking
     # ------------------------------------------------------------------
-    def _after_step(self) -> None:
-        self._probe.time = self.now
-        self.checks.observe(self._probe)
+    def _after_step(self, pid: Optional[ProcessId] = None) -> None:
+        probe = self._probe if pid is None else self._pid_probes.get(pid, self._probe)
+        probe.time = self.now
+        self.checks.observe(probe)
 
     def _on_trace_record(self, record) -> None:
         event = event_from_trace_record(record)
@@ -495,7 +553,7 @@ class AsyncHost:
     def _wire(self, event: WireEvent) -> None:
         self.wire_events.append(event)
         if self.flight is not None:
-            self.flight.record_wire(dataclasses.asdict(event))
+            self.flight.record_wire(event._asdict())
 
     def _on_check_violation(self, violation: Violation) -> None:
         self._record_violation(f"{violation.prop}: {violation.detail}")
@@ -599,27 +657,60 @@ class AsyncHost:
                 await asyncio.sleep(0.05)
 
     def _on_connection(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
-        self._reader_tasks.append(asyncio.ensure_future(self._read_connection(reader)))
+        self._conn_writers.append(writer)
+        self._reader_tasks.append(
+            asyncio.ensure_future(self._read_connection(reader, writer))
+        )
 
-    async def _read_connection(self, reader: asyncio.StreamReader) -> None:
+    async def _read_connection(
+        self,
+        reader: asyncio.StreamReader,
+        writer: Optional[asyncio.StreamWriter] = None,
+    ) -> None:
+        """Single reader per connection, multiplexing every session on it.
+
+        Dining frames go to the local actors; ``layer="locks"`` frames go
+        to the lease service with this connection's writer for replies
+        (they never enter the dining checkers or the wire log — client
+        sessions are not conflict-graph channels).  EOF or reset abandons
+        every session bound to the connection, which is what starts the
+        TTL-reclaim clock for a crashed client.
+        """
         decoder = FrameDecoder(capture_context=True)
-        while True:
-            data = await reader.read(4096)
-            if not data:
-                return
-            try:
-                frames = decoder.feed(data)
-            except WireCodecError as exc:
-                self._record_violation(f"corrupt inbound stream: {exc}")
-                return
-            for src, dst, seq, message, context in frames:
-                self._receive(src, dst, seq, message, context)
+        try:
+            while True:
+                data = await reader.read(65536)
+                if not data:
+                    return
+                try:
+                    frames = decoder.feed(data)
+                except WireCodecError as exc:
+                    self._record_violation(f"corrupt inbound stream: {exc}")
+                    return
+                for src, dst, seq, message, context in frames:
+                    if message_layer(message) == "locks":
+                        service = self.lock_service
+                        if service is None:
+                            if writer is not None and not writer.is_closing():
+                                writer.write(
+                                    encode_frame(0, src, 0, LeaseDenied(0, "no-service"))
+                                )
+                        else:
+                            service.on_frame(src, message, writer)
+                    else:
+                        self._receive(src, dst, seq, message, context)
+        finally:
+            if self.lock_service is not None and writer is not None:
+                self.lock_service.on_connection_lost(writer)
 
     def _kill_connections(self) -> None:
         """Sever every link: what the cluster sees when this host 'crashes'."""
         if self._server is not None:
             self._server.close()
         for writer in self._writers.values():
+            if not writer.is_closing():
+                writer.close()
+        for writer in self._conn_writers:
             if not writer.is_closing():
                 writer.close()
         for task in self._reader_tasks:
@@ -640,7 +731,7 @@ class AsyncHost:
             await asyncio.sleep(start_delay)
 
         for pid, actor in sorted(self.diners.items()):
-            self.guarded(actor.on_start, label=f"start@{pid}")()
+            self.guarded(actor.on_start, label=f"start@{pid}", pid=pid)()
         for pid, instant in sorted(self._crash_times.items()):
             self.loop.call_later(max(0.0, instant - self.now), self._inject_crash, pid)
 
@@ -664,8 +755,16 @@ class AsyncHost:
             self._kill_connections()
 
     async def _shutdown(self) -> None:
+        if self.lock_service is not None:
+            self.lock_service.shutdown()
+            for lease in self.lock_service.core.leaked_leases():
+                self._record_violation(
+                    f"locks: leaked lease {lease.lease_id} on {lease.resource} "
+                    f"(session {lease.session}, diner {lease.pid} not eating)"
+                )
         self._finished = True
         self._end = self.now
+        self._flush_all_peers()
         self._kill_connections()
         if self._server is not None:
             try:
@@ -753,6 +852,9 @@ class AsyncHost:
             "scrape_address": list(self.scrape_address) if self.scrape_address else None,
             "max_in_transit_local": self._net_probe.max_in_transit(),
             "false_suspicion_retractions": self.detector.total_false_retractions(),
+            "locks": (
+                None if self.lock_service is None else self.lock_service.core.snapshot()
+            ),
         }
 
     def write_outputs(self, directory: str) -> None:
@@ -763,7 +865,7 @@ class AsyncHost:
             dump_spans(os.path.join(directory, "spans.jsonl"), self.spans)
         with open(os.path.join(directory, "wire.jsonl"), "w", encoding="utf-8") as stream:
             for event in self.wire_events:
-                stream.write(json.dumps(dataclasses.asdict(event), sort_keys=True))
+                stream.write(json.dumps(event._asdict(), sort_keys=True))
                 stream.write("\n")
         with open(os.path.join(directory, "metrics.json"), "w", encoding="utf-8") as stream:
             json.dump(self.registry.snapshot(), stream, indent=2, sort_keys=True)
@@ -774,6 +876,17 @@ class AsyncHost:
 
 
 def run_host(host: AsyncHost) -> Dict[str, object]:
-    """Run one host to completion on a fresh event loop; returns its result."""
-    asyncio.run(host.run())
+    """Run one host to completion on a fresh event loop; returns its result.
+
+    Uses uvloop's event loop when the interpreter has it (a drop-in
+    libuv-backed loop with cheaper timers and socket I/O); the stock
+    asyncio loop otherwise — no hard dependency either way.
+    """
+    try:
+        import uvloop  # type: ignore[import-not-found]
+    except ImportError:
+        asyncio.run(host.run())
+    else:
+        with asyncio.Runner(loop_factory=uvloop.new_event_loop) as runner:
+            runner.run(host.run())
     return host.result()

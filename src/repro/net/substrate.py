@@ -94,10 +94,14 @@ class LiveSubstrate:
     ) -> LiveTimer:
         delay = validate_duration(delay, name=label or "timer delay")
         timer = LiveTimer(
-            self._host.loop.call_later(delay, self._host.guarded(callback, label)),
+            self._host.loop.call_later(
+                delay, self._host.guarded(callback, label, self._pid)
+            ),
             label,
         )
         return timer
 
     def request_reevaluation(self, callback: Callable[[], None], *, label: str = "") -> None:
-        self._host.loop.call_soon(self._host.guarded(callback, label))
+        # The callback belongs to this substrate's actor, so the post-step
+        # probe can restrict to it.
+        self._host.loop.call_soon(self._host.guarded(callback, label, self._pid))

@@ -2,11 +2,14 @@
 running discrete-event simulation.
 
 The adapter is the only glue between the kernel and the checks
-subsystem: it registers as a network monitor (stamping per-directed-
-channel sequence numbers onto sends, exactly like the live wire codec,
-so the canonical FIFO checker judges both substrates identically), as a
-step listener (state probes), and as a typed trace listener (phase and
-doorway changes, crashes).
+subsystem: it registers as a network monitor, as a step listener (state
+probes), and as a typed trace listener (phase and doorway changes,
+crashes).  Per-directed-channel sequence numbers are stamped by the
+*network itself* (:meth:`repro.sim.network.Network.enable_sequencing`,
+armed at attach) exactly like the live wire codec numbers every frame,
+so the canonical FIFO checker judges both substrates over the identical
+all-layer stream and the adapter only has to compare the consumed
+number against the channel's expected position.
 
 Checking is armed by default on every :class:`~repro.core.table.DiningTable`,
 so this path has a hard wall-clock budget (see
@@ -36,11 +39,15 @@ so this path has a hard wall-clock budget (see
   instance attributes, so the per-message path does no bound-method
   creation and almost no attribute lookups.  Sends to destinations that
   never crash skip the quiescence call entirely (they can never be
-  post-crash sends); sequence stamping and occupancy are restricted to
-  the checked channel layer (the paper's channel assumption is about
-  dining traffic; heartbeats are loss-tolerant by design); the
-  per-checker ``observed`` counters are reconciled by a suite
-  finalizer, so verdict skip/pass semantics are untouched.
+  post-crash sends); sequencing lives in the network send path (one
+  combined FIFO-front/seq cell per channel), so the adapter keeps a
+  single consumed-position integer per channel instead of a
+  message-identity map; occupancy is restricted to the checked channel
+  layer (the paper's channel *bound* is about dining traffic;
+  heartbeats are loss-tolerant by design) while FIFO order is judged
+  for every layer, as on the wire; the per-checker ``observed``
+  counters are reconciled by a suite finalizer, so verdict skip/pass
+  semantics are untouched.
 * **Deferred eventual-event replay.**  The eventual-property checkers
   (◇WX, progress, overtaking) never judge anything before ``finalize``,
   so the adapter does not pay the per-event suite dispatch while the
@@ -142,12 +149,13 @@ class KernelCheckAdapter(NetworkMonitor):
         self.suite = suite
         self._diners = diners
         self._crashing = set(crashing)
-        # (src, dst) -> [next send seq, last in-order consumed seq,
-        # {id(message) -> assigned seq}] — one state cell per directed
-        # channel, so the hot path builds a single key tuple.  Seqs are
-        # keyed by message identity so an out-of-order delivery (a
-        # network-model bug) surfaces as a FIFO violation.
-        self._chan_state: Dict[Tuple[ProcessId, ProcessId], list] = {}
+        # (src, dst) -> last in-order consumed seq.  The network assigns
+        # the numbers (enable_sequencing, armed at attach); consuming out
+        # of order (a network-model bug) surfaces as a FIFO violation.
+        self._consumed: Dict[Tuple[ProcessId, ProcessId], int] = {}
+        # Filled by attach(): the network whose last_send_seq /
+        # delivering_seq the hooks read (a cell for late binding).
+        self._net_cell: list = [None]
         # message class -> (type name, layer, kind tag, counts toward the
         # channel bound); class attributes, so one resolution per class
         # serves every instance.
@@ -199,7 +207,8 @@ class KernelCheckAdapter(NetworkMonitor):
         suite = self.suite
         diners = self._diners
         crashing = self._crashing
-        chan_state = self._chan_state
+        consumed = self._consumed
+        net_cell = self._net_cell
         type_info = self._type_info
         dirty_edges = self._dirty_edges
         dirty_pairs = self._dirty_pairs
@@ -227,7 +236,9 @@ class KernelCheckAdapter(NetworkMonitor):
         # ``record_consume`` would rebuild the channel key and repeat the
         # dict traffic the adapter just paid); the checker's own state is
         # synced and its method invoked whenever the guard trips, so the
-        # violation text and resync policy stay canonical.
+        # violation text and resync policy stay canonical.  The number
+        # itself comes from the network (``delivering_seq``): the adapter
+        # pays one dict op per consume, none per send.
         fifo_consume = fifo.record_consume if judge_fifo else None
         fifo_expected = fifo._expected if judge_fifo else None
         pending_ping = self._pending_ping
@@ -282,22 +293,10 @@ class KernelCheckAdapter(NetworkMonitor):
             counters[0] += 1
             sent_by_class[cls] += 1
             if counted:
-                # Sequence numbers and occupancy track the checked
-                # channel layer; other layers are invisible to the FIFO
-                # and bound checkers.
-                if judge_fifo:
-                    chan = chan_state.get((src, dst))
-                    if chan is None:
-                        chan = chan_state[(src, dst)] = [0, 0, {}]
-                    chan[0] = seq = chan[0] + 1
-                    pend = chan[2]
-                    prev = pend.setdefault(id(message), seq)
-                    if prev != seq:
-                        # Same object in flight twice on one channel (rare).
-                        if type(prev) is list:
-                            prev.append(seq)
-                        else:
-                            pend[id(message)] = [prev, seq]
+                # Occupancy tracks the checked channel layer; other
+                # layers are invisible to the bound checker.  (Sequence
+                # numbers are the network's job now — nothing to do at
+                # send.)
                 if occ_current is not None:
                     edge = (src, dst) if src <= dst else (dst, src)
                     level = occ_current[edge] + 1
@@ -332,38 +331,30 @@ class KernelCheckAdapter(NetworkMonitor):
             else:
                 counters[1] += 1
 
-        def consume(src, dst, message, time, layer):
-            # Counted-message retirement; the drop path (rare: only
-            # traffic to crashed destinations) calls this, the deliver
-            # path inlines the same logic.
-            chan = chan_state.get((src, dst))
-            if chan is None:
-                chan = chan_state[(src, dst)] = [0, 0, {}]
-            seq = chan[2].pop(id(message), None)
-            if type(seq) is list:
-                first = seq.pop(0)
-                if seq:
-                    chan[2][id(message)] = seq
-                seq = first
-            if seq is not None:
-                expected = chan[1] + 1
-                if seq == expected:
-                    chan[1] = expected
-                    counters[2] += 1
-                else:
-                    # Guard tripped: sync the checker to the adapter's
-                    # channel position and let it judge canonically.
-                    fifo_expected[(src, dst)] = chan[1]
-                    violation = fifo_consume(src, dst, seq, time)
-                    if violation is not None:
-                        report(violation)
-                    chan[1] = fifo_expected.get((src, dst), chan[1])
+        def consume(src, dst, time):
+            # FIFO retirement, all layers — the network numbered every
+            # send on the channel, so the consumed number must be the
+            # channel's next position regardless of message kind.  The
+            # drop path (rare: only traffic to crashed destinations)
+            # calls this; the deliver path inlines the same logic.
+            seq = net_cell[0].delivering_seq
+            key = (src, dst)
+            position = consumed.get(key, 0)
+            if seq == position + 1:
+                consumed[key] = seq
+                counters[2] += 1
+            elif seq:
+                # Guard tripped: sync the checker to the adapter's
+                # channel position and let it judge canonically.
+                fifo_expected[key] = position
+                violation = fifo_consume(src, dst, seq, time)
+                if violation is not None:
+                    report(violation)
+                consumed[key] = fifo_expected.get(key, position)
             else:
-                # Delivery of a message never seen at send (foreign
-                # injection): counted as unsequenced, never judged.
+                # Unsequenced delivery (injected behind the network's
+                # back): counted, never judged.
                 fifo_consume(src, dst, None, time)
-            if occ_depart is not None:
-                occ_depart(src, dst, layer)
 
         def on_deliver(src, dst, message, time):
             info = type_info.get(type(message))
@@ -371,35 +362,26 @@ class KernelCheckAdapter(NetworkMonitor):
                 info = intern(message)
             _, layer, kind, counted = info
             counters[0] += 1
-            if counted:
-                if judge_fifo:
-                    chan = chan_state.get((src, dst))
-                    if chan is None:
-                        chan = chan_state[(src, dst)] = [0, 0, {}]
-                    seq = chan[2].pop(id(message), None)
-                    if type(seq) is list:
-                        first = seq.pop(0)
-                        if seq:
-                            chan[2][id(message)] = seq
-                        seq = first
-                    if seq is not None:
-                        expected = chan[1] + 1
-                        if seq == expected:
-                            chan[1] = expected
-                            counters[2] += 1
-                        else:
-                            fifo_expected[(src, dst)] = chan[1]
-                            violation = fifo_consume(src, dst, seq, time)
-                            if violation is not None:
-                                report(violation)
-                            chan[1] = fifo_expected.get((src, dst), chan[1])
-                    else:
-                        fifo_consume(src, dst, None, time)
-                if occ_current is not None:
-                    edge = (src, dst) if src <= dst else (dst, src)
-                    level = occ_current[edge]
-                    if level > 0:
-                        occ_current[edge] = level - 1
+            if judge_fifo:
+                seq = net_cell[0].delivering_seq
+                key = (src, dst)
+                position = consumed.get(key, 0)
+                if seq == position + 1:
+                    consumed[key] = seq
+                    counters[2] += 1
+                elif seq:
+                    fifo_expected[key] = position
+                    violation = fifo_consume(src, dst, seq, time)
+                    if violation is not None:
+                        report(violation)
+                    consumed[key] = fifo_expected.get(key, position)
+                else:
+                    fifo_consume(src, dst, None, time)
+            if counted and occ_current is not None:
+                edge = (src, dst) if src <= dst else (dst, src)
+                level = occ_current[edge]
+                if level > 0:
+                    occ_current[edge] = level - 1
             if kind == 3:  # _KIND_FORKISH
                 if fork_probe is not None:
                     mark_edge((src, dst) if src <= dst else (dst, src))
@@ -416,11 +398,10 @@ class KernelCheckAdapter(NetworkMonitor):
                 info = intern(message)
             _, layer, kind, counted = info
             counters[0] += 1
-            if counted:
-                if judge_fifo:
-                    consume(src, dst, message, time, layer)
-                elif occ_depart is not None:
-                    occ_depart(src, dst, layer)
+            if judge_fifo:
+                consume(src, dst, time)
+            if counted and occ_depart is not None:
+                occ_depart(src, dst, layer)
             # A dropped ack still retires the pending ping (the
             # destination is crashed; its frozen state is not probed).
             if kind == 2 and pp_ack is not None:
@@ -438,6 +419,10 @@ class KernelCheckAdapter(NetworkMonitor):
 
     def attach(self, sim, network, trace) -> "KernelCheckAdapter":
         self._sim_cell[0] = sim
+        self._net_cell[0] = network
+        if self._fifo is not None:
+            # The network stamps the numbers the FIFO hooks consume.
+            network.enable_sequencing()
         network.add_monitor(self)
         trace.add_listener(
             self._on_state_record, types=(PhaseChange, DoorwayChange)

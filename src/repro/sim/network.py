@@ -55,19 +55,23 @@ class _Delivery:
     scheme allocates (closure + cell) on every single send.
     """
 
-    __slots__ = ("_network", "src", "dst", "message")
+    __slots__ = ("_network", "src", "dst", "message", "seq")
 
     def __init__(self, network: "Network") -> None:
         self._network = network
         self.src: ProcessId = -1
         self.dst: ProcessId = -1
         self.message = None
+        self.seq = 0
 
     def __call__(self) -> None:
         network = self._network
         src = self.src
         dst = self.dst
         message = self.message
+        # Monitors read the consumed sequence number from the network
+        # while their on_deliver/on_drop hook runs (see delivering_seq).
+        network.delivering_seq = self.seq
         # Recycle before delivering: the queue entry referencing this
         # record is already popped, and the receiver's reaction may send
         # (and thus want a fresh record) immediately.
@@ -105,9 +109,18 @@ class Network:
         )
         self._actors: Dict[ProcessId, Actor] = {}
         self._monitors: List[NetworkMonitor] = []
-        # Last *scheduled* delivery instant per directed channel; clamping
-        # against it is what makes channels FIFO.
-        self._channel_front: Dict[tuple, Instant] = {}
+        # Per-directed-channel cell ``[front, seq]``: the last *scheduled*
+        # delivery instant (clamping against it is what makes channels
+        # FIFO) and the last assigned sequence number (0 until
+        # :meth:`enable_sequencing`).  One dict lookup per send serves
+        # both jobs.
+        self._channels: Dict[tuple, list] = {}
+        self._sequencing = False
+        #: Sequence number of the most recent send (monitors read it from
+        #: their ``on_send`` hook) / of the delivery or drop currently
+        #: being dispatched.  0 means unsequenced.
+        self.last_send_seq = 0
+        self.delivering_seq = 0
         # Free list of _Delivery records and the per-message-class label
         # cache ("deliver Fork"): the profiler aggregates labels to
         # exactly this granularity (see repro.obs.profile.normalize).
@@ -139,6 +152,16 @@ class Network:
 
     def add_monitor(self, monitor: NetworkMonitor) -> None:
         self._monitors.append(monitor)
+
+    def enable_sequencing(self) -> None:
+        """Stamp a per-directed-channel sequence number on every send.
+
+        Mirrors the live wire codec, which numbers every frame on a
+        channel regardless of layer — so the canonical FIFO checker
+        judges both substrates over the identical stream.  Off by
+        default: a bare unchecked run pays nothing.
+        """
+        self._sequencing = True
 
     def start(self) -> None:
         """Invoke every actor's ``on_start`` hook (in pid order)."""
@@ -173,11 +196,17 @@ class Network:
                 )
         arrival = now + delay
         key = (src, dst)
-        fronts = self._channel_front
-        front = fronts.get(key)
-        if front is not None and arrival < front:
-            arrival = front
-        fronts[key] = arrival
+        channels = self._channels
+        cell = channels.get(key)
+        if cell is None:
+            cell = channels[key] = [0.0, 0]
+        if arrival < cell[0]:
+            arrival = cell[0]
+        cell[0] = arrival
+        seq = 0
+        if self._sequencing:
+            cell[1] = seq = cell[1] + 1
+            self.last_send_seq = seq
 
         self.sent_count += 1
         monitors = self._monitors
@@ -190,6 +219,7 @@ class Network:
         record.src = src
         record.dst = dst
         record.message = message
+        record.seq = seq
         cls = type(message)
         labels = self._labels
         label = labels.get(cls)

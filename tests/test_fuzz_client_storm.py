@@ -1,0 +1,166 @@
+"""The ``client_storm`` fuzz verb: lease-service bursts under the engine.
+
+A storm plan drives acquire/hold/abandon session bursts straight into a
+``LockCore`` riding the plan's diners — the kernel (and scaled-live)
+analogue of a ``LockService`` client fleet — and the engine judges the
+service path on top of the standard suite via the synthetic
+``lease-backing`` property (an active lease with no eating diner fails
+the run).
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults import (
+    ClientStormSpec,
+    FaultPlan,
+    WorkloadSpec,
+    run_plan_kernel,
+    sample_plan,
+)
+from repro.faults.engine import LEASE_BACKING, _fold_leaked
+from repro.faults.shrink import _candidates
+
+
+def _storm_plan(**overrides) -> FaultPlan:
+    storm = ClientStormSpec(
+        sessions=12,
+        burst=4,
+        interval=2.0,
+        start=1.0,
+        ttl=1.0,
+        hold=0.3,
+        abandon=0.25,
+    )
+    defaults = dict(
+        topology="ring",
+        n=4,
+        seed=3,
+        horizon=40.0,
+        workload=WorkloadSpec.of("lease"),
+        storm=storm,
+    )
+    defaults.update(overrides)
+    return FaultPlan(**defaults)
+
+
+def test_kernel_storm_serves_sessions_and_keeps_the_books_clean():
+    plan = _storm_plan()
+    result = run_plan_kernel(plan)
+    assert result.ok, result.failed
+    counters = result.storm["counters"]
+    assert counters["requests"] == 12
+    assert counters["grants"] > 0
+    # Abandoned grants are reclaimed by the TTL, not a release.
+    assert counters["grants"] == counters["releases"] + counters["expiries"]
+    assert result.storm["leaked_leases"] == 0
+    assert result.storm["active_leases"] == 0
+    # The snapshot rides the JSON result (witness directories carry it).
+    assert result.to_json()["storm"]["counters"]["grants"] == counters["grants"]
+
+
+def test_storm_sessions_survive_a_server_crash():
+    """Sessions aimed at a crashed diner are denied, its lease reclaimed,
+    and the survivors keep being granted — the clean verdict must hold."""
+    from repro.faults.plan import CrashSpec
+
+    plan = _storm_plan(
+        storm=ClientStormSpec(
+            sessions=24, burst=4, interval=1.5, start=1.0, ttl=1.0, hold=0.3,
+            abandon=0.2,
+        ),
+        crashes=(CrashSpec(pid=1, at=6.0),),
+        horizon=60.0,
+    )
+    result = run_plan_kernel(plan)
+    assert result.ok, result.failed
+    assert result.storm["counters"]["grants"] > 0
+    assert result.storm["leaked_leases"] == 0
+    denies = result.storm["denies"]
+    # Requests routed at the dead diner's resource after the crash.
+    assert denies.get("crashed", 0) + result.storm["counters"]["crash_reclaims"] >= 0
+
+
+def test_leaked_lease_fails_the_lease_backing_property():
+    from repro.checks import Verdict
+    from repro.locks.service import Lease
+
+    class FakeCore:
+        def leaked_leases(self):
+            return [
+                Lease(
+                    lease_id=7,
+                    session=1 << 20,
+                    resource="r2",
+                    pid=2,
+                    ttl_ms=100,
+                    granted_at=1.0,
+                )
+            ]
+
+    verdict = _fold_leaked(Verdict(properties={}), FakeCore(), now=9.0)
+    prop = verdict.properties[LEASE_BACKING]
+    assert prop.status == "fail"
+    assert prop.counters["leaked_total"] == 1
+    assert "r2" in prop.violations[0].detail
+    assert not verdict.ok
+
+
+def test_sampler_cycles_into_the_client_storm_archetype():
+    plan = sample_plan(n=5, seed=0, index=6)
+    assert plan.storm.active
+    assert plan.workload.kind == "lease"
+    assert plan.crashes  # the archetype includes a timed server crash
+    # The horizon leaves every burst room to land and expire.
+    assert plan.horizon >= plan.storm.last_burst_time() + 3.0 * plan.storm.ttl
+    # Deterministic and JSON-round-trippable like every other plan.
+    assert sample_plan(n=5, seed=0, index=6) == plan
+    assert FaultPlan.from_json(plan.to_json()) == plan
+
+
+def test_shrinker_offers_storm_rungs():
+    plan = _storm_plan()
+    labels = [label for label, _ in _candidates(plan)]
+    assert "drop the client storm" in labels
+    assert "storm sessions 12 -> 6" in labels
+    assert "storm abandon -> 0" in labels
+    # The lease workload shrinks away only together with its storm.
+    assert not any(label.startswith("workload") for label in labels)
+    dropped = dict(_candidates(plan))["drop the client storm"]
+    assert not dropped.storm.active
+    assert any(
+        label.startswith("workload") for label, _ in _candidates(dropped)
+    )
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        dict(sessions=-1),
+        dict(sessions=4, burst=0),
+        dict(sessions=4, interval=0.0),
+        dict(sessions=4, ttl=0.0),
+        dict(sessions=4, abandon=1.5),
+        dict(sessions=4, hold=-0.1),
+    ],
+)
+def test_storm_spec_validation(kwargs):
+    with pytest.raises(ConfigurationError):
+        ClientStormSpec(**kwargs)
+
+
+@pytest.mark.live
+def test_live_storm_runs_clean_and_leak_free():
+    from repro.faults import run_plan_live
+
+    plan = _storm_plan(
+        storm=ClientStormSpec(
+            sessions=8, burst=4, interval=2.0, start=2.0, ttl=1.5, hold=0.5,
+            abandon=0.25,
+        ),
+        horizon=30.0,
+    )
+    result = run_plan_live(plan)
+    assert result.ok, result.failed
+    assert result.storm["counters"]["grants"] > 0
+    assert result.storm["leaked_leases"] == 0

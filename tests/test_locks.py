@@ -1,0 +1,345 @@
+"""LockCore unit tests: the lease brain driven by hand, no sockets.
+
+A fake diner pair and a fake trace recorder let every lifecycle edge be
+stepped deterministically: the tests emit the exact ``PhaseChange`` /
+``Crash`` records the real substrates would, and assert the core's
+grant/deny/expiry bookkeeping — including the leak detector that guards
+the invariant "every active lease is backed by an eating diner".
+"""
+
+import pytest
+
+from repro.locks.messages import SESSION_BASE, LeaseDenied, LeaseGrant
+from repro.locks.service import (
+    DENY_BAD_SESSION,
+    DENY_BAD_TTL,
+    DENY_BUSY,
+    DENY_CRASHED,
+    DENY_SESSION_BUSY,
+    DENY_SHUTDOWN,
+    DENY_UNKNOWN,
+    LeaseWorkload,
+    LockCore,
+    default_resources,
+)
+from repro.obs.metrics import MetricsRegistry, counter_total
+from repro.trace.events import Crash, PhaseChange
+
+S1 = SESSION_BASE + 1
+S2 = SESSION_BASE + 2
+S3 = SESSION_BASE + 3
+
+
+class FakeDiner:
+    """Just enough DinerActor surface for the core: phase + two verbs."""
+
+    def __init__(self, pid, harness):
+        self.pid = pid
+        self.harness = harness
+        self.phase = "thinking"
+        self.crashed = False
+        self.hungry_calls = 0
+        self.early_exits = 0
+
+    @property
+    def is_thinking(self):
+        return self.phase == "thinking"
+
+    @property
+    def is_eating(self):
+        return self.phase == "eating"
+
+    def become_hungry_now(self):
+        if self.phase == "thinking":
+            self.phase = "hungry"
+            self.hungry_calls += 1
+
+    def finish_eating_early(self):
+        assert self.phase == "eating", "early release of a non-eating diner"
+        self.early_exits += 1
+        # The real DinerActor runs Action 10 synchronously, which re-enters
+        # the core through the eating->thinking phase change.
+        self.harness.exit_eating(self.pid)
+
+
+class FakeTrace:
+    """Recorder double: stores listeners, lets tests emit records."""
+
+    def __init__(self):
+        self._listeners = []
+
+    def add_listener(self, fn, types=()):
+        self._listeners.append((fn, tuple(types)))
+
+    def emit(self, record):
+        for fn, types in self._listeners:
+            if not types or isinstance(record, types):
+                fn(record)
+
+
+class Harness:
+    """A LockCore over fake diners with a hand-cranked deferral queue."""
+
+    def __init__(self, n=2, registry=None, **kwargs):
+        self.now = 0.0
+        self.deferred = []
+        self.diners = {pid: FakeDiner(pid, self) for pid in range(n)}
+        self.trace = FakeTrace()
+        self.core = LockCore(
+            {f"r{pid}": pid for pid in range(n)},
+            self.diners,
+            clock=lambda: self.now,
+            defer=self.deferred.append,
+            registry=registry,
+            **kwargs,
+        )
+        self.core.attach(self.trace)
+
+    def run_deferred(self):
+        while self.deferred:
+            self.deferred.pop(0)()
+
+    def enter_eating(self, pid):
+        self.diners[pid].phase = "eating"
+        self.trace.emit(PhaseChange(self.now, pid, "hungry", "eating"))
+
+    def exit_eating(self, pid):
+        self.diners[pid].phase = "thinking"
+        self.trace.emit(PhaseChange(self.now, pid, "eating", "thinking"))
+
+    def crash(self, pid):
+        self.diners[pid].crashed = True
+        self.trace.emit(Crash(self.now, pid))
+
+
+def test_request_wakes_diner_and_grant_rides_eating():
+    h = Harness()
+    replies = []
+    h.core.request(S1, "r0", 250, replies.append)
+    # Queued, not answered; the thinking diner got one deferred nudge.
+    assert replies == []
+    assert len(h.deferred) == 1
+    h.run_deferred()
+    assert h.diners[0].hungry_calls == 1
+
+    h.now = 0.5
+    h.enter_eating(0)
+    assert len(replies) == 1 and type(replies[0]) is LeaseGrant
+    grant = replies[0]
+    assert grant.sender == 0 and grant.ttl_ms == 250 and grant.lease_id > 0
+    # The active lease's TTL is exactly what LeaseWorkload will eat for.
+    assert h.core.active_ttl(0) == pytest.approx(0.25)
+
+    assert h.core.release(S1, grant.lease_id) is True
+    assert h.diners[0].early_exits == 1
+    counters = h.core.counters
+    assert counters["grants"] == 1 and counters["releases"] == 1
+    assert counters["expiries"] == 0
+    snap = h.core.snapshot()
+    assert snap["active_leases"] == 0
+    assert snap["waiting_sessions"] == 0
+    assert snap["leaked_leases"] == 0
+
+
+def test_ttl_lapse_reclaims_and_grants_the_contender():
+    h = Harness()
+    replies_a, replies_b = [], []
+    h.core.request(S1, "r0", 100, replies_a.append)
+    h.run_deferred()
+    h.enter_eating(0)
+    assert type(replies_a[0]) is LeaseGrant
+
+    # A second session queues while the lease is held: no wake (the diner
+    # is eating), no reply yet.
+    h.core.request(S2, "r0", 100, replies_b.append)
+    assert replies_b == [] and h.deferred == []
+
+    # The TTL lapses (the meal ends) without a release: expiry, then the
+    # contender's wake fires and its grant rides the next meal.
+    h.now = 0.2
+    h.exit_eating(0)
+    assert h.core.counters["expiries"] == 1
+    h.run_deferred()
+    h.enter_eating(0)
+    assert len(replies_b) == 1 and type(replies_b[0]) is LeaseGrant
+    assert replies_b[0].lease_id != replies_a[0].lease_id
+
+
+def test_wake_is_deduplicated_per_diner():
+    h = Harness()
+    h.core.request(S1, "r0", 100, lambda m: None)
+    h.core.request(S2, "r0", 100, lambda m: None)
+    assert len(h.deferred) == 1  # one pending nudge, not one per request
+
+
+@pytest.mark.parametrize(
+    "session,resource,ttl,reason",
+    [
+        (7, "r0", 100, DENY_BAD_SESSION),  # below the session-id floor
+        (S1, "nope", 100, DENY_UNKNOWN),
+        (S1, "r0", 0, DENY_BAD_TTL),
+        (S1, "r0", 10**9, DENY_BAD_TTL),
+    ],
+)
+def test_deny_reasons_for_bad_requests(session, resource, ttl, reason):
+    h = Harness()
+    replies = []
+    h.core.request(session, resource, ttl, replies.append)
+    assert len(replies) == 1 and type(replies[0]) is LeaseDenied
+    assert replies[0].reason == reason
+    assert h.core.denies == {reason: 1}
+
+
+def test_deny_session_busy_crashed_full_and_shutdown():
+    h = Harness(max_waiters=1)
+    replies = []
+    h.core.request(S1, "r0", 100, replies.append)  # queued
+    h.core.request(S1, "r0", 100, replies.append)  # same session again
+    assert replies[-1].reason == DENY_SESSION_BUSY
+    h.core.request(S2, "r0", 100, replies.append)  # queue already full
+    assert replies[-1].reason == DENY_BUSY
+
+    h.crash(1)
+    h.core.request(S2, "r1", 100, replies.append)
+    assert replies[-1].reason == DENY_CRASHED
+
+    h.core.shutdown()
+    # The queued waiter was flushed with a shutdown denial...
+    assert replies[-1].reason == DENY_SHUTDOWN
+    # ...and new arrivals are refused outright.
+    h.core.request(S3, "r0", 100, replies.append)
+    assert replies[-1].reason == DENY_SHUTDOWN
+    assert h.core.snapshot()["waiting_sessions"] == 0
+
+
+def test_abandoned_waiter_is_skipped_at_grant_time():
+    h = Harness()
+    replies_a, replies_b = [], []
+    h.core.request(S1, "r0", 100, replies_a.append)
+    h.core.request(S2, "r0", 100, replies_b.append)
+    h.core.abandon(S1)
+    h.run_deferred()
+    h.enter_eating(0)
+    # The head waiter vanished; the grant goes to the survivor.
+    assert replies_a == []
+    assert len(replies_b) == 1 and type(replies_b[0]) is LeaseGrant
+    assert h.core.counters["abandoned_waiting"] == 1
+
+
+def test_abandoned_lease_is_left_to_its_ttl():
+    h = Harness()
+    replies = []
+    h.core.request(S1, "r0", 100, replies.append)
+    h.run_deferred()
+    h.enter_eating(0)
+    assert type(replies[0]) is LeaseGrant
+
+    h.core.abandon(S1)  # connection lost mid-lease: no early reclaim
+    assert h.core.counters["abandons"] == 1
+    assert h.core.snapshot()["active_leases"] == 1
+    h.now = 0.1
+    h.exit_eating(0)  # the TTL (the eat timer) does the reclaiming
+    assert h.core.counters["expiries"] == 1
+    assert h.core.snapshot()["active_leases"] == 0
+    assert h.core.leaked_leases() == []
+
+
+def test_crash_reclaims_lease_and_flushes_queue():
+    h = Harness()
+    replies_a, replies_b = [], []
+    h.core.request(S1, "r0", 100, replies_a.append)
+    h.run_deferred()
+    h.enter_eating(0)
+    h.core.request(S2, "r0", 100, replies_b.append)
+
+    h.crash(0)
+    assert h.core.counters["crash_reclaims"] == 1
+    assert len(replies_b) == 1 and replies_b[0].reason == DENY_CRASHED
+    snap = h.core.snapshot()
+    assert snap["active_leases"] == 0 and snap["waiting_sessions"] == 0
+    assert h.core.leaked_leases() == []
+
+
+def test_stale_release_is_refused():
+    h = Harness()
+    replies = []
+    h.core.request(S1, "r0", 100, replies.append)
+    h.run_deferred()
+    h.enter_eating(0)
+    grant = replies[0]
+    assert h.core.release(S1, grant.lease_id + 99) is False
+    assert h.core.release(S2, grant.lease_id) is False
+    assert h.core.counters["stale_releases"] == 2
+    assert h.core.counters["releases"] == 0
+
+
+def test_leak_detector_flags_a_lease_without_an_eating_diner():
+    h = Harness()
+    replies = []
+    h.core.request(S1, "r0", 100, replies.append)
+    h.run_deferred()
+    h.enter_eating(0)
+    assert h.core.leaked_leases() == []  # backed: the diner is eating
+    # Force the invariant breach: the diner leaves eating but the phase
+    # change never reaches the core (what a wiring bug would look like).
+    h.diners[0].phase = "thinking"
+    leaked = h.core.leaked_leases()
+    assert [lease.session for lease in leaked] == [S1]
+    assert h.core.snapshot()["leaked_leases"] == 1
+
+
+def test_resource_mapped_to_non_local_diner_is_rejected():
+    with pytest.raises(ValueError):
+        LockCore(
+            {"r9": 9},
+            {0: None},
+            clock=lambda: 0.0,
+            defer=lambda fn: None,
+        )
+
+
+def test_metrics_ride_the_registry():
+    registry = MetricsRegistry(profile=False)
+    h = Harness(registry=registry)
+    replies = []
+    h.core.request(S1, "r0", 100, replies.append)
+    h.core.request(7, "r0", 100, replies.append)  # denied: bad session
+    h.run_deferred()
+    h.enter_eating(0)
+    grant = replies[-1]
+    assert type(grant) is LeaseGrant
+    h.core.release(S1, grant.lease_id)
+
+    snapshot = registry.snapshot()
+    assert counter_total(snapshot, "locks.requests_total") == 2
+    assert counter_total(snapshot, "locks.grants_total") == 1
+    assert counter_total(snapshot, "locks.releases_total") == 1
+    assert counter_total(snapshot, "locks.denies_total", reason=DENY_BAD_SESSION) == 1
+
+
+def test_default_resources_honors_placement():
+    from repro.graphs import ring
+
+    graph = ring(4)
+    assert default_resources(graph) == {"r0": 0, "r1": 1, "r2": 2, "r3": 3}
+    placement = {0: 0, 1: 0, 2: 1, 3: 1}
+    assert default_resources(graph, placement, 1) == {"r2": 2, "r3": 3}
+
+
+def test_lease_workload_thinks_forever_and_eats_the_ttl():
+    h = Harness()
+    workload = LeaseWorkload(idle_eat_time=0.004)
+    workload.bind(h.core)
+    assert workload.think_duration(0, None) is None
+    # No lease active: the idle fallback covers the all-abandoned race.
+    assert workload.eat_duration(0, None) == pytest.approx(0.004)
+
+    replies = []
+    h.core.request(S1, "r0", 640, replies.append)
+    h.run_deferred()
+    h.enter_eating(0)
+    assert workload.eat_duration(0, None) == pytest.approx(0.64)
+    assert workload.eat_duration(1, None) == pytest.approx(0.004)
+
+    with pytest.raises(ValueError):
+        LeaseWorkload(idle_eat_time=0.0)

@@ -1,0 +1,121 @@
+"""Live lease service: real sockets, crash-reclamation, both transports.
+
+The reclamation story the lease service owes Algorithm 1's ◇P₁ path: a
+client acquires, its connection is killed mid-lease (no release frame is
+ever written), the TTL — which *is* the serving diner's eat timer —
+lapses, and the next contender is granted.  Judged end to end on a real
+listener over both unix and TCP sockets, with the host's standard
+checker suite attached and zero leaked leases at shutdown.
+"""
+
+import asyncio
+import os
+import time
+
+import pytest
+
+from repro.locks.client import LockClient
+from repro.locks.service import DENY_UNKNOWN
+from repro.net.cluster import ClusterSpec, _allocate_addresses, build_host
+from repro.obs.tracing import SPAN_EATING, _SID_OF_NAME
+
+pytestmark = pytest.mark.live
+
+_EATING_SID = _SID_OF_NAME[SPAN_EATING]
+
+
+def _serving_spec(transport: str, run_dir: str) -> ClusterSpec:
+    """A one-process, three-diner serving spec, launched in-process."""
+    spec = ClusterSpec(
+        topology="ring",
+        n=3,
+        processes=1,
+        duration=3.0,
+        seed=11,
+        heartbeat_interval=0.1,
+        initial_timeout=0.3,
+        timeout_increment=0.1,
+        transport=transport,
+        serve_locks=True,
+        run_dir=run_dir,
+    )
+    spec.placement = spec.default_placement()
+    spec.addresses = _allocate_addresses(spec)
+    spec.epoch = time.time() + 0.4
+    return spec
+
+
+async def _connect(transport, address, *, client_index, deadline=5.0):
+    """Dial with retry: the in-process listener binds moments after run()."""
+    end = time.monotonic() + deadline
+    while True:
+        client = LockClient(transport, address, client_index=client_index)
+        try:
+            return await client.connect()
+        except OSError:
+            if time.monotonic() > end:
+                raise
+            await asyncio.sleep(0.05)
+
+
+@pytest.mark.parametrize("transport", ["unix", "tcp"])
+def test_lease_reclaimed_after_connection_killed_mid_lease(transport, tmp_path):
+    """Kill the holder's socket mid-lease: the TTL reclaims the resource
+    and the queued contender is granted — zero leaked leases, clean
+    verdict — on both substrates the service can listen on."""
+    spec = _serving_spec(transport, str(tmp_path / "run"))
+    os.makedirs(spec.run_dir, exist_ok=True)  # unix sockets live here
+    host = build_host(spec, 0)
+
+    async def scenario():
+        runner = asyncio.ensure_future(host.run())
+        try:
+            address = spec.addresses[0]
+            victim = await _connect(spec.transport, address, client_index=0)
+            contender = await _connect(spec.transport, address, client_index=1)
+            # Diners start dining at the shared epoch; request after it.
+            await asyncio.sleep(max(0.0, spec.epoch - time.time()) + 0.2)
+
+            held = await victim.acquire("r1", ttl_ms=600, timeout=5.0)
+            assert held.granted, held.reason
+            # The grant frame is stamped with the serving diner's open
+            # eating span: the causal proof Algorithm 1 scheduled it.
+            assert held.context is not None and held.context[1] == _EATING_SID
+
+            # Kill the holding connection mid-lease — abort the transport
+            # so no release (nor a clean shutdown handshake) ever leaves.
+            victim._writer.transport.abort()
+            await victim.close()
+
+            started = time.perf_counter()
+            reclaimed = await contender.acquire("r1", ttl_ms=150, timeout=5.0)
+            waited = time.perf_counter() - started
+            assert reclaimed.granted, reclaimed.reason
+            assert reclaimed.lease_id != held.lease_id
+            # The contender queued behind the orphaned lease: its grant
+            # could only ride the reclamation, not a fresh idle meal.
+            assert waited <= 2.0
+
+            denied = await contender.acquire("nope", ttl_ms=100, timeout=5.0)
+            assert not denied.granted and denied.reason == DENY_UNKNOWN
+
+            await contender.release(reclaimed)
+            await contender.close()
+        finally:
+            await runner
+
+    asyncio.run(scenario())
+
+    result = host.result()
+    assert result["violations"] == []
+    assert host.verdict().ok
+
+    locks = result["locks"]
+    counters = locks["counters"]
+    assert counters["grants"] == 2
+    assert counters["expiries"] == 1  # the orphaned lease, TTL-reclaimed
+    assert counters["releases"] == 1  # the contender's clean return
+    assert counters["abandons"] == 1  # the killed connection's session
+    assert locks["denies"] == {DENY_UNKNOWN: 1}
+    assert locks["active_leases"] == 0
+    assert locks["leaked_leases"] == 0

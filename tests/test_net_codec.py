@@ -9,7 +9,9 @@ from hypothesis import given, settings, strategies as st
 
 from repro.core.messages import Ack, Fork, ForkRequest, Ping, message_size_bits
 from repro.detectors.heartbeat import Heartbeat
+from repro.locks.messages import LeaseDenied, LeaseGrant, LeaseRelease, LeaseRequest
 from repro.net.codec import (
+    MAX_STRING_BYTES,
     FrameDecoder,
     WireCodecError,
     decode_frame,
@@ -19,6 +21,7 @@ from repro.net.codec import (
     encode_frame,
     encode_message,
     frame_size_bits,
+    frame_wire_bytes,
 )
 
 GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "fixtures", "wire_golden.json")
@@ -34,13 +37,22 @@ contexts = st.tuples(
 )
 
 
+ttls = st.integers(min_value=0, max_value=2**31 - 1)
+lease_ids = st.integers(min_value=0, max_value=2**63 - 1)
+# Unicode strings whose UTF-8 encoding fits the in-frame cap.
+short_strings = st.text(min_size=0, max_size=MAX_STRING_BYTES // 4)
+
+
 @st.composite
 def envelopes(draw):
     """(src, dst, seq, message) with adversarial ids, colors, timestamps."""
     src = draw(pids)
     dst = draw(pids)
     seq = draw(seqs)
-    kind = draw(st.sampled_from(("ping", "ack", "fork_request", "fork", "heartbeat")))
+    kind = draw(st.sampled_from((
+        "ping", "ack", "fork_request", "fork", "heartbeat",
+        "lease_request", "lease_grant", "lease_release", "lease_denied",
+    )))
     if kind == "ping":
         message = Ping(src)
     elif kind == "ack":
@@ -49,8 +61,16 @@ def envelopes(draw):
         message = ForkRequest(src, draw(colors))
     elif kind == "fork":
         message = Fork(src)
-    else:
+    elif kind == "heartbeat":
         message = Heartbeat(sent_at=draw(timestamps))
+    elif kind == "lease_request":
+        message = LeaseRequest(src, draw(short_strings), draw(ttls))
+    elif kind == "lease_grant":
+        message = LeaseGrant(src, draw(lease_ids), draw(ttls))
+    elif kind == "lease_release":
+        message = LeaseRelease(src, draw(lease_ids))
+    else:
+        message = LeaseDenied(src, draw(short_strings))
     return src, dst, seq, message
 
 
@@ -174,6 +194,14 @@ def test_golden_encoding(case):
         "ForkRequest": lambda: ForkRequest(case["src"], case["color"]),
         "Fork": lambda: Fork(case["src"]),
         "Heartbeat": lambda: Heartbeat(sent_at=case["sent_at"]),
+        "LeaseRequest": lambda: LeaseRequest(
+            case["src"], case["resource"], case["ttl_ms"]
+        ),
+        "LeaseGrant": lambda: LeaseGrant(
+            case["src"], case["lease_id"], case["ttl_ms"]
+        ),
+        "LeaseRelease": lambda: LeaseRelease(case["src"], case["lease_id"]),
+        "LeaseDenied": lambda: LeaseDenied(case["src"], case["reason"]),
     }[case["type"]]()
     context = tuple(case["context"]) if "context" in case else None
     frame = encode_frame(case["src"], case["dst"], case["seq"], message, context)
@@ -211,6 +239,16 @@ def test_dining_frames_are_compact():
     assert len(encode_frame(3, 5, 1, ForkRequest(3, 1))) == 6
 
 
+@settings(max_examples=200, deadline=None)
+@given(envelopes(), st.none() | contexts)
+def test_frame_wire_bytes_matches_encoded_length(envelope, context):
+    """The allocation-free size calculator agrees with the real encoder
+    byte-for-byte (the loopback fast path accounts sizes through it)."""
+    src, dst, seq, message = envelope
+    frame = encode_frame(src, dst, seq, message, context)
+    assert frame_wire_bytes(src, dst, seq, message, context) == len(frame)
+
+
 # ----------------------------------------------------------------------
 # Malformed input
 # ----------------------------------------------------------------------
@@ -245,3 +283,22 @@ def test_decoder_rejects_oversized_length_prefix():
     decoder = FrameDecoder()
     with pytest.raises(WireCodecError):
         decoder.feed(encode_frame(0, 0, 0, Ping(0)) + b"\xff\xff\x7f")
+
+
+def test_encode_rejects_oversized_resource_name():
+    with pytest.raises(WireCodecError):
+        encode_message(1, 0, 1, LeaseRequest(1, "r" * (MAX_STRING_BYTES + 1), 100))
+
+
+def test_decode_rejects_truncated_lease_string():
+    payload = encode_message(1, 0, 1, LeaseRequest(1, "orders", 100))
+    # Chop inside the resource's UTF-8 bytes: the string length prefix now
+    # promises more bytes than the payload carries.
+    with pytest.raises(WireCodecError):
+        decode_message(payload[:6])
+
+
+def test_lease_round_trip_unicode_resource():
+    message = LeaseRequest(1048576, "café/α", 500)
+    frame = encode_frame(1048576, 0, 1, message)
+    assert decode_frame(frame) == (1048576, 0, 1, message)
