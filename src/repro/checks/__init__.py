@@ -19,12 +19,20 @@ from repro.checks.context import (
     active_collector,
     collecting_checks,
 )
+from repro.checks.dynamic import (
+    EDGE_EXCLUSION,
+    EdgeScopedExclusionChecker,
+    EpochChannelBoundChecker,
+    ResidencyProgressChecker,
+    ResidencyQuiescenceChecker,
+)
 from repro.checks.events import (
     CHECK_EVENT_VERSION,
     CrashEvent,
     DeliverEvent,
     DoorwayEvent,
     DropEvent,
+    MembershipEvent,
     PhaseEvent,
     ProbeEvent,
     SendEvent,
@@ -81,6 +89,7 @@ __all__ = [
     "CHANNEL_BOUND",
     "CHECK_EVENT_VERSION",
     "DINER_LOCAL",
+    "EDGE_EXCLUSION",
     "FAIL",
     "FIFO",
     "FORK_UNIQUENESS",
@@ -103,8 +112,11 @@ __all__ = [
     "DinerLocalChecker",
     "DoorwayEvent",
     "DropEvent",
+    "EdgeScopedExclusionChecker",
+    "EpochChannelBoundChecker",
     "FifoChecker",
     "ForkUniquenessChecker",
+    "MembershipEvent",
     "OvertakingChecker",
     "PendingPingChecker",
     "PhaseEvent",
@@ -113,6 +125,8 @@ __all__ = [
     "ProgressChecker",
     "PropertyVerdict",
     "QuiescenceChecker",
+    "ResidencyProgressChecker",
+    "ResidencyQuiescenceChecker",
     "SendEvent",
     "SuspicionEvent",
     "Verdict",

@@ -34,7 +34,7 @@ ProcessId = int
 
 #: Version of the vocabulary below.  Bump when events gain/lose fields
 #: or semantics; verdicts record the version they were produced under.
-CHECK_EVENT_VERSION = 1
+CHECK_EVENT_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -72,6 +72,26 @@ class CrashEvent:
 
     time: float
     pid: ProcessId
+
+
+@dataclass(frozen=True)
+class MembershipEvent:
+    """One membership delta applied: the conflict topology changed.
+
+    ``epoch`` is the monotone counter *after* the delta.  ``edges``
+    carries a ``join``'s initial neighbor pids; the edge verbs put the
+    peer there.  Checkers whose bookkeeping is keyed to a link's
+    incarnation (Lemma 2.2's outstanding-ping table) consume this to
+    retire state the teardown already retired on the wire — exactly what
+    the online adapters do through ``note_rejoin``/``note_edge_reset``,
+    now visible to offline replay too.
+    """
+
+    time: float
+    epoch: int
+    verb: str
+    pid: ProcessId
+    edges: tuple = ()
 
 
 @dataclass(frozen=True)
@@ -158,6 +178,7 @@ SERIALIZABLE_EVENT_TYPES = (
     DoorwayEvent,
     SuspicionEvent,
     CrashEvent,
+    MembershipEvent,
     SendEvent,
     DeliverEvent,
     DropEvent,

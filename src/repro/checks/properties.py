@@ -27,6 +27,7 @@ from repro.checks.events import (
     CrashEvent,
     DeliverEvent,
     DropEvent,
+    MembershipEvent,
     PhaseEvent,
     ProbeEvent,
     ProcessId,
@@ -552,7 +553,7 @@ class PendingPingChecker(Checker):
     """Lemma 2.2 on the wire: one outstanding ping per ordered pair."""
 
     name = PENDING_PING
-    interests = (SendEvent, DeliverEvent)
+    interests = (SendEvent, DeliverEvent, MembershipEvent)
 
     def __init__(self) -> None:
         super().__init__()
@@ -561,6 +562,9 @@ class PendingPingChecker(Checker):
         self.pings_total = 0
 
     def observe(self, event, index: int) -> Optional[List[Violation]]:
+        if type(event) is MembershipEvent:
+            self.note_membership(event.verb, event.pid, event.edges)
+            return None
         if type(event) is SendEvent:
             if event.type == "Ping":
                 violation = self.record_ping_send(
@@ -610,6 +614,34 @@ class PendingPingChecker(Checker):
         pair = (dst, src)
         if self._outstanding.get(pair, 0) > 0:
             self._outstanding[pair] -= 1
+
+    def note_membership(self, verb: str, pid: ProcessId, edges: tuple) -> None:
+        """A delta rebuilt links hygienically: retire their old pings.
+
+        A join or rejoin of ``pid`` tears down and rebuilds every link
+        touching it; ``add_edge`` rebuilds the one link to its peer.  A
+        ping outstanding from the link's earlier incarnation was retired
+        by that teardown (its ack can never arrive — the channel is
+        fenced), so it must not make the fresh link's first ping look
+        like a Lemma 2.2 duplicate.  This is the offline-replay twin of
+        the online adapters' ``note_rejoin``/``note_edge_reset``; a
+        ``leave`` deliberately clears nothing — traffic still aimed at a
+        departed pid is exactly what the checker exists to count.
+        """
+        self.observed += 1
+        if verb in ("join", "rejoin"):
+            stale = [pair for pair in self._outstanding if pid in pair]
+        elif verb == "add_edge" and edges:
+            stale = [
+                pair
+                for peer in edges
+                for pair in ((pid, peer), (peer, pid))
+                if pair in self._outstanding
+            ]
+        else:
+            return
+        for pair in stale:
+            del self._outstanding[pair]
 
     def finalize(self) -> PropertyVerdict:
         return self._verdict(

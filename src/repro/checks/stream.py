@@ -20,6 +20,7 @@ from typing import Iterable, List, Optional, Sequence, Tuple
 from repro.checks.events import (
     CrashEvent,
     DoorwayEvent,
+    MembershipEvent,
     PhaseEvent,
     SendEvent,
     SuspicionEvent,
@@ -31,6 +32,7 @@ from repro.errors import ConfigurationError
 from repro.trace.events import (
     Crash,
     DoorwayChange,
+    MembershipChange,
     PhaseChange,
     SuspicionChange,
 )
@@ -39,7 +41,7 @@ from repro.trace.serialize import record_from_dict
 Edge = Tuple[int, int]
 
 #: ``kind`` values of trace-record JSONL lines that map to check events.
-_TRACE_KINDS = {"phase", "doorway", "suspicion", "crash"}
+_TRACE_KINDS = {"phase", "doorway", "suspicion", "crash", "membership"}
 #: ``kind`` values carried by trace records with no checkable content.
 _IGNORED_TRACE_KINDS = {"protocol_step", "transient_fault"}
 
@@ -56,6 +58,10 @@ def event_from_trace_record(record) -> Optional[object]:
     if cls is SuspicionChange:
         return SuspicionEvent(
             record.time, record.observer, record.suspect, record.suspected
+        )
+    if cls is MembershipChange:
+        return MembershipEvent(
+            record.time, record.epoch, record.verb, record.pid, tuple(record.edges)
         )
     return None
 
@@ -93,11 +99,16 @@ def events_from_wire(records: Iterable) -> List[object]:
 
 def _order_key(event) -> Tuple[float, int, int]:
     seq = getattr(event, "seq", None)
-    return (
-        event.time,
-        0 if type(event) is SendEvent else 1,
-        seq if seq is not None else -1,
-    )
+    if type(event) is MembershipEvent:
+        # A delta applies at the instant boundary: the sends it enables
+        # (the fresh incarnation's first pings land at the same stamp)
+        # happen after it, so its link resets must replay first.
+        rank = -1
+    elif type(event) is SendEvent:
+        rank = 0
+    else:
+        rank = 1
+    return (event.time, rank, seq if seq is not None else -1)
 
 
 def merge_events(*streams: Iterable) -> List[object]:

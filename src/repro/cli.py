@@ -605,6 +605,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         runs=args.runs,
         budget_seconds=_parse_budget(args.budget),
         substrate=args.substrate,
+        archetypes=tuple(args.archetypes) if args.archetypes else None,
     )
 
     # --mutants: one kill-campaign per seeded bug; exit 1 on survivors.
@@ -962,6 +963,10 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--budget", metavar="60s",
                       help="wall-clock lid per campaign, e.g. 60s, 2m "
                            "(checked between runs; the walk only truncates)")
+    fuzz.add_argument("--archetypes", nargs="+", metavar="NAME",
+                      help="restrict the walk to these sampler archetypes "
+                           "(e.g. churn_storm flash_crowd rolling_restart); "
+                           "default: all ten")
     fuzz.add_argument("--substrate", choices=("kernel", "live"), default="kernel",
                       help="where plans run (live: loopback AsyncHost, scaled time)")
     fuzz.add_argument("--mutants", nargs="*", metavar="NAME",

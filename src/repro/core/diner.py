@@ -84,30 +84,63 @@ class DinerActor(Actor):
         trace: TraceRecorder,
         *,
         on_eat: Optional[EatCallback] = None,
+        neighbors: Optional[tuple] = None,
     ) -> None:
         super().__init__(pid)
         if pid not in graph:
             raise ConfigurationError(f"process {pid} is not in the conflict graph")
         self.graph = graph
         self.color = int(coloring[pid])
+        self.coloring = coloring
         self.detector = detector
         self.module: DetectorModule = detector.module_for(pid)
         self.workload = workload
         self.trace = trace
         self.on_eat = on_eat
+        # Push-style dirty sinks, installed by a check adapter (None =
+        # no checks attached, the branch costs one load).  The diner
+        # reports exactly the state it mutated — ``on_dirty_link`` with
+        # the ``(pid, neighbor)`` whose ack/replied/deferred flags
+        # changed, ``on_dirty_fork`` with the sorted edge whose fork or
+        # token moved — so the adapter never has to reverse-engineer
+        # dirt from message kinds on the wire.
+        self.on_dirty_link: Optional[Callable] = None
+        self.on_dirty_fork: Optional[Callable] = None
 
         self.state = DinerState.THINKING
         self.inside = False
+        # ``neighbors`` overrides the graph's adjacency: dynamic runs
+        # wire diners against the *current topology view* while the
+        # ``graph`` they carry is the union over all epochs (so colors
+        # and detector scopes cover every edge that will ever exist).
+        # Static runs pass nothing and behave exactly as before.
+        if neighbors is None:
+            initial_neighbors = graph.neighbors(pid)
+        else:
+            initial_neighbors = tuple(sorted(int(n) for n in neighbors))
+            for neighbor in initial_neighbors:
+                if neighbor not in graph:
+                    raise ConfigurationError(
+                        f"diner {pid} wired to unknown neighbor {neighbor}"
+                    )
         self.links: Dict[ProcessId, NeighborLinks] = {}
-        for neighbor in graph.neighbors(pid):
+        for neighbor in initial_neighbors:
             neighbor_color = int(coloring[neighbor])
             self.links[neighbor] = NeighborLinks.initial(self.color, neighbor_color)
         # Neighbor iteration order is fixed for the life of the actor;
         # materializing it once replaces a generator + two dict lookups on
         # every guard scan (Actions 2/5/6/9 walk this list constantly).
         self._ordered_links = [
-            (neighbor, self.links[neighbor]) for neighbor in graph.neighbors(pid)
+            (neighbor, self.links[neighbor]) for neighbor in initial_neighbors
         ]
+        # Dynamic-membership bookkeeping, both empty for a static run:
+        # ``_departed`` holds neighbors that left the system (their
+        # missing acks/forks are substituted in Actions 5/9 exactly like
+        # suspicion — the ◇P₁ path — until they rejoin); ``_former``
+        # holds pids whose conflict edge to us was removed, so their
+        # stale in-flight traffic is dropped instead of rejected.
+        self._departed: set = set()
+        self._former: set = set()
         # Messages carry only static fields (sender id, static color), so
         # each diner sends the *same* four frozen instances for its entire
         # life — interning them removes one allocation per send.
@@ -146,10 +179,12 @@ class DinerActor(Actor):
         return self.state is DinerState.EATING
 
     def holds_fork(self, neighbor: ProcessId) -> bool:
-        return self.links[neighbor].fork
+        link = self.links.get(neighbor)
+        return link is not None and link.fork
 
     def holds_token(self, neighbor: ProcessId) -> bool:
-        return self.links[neighbor].token
+        link = self.links.get(neighbor)
+        return link is not None and link.token
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -224,6 +259,81 @@ class DinerActor(Actor):
         return True
 
     # ------------------------------------------------------------------
+    # Dynamic membership hooks (driven by the assembly layer's
+    # membership-delta application, never by the algorithm itself)
+    # ------------------------------------------------------------------
+    def _reset_link(self, neighbor: ProcessId, link: NeighborLinks) -> None:
+        """Rewind one link to its hygienic Section 3.1 initial state."""
+        fresh = NeighborLinks.initial(self.color, int(self.coloring[neighbor]))
+        link.pinged = fresh.pinged
+        link.ack = fresh.ack
+        link.deferred = fresh.deferred
+        link.replied = fresh.replied
+        link.fork = fresh.fork
+        link.token = fresh.token
+
+    def neighbor_left(self, neighbor: ProcessId) -> None:
+        """A neighbor left the system: substitute for it like a suspect.
+
+        The link state is kept (the neighbor may rejoin); Actions 5 and 9
+        treat the departed pid exactly as a permanently suspected one, so
+        any fork stranded at the leaver is reclaimed through the same
+        substitution path a crash uses.
+        """
+        if neighbor not in self.links:
+            return
+        self._departed.add(neighbor)
+        self.request_reevaluation()
+
+    def neighbor_rejoined(self, neighbor: ProcessId) -> None:
+        """A departed neighbor came back: rebuild the edge hygienically.
+
+        Both endpoints reset the shared link to its initial fork/token
+        placement at the same instant (the delta's CONTROL event), so the
+        edge again holds exactly one fork and one token.
+        """
+        self._departed.discard(neighbor)
+        self._former.discard(neighbor)
+        link = self.links.get(neighbor)
+        if link is None:
+            return
+        self._reset_link(neighbor, link)
+        self.request_reevaluation()
+
+    def add_neighbor(self, neighbor: ProcessId) -> None:
+        """A conflict edge to ``neighbor`` now exists (join or add_edge)."""
+        self._former.discard(neighbor)
+        self._departed.discard(neighbor)
+        link = self.links.get(neighbor)
+        if link is not None:
+            # Edge re-added after a removal: hygienic rebuild.
+            self._reset_link(neighbor, link)
+            self.request_reevaluation()
+            return
+        link = NeighborLinks.initial(self.color, int(self.coloring[neighbor]))
+        self.links[neighbor] = link
+        ordered = self._ordered_links
+        at = len(ordered)
+        for index, (other, _) in enumerate(ordered):
+            if other > neighbor:
+                at = index
+                break
+        ordered.insert(at, (neighbor, link))
+        self.request_reevaluation()
+
+    def remove_neighbor(self, neighbor: ProcessId) -> None:
+        """The conflict edge to ``neighbor`` was removed from the topology."""
+        if neighbor not in self.links:
+            return
+        del self.links[neighbor]
+        self._ordered_links = [
+            pair for pair in self._ordered_links if pair[0] != neighbor
+        ]
+        self._former.add(neighbor)
+        self._departed.discard(neighbor)
+        self.request_reevaluation()
+
+    # ------------------------------------------------------------------
     # Action 1: become hungry
     # ------------------------------------------------------------------
     def _become_hungry(self) -> None:
@@ -275,8 +385,12 @@ class DinerActor(Actor):
         """Action 5: enter once every neighbor acked or is suspected."""
         # Membership on the module's live suspected set: neighbors are in
         # scope by construction, so the checked ``suspects`` call adds
-        # nothing but a frame per neighbor per scan.
+        # nothing but a frame per neighbor per scan.  Departed neighbors
+        # substitute exactly like suspected ones (the ◇P₁ path); the set
+        # is empty on static runs, so the merge never happens there.
         suspected = self.module.suspected
+        if self._departed:
+            suspected = suspected | self._departed
         for neighbor, link in self._ordered_links:
             if not link.ack and neighbor not in suspected:
                 return False
@@ -303,6 +417,8 @@ class DinerActor(Actor):
     def _try_eat(self) -> bool:
         """Action 9: eat once every neighbor's fork is held or it is suspected."""
         suspected = self.module.suspected
+        if self._departed:
+            suspected = suspected | self._departed
         for neighbor, link in self._ordered_links:
             if not link.fork and neighbor not in suspected:
                 return False
@@ -325,6 +441,11 @@ class DinerActor(Actor):
             agent.on_message(src, message)
             return
         if src not in self.links:
+            if src in self._former:
+                # Stale traffic from before the edge to ``src`` was
+                # removed (or the channel fence missed it): the edge no
+                # longer exists, so the message is simply discarded.
+                return
             raise ConfigurationError(
                 f"diner {self.pid} got {type(message).__name__} from non-neighbor {src}"
             )
@@ -360,12 +481,18 @@ class DinerActor(Actor):
         else:
             self._substrate.send(self.pid, src, self._msg_ack)
             link.replied = self.state is DinerState.HUNGRY
+        sink = self.on_dirty_link
+        if sink is not None:
+            sink((self.pid, src))
 
     def _on_ack(self, src: ProcessId) -> None:
         """Action 4: an ack only counts while hungry and outside."""
         link = self.links[src]
         link.ack = self.state is DinerState.HUNGRY and not self.inside
         link.pinged = False
+        sink = self.on_dirty_link
+        if sink is not None:
+            sink((self.pid, src))
 
     def _on_fork_request(self, src: ProcessId, requester_color: int) -> None:
         """Action 7: receive the token; grant the fork or defer by priority."""
@@ -381,10 +508,16 @@ class DinerActor(Actor):
         if not self.inside or (self.state is DinerState.HUNGRY and self.color < requester_color):
             self._substrate.send(self.pid, src, self._msg_fork)
             link.fork = False
+        sink = self.on_dirty_fork
+        if sink is not None:
+            sink((self.pid, src) if self.pid <= src else (src, self.pid))
 
     def _on_fork(self, src: ProcessId) -> None:
         """Action 8: receive a fork."""
         self.links[src].fork = True
+        sink = self.on_dirty_fork
+        if sink is not None:
+            sink((self.pid, src) if self.pid <= src else (src, self.pid))
 
     # ------------------------------------------------------------------
     # Action 10: exit
@@ -400,6 +533,7 @@ class DinerActor(Actor):
         pid = self.pid
         fork = self._msg_fork
         ack = self._msg_ack
+        sink = self.on_dirty_link
         for neighbor, link in self._ordered_links:
             if link.token and link.fork:  # a deferred fork request
                 send(pid, neighbor, fork)
@@ -407,6 +541,8 @@ class DinerActor(Actor):
             if link.deferred:
                 send(pid, neighbor, ack)
                 link.deferred = False
+                if sink is not None:
+                    sink((pid, neighbor))
         self._schedule_next_hunger()
 
     # ------------------------------------------------------------------

@@ -81,6 +81,18 @@ class DetectorModule:
         """Register ``listener(pid, suspected)`` for every output change."""
         self._listeners.append(listener)
 
+    def reset(self) -> None:
+        """Administrative wipe at a rejoin: forget suspicions *and* listeners.
+
+        Deliberately silent — a rejoin is a membership act, not a
+        detector output change, so no :class:`SuspicionChange` records
+        are emitted.  Listeners are cleared because they belong to the
+        dead incarnation of the owning process; the fresh actor
+        re-subscribes in its ``on_start``.
+        """
+        self._suspected.clear()
+        self._listeners.clear()
+
     # -- mutation (detector implementations only) -----------------------
     def set_suspicion(self, pid: ProcessId, suspected: bool) -> None:
         """Flip suspicion of ``pid``; notifies listeners on actual change."""

@@ -27,7 +27,7 @@ from repro.errors import ConfigurationError
 from repro.faults.engine import FaultRunResult, run_plan
 from repro.faults.mutants import Mutant, all_mutants, get_mutant
 from repro.faults.plan import FaultPlan
-from repro.faults.sampler import sample_plan
+from repro.faults.sampler import ARCHETYPES, sample_plan
 
 #: When a mutant only bites on the post-crash path (``needs_crash``),
 #: crash-free sampled indices are skipped without counting against the
@@ -59,6 +59,34 @@ class CampaignSpec:
     mutant: Optional[str] = None
     judge: bool = True
     stop_on_failure: bool = False
+    #: Restrict the walk to these sampler archetypes (None = all ten).
+    #: Run ``index`` k maps onto the k-th sampler index whose archetype
+    #: is allowed, so a restricted campaign is still a pure function of
+    #: (topology, n, seed, runs) — the restriction re-parameterizes the
+    #: walk, it does not consume budget skipping foreign shapes.
+    archetypes: Optional[Tuple[str, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.archetypes is not None:
+            unknown = [a for a in self.archetypes if a not in ARCHETYPES]
+            if unknown:
+                raise ConfigurationError(
+                    f"unknown archetype(s) {unknown}; known: {list(ARCHETYPES)}"
+                )
+            if not self.archetypes:
+                raise ConfigurationError("archetype restriction is empty")
+
+    def sampler_index(self, index: int) -> int:
+        """The sampler index run ``index`` visits under the restriction."""
+        if self.archetypes is None:
+            return index
+        allowed = [
+            position
+            for position, name in enumerate(ARCHETYPES)
+            if name in self.archetypes
+        ]
+        cycle, offset = divmod(index, len(allowed))
+        return cycle * len(ARCHETYPES) + allowed[offset]
 
     def plan(self, index: int) -> FaultPlan:
         """The ``index``-th plan of this campaign's walk."""
@@ -66,7 +94,7 @@ class CampaignSpec:
             topology=self.topology,
             n=self.n,
             seed=self.seed,
-            index=index,
+            index=self.sampler_index(index),
             mutant=self.mutant,
         )
 
@@ -81,6 +109,7 @@ class CampaignSpec:
             "mutant": self.mutant,
             "judge": self.judge,
             "stop_on_failure": self.stop_on_failure,
+            "archetypes": list(self.archetypes) if self.archetypes else None,
         }
 
 
@@ -288,8 +317,9 @@ def run_mutation_harness(
 
     Each mutant walks the same sampled-plan sequence (up to
     ``base.runs`` runs, stopping at the first kill); ``needs_crash``
-    mutants skip crash-free indices without spending budget on plans
-    that cannot possibly reach their bug.  ``base.budget_seconds``, if
+    mutants skip crash-free indices and ``needs_churn`` mutants skip
+    churn-free ones, without spending budget on plans that cannot
+    possibly reach their bug.  ``base.budget_seconds``, if
     set, is a *per-mutant* wall lid.  ``base.mutant`` must be unset —
     the harness supplies it.
     """
@@ -327,11 +357,13 @@ def run_mutation_harness(
                 topology=base.topology,
                 n=base.n,
                 seed=base.seed,
-                index=index,
+                index=base.sampler_index(index),
                 mutant=mutant.name,
             )
             index += 1
             if mutant.needs_crash and not plan.crashes:
+                continue
+            if mutant.needs_churn and not plan.membership:
                 continue
             result = run_plan(plan, substrate=base.substrate, judge=base.judge)
             runs += 1

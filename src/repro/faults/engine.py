@@ -36,7 +36,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.checks import CheckConfig, FAIL, PropertyVerdict, Verdict, Violation
+from repro.checks import CheckConfig, EDGE_EXCLUSION, FAIL, PropertyVerdict, Verdict, Violation
 from repro.checks.properties import CHANNEL_BOUND, FIFO, FORK_UNIQUENESS
 from repro.core.messages import Fork
 from repro.core.table import DiningTable, scripted_detector
@@ -97,12 +97,15 @@ class JudgeWindows:
         lat = plan.latency.ceiling()
         eat = plan.eat_ceiling()  # storm TTLs included
         # Suspicion output is trustworthy only after detector convergence,
-        # latency stabilization (GST), and the last possible crash's
-        # detection; in-flight stragglers add one ceiling.
+        # latency stabilization (GST), the last possible crash's
+        # detection, and the last membership delta (a joiner or rejoiner
+        # needs a doorway round-trip before its neighborhood is settled);
+        # in-flight stragglers add one ceiling.
         base = max(
             plan.flaps.convergence,
             plan.latency.stabilization_time(),
             plan.last_possible_crash() + plan.flaps.detection_delay,
+            plan.last_membership_time(),
         )
         settle = base + eat + 2.0 * lat + margin
         # A hungry diner can transitively wait behind every other diner's
@@ -472,6 +475,7 @@ def build_table(plan: FaultPlan, *, judge: bool = True) -> DiningTable:
         diner_factory=mutant.factory() if mutant else None,
         strict_checks=False,
         check_config=config,
+        membership=plan.membership_log(),
     )
 
 
@@ -558,6 +562,7 @@ def run_plan_live(
     are bound (scaled) at finalize; quiescence stays informational (its
     grace is consumed online, before windows could be rebound).
     """
+    from repro.graphs.membership import MembershipDelta, MembershipLog
     from repro.net.host import AsyncHost, HostConfig, run_host
     from repro.sim.rng import RandomStreams
 
@@ -566,6 +571,21 @@ def run_plan_live(
     graph = topologies.by_name(plan.topology, plan.n, seed=plan.seed)
     windows = JudgeWindows.for_plan(plan) if judge else None
     mutant = get_mutant(plan.mutant) if plan.mutant else None
+
+    # Membership deltas ride the host's wall clock, so their plan times
+    # scale exactly like crash times do.
+    membership = plan.membership_log()
+    if membership is not None:
+        membership = MembershipLog(
+            MembershipDelta(
+                time=delta.time * time_scale,
+                verb=delta.verb,
+                pid=delta.pid,
+                edges=delta.edges,
+                peer=delta.peer,
+            )
+            for delta in membership
+        )
 
     model = plan.latency.build()
     streams = RandomStreams(plan.seed).spawn("fuzz-live-latency")
@@ -584,6 +604,7 @@ def run_plan_live(
         workload=plan.workload.build(time_scale=time_scale),
         inject_latency=inject,
         diner_factory=mutant.factory() if mutant else None,
+        membership=membership,
         run="fuzz",
     )
     storm_core = None
@@ -596,6 +617,10 @@ def run_plan_live(
         host.checks.checker("wx-safety").settle = windows.settle * time_scale
         host.checks.checker("progress").patience = windows.patience * time_scale
         host.checks.checker("overtaking").after = windows.after * time_scale
+        try:
+            host.checks.checker(EDGE_EXCLUSION).settle = windows.settle * time_scale
+        except KeyError:
+            pass  # static plan: no edge-scoped checker in the suite
     verdict = host.verdict()
     if storm_core is not None:
         verdict = _fold_leaked(verdict, storm_core, host.now)

@@ -27,6 +27,7 @@ from dataclasses import dataclass
 from types import MethodType
 from typing import Callable, Dict, List, Tuple
 
+from repro.checks.dynamic import EDGE_EXCLUSION
 from repro.checks.properties import (
     CHANNEL_BOUND,
     DINER_LOCAL,
@@ -73,6 +74,9 @@ class EagerForkGrantDiner(DinerActor):
         link.token = True
         self.send(src, Fork(self.pid))
         link.fork = False
+        sink = self.on_dirty_fork
+        if sink is not None:
+            sink((self.pid, src) if self.pid <= src else (src, self.pid))
 
 
 class DroppedDoorwayResetDiner(DinerActor):
@@ -102,6 +106,9 @@ class EagerAckDiner(DinerActor):
         else:
             self.send(src, Ack(self.pid))
             link.replied = self.is_hungry
+        sink = self.on_dirty_link
+        if sink is not None:
+            sink((self.pid, src))
 
 
 class NoSuspicionSubstitutionDiner(DinerActor):
@@ -142,10 +149,13 @@ class ForgetfulReleaseDiner(DinerActor):
         self.inside = False
         self.trace.doorway_change(self.now, self.pid, False)
         self._set_state(DinerState.THINKING)
+        sink = self.on_dirty_link
         for neighbor, link in self._links_in_order():
             if link.deferred:
                 self.send(neighbor, Ack(self.pid))
                 link.deferred = False
+                if sink is not None:
+                    sink((self.pid, neighbor))
         self._schedule_next_hunger()
 
 
@@ -157,6 +167,9 @@ class StaleAckAcceptDiner(DinerActor):
         link = self.links[src]
         link.ack = True
         link.pinged = False
+        sink = self.on_dirty_link
+        if sink is not None:
+            sink((self.pid, src))
 
 
 class TokenReuseDiner(DinerActor):
@@ -189,6 +202,22 @@ class TokenReuseDiner(DinerActor):
         return fired
 
 
+class UnreclaimedLeaveDiner(DinerActor):
+    """Membership hook slip: a rejoin never rebuilds the shared edge.
+
+    ``neighbor_left`` still substitutes correctly, but the matching
+    ``neighbor_rejoined`` bookkeeping is forgotten: the survivor keeps
+    treating the returned neighbor as departed — eating without its
+    fork — while the fresh incarnation holds a hygienically initialised
+    fork of its own.  Both endpoints of a live conflict edge can then
+    eat simultaneously, which is exactly the failure the edge-scoped
+    exclusion checker exists to catch (with an epoch-stamped witness).
+    """
+
+    def neighbor_rejoined(self, neighbor) -> None:
+        return
+
+
 class SessionPingResetDiner(DinerActor):
     """Action 1 with a spurious reset of the ``pinged`` latch: every new
     hungry session pings *all* neighbors again — including crashed ones,
@@ -217,6 +246,9 @@ class Mutant:
     #: Whether killing this mutant requires a crash in the plan (the bug
     #: only bites on the post-crash code path).
     needs_crash: bool = False
+    #: Whether killing this mutant requires membership churn in the plan
+    #: (the bug lives in the join/leave/rejoin path).
+    needs_churn: bool = False
 
     def factory(self) -> Callable[..., DinerActor]:
         """A ``diner_factory`` building this mutant for every pid."""
@@ -298,6 +330,16 @@ _register(Mutant(
     description="Action 6 re-spends tokens: duplicate fork requests in flight",
     cls=TokenReuseDiner,
     expected=(FORK_UNIQUENESS, CHANNEL_BOUND),
+))
+_register(Mutant(
+    name="unreclaimed-leave",
+    description="neighbor_rejoined dropped: survivors substitute for a returned neighbor forever",
+    cls=UnreclaimedLeaveDiner,
+    # The unreclaimed link either lets both endpoints eat at once
+    # (edge-scoped exclusion) or duplicates the fork the survivor
+    # substituted while the fresh incarnation minted its own.
+    expected=(EDGE_EXCLUSION, FORK_UNIQUENESS),
+    needs_churn=True,
 ))
 _register(Mutant(
     name="session-ping-reset",

@@ -169,6 +169,67 @@ class CrashSpec:
 
 
 # ----------------------------------------------------------------------
+# Membership churn
+# ----------------------------------------------------------------------
+#: Verbs a :class:`MembershipSpec` can speak — the exact vocabulary of
+#: :class:`repro.graphs.membership.MembershipDelta`.
+MEMBERSHIP_VERBS = ("join", "leave", "rejoin", "add_edge", "remove_edge")
+
+
+@dataclass(frozen=True)
+class MembershipSpec:
+    """One membership delta, in plan vocabulary.
+
+    ``join`` introduces ``pid`` with latent conflict edges toward each
+    entry of ``edges``; ``leave`` deactivates it (forks reclaimed via
+    the same ◇P₁ substitution path as a crash); ``rejoin`` brings a
+    departed pid back with hygienic per-edge state; ``add_edge`` /
+    ``remove_edge`` rewire ``pid``–``peer``.  Sequencing validity (no
+    rejoin of a never-left pid, …) is checked when the engine replays
+    the specs into a :class:`~repro.graphs.membership.MembershipLog`.
+    """
+
+    time: float
+    verb: str
+    pid: int
+    edges: Tuple[int, ...] = ()
+    peer: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.verb not in MEMBERSHIP_VERBS:
+            raise ConfigurationError(
+                f"unknown membership verb {self.verb!r}; known: {MEMBERSHIP_VERBS}"
+            )
+        if self.time < 0:
+            raise ConfigurationError(
+                f"membership {self.verb} of {self.pid} before t=0: {self.time!r}"
+            )
+        if self.verb == "join" and not self.edges:
+            raise ConfigurationError(f"join of {self.pid} needs at least one edge")
+        if self.verb in ("add_edge", "remove_edge") and self.peer is None:
+            raise ConfigurationError(f"{self.verb} of {self.pid} needs a peer")
+
+    def to_delta(self):
+        """The :class:`~repro.graphs.membership.MembershipDelta` this spells."""
+        from repro.graphs.membership import MembershipDelta
+
+        return MembershipDelta(
+            time=self.time,
+            verb=self.verb,
+            pid=self.pid,
+            edges=tuple(self.edges),
+            peer=self.peer,
+        )
+
+    def describe(self) -> str:
+        if self.verb == "join":
+            return f"join {self.pid}~{list(self.edges)}@{self.time:g}"
+        if self.peer is not None:
+            return f"{self.verb} {self.pid}-{self.peer}@{self.time:g}"
+        return f"{self.verb} {self.pid}@{self.time:g}"
+
+
+# ----------------------------------------------------------------------
 # ◇P₁ suspicion flapping
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
@@ -336,6 +397,10 @@ class FaultPlan:
     #: Lease-service client storm (inactive by default); see
     #: :class:`ClientStormSpec`.
     storm: ClientStormSpec = field(default_factory=ClientStormSpec)
+    #: Membership churn deltas (empty = static topology).  Joined pids
+    #: may exceed ``n - 1``; leaves/rejoins may target initial or joined
+    #: pids alike.
+    membership: Tuple[MembershipSpec, ...] = ()
 
     def __post_init__(self) -> None:
         if self.n < 2:
@@ -350,6 +415,15 @@ class FaultPlan:
             if not 0 <= crash.pid < self.n:
                 raise ConfigurationError(
                     f"crash plan mentions pid {crash.pid} outside 0..{self.n - 1}"
+                )
+        # Crash-plan victims and membership verbs must not collide: a
+        # crashed process cannot later leave or rejoin (its actor is
+        # dead), and churning a crash victim confuses windows.
+        for spec in self.membership:
+            if spec.pid in seen or (spec.peer is not None and spec.peer in seen):
+                raise ConfigurationError(
+                    f"membership {spec.verb} touches crash victim "
+                    f"{spec.pid if spec.pid in seen else spec.peer}"
                 )
 
     # -- derived ---------------------------------------------------------
@@ -367,6 +441,24 @@ class FaultPlan:
             ceiling = max(ceiling, self.storm.ttl)
         return ceiling
 
+    def last_membership_time(self) -> float:
+        """Latest membership delta instant (0.0 for a static plan)."""
+        return max((m.time for m in self.membership), default=0.0)
+
+    def membership_log(self):
+        """The validated :class:`~repro.graphs.membership.MembershipLog`.
+
+        Returns ``None`` for a static plan, so callers can pass the
+        result straight to ``DiningTable(membership=...)`` without
+        flipping the table into (zero-cost but non-identical) dynamic
+        assembly.
+        """
+        if not self.membership:
+            return None
+        from repro.graphs.membership import MembershipLog
+
+        return MembershipLog(m.to_delta() for m in self.membership)
+
     def describe(self) -> str:
         crash_bits = ", ".join(
             f"{c.pid}@{c.at:g}" if c.at is not None else f"{c.pid}:{c.when}≥{c.after:g}"
@@ -379,11 +471,14 @@ class FaultPlan:
                 f" storm={self.storm.sessions}x{self.storm.burst}"
                 f"@{self.storm.interval:g} ttl={self.storm.ttl:g}"
             )
+        churn = ""
+        if self.membership:
+            churn = f" churn=[{'; '.join(m.describe() for m in self.membership)}]"
         return (
             f"{self.topology}-{self.n} seed={self.seed} horizon={self.horizon:g} "
             f"latency={self.latency.kind} workload={self.workload.kind} "
             f"flaps={self.flaps.mistakes_per_edge:g}/edge conv={self.flaps.convergence:g} "
-            f"crashes=[{crash_bits}]{mutant}{storm}"
+            f"crashes=[{crash_bits}]{mutant}{storm}{churn}"
         )
 
     # -- serialization ---------------------------------------------------
@@ -392,6 +487,7 @@ class FaultPlan:
         data["latency"] = {"kind": self.latency.kind, "params": self.latency.as_dict()}
         data["workload"] = {"kind": self.workload.kind, "params": self.workload.as_dict()}
         data["crashes"] = [asdict(c) for c in self.crashes]
+        data["membership"] = [asdict(m) for m in self.membership]
         return data
 
     @classmethod
@@ -426,6 +522,16 @@ class FaultPlan:
                 workload.get("kind", "always"), **workload.get("params", {})
             ),
             mutant=data.get("mutant"),
+            membership=tuple(
+                MembershipSpec(
+                    time=float(m["time"]),
+                    verb=m["verb"],
+                    pid=int(m["pid"]),
+                    edges=tuple(int(e) for e in (m.get("edges") or ())),
+                    peer=int(m["peer"]) if m.get("peer") is not None else None,
+                )
+                for m in (data.get("membership") or ())
+            ),
             storm=ClientStormSpec(
                 sessions=int(storm.get("sessions", 0)),
                 burst=int(storm.get("burst", 8)),

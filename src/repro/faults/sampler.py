@@ -24,6 +24,7 @@ from repro.faults.plan import (
     FaultPlan,
     FlapSpec,
     LatencySpec,
+    MembershipSpec,
     WorkloadSpec,
 )
 from repro.sim.rng import RandomStreams
@@ -39,13 +40,21 @@ ARCHETYPES = (
     "gst-flap",            # partial synchrony + heavy pre-GST flapping
     "double-crash-eating", # two victims, one eating-triggered
     "client-storm",        # lease-service bursts: acquire/abandon + crash
+    "churn_storm",         # join + leave/rejoin + edge flip in one window
+    "flash_crowd",         # several newcomers joining in quick succession
+    "rolling_restart",     # staggered leave/rejoin across the residents
 )
+
+#: Names of the archetypes that script membership deltas; the campaign
+#: layer uses this to steer churn-needing mutants to killing schedules.
+CHURN_ARCHETYPES = ("churn_storm", "flash_crowd", "rolling_restart")
 
 #: Rotation pool for ``topology="mixed"``: one campaign walk then covers
 #: sparse symmetric rings, meshes, Erdős–Rényi, bounded-degree geometric
-#: fields, and hub-heavy scale-free graphs.  The pool length (5) is
-#: coprime to the archetype cycle (7), so every (archetype, topology)
-#: pairing appears within 35 indices.
+#: fields, and hub-heavy scale-free graphs.  The pool index advances by
+#: one extra step per full archetype cycle (the cycle length 10 shares a
+#: factor with the pool length 5, so a plain ``index % 5`` would pin each
+#: archetype to a single topology forever).
 TOPOLOGY_POOL = ("ring", "grid", "random", "geometric", "scale_free")
 
 
@@ -70,13 +79,19 @@ def sample_plan(
     if topology == "mixed":
         # Resolved here (not in the CLI) so a replayed plan.json records
         # the concrete topology while the campaign spec stays "mixed".
-        topology = TOPOLOGY_POOL[index % len(TOPOLOGY_POOL)]
+        # The extra ``index // len(ARCHETYPES)`` step keeps (archetype,
+        # topology) pairings rotating; it is 0 for the first cycle, so
+        # the original low-index plans are unchanged.
+        topology = TOPOLOGY_POOL[
+            (index + index // len(ARCHETYPES)) % len(TOPOLOGY_POOL)
+        ]
 
     latency = LatencySpec.of("uniform", low=0.3, high=round(rng.uniform(1.0, 2.0), 3))
     crashes = ()
     flaps = FlapSpec()
     workload = WorkloadSpec.of("always", eat_time=round(rng.uniform(0.5, 1.5), 3))
     storm = ClientStormSpec()
+    membership = ()
 
     pids = list(range(n))
     rng.shuffle(pids)
@@ -160,6 +175,52 @@ def sample_plan(
         )
         crashes = (CrashSpec(pid=pids[0], at=round(rng.uniform(10.0, 25.0), 3)),)
         flaps = FlapSpec(detection_delay=round(rng.uniform(1.0, 2.0), 3))
+    elif shape == "churn_storm":
+        # One turbulent window: a newcomer joins two residents, a
+        # resident bounces (leave + rejoin), and one of the newcomer's
+        # edges flips off and back on — every membership verb in a
+        # single plan, all against resident pids known to the sampler
+        # (so the deltas replay on any topology of ``n`` nodes).
+        joiner = n
+        anchors = tuple(sorted(pids[:2])) if n >= 2 else (pids[0],)
+        bouncer = pids[2 % n]
+        join_at = round(rng.uniform(5.0, 12.0), 3)
+        leave_at = round(join_at + rng.uniform(5.0, 10.0), 3)
+        rejoin_at = round(leave_at + rng.uniform(4.0, 8.0), 3)
+        edge_off = round(rejoin_at + rng.uniform(3.0, 6.0), 3)
+        edge_on = round(edge_off + rng.uniform(3.0, 6.0), 3)
+        membership = (
+            MembershipSpec(time=join_at, verb="join", pid=joiner, edges=anchors),
+            MembershipSpec(time=leave_at, verb="leave", pid=bouncer),
+            MembershipSpec(time=rejoin_at, verb="rejoin", pid=bouncer),
+            MembershipSpec(time=edge_off, verb="remove_edge", pid=joiner, peer=anchors[0]),
+            MembershipSpec(time=edge_on, verb="add_edge", pid=joiner, peer=anchors[0]),
+        )
+    elif shape == "flash_crowd":
+        # A crowd arrives: three newcomers in quick succession, each
+        # wiring to two residents — a sudden scale-out with no leaves.
+        crowd = []
+        at = round(rng.uniform(4.0, 8.0), 3)
+        for extra in range(3):
+            anchor = pids[extra % n]
+            other = pids[(extra + 1) % n]
+            edges = tuple(sorted({anchor, other})) if anchor != other else (anchor,)
+            crowd.append(
+                MembershipSpec(time=at, verb="join", pid=n + extra, edges=edges)
+            )
+            at = round(at + rng.uniform(1.5, 4.0), 3)
+        membership = tuple(crowd)
+    elif shape == "rolling_restart":
+        # Staggered maintenance: residents leave and rejoin one at a
+        # time, each down-window closing before the next one opens.
+        rolled = []
+        at = round(rng.uniform(4.0, 8.0), 3)
+        for pid in pids[: min(3, max(1, n - 1))]:
+            down = round(rng.uniform(3.0, 6.0), 3)
+            rolled.append(MembershipSpec(time=at, verb="leave", pid=pid))
+            rolled.append(MembershipSpec(time=round(at + down, 3), verb="rejoin", pid=pid))
+            at = round(at + down + rng.uniform(2.0, 5.0), 3)
+        membership = tuple(rolled)
     # "contention": the defaults above — jitter, full hunger, no faults.
 
     draft = FaultPlan(
@@ -173,6 +234,7 @@ def sample_plan(
         workload=workload,
         mutant=mutant,
         storm=storm,
+        membership=membership,
     )
     windows = JudgeWindows.for_plan(draft)
     horizon = max(horizon_floor, round(windows.patience * 1.3 + 10.0, 3))

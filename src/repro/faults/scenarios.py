@@ -23,7 +23,7 @@ from typing import Dict, List
 
 from repro.faults.campaign import CampaignSpec, run_campaign, run_mutation_harness
 from repro.faults.engine import run_plan_kernel, run_plan_live
-from repro.faults.sampler import sample_plan
+from repro.faults.sampler import ARCHETYPES, CHURN_ARCHETYPES, sample_plan
 from repro.scenarios import ScenarioSpec, register_scenario
 
 CLEAN_CLAIM = (
@@ -39,6 +39,13 @@ MUTATION_CLAIM = (
 DIFFERENTIAL_CLAIM = (
     "Substrate agnosticism: the same plan judged on the kernel and on the "
     "live loopback host yields identical per-property statuses."
+)
+
+CHURN_CLAIM = (
+    "Dynamic membership: sampled join/leave/rejoin/edge-flip schedules "
+    "against the pristine algorithm satisfy the epoch-aware suite — "
+    "joiners eat, leavers' forks are reclaimed, and no edge-scoped "
+    "exclusion violation outlives the settle window."
 )
 
 
@@ -163,4 +170,84 @@ def run_fuzz_differential(
                 "statuses_match": kernel.verdict.statuses() == live.verdict.statuses(),
             }
         )
+    return rows
+
+
+@register_scenario(
+    "churn_sweep",
+    title="Churn — sampled membership schedules under the dynamic suite",
+    claim=CHURN_CLAIM,
+    columns=(
+        "topology",
+        "archetype",
+        "index",
+        "n",
+        "deltas",
+        "joiners",
+        "joiner_meals",
+        "resident_meals",
+        "failing",
+        "ok",
+    ),
+    group_by=("topology", "archetype"),
+    spec=ScenarioSpec(
+        topology=("ring", "grid"),
+        detector="scripted",
+        crashes="none (churn only)",
+        latency="sampled (uniform)",
+        workload="sampled (always)",
+        horizon=0.0,
+        seeds=(0,),
+        params={"topologies": ("ring", "grid"), "n": 6, "cycles": 2},
+    ),
+    experiment="churn",
+)
+def run_churn_sweep(
+    *,
+    topologies: tuple = ("ring", "grid"),
+    n: int = 6,
+    cycles: int = 2,
+    seed: int = 0,
+) -> List[Dict[str, object]]:
+    """One row per (topology, churn archetype, cycle) kernel run.
+
+    The sweep walks the sampler's churn indices directly — the same
+    plans a fuzz campaign would meet — and reports where the meals went:
+    joiners must eat after their join, and residents must keep eating
+    across every delta (the leaver's forks were reclaimed, or progress
+    would fail and flip ``ok``).
+    """
+    rows: List[Dict[str, object]] = []
+    for topology in topologies:
+        for archetype in CHURN_ARCHETYPES:
+            base = ARCHETYPES.index(archetype)
+            for cycle in range(cycles):
+                index = base + cycle * len(ARCHETYPES)
+                plan = sample_plan(topology=topology, n=n, seed=seed, index=index)
+                result = run_plan_kernel(plan)
+                joiners = {
+                    spec.pid for spec in plan.membership if spec.verb == "join"
+                }
+                rows.append(
+                    {
+                        "topology": topology,
+                        "archetype": archetype,
+                        "index": index,
+                        "n": plan.n,
+                        "deltas": len(plan.membership),
+                        "joiners": len(joiners),
+                        "joiner_meals": sum(
+                            count
+                            for pid, count in result.meals.items()
+                            if pid in joiners
+                        ),
+                        "resident_meals": sum(
+                            count
+                            for pid, count in result.meals.items()
+                            if pid not in joiners
+                        ),
+                        "failing": ", ".join(result.failed),
+                        "ok": result.ok,
+                    }
+                )
     return rows

@@ -94,6 +94,7 @@ def _candidates(plan: FaultPlan) -> Iterator[Tuple[str, FaultPlan]]:
     for i, crash in enumerate(plan.crashes):
         kept = plan.crashes[:i] + plan.crashes[i + 1 :]
         yield f"drop crash of pid {crash.pid}", plan.with_(crashes=kept)
+    yield from _membership_candidates(plan)
     if plan.flaps != FlapSpec(detection_delay=plan.flaps.detection_delay):
         yield "zero the suspicion flaps", plan.with_(
             flaps=FlapSpec(detection_delay=plan.flaps.detection_delay)
@@ -121,6 +122,64 @@ def _candidates(plan: FaultPlan) -> Iterator[Tuple[str, FaultPlan]]:
     if plan.horizon > MIN_HORIZON:
         horizon = max(MIN_HORIZON, round(plan.horizon / 2.0, 3))
         yield f"horizon {plan.horizon:g} -> {horizon:g}", plan.with_(horizon=horizon)
+
+
+def _membership_candidates(plan: FaultPlan) -> Iterator[Tuple[str, FaultPlan]]:
+    """Shrink rungs for the membership script.
+
+    Verb-aware rungs cancel matched pairs (a leave with its rejoin, an
+    edge removal with its re-add) as single units — dropping only one
+    side usually produces an invalid log, which the replay rejects and
+    the ladder then never makes progress on churn at all.  The
+    drop-half bisection and per-delta drops are verb-agnostic: a verb
+    this ladder has never heard of still shrinks generically instead of
+    being pinned in the witness forever.
+    """
+    membership = plan.membership
+    if not membership:
+        return
+    yield "drop the membership script", plan.with_(membership=())
+    if len(membership) > 2:
+        half = len(membership) // 2
+        yield (
+            f"membership deltas {len(membership)} -> first {half}",
+            plan.with_(membership=membership[:half]),
+        )
+        yield (
+            f"membership deltas {len(membership)} -> last {len(membership) - half}",
+            plan.with_(membership=membership[half:]),
+        )
+    for i, spec in enumerate(membership):
+        if spec.verb == "leave":
+            for j in range(i + 1, len(membership)):
+                other = membership[j]
+                if other.verb == "rejoin" and other.pid == spec.pid:
+                    kept = tuple(
+                        s for k, s in enumerate(membership) if k not in (i, j)
+                    )
+                    yield f"cancel bounce of pid {spec.pid}", plan.with_(
+                        membership=kept
+                    )
+                    break
+        elif spec.verb == "remove_edge":
+            for j in range(i + 1, len(membership)):
+                other = membership[j]
+                if other.verb == "add_edge" and {other.pid, other.peer} == {
+                    spec.pid,
+                    spec.peer,
+                }:
+                    kept = tuple(
+                        s for k, s in enumerate(membership) if k not in (i, j)
+                    )
+                    yield f"cancel edge flip {spec.pid}-{spec.peer}", plan.with_(
+                        membership=kept
+                    )
+                    break
+    for i, spec in enumerate(membership):
+        kept = membership[:i] + membership[i + 1 :]
+        yield f"drop membership delta [{spec.describe()}]", plan.with_(
+            membership=kept
+        )
 
 
 def shrink_plan(

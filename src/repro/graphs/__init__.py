@@ -8,6 +8,12 @@ from repro.graphs.coloring import (
     validate_coloring,
 )
 from repro.graphs.conflict import ConflictGraph, Edge, ProcessId
+from repro.graphs.membership import (
+    MembershipDelta,
+    MembershipLog,
+    TopologyTimeline,
+    TopologyView,
+)
 from repro.graphs.topologies import (
     binary_tree,
     by_name,
@@ -27,7 +33,11 @@ __all__ = [
     "Coloring",
     "ConflictGraph",
     "Edge",
+    "MembershipDelta",
+    "MembershipLog",
     "ProcessId",
+    "TopologyTimeline",
+    "TopologyView",
     "binary_tree",
     "by_name",
     "clique",

@@ -111,6 +111,12 @@ class ClusterSpec:
     #: Resource name -> owning diner pid (empty: one ``r<pid>`` per
     #: diner).  Each host serves the resources of its local diners.
     lock_resources: Dict[str, int] = field(default_factory=dict)
+    #: Membership deltas (dynamic topology): dicts with keys ``time``,
+    #: ``verb``, ``pid`` and optionally ``edges`` / ``peer``; times are
+    #: seconds after the shared epoch.  Multi-process clusters support
+    #: ``join`` and ``leave``; rejoin and edge churn need the loopback
+    #: single-host sequence fences.
+    membership: List[Dict[str, object]] = field(default_factory=list)
     #: Filled in by :func:`launch` before the spec reaches the children.
     epoch: Optional[float] = None
     addresses: Dict[int, object] = field(default_factory=dict)
@@ -125,12 +131,50 @@ class ClusterSpec:
             )
         if self.transport not in ("unix", "tcp"):
             raise ConfigurationError(f"cluster transport must be unix or tcp, not {self.transport!r}")
+        if self.processes > 1:
+            for delta in self.membership:
+                if delta.get("verb") in ("rejoin", "add_edge", "remove_edge"):
+                    raise ConfigurationError(
+                        f"membership verb {delta.get('verb')!r} needs a "
+                        "single-process cluster (loopback channel fences)"
+                    )
 
     # ------------------------------------------------------------------
     # Derived structure
     # ------------------------------------------------------------------
     def graph(self) -> ConflictGraph:
         return topologies.by_name(self.topology, self.n, seed=self.seed)
+
+    def membership_log(self):
+        """The spec's deltas as a :class:`MembershipLog` (None if static)."""
+        if not self.membership:
+            return None
+        from repro.graphs.membership import MembershipDelta, MembershipLog
+
+        return MembershipLog(
+            MembershipDelta(
+                time=float(delta["time"]),
+                verb=str(delta["verb"]),
+                pid=int(delta["pid"]),
+                edges=tuple(int(e) for e in (delta.get("edges") or ())),
+                peer=int(delta["peer"]) if delta.get("peer") is not None else None,
+            )
+            for delta in self.membership
+        )
+
+    def timeline(self):
+        """The epoched view timeline (None if static)."""
+        log = self.membership_log()
+        if log is None:
+            return None
+        from repro.graphs.membership import TopologyTimeline
+
+        return TopologyTimeline(self.graph(), log)
+
+    def union_graph(self) -> ConflictGraph:
+        """Every node and edge that ever exists during the run."""
+        timeline = self.timeline()
+        return self.graph() if timeline is None else timeline.union()
 
     def host_config(self, host_index: Optional[int] = None) -> HostConfig:
         config = HostConfig(
@@ -163,7 +207,7 @@ class ClusterSpec:
         host's ``/metrics`` scrape — and only the block boundaries pay a
         socket hop.
         """
-        nodes = self.graph().nodes
+        nodes = self.union_graph().nodes
         return {
             pid: index * self.processes // len(nodes)
             for index, pid in enumerate(nodes)
@@ -282,8 +326,11 @@ class ClusterVerdict:
 def build_host(spec: ClusterSpec, host_index: int) -> AsyncHost:
     """Rebuild one host (its diners, links, detector) from a launched spec."""
     graph = spec.graph()
+    membership = spec.membership_log()
     placement = spec.placement or spec.default_placement()
-    local_pids = [pid for pid in graph.nodes if placement[pid] == host_index]
+    local_pids = [
+        pid for pid in spec.union_graph().nodes if placement[pid] == host_index
+    ]
     if not local_pids:
         raise ConfigurationError(f"host {host_index} owns no diners")
     workload = None
@@ -304,6 +351,7 @@ def build_host(spec: ClusterSpec, host_index: int) -> AsyncHost:
         epoch=spec.epoch,
         crash_times=spec.crash_times,
         workload=workload,
+        membership=membership,
         run=f"host{host_index}",
     )
     if spec.serve_locks:
@@ -468,21 +516,27 @@ def check_config_for(spec: ClusterSpec) -> CheckConfig:
     times, so a diner flagged starving is genuinely blocked, not slow.
     """
     crashed = set(spec.crash_times)
+    timeline = spec.timeline()
+    settle = spec.initial_timeout + spec.timeout_increment + spec.eat_time
+    if timeline is not None:
+        # Churn re-arms the clock: nothing settles before the last delta
+        # lands and the detector absorbs it.
+        log = spec.membership_log()
+        settle = max(settle, log.last_time() + spec.initial_timeout + spec.eat_time)
+    nodes = spec.graph().nodes if timeline is None else timeline.final().graph.nodes
     return CheckConfig(
         channel_bound=spec.channel_bound,
-        settle=min(
-            spec.duration,
-            spec.initial_timeout + spec.timeout_increment + spec.eat_time,
-        ),
+        settle=min(spec.duration, settle),
         patience=max(0.4 * spec.duration, 20 * spec.eat_time),
-        correct=tuple(pid for pid in spec.graph().nodes if pid not in crashed),
+        correct=tuple(pid for pid in nodes if pid not in crashed),
         crash_time_of=spec.crash_times.get,
     )
 
 
 def merge_run(spec: ClusterSpec) -> ClusterVerdict:
     """Combine per-host outputs into the system-wide verdict."""
-    graph = spec.graph()
+    timeline = spec.timeline()
+    union = spec.union_graph()
     host_dirs = [spec.host_dir(index) for index in range(spec.processes)]
 
     results: List[Dict[str, object]] = []
@@ -504,7 +558,12 @@ def merge_run(spec: ClusterSpec) -> ClusterVerdict:
     # One suite, the same one every substrate runs, over the merged
     # stream — the authoritative judgement for cross-host edges no
     # single host can see.
-    suite = standard_suite(sorted(graph.edges), check_config_for(spec))
+    suite = standard_suite(
+        sorted(union.edges),
+        check_config_for(spec),
+        dynamic=timeline is not None,
+        membership=timeline,
+    )
     suite.feed(_load_merged_events(host_dirs))
     checks = suite.finalize(spec.duration)
 

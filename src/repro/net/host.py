@@ -45,6 +45,8 @@ from dataclasses import dataclass
 from typing import Dict, List, Mapping, NamedTuple, Optional, Sequence, Tuple
 
 from repro.checks import (
+    PENDING_PING,
+    QUIESCENCE,
     CheckConfig,
     DeliverEvent,
     DropEvent,
@@ -63,6 +65,7 @@ from repro.detectors.heartbeat import HeartbeatDetector
 from repro.errors import ConfigurationError
 from repro.graphs.coloring import Coloring, greedy_coloring, validate_coloring
 from repro.graphs.conflict import ConflictGraph
+from repro.graphs.membership import MembershipDelta, MembershipLog, TopologyTimeline
 from repro.locks.messages import LeaseDenied
 from repro.net.codec import (
     FrameDecoder,
@@ -199,6 +202,7 @@ class AsyncHost:
         run: str = "live",
         inject_latency=None,
         diner_factory=None,
+        membership: Optional[MembershipLog] = None,
     ) -> None:
         if transport not in ("loopback", "unix", "tcp"):
             raise ConfigurationError(f"unknown transport {transport!r}")
@@ -211,32 +215,57 @@ class AsyncHost:
         self._finished = False
         self.loop: Optional[asyncio.AbstractEventLoop] = None
 
-        pids = tuple(local_pids) if local_pids is not None else graph.nodes
+        # Dynamic membership: delta times are in host seconds (seconds
+        # after the run epoch — callers scale plan time before handing
+        # the log over).  The union graph — every node and edge that
+        # ever exists — takes the static graph's role for coloring, the
+        # detector, actor construction, and checker wiring, exactly as
+        # the kernel table does; the per-epoch views restrict each
+        # actor's live link set.
+        self.membership = membership if membership is not None else MembershipLog()
+        dynamic = bool(self.membership)
+        self.timeline = TopologyTimeline(graph, self.membership) if dynamic else None
+        union = self.timeline.union() if dynamic else graph
+        self.union_graph = union
+        self._membership_epoch = 0
+        self._pending_membership: List[MembershipDelta] = list(self.membership)
+        if dynamic and transport != "loopback":
+            # rejoin and edge churn rely on this host's authoritative
+            # per-channel sequence counters to fence stale traffic; on a
+            # multi-host cluster only join/leave have that property.
+            for delta in self.membership:
+                if delta.verb in ("rejoin", "add_edge", "remove_edge"):
+                    raise ConfigurationError(
+                        f"membership verb {delta.verb!r} requires loopback "
+                        "transport (single-host run)"
+                    )
+
+        pids = tuple(local_pids) if local_pids is not None else union.nodes
         for pid in pids:
-            if pid not in graph:
+            if pid not in union:
                 raise ConfigurationError(f"local pid {pid} is not in the conflict graph")
         self.local_pids: Tuple[ProcessId, ...] = tuple(sorted(pids))
 
         self._placement: Dict[ProcessId, int] = (
             dict(placement)
             if placement is not None
-            else {pid: self.host_index for pid in graph.nodes}
+            else {pid: self.host_index for pid in union.nodes}
         )
-        for pid in graph.nodes:
+        for pid in union.nodes:
             if pid not in self._placement:
                 raise ConfigurationError(f"placement does not cover process {pid}")
         if transport == "loopback":
-            remote = [p for p in graph.nodes if self._placement[p] != self.host_index]
+            remote = [p for p in union.nodes if self._placement[p] != self.host_index]
             if remote:
                 raise ConfigurationError(
                     f"loopback transport cannot reach remote pids {remote}"
                 )
 
         self.streams = RandomStreams(self.config.seed)
-        self.coloring = coloring if coloring is not None else greedy_coloring(graph)
-        validate_coloring(graph, self.coloring)
+        self.coloring = coloring if coloring is not None else greedy_coloring(union)
+        validate_coloring(union, self.coloring)
         self.detector = HeartbeatDetector(
-            graph,
+            union,
             interval=self.config.heartbeat_interval,
             initial_timeout=self.config.initial_timeout,
             timeout_increment=self.config.timeout_increment,
@@ -252,16 +281,30 @@ class AsyncHost:
         self._net_probe = NetworkInstrument(
             self.registry, run=run, bound=self.config.channel_bound
         )
-        self._trace_probe = TraceInstrument(self.registry, graph, self)
+        self._trace_probe = TraceInstrument(self.registry, union, self)
         self._trace_probe.attach(self.trace)
         self.registry.add_finalizer(self._flush_probes)
 
-        make_diner = diner_factory if diner_factory is not None else DinerActor
+        self._make_diner = diner_factory if diner_factory is not None else DinerActor
+        make_diner = self._make_diner
         self.diners: Dict[ProcessId, DinerActor] = {}
         for pid in self.local_pids:
-            diner = make_diner(
-                pid, graph, self.coloring, self.detector, self.workload, self.trace
-            )
+            if dynamic:
+                if pid not in graph:
+                    continue  # joins later; its actor spawns at delta time
+                diner = make_diner(
+                    pid,
+                    union,
+                    self.coloring,
+                    self.detector,
+                    self.workload,
+                    self.trace,
+                    neighbors=graph.neighbors(pid),
+                )
+            else:
+                diner = make_diner(
+                    pid, graph, self.coloring, self.detector, self.workload, self.trace
+                )
             diner.bind_substrate(LiveSubstrate(self, pid))
             self.diners[pid] = diner
 
@@ -269,32 +312,41 @@ class AsyncHost:
         # Latest scheduled (delayed) delivery per local directed channel;
         # clamping against it keeps injected jitter FIFO-safe.
         self._delay_front: Dict[Tuple[ProcessId, ProcessId], float] = {}
+        # Channel fences (dynamic membership): deliveries on a fenced
+        # directed channel with seq <= fence are dropped — the live
+        # analogue of the kernel network's rejoin/edge-rebuild hygiene.
+        self._fences: Dict[Tuple[ProcessId, ProcessId], int] = {}
 
         local = set(self.local_pids)
         self._local_edges = tuple(
-            edge for edge in sorted(graph.edges) if edge[0] in local and edge[1] in local
+            edge for edge in sorted(union.edges) if edge[0] in local and edge[1] in local
         )
 
         self._crash_times: Dict[ProcessId, float] = {
             pid: float(t)
             for pid, t in (crash_times or {}).items()
-            if pid in self.diners
+            if pid in local
         }
 
         # The same substrate-agnostic suite the kernel runs, judging what
         # this host can see: local edges exactly, inbound remote channels
         # from the receiving side.  Violations are collected, never
         # raised — a live run always completes and reports what it saw.
+        final_nodes = self.timeline.final().graph.nodes if dynamic else union.nodes
         self.checks = standard_suite(
             self._local_edges,
             CheckConfig(
                 channel_bound=self.config.channel_bound,
                 correct=tuple(
-                    pid for pid in self.local_pids if pid not in self._crash_times
+                    pid
+                    for pid in self.local_pids
+                    if pid not in self._crash_times and pid in final_nodes
                 ),
                 crash_time_of=self._crash_times.get,
             ),
             on_violation=self._on_check_violation,
+            dynamic=dynamic,
+            membership=self.timeline,
         )
         self._probe = ProbeEvent(0.0, self.diners)
         # Per-pid partial probes: a step at one diner can only change that
@@ -487,7 +539,25 @@ class AsyncHost:
         name = type(message).__name__
         layer = message_layer(message)
         local_src = self._placement[src] == self.host_index
+        fence = self._fences.get((src, dst))
+        if fence is not None and 0 < seq <= fence:
+            # Stale traffic from before a rejoin or edge rebuild: drop at
+            # delivery, exactly like the kernel network's channel fence.
+            self._wire(WireEvent("drop", src, dst, name, layer, seq, now, 0))
+            self.checks.observe(DropEvent(now, src, dst, name, layer, seq))
+            if local_src:
+                self._net_probe.on_drop(src, dst, message, now)
+            return
         if actor is None:
+            if self.timeline is not None and dst in self.union_graph:
+                # Dynamic run: the destination has not joined yet (or has
+                # left for good).  Detector probing keeps flowing to such
+                # pids by design, so this is a drop, not a fault.
+                self._wire(WireEvent("drop", src, dst, name, layer, seq, now, 0))
+                self.checks.observe(DropEvent(now, src, dst, name, layer, seq))
+                if local_src:
+                    self._net_probe.on_drop(src, dst, message, now)
+                return
             self._record_violation(f"frame for non-local pid {dst} ({name} from {src})")
             return
         if actor.crashed:
@@ -569,10 +639,15 @@ class AsyncHost:
     # Transport lifecycle
     # ------------------------------------------------------------------
     def _peer_hosts(self) -> Tuple[int, ...]:
-        """Host indices this host exchanges messages with."""
+        """Host indices this host exchanges messages with.
+
+        Peering is over the union graph: an edge that only exists after
+        a join still needs its socket, and pre-dialing everything at
+        start-up keeps the mid-run join path free of connect retries.
+        """
         peers = set()
         for pid in self.local_pids:
-            for neighbor in self.graph.neighbors(pid):
+            for neighbor in self.union_graph.neighbors(pid):
                 owner = self._placement[neighbor]
                 if owner != self.host_index:
                     peers.add(owner)
@@ -734,6 +809,13 @@ class AsyncHost:
             self.guarded(actor.on_start, label=f"start@{pid}", pid=pid)()
         for pid, instant in sorted(self._crash_times.items()):
             self.loop.call_later(max(0.0, instant - self.now), self._inject_crash, pid)
+        for delta in self.membership:
+            # Each timer pops the next delta in log order, so same-instant
+            # deltas apply in log order even if the loop's timer heap
+            # breaks the tie differently.
+            self.loop.call_later(
+                max(0.0, delta.time - self.now), self._apply_membership
+            )
 
         remaining = self._epoch + self.config.duration - time.time()
         if remaining > 0:
@@ -744,8 +826,8 @@ class AsyncHost:
     def _inject_crash(self, pid: ProcessId) -> None:
         if self._finished:
             return
-        actor = self.diners[pid]
-        if actor.crashed:
+        actor = self.diners.get(pid)
+        if actor is None or actor.crashed:
             return
         try:
             actor.crash()
@@ -753,6 +835,151 @@ class AsyncHost:
             self._record_violation(f"crash@{pid}: {exc}")
         if all(a.crashed for a in self.diners.values()):
             self._kill_connections()
+
+    # ------------------------------------------------------------------
+    # Dynamic membership
+    # ------------------------------------------------------------------
+    def _live_actor(self, pid: ProcessId) -> Optional[DinerActor]:
+        actor = self.diners.get(pid)
+        return actor if actor is not None and not actor.crashed else None
+
+    def _spawn_actor(self, pid: ProcessId, neighbors, *, replace: bool) -> None:
+        """Build, bind, and start a fresh incarnation of ``pid``."""
+        diner = self._make_diner(
+            pid,
+            self.union_graph,
+            self.coloring,
+            self.detector,
+            self.workload,
+            self.trace,
+            neighbors=neighbors,
+        )
+        diner.bind_substrate(LiveSubstrate(self, pid))
+        self.diners[pid] = diner
+        if replace:
+            self._fence_pid(pid)
+        label = ("rejoin" if replace else "join") + f"@{pid}"
+
+        def start() -> None:
+            diner.on_start()
+            diner.reevaluate()
+
+        self.guarded(start, label=label, pid=pid)()
+
+    def _fence_pid(self, pid: ProcessId) -> None:
+        """Fence every directed channel touching ``pid`` at its current seq."""
+        for key, seq in self._next_seq.items():
+            if pid in key and seq:
+                self._fences[key] = seq
+        self._clear_pending_pings(lambda pair: pid in pair)
+        try:
+            quiescence = self.checks.checker(QUIESCENCE)
+        except KeyError:
+            quiescence = None
+        if quiescence is not None and hasattr(quiescence, "note_rebirth"):
+            quiescence.note_rebirth(pid, self.now)
+
+    def _fence_edge(self, a: ProcessId, b: ProcessId) -> None:
+        """Fence both directions of edge ``(a, b)`` at their current seq."""
+        for key in ((a, b), (b, a)):
+            seq = self._next_seq.get(key)
+            if seq:
+                self._fences[key] = seq
+        self._clear_pending_pings(lambda pair: pair in ((a, b), (b, a)))
+
+    def _clear_pending_pings(self, matches) -> None:
+        """Forget Lemma 2.2 obligations owed by a fenced (dead) channel."""
+        try:
+            checker = self.checks.checker(PENDING_PING)
+        except KeyError:
+            return
+        outstanding = getattr(checker, "_outstanding", None)
+        if outstanding:
+            for pair in [p for p in outstanding if matches(p)]:
+                del outstanding[pair]
+
+    def _apply_membership(self) -> None:
+        """Execute the next membership delta (timers fire in log order).
+
+        Mirrors the kernel table's delta interpreter verb for verb: the
+        epoch counter advances first so the trace record and every
+        epoch-stamped witness agree with the timeline's snapshot index;
+        peers learn about a newcomer before its actor starts pinging.
+        """
+        if self._finished or not self._pending_membership:
+            return
+        delta = self._pending_membership.pop(0)
+        epoch = self._membership_epoch + 1
+        self._membership_epoch = epoch
+        snapshots = self.timeline.snapshots()
+        view = snapshots[epoch].graph
+        previous = snapshots[epoch - 1].graph
+        verb = delta.verb
+        pid = delta.pid
+        record_edges: tuple = ()
+        try:
+            if verb == "join":
+                record_edges = delta.edges
+                neighbors = view.neighbors(pid)
+                for other in neighbors:
+                    peer = self._live_actor(other)
+                    if peer is not None:
+                        peer.add_neighbor(pid)
+                if self._placement[pid] == self.host_index:
+                    self._spawn_actor(pid, neighbors, replace=False)
+            elif verb == "leave":
+                # The same path as a crash: the actor freezes, deliveries
+                # drop, and once every local actor is down the host
+                # severs its connections.  Survivors substitute the
+                # leaver in their Action 5/9 guards immediately.
+                neighbors = previous.neighbors(pid)
+                if self._placement[pid] == self.host_index:
+                    self._inject_crash(pid)
+                for other in neighbors:
+                    peer = self._live_actor(other)
+                    if peer is not None:
+                        peer.neighbor_left(pid)
+            elif verb == "rejoin":
+                # Membership act, not detector output: silently wipe the
+                # old incarnation's module before the fresh actor
+                # re-subscribes in its on_start.
+                self.detector.module_for(pid).reset()
+                neighbors = view.neighbors(pid)
+                for other in neighbors:
+                    peer = self._live_actor(other)
+                    if peer is None:
+                        continue
+                    if pid in peer.links:
+                        peer.neighbor_rejoined(pid)
+                    else:
+                        peer.add_neighbor(pid)
+                if self._placement[pid] == self.host_index:
+                    self._spawn_actor(pid, neighbors, replace=True)
+            elif verb == "add_edge":
+                peer_pid = delta.peer
+                record_edges = (peer_pid,)
+                if pid in view and peer_pid in view.neighbors(pid):
+                    self._fence_edge(pid, peer_pid)
+                    a = self._live_actor(pid)
+                    b = self._live_actor(peer_pid)
+                    if a is not None:
+                        a.add_neighbor(peer_pid)
+                    if b is not None:
+                        b.add_neighbor(pid)
+            elif verb == "remove_edge":
+                peer_pid = delta.peer
+                record_edges = (peer_pid,)
+                if pid in previous and peer_pid in previous.neighbors(pid):
+                    a = self._live_actor(pid)
+                    b = self._live_actor(peer_pid)
+                    if a is not None:
+                        a.remove_neighbor(peer_pid)
+                    if b is not None:
+                        b.remove_neighbor(pid)
+        except Exception as exc:  # noqa: BLE001 - every membership fault is a finding
+            self._record_violation(f"membership {verb}@{pid}: {exc}")
+        self.trace.membership_change(self.now, epoch, verb, pid, record_edges)
+        self._after_step(None)
 
     async def _shutdown(self) -> None:
         if self.lock_service is not None:

@@ -60,9 +60,12 @@ so this path has a hard wall-clock budget (see
 * **Change-tracking state probes.**  Fork/token state only changes when
   a fork-carrying message arrives, and the diner-local flags (``ack``,
   ``replied``, ``inside``, the phase) only change at ping/ack traffic
-  and phase/doorway transitions.  The adapter marks exactly those edges
-  and links dirty (deduplicated per step) as the event's sends,
-  deliveries, and records stream past, and the post-event step probe
+  and phase/doorway transitions.  The *diners themselves* push the dirt
+  (deduplicated per step): each handler reports the link or edge it
+  actually mutated through the sinks :meth:`KernelCheckAdapter
+  .install_diner` arms — the adapter no longer reverse-engineers dirty
+  state from message kinds on the deliver path — with phase/doorway
+  trace records still marking their diner, and the post-event step probe
   re-checks only the dirty slice — the same
   :func:`~repro.checks.properties.probe_violations` /
   :func:`~repro.checks.properties.diner_local_violations` predicates,
@@ -320,9 +323,8 @@ class KernelCheckAdapter(NetworkMonitor):
                     else:
                         pp_outstanding[pair] = count
                         counters[3] += 1
-            elif kind == 2 and mark_locals:  # _KIND_ACK
-                # Sending an ack flips the sender's ``replied`` flag.
-                mark_pair((src, dst))
+            # (An ack send flips the sender's ``replied`` flag, but the
+            # diner pushes that dirt itself — see install_diner.)
             if dst in crashing:
                 if q_send is not None:
                     violation = q_send(src, dst, time, name, layer)
@@ -382,15 +384,12 @@ class KernelCheckAdapter(NetworkMonitor):
                 level = occ_current[edge]
                 if level > 0:
                     occ_current[edge] = level - 1
-            if kind == 3:  # _KIND_FORKISH
-                if fork_probe is not None:
-                    mark_edge((src, dst) if src <= dst else (dst, src))
-            elif kind:
-                if kind == 2 and pp_ack is not None:  # _KIND_ACK
-                    pp_ack(src, dst)
-                if mark_locals:
-                    # The delivery mutates dst's link state toward src.
-                    mark_pair((dst, src))
+            # Link/edge dirt is the destination diner's to report: its
+            # handler pushes exactly the state it mutated through the
+            # sinks install_diner armed, so nothing here branches on
+            # message kinds to guess what the delivery touched.
+            if kind == 2 and pp_ack is not None:  # _KIND_ACK
+                pp_ack(src, dst)
 
         def on_drop(src, dst, message, time):
             info = type_info.get(type(message))
@@ -416,6 +415,23 @@ class KernelCheckAdapter(NetworkMonitor):
         self.on_drop = on_drop
         self.on_step = on_step
         self._on_state_record = on_phase_or_doorway
+        # The sinks install_diner hands out: they arm the kernel's
+        # one-shot post-event hook exactly like the adapter's own marks.
+        self._mark_pair = mark_pair if mark_locals else None
+        self._mark_edge = mark_edge if fork_probe is not None else None
+
+    def install_diner(self, diner) -> None:
+        """Arm the push-style dirty sinks on one diner.
+
+        The diner reports its own mutations — ``on_dirty_link`` with the
+        ``(pid, neighbor)`` whose ack/replied/deferred flags changed,
+        ``on_dirty_fork`` with the sorted edge whose fork or token moved
+        — replacing the old deliver-side message-kind inference.  Called
+        for every diner at :meth:`attach` and for each diner spawned
+        later by a membership join or rejoin.
+        """
+        diner.on_dirty_link = self._mark_pair
+        diner.on_dirty_fork = self._mark_edge
 
     def attach(self, sim, network, trace) -> "KernelCheckAdapter":
         self._sim_cell[0] = sim
@@ -429,6 +445,8 @@ class KernelCheckAdapter(NetworkMonitor):
         )
         trace.add_listener(self._on_crash, types=(Crash,))
         self._trace = trace
+        for diner in self._diners.values():
+            self.install_diner(diner)
         self.suite.add_finalizer(self._settle)
         # Judge the initial state (fork/token seeding, clean flags) once;
         # every later change is probed via the dirty sets.
@@ -560,6 +578,48 @@ class KernelCheckAdapter(NetworkMonitor):
             found = local.record_probe(self._diners, now)
             if found:
                 self._report_all(found)
+
+    # Membership -------------------------------------------------------
+    def note_rejoin(self, pid: ProcessId) -> None:
+        """A fresh incarnation of ``pid`` replaced the departed one.
+
+        Three pieces of adapter state are keyed to the dead incarnation
+        and must not leak into the new life: the quiescence ledger (sends
+        to the rejoined pid are ordinary traffic again — only checkers
+        exposing ``note_rebirth``, i.e. the dynamic suite's, support
+        this), the post-crash send filter, and the Lemma 2.2 outstanding
+        ping table (the old incarnation's unanswered ping would make a
+        survivor's first post-reset ping look like a duplicate).
+        """
+        self._crashing.discard(pid)
+        quiescence = self._quiescence
+        if quiescence is not None and hasattr(quiescence, "note_rebirth"):
+            quiescence.note_rebirth(pid, self._sim_cell[0].now)
+        outstanding = (
+            self._pending_ping._outstanding
+            if self._pending_ping is not None
+            else None
+        )
+        if outstanding:
+            for pair in [p for p in outstanding if pid in p]:
+                del outstanding[pair]
+
+    def note_edge_reset(self, a: ProcessId, b: ProcessId) -> None:
+        """Edge ``(a, b)`` was torn down and rebuilt with hygienic links.
+
+        A ping outstanding from the edge's earlier existence was retired
+        by the teardown (its ack can never arrive — the channel is
+        fenced), so it must not make the rebuilt link's first ping look
+        like a Lemma 2.2 duplicate.
+        """
+        outstanding = (
+            self._pending_ping._outstanding
+            if self._pending_ping is not None
+            else None
+        )
+        if outstanding:
+            outstanding.pop((a, b), None)
+            outstanding.pop((b, a), None)
 
     # Trace records ----------------------------------------------------
     def _on_crash(self, record: Crash) -> None:

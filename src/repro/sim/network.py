@@ -79,6 +79,18 @@ class _Delivery:
         network._pool.append(self)
         receiver = network._actors[dst]
         now = network._sim._now
+        fences = network._fences
+        if fences:
+            # A fenced channel (a rejoin replaced the endpoint, or the
+            # edge itself was torn down and rebuilt) drops every message
+            # sequenced at or before the fence: traffic from a dead
+            # topology epoch must not reach the fresh incarnation.
+            fence = fences.get((src, dst))
+            if fence is not None and 0 < self.seq <= fence:
+                network.dropped_count += 1
+                for monitor in network._monitors:
+                    monitor.on_drop(src, dst, message, now)
+                return
         if receiver.crashed:
             network.dropped_count += 1
             for monitor in network._monitors:
@@ -115,6 +127,11 @@ class Network:
         # :meth:`enable_sequencing`).  One dict lookup per send serves
         # both jobs.
         self._channels: Dict[tuple, list] = {}
+        # Per-directed-channel drop fence: deliveries with a sequence
+        # number at or below the fence are discarded (stale traffic from
+        # before a rejoin or an edge rebuild).  Empty on static runs, so
+        # the delivery path pays one truthiness test.
+        self._fences: Dict[tuple, int] = {}
         self._sequencing = False
         #: Sequence number of the most recent send (monitors read it from
         #: their ``on_send`` hook) / of the delivery or drop currently
@@ -133,12 +150,44 @@ class Network:
     # ------------------------------------------------------------------
     # Topology / wiring
     # ------------------------------------------------------------------
-    def register(self, actor: Actor) -> None:
-        """Add an actor to the network and bind it to the kernel."""
-        if actor.pid in self._actors:
-            raise ConfigurationError(f"duplicate process id {actor.pid}")
-        self._actors[actor.pid] = actor
+    def register(self, actor: Actor, *, replace: bool = False) -> None:
+        """Add an actor to the network and bind it to the kernel.
+
+        ``replace=True`` substitutes a fresh incarnation for an existing
+        (crashed) actor — the rejoin path of dynamic membership.  Every
+        channel touching the pid is fenced at its current sequence
+        number, so traffic in flight to or from the dead incarnation is
+        dropped at delivery instead of leaking into the new life
+        (sequence numbers require :meth:`enable_sequencing`, which every
+        checked run arms).
+        """
+        pid = actor.pid
+        if pid in self._actors:
+            if not replace:
+                raise ConfigurationError(f"duplicate process id {pid}")
+            old = self._actors[pid]
+            if not old.crashed:
+                raise ConfigurationError(
+                    f"cannot replace live process {pid}; crash (leave) it first"
+                )
+            for key, cell in self._channels.items():
+                if pid in key and cell[1]:
+                    self._fences[key] = cell[1]
+        self._actors[pid] = actor
         actor.bind(self._sim, self)
+
+    def fence_channels(self, a: ProcessId, b: ProcessId) -> None:
+        """Fence both directions of edge ``(a, b)`` at their current seq.
+
+        Used when a previously removed conflict edge is re-added: any
+        message still in flight from the edge's earlier existence is
+        dropped at delivery rather than delivered into the rebuilt
+        hygienic link state.
+        """
+        for key in ((a, b), (b, a)):
+            cell = self._channels.get(key)
+            if cell is not None and cell[1]:
+                self._fences[key] = cell[1]
 
     def actor(self, pid: ProcessId) -> Actor:
         try:

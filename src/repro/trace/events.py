@@ -66,6 +66,29 @@ class Crash:
 
 
 @dataclass(frozen=True, slots=True)
+class MembershipChange:
+    """The conflict topology changed: one membership delta applied.
+
+    ``epoch`` is the monotone epoch counter *after* the delta (epoch 0
+    is the initial graph, so the first applied delta stamps epoch 1).
+    ``edges`` carries a ``join``'s initial neighbor list; the edge verbs
+    (``add_edge``/``remove_edge``) put the peer there instead.  Static
+    runs never emit this record, so their trace bytes are unchanged.
+    """
+
+    time: Instant
+    epoch: int
+    verb: str
+    pid: ProcessId
+    edges: tuple = ()
+
+    def __post_init__(self) -> None:
+        # JSON round-trips lists; normalize so reloaded records compare
+        # (and hash) equal to the originals.
+        object.__setattr__(self, "edges", tuple(self.edges))
+
+
+@dataclass(frozen=True, slots=True)
 class ProtocolStep:
     """The hosted (self-stabilizing) protocol executed one action at ``pid``.
 

@@ -30,6 +30,7 @@ from repro.timebase import Instant
 from repro.trace.events import (
     Crash,
     DoorwayChange,
+    MembershipChange,
     PhaseChange,
     ProtocolStep,
     SuspicionChange,
@@ -102,6 +103,11 @@ class TraceRecorder:
 
     def crash(self, time: Instant, pid: int) -> None:
         self.record(Crash(time, pid))
+
+    def membership_change(
+        self, time: Instant, epoch: int, verb: str, pid: int, edges: tuple = ()
+    ) -> None:
+        self.record(MembershipChange(time, epoch, verb, pid, edges))
 
     def protocol_step(self, time: Instant, pid: int, action: str, detail: Optional[str] = None) -> None:
         self.record(ProtocolStep(time, pid, action, detail))

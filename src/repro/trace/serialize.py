@@ -17,6 +17,7 @@ from repro.errors import ConfigurationError
 from repro.trace.events import (
     Crash,
     DoorwayChange,
+    MembershipChange,
     PhaseChange,
     ProtocolStep,
     SuspicionChange,
@@ -29,6 +30,7 @@ _RECORD_TYPES: dict = {
     "doorway": DoorwayChange,
     "suspicion": SuspicionChange,
     "crash": Crash,
+    "membership": MembershipChange,
     "protocol_step": ProtocolStep,
     "transient_fault": TransientFault,
 }

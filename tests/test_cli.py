@@ -127,7 +127,7 @@ class TestExperiments:
         assert names == [
             "e1", "e2", "e3", "e4", "e4b", "e5", "e6",
             "e7", "e7b", "e8", "e8b", "e9", "e10",
-            "fuzz_clean", "fuzz_differential", "fuzz_mutation",
+            "churn_sweep", "fuzz_clean", "fuzz_differential", "fuzz_mutation",
             "load_sweep",
         ]
 

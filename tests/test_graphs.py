@@ -1,6 +1,8 @@
 """Unit tests for conflict graphs, topologies, and colorings."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.errors import ColoringError, ConfigurationError
 from repro.graphs import (
@@ -73,6 +75,92 @@ class TestConflictGraph:
         assert 2 in graph
         assert 9 not in graph
         assert list(graph) == [0, 1, 2, 3]
+
+
+class TestWithDelta:
+    """`with_delta` must equal from-scratch construction, sharing aside."""
+
+    def test_leave_matches_from_scratch(self):
+        base = ring(6)
+        snapped = base.with_delta(remove_nodes=(2,))
+        rebuilt = ConflictGraph(
+            [n for n in base.nodes if n != 2],
+            [e for e in base.edges if 2 not in e],
+        )
+        assert snapped.nodes == rebuilt.nodes
+        assert snapped.edges == rebuilt.edges
+        assert all(snapped.neighbors(n) == rebuilt.neighbors(n) for n in snapped)
+
+    def test_join_matches_from_scratch(self):
+        base = ring(5)
+        snapped = base.with_delta(add_nodes=(5,), add_edges=((4, 5), (0, 5)))
+        rebuilt = ConflictGraph(range(6), set(base.edges) | {(4, 5), (0, 5)})
+        assert snapped.nodes == rebuilt.nodes
+        assert snapped.edges == rebuilt.edges
+        assert all(snapped.neighbors(n) == rebuilt.neighbors(n) for n in snapped)
+
+    def test_untouched_neighbor_tuples_are_shared(self):
+        base = ring(8)
+        snapped = base.with_delta(remove_nodes=(0,))
+        # 0's neighbors (1 and 7) are rebuilt; everyone else shares.
+        for n in (2, 3, 4, 5, 6):
+            assert snapped.neighbors(n) is base.neighbors(n)
+        assert snapped.neighbors(1) == (2,)
+        assert snapped.neighbors(7) == (6,)
+
+    def test_add_and_remove_same_node_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ring(4).with_delta(add_nodes=(9,), remove_nodes=(9,))
+
+    def test_removing_every_node_rejected(self):
+        with pytest.raises(ConfigurationError):
+            path(3).with_delta(remove_nodes=(0, 1, 2))
+
+    def test_added_edge_to_unknown_node_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ring(4).with_delta(add_edges=((0, 42),))
+
+    @settings(max_examples=100, deadline=None)
+    @given(data=st.data())
+    def test_random_delta_equals_from_scratch(self, data):
+        n = data.draw(st.integers(min_value=2, max_value=9), label="n")
+        base = random_graph(n, data.draw(st.floats(0.0, 1.0), label="p"), seed=data.draw(st.integers(0, 50), label="seed"))
+        removed = set(
+            data.draw(
+                st.lists(st.sampled_from(base.nodes), max_size=n - 1, unique=True),
+                label="removed_nodes",
+            )
+        )
+        added = set(data.draw(st.lists(st.integers(n, n + 3), max_size=3, unique=True), label="added_nodes"))
+        survivors = sorted((set(base.nodes) | added) - removed)
+        removed_edges = set(
+            data.draw(
+                st.lists(st.sampled_from(sorted(base.edges)), max_size=4, unique=True),
+                label="removed_edges",
+            )
+            if base.edges
+            else []
+        )
+        pairs = [(a, b) for a in survivors for b in survivors if a < b]
+        added_edges = set(
+            data.draw(st.lists(st.sampled_from(pairs), max_size=4, unique=True), label="added_edges")
+            if pairs
+            else []
+        )
+        snapped = base.with_delta(
+            add_nodes=added,
+            remove_nodes=removed,
+            add_edges=added_edges,
+            remove_edges=removed_edges,
+        )
+        expected_edges = (
+            {e for e in base.edges if e[0] not in removed and e[1] not in removed}
+            - removed_edges
+        ) | added_edges
+        rebuilt = ConflictGraph(survivors, expected_edges)
+        assert snapped.nodes == rebuilt.nodes
+        assert snapped.edges == rebuilt.edges
+        assert all(snapped.neighbors(v) == rebuilt.neighbors(v) for v in snapped)
 
 
 class TestTopologies:
