@@ -64,6 +64,7 @@ class EdgeReversalDiner(Actor):
         trace: TraceRecorder,
         *,
         on_eat: Optional[EatCallback] = None,
+        neighbors: Optional[tuple] = None,
     ) -> None:
         super().__init__(pid)
         if pid not in graph:
@@ -74,9 +75,13 @@ class EdgeReversalDiner(Actor):
         self.trace = trace
         self.on_eat = on_eat
         self.state = DinerState.THINKING
+        if neighbors is None:
+            initial = graph.neighbors(pid)
+        else:
+            initial = tuple(sorted(int(n) for n in neighbors))
         # Edge orientation as fork possession: toward the higher color.
         self.forks: Dict[ProcessId, bool] = {
-            nbr: self.color > int(coloring[nbr]) for nbr in graph.neighbors(pid)
+            nbr: self.color > int(coloring[nbr]) for nbr in initial
         }
         self.meals_eaten = 0
 
@@ -137,7 +142,7 @@ class EdgeReversalDiner(Actor):
         if not self.is_eating:
             return
         self._set_state(DinerState.THINKING)
-        for neighbor in self.graph.neighbors(self.pid):
+        for neighbor in sorted(self.forks):
             # Reverse every edge: relinquish all forks.
             if self.forks[neighbor]:
                 self.send(neighbor, Fork(self.pid))
@@ -150,6 +155,25 @@ class EdgeReversalDiner(Actor):
                 f"edge-reversal node {self.pid} got unexpected {message!r} from {src}"
             )
         self.forks[src] = True
+
+    # -- membership (crash-oblivious: observe, never adapt) --------------
+    def neighbor_left(self, neighbor: ProcessId) -> None:
+        """A neighbor departed.  SER does not adapt: if the dead node
+        held the shared fork the edge is pinned forever — the honest
+        churn failure mode."""
+
+    def neighbor_rejoined(self, neighbor: ProcessId) -> None:
+        self.forks.setdefault(neighbor, False)
+
+    def add_neighbor(self, neighbor: ProcessId) -> None:
+        # Hygienic placement for a fresh edge: higher pid holds the fork
+        # (colors may collide across epochs; pids never do).
+        self.forks.setdefault(neighbor, self.pid > neighbor)
+
+    def remove_neighbor(self, neighbor: ProcessId) -> None:
+        # A removed *edge* removes the conflict itself; forget the fork.
+        self.forks.pop(neighbor, None)
+        self.reevaluate()
 
     # -- internals -------------------------------------------------------
     def _set_state(self, new_state: DinerState) -> None:

@@ -1,0 +1,300 @@
+"""Baseline: Lehmann–Rabin randomized dining, generalized to the graph.
+
+The free-philosophers algorithm of Lehmann & Rabin (1981), in the
+conflict-graph generalization studied by Herescu & Palamidessi (*On the
+generalized dining philosophers problem*, PAPERS.md): symmetric,
+deterministic-adversary-proof dining with no priorities, no doorway and
+no oracle — progress comes from coin flips alone.
+
+Message-passing realization.  Each conflict edge carries one physical
+fork, initially at the higher-color endpoint (the repo's standard
+placement); ``holds_fork`` means the fork is at our end, and the fork
+itself travels as the ordinary :class:`~repro.core.messages.Fork`.  A
+hungry diner runs attempts:
+
+1. Draw a uniformly random order over its edges from its seeded private
+   stream (``streams.stream("lehmann-rabin/<pid>")`` — threaded from the
+   scenario seed, so every run is deterministic and golden-pinnable).
+2. **Commit** the first fork, waiting as long as it takes: a local
+   uncommitted fork is committed in place, otherwise a *blocking*
+   :class:`~repro.baselines.messages.LrRequest` is sent and the holder
+   answers with the fork as soon as it is uncommitted.
+3. **Test** the remaining forks one at a time in the drawn order: a
+   non-blocking request is answered immediately, with the fork or with
+   :class:`~repro.baselines.messages.LrBusy`.  On the first Busy the
+   whole attempt aborts — every committed fork is released (it stays at
+   our end but becomes grantable, and deferred blocking requests are
+   granted on the spot) — and a fresh attempt starts after a short
+   random backoff.
+4. All forks committed → eat.  Exit releases everything.
+
+Guarantees: mutual exclusion is *deterministic* (one fork per edge, two
+neighbors can never both have it committed), on every seed.  Progress is
+only probabilistic — with probability 1 over the coin flips, but no
+finite bound — so the bake-off judges it over seed ensembles rather
+than pinning a single-run expectation.
+
+Failure mode, by construction: **crash-oblivious**.  A diner crashed
+mid-meal holds all its forks committed forever; every neighbor's
+attempt eventually blocks on (or endlessly retests) a dead fork, so the
+neighborhood starves.  No detector is consulted.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.baselines.messages import LrBusy, LrRequest
+from repro.core.diner import EatCallback
+from repro.core.messages import Fork
+from repro.core.state import DinerState
+from repro.core.table import DiningTable, null_detector
+from repro.core.workload import Workload
+from repro.detectors.base import FailureDetector
+from repro.errors import ConfigurationError
+from repro.graphs.coloring import Coloring
+from repro.graphs.conflict import ConflictGraph, ProcessId
+from repro.sim.actor import Actor
+from repro.trace.recorder import TraceRecorder
+
+#: Default retry backoff window (virtual seconds): an aborted attempt
+#: redraws after a uniform delay from this range, so two symmetric
+#: neighbors don't re-collide in lockstep forever.
+RETRY_BACKOFF = (0.01, 0.05)
+
+
+class LehmannRabinDiner(Actor):
+    """One randomized Lehmann–Rabin philosopher."""
+
+    def __init__(
+        self,
+        pid: ProcessId,
+        graph: ConflictGraph,
+        coloring: Coloring,
+        detector: FailureDetector,  # unused: LR is oracle-free
+        workload: Workload,
+        trace: TraceRecorder,
+        *,
+        on_eat: Optional[EatCallback] = None,
+        neighbors: Optional[tuple] = None,
+        retry_backoff: Tuple[float, float] = RETRY_BACKOFF,
+    ) -> None:
+        super().__init__(pid)
+        if pid not in graph:
+            raise ConfigurationError(f"process {pid} is not in the conflict graph")
+        self.graph = graph
+        self.color = int(coloring[pid])
+        self.workload = workload
+        self.trace = trace
+        self.on_eat = on_eat
+        self.retry_backoff = retry_backoff
+        self.state = DinerState.THINKING
+        if neighbors is None:
+            initial = graph.neighbors(pid)
+        else:
+            initial = tuple(sorted(int(n) for n in neighbors))
+        self.neighbors: Set[ProcessId] = set(initial)
+        # Fork placement follows Section 3.1: at the higher-color end.
+        self.forks: Dict[ProcessId, bool] = {
+            nbr: self.color > int(coloring[nbr]) for nbr in initial
+        }
+        self.committed: Set[ProcessId] = set()
+        self.meals_eaten = 0
+        # Attempt state: the drawn order, the index of the next fork to
+        # secure, and the single neighbor (if any) we await a reply from.
+        self._order: List[ProcessId] = []
+        self._cursor = 0
+        self._awaiting: Optional[ProcessId] = None
+        self._deferred: Set[ProcessId] = set()  # blocking requests on hold
+
+    @property
+    def _rng(self):
+        return self.streams.stream(f"lehmann-rabin/{self.pid}")
+
+    # -- introspection (invariant checkers, experiments, tests) ---------
+    @property
+    def phase(self) -> str:
+        return self.state.phase
+
+    @property
+    def is_hungry(self) -> bool:
+        return self.state is DinerState.HUNGRY
+
+    @property
+    def is_eating(self) -> bool:
+        return self.state is DinerState.EATING
+
+    def holds_fork(self, neighbor: ProcessId) -> bool:
+        return self.forks.get(neighbor, False)
+
+    def holds_token(self, neighbor: ProcessId) -> bool:
+        return False  # LR has no request tokens
+
+    # -- lifecycle -------------------------------------------------------
+    def on_start(self) -> None:
+        self._schedule_next_hunger()
+
+    def on_crash(self) -> None:
+        self.trace.crash(self.now, self.pid)
+
+    def _schedule_next_hunger(self) -> None:
+        duration = self.workload.think_duration(self.pid, self.streams)
+        if duration is None:
+            return
+        self.set_timer(duration, self._become_hungry, label=f"hunger@{self.pid}")
+
+    def _become_hungry(self) -> None:
+        if self.state is not DinerState.THINKING:
+            return
+        self._set_state(DinerState.HUNGRY)
+        self._start_attempt()
+
+    # -- one randomized attempt ------------------------------------------
+    def _start_attempt(self) -> None:
+        if not self.is_hungry:
+            return
+        order = sorted(self.neighbors)
+        self._rng.shuffle(order)
+        self._order = order
+        self._cursor = 0
+        self._awaiting = None
+        if not order:
+            self._eat()
+            return
+        first = order[0]
+        if self.forks[first]:
+            self.committed.add(first)
+            self._cursor = 1
+            self._advance()
+        else:
+            self._awaiting = first
+            self.send(first, LrRequest(self.pid, True))
+
+    def _advance(self) -> None:
+        """Secure forks past the cursor with non-blocking tests."""
+        while self._cursor < len(self._order):
+            target = self._order[self._cursor]
+            if self.forks[target]:
+                self.committed.add(target)
+                self._cursor += 1
+                continue
+            self._awaiting = target
+            self.send(target, LrRequest(self.pid, False))
+            return
+        self._awaiting = None
+        self._eat()
+
+    def _abort_attempt(self) -> None:
+        self._order = []
+        self._cursor = 0
+        self._awaiting = None
+        self.committed.clear()
+        self._grant_deferred()
+        low, high = self.retry_backoff
+        delay = low + self._rng.random() * (high - low)
+        self.set_timer(delay, self._start_attempt, label=f"lr-retry@{self.pid}")
+
+    def _grant_deferred(self) -> None:
+        """Hand every deferred blocking request its now-free fork."""
+        ready = sorted(n for n in self._deferred if self.forks.get(n) and n not in self.committed)
+        for neighbor in ready:
+            self._deferred.discard(neighbor)
+            self.forks[neighbor] = False
+            self.send(neighbor, Fork(self.pid))
+
+    # -- message handling ------------------------------------------------
+    def on_message(self, src: ProcessId, message) -> None:
+        if isinstance(message, LrRequest):
+            if not self.forks.get(src, False):
+                raise ConfigurationError(
+                    f"lehmann-rabin diner {self.pid} asked for a fork it does "
+                    f"not hold (edge {src}-{self.pid}): FIFO channels make "
+                    "every request arrive at the current holder"
+                )
+            if src in self.committed or self.is_eating:
+                if message.blocking:
+                    self._deferred.add(src)
+                else:
+                    self.send(src, LrBusy(self.pid))
+            else:
+                self.forks[src] = False
+                self.send(src, Fork(self.pid))
+        elif isinstance(message, Fork):
+            self.forks[src] = True
+            if self._awaiting == src and self.is_hungry:
+                self._awaiting = None
+                self.committed.add(src)
+                self._cursor += 1
+                self._advance()
+        elif isinstance(message, LrBusy):
+            if self._awaiting == src and self.is_hungry:
+                self._abort_attempt()
+        else:
+            raise ConfigurationError(
+                f"lehmann-rabin diner {self.pid} got unexpected {message!r} from {src}"
+            )
+
+    def _eat(self) -> None:
+        self._set_state(DinerState.EATING)
+        self.meals_eaten += 1
+        duration = self.workload.eat_duration(self.pid, self.streams)
+        self.set_timer(duration, self._exit, label=f"exit@{self.pid}")
+        if self.on_eat is not None:
+            self.on_eat(self)
+
+    def _exit(self) -> None:
+        if not self.is_eating:
+            return
+        self._set_state(DinerState.THINKING)
+        self._order = []
+        self._cursor = 0
+        self.committed.clear()
+        self._grant_deferred()
+        self._schedule_next_hunger()
+
+    # -- membership (crash-oblivious: observe, never adapt) --------------
+    def neighbor_left(self, neighbor: ProcessId) -> None:
+        """A neighbor departed.  LR does not adapt: a dead edge's fork
+        stays wherever it was, and attempts that need it stall — the
+        honest churn failure mode."""
+
+    def neighbor_rejoined(self, neighbor: ProcessId) -> None:
+        self.neighbors.add(neighbor)
+        self.forks.setdefault(neighbor, False)
+
+    def add_neighbor(self, neighbor: ProcessId) -> None:
+        self.neighbors.add(neighbor)
+        # Hygienic placement for a fresh edge: higher pid holds the fork
+        # (colors may collide across epochs; pids never do).
+        self.forks.setdefault(neighbor, self.pid > neighbor)
+
+    def remove_neighbor(self, neighbor: ProcessId) -> None:
+        # A removed *edge* removes the conflict itself; forget the fork.
+        self.neighbors.discard(neighbor)
+        self.forks.pop(neighbor, None)
+        self.committed.discard(neighbor)
+        self._deferred.discard(neighbor)
+        if neighbor in self._order and self.is_hungry:
+            # The drawn order is stale; abort and redraw over live edges.
+            self._abort_attempt()
+
+    # -- internals -------------------------------------------------------
+    def _set_state(self, new_state: DinerState) -> None:
+        old = self.state
+        if old is new_state:
+            return
+        self.state = new_state
+        self.trace.phase_change(self.now, self.pid, old.phase, new_state.phase)
+
+
+def lehmann_rabin_table(graph: ConflictGraph, **table_kwargs) -> DiningTable:
+    """A DiningTable scheduled by randomized Lehmann–Rabin dining."""
+    for forbidden in ("diner_factory", "detector"):
+        if forbidden in table_kwargs:
+            raise TypeError(f"lehmann_rabin_table fixes {forbidden!r}; do not pass it")
+    return DiningTable(
+        graph,
+        diner_factory=LehmannRabinDiner,
+        detector=null_detector(),
+        **table_kwargs,
+    )

@@ -1,0 +1,144 @@
+"""Wire messages of the classical-DME baseline zoo.
+
+The three message-passing classics added by ROADMAP item 4 each speak
+their own small vocabulary on the ``dining`` layer (so the channel
+checkers and the Section 7 occupancy accounting see them exactly like
+Algorithm 1's traffic):
+
+* **Lamport bakery** — :class:`BakeryQuery` / :class:`BakeryNumber`
+  (the ticket-choosing round: "what is your number?" / "here it is"),
+  then :class:`BakeryRequest` / :class:`BakeryOk` (the number-comparison
+  round: "I hold ticket k" / "you precede me, go ahead").
+* **Ricart–Agrawala** — :class:`RaRequest` (a Lamport-clock-stamped
+  entry request) and :class:`RaReply` (the deferred-or-immediate grant).
+* **Lehmann–Rabin** — :class:`LrRequest` (a fork request, blocking for
+  the randomly drawn first fork, non-blocking *test* for the rest) and
+  :class:`LrBusy` (the immediate refusal a non-blocking test receives);
+  the fork itself travels as the ordinary
+  :class:`~repro.core.messages.Fork`, so fork-uniqueness probing and
+  ``holds_fork`` introspection mean the same thing they mean everywhere
+  else.
+
+Every value-carrying type implements ``payload_bits()`` — the extra bits
+beyond the common "type tag + sender id" budget that
+:func:`repro.core.messages.message_size_bits` accounts.  This is where
+the paper's O(log n) contrast becomes measurable: bakery tickets grow
+without bound under contention, so ``BakeryNumber``/``BakeryRequest``
+frames grow with *time*, not with *n*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.messages import value_bits
+
+__all__ = [
+    "BAKEOFF_MESSAGE_TYPES",
+    "BakeryNumber",
+    "BakeryOk",
+    "BakeryQuery",
+    "BakeryRequest",
+    "LrBusy",
+    "LrRequest",
+    "RaReply",
+    "RaRequest",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class BakeryQuery:
+    """Ask a neighbor for its current ticket number (choosing round)."""
+
+    sender: int
+    layer = "dining"
+
+
+@dataclass(frozen=True, slots=True)
+class BakeryNumber:
+    """The neighbor's current ticket (0 = not competing)."""
+
+    sender: int
+    number: int
+    layer = "dining"
+
+    def payload_bits(self) -> int:
+        return value_bits(self.number)
+
+
+@dataclass(frozen=True, slots=True)
+class BakeryRequest:
+    """Announce the chosen ticket and request entry."""
+
+    sender: int
+    number: int
+    layer = "dining"
+
+    def payload_bits(self) -> int:
+        return value_bits(self.number)
+
+
+@dataclass(frozen=True, slots=True)
+class BakeryOk:
+    """Yield to the requester: its ``(number, pid)`` precedes ours."""
+
+    sender: int
+    layer = "dining"
+
+
+@dataclass(frozen=True, slots=True)
+class RaRequest:
+    """Ricart–Agrawala entry request, stamped with the sender's clock."""
+
+    sender: int
+    clock: int
+    layer = "dining"
+
+    def payload_bits(self) -> int:
+        return value_bits(self.clock)
+
+
+@dataclass(frozen=True, slots=True)
+class RaReply:
+    """Ricart–Agrawala grant (sent immediately or after our exit)."""
+
+    sender: int
+    layer = "dining"
+
+
+@dataclass(frozen=True, slots=True)
+class LrRequest:
+    """Lehmann–Rabin fork request.
+
+    ``blocking=True`` is the wait-for-it request for the randomly drawn
+    first fork: the holder answers with a :class:`~repro.core.messages.Fork`
+    as soon as the fork is uncommitted, however long that takes.
+    ``blocking=False`` is the *test* for every subsequent fork: the
+    holder answers immediately, with the fork or with :class:`LrBusy`.
+    """
+
+    sender: int
+    blocking: bool
+    layer = "dining"
+
+    def payload_bits(self) -> int:
+        return 1
+
+@dataclass(frozen=True, slots=True)
+class LrBusy:
+    """Immediate refusal of a non-blocking Lehmann–Rabin test."""
+
+    sender: int
+    layer = "dining"
+
+
+BAKEOFF_MESSAGE_TYPES = (
+    BakeryQuery,
+    BakeryNumber,
+    BakeryRequest,
+    BakeryOk,
+    RaRequest,
+    RaReply,
+    LrRequest,
+    LrBusy,
+)

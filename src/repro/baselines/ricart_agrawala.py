@@ -1,0 +1,211 @@
+"""Baseline: Ricart–Agrawala request/reply deferral with Lamport clocks.
+
+The classic permission-based DME (Ricart & Agrawala 1981; see Aspnes,
+*Notes on Theory of Distributed Systems*), localized to the conflict
+graph: a hungry diner stamps one
+:class:`~repro.baselines.messages.RaRequest` with its Lamport clock and
+sends it to every neighbor; it eats once every neighbor has answered
+:class:`~repro.baselines.messages.RaReply`.  A neighbor replies
+immediately unless it is itself eating, or hungry with an earlier
+``(timestamp, pid)`` stamp — then the reply is deferred to its exit.
+Lamport clocks merge ``max(local, received) + 1`` on every receive, so
+concurrent requests are totally ordered and the deferral decision is
+consistent on both ends of an edge.
+
+Guarantees (crash-free): mutual exclusion on every conflict edge (two
+neighbors cannot both hold each other's reply for overlapping sessions
+— their stamps are totally ordered, and the later one is deferred) and
+starvation-freedom in timestamp order, with exactly two messages per
+edge per session — the lowest message *count* in the zoo.
+
+Failure mode, by construction: **crash-oblivious**.  No failure detector
+is consulted (the constructor takes one only to fit the common diner
+signature); a crashed neighbor never sends its reply, so every hungry
+neighbor of a crashed process starves forever.  This is the textbook
+liveness gap the paper's ◇P₁ suspicion substitution closes, and the
+bake-off pins it as the expected ``progress: fail`` under a single
+crash.
+
+Clock growth note: Lamport stamps grow with session count, so
+``RaRequest`` frames grow O(log t) over time — slower than the bakery's
+contention-coupled tickets, but still beyond the paper's fixed O(log n)
+budget on an infinite run.  The bake-off's bit instruments surface both.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set, Tuple
+
+from repro.baselines.messages import RaReply, RaRequest
+from repro.core.diner import EatCallback
+from repro.core.state import DinerState
+from repro.core.table import DiningTable, null_detector
+from repro.core.workload import Workload
+from repro.detectors.base import FailureDetector
+from repro.errors import ConfigurationError
+from repro.graphs.coloring import Coloring
+from repro.graphs.conflict import ConflictGraph, ProcessId
+from repro.sim.actor import Actor
+from repro.trace.recorder import TraceRecorder
+
+
+class RicartAgrawalaDiner(Actor):
+    """One Ricart–Agrawala participant on the conflict graph."""
+
+    def __init__(
+        self,
+        pid: ProcessId,
+        graph: ConflictGraph,
+        coloring: Coloring,
+        detector: FailureDetector,  # unused: RA is crash-oblivious
+        workload: Workload,
+        trace: TraceRecorder,
+        *,
+        on_eat: Optional[EatCallback] = None,
+        neighbors: Optional[tuple] = None,
+    ) -> None:
+        super().__init__(pid)
+        if pid not in graph:
+            raise ConfigurationError(f"process {pid} is not in the conflict graph")
+        self.graph = graph
+        self.workload = workload
+        self.trace = trace
+        self.on_eat = on_eat
+        self.state = DinerState.THINKING
+        if neighbors is None:
+            self.neighbors: Set[ProcessId] = set(graph.neighbors(pid))
+        else:
+            self.neighbors = {int(n) for n in neighbors}
+        self.clock = 0
+        self.request_stamp: Optional[Tuple[int, int]] = None  # (clock, pid)
+        self.meals_eaten = 0
+        self._pending_replies: Set[ProcessId] = set()
+        self._deferred: Set[ProcessId] = set()
+
+    # -- introspection (invariant checkers, experiments, tests) ---------
+    @property
+    def phase(self) -> str:
+        return self.state.phase
+
+    @property
+    def is_hungry(self) -> bool:
+        return self.state is DinerState.HUNGRY
+
+    @property
+    def is_eating(self) -> bool:
+        return self.state is DinerState.EATING
+
+    def holds_fork(self, neighbor: ProcessId) -> bool:
+        return False  # RA has no forks
+
+    def holds_token(self, neighbor: ProcessId) -> bool:
+        return False
+
+    # -- lifecycle -------------------------------------------------------
+    def on_start(self) -> None:
+        self._schedule_next_hunger()
+
+    def on_crash(self) -> None:
+        self.trace.crash(self.now, self.pid)
+
+    def _schedule_next_hunger(self) -> None:
+        duration = self.workload.think_duration(self.pid, self.streams)
+        if duration is None:
+            return
+        self.set_timer(duration, self._become_hungry, label=f"hunger@{self.pid}")
+
+    def _become_hungry(self) -> None:
+        if self.state is not DinerState.THINKING:
+            return
+        self._set_state(DinerState.HUNGRY)
+        self.clock += 1
+        self.request_stamp = (self.clock, self.pid)
+        self._pending_replies = set(self.neighbors)
+        for neighbor in sorted(self._pending_replies):
+            self.send(neighbor, RaRequest(self.pid, self.request_stamp[0]))
+        if not self._pending_replies:
+            self._eat()
+
+    # -- the RA rule -----------------------------------------------------
+    def on_message(self, src: ProcessId, message) -> None:
+        if isinstance(message, RaRequest):
+            self.clock = max(self.clock, message.clock) + 1
+            if self.is_eating:
+                self._deferred.add(src)
+            elif (
+                self.request_stamp is not None
+                and self.request_stamp < (message.clock, src)
+            ):
+                # We are hungry with the earlier stamp: they wait for us.
+                self._deferred.add(src)
+            else:
+                self.send(src, RaReply(self.pid))
+        elif isinstance(message, RaReply):
+            if self._pending_replies:
+                self._pending_replies.discard(src)
+                if not self._pending_replies and self.is_hungry:
+                    self._eat()
+        else:
+            raise ConfigurationError(
+                f"ricart-agrawala diner {self.pid} got unexpected {message!r} from {src}"
+            )
+
+    def _eat(self) -> None:
+        self._set_state(DinerState.EATING)
+        self.meals_eaten += 1
+        duration = self.workload.eat_duration(self.pid, self.streams)
+        self.set_timer(duration, self._exit, label=f"exit@{self.pid}")
+        if self.on_eat is not None:
+            self.on_eat(self)
+
+    def _exit(self) -> None:
+        if not self.is_eating:
+            return
+        self._set_state(DinerState.THINKING)
+        self.request_stamp = None
+        deferred, self._deferred = self._deferred, set()
+        for neighbor in sorted(deferred):
+            self.send(neighbor, RaReply(self.pid))
+        self._schedule_next_hunger()
+
+    # -- membership (crash-oblivious: observe, never adapt) --------------
+    def neighbor_left(self, neighbor: ProcessId) -> None:
+        """A neighbor departed.  RA does not adapt: any outstanding
+        request to it waits for a reply forever — the honest churn
+        failure mode."""
+
+    def neighbor_rejoined(self, neighbor: ProcessId) -> None:
+        self.neighbors.add(neighbor)
+
+    def add_neighbor(self, neighbor: ProcessId) -> None:
+        self.neighbors.add(neighbor)
+
+    def remove_neighbor(self, neighbor: ProcessId) -> None:
+        # A removed *edge* removes the conflict itself, so dropping the
+        # neighbor from every wait set is sound (unlike a leave).
+        self.neighbors.discard(neighbor)
+        self._pending_replies.discard(neighbor)
+        self._deferred.discard(neighbor)
+        if self.is_hungry and not self._pending_replies:
+            self._eat()
+
+    # -- internals -------------------------------------------------------
+    def _set_state(self, new_state: DinerState) -> None:
+        old = self.state
+        if old is new_state:
+            return
+        self.state = new_state
+        self.trace.phase_change(self.now, self.pid, old.phase, new_state.phase)
+
+
+def ricart_agrawala_table(graph: ConflictGraph, **table_kwargs) -> DiningTable:
+    """A DiningTable scheduled by Ricart–Agrawala request/reply deferral."""
+    for forbidden in ("diner_factory", "detector"):
+        if forbidden in table_kwargs:
+            raise TypeError(f"ricart_agrawala_table fixes {forbidden!r}; do not pass it")
+    return DiningTable(
+        graph,
+        diner_factory=RicartAgrawalaDiner,
+        detector=null_detector(),
+        **table_kwargs,
+    )

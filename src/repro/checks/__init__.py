@@ -26,6 +26,12 @@ from repro.checks.dynamic import (
     ResidencyProgressChecker,
     ResidencyQuiescenceChecker,
 )
+from repro.checks.expectations import (
+    ExpectedStatuses,
+    Mismatch,
+    describe_mismatches,
+    worst_surprise,
+)
 from repro.checks.events import (
     CHECK_EVENT_VERSION,
     CrashEvent,
@@ -114,9 +120,11 @@ __all__ = [
     "DropEvent",
     "EdgeScopedExclusionChecker",
     "EpochChannelBoundChecker",
+    "ExpectedStatuses",
     "FifoChecker",
     "ForkUniquenessChecker",
     "MembershipEvent",
+    "Mismatch",
     "OvertakingChecker",
     "PendingPingChecker",
     "PhaseEvent",
@@ -135,6 +143,7 @@ __all__ = [
     "active_collector",
     "annotate_violations",
     "collecting_checks",
+    "describe_mismatches",
     "diner_local_violations",
     "event_from_trace_record",
     "event_from_wire",
@@ -147,4 +156,5 @@ __all__ = [
     "replay",
     "standard_suite",
     "worst_status",
+    "worst_surprise",
 ]

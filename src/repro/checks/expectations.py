@@ -1,0 +1,121 @@
+"""Expected property-status maps: FAIL as a correct answer.
+
+The bake-off runs classical schedulers that are *supposed* to fail some
+properties — Ricart–Agrawala is supposed to starve when a neighbor
+crashes; that ``progress: fail`` is the result being reproduced, not a
+broken run.  An :class:`ExpectedStatuses` records, per algorithm × cell,
+what the verdict pipeline is expected to say, and turns the comparative
+table into a regression oracle: a run is green iff every *pinned*
+property matches its recorded expectation, whatever color it is.
+
+Maps are deliberately **partial**.  A property absent from the map is
+not judged against an expectation at all — the right stance for
+statuses that are timing- or seed-dependent (bakery's channel bound
+depends on contention; Lehmann–Rabin's single-run progress is a coin
+flip and is only judged over seed ensembles, outside this module).
+
+This module follows the package's layering rule: it knows verdict
+vocabulary only, no substrates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Tuple
+
+from repro.checks.verdict import STATUS_ORDER, Verdict
+
+#: Statuses an expectation may pin.  ``skip``/``info`` are legal verdict
+#: statuses but pinning them is almost always a bug in the expectation,
+#: so :class:`ExpectedStatuses` rejects anything outside this pair.
+PINNABLE = ("pass", "fail")
+
+
+@dataclass(frozen=True)
+class Mismatch:
+    """One pinned property whose actual status disagrees."""
+
+    prop: str
+    expected: str
+    actual: str  # "absent" when the verdict lacks the property entirely
+
+    def describe(self) -> str:
+        return f"{self.prop}: expected {self.expected}, got {self.actual}"
+
+
+@dataclass(frozen=True)
+class ExpectedStatuses:
+    """A partial map of property name → expected status.
+
+    ``statuses`` pins properties; everything else is unconstrained.
+    ``require_present`` (default True) makes a pinned property that the
+    verdict does not carry at all a mismatch — catching the silent
+    failure mode where a suite stops judging a property and the oracle
+    would otherwise go vacuously green.
+    """
+
+    statuses: Mapping[str, str] = field(default_factory=dict)
+    require_present: bool = True
+
+    def __post_init__(self) -> None:
+        for prop, status in self.statuses.items():
+            if status not in PINNABLE:
+                raise ValueError(
+                    f"expectation for {prop!r} pins {status!r}; "
+                    f"only {PINNABLE} can be pinned"
+                )
+
+    def mismatches(self, actual: Mapping[str, str]) -> List[Mismatch]:
+        """Every pinned property whose actual status disagrees.
+
+        ``actual`` is a status map as :meth:`Verdict.statuses` returns;
+        an empty list means the run matches this expectation.
+        """
+        found: List[Mismatch] = []
+        for prop in sorted(self.statuses):
+            expected = self.statuses[prop]
+            got = actual.get(prop)
+            if got is None:
+                if self.require_present:
+                    found.append(Mismatch(prop=prop, expected=expected, actual="absent"))
+            elif got != expected:
+                found.append(Mismatch(prop=prop, expected=expected, actual=got))
+        return found
+
+    def matches(self, actual: Mapping[str, str]) -> bool:
+        return not self.mismatches(actual)
+
+    def check_verdict(self, verdict: Verdict) -> List[Mismatch]:
+        return self.mismatches(verdict.statuses())
+
+    def as_dict(self) -> Dict[str, str]:
+        return dict(sorted(self.statuses.items()))
+
+
+def describe_mismatches(mismatches: List[Mismatch]) -> str:
+    """One human line summarizing a mismatch list ('' when empty)."""
+    return "; ".join(m.describe() for m in mismatches)
+
+
+def worst_surprise(mismatches: List[Mismatch]) -> Tuple[int, str]:
+    """Rank a mismatch list for sorting reports: higher = worse.
+
+    An unexpected *fail* (expected pass, got fail) outranks an
+    unexpected *pass* (expected fail, got pass — the algorithm is
+    "better" than recorded, which usually means the cell stopped
+    exercising the weakness), which outranks an absent property.
+    """
+    if not mismatches:
+        return (0, "")
+    rank = 0
+    headline = ""
+    for m in mismatches:
+        if m.actual == "absent":
+            score = 1
+        elif m.expected == "fail":  # got pass (or other): lost the weakness
+            score = 2
+        else:  # expected pass, got something worse
+            score = 2 + STATUS_ORDER.get(m.actual, 1)
+        if score > rank:
+            rank, headline = score, m.describe()
+    return (rank, headline)

@@ -11,6 +11,7 @@ Subcommands::
     repro trace cluster-run/spans.jsonl --pid 2
     repro fuzz --budget 60s --runs 50 --shrink
     repro fuzz --mutants --budget 60s
+    repro bakeoff --duration 5 --topology ring --n 5
     repro cluster --topology ring --n 3 --processes 3 --duration 2
     repro serve --spec run/spec.json --host-index 0
     repro loadgen --n 8 --processes 3 --sessions 10000
@@ -65,6 +66,15 @@ latency/crash/flap/burst schedules against the pristine algorithm
 per seeded bug, exiting 1 if any selected mutant survives.  ``--shrink``
 delta-debugs every failure to a minimal witness directory replayable by
 ``repro check`` and ``repro fuzz --plan``.
+
+``bakeoff`` races the whole classical-DME zoo — Algorithm 1 under ◇P₁
+and P, Choy–Singh, fork-priority, edge reversal, Lamport's bakery,
+Ricart–Agrawala, and Lehmann–Rabin — through identical fault plans and
+the one verdict pipeline on both substrates, printing the comparative
+table (throughput, message count and Section 7 bits, fairness, verdict
+map) and exiting 0 iff every cell matches its recorded expected
+property-status map (where a FAIL can be the *correct* answer: the
+classics are supposed to starve on a crash).  See ``docs/BASELINES.md``.
 """
 
 from __future__ import annotations
@@ -648,6 +658,39 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     return 0 if campaign.ok else 1
 
 
+def cmd_bakeoff(args: argparse.Namespace) -> int:
+    from repro.baselines.bakeoff import SUBSTRATES, TOPOLOGIES as GRID, ZOO, run_bakeoff
+
+    if args.list:
+        for key, spec in ZOO.items():
+            print(f"{key:<16} {spec.title}")
+            print(f"    {spec.guarantees}")
+        return 0
+    topologies_list = GRID if args.topology == "all" else (args.topology,)
+    substrates = SUBSTRATES if args.substrate == "both" else (args.substrate,)
+    report = run_bakeoff(
+        topologies_list=topologies_list,
+        n=args.n,
+        duration=args.duration,
+        seed=args.seed,
+        substrates=substrates,
+        algorithms=args.algorithms,
+    )
+    print(report.render_table())
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as stream:
+            json.dump(report.to_json(), stream, indent=2, sort_keys=True)
+            stream.write("\n")
+        print(f"report written: {args.json}")
+    failing = report.failing()
+    print(
+        f"bakeoff: {len(report.cells)} cells, "
+        f"{len(report.cells) - len(failing)} matched their expected maps"
+        + (f", {len(failing)} MISMATCHED" if failing else "")
+    )
+    return 0 if report.ok else 1
+
+
 # ----------------------------------------------------------------------
 # cluster / serve (live runtime)
 # ----------------------------------------------------------------------
@@ -983,6 +1026,31 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--json", metavar="PATH",
                       help="also write the campaign/mutation report as JSON")
     fuzz.set_defaults(func=cmd_fuzz)
+
+    bakeoff = sub.add_parser(
+        "bakeoff",
+        help="race the classical-DME zoo through the verdict pipeline "
+             "and gate on each algorithm's recorded expected-status map",
+    )
+    bakeoff.add_argument("--topology", choices=("ring", "geometric", "scale_free", "all"),
+                         default="all",
+                         help="one comparison topology, or the full grid (default)")
+    bakeoff.add_argument("--n", type=int, default=5)
+    bakeoff.add_argument("--duration", type=float, default=20.0,
+                         help="virtual horizon per cell; judge windows scale with it")
+    bakeoff.add_argument("--seed", type=int, default=1)
+    bakeoff.add_argument("--substrate", choices=("kernel", "live", "both"),
+                         default="both",
+                         help="kernel cells judge every regime; live cells "
+                              "(loopback AsyncHost) pin the safety half")
+    bakeoff.add_argument("--algorithms", nargs="+", metavar="NAME",
+                         help="restrict to these zoo entries (default: all)")
+    bakeoff.add_argument("--list", action="store_true",
+                         help="list the zoo and each entry's guarantees, then exit")
+    bakeoff.add_argument("--json", metavar="PATH",
+                         help="also write the full report (cells, expected maps, "
+                              "mismatches) as JSON")
+    bakeoff.set_defaults(func=cmd_bakeoff)
 
     cluster = sub.add_parser(
         "cluster",

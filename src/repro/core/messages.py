@@ -67,14 +67,36 @@ def _id_bits(n: int) -> int:
     return max(1, math.ceil(math.log2(max(n, 2))))
 
 
+def value_bits(value: int) -> int:
+    """Bits to encode the non-negative integer ``value`` itself (at least 1).
+
+    Unlike :func:`_id_bits`, which prices a draw from a *known finite
+    domain*, this prices an unbounded counter by its current magnitude —
+    the accounting baseline messages (bakery tickets, Lamport clocks)
+    need, since their values have no a-priori bound.
+    """
+    return max(1, int(value).bit_length())
+
+
 def message_size_bits(message, *, n_processes: int, n_colors: int) -> int:
     """Encoded size of ``message`` per the Section 7 accounting.
 
     Two bits of type tag, plus a process id, plus (for fork requests) a
     color.  The point of the accounting is the growth rate — O(log n) —
     not the constant.
+
+    Messages outside Algorithm 1's four types may carry extra payload; a
+    type that defines ``payload_bits()`` (the baseline zoo's
+    value-carrying messages do) has those bits added on top of the
+    common tag + sender budget.  This is what surfaces the bakery's
+    unbounded tickets: its frames grow with the ticket value while every
+    Algorithm 1 frame stays O(log n).
     """
     bits = 2 + _id_bits(n_processes)
     if isinstance(message, ForkRequest):
         bits += _id_bits(n_colors)
+    else:
+        extra = getattr(message, "payload_bits", None)
+        if extra is not None:
+            bits += extra()
     return bits

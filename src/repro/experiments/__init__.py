@@ -18,6 +18,7 @@ from repro.experiments import (
     e10_drinking,
     load_sweep,
 )
+from repro.baselines import bakeoff as dme_bakeoff  # registers dme_bakeoff
 from repro.faults import scenarios as fuzz_scenarios  # registers the fuzz_* family
 
 ALL_EXPERIMENTS = (

@@ -446,11 +446,31 @@ def _fold_exception(verdict: Verdict, exc: BaseException, time: float) -> Verdic
 # ----------------------------------------------------------------------
 # Kernel interpretation
 # ----------------------------------------------------------------------
-def build_table(plan: FaultPlan, *, judge: bool = True) -> DiningTable:
-    """The DiningTable a plan describes (exposed for tests)."""
+def build_table(
+    plan: FaultPlan,
+    *,
+    judge: bool = True,
+    diner_factory=None,
+    detector=None,
+    windows: Optional[JudgeWindows] = None,
+) -> DiningTable:
+    """The DiningTable a plan describes (exposed for tests).
+
+    ``diner_factory`` substitutes the scheduler under test (the bake-off
+    runs the classical baselines through unmodified plans this way; it
+    overrides any plan mutant).  ``detector`` substitutes the detector
+    factory — crash-oblivious baselines pass ``NullDetector`` so the
+    plan's flap script has nothing to script.  ``windows`` pins explicit
+    judgement windows instead of :meth:`JudgeWindows.for_plan`'s
+    derivation (short bake-off horizons need windows that fit inside
+    them).
+    """
     graph = topologies.by_name(plan.topology, plan.n, seed=plan.seed)
     crash_plan = CrashPlan.scripted({c.pid: c.latest_time() for c in plan.crashes})
-    windows = JudgeWindows.for_plan(plan) if judge else None
+    if judge and windows is None:
+        windows = JudgeWindows.for_plan(plan)
+    elif not judge:
+        windows = None
     config = CheckConfig(
         settle=windows.settle if windows else None,
         patience=windows.patience if windows else None,
@@ -459,20 +479,24 @@ def build_table(plan: FaultPlan, *, judge: bool = True) -> DiningTable:
     )
     mutant = get_mutant(plan.mutant) if plan.mutant else None
     flaps = plan.flaps
+    if detector is None:
+        detector = scripted_detector(
+            convergence_time=flaps.convergence,
+            detection_delay=flaps.detection_delay,
+            random_mistakes=flaps.mistakes_per_edge > 0,
+            mistakes_per_edge=flaps.mistakes_per_edge,
+            mean_mistake_duration=flaps.mean_mistake_duration,
+        )
+    if diner_factory is None:
+        diner_factory = mutant.factory() if mutant else None
     return DiningTable(
         graph,
         seed=plan.seed,
         latency=plan.latency.build(),
         workload=plan.workload.build(),
         crash_plan=crash_plan,
-        detector=scripted_detector(
-            convergence_time=flaps.convergence,
-            detection_delay=flaps.detection_delay,
-            random_mistakes=flaps.mistakes_per_edge > 0,
-            mistakes_per_edge=flaps.mistakes_per_edge,
-            mean_mistake_duration=flaps.mean_mistake_duration,
-        ),
-        diner_factory=mutant.factory() if mutant else None,
+        detector=detector,
+        diner_factory=diner_factory,
         strict_checks=False,
         check_config=config,
         membership=plan.membership_log(),
@@ -484,6 +508,10 @@ def run_plan_kernel(
     *,
     judge: bool = True,
     stop_on_violation: bool = True,
+    diner_factory=None,
+    detector=None,
+    windows: Optional[JudgeWindows] = None,
+    monitors=(),
 ) -> FaultRunResult:
     """Interpret ``plan`` on the discrete-event kernel.
 
@@ -492,11 +520,28 @@ def run_plan_kernel(
     stream *proves*, not on window tuning).  ``stop_on_violation``
     short-circuits the run at the first chunk whose suite holds a
     violation — mutation campaigns spend no budget past the kill.
+    ``diner_factory``/``detector``/``windows`` substitute the scheduler,
+    detector factory, and judgement windows (see :func:`build_table`) —
+    this is how the bake-off replays one plan across the whole zoo.
+    ``monitors`` are extra :class:`~repro.sim.network.NetworkMonitor`
+    instances attached before the run (the bake-off's per-algorithm
+    message-bit instrument rides here).
     """
-    windows = JudgeWindows.for_plan(plan) if judge else None
-    table = build_table(plan, judge=judge)
+    if judge and windows is None:
+        windows = JudgeWindows.for_plan(plan)
+    elif not judge:
+        windows = None
+    table = build_table(
+        plan,
+        judge=judge,
+        diner_factory=diner_factory,
+        detector=detector,
+        windows=windows,
+    )
     wire = _WireLogMonitor()
     table.network.add_monitor(wire)
+    for monitor in monitors:
+        table.network.add_monitor(monitor)
     for spec in plan.crashes:
         if spec.when is not None:
             _CrashTrigger(table, spec).arm()
@@ -547,6 +592,9 @@ def run_plan_live(
     *,
     time_scale: float = 0.02,
     judge: bool = True,
+    diner_factory=None,
+    detector=None,
+    windows: Optional[JudgeWindows] = None,
 ) -> FaultRunResult:
     """Interpret ``plan`` on a loopback :class:`~repro.net.host.AsyncHost`.
 
@@ -569,7 +617,10 @@ def run_plan_live(
     if time_scale <= 0:
         raise ConfigurationError(f"time_scale must be positive, got {time_scale!r}")
     graph = topologies.by_name(plan.topology, plan.n, seed=plan.seed)
-    windows = JudgeWindows.for_plan(plan) if judge else None
+    if judge and windows is None:
+        windows = JudgeWindows.for_plan(plan)
+    elif not judge:
+        windows = None
     mutant = get_mutant(plan.mutant) if plan.mutant else None
 
     # Membership deltas ride the host's wall clock, so their plan times
@@ -603,7 +654,10 @@ def run_plan_live(
         crash_times={c.pid: c.latest_time() * time_scale for c in plan.crashes},
         workload=plan.workload.build(time_scale=time_scale),
         inject_latency=inject,
-        diner_factory=mutant.factory() if mutant else None,
+        diner_factory=diner_factory
+        if diner_factory is not None
+        else (mutant.factory() if mutant else None),
+        detector=detector,
         membership=membership,
         run="fuzz",
     )

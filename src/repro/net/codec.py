@@ -16,6 +16,9 @@ Frame layout (all varints unsigned LEB128)::
     kind    := 0x01 Ping | 0x02 Ack | 0x03 ForkRequest | 0x04 Fork
              | 0x05 Heartbeat | 0x06 LeaseRequest | 0x07 LeaseGrant
              | 0x08 LeaseRelease | 0x09 LeaseDenied
+             | 0x0a BakeryQuery | 0x0b BakeryNumber | 0x0c BakeryRequest
+             | 0x0d BakeryOk | 0x0e RaRequest | 0x0f RaReply
+             | 0x10 LrRequest | 0x11 LrBusy
     body    := ""                              # Ping, Ack, Fork
              | color:uvarint                   # ForkRequest
              | sent_at:f64-big-endian          # Heartbeat
@@ -23,6 +26,11 @@ Frame layout (all varints unsigned LEB128)::
              | lease_id:uvarint ttl_ms:uvarint # LeaseGrant
              | lease_id:uvarint                # LeaseRelease
              | reason:str                      # LeaseDenied
+             | ""                              # BakeryQuery, BakeryOk,
+                                               # RaReply, LrBusy
+             | number:uvarint                  # BakeryNumber, BakeryRequest
+             | clock:uvarint                   # RaRequest
+             | blocking:uvarint(0|1)           # LrRequest
     str     := length:uvarint utf8-bytes       # length <= 64
     context := trace:uvarint span:uvarint lamport:uvarint  # iff TRACED
 
@@ -52,6 +60,16 @@ from __future__ import annotations
 import struct
 from typing import Iterator, List, Optional, Tuple
 
+from repro.baselines.messages import (
+    BakeryNumber,
+    BakeryOk,
+    BakeryQuery,
+    BakeryRequest,
+    LrBusy,
+    LrRequest,
+    RaReply,
+    RaRequest,
+)
 from repro.core.messages import Ack, Fork, ForkRequest, Ping
 from repro.detectors.heartbeat import Heartbeat
 from repro.errors import ReproError
@@ -87,6 +105,14 @@ TAG_LEASE_REQUEST = 0x06
 TAG_LEASE_GRANT = 0x07
 TAG_LEASE_RELEASE = 0x08
 TAG_LEASE_DENIED = 0x09
+TAG_BAKERY_QUERY = 0x0A
+TAG_BAKERY_NUMBER = 0x0B
+TAG_BAKERY_REQUEST = 0x0C
+TAG_BAKERY_OK = 0x0D
+TAG_RA_REQUEST = 0x0E
+TAG_RA_REPLY = 0x0F
+TAG_LR_REQUEST = 0x10
+TAG_LR_BUSY = 0x11
 
 #: Flag bit: the payload carries a trailing trace-context block.
 TAG_TRACED = 0x80
@@ -106,6 +132,14 @@ _TAG_OF_TYPE = {
     LeaseGrant: TAG_LEASE_GRANT,
     LeaseRelease: TAG_LEASE_RELEASE,
     LeaseDenied: TAG_LEASE_DENIED,
+    BakeryQuery: TAG_BAKERY_QUERY,
+    BakeryNumber: TAG_BAKERY_NUMBER,
+    BakeryRequest: TAG_BAKERY_REQUEST,
+    BakeryOk: TAG_BAKERY_OK,
+    RaRequest: TAG_RA_REQUEST,
+    RaReply: TAG_RA_REPLY,
+    LrRequest: TAG_LR_REQUEST,
+    LrBusy: TAG_LR_BUSY,
 }
 
 #: Cap on the UTF-8 byte length of an in-frame string (resource names,
@@ -230,6 +264,12 @@ def encode_message(
         head += _encode_uvarint(message.lease_id)
     elif tag == TAG_LEASE_DENIED:
         head += _encode_string(message.reason)
+    elif tag in (TAG_BAKERY_NUMBER, TAG_BAKERY_REQUEST):
+        head += _encode_uvarint(message.number)
+    elif tag == TAG_RA_REQUEST:
+        head += _encode_uvarint(message.clock)
+    elif tag == TAG_LR_REQUEST:
+        head += _encode_uvarint(1 if message.blocking else 0)
     if context is None:
         return head
     trace_id, span_id, lamport = context
@@ -279,6 +319,28 @@ def decode_message_ex(payload: bytes) -> Tuple[int, int, int, object, Optional[T
     elif tag == TAG_LEASE_DENIED:
         reason, offset = _decode_string(payload, offset)
         message = LeaseDenied(src, reason)
+    elif tag == TAG_BAKERY_QUERY:
+        message = BakeryQuery(src)
+    elif tag == TAG_BAKERY_NUMBER:
+        number, offset = _decode_uvarint(payload, offset)
+        message = BakeryNumber(src, number)
+    elif tag == TAG_BAKERY_REQUEST:
+        number, offset = _decode_uvarint(payload, offset)
+        message = BakeryRequest(src, number)
+    elif tag == TAG_BAKERY_OK:
+        message = BakeryOk(src)
+    elif tag == TAG_RA_REQUEST:
+        clock, offset = _decode_uvarint(payload, offset)
+        message = RaRequest(src, clock)
+    elif tag == TAG_RA_REPLY:
+        message = RaReply(src)
+    elif tag == TAG_LR_REQUEST:
+        blocking, offset = _decode_uvarint(payload, offset)
+        if blocking > 1:
+            raise WireCodecError(f"LrRequest blocking flag must be 0 or 1, got {blocking}")
+        message = LrRequest(src, bool(blocking))
+    elif tag == TAG_LR_BUSY:
+        message = LrBusy(src)
     else:
         raise WireCodecError(f"unknown message tag 0x{tag:02x}")
     context: Optional[TraceTag] = None
@@ -413,6 +475,12 @@ def frame_wire_bytes(
     elif tag == TAG_LEASE_DENIED:
         raw = len(message.reason.encode("utf-8"))
         size += _uvarint_size(raw) + raw
+    elif tag in (TAG_BAKERY_NUMBER, TAG_BAKERY_REQUEST):
+        size += _uvarint_size(message.number)
+    elif tag == TAG_RA_REQUEST:
+        size += _uvarint_size(message.clock)
+    elif tag == TAG_LR_REQUEST:
+        size += 1
     if context is not None:
         trace_id, span_id, lamport = context
         size += (

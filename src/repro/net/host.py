@@ -182,6 +182,12 @@ class AsyncHost:
         Optional substitute actor constructor with the
         :class:`~repro.core.diner.DinerActor` signature (the mutation
         harness injects seeded bugs through it).
+    detector:
+        Optional detector *factory* with the kernel table's contract —
+        called with the (union) graph.  ``None`` keeps the live default,
+        a :class:`~repro.detectors.heartbeat.HeartbeatDetector`; the
+        bake-off passes :class:`~repro.detectors.null.NullDetector` for
+        the crash-oblivious classical baselines.
     """
 
     def __init__(
@@ -202,6 +208,7 @@ class AsyncHost:
         run: str = "live",
         inject_latency=None,
         diner_factory=None,
+        detector=None,
         membership: Optional[MembershipLog] = None,
     ) -> None:
         if transport not in ("loopback", "unix", "tcp"):
@@ -264,12 +271,18 @@ class AsyncHost:
         self.streams = RandomStreams(self.config.seed)
         self.coloring = coloring if coloring is not None else greedy_coloring(union)
         validate_coloring(union, self.coloring)
-        self.detector = HeartbeatDetector(
-            union,
-            interval=self.config.heartbeat_interval,
-            initial_timeout=self.config.initial_timeout,
-            timeout_increment=self.config.timeout_increment,
-        )
+        if detector is None:
+            self.detector = HeartbeatDetector(
+                union,
+                interval=self.config.heartbeat_interval,
+                initial_timeout=self.config.initial_timeout,
+                timeout_increment=self.config.timeout_increment,
+            )
+        else:
+            # A factory with the kernel table's detector contract:
+            # called with the (union) graph, so crash-oblivious baselines
+            # can run live with NullDetector and spend zero heartbeats.
+            self.detector = detector(union)
         self.workload = workload if workload is not None else AlwaysHungry(
             eat_time=self.config.eat_time,
             think_time=self.config.think_time,
@@ -333,6 +346,17 @@ class AsyncHost:
         # from the receiving side.  Violations are collected, never
         # raised — a live run always completes and reports what it saw.
         final_nodes = self.timeline.final().graph.nodes if dynamic else union.nodes
+        # Baseline factories build actors without Algorithm 1's local
+        # variables; the DinerLocal/PendingPing probes only apply to the
+        # real DinerActor (mirrors DiningTable's auto-detection).
+        if self.diners:
+            diner_locals = all(
+                isinstance(d, DinerActor) for d in self.diners.values()
+            )
+        else:
+            diner_locals = isinstance(make_diner, type) and issubclass(
+                make_diner, DinerActor
+            )
         self.checks = standard_suite(
             self._local_edges,
             CheckConfig(
@@ -345,6 +369,7 @@ class AsyncHost:
                 crash_time_of=self._crash_times.get,
             ),
             on_violation=self._on_check_violation,
+            diner_locals=diner_locals,
             dynamic=dynamic,
             membership=self.timeline,
         )
@@ -1078,7 +1103,11 @@ class AsyncHost:
             "span_meals": completed_meals(self.spans),
             "scrape_address": list(self.scrape_address) if self.scrape_address else None,
             "max_in_transit_local": self._net_probe.max_in_transit(),
-            "false_suspicion_retractions": self.detector.total_false_retractions(),
+            "false_suspicion_retractions": (
+                self.detector.total_false_retractions()
+                if hasattr(self.detector, "total_false_retractions")
+                else 0
+            ),
             "locks": (
                 None if self.lock_service is None else self.lock_service.core.snapshot()
             ),

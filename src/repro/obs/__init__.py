@@ -25,7 +25,11 @@ See ``docs/OBSERVABILITY.md`` for metric names and label conventions.
 
 from repro.obs.context import active_registry, collecting
 from repro.obs.flight import FlightRecorder
-from repro.obs.instrument import Instrumentation, instrument_table
+from repro.obs.instrument import (
+    Instrumentation,
+    MessageBitsInstrument,
+    instrument_table,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -69,6 +73,7 @@ __all__ = [
     "Histogram",
     "Instrumentation",
     "KernelProfiler",
+    "MessageBitsInstrument",
     "MetricsRegistry",
     "Span",
     "SpanAssembler",

@@ -214,6 +214,87 @@ class NetworkInstrument(NetworkMonitor):
         return {edge: self._edges[edge][1] for edge in sorted(self._edges)}
 
 
+class MessageBitsInstrument(NetworkMonitor):
+    """Per-type message-*bit* accounting under the Section 7 model.
+
+    Prices every sent message with
+    :func:`repro.core.messages.message_size_bits` — tag + sender id,
+    plus declared ``payload_bits()`` for value-carrying types — and
+    keeps, per message type: count, total bits, and the largest single
+    frame.  This is the instrument that makes the bake-off's headline
+    contrast measurable: Algorithm 1's frames are all O(log n) bits
+    while the bakery's grow with its tickets, so ``max_bits`` for
+    ``BakeryNumber``/``BakeryRequest`` climbs over a long contended run
+    where every Algorithm 1 type stays flat.
+
+    Hot path matches :class:`NetworkInstrument`: one dict hit per send
+    in the steady state.  Bits are computed per *type and value*, so the
+    cost is one ``message_size_bits`` call per send — acceptable for
+    bake-off cells, which is why this probe is opt-in rather than part
+    of :func:`instrument_table`.
+    """
+
+    def __init__(self, *, n_processes: int, n_colors: int, layer: str = "dining") -> None:
+        from repro.core.messages import message_size_bits
+
+        self._size_bits = message_size_bits
+        self.n_processes = int(n_processes)
+        self.n_colors = int(n_colors)
+        self._layer = layer
+        # type -> [count, total_bits, max_bits]
+        self._cells: Dict[type, List[int]] = {}
+        self._tracked: Dict[type, bool] = {}
+
+    def on_send(self, src: ProcessId, dst: ProcessId, message, time: Instant) -> None:
+        cls = type(message)
+        tracked = self._tracked.get(cls)
+        if tracked is None:
+            tracked = self._tracked[cls] = message_layer(message) == self._layer
+        if not tracked:
+            return
+        bits = self._size_bits(
+            message, n_processes=self.n_processes, n_colors=self.n_colors
+        )
+        try:
+            cells = self._cells[cls]
+        except KeyError:
+            self._cells[cls] = [1, bits, bits]
+            return
+        cells[0] += 1
+        cells[1] += bits
+        if bits > cells[2]:
+            cells[2] = bits
+
+    def on_deliver(self, src: ProcessId, dst: ProcessId, message, time: Instant) -> None:
+        pass
+
+    def on_drop(self, src: ProcessId, dst: ProcessId, message, time: Instant) -> None:
+        pass
+
+    # -- Queries --------------------------------------------------------
+    def by_type(self) -> Dict[str, Dict[str, int]]:
+        """``{type name: {count, total_bits, max_bits}}``, name-sorted."""
+        rows = {
+            cls.__name__: {
+                "count": cells[0],
+                "total_bits": cells[1],
+                "max_bits": cells[2],
+            }
+            for cls, cells in self._cells.items()
+        }
+        return dict(sorted(rows.items()))
+
+    def total_messages(self) -> int:
+        return sum(cells[0] for cells in self._cells.values())
+
+    def total_bits(self) -> int:
+        return sum(cells[1] for cells in self._cells.values())
+
+    def max_bits(self) -> int:
+        """Largest single tracked frame ever sent (0 if no traffic)."""
+        return max((cells[2] for cells in self._cells.values()), default=0)
+
+
 class TraceInstrument:
     """Trace-record probe: phases, sessions, suspicions, violations."""
 

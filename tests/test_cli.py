@@ -127,8 +127,8 @@ class TestExperiments:
         assert names == [
             "e1", "e2", "e3", "e4", "e4b", "e5", "e6",
             "e7", "e7b", "e8", "e8b", "e9", "e10",
-            "churn_sweep", "fuzz_clean", "fuzz_differential", "fuzz_mutation",
-            "load_sweep",
+            "churn_sweep", "dme_bakeoff", "fuzz_clean", "fuzz_differential",
+            "fuzz_mutation", "load_sweep",
         ]
 
     def test_seed_sweep_prints_aggregated_table(self, capsys):

@@ -7,6 +7,16 @@ import os
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.baselines.messages import (
+    BakeryNumber,
+    BakeryOk,
+    BakeryQuery,
+    BakeryRequest,
+    LrBusy,
+    LrRequest,
+    RaReply,
+    RaRequest,
+)
 from repro.core.messages import Ack, Fork, ForkRequest, Ping, message_size_bits
 from repro.detectors.heartbeat import Heartbeat
 from repro.locks.messages import LeaseDenied, LeaseGrant, LeaseRelease, LeaseRequest
@@ -52,6 +62,8 @@ def envelopes(draw):
     kind = draw(st.sampled_from((
         "ping", "ack", "fork_request", "fork", "heartbeat",
         "lease_request", "lease_grant", "lease_release", "lease_denied",
+        "bakery_query", "bakery_number", "bakery_request", "bakery_ok",
+        "ra_request", "ra_reply", "lr_request", "lr_busy",
     )))
     if kind == "ping":
         message = Ping(src)
@@ -69,8 +81,24 @@ def envelopes(draw):
         message = LeaseGrant(src, draw(lease_ids), draw(ttls))
     elif kind == "lease_release":
         message = LeaseRelease(src, draw(lease_ids))
-    else:
+    elif kind == "lease_denied":
         message = LeaseDenied(src, draw(short_strings))
+    elif kind == "bakery_query":
+        message = BakeryQuery(src)
+    elif kind == "bakery_number":
+        message = BakeryNumber(src, draw(seqs))
+    elif kind == "bakery_request":
+        message = BakeryRequest(src, draw(seqs))
+    elif kind == "bakery_ok":
+        message = BakeryOk(src)
+    elif kind == "ra_request":
+        message = RaRequest(src, draw(seqs))
+    elif kind == "ra_reply":
+        message = RaReply(src)
+    elif kind == "lr_request":
+        message = LrRequest(src, draw(st.booleans()))
+    else:
+        message = LrBusy(src)
     return src, dst, seq, message
 
 
@@ -202,6 +230,14 @@ def test_golden_encoding(case):
         ),
         "LeaseRelease": lambda: LeaseRelease(case["src"], case["lease_id"]),
         "LeaseDenied": lambda: LeaseDenied(case["src"], case["reason"]),
+        "BakeryQuery": lambda: BakeryQuery(case["src"]),
+        "BakeryNumber": lambda: BakeryNumber(case["src"], case["number"]),
+        "BakeryRequest": lambda: BakeryRequest(case["src"], case["number"]),
+        "BakeryOk": lambda: BakeryOk(case["src"]),
+        "RaRequest": lambda: RaRequest(case["src"], case["clock"]),
+        "RaReply": lambda: RaReply(case["src"]),
+        "LrRequest": lambda: LrRequest(case["src"], case["blocking"]),
+        "LrBusy": lambda: LrBusy(case["src"]),
     }[case["type"]]()
     context = tuple(case["context"]) if "context" in case else None
     frame = encode_frame(case["src"], case["dst"], case["seq"], message, context)

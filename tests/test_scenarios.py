@@ -16,7 +16,7 @@ from repro.scenarios import (
 EXPECTED_NAMES = (
     "e1", "e2", "e3", "e4", "e4b", "e5", "e6",
     "e7", "e7b", "e8", "e8b", "e9", "e10",
-    "load_sweep", "churn_sweep",
+    "load_sweep", "churn_sweep", "dme_bakeoff",
     "fuzz_clean", "fuzz_differential", "fuzz_mutation",
 )
 
